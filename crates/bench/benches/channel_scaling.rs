@@ -1,0 +1,43 @@
+//! Criterion measurement of event-model scalability with channel count
+//! (Section II-F: "even a 16-channel memory system has limited impact on
+//! simulation performance").
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dramctrl::PagePolicy;
+use dramctrl_bench::ev_ctrl;
+use dramctrl_mem::{presets, AddrMapping};
+use dramctrl_system::MultiChannel;
+use dramctrl_traffic::{LinearGen, Tester};
+
+fn bench_channels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("channel_scaling");
+    group.sample_size(10);
+    let tester = Tester::new(100_000, 1_000);
+    for n in [1u32, 4, 16] {
+        group.bench_with_input(BenchmarkId::new("event_hmc", n), &n, |b, &n| {
+            b.iter(|| {
+                let xbar = MultiChannel::new(
+                    (0..n)
+                        .map(|_| {
+                            ev_ctrl(
+                                presets::hbm_1000_x128(),
+                                PagePolicy::Open,
+                                AddrMapping::RoRaBaCoCh,
+                                n,
+                            )
+                        })
+                        .collect(),
+                    0,
+                )
+                .unwrap();
+                let mut gen = LinearGen::new(0, 1 << 30, 64, 67, 0, 20_000, 4);
+                let mut xbar = xbar;
+                tester.run(&mut gen, &mut xbar)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_channels);
+criterion_main!(benches);

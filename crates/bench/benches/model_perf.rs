@@ -1,0 +1,64 @@
+//! Criterion measurement of the paper's headline claim (Section III-D):
+//! the event-based controller is several times faster to simulate than a
+//! cycle-based model on identical workloads.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dramctrl::PagePolicy;
+use dramctrl_bench::{cy_ctrl, ev_ctrl};
+use dramctrl_mem::{presets, AddrMapping};
+use dramctrl_traffic::{DramAwareGen, LinearGen, RandomGen, Tester, TrafficGen};
+
+const N: u64 = 20_000;
+
+fn gen_for(name: &str) -> Box<dyn TrafficGen> {
+    match name {
+        "linear" => Box::new(LinearGen::new(0, 256 << 20, 64, 100, 0, N, 1)),
+        "random" => Box::new(RandomGen::new(0, 256 << 20, 64, 67, 0, N, 2)),
+        "dram_aware" => Box::new(DramAwareGen::new(
+            presets::ddr3_1333_x64().org,
+            AddrMapping::RoCoRaBaCh,
+            1,
+            0,
+            4,
+            8,
+            50,
+            0,
+            N,
+            3,
+        )),
+        other => panic!("unknown workload {other}"),
+    }
+}
+
+fn policy_for(name: &str) -> (PagePolicy, AddrMapping) {
+    if name == "dram_aware" {
+        (PagePolicy::Closed, AddrMapping::RoCoRaBaCh)
+    } else {
+        (PagePolicy::Open, AddrMapping::RoRaBaCoCh)
+    }
+}
+
+fn bench_models(c: &mut Criterion) {
+    let mut group = c.benchmark_group("model_perf");
+    group.sample_size(10);
+    let tester = Tester::new(100_000, 1_000);
+    for wl in ["linear", "random", "dram_aware"] {
+        let (policy, mapping) = policy_for(wl);
+        group.bench_with_input(BenchmarkId::new("event", wl), &wl, |b, wl| {
+            b.iter(|| {
+                let mut gen = gen_for(wl);
+                tester.run(&mut gen, &mut ev_ctrl(presets::ddr3_1333_x64(), policy, mapping, 1))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("cycle", wl), &wl, |b, wl| {
+            b.iter(|| {
+                let mut gen = gen_for(wl);
+                tester.run(&mut gen, &mut cy_ctrl(presets::ddr3_1333_x64(), policy, mapping, 1))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_models);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Ablation — the three address mappings of Table I on sequential and
+//! random traffic (Section III-B's rationale: RoRaBaCoCh maximises page
+//! hits for sequential streams, RoCoRaBaCh maximises bank parallelism).
+
+use dramctrl::PagePolicy;
+use dramctrl_bench::{ev_ctrl, f1, f3, Table};
+use dramctrl_mem::{presets, AddrMapping};
+use dramctrl_traffic::{LinearGen, RandomGen, Tester, TrafficGen};
+
+fn main() {
+    let spec = presets::ddr3_1333_x64();
+    let maps = [
+        AddrMapping::RoRaBaCoCh,
+        AddrMapping::RoRaBaChCo,
+        AddrMapping::RoCoRaBaCh,
+    ];
+    println!("Ablation: address mappings (DDR3-1333, open page, FR-FCFS)\n");
+    let mut table = Table::new([
+        "traffic",
+        "mapping",
+        "bus util",
+        "row-hit rate",
+        "avg read lat (ns)",
+    ]);
+    let t = Tester::new(100_000, 1_000);
+    for (name, mk_gen) in [
+        (
+            "linear",
+            Box::new(|| Box::new(LinearGen::new(0, 256 << 20, 64, 100, 0, 20_000, 5)) as Box<dyn TrafficGen>)
+                as Box<dyn Fn() -> Box<dyn TrafficGen>>,
+        ),
+        (
+            "random",
+            Box::new(|| Box::new(RandomGen::new(0, 256 << 20, 64, 100, 0, 20_000, 5)) as Box<dyn TrafficGen>),
+        ),
+    ] {
+        for map in maps {
+            let mut gen = mk_gen();
+            let s = t.run(&mut gen, &mut ev_ctrl(spec.clone(), PagePolicy::Open, map, 1));
+            table.row([
+                name.to_string(),
+                map.to_string(),
+                f3(s.bus_util),
+                f3(s.ctrl.page_hit_rate()),
+                f1(s.read_lat_ns.mean()),
+            ]);
+        }
+    }
+    table.print();
+}

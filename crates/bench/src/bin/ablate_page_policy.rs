@@ -1,0 +1,46 @@
+//! Ablation — the four page policies of Section II-C across row-hit-rate
+//! regimes (the design choices DESIGN.md calls out).
+//!
+//! Expected: open policies win on high-locality traffic, closed policies
+//! win on single-access-per-row traffic, and the adaptive variants are
+//! never (much) worse than the better of the two static ones.
+
+use dramctrl::PagePolicy;
+use dramctrl_bench::{ev_ctrl, f1, f3, Table};
+use dramctrl_mem::{presets, AddrMapping};
+use dramctrl_traffic::{DramAwareGen, Tester};
+
+fn main() {
+    let spec = presets::ddr3_1333_x64();
+    let m = AddrMapping::RoRaBaCoCh;
+    let policies = [
+        PagePolicy::Open,
+        PagePolicy::OpenAdaptive,
+        PagePolicy::Closed,
+        PagePolicy::ClosedAdaptive,
+    ];
+    println!("Ablation: page policies (DDR3-1333, FR-FCFS, 4 banks, 1:1 mix)\n");
+    let mut table = Table::new([
+        "stride (bursts)",
+        "policy",
+        "bus util",
+        "avg read lat (ns)",
+        "row-hit rate",
+    ]);
+    let t = Tester::new(100_000, 1_000);
+    for stride in [1u64, 4, 32, 128] {
+        for policy in policies {
+            let mut gen = DramAwareGen::new(spec.org, m, 1, 0, stride, 4, 50, 0, 10_000, 5);
+            let mut ctrl = ev_ctrl(spec.clone(), policy, m, 1);
+            let s = t.run(&mut gen, &mut ctrl);
+            table.row([
+                stride.to_string(),
+                policy.to_string(),
+                f3(s.bus_util),
+                f1(s.read_lat_ns.mean()),
+                f3(s.ctrl.page_hit_rate()),
+            ]);
+        }
+    }
+    table.print();
+}

@@ -1,0 +1,71 @@
+//! Ablation — FCFS vs FR-FCFS (paper Section II-C: FCFS "merely included
+//! for comparison"; FR-FCFS is the representative baseline).
+//!
+//! Expected: on random traffic with bank parallelism available, FR-FCFS's
+//! row-hit-first / first-ready-bank selection clearly beats in-order
+//! service; on purely sequential single-bank traffic they coincide.
+
+use dramctrl::{CtrlConfig, DramCtrl, PagePolicy, SchedPolicy};
+use dramctrl_bench::{f1, f3, Table};
+use dramctrl_mem::{presets, AddrMapping};
+use dramctrl_traffic::{DramAwareGen, LinearGen, RandomGen, Tester, TrafficGen};
+
+fn ctrl(sched: SchedPolicy) -> DramCtrl {
+    let mut cfg = CtrlConfig::new(presets::ddr3_1333_x64());
+    cfg.scheduling = sched;
+    cfg.page_policy = PagePolicy::Open;
+    DramCtrl::new(cfg).unwrap()
+}
+
+fn main() {
+    println!("Ablation: FCFS vs FR-FCFS (DDR3-1333, open page)\n");
+    let mut table = Table::new([
+        "traffic",
+        "scheduler",
+        "bus util",
+        "avg read lat (ns)",
+        "row-hit rate",
+    ]);
+    let t = Tester::new(200_000, 1_000);
+    let workloads: Vec<(&str, Box<dyn Fn() -> Box<dyn TrafficGen>>)> = vec![
+        (
+            "sequential 1-bank",
+            Box::new(|| Box::new(LinearGen::new(0, 8 << 10, 64, 100, 0, 10_000, 5))),
+        ),
+        (
+            "random",
+            Box::new(|| Box::new(RandomGen::new(0, 256 << 20, 64, 100, 0, 10_000, 5))),
+        ),
+        (
+            "interleaved rows, 8 banks",
+            Box::new(|| {
+                Box::new(DramAwareGen::new(
+                    presets::ddr3_1333_x64().org,
+                    AddrMapping::RoRaBaCoCh,
+                    1,
+                    0,
+                    2,
+                    8,
+                    100,
+                    0,
+                    10_000,
+                    5,
+                ))
+            }),
+        ),
+    ];
+    for (name, mk) in &workloads {
+        for sched in [SchedPolicy::Fcfs, SchedPolicy::FrFcfs] {
+            let mut gen = mk();
+            let s = t.run(&mut gen, &mut ctrl(sched));
+            table.row([
+                name.to_string(),
+                sched.to_string(),
+                f3(s.bus_util),
+                f1(s.read_lat_ns.mean()),
+                f3(s.ctrl.page_hit_rate()),
+            ]);
+        }
+    }
+    table.print();
+}

@@ -1,0 +1,29 @@
+//! Figure 3 — bus utilisation vs sequential stride and banks targeted,
+//! open-page policy, read-only traffic (paper Section III-C1).
+//!
+//! Expected shape: utilisation rises with stride (more row hits) and with
+//! bank count (more parallelism), saturating around 90%+; the two models
+//! track each other closely.
+
+use dramctrl::PagePolicy;
+use dramctrl_bench::sweep;
+use dramctrl_mem::{presets, AddrMapping};
+
+fn main() {
+    let spec = presets::ddr3_1333_x64();
+    let strides: Vec<u64> = [1u64, 2, 4, 8, 16, 32, 64, 128].to_vec();
+    let banks = [1u32, 2, 4, 8];
+    let points = sweep::bandwidth(
+        &spec,
+        PagePolicy::Open,
+        AddrMapping::RoRaBaCoCh,
+        100,
+        &strides,
+        &banks,
+        20_000,
+    );
+    sweep::print_points(
+        "Figure 3: open page, reads — DDR3-1333, RoRaBaCoCh, FR-FCFS",
+        &points,
+    );
+}

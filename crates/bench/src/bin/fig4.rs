@@ -1,0 +1,28 @@
+//! Figure 4 — bus utilisation with a 1:1 read/write mix, open-page policy
+//! (paper Section III-C1).
+//!
+//! Expected shape: similar to Figure 3 but lower — the row-hit benefit of
+//! longer strides is partly consumed by read/write bus turnarounds.
+
+use dramctrl::PagePolicy;
+use dramctrl_bench::sweep;
+use dramctrl_mem::{presets, AddrMapping};
+
+fn main() {
+    let spec = presets::ddr3_1333_x64();
+    let strides: Vec<u64> = [1u64, 2, 4, 8, 16, 32, 64, 128].to_vec();
+    let banks = [1u32, 2, 4, 8];
+    let points = sweep::bandwidth(
+        &spec,
+        PagePolicy::Open,
+        AddrMapping::RoRaBaCoCh,
+        50,
+        &strides,
+        &banks,
+        20_000,
+    );
+    sweep::print_points(
+        "Figure 4: open page, 1:1 read/write — DDR3-1333, RoRaBaCoCh, FR-FCFS",
+        &points,
+    );
+}

@@ -1,0 +1,30 @@
+//! Figure 5 — bus utilisation with write-only traffic under a closed-page
+//! policy (paper Section III-C1).
+//!
+//! Expected shape: utilisation *decreases* with stride (sequential bursts
+//! keep reopening the row the policy just closed) and improves with bank
+//! parallelism; the event model's buffered write drain gives it a wider
+//! reorder window than the interleaving baseline at high bank counts.
+
+use dramctrl::PagePolicy;
+use dramctrl_bench::sweep;
+use dramctrl_mem::{presets, AddrMapping};
+
+fn main() {
+    let spec = presets::ddr3_1333_x64();
+    let strides: Vec<u64> = [1u64, 2, 4, 8, 16, 32, 64, 128].to_vec();
+    let banks = [1u32, 2, 4, 8];
+    let points = sweep::bandwidth(
+        &spec,
+        PagePolicy::Closed,
+        AddrMapping::RoCoRaBaCh,
+        0,
+        &strides,
+        &banks,
+        20_000,
+    );
+    sweep::print_points(
+        "Figure 5: closed page, writes — DDR3-1333, RoCoRaBaCh, FR-FCFS",
+        &points,
+    );
+}

@@ -1,0 +1,73 @@
+//! Section III-D's closing observation — event-model simulation speed as
+//! the channel count grows from 1 to 16 (an HMC-like cube is "only a
+//! matter of combining the crossbar model with 16 instances of our
+//! controller"). The event model's cost grows with *traffic*, not with
+//! idle channels; a cycle model pays per channel per cycle.
+
+use dramctrl::PagePolicy;
+use dramctrl_bench::{cy_ctrl, ev_ctrl, f1, timed, Table};
+use dramctrl_mem::{presets, AddrMapping};
+use dramctrl_system::MultiChannel;
+use dramctrl_traffic::{LinearGen, Tester};
+
+fn main() {
+    println!("HMC-like channel scaling (HBM channels, 100k linear requests)\n");
+    let mut table = Table::new([
+        "channels",
+        "event s",
+        "cycle s",
+        "speedup",
+        "aggregate GB/s",
+    ]);
+    let t = Tester::new(100_000, 1_000);
+    for n in [1u32, 2, 4, 8, 16] {
+        let mk_ev = || {
+            MultiChannel::new(
+                (0..n)
+                    .map(|_| {
+                        ev_ctrl(
+                            presets::hbm_1000_x128(),
+                            PagePolicy::Open,
+                            AddrMapping::RoRaBaCoCh,
+                            n,
+                        )
+                    })
+                    .collect(),
+                0,
+            )
+            .unwrap()
+        };
+        let mk_cy = || {
+            MultiChannel::new(
+                (0..n)
+                    .map(|_| {
+                        cy_ctrl(
+                            presets::hbm_1000_x128(),
+                            PagePolicy::Open,
+                            AddrMapping::RoRaBaCoCh,
+                            n,
+                        )
+                    })
+                    .collect(),
+                0,
+            )
+            .unwrap()
+        };
+        let (ev, ev_s) = timed(|| {
+            let mut g = LinearGen::new(0, 1 << 30, 64, 67, 0, 100_000, 4);
+            t.run(&mut g, &mut mk_ev())
+        });
+        let (_, cy_s) = timed(|| {
+            let mut g = LinearGen::new(0, 1 << 30, 64, 67, 0, 100_000, 4);
+            t.run(&mut g, &mut mk_cy())
+        });
+        table.row([
+            n.to_string(),
+            format!("{ev_s:.3}"),
+            format!("{cy_s:.3}"),
+            format!("{:.1}x", cy_s / ev_s),
+            f1(ev.bandwidth_gbps),
+        ]);
+    }
+    table.print();
+}

@@ -1,0 +1,124 @@
+//! Section III-D — model performance: wall-clock speed of the event-based
+//! model vs the cycle-based baseline on identical synthetic workloads.
+//!
+//! The paper reports 7x faster on average and up to 10x across synthetic
+//! traffic, and an order of magnitude for a 16-channel (HMC-like) memory.
+//! Absolute times are host-dependent; the *ratio* is the result. Criterion
+//! benches (`cargo bench -p dramctrl-bench`) measure the same quantity
+//! with statistical rigour.
+
+use dramctrl::PagePolicy;
+use dramctrl_bench::{cy_ctrl, ev_ctrl, f1, timed, Table};
+use dramctrl_mem::{presets, AddrMapping, MemSpec};
+use dramctrl_system::MultiChannel;
+use dramctrl_traffic::{DramAwareGen, LinearGen, RandomGen, Tester, TrafficGen};
+
+const N: u64 = 200_000;
+
+fn spec() -> MemSpec {
+    presets::ddr3_1333_x64()
+}
+
+fn workloads() -> Vec<(&'static str, Box<dyn Fn() -> Box<dyn TrafficGen>>, PagePolicy, AddrMapping)> {
+    vec![
+        (
+            "linear reads",
+            Box::new(|| Box::new(LinearGen::new(0, 256 << 20, 64, 100, 0, N, 1)) as Box<dyn TrafficGen>),
+            PagePolicy::Open,
+            AddrMapping::RoRaBaCoCh,
+        ),
+        (
+            "random mixed",
+            Box::new(|| Box::new(RandomGen::new(0, 256 << 20, 64, 67, 0, N, 2)) as Box<dyn TrafficGen>),
+            PagePolicy::Open,
+            AddrMapping::RoRaBaCoCh,
+        ),
+        (
+            "dram-aware 8-bank",
+            Box::new(|| {
+                Box::new(DramAwareGen::new(
+                    presets::ddr3_1333_x64().org,
+                    AddrMapping::RoCoRaBaCh,
+                    1,
+                    0,
+                    4,
+                    8,
+                    50,
+                    0,
+                    N,
+                    3,
+                )) as Box<dyn TrafficGen>
+            }),
+            PagePolicy::Closed,
+            AddrMapping::RoCoRaBaCh,
+        ),
+    ]
+}
+
+fn main() {
+    println!("Model performance (Section III-D) — {N} requests per workload\n");
+    let t = Tester::new(100_000, 1_000);
+    let mut table = Table::new(["workload", "event s", "cycle s", "speedup"]);
+    let mut speedups = Vec::new();
+    for (name, mk_gen, policy, mapping) in workloads() {
+        let (_, ev_s) = timed(|| {
+            let mut g = mk_gen();
+            t.run(&mut g, &mut ev_ctrl(spec(), policy, mapping, 1))
+        });
+        let (_, cy_s) = timed(|| {
+            let mut g = mk_gen();
+            t.run(&mut g, &mut cy_ctrl(spec(), policy, mapping, 1))
+        });
+        speedups.push(cy_s / ev_s);
+        table.row([
+            name.to_string(),
+            format!("{ev_s:.3}"),
+            format!("{cy_s:.3}"),
+            format!("{:.1}x", cy_s / ev_s),
+        ]);
+    }
+
+    // 16-channel HMC-like configuration (Section III-D's closing claim).
+    let mk_xbar_ev = || {
+        MultiChannel::new(
+            (0..16)
+                .map(|_| ev_ctrl(presets::hbm_1000_x128(), PagePolicy::Open, AddrMapping::RoRaBaCoCh, 16))
+                .collect(),
+            0,
+        )
+        .unwrap()
+    };
+    let mk_xbar_cy = || {
+        MultiChannel::new(
+            (0..16)
+                .map(|_| cy_ctrl(presets::hbm_1000_x128(), PagePolicy::Open, AddrMapping::RoRaBaCoCh, 16))
+                .collect(),
+            0,
+        )
+        .unwrap()
+    };
+    let (_, ev_s) = timed(|| {
+        let mut g = LinearGen::new(0, 1 << 30, 64, 67, 0, N, 4);
+        t.run(&mut g, &mut mk_xbar_ev())
+    });
+    let (_, cy_s) = timed(|| {
+        let mut g = LinearGen::new(0, 1 << 30, 64, 67, 0, N, 4);
+        t.run(&mut g, &mut mk_xbar_cy())
+    });
+    speedups.push(cy_s / ev_s);
+    table.row([
+        "16-channel HMC-like".to_string(),
+        format!("{ev_s:.3}"),
+        format!("{cy_s:.3}"),
+        format!("{:.1}x", cy_s / ev_s),
+    ]);
+
+    table.print();
+    let avg = speedups.iter().sum::<f64>() / speedups.len() as f64;
+    let max = speedups.iter().cloned().fold(0.0f64, f64::max);
+    println!(
+        "\naverage speedup {}x, max {}x (paper: ~7x average, ~10x max, >10x for 16-channel)",
+        f1(avg),
+        f1(max)
+    );
+}

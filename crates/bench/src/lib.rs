@@ -1,0 +1,269 @@
+//! Shared harness code for the figure/table regeneration binaries.
+//!
+//! Each binary under `src/bin/` regenerates one table or figure of the
+//! paper (see `DESIGN.md` for the index and `EXPERIMENTS.md` for recorded
+//! results):
+//!
+//! ```text
+//! cargo run --release -p dramctrl-bench --bin fig3
+//! ```
+
+#![warn(missing_docs)]
+
+use std::time::Instant;
+
+use dramctrl::{CtrlConfig, DramCtrl, PagePolicy, SchedPolicy};
+use dramctrl_cycle::{CycleConfig, CycleCtrl, CyclePagePolicy, CycleSched};
+use dramctrl_mem::{AddrMapping, MemSpec};
+
+
+/// Builds an event-based controller with the validation defaults.
+pub fn ev_ctrl(
+    spec: MemSpec,
+    policy: PagePolicy,
+    mapping: AddrMapping,
+    channels: u32,
+) -> DramCtrl {
+    let mut cfg = CtrlConfig::new(spec);
+    cfg.page_policy = policy;
+    cfg.mapping = mapping;
+    cfg.channels = channels;
+    cfg.scheduling = SchedPolicy::FrFcfs;
+    DramCtrl::new(cfg).expect("valid config")
+}
+
+/// Builds the matching cycle-based baseline (paper Section III: matched
+/// timing, matched policies, unified queue architecture).
+pub fn cy_ctrl(
+    spec: MemSpec,
+    policy: PagePolicy,
+    mapping: AddrMapping,
+    channels: u32,
+) -> CycleCtrl {
+    let mut cfg = CycleConfig::new(spec);
+    cfg.page_policy = if policy.is_open() {
+        CyclePagePolicy::Open
+    } else {
+        CyclePagePolicy::Closed
+    };
+    cfg.mapping = mapping;
+    cfg.channels = channels;
+    cfg.scheduling = CycleSched::FrFcfs;
+    CycleCtrl::new(cfg).expect("valid config")
+}
+
+/// Runs `f`, returning its result and the host wall-clock seconds spent.
+pub fn timed<R>(f: impl FnOnce() -> R) -> (R, f64) {
+    let start = Instant::now();
+    let r = f();
+    (r, start.elapsed().as_secs_f64())
+}
+
+/// A minimal aligned markdown table printer for the figure binaries.
+#[derive(Debug, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(header: impl IntoIterator<Item = S>) -> Self {
+        Self {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header arity).
+    ///
+    /// # Panics
+    /// Panics on arity mismatch.
+    pub fn row<S: Into<String>>(&mut self, cells: impl IntoIterator<Item = S>) {
+        let row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(row.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(row);
+    }
+
+    /// Renders the table as aligned markdown.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut width = vec![0usize; cols];
+        for row in std::iter::once(&self.header).chain(self.rows.iter()) {
+            for (i, cell) in row.iter().enumerate() {
+                width[i] = width[i].max(cell.len());
+            }
+        }
+        let fmt_row = |row: &[String]| {
+            let cells: Vec<String> = row
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{c:>w$}", w = width[i]))
+                .collect();
+            format!("| {} |", cells.join(" | "))
+        };
+        let mut out = fmt_row(&self.header) + "\n";
+        let dashes: Vec<String> = width.iter().map(|w| "-".repeat(*w)).collect();
+        out += &format!("| {} |\n", dashes.join(" | "));
+        for row in &self.rows {
+            out += &(fmt_row(row) + "\n");
+        }
+        out
+    }
+
+    /// Renders the table as CSV (for plotting scripts).
+    pub fn render_csv(&self) -> String {
+        let esc = |c: &str| {
+            if c.contains(',') || c.contains('"') {
+                format!("\"{}\"", c.replace('"', "\"\""))
+            } else {
+                c.to_owned()
+            }
+        };
+        let mut out = String::new();
+        for row in std::iter::once(&self.header).chain(self.rows.iter()) {
+            let cells: Vec<String> = row.iter().map(|c| esc(c)).collect();
+            out += &(cells.join(",") + "\n");
+        }
+        out
+    }
+
+    /// Prints the rendered table to stdout — as CSV when the process was
+    /// invoked with a `--csv` argument, aligned markdown otherwise.
+    pub fn print(&self) {
+        if std::env::args().any(|a| a == "--csv") {
+            print!("{}", self.render_csv());
+        } else {
+            print!("{}", self.render());
+        }
+    }
+}
+
+/// The bus-utilisation sweeps behind paper Figures 3–5.
+pub mod sweep {
+    use super::*;
+    use dramctrl_traffic::{DramAwareGen, Tester};
+
+    /// One point of a bandwidth sweep.
+    #[derive(Debug, Clone, Copy)]
+    pub struct BwPoint {
+        /// Sequential stride in bursts.
+        pub stride: u64,
+        /// Banks targeted.
+        pub banks: u32,
+        /// Event-based model bus utilisation.
+        pub ev_util: f64,
+        /// Cycle-based baseline bus utilisation.
+        pub cy_util: f64,
+    }
+
+    /// Sweeps stride × banks with the DRAM-aware generator on both models.
+    pub fn bandwidth(
+        spec: &MemSpec,
+        policy: PagePolicy,
+        mapping: AddrMapping,
+        read_pct: u8,
+        strides: &[u64],
+        banks: &[u32],
+        requests: u64,
+    ) -> Vec<BwPoint> {
+        let mut points = Vec::new();
+        let tester = Tester::new(100_000, 1_000);
+        for &b in banks {
+            for &s in strides {
+                let gen = || {
+                    DramAwareGen::new(
+                        spec.org, mapping, 1, 0, s, b, read_pct, 0, requests, 7,
+                    )
+                };
+                let ev = tester.run(&mut gen(), &mut ev_ctrl(spec.clone(), policy, mapping, 1));
+                let cy = tester.run(&mut gen(), &mut cy_ctrl(spec.clone(), policy, mapping, 1));
+                points.push(BwPoint {
+                    stride: s,
+                    banks: b,
+                    ev_util: ev.bus_util,
+                    cy_util: cy.bus_util,
+                });
+            }
+        }
+        points
+    }
+
+    /// Prints a sweep as the figure's table.
+    pub fn print_points(title: &str, points: &[BwPoint]) {
+        println!("{title}\n");
+        let mut t = Table::new(["banks", "stride (bursts)", "event util", "cycle util"]);
+        for p in points {
+            t.row([
+                p.banks.to_string(),
+                p.stride.to_string(),
+                f3(p.ev_util),
+                f3(p.cy_util),
+            ]);
+        }
+        t.print();
+        println!();
+    }
+}
+
+/// Formats a float with 3 decimals.
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// Formats a float with 1 decimal.
+pub fn f1(x: f64) -> String {
+    format!("{x:.1}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned_markdown() {
+        let mut t = Table::new(["a", "long-header"]);
+        t.row(["1", "2"]);
+        t.row(["333", "4"]);
+        let s = t.render();
+        let lines: Vec<_> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines.iter().all(|l| l.len() == lines[0].len()));
+        assert!(s.contains("long-header"));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn row_arity_checked() {
+        let mut t = Table::new(["a"]);
+        t.row(["1", "2"]);
+    }
+
+    #[test]
+    fn controllers_build_for_all_presets() {
+        for spec in dramctrl_mem::presets::all() {
+            let _ = ev_ctrl(
+                spec.clone(),
+                PagePolicy::Open,
+                AddrMapping::RoRaBaCoCh,
+                1,
+            );
+            let _ = cy_ctrl(spec, PagePolicy::Closed, AddrMapping::RoCoRaBaCh, 1);
+        }
+    }
+
+    #[test]
+    fn csv_rendering() {
+        let mut t = Table::new(["a", "b,comma"]);
+        t.row(["1", "x\"y"]);
+        let csv = t.render_csv();
+        assert_eq!(csv, "a,\"b,comma\"\n1,\"x\"\"y\"\n");
+    }
+
+    #[test]
+    fn timed_measures_something() {
+        let (v, secs) = timed(|| 40 + 2);
+        assert_eq!(v, 42);
+        assert!(secs >= 0.0);
+    }
+}

@@ -1,0 +1,258 @@
+//! `dramctrl` — command-line front end to the simulator family.
+//!
+//! ```text
+//! dramctrl devices
+//! dramctrl run --device ddr3-1600 --gen random --reads 70 --requests 100000
+//! dramctrl record --gen linear --requests 10000 -o trace.txt
+//! dramctrl replay trace.txt --device lpddr3 --policy closed
+//! ```
+
+mod args;
+
+use args::{
+    parse_device, parse_duration, parse_mapping, parse_policy, parse_sched, parse_size, ArgError,
+    Args,
+};
+use dramctrl::{CtrlConfig, DramCtrl};
+use dramctrl_cycle::{CycleConfig, CycleCtrl, CyclePagePolicy, CycleSched};
+use dramctrl_mem::{presets, Controller, MemSpec};
+use dramctrl_power::{drampower_energy, micron_power};
+use dramctrl_traffic::{
+    DramAwareGen, LinearGen, RandomGen, TestSummary, Tester, TraceEntry, TraceGen, TrafficGen,
+};
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+dramctrl — event-based DRAM controller simulator (ISPASS 2014 reproduction)
+
+USAGE:
+    dramctrl devices                          list device presets
+    dramctrl run [OPTIONS]                    run a synthetic workload
+    dramctrl record [OPTIONS] -o FILE         write a trace file
+    dramctrl replay FILE [OPTIONS]            replay a trace file
+
+RUN / RECORD OPTIONS:
+    --device NAME        device preset (default ddr3-1600-x64)
+    --model event|cycle  controller model (default event)
+    --gen linear|random|dram-aware   traffic pattern (default linear)
+    --reads PCT          read percentage 0..100 (default 100)
+    --requests N         number of requests (default 100000)
+    --period DUR         inter-transaction time, e.g. 10ns (default 0 = saturate)
+    --range SIZE         address range, e.g. 256MiB (default 256MiB)
+    --block SIZE         request size in bytes (default 64)
+    --stride N           dram-aware: sequential bursts per row (default 8)
+    --banks N            dram-aware: banks targeted (default 4)
+    --policy P           open|open-adaptive|closed|closed-adaptive (default open)
+    --sched S            fcfs|frfcfs (default frfcfs)
+    --mapping M          RoRaBaCoCh|RoRaBaChCo|RoCoRaBaCh (default RoRaBaCoCh)
+    --seed N             RNG seed (default 1)
+    --powerdown DUR      enable power-down after this idle time
+    --energy             also print the DRAMPower-style energy breakdown
+";
+
+fn main() -> ExitCode {
+    let mut argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.is_empty() {
+        eprint!("{USAGE}");
+        return ExitCode::FAILURE;
+    }
+    let cmd = argv.remove(0);
+    let result = match cmd.as_str() {
+        "devices" => devices(),
+        "run" => run(argv),
+        "record" => record(argv),
+        "replay" => replay(argv),
+        "help" | "--help" | "-h" => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        other => Err(ArgError(format!("unknown command {other:?}"))),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("run `dramctrl help` for usage");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn devices() -> Result<(), ArgError> {
+    println!(
+        "{:<18} {:>9} {:>6} {:>6} {:>9} {:>10} {:>11}",
+        "device", "bus bits", "banks", "ranks", "burst B", "peak GB/s", "capacity"
+    );
+    for spec in presets::all() {
+        println!(
+            "{:<18} {:>9} {:>6} {:>6} {:>9} {:>10.2} {:>8} MiB",
+            spec.name,
+            spec.org.bus_width_bits(),
+            spec.org.banks,
+            spec.org.ranks,
+            spec.org.burst_bytes(),
+            spec.peak_bandwidth_gbps(),
+            spec.org.capacity_bytes() >> 20,
+        );
+    }
+    Ok(())
+}
+
+const RUN_OPTS: &[&str] = &[
+    "device", "model", "gen", "reads", "requests", "period", "range", "block", "stride",
+    "banks", "policy", "sched", "mapping", "seed", "powerdown", "energy", "o",
+];
+
+struct WorkloadSpec {
+    spec: MemSpec,
+    gen: Box<dyn TrafficGen>,
+}
+
+fn build_workload(a: &Args) -> Result<WorkloadSpec, ArgError> {
+    let spec = parse_device(a.get("device").unwrap_or("ddr3-1600-x64"))?;
+    let reads: u8 = a.parse_or("reads", 100u8)?;
+    if reads > 100 {
+        return Err(ArgError("--reads must be 0..=100".into()));
+    }
+    let requests: u64 = a.parse_or("requests", 100_000u64)?;
+    let period = parse_duration(a.get("period").unwrap_or("0"))?;
+    let range = parse_size(a.get("range").unwrap_or("256MiB"))?;
+    let block: u32 = a.parse_or("block", 64u32)?;
+    let seed: u64 = a.parse_or("seed", 1u64)?;
+    let mapping = parse_mapping(a.get("mapping").unwrap_or("rorabacoch"))?;
+    let gen: Box<dyn TrafficGen> = match a.get("gen").unwrap_or("linear") {
+        "linear" => Box::new(LinearGen::new(0, range, block, reads, period, requests, seed)),
+        "random" => Box::new(RandomGen::new(0, range, block, reads, period, requests, seed)),
+        "dram-aware" | "dram_aware" => {
+            let stride: u64 = a.parse_or("stride", 8u64)?;
+            let banks: u32 = a.parse_or("banks", 4u32)?;
+            Box::new(DramAwareGen::new(
+                spec.org, mapping, 1, 0, stride, banks, reads, period, requests, seed,
+            ))
+        }
+        other => return Err(ArgError(format!("unknown generator {other:?}"))),
+    };
+    Ok(WorkloadSpec { spec, gen })
+}
+
+fn print_summary(s: &TestSummary, spec: &MemSpec) {
+    println!("requests completed : {}", s.reads_completed + s.writes_completed);
+    println!("  reads / writes   : {} / {}", s.reads_completed, s.writes_completed);
+    println!("simulated time     : {:.3} us", s.duration as f64 / 1e6);
+    println!(
+        "bandwidth          : {:.2} GB/s of {:.2} GB/s peak ({:.1}% bus)",
+        s.bandwidth_gbps,
+        spec.peak_bandwidth_gbps(),
+        s.bus_util * 100.0
+    );
+    println!(
+        "read latency       : mean {:.1} ns, p50 {} ns, p95 {} ns, p99 {} ns",
+        s.read_lat_ns.mean(),
+        s.read_lat_ns.quantile(0.5).unwrap_or(0),
+        s.read_lat_ns.quantile(0.95).unwrap_or(0),
+        s.read_lat_ns.quantile(0.99).unwrap_or(0),
+    );
+    println!("row-hit rate       : {:.1}%", s.ctrl.page_hit_rate() * 100.0);
+}
+
+fn run(argv: Vec<String>) -> Result<(), ArgError> {
+    let a = Args::parse(argv, &["energy"])?;
+    a.ensure_known(RUN_OPTS)?;
+    let WorkloadSpec { spec, mut gen } = build_workload(&a)?;
+    let policy = parse_policy(a.get("policy").unwrap_or("open"))?;
+    let sched = parse_sched(a.get("sched").unwrap_or("frfcfs"))?;
+    let mapping = parse_mapping(a.get("mapping").unwrap_or("rorabacoch"))?;
+    let tester = Tester::new(1_000_000, 10_000);
+
+    match a.get("model").unwrap_or("event") {
+        "event" => {
+            let mut cfg = CtrlConfig::new(spec.clone());
+            cfg.page_policy = policy;
+            cfg.scheduling = sched;
+            cfg.mapping = mapping;
+            if let Some(pd) = a.get("powerdown") {
+                cfg.powerdown_idle = parse_duration(pd)?;
+            }
+            let mut ctrl =
+                DramCtrl::new(cfg).map_err(|e| ArgError(e.to_string()))?;
+            let summary = tester.run(&mut gen, &mut ctrl);
+            println!("== {} (event-based model) ==", spec.name);
+            print_summary(&summary, &spec);
+            let act = Controller::activity(&mut ctrl, summary.duration);
+            let power = micron_power(&spec, &act);
+            println!("DRAM power         : {:.1} mW", power.total_mw());
+            if a.switch("energy") {
+                println!();
+                print!("{}", drampower_energy(&spec, &act).report("energy"));
+            }
+        }
+        "cycle" => {
+            let mut cfg = CycleConfig::new(spec.clone());
+            cfg.page_policy = if policy.is_open() {
+                CyclePagePolicy::Open
+            } else {
+                CyclePagePolicy::Closed
+            };
+            cfg.scheduling = match sched {
+                dramctrl::SchedPolicy::Fcfs => CycleSched::Fcfs,
+                dramctrl::SchedPolicy::FrFcfs => CycleSched::FrFcfs,
+            };
+            cfg.mapping = mapping;
+            let mut ctrl = CycleCtrl::new(cfg).map_err(|e| ArgError(e.to_string()))?;
+            let summary = tester.run(&mut gen, &mut ctrl);
+            println!("== {} (cycle-based baseline) ==", spec.name);
+            print_summary(&summary, &spec);
+            let act = ctrl.activity(summary.duration);
+            println!(
+                "DRAM power         : {:.1} mW",
+                micron_power(&spec, &act).total_mw()
+            );
+        }
+        other => return Err(ArgError(format!("unknown model {other:?}"))),
+    }
+    Ok(())
+}
+
+fn record(argv: Vec<String>) -> Result<(), ArgError> {
+    let a = Args::parse(argv, &[])?;
+    a.ensure_known(RUN_OPTS)?;
+    let out_path = a
+        .get("o")
+        .ok_or_else(|| ArgError("record needs -o/--o FILE".into()))?
+        .to_owned();
+    let WorkloadSpec { mut gen, .. } = build_workload(&a)?;
+    let mut entries = Vec::new();
+    while let Some((tick, req)) = gen.next_request() {
+        entries.push(TraceEntry {
+            tick,
+            cmd: req.cmd,
+            addr: req.addr,
+            size: req.size,
+        });
+    }
+    std::fs::write(&out_path, TraceGen::to_text(&entries))
+        .map_err(|e| ArgError(format!("writing {out_path:?}: {e}")))?;
+    println!("wrote {} requests to {}", entries.len(), out_path);
+    Ok(())
+}
+
+fn replay(argv: Vec<String>) -> Result<(), ArgError> {
+    let a = Args::parse(argv, &["energy"])?;
+    a.ensure_known(RUN_OPTS)?;
+    let [path] = a.positional() else {
+        return Err(ArgError("replay needs exactly one trace file".into()));
+    };
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| ArgError(format!("reading {path:?}: {e}")))?;
+    let mut trace: TraceGen = text.parse().map_err(|e| ArgError(format!("{e}")))?;
+    let spec = parse_device(a.get("device").unwrap_or("ddr3-1600-x64"))?;
+    let mut cfg = CtrlConfig::new(spec.clone());
+    cfg.page_policy = parse_policy(a.get("policy").unwrap_or("open"))?;
+    cfg.scheduling = parse_sched(a.get("sched").unwrap_or("frfcfs"))?;
+    cfg.mapping = parse_mapping(a.get("mapping").unwrap_or("rorabacoch"))?;
+    let mut ctrl = DramCtrl::new(cfg).map_err(|e| ArgError(e.to_string()))?;
+    let summary = Tester::new(1_000_000, 10_000).run(&mut trace, &mut ctrl);
+    println!("== replay of {} on {} ==", path, spec.name);
+    print_summary(&summary, &spec);
+    Ok(())
+}

@@ -1,0 +1,84 @@
+//! End-to-end tests driving the `dramctrl` binary.
+
+use std::process::Command;
+
+fn dramctrl() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_dramctrl"))
+}
+
+#[test]
+fn devices_lists_presets() {
+    let out = dramctrl().arg("devices").output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    for name in ["DDR3-1600-x64", "LPDDR3-1600-x32", "WideIO-200-x128", "HBM-1000-x128"] {
+        assert!(text.contains(name), "missing {name} in\n{text}");
+    }
+}
+
+#[test]
+fn run_reports_bandwidth_and_power() {
+    let out = dramctrl()
+        .args([
+            "run", "--device", "ddr3-1600-x64", "--gen", "linear", "--requests", "5000",
+            "--reads", "80",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("requests completed : 5000"));
+    assert!(text.contains("bandwidth"));
+    assert!(text.contains("DRAM power"));
+}
+
+#[test]
+fn cycle_model_also_runs() {
+    let out = dramctrl()
+        .args(["run", "--model", "cycle", "--requests", "2000"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8(out.stdout).unwrap().contains("cycle-based baseline"));
+}
+
+#[test]
+fn record_then_replay_round_trips() {
+    let dir = std::env::temp_dir().join("dramctrl-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let trace = dir.join("t.trace");
+    let trace_s = trace.to_str().unwrap();
+
+    let out = dramctrl()
+        .args([
+            "record", "--gen", "random", "--requests", "3000", "--reads", "60", "--o", trace_s,
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    let out = dramctrl()
+        .args(["replay", trace_s, "--device", "lpddr3", "--policy", "closed"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("requests completed : 3000"));
+    assert!(text.contains("LPDDR3"));
+}
+
+#[test]
+fn bad_arguments_fail_cleanly() {
+    for args in [
+        vec!["run", "--device", "sram"],
+        vec!["run", "--bogus", "1"],
+        vec!["frobnicate"],
+        vec!["replay"],
+        vec!["run", "--reads", "150"],
+    ] {
+        let out = dramctrl().args(&args).output().unwrap();
+        assert!(!out.status.success(), "{args:?} should fail");
+        let err = String::from_utf8(out.stderr).unwrap();
+        assert!(err.contains("error:"), "{args:?}: {err}");
+    }
+}

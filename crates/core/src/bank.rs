@@ -1,0 +1,295 @@
+//! Bank and rank state.
+//!
+//! The paper's key modelling insight (Section II-B): DRAM behaviour is
+//! captured by tracking, per bank, the *earliest tick* at which each command
+//! class may issue, rather than stepping a DRAM state machine every cycle.
+//! A simplified DRAM state machine is thus implicitly encoded in these
+//! timestamps.
+
+use dramctrl_kernel::Tick;
+use std::collections::{BTreeMap, VecDeque};
+
+/// Per-bank state: the open row and the earliest-allowed times for
+/// activate, precharge and column commands.
+#[derive(Debug, Clone, Default)]
+pub struct Bank {
+    /// Currently open row, if any.
+    pub open_row: Option<u64>,
+    /// Earliest tick an ACT to this bank may issue.
+    pub act_allowed_at: Tick,
+    /// Earliest tick a PRE to this bank may issue.
+    pub pre_allowed_at: Tick,
+    /// Earliest tick a RD/WR to this bank may issue.
+    pub col_allowed_at: Tick,
+    /// Column accesses since the row was opened (for the starvation guard).
+    pub row_accesses: u32,
+}
+
+/// Per-rank state: the banks plus the rolling activation window that
+/// enforces `t_rrd` and the generalised `t_xaw` constraint, and the refresh
+/// schedule.
+#[derive(Debug, Clone)]
+pub struct Rank {
+    /// The banks of this rank.
+    pub banks: Vec<Bank>,
+    /// Ticks of the most recent activates, newest at the back; bounded by
+    /// the activation limit.
+    act_window: VecDeque<Tick>,
+    /// Earliest tick the *next* ACT to any bank of this rank may issue
+    /// (enforces `t_rrd`).
+    pub next_act_at: Tick,
+    /// Tick at which the next refresh becomes due.
+    pub refresh_due: Tick,
+    /// End of the most recent (or in-progress) refresh.
+    pub refresh_done: Tick,
+    /// Tracks how many banks are open over time, for the power model's
+    /// "time with all banks precharged" statistic.
+    pub timeline: OpenTimeline,
+    /// Whether the rank is in precharge power-down.
+    pub powered_down: bool,
+    /// Whether the rank has descended into self-refresh.
+    pub self_refreshing: bool,
+    /// Tick at which the current low-power episode (or its self-refresh
+    /// phase) began.
+    pub pd_since: Tick,
+    /// Accumulated power-down time from completed episodes.
+    pub pd_time: Tick,
+    /// Accumulated self-refresh time from completed episodes.
+    pub sr_time: Tick,
+}
+
+impl Rank {
+    /// Creates a rank with `banks` closed banks; the first refresh is due
+    /// at `t_refi`.
+    pub fn new(banks: u32, t_refi: Tick) -> Self {
+        Self {
+            banks: vec![Bank::default(); banks as usize],
+            act_window: VecDeque::new(),
+            next_act_at: 0,
+            refresh_due: if t_refi == 0 { Tick::MAX } else { t_refi },
+            refresh_done: 0,
+            timeline: OpenTimeline::new(),
+            powered_down: false,
+            self_refreshing: false,
+            pd_since: 0,
+            pd_time: 0,
+            sr_time: 0,
+        }
+    }
+
+    /// Computes the earliest tick an ACT may issue given the rolling
+    /// activation window, without recording it. `earliest` already reflects
+    /// the bank's own `act_allowed_at` and the rank's `t_rrd` constraint.
+    pub fn act_constrained(&self, earliest: Tick, t_xaw: Tick, limit: u32) -> Tick {
+        if limit == 0 || (self.act_window.len() as u32) < limit {
+            earliest
+        } else {
+            // The oldest of the last `limit` activates pins the window.
+            let oldest = self.act_window[self.act_window.len() - limit as usize];
+            earliest.max(oldest + t_xaw)
+        }
+    }
+
+    /// Records an ACT at `at` and updates the rank-wide constraints.
+    pub fn record_act(&mut self, at: Tick, t_rrd: Tick, limit: u32) {
+        debug_assert!(
+            self.act_window.back().is_none_or(|&last| at >= last),
+            "activates must be recorded in order"
+        );
+        self.next_act_at = self.next_act_at.max(at + t_rrd);
+        if limit > 0 {
+            self.act_window.push_back(at);
+            while self.act_window.len() > limit as usize {
+                self.act_window.pop_front();
+            }
+        }
+    }
+
+    /// Number of banks with an open row.
+    #[allow(dead_code)] // exercised by tests; kept for diagnostics
+    pub fn open_banks(&self) -> usize {
+        self.banks.iter().filter(|b| b.open_row.is_some()).count()
+    }
+}
+
+/// Integrates the number-of-open-banks signal over time to produce the
+/// "time with all banks precharged" statistic required by the Micron power
+/// model (paper Section II-G).
+///
+/// Opens and closes are decided with *future* timestamps (the controller
+/// skips ahead); deltas are buffered in a small ordered map and folded into
+/// the running integral once simulated time passes them.
+#[derive(Debug, Clone, Default)]
+pub struct OpenTimeline {
+    pending: BTreeMap<Tick, i64>,
+    open: i64,
+    frontier: Tick,
+    time_all_closed: Tick,
+    time_some_open: Tick,
+}
+
+impl OpenTimeline {
+    /// Creates an empty timeline at tick 0 with all banks closed.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records that a bank opens at `at`.
+    pub fn open_at(&mut self, at: Tick) {
+        *self.pending.entry(at.max(self.frontier)).or_insert(0) += 1;
+    }
+
+    /// Records that a bank closes at `at`.
+    pub fn close_at(&mut self, at: Tick) {
+        *self.pending.entry(at.max(self.frontier)).or_insert(0) -= 1;
+    }
+
+    /// Folds all deltas at or before `now` into the running integral.
+    pub fn sync(&mut self, now: Tick) {
+        if now < self.frontier {
+            return;
+        }
+        while let Some((&t, _)) = self.pending.first_key_value() {
+            if t > now {
+                break;
+            }
+            let (t, delta) = self.pending.pop_first().expect("checked non-empty");
+            self.account(t);
+            self.open += delta;
+            debug_assert!(self.open >= 0, "more closes than opens");
+        }
+        self.account(now);
+    }
+
+    fn account(&mut self, until: Tick) {
+        let span = until - self.frontier;
+        if self.open == 0 {
+            self.time_all_closed += span;
+        } else {
+            self.time_some_open += span;
+        }
+        self.frontier = until;
+    }
+
+    /// Time spent with zero banks open, up to the last `sync`.
+    pub fn time_all_closed(&self) -> Tick {
+        self.time_all_closed
+    }
+
+    /// Time spent with at least one bank open, up to the last `sync`.
+    #[allow(dead_code)] // exercised by tests; kept for diagnostics
+    pub fn time_some_open(&self) -> Tick {
+        self.time_some_open
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xaw_window_gates_fifth_act() {
+        // activation_limit = 4, t_xaw = 40 ns.
+        let mut rank = Rank::new(8, 0);
+        let (t_rrd, t_xaw, limit) = (6_000, 40_000, 4);
+        let mut at = 0;
+        let mut acts = Vec::new();
+        for _ in 0..5 {
+            at = rank.act_constrained(at.max(rank.next_act_at), t_xaw, limit);
+            rank.record_act(at, t_rrd, limit);
+            acts.push(at);
+        }
+        // First four pace at tRRD: 0, 6, 12, 18 ns.
+        assert_eq!(&acts[..4], &[0, 6_000, 12_000, 18_000]);
+        // The fifth must wait for the window: 0 + 40 ns, not 24 ns.
+        assert_eq!(acts[4], 40_000);
+    }
+
+    #[test]
+    fn no_limit_means_only_rrd() {
+        let mut rank = Rank::new(4, 0);
+        let mut at = 0;
+        for i in 0..10 {
+            at = rank.act_constrained(at.max(rank.next_act_at), 40_000, 0);
+            rank.record_act(at, 6_000, 0);
+            assert_eq!(at, i * 6_000);
+        }
+    }
+
+    #[test]
+    fn wideio_limit_two() {
+        // WideIO: activation limit 2, t_xaw = 50 ns, t_rrd = 10 ns.
+        let mut rank = Rank::new(4, 0);
+        let mut acts = Vec::new();
+        let mut at = 0;
+        for _ in 0..4 {
+            at = rank.act_constrained(at.max(rank.next_act_at), 50_000, 2);
+            rank.record_act(at, 10_000, 2);
+            acts.push(at);
+        }
+        // 0, 10 (tRRD), then window: 0+50, 10+50.
+        assert_eq!(acts, vec![0, 10_000, 50_000, 60_000]);
+    }
+
+    #[test]
+    fn refresh_due_initialised_from_refi() {
+        let r = Rank::new(8, 7_800_000);
+        assert_eq!(r.refresh_due, 7_800_000);
+        let never = Rank::new(8, 0);
+        assert_eq!(never.refresh_due, Tick::MAX);
+    }
+
+    #[test]
+    fn open_banks_counts() {
+        let mut r = Rank::new(4, 0);
+        assert_eq!(r.open_banks(), 0);
+        r.banks[1].open_row = Some(7);
+        r.banks[3].open_row = Some(9);
+        assert_eq!(r.open_banks(), 2);
+    }
+
+    #[test]
+    fn timeline_integrates_intervals() {
+        let mut tl = OpenTimeline::new();
+        tl.open_at(100);
+        tl.close_at(300);
+        tl.sync(1_000);
+        assert_eq!(tl.time_some_open(), 200);
+        assert_eq!(tl.time_all_closed(), 800);
+    }
+
+    #[test]
+    fn timeline_overlapping_banks() {
+        let mut tl = OpenTimeline::new();
+        tl.open_at(0); // bank A
+        tl.open_at(50); // bank B
+        tl.close_at(100); // A closes
+        tl.close_at(200); // B closes
+        tl.sync(400);
+        assert_eq!(tl.time_some_open(), 200);
+        assert_eq!(tl.time_all_closed(), 200);
+    }
+
+    #[test]
+    fn timeline_partial_sync_then_more() {
+        let mut tl = OpenTimeline::new();
+        tl.open_at(100);
+        tl.sync(50); // nothing folded yet
+        assert_eq!(tl.time_all_closed(), 50);
+        tl.close_at(150);
+        tl.sync(200);
+        assert_eq!(tl.time_some_open(), 50);
+        assert_eq!(tl.time_all_closed(), 150);
+    }
+
+    #[test]
+    fn timeline_sync_is_idempotent() {
+        let mut tl = OpenTimeline::new();
+        tl.open_at(10);
+        tl.close_at(20);
+        tl.sync(100);
+        let (a, b) = (tl.time_all_closed(), tl.time_some_open());
+        tl.sync(100);
+        assert_eq!((a, b), (tl.time_all_closed(), tl.time_some_open()));
+    }
+}

@@ -1,0 +1,971 @@
+//! The event-based DRAM controller (the paper's contribution, Section II).
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use dramctrl_kernel::{EventQueue, Tick};
+use dramctrl_mem::{ActivityStats, MemCmd, MemRequest, MemResponse};
+
+use crate::bank::Rank;
+use crate::config::{ConfigError, CtrlConfig, PagePolicy, SchedPolicy};
+use crate::queue::{burst_count, chop, covers, BurstGroup, DramPacket, GroupArena};
+use crate::stats::CtrlStats;
+
+/// Why a request was rejected by [`DramCtrl::try_send`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SendError {
+    /// The read queue cannot hold all bursts of the request; retry once
+    /// responses have drained.
+    ReadQueueFull,
+    /// The write queue cannot hold all bursts of the request; retry once
+    /// writes have drained.
+    WriteQueueFull,
+    /// The request spans more bursts than the queue can ever hold.
+    TooLarge {
+        /// Bursts required by the request.
+        bursts: usize,
+        /// Queue capacity in bursts.
+        capacity: usize,
+    },
+}
+
+impl fmt::Display for SendError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SendError::ReadQueueFull => write!(f, "read queue full"),
+            SendError::WriteQueueFull => write!(f, "write queue full"),
+            SendError::TooLarge { bursts, capacity } => {
+                write!(f, "request needs {bursts} bursts, queue holds {capacity}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SendError {}
+
+/// Internal controller events: the model only executes at these points
+/// (paper Section II-D).
+#[derive(Debug)]
+enum Ev {
+    /// Consider issuing the next request from the read or write queue.
+    NextReq,
+    /// Deliver a response (read completion, early write ack, forwarded
+    /// read) to the master.
+    Ack(MemResponse),
+    /// A rank's refresh interval elapsed.
+    Refresh(u32),
+    /// Idle long enough? Consider entering precharge power-down.
+    PowerDownCheck,
+    /// Powered down long enough? Consider descending into self-refresh.
+    SelfRefreshCheck,
+}
+
+/// Data-bus direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BusState {
+    Read,
+    Write,
+}
+
+/// The event-based DRAM controller model.
+///
+/// The controller owns split read and write queues, per-bank timing state
+/// and a private event queue; it is driven from the outside through a pull
+/// interface:
+///
+/// 1. [`try_send`](Self::try_send) — offer a request (flow control via
+///    [`SendError`]);
+/// 2. [`next_event`](Self::next_event) — the tick of the controller's next
+///    internal event, letting the harness skip ahead;
+/// 3. [`advance_to`](Self::advance_to) — execute all events up to a tick,
+///    collecting responses.
+///
+/// All calls must use non-decreasing `now` values.
+///
+/// # Example
+///
+/// ```
+/// use dramctrl::{CtrlConfig, DramCtrl};
+/// use dramctrl_mem::{presets, MemRequest, ReqId};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut ctrl = DramCtrl::new(CtrlConfig::new(presets::ddr3_1333_x64()))?;
+/// ctrl.try_send(MemRequest::read(ReqId(0), 0x80, 64), 0)?;
+/// let mut responses = Vec::new();
+/// ctrl.drain(&mut responses);
+/// assert_eq!(responses.len(), 1);
+/// // Idle bank: tRCD + tCL + tBURST = 13.5 + 13.5 + 6 ns.
+/// assert_eq!(responses[0].ready_at, 33_000);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct DramCtrl {
+    cfg: CtrlConfig,
+    events: EventQueue<Ev>,
+    read_q: VecDeque<DramPacket>,
+    write_q: VecDeque<DramPacket>,
+    groups: GroupArena,
+    ranks: Vec<Rank>,
+    bus_state: BusState,
+    /// Direction of the most recent data burst (for turnaround timing).
+    last_burst_read: Option<bool>,
+    bus_busy_until: Tick,
+    writes_this_switch: usize,
+    next_req_scheduled: bool,
+    draining: bool,
+    /// Write drain forced by an imminent power-down entry.
+    pd_drain: bool,
+    pd_check_scheduled: bool,
+    last_activity: Tick,
+    stats: CtrlStats,
+}
+
+impl DramCtrl {
+    /// Creates a controller for the given configuration.
+    ///
+    /// # Errors
+    /// Returns a [`ConfigError`] if the configuration is inconsistent (see
+    /// [`CtrlConfig::validate`]).
+    pub fn new(cfg: CtrlConfig) -> Result<Self, ConfigError> {
+        cfg.validate()?;
+        let ranks = (0..cfg.spec.org.ranks)
+            .map(|_| Rank::new(cfg.spec.org.banks, cfg.spec.timing.t_refi))
+            .collect::<Vec<_>>();
+        let mut events = EventQueue::new();
+        for (i, r) in ranks.iter().enumerate() {
+            if r.refresh_due != Tick::MAX {
+                events.schedule(r.refresh_due, Ev::Refresh(i as u32));
+            }
+        }
+        Ok(Self {
+            cfg,
+            events,
+            read_q: VecDeque::new(),
+            write_q: VecDeque::new(),
+            groups: GroupArena::default(),
+            ranks,
+            bus_state: BusState::Read,
+            last_burst_read: None,
+            bus_busy_until: 0,
+            writes_this_switch: 0,
+            next_req_scheduled: false,
+            draining: false,
+            pd_drain: false,
+            pd_check_scheduled: false,
+            last_activity: 0,
+            stats: CtrlStats::default(),
+        })
+    }
+
+    /// The controller's configuration.
+    pub fn config(&self) -> &CtrlConfig {
+        &self.cfg
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &CtrlStats {
+        &self.stats
+    }
+
+    /// Whether a request of `cmd`/`addr`/`size` would currently be
+    /// accepted.
+    pub fn can_accept(&self, cmd: MemCmd, addr: u64, size: u32) -> bool {
+        let n = burst_count(addr, size, self.cfg.spec.org.burst_bytes());
+        match cmd {
+            MemCmd::Read => self.read_q.len() + n <= self.cfg.read_buffer_size,
+            MemCmd::Write => self.write_q.len() + n <= self.cfg.write_buffer_size,
+        }
+    }
+
+    /// Whether all queues (and in-flight state) are empty.
+    pub fn is_idle(&self) -> bool {
+        self.read_q.is_empty() && self.write_q.is_empty()
+    }
+
+    /// Current read-queue depth in bursts.
+    pub fn read_queue_len(&self) -> usize {
+        self.read_q.len()
+    }
+
+    /// Current write-queue depth in bursts.
+    pub fn write_queue_len(&self) -> usize {
+        self.write_q.len()
+    }
+
+    /// The row currently open in the given bank, for tests and debugging.
+    ///
+    /// # Panics
+    /// Panics if `rank` or `bank` is out of range.
+    #[doc(hidden)]
+    pub fn open_row(&self, rank: u32, bank: u32) -> Option<u64> {
+        self.ranks[rank as usize].banks[bank as usize].open_row
+    }
+
+    /// Offers a request to the controller at time `now`.
+    ///
+    /// Reads snoop the write queue and may be serviced without touching
+    /// DRAM; writes receive an early acknowledgement and sub-burst writes
+    /// merge into covering queue entries (paper Section II-A). Responses
+    /// (including write acks) are delivered through
+    /// [`advance_to`](Self::advance_to).
+    ///
+    /// # Errors
+    /// [`SendError::ReadQueueFull`]/[`SendError::WriteQueueFull`] when the
+    /// queue lacks space (retry later), [`SendError::TooLarge`] when the
+    /// request can never fit.
+    ///
+    /// # Panics
+    /// Panics if `size` is zero or `now` precedes an already-processed
+    /// event.
+    pub fn try_send(&mut self, req: MemRequest, now: Tick) -> Result<(), SendError> {
+        assert!(req.size > 0, "zero-sized request");
+        self.last_activity = self.last_activity.max(now);
+        self.pd_drain = false;
+        self.wake_ranks(now);
+        let burst_bytes = self.cfg.spec.org.burst_bytes();
+        let n = burst_count(req.addr, req.size, burst_bytes);
+        match req.cmd {
+            MemCmd::Read => {
+                if n > self.cfg.read_buffer_size {
+                    return Err(SendError::TooLarge {
+                        bursts: n,
+                        capacity: self.cfg.read_buffer_size,
+                    });
+                }
+                if self.read_q.len() + n > self.cfg.read_buffer_size {
+                    return Err(SendError::ReadQueueFull);
+                }
+                self.stats.reads_accepted += 1;
+                self.enqueue_read(req, now);
+            }
+            MemCmd::Write => {
+                if n > self.cfg.write_buffer_size {
+                    return Err(SendError::TooLarge {
+                        bursts: n,
+                        capacity: self.cfg.write_buffer_size,
+                    });
+                }
+                if self.write_q.len() + n > self.cfg.write_buffer_size {
+                    return Err(SendError::WriteQueueFull);
+                }
+                self.stats.writes_accepted += 1;
+                self.enqueue_write(req, now);
+            }
+        }
+        Ok(())
+    }
+
+    fn enqueue_read(&mut self, req: MemRequest, now: Tick) {
+        let org = &self.cfg.spec.org;
+        let burst_bytes = org.burst_bytes();
+        let gidx = self.groups.insert(BurstGroup {
+            req,
+            remaining: 0,
+            ready_at: 0,
+        });
+        let mut pending = 0u32;
+        for (burst_addr, lo, hi) in chop(req.addr, req.size, burst_bytes) {
+            if self.write_q.iter().any(|w| covers(w, burst_addr, lo, hi)) {
+                self.stats.forwarded_reads += 1;
+                continue;
+            }
+            let da = self.cfg.mapping.decode(burst_addr, org, self.cfg.channels);
+            self.read_q.push_back(DramPacket {
+                is_read: true,
+                burst_addr,
+                lo,
+                hi,
+                da,
+                entry_time: now,
+                priority: self.cfg.priority_of(req.source),
+                group: Some(gidx),
+            });
+            pending += 1;
+        }
+        self.stats.rdq_occ.update(self.read_q.len(), now);
+        if pending == 0 {
+            // Entirely serviced from the write queue.
+            self.groups.remove(gidx);
+            let ready = now + self.cfg.frontend_latency;
+            self.events.schedule(
+                ready.max(self.events.now()),
+                Ev::Ack(MemResponse::to(&req, ready)),
+            );
+        } else {
+            self.groups.get_mut(gidx).remaining = pending;
+            self.schedule_next_req(now);
+        }
+    }
+
+    fn enqueue_write(&mut self, req: MemRequest, now: Tick) {
+        let org = &self.cfg.spec.org;
+        let burst_bytes = org.burst_bytes();
+        for (burst_addr, lo, hi) in chop(req.addr, req.size, burst_bytes) {
+            if self.write_q.iter().any(|w| covers(w, burst_addr, lo, hi)) {
+                self.stats.merged_writes += 1;
+                continue;
+            }
+            let da = self.cfg.mapping.decode(burst_addr, org, self.cfg.channels);
+            self.write_q.push_back(DramPacket {
+                is_read: false,
+                burst_addr,
+                lo,
+                hi,
+                da,
+                entry_time: now,
+                priority: self.cfg.priority_of(req.source),
+                group: None,
+            });
+        }
+        self.stats.wrq_occ.update(self.write_q.len(), now);
+        // Early write response (paper Section II-A).
+        let ready = now + self.cfg.frontend_latency;
+        self.events.schedule(
+            ready.max(self.events.now()),
+            Ev::Ack(MemResponse::to(&req, ready)),
+        );
+        self.schedule_next_req(now);
+    }
+
+    /// Schedules the next scheduling decision, paced by the data bus: the
+    /// decision fires no earlier than one bank-preparation time
+    /// (tRP + tRCD + tCL) before the bus frees. This keeps the controller
+    /// from racing arbitrarily far ahead of simulated time when masters
+    /// inject faster than the DRAM can serve — decisions, refreshes and
+    /// arrivals stay causally interleaved, while bank preparation still
+    /// overlaps the in-flight data transfer.
+    fn schedule_next_req(&mut self, at: Tick) {
+        if !self.next_req_scheduled {
+            let t = &self.cfg.spec.timing;
+            let prep = t.t_rp + t.t_rcd + t.t_cl;
+            let at = at
+                .max(self.bus_busy_until.saturating_sub(prep))
+                .max(self.events.now());
+            self.events.schedule(at, Ev::NextReq);
+            self.next_req_scheduled = true;
+        }
+    }
+
+    /// The tick of the controller's next internal event, if any.
+    pub fn next_event(&self) -> Option<Tick> {
+        self.events.peek_tick()
+    }
+
+    /// Executes all internal events up to and including `limit`, appending
+    /// any responses that become ready to `out`.
+    pub fn advance_to(&mut self, limit: Tick, out: &mut Vec<MemResponse>) {
+        while let Some((t, ev)) = self.events.pop_until(limit) {
+            self.stats.events_processed += 1;
+            match ev {
+                Ev::NextReq => {
+                    self.next_req_scheduled = false;
+                    self.process_next_req(t);
+                }
+                Ev::Ack(resp) => out.push(resp),
+                Ev::Refresh(rank) => self.process_refresh(rank as usize, t),
+                Ev::PowerDownCheck => {
+                    self.pd_check_scheduled = false;
+                    self.process_pd_check(t);
+                }
+                Ev::SelfRefreshCheck => self.process_sr_check(t),
+            }
+        }
+    }
+
+    /// Drains all queued requests (ignoring the write low watermark),
+    /// returning the tick at which the controller went idle. Responses are
+    /// appended to `out`.
+    ///
+    /// Refresh events recur forever, so draining stops once the queues are
+    /// empty and only the per-rank refresh events remain pending.
+    pub fn drain(&mut self, out: &mut Vec<MemResponse>) -> Tick {
+        self.draining = true;
+        self.schedule_next_req(self.events.now());
+        loop {
+            if self.is_idle() && self.events.len() == self.refresh_event_count() {
+                break;
+            }
+            let Some(t) = self.next_event() else { break };
+            self.advance_to(t, out);
+        }
+        self.draining = false;
+        self.events.now()
+    }
+
+    fn refresh_event_count(&self) -> usize {
+        self.ranks
+            .iter()
+            .filter(|r| r.refresh_due != Tick::MAX)
+            .count()
+    }
+
+    // ------------------------------------------------------------------
+    // Event processing
+    // ------------------------------------------------------------------
+
+    fn process_next_req(&mut self, now: Tick) {
+        // First level of scheduling: bus direction (paper Section II-C).
+        match self.bus_state {
+            BusState::Read => {
+                if self.read_q.is_empty() {
+                    let threshold = if self.draining || self.pd_drain {
+                        1
+                    } else {
+                        self.cfg.write_low_entries().max(1)
+                    };
+                    if self.write_q.len() >= threshold {
+                        self.bus_state = BusState::Write;
+                        self.writes_this_switch = 0;
+                    } else {
+                        // Idle: keep writes on chip; maybe power down.
+                        self.maybe_schedule_pd_check(now);
+                        return;
+                    }
+                } else if self.write_q.len() >= self.cfg.write_high_entries() {
+                    // Forced switch at the high watermark.
+                    self.bus_state = BusState::Write;
+                    self.writes_this_switch = 0;
+                }
+            }
+            BusState::Write => {
+                if self.write_q.is_empty() {
+                    self.bus_state = BusState::Read;
+                    if self.read_q.is_empty() {
+                        self.maybe_schedule_pd_check(now);
+                        return;
+                    }
+                }
+            }
+        }
+
+        // Second level: pick a request from the active queue.
+        let is_read = self.bus_state == BusState::Read;
+        let idx = self.choose_next(is_read, now);
+        let pkt = if is_read {
+            self.read_q.remove(idx).expect("chosen index in range")
+        } else {
+            self.write_q.remove(idx).expect("chosen index in range")
+        };
+        if is_read {
+            self.stats.rdq_occ.update(self.read_q.len(), now);
+        } else {
+            self.stats.wrq_occ.update(self.write_q.len(), now);
+        }
+
+        let (data_start, data_end) = self.do_access(&pkt, now);
+
+        if pkt.is_read {
+            let ready = data_end + self.cfg.frontend_latency + self.cfg.backend_latency;
+            self.stats.queue_lat.record((now - pkt.entry_time) as f64);
+            self.stats.bank_lat.record((data_start - now) as f64);
+            self.stats.total_lat.record((ready - pkt.entry_time) as f64);
+            let gidx = pkt.group.expect("read packets carry a group");
+            let group = self.groups.get_mut(gidx);
+            group.remaining -= 1;
+            group.ready_at = group.ready_at.max(ready);
+            if group.remaining == 0 {
+                let group = self.groups.remove(gidx);
+                self.events.schedule(
+                    group.ready_at,
+                    Ev::Ack(MemResponse::to(&group.req, group.ready_at)),
+                );
+            }
+        } else {
+            self.writes_this_switch += 1;
+            // Switch back to reads? (paper: minimum writes per switch,
+            // unless the queue empties or, absent reads, the low watermark
+            // is reached.)
+            let switch_back = self.write_q.is_empty()
+                || (!self.read_q.is_empty()
+                    && self.writes_this_switch >= self.cfg.min_writes_per_switch)
+                || (self.read_q.is_empty()
+                    && !self.draining
+                    && !self.pd_drain
+                    && self.write_q.len() < self.cfg.write_low_entries());
+            if switch_back {
+                self.bus_state = BusState::Read;
+            }
+        }
+
+        // Schedule the next scheduling decision (paced by the bus inside
+        // `schedule_next_req`).
+        if !self.read_q.is_empty() || !self.write_q.is_empty() {
+            self.schedule_next_req(now);
+        } else {
+            self.maybe_schedule_pd_check(now);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Power-down (extension beyond the paper; see CtrlConfig::powerdown_idle)
+    // ------------------------------------------------------------------
+
+    /// Arms a power-down check for one idle period from now (or from the
+    /// end of the in-flight data transfer, whichever is later).
+    fn maybe_schedule_pd_check(&mut self, now: Tick) {
+        // Armed when no reads are pending; parked writes are drained by the
+        // check itself before entering power-down.
+        if self.cfg.powerdown_idle == 0
+            || self.pd_check_scheduled
+            || self.ranks.iter().all(|r| r.powered_down)
+            || !self.read_q.is_empty()
+        {
+            return;
+        }
+        let at = now
+            .max(self.bus_busy_until)
+            .max(self.last_activity)
+            + self.cfg.powerdown_idle;
+        self.events
+            .schedule(at.max(self.events.now()), Ev::PowerDownCheck);
+        self.pd_check_scheduled = true;
+    }
+
+    /// Enters precharge power-down on every rank if the controller has
+    /// stayed idle for the configured period.
+    fn process_pd_check(&mut self, now: Tick) {
+        if self.cfg.powerdown_idle == 0 || !self.read_q.is_empty() {
+            return;
+        }
+        let idle_since = self.last_activity.max(self.bus_busy_until);
+        if now < idle_since + self.cfg.powerdown_idle {
+            // Activity happened since the check was armed; re-arm.
+            self.maybe_schedule_pd_check(now);
+            return;
+        }
+        if !self.write_q.is_empty() {
+            // Flush parked writes first; once the queue empties the idle
+            // path re-arms this check and power-down follows.
+            self.pd_drain = true;
+            self.schedule_next_req(now);
+            return;
+        }
+        self.pd_drain = false;
+        let t = self.cfg.spec.timing;
+        for ri in 0..self.ranks.len() {
+            if self.ranks[ri].powered_down {
+                continue;
+            }
+            // All banks must be precharged before entering power-down.
+            let mut entry = now;
+            let banks = self.ranks[ri].banks.len();
+            for bi in 0..banks {
+                let bank = &mut self.ranks[ri].banks[bi];
+                if bank.open_row.is_some() {
+                    let pre_at = bank.pre_allowed_at.max(now);
+                    bank.open_row = None;
+                    bank.act_allowed_at = bank.act_allowed_at.max(pre_at + t.t_rp);
+                    entry = entry.max(pre_at + t.t_rp);
+                    self.ranks[ri].timeline.close_at(pre_at);
+                    self.stats.precharges += 1;
+                }
+            }
+            let rank = &mut self.ranks[ri];
+            rank.powered_down = true;
+            rank.self_refreshing = false;
+            rank.pd_since = entry;
+            self.stats.powerdowns += 1;
+        }
+        if self.cfg.selfrefresh_after > 0 {
+            let latest_entry = self
+                .ranks
+                .iter()
+                .filter(|r| r.powered_down)
+                .map(|r| r.pd_since)
+                .max()
+                .unwrap_or(now);
+            self.events.schedule(
+                (latest_entry + self.cfg.selfrefresh_after).max(self.events.now()),
+                Ev::SelfRefreshCheck,
+            );
+        }
+    }
+
+    /// Descends still-powered-down ranks into self-refresh once they have
+    /// been powered down for `selfrefresh_after`.
+    fn process_sr_check(&mut self, now: Tick) {
+        for rank in &mut self.ranks {
+            if rank.powered_down
+                && !rank.self_refreshing
+                && now >= rank.pd_since + self.cfg.selfrefresh_after
+            {
+                // Close the power-down chapter, open the self-refresh one.
+                rank.pd_time += now - rank.pd_since;
+                rank.self_refreshing = true;
+                rank.pd_since = now;
+                self.stats.self_refreshes += 1;
+            }
+        }
+    }
+
+    /// Exits power-down on all ranks (new work arrived); the first command
+    /// to each rank pays the `t_xp` exit latency.
+    fn wake_ranks(&mut self, now: Tick) {
+        let t = self.cfg.spec.timing;
+        for rank in &mut self.ranks {
+            if !rank.powered_down {
+                continue;
+            }
+            let exit = if rank.self_refreshing {
+                rank.sr_time += now.saturating_sub(rank.pd_since);
+                t.t_xs
+            } else {
+                rank.pd_time += now.saturating_sub(rank.pd_since);
+                t.t_xp
+            };
+            rank.powered_down = false;
+            rank.self_refreshing = false;
+            rank.next_act_at = rank.next_act_at.max(now + exit);
+            for bank in &mut rank.banks {
+                bank.act_allowed_at = bank.act_allowed_at.max(now + exit);
+            }
+        }
+    }
+
+    /// FR-FCFS / FCFS selection (paper Section II-C): index into the active
+    /// queue of the packet to serve next.
+    fn choose_next(&self, is_read: bool, now: Tick) -> usize {
+        let queue = if is_read { &self.read_q } else { &self.write_q };
+        debug_assert!(!queue.is_empty());
+        // QoS first level: only the highest priority class present in the
+        // queue competes for the slot (paper Section II-C).
+        let top = queue.iter().map(|p| p.priority).max().expect("non-empty");
+        let eligible = |p: &DramPacket| p.priority == top;
+        match self.cfg.scheduling {
+            SchedPolicy::Fcfs => queue
+                .iter()
+                .position(eligible)
+                .expect("some packet has the top priority"),
+            SchedPolicy::FrFcfs => {
+                // First ready: prefer the oldest row hit in the class.
+                for (i, pkt) in queue.iter().enumerate() {
+                    if !eligible(pkt) {
+                        continue;
+                    }
+                    let bank = &self.ranks[pkt.da.rank as usize].banks[pkt.da.bank as usize];
+                    if bank.open_row == Some(pkt.da.row) {
+                        return i;
+                    }
+                }
+                // No row hits: the packet whose bank can deliver data
+                // soonest (first available bank), FCFS on ties.
+                let mut best = 0;
+                let mut best_at = Tick::MAX;
+                for (i, pkt) in queue.iter().enumerate() {
+                    if !eligible(pkt) {
+                        continue;
+                    }
+                    let at = self.estimate_col_at(pkt, now);
+                    if at < best_at {
+                        best_at = at;
+                        best = i;
+                    }
+                }
+                best
+            }
+        }
+    }
+
+    /// Earliest tick the column command for `pkt` could issue, used by the
+    /// FR-FCFS "first available bank" rule.
+    fn estimate_col_at(&self, pkt: &DramPacket, now: Tick) -> Tick {
+        let t = &self.cfg.spec.timing;
+        let rank = &self.ranks[pkt.da.rank as usize];
+        let bank = &rank.banks[pkt.da.bank as usize];
+        match bank.open_row {
+            Some(row) if row == pkt.da.row => bank.col_allowed_at.max(now),
+            Some(_) => {
+                // Precharge, activate, then the column command.
+                let pre_at = bank.pre_allowed_at.max(now);
+                let act_at = rank.act_constrained(
+                    (pre_at + t.t_rp).max(rank.next_act_at),
+                    t.t_xaw,
+                    t.activation_limit,
+                );
+                act_at + t.t_rcd
+            }
+            None => {
+                let act_at = rank.act_constrained(
+                    bank.act_allowed_at.max(rank.next_act_at).max(now),
+                    t.t_xaw,
+                    t.activation_limit,
+                );
+                act_at + t.t_rcd
+            }
+        }
+    }
+
+    /// Performs the DRAM access for `pkt`: updates bank, rank and bus
+    /// timing state and returns the data transfer window.
+    fn do_access(&mut self, pkt: &DramPacket, now: Tick) -> (Tick, Tick) {
+        let t = self.cfg.spec.timing;
+        let (ri, bi) = (pkt.da.rank as usize, pkt.da.bank as usize);
+
+        // Row management: precharge on conflict, activate on miss.
+        let open_row = self.ranks[ri].banks[bi].open_row;
+        if open_row != Some(pkt.da.row) {
+            if open_row.is_some() {
+                let bank = &mut self.ranks[ri].banks[bi];
+                let pre_at = bank.pre_allowed_at.max(now);
+                bank.act_allowed_at = bank.act_allowed_at.max(pre_at + t.t_rp);
+                bank.open_row = None;
+                self.ranks[ri].timeline.close_at(pre_at);
+                self.stats.precharges += 1;
+            }
+            let rank = &self.ranks[ri];
+            let earliest = rank.banks[bi]
+                .act_allowed_at
+                .max(rank.next_act_at)
+                .max(now);
+            let act_at = rank.act_constrained(earliest, t.t_xaw, t.activation_limit);
+            let rank = &mut self.ranks[ri];
+            rank.record_act(act_at, t.t_rrd, t.activation_limit);
+            rank.timeline.open_at(act_at);
+            let bank = &mut rank.banks[bi];
+            bank.open_row = Some(pkt.da.row);
+            bank.row_accesses = 0;
+            bank.col_allowed_at = bank.col_allowed_at.max(act_at + t.t_rcd);
+            bank.pre_allowed_at = bank.pre_allowed_at.max(act_at + t.t_ras);
+            self.stats.activates += 1;
+        } else if pkt.is_read {
+            self.stats.rd_row_hits += 1;
+        } else {
+            self.stats.wr_row_hits += 1;
+        }
+
+        // Column command and data bus (including read/write turnaround).
+        let cmd_at = self.ranks[ri].banks[bi].col_allowed_at.max(now);
+        let mut data_start = (cmd_at + t.t_cl).max(self.bus_busy_until);
+        if let Some(last_read) = self.last_burst_read {
+            if last_read != pkt.is_read {
+                let gap = if pkt.is_read {
+                    t.t_wtr + t.t_cl // end of write data to read data
+                } else {
+                    t.t_rtw // read-to-write bus bubble
+                };
+                data_start = data_start.max(self.bus_busy_until + gap);
+                self.stats.bus_turnarounds += 1;
+            }
+        }
+        let cmd_at = data_start - t.t_cl;
+        let data_end = data_start + t.t_burst;
+        self.bus_busy_until = data_end;
+        self.last_burst_read = Some(pkt.is_read);
+        self.stats.bus_busy += t.t_burst;
+
+        // Post-access bank bookkeeping.
+        let row_accesses = {
+            let bank = &mut self.ranks[ri].banks[bi];
+            bank.col_allowed_at = bank.col_allowed_at.max(cmd_at + t.t_burst);
+            if pkt.is_read {
+                bank.pre_allowed_at = bank.pre_allowed_at.max(cmd_at + t.t_rtp);
+            } else {
+                bank.pre_allowed_at = bank.pre_allowed_at.max(data_end + t.t_wr);
+            }
+            bank.row_accesses += 1;
+            bank.row_accesses
+        };
+        if pkt.is_read {
+            self.stats.rd_bursts += 1;
+            self.stats.bytes_read += u64::from(pkt.hi - pkt.lo);
+        } else {
+            self.stats.wr_bursts += 1;
+            self.stats.bytes_written += u64::from(pkt.hi - pkt.lo);
+        }
+
+        // Page policy (paper Section II-C).
+        let force_close =
+            self.cfg.max_accesses_per_row > 0 && row_accesses >= self.cfg.max_accesses_per_row;
+        let close = force_close
+            || match self.cfg.page_policy {
+                PagePolicy::Closed => true,
+                PagePolicy::ClosedAdaptive => {
+                    !queued_to_row(&self.read_q, &self.write_q, pkt, true)
+                }
+                PagePolicy::Open => false,
+                PagePolicy::OpenAdaptive => {
+                    queued_to_row(&self.read_q, &self.write_q, pkt, false)
+                        && !queued_to_row(&self.read_q, &self.write_q, pkt, true)
+                }
+            };
+        if close {
+            let bank = &mut self.ranks[ri].banks[bi];
+            let pre_at = bank.pre_allowed_at;
+            bank.open_row = None;
+            bank.act_allowed_at = bank.act_allowed_at.max(pre_at + t.t_rp);
+            self.ranks[ri].timeline.close_at(pre_at);
+            self.stats.precharges += 1;
+        }
+
+        // Fold bank open/close deltas that are now in the past.
+        self.ranks[ri].timeline.sync(now);
+
+        (data_start, data_end)
+    }
+
+    fn process_refresh(&mut self, rank_idx: usize, now: Tick) {
+        let t = self.cfg.spec.timing;
+        // A rank in self-refresh refreshes itself: the external refresh is
+        // suppressed (rescheduled) and costs nothing.
+        if self.ranks[rank_idx].self_refreshing {
+            let rank = &mut self.ranks[rank_idx];
+            rank.refresh_due += t.t_refi;
+            let due = rank.refresh_due;
+            self.events.schedule(due, Ev::Refresh(rank_idx as u32));
+            return;
+        }
+        // A powered-down rank wakes up (paying t_xp) to refresh.
+        let mut start = now;
+        if self.ranks[rank_idx].powered_down {
+            let rank = &mut self.ranks[rank_idx];
+            rank.powered_down = false;
+            rank.pd_time += now.saturating_sub(rank.pd_since);
+            start = now + t.t_xp;
+        }
+        // All banks must be precharged before REF may issue.
+        let banks = self.ranks[rank_idx].banks.len();
+        for bi in 0..banks {
+            let bank = &mut self.ranks[rank_idx].banks[bi];
+            if bank.open_row.is_some() {
+                let pre_at = bank.pre_allowed_at.max(now);
+                bank.open_row = None;
+                start = start.max(pre_at + t.t_rp);
+                self.ranks[rank_idx].timeline.close_at(pre_at);
+                self.stats.precharges += 1;
+            } else {
+                start = start.max(bank.act_allowed_at);
+            }
+        }
+        let done = start + t.t_rfc;
+        let rank = &mut self.ranks[rank_idx];
+        rank.refresh_done = done;
+        rank.next_act_at = rank.next_act_at.max(done);
+        for bank in &mut rank.banks {
+            bank.act_allowed_at = bank.act_allowed_at.max(done);
+        }
+        self.stats.refreshes += 1;
+        rank.refresh_due += t.t_refi;
+        self.events
+            .schedule(rank.refresh_due, Ev::Refresh(rank_idx as u32));
+        // An idle controller may re-enter power-down after the refresh.
+        self.maybe_schedule_pd_check(done);
+    }
+
+    // ------------------------------------------------------------------
+    // Reporting
+    // ------------------------------------------------------------------
+
+    /// Activity summary for the power model, over `[0, now]`.
+    pub fn activity(&mut self, now: Tick) -> ActivityStats {
+        let mut time_all_closed = 0;
+        let mut time_pd = 0;
+        let mut time_sr = 0;
+        for rank in &mut self.ranks {
+            rank.timeline.sync(now);
+            time_all_closed += rank.timeline.time_all_closed();
+            let live = now.saturating_sub(rank.pd_since);
+            time_pd += rank.pd_time
+                + if rank.powered_down && !rank.self_refreshing {
+                    live
+                } else {
+                    0
+                };
+            time_sr += rank.sr_time
+                + if rank.self_refreshing { live } else { 0 };
+        }
+        ActivityStats {
+            sim_time: now,
+            activates: self.stats.activates,
+            precharges: self.stats.precharges,
+            rd_bursts: self.stats.rd_bursts,
+            wr_bursts: self.stats.wr_bursts,
+            refreshes: self.stats.refreshes,
+            time_all_banks_precharged: time_all_closed,
+            time_powered_down: time_pd,
+            time_self_refresh: time_sr,
+            ranks: self.cfg.spec.org.ranks,
+        }
+    }
+
+    /// Full statistics report at time `now`.
+    pub fn report(&self, prefix: &str, now: Tick) -> dramctrl_stats::Report {
+        self.stats.report(prefix, now, &self.cfg)
+    }
+}
+
+impl dramctrl_mem::Controller for DramCtrl {
+    fn try_send(
+        &mut self,
+        req: MemRequest,
+        now: Tick,
+    ) -> Result<(), dramctrl_mem::Rejected> {
+        DramCtrl::try_send(self, req, now).map_err(|e| match e {
+            SendError::TooLarge { .. } => dramctrl_mem::Rejected::TooLarge,
+            _ => dramctrl_mem::Rejected::Full,
+        })
+    }
+
+    fn can_accept(&self, cmd: MemCmd, addr: u64, size: u32) -> bool {
+        DramCtrl::can_accept(self, cmd, addr, size)
+    }
+
+    fn next_event(&self) -> Option<Tick> {
+        DramCtrl::next_event(self)
+    }
+
+    fn advance_to(&mut self, limit: Tick, out: &mut Vec<MemResponse>) {
+        DramCtrl::advance_to(self, limit, out);
+    }
+
+    fn drain(&mut self, out: &mut Vec<MemResponse>) -> Tick {
+        DramCtrl::drain(self, out)
+    }
+
+    fn is_idle(&self) -> bool {
+        DramCtrl::is_idle(self)
+    }
+
+    fn spec(&self) -> &dramctrl_mem::MemSpec {
+        &self.cfg.spec
+    }
+
+    fn common_stats(&self) -> dramctrl_mem::CommonStats {
+        let s = &self.stats;
+        dramctrl_mem::CommonStats {
+            reads_accepted: s.reads_accepted,
+            writes_accepted: s.writes_accepted,
+            rd_bursts: s.rd_bursts,
+            wr_bursts: s.wr_bursts,
+            bytes_read: s.bytes_read,
+            bytes_written: s.bytes_written,
+            row_hits: s.rd_row_hits + s.wr_row_hits,
+            activates: s.activates,
+            bus_busy: s.bus_busy,
+            read_lat_sum: s.total_lat.sum(),
+        }
+    }
+
+    fn activity(&mut self, now: Tick) -> ActivityStats {
+        DramCtrl::activity(self, now)
+    }
+
+    fn report(&self, prefix: &str, now: Tick) -> dramctrl_stats::Report {
+        DramCtrl::report(self, prefix, now)
+    }
+}
+
+/// Whether any queued packet targets `pkt`'s bank with (`same_row == true`)
+/// or without (`same_row == false`) matching its row.
+fn queued_to_row(
+    read_q: &VecDeque<DramPacket>,
+    write_q: &VecDeque<DramPacket>,
+    pkt: &DramPacket,
+    same_row: bool,
+) -> bool {
+    read_q
+        .iter()
+        .chain(write_q.iter())
+        .filter(|p| p.da.rank == pkt.da.rank && p.da.bank == pkt.da.bank)
+        .any(|p| (p.da.row == pkt.da.row) == same_row)
+}

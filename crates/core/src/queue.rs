@@ -1,0 +1,228 @@
+//! DRAM packets and queue helpers: burst chopping, write merging and read
+//! forwarding (paper Section II-A).
+//!
+//! A system-level [`MemRequest`](dramctrl_mem::MemRequest) may be smaller or
+//! larger than a DRAM burst (e.g. a 64-byte cache line on a 32-byte-burst
+//! LPDDR3 channel). The controller chops each request into per-burst
+//! [`DramPacket`]s and merges/forwards at burst granularity, leaving the
+//! rest of the memory system oblivious to the DRAM burst size.
+
+use dramctrl_kernel::Tick;
+use dramctrl_mem::{DramAddr, MemRequest};
+
+/// One DRAM burst's worth of a memory request, as held in the controller's
+/// read or write queue.
+#[derive(Debug, Clone)]
+pub(crate) struct DramPacket {
+    /// Whether this packet reads (true) or writes.
+    pub is_read: bool,
+    /// Burst-aligned base address.
+    pub burst_addr: u64,
+    /// Covered byte range within the burst, relative to `burst_addr`.
+    pub lo: u32,
+    /// Exclusive end of the covered range.
+    pub hi: u32,
+    /// Decoded rank/bank/row/column.
+    pub da: DramAddr,
+    /// Tick at which the packet entered the queue.
+    pub entry_time: Tick,
+    /// QoS priority inherited from the source port (higher = sooner).
+    pub priority: u8,
+    /// Index of the burst group this read belongs to (reads only).
+    pub group: Option<usize>,
+}
+
+/// Tracks the outstanding bursts of a chopped read so the response is only
+/// sent once the last burst completes.
+#[derive(Debug, Clone)]
+pub(crate) struct BurstGroup {
+    /// The request awaiting a response.
+    pub req: MemRequest,
+    /// Bursts not yet serviced.
+    pub remaining: u32,
+    /// Latest ready time over the serviced bursts.
+    pub ready_at: Tick,
+}
+
+/// An arena of [`BurstGroup`]s with slot reuse.
+#[derive(Debug, Default)]
+pub(crate) struct GroupArena {
+    slots: Vec<Option<BurstGroup>>,
+    free: Vec<usize>,
+}
+
+impl GroupArena {
+    pub fn insert(&mut self, group: BurstGroup) -> usize {
+        if let Some(idx) = self.free.pop() {
+            self.slots[idx] = Some(group);
+            idx
+        } else {
+            self.slots.push(Some(group));
+            self.slots.len() - 1
+        }
+    }
+
+    pub fn get_mut(&mut self, idx: usize) -> &mut BurstGroup {
+        self.slots[idx].as_mut().expect("stale group index")
+    }
+
+    pub fn remove(&mut self, idx: usize) -> BurstGroup {
+        let g = self.slots[idx].take().expect("stale group index");
+        self.free.push(idx);
+        g
+    }
+
+    #[cfg(test)]
+    pub fn live(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_some()).count()
+    }
+}
+
+/// Splits `[addr, addr + size)` into per-burst pieces.
+///
+/// Yields `(burst_addr, lo, hi)` where `burst_addr` is burst-aligned and
+/// `[lo, hi)` is the covered byte range relative to `burst_addr`.
+pub(crate) fn chop(
+    addr: u64,
+    size: u32,
+    burst_bytes: u64,
+) -> impl Iterator<Item = (u64, u32, u32)> {
+    let end = addr + u64::from(size);
+    let first = addr / burst_bytes * burst_bytes;
+    (0..)
+        .map(move |i| first + i * burst_bytes)
+        .take_while(move |&b| b < end)
+        .map(move |b| {
+            let lo = addr.max(b) - b;
+            let hi = end.min(b + burst_bytes) - b;
+            (b, lo as u32, hi as u32)
+        })
+}
+
+/// Number of bursts `[addr, addr + size)` spans.
+pub(crate) fn burst_count(addr: u64, size: u32, burst_bytes: u64) -> usize {
+    let end = addr + u64::from(size);
+    let first = addr / burst_bytes;
+    let last = (end + burst_bytes - 1) / burst_bytes;
+    (last - first) as usize
+}
+
+/// Whether an existing write packet fully covers `[lo, hi)` of the same
+/// burst — the condition for merging an incoming write (it is subsumed) or
+/// forwarding a read from the write queue.
+pub(crate) fn covers(pkt: &DramPacket, burst_addr: u64, lo: u32, hi: u32) -> bool {
+    !pkt.is_read && pkt.burst_addr == burst_addr && pkt.lo <= lo && pkt.hi >= hi
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dramctrl_mem::{MemCmd, ReqId};
+
+    fn wpkt(burst_addr: u64, lo: u32, hi: u32) -> DramPacket {
+        DramPacket {
+            is_read: false,
+            burst_addr,
+            lo,
+            hi,
+            da: DramAddr {
+                rank: 0,
+                bank: 0,
+                row: 0,
+                col: 0,
+            },
+            entry_time: 0,
+            priority: 0,
+            group: None,
+        }
+    }
+
+    #[test]
+    fn chop_aligned_single_burst() {
+        let pieces: Vec<_> = chop(128, 64, 64).collect();
+        assert_eq!(pieces, vec![(128, 0, 64)]);
+        assert_eq!(burst_count(128, 64, 64), 1);
+    }
+
+    #[test]
+    fn chop_cache_line_into_lpddr_bursts() {
+        // 64-byte line on a 32-byte-burst channel: two full bursts.
+        let pieces: Vec<_> = chop(256, 64, 32).collect();
+        assert_eq!(pieces, vec![(256, 0, 32), (288, 0, 32)]);
+        assert_eq!(burst_count(256, 64, 32), 2);
+    }
+
+    #[test]
+    fn chop_unaligned_partial_bursts() {
+        // 16 bytes starting 8 before a burst boundary.
+        let pieces: Vec<_> = chop(56, 16, 64).collect();
+        assert_eq!(pieces, vec![(0, 56, 64), (64, 0, 8)]);
+        assert_eq!(burst_count(56, 16, 64), 2);
+    }
+
+    #[test]
+    fn chop_small_write_within_burst() {
+        let pieces: Vec<_> = chop(100, 4, 64).collect();
+        assert_eq!(pieces, vec![(64, 36, 40)]);
+    }
+
+    #[test]
+    fn chop_pieces_reassemble_request() {
+        for (addr, size, burst) in [(0u64, 256u32, 64u64), (7, 100, 32), (63, 2, 64)] {
+            let pieces: Vec<_> = chop(addr, size, burst).collect();
+            let total: u32 = pieces.iter().map(|&(_, lo, hi)| hi - lo).sum();
+            assert_eq!(total, size);
+            // Pieces are contiguous and ordered.
+            let mut expected = addr;
+            for &(b, lo, hi) in &pieces {
+                assert_eq!(b + u64::from(lo), expected);
+                expected = b + u64::from(hi);
+            }
+        }
+    }
+
+    #[test]
+    fn covers_requires_write_same_burst_and_subsumption() {
+        let w = wpkt(64, 8, 40);
+        assert!(covers(&w, 64, 8, 40));
+        assert!(covers(&w, 64, 10, 20));
+        assert!(!covers(&w, 64, 0, 40), "starts before the write");
+        assert!(!covers(&w, 64, 8, 48), "ends after the write");
+        assert!(!covers(&w, 128, 8, 40), "different burst");
+        let mut r = wpkt(64, 0, 64);
+        r.is_read = true;
+        assert!(!covers(&r, 64, 8, 40), "reads never cover");
+    }
+
+    #[test]
+    fn arena_reuses_slots() {
+        let mut arena = GroupArena::default();
+        let g = |n| BurstGroup {
+            req: MemRequest::read(ReqId(n), 0, 64),
+            remaining: 1,
+            ready_at: 0,
+        };
+        let a = arena.insert(g(1));
+        let b = arena.insert(g(2));
+        assert_ne!(a, b);
+        arena.remove(a);
+        assert_eq!(arena.live(), 1);
+        let c = arena.insert(g(3));
+        assert_eq!(c, a, "freed slot is reused");
+        assert_eq!(arena.get_mut(c).req.id, ReqId(3));
+        assert_eq!(arena.get_mut(b).req.cmd, MemCmd::Read);
+    }
+
+    #[test]
+    #[should_panic(expected = "stale group index")]
+    fn arena_rejects_stale_index() {
+        let mut arena = GroupArena::default();
+        let idx = arena.insert(BurstGroup {
+            req: MemRequest::read(ReqId(0), 0, 64),
+            remaining: 1,
+            ready_at: 0,
+        });
+        arena.remove(idx);
+        let _ = arena.get_mut(idx);
+    }
+}

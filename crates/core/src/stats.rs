@@ -1,0 +1,203 @@
+//! Controller statistics (paper Section II-E/II-G).
+
+use dramctrl_kernel::{tick, Tick};
+use dramctrl_stats::{Average, Report};
+
+use crate::config::CtrlConfig;
+
+/// Time-weighted queue-occupancy accumulator.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct QueueOcc {
+    integral: u128,
+    last_change: Tick,
+    len: usize,
+}
+
+impl QueueOcc {
+    /// Accounts for the queue holding `self.len` entries up to `now`, then
+    /// records the new length.
+    pub fn update(&mut self, new_len: usize, now: Tick) {
+        if now >= self.last_change {
+            self.integral += (self.len as u128) * u128::from(now - self.last_change);
+            self.last_change = now;
+        }
+        self.len = new_len;
+    }
+
+    /// Average occupancy over `[0, now]`.
+    pub fn average(&self, now: Tick) -> f64 {
+        if now == 0 {
+            return self.len as f64;
+        }
+        let integral =
+            self.integral + (self.len as u128) * u128::from(now.saturating_sub(self.last_change));
+        integral as f64 / now as f64
+    }
+}
+
+/// Counters and distributions accumulated by a [`DramCtrl`](crate::DramCtrl).
+///
+/// Latency components are recorded per *read burst*:
+/// `queue` (entry to scheduling decision), `bank` (decision to first data
+/// beat, covering PRE/ACT/CAS and bus waiting), plus the constant bus
+/// (`t_burst`) and static (front+backend) portions — the breakdown shown
+/// in paper Figure 9.
+#[derive(Debug, Clone, Default)]
+pub struct CtrlStats {
+    /// Read requests accepted (before chopping).
+    pub reads_accepted: u64,
+    /// Write requests accepted (before chopping).
+    pub writes_accepted: u64,
+    /// Read bursts serviced by the DRAM.
+    pub rd_bursts: u64,
+    /// Write bursts serviced by the DRAM.
+    pub wr_bursts: u64,
+    /// Bytes read from the DRAM.
+    pub bytes_read: u64,
+    /// Bytes written to the DRAM.
+    pub bytes_written: u64,
+    /// Read bursts that hit an open row.
+    pub rd_row_hits: u64,
+    /// Write bursts that hit an open row.
+    pub wr_row_hits: u64,
+    /// Row activations.
+    pub activates: u64,
+    /// Precharges (explicit and auto).
+    pub precharges: u64,
+    /// Refresh operations.
+    pub refreshes: u64,
+    /// Writes merged into an existing write-queue entry.
+    pub merged_writes: u64,
+    /// Read bursts serviced from the write queue.
+    pub forwarded_reads: u64,
+    /// Read-to-write or write-to-read bus turnarounds.
+    pub bus_turnarounds: u64,
+    /// Precharge power-down episodes entered.
+    pub powerdowns: u64,
+    /// Self-refresh descents.
+    pub self_refreshes: u64,
+    /// Internal events processed (the event-based model's unit of work —
+    /// contrast with the cycle model's `cycles_simulated`).
+    pub events_processed: u64,
+    /// Accumulated data-bus busy time.
+    pub bus_busy: Tick,
+    /// Per-read-burst queueing latency (ticks).
+    pub queue_lat: Average,
+    /// Per-read-burst bank-access latency (ticks).
+    pub bank_lat: Average,
+    /// Per-read-burst total latency inside the controller (ticks).
+    pub total_lat: Average,
+    pub(crate) rdq_occ: QueueOcc,
+    pub(crate) wrq_occ: QueueOcc,
+}
+
+impl CtrlStats {
+    /// Row-hit rate over all serviced bursts (0.0 when nothing serviced).
+    pub fn page_hit_rate(&self) -> f64 {
+        let bursts = self.rd_bursts + self.wr_bursts;
+        if bursts == 0 {
+            0.0
+        } else {
+            (self.rd_row_hits + self.wr_row_hits) as f64 / bursts as f64
+        }
+    }
+
+    /// Data-bus utilisation over `[0, now]`.
+    pub fn bus_utilisation(&self, now: Tick) -> f64 {
+        if now == 0 {
+            0.0
+        } else {
+            self.bus_busy as f64 / now as f64
+        }
+    }
+
+    /// Average achieved bandwidth in GB/s over `[0, now]`.
+    pub fn bandwidth_gbps(&self, now: Tick) -> f64 {
+        if now == 0 {
+            0.0
+        } else {
+            (self.bytes_read + self.bytes_written) as f64 / tick::to_s(now) / 1e9
+        }
+    }
+
+    /// Builds a gem5-style report of all statistics at time `now`.
+    pub fn report(&self, prefix: &str, now: Tick, cfg: &CtrlConfig) -> Report {
+        let mut r = Report::new(prefix);
+        r.text("device", cfg.spec.name);
+        r.counter("reads_accepted", self.reads_accepted);
+        r.counter("writes_accepted", self.writes_accepted);
+        r.counter("rd_bursts", self.rd_bursts);
+        r.counter("wr_bursts", self.wr_bursts);
+        r.counter("bytes_read", self.bytes_read);
+        r.counter("bytes_written", self.bytes_written);
+        r.counter("rd_row_hits", self.rd_row_hits);
+        r.counter("wr_row_hits", self.wr_row_hits);
+        r.counter("activates", self.activates);
+        r.counter("precharges", self.precharges);
+        r.counter("refreshes", self.refreshes);
+        r.counter("merged_writes", self.merged_writes);
+        r.counter("forwarded_reads", self.forwarded_reads);
+        r.counter("bus_turnarounds", self.bus_turnarounds);
+        r.counter("powerdowns", self.powerdowns);
+        r.counter("self_refreshes", self.self_refreshes);
+        r.counter("events_processed", self.events_processed);
+        r.scalar("page_hit_rate", self.page_hit_rate());
+        r.scalar("bus_util", self.bus_utilisation(now));
+        r.scalar("bandwidth_gbps", self.bandwidth_gbps(now));
+        r.scalar("avg_queue_lat_ns", tick::to_ns(self.queue_lat.mean() as Tick));
+        r.scalar("avg_bank_lat_ns", tick::to_ns(self.bank_lat.mean() as Tick));
+        r.scalar("avg_read_lat_ns", tick::to_ns(self.total_lat.mean() as Tick));
+        r.scalar("avg_rdq_occupancy", self.rdq_occ.average(now));
+        r.scalar("avg_wrq_occupancy", self.wrq_occ.average(now));
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn occupancy_time_weighting() {
+        let mut occ = QueueOcc::default();
+        occ.update(2, 0); // empty over [0,0), then 2 entries
+        occ.update(4, 100); // 2 entries over [0,100)
+        occ.update(0, 200); // 4 entries over [100,200)
+        // average over [0,200]: (2*100 + 4*100) / 200 = 3
+        assert_eq!(occ.average(200), 3.0);
+        // extending the window with an empty queue dilutes the average
+        assert_eq!(occ.average(400), 1.5);
+    }
+
+    #[test]
+    fn occupancy_at_time_zero() {
+        let mut occ = QueueOcc::default();
+        occ.update(5, 0);
+        assert_eq!(occ.average(0), 5.0);
+    }
+
+    #[test]
+    fn page_hit_rate_empty_is_zero() {
+        let s = CtrlStats::default();
+        assert_eq!(s.page_hit_rate(), 0.0);
+        assert_eq!(s.bus_utilisation(0), 0.0);
+        assert_eq!(s.bandwidth_gbps(0), 0.0);
+    }
+
+    #[test]
+    fn derived_rates() {
+        let s = CtrlStats {
+            rd_bursts: 8,
+            wr_bursts: 2,
+            rd_row_hits: 4,
+            wr_row_hits: 1,
+            bytes_read: 640,
+            bus_busy: 500,
+            ..Default::default()
+        };
+        assert_eq!(s.page_hit_rate(), 0.5);
+        assert_eq!(s.bus_utilisation(1_000), 0.5);
+        // 640 bytes in 1000 ps = 640 GB/s.
+        assert!((s.bandwidth_gbps(1_000) - 640.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,805 @@
+//! The cycle-by-cycle controller.
+//!
+//! Faithful to the *structure* of DRAMSim2 (the paper's comparison
+//! baseline): a unified transaction queue, per-bank down-counter state
+//! machines, one DRAM command per clock cycle, and an `update()` that runs
+//! every memory-clock cycle while any work is pending. The per-cycle
+//! execution is precisely what makes this model slow relative to the
+//! event-based controller — the property measured in paper Section III-D.
+
+use std::collections::VecDeque;
+
+use dramctrl_kernel::{Clock, EventQueue, Tick};
+use dramctrl_mem::{
+    ActivityStats, CommonStats, Controller, DramAddr, MemCmd, MemRequest, MemResponse, MemSpec,
+    Rejected,
+};
+use dramctrl_stats::{Average, Report};
+
+use crate::config::{CycleConfig, CycleConfigError, CyclePagePolicy, CycleSched};
+
+/// Timing parameters converted to memory-clock cycles.
+#[derive(Debug, Clone, Copy)]
+struct CycTiming {
+    burst: u64,
+    rcd: u64,
+    cl: u64,
+    rp: u64,
+    ras: u64,
+    wr: u64,
+    rtp: u64,
+    rrd: u64,
+    xaw: u64,
+    act_limit: u32,
+    wtr: u64,
+    rtw: u64,
+    rfc: u64,
+    refi: u64,
+}
+
+impl CycTiming {
+    fn from_spec(spec: &MemSpec, clk: &Clock) -> Self {
+        let t = &spec.timing;
+        let c = |x| clk.to_cycles_ceil(x);
+        Self {
+            burst: c(t.t_burst),
+            rcd: c(t.t_rcd),
+            cl: c(t.t_cl),
+            rp: c(t.t_rp),
+            ras: c(t.t_ras),
+            wr: c(t.t_wr),
+            rtp: c(t.t_rtp),
+            rrd: c(t.t_rrd),
+            xaw: c(t.t_xaw),
+            act_limit: t.activation_limit,
+            wtr: c(t.t_wtr),
+            rtw: c(t.t_rtw),
+            rfc: c(t.t_rfc),
+            refi: if t.t_refi == 0 { 0 } else { c(t.t_refi) },
+        }
+    }
+}
+
+#[derive(Debug, Clone, Default)]
+struct CycBank {
+    open_row: Option<u64>,
+    next_act: u64,
+    next_pre: u64,
+    next_col: u64,
+    /// Cycle at which a scheduled auto-precharge takes effect (row already
+    /// marked closed for scheduling purposes).
+    pending_close: Option<u64>,
+    /// Cycle at which the most recent precharge completes.
+    pre_done: u64,
+}
+
+impl CycBank {
+    fn is_physically_open(&self, cycle: u64) -> bool {
+        self.open_row.is_some() || self.pending_close.is_some_and(|p| cycle < p)
+    }
+}
+
+#[derive(Debug, Clone)]
+struct CycRank {
+    banks: Vec<CycBank>,
+    act_times: VecDeque<u64>,
+    next_act_rank: u64,
+    refresh_due: u64,
+    want_refresh: bool,
+    refreshing_until: u64,
+    closed_cycles: u64,
+}
+
+impl CycRank {
+    fn new(banks: u32, refi: u64) -> Self {
+        Self {
+            banks: vec![CycBank::default(); banks as usize],
+            act_times: VecDeque::new(),
+            next_act_rank: 0,
+            refresh_due: if refi == 0 { u64::MAX } else { refi },
+            want_refresh: false,
+            refreshing_until: 0,
+            closed_cycles: 0,
+        }
+    }
+
+    fn act_allowed(&self, cycle: u64, t: &CycTiming) -> bool {
+        if cycle < self.next_act_rank {
+            return false;
+        }
+        if t.act_limit == 0 || (self.act_times.len() as u32) < t.act_limit {
+            return true;
+        }
+        let oldest = self.act_times[self.act_times.len() - t.act_limit as usize];
+        cycle >= oldest + t.xaw
+    }
+
+    fn record_act(&mut self, cycle: u64, t: &CycTiming) {
+        self.next_act_rank = self.next_act_rank.max(cycle + t.rrd);
+        if t.act_limit > 0 {
+            self.act_times.push_back(cycle);
+            while self.act_times.len() > t.act_limit as usize {
+                self.act_times.pop_front();
+            }
+        }
+    }
+
+    fn blocked(&self, cycle: u64) -> bool {
+        self.want_refresh || cycle < self.refreshing_until
+    }
+}
+
+/// One DRAM burst in the unified transaction queue.
+#[derive(Debug, Clone)]
+struct Txn {
+    is_read: bool,
+    da: DramAddr,
+    bytes: u32,
+    entry: Tick,
+    group: usize,
+    /// Whether this transaction triggered its own activation (a burst is a
+    /// row hit only if the row was open on someone else's behalf).
+    activated: bool,
+}
+
+#[derive(Debug, Clone)]
+struct Group {
+    req: MemRequest,
+    remaining: u32,
+    ready_at: Tick,
+}
+
+/// Bus direction of the most recent data transfer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Dir {
+    Rd,
+    Wr,
+}
+
+/// Statistics of the cycle-based controller.
+#[derive(Debug, Clone, Default)]
+pub struct CycleStats {
+    /// Read requests accepted.
+    pub reads_accepted: u64,
+    /// Write requests accepted.
+    pub writes_accepted: u64,
+    /// Read bursts serviced.
+    pub rd_bursts: u64,
+    /// Write bursts serviced.
+    pub wr_bursts: u64,
+    /// Bytes read.
+    pub bytes_read: u64,
+    /// Bytes written.
+    pub bytes_written: u64,
+    /// Bursts that hit an open row.
+    pub row_hits: u64,
+    /// Row activations.
+    pub activates: u64,
+    /// Precharges.
+    pub precharges: u64,
+    /// Refreshes.
+    pub refreshes: u64,
+    /// Accumulated data-bus busy time (ticks).
+    pub bus_busy: Tick,
+    /// Total clock cycles executed by the model (the cost of being
+    /// cycle-based).
+    pub cycles_simulated: u64,
+    /// Read latency from acceptance to data, in ticks.
+    pub read_lat: Average,
+}
+
+/// The cycle-based DRAMSim2-style controller.
+///
+/// Implements the same pull interface as the event-based model (the
+/// [`Controller`] trait), so identical harnesses drive both.
+///
+/// # Example
+/// ```
+/// use dramctrl_cycle::{CycleConfig, CycleCtrl};
+/// use dramctrl_mem::{presets, Controller, MemRequest, ReqId};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut ctrl = CycleCtrl::new(CycleConfig::new(presets::ddr3_1333_x64()))?;
+/// ctrl.try_send(MemRequest::read(ReqId(0), 0x40, 64), 0)?;
+/// let mut out = Vec::new();
+/// ctrl.drain(&mut out);
+/// assert_eq!(out.len(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct CycleCtrl {
+    cfg: CycleConfig,
+    clk: Clock,
+    t: CycTiming,
+    cycle: u64,
+    queue: VecDeque<Txn>,
+    groups: Vec<Option<Group>>,
+    free_groups: Vec<usize>,
+    ranks: Vec<CycRank>,
+    resp_q: EventQueue<MemResponse>,
+    bus_free: u64,
+    last_data_end: u64,
+    last_dir: Option<Dir>,
+    pending_closes: usize,
+    stats: CycleStats,
+}
+
+impl CycleCtrl {
+    /// Creates a controller for the given configuration.
+    ///
+    /// # Errors
+    /// Returns a [`CycleConfigError`] if the configuration is inconsistent.
+    pub fn new(cfg: CycleConfig) -> Result<Self, CycleConfigError> {
+        cfg.validate()?;
+        let clk = Clock::from_period(cfg.spec.timing.t_ck);
+        let t = CycTiming::from_spec(&cfg.spec, &clk);
+        let ranks = (0..cfg.spec.org.ranks)
+            .map(|_| CycRank::new(cfg.spec.org.banks, t.refi))
+            .collect();
+        Ok(Self {
+            cfg,
+            clk,
+            t,
+            cycle: 0,
+            queue: VecDeque::new(),
+            groups: Vec::new(),
+            free_groups: Vec::new(),
+            ranks,
+            resp_q: EventQueue::new(),
+            bus_free: 0,
+            last_data_end: 0,
+            last_dir: None,
+            pending_closes: 0,
+            stats: CycleStats::default(),
+        })
+    }
+
+    /// The controller's configuration.
+    pub fn config(&self) -> &CycleConfig {
+        &self.cfg
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &CycleStats {
+        &self.stats
+    }
+
+    fn burst_count(&self, addr: u64, size: u32) -> usize {
+        let bb = self.cfg.spec.org.burst_bytes();
+        let first = addr / bb;
+        let last = (addr + u64::from(size) + bb - 1) / bb;
+        (last - first) as usize
+    }
+
+    fn alloc_group(&mut self, g: Group) -> usize {
+        if let Some(i) = self.free_groups.pop() {
+            self.groups[i] = Some(g);
+            i
+        } else {
+            self.groups.push(Some(g));
+            self.groups.len() - 1
+        }
+    }
+
+    // --------------------------------------------------------------
+    // Per-cycle update (the DRAMSim2-style core loop)
+    // --------------------------------------------------------------
+
+    /// Whether per-cycle work is pending.
+    fn busy(&self) -> bool {
+        !self.queue.is_empty()
+            || self.pending_closes > 0
+            || self
+                .ranks
+                .iter()
+                .any(|r| r.want_refresh || self.cycle < r.refreshing_until)
+    }
+
+    /// Executes one memory-clock cycle.
+    fn tick(&mut self) {
+        self.cycle += 1;
+        let c = self.cycle;
+        self.stats.cycles_simulated += 1;
+
+        // Expire pending auto-precharges and refresh completions; arm
+        // refreshes that became due. (A real cycle-based model walks all
+        // bank state machines every cycle; so do we.)
+        for rank in &mut self.ranks {
+            for bank in &mut rank.banks {
+                if bank.pending_close.is_some_and(|p| c >= p) {
+                    bank.pending_close = None;
+                    self.pending_closes -= 1;
+                }
+            }
+            if !rank.want_refresh && c >= rank.refreshing_until && c >= rank.refresh_due {
+                rank.want_refresh = true;
+                rank.refresh_due = rank.refresh_due.saturating_add(self.t.refi);
+            }
+        }
+
+        // One command slot per cycle.
+        self.issue_one(c);
+
+        // Power accounting: a rank contributes "all banks precharged" time
+        // when no bank is physically open this cycle.
+        for rank in &mut self.ranks {
+            if rank.banks.iter().all(|b| !b.is_physically_open(c)) {
+                rank.closed_cycles += 1;
+            }
+        }
+    }
+
+    fn issue_one(&mut self, c: u64) {
+        // Refresh has priority: start a due refresh, or precharge towards
+        // it.
+        for ri in 0..self.ranks.len() {
+            if !self.ranks[ri].want_refresh || c < self.ranks[ri].refreshing_until {
+                continue;
+            }
+            let all_closed = self.ranks[ri]
+                .banks
+                .iter()
+                .all(|b| b.open_row.is_none() && b.pending_close.is_none() && c >= b.pre_done);
+            if all_closed {
+                let rank = &mut self.ranks[ri];
+                rank.want_refresh = false;
+                rank.refreshing_until = c + self.t.rfc;
+                for bank in &mut rank.banks {
+                    bank.next_act = bank.next_act.max(rank.refreshing_until);
+                }
+                rank.next_act_rank = rank.next_act_rank.max(rank.refreshing_until);
+                self.stats.refreshes += 1;
+                return;
+            }
+            // Precharge the first open bank that is ready.
+            let t_rp = self.t.rp;
+            let rank = &mut self.ranks[ri];
+            if let Some(bank) = rank
+                .banks
+                .iter_mut()
+                .find(|b| b.open_row.is_some() && c >= b.next_pre)
+            {
+                bank.open_row = None;
+                bank.next_act = bank.next_act.max(c + t_rp);
+                bank.pre_done = c + t_rp;
+                self.stats.precharges += 1;
+                return;
+            }
+        }
+
+        // Transaction scheduling.
+        match self.cfg.scheduling {
+            CycleSched::Fcfs => {
+                if !self.queue.is_empty() {
+                    self.try_progress(0, c);
+                }
+            }
+            CycleSched::FrFcfs => {
+                // Pass 1: oldest row hit whose column command is issuable.
+                let hit = (0..self.queue.len()).find(|&i| self.col_issuable(i, c));
+                if let Some(i) = hit {
+                    self.do_col(i, c);
+                    return;
+                }
+                // Pass 2: oldest transaction that can make *any* progress.
+                for i in 0..self.queue.len() {
+                    if self.try_progress(i, c) {
+                        return;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Whether transaction `i` is an issuable row hit at cycle `c`.
+    fn col_issuable(&self, i: usize, c: u64) -> bool {
+        let txn = &self.queue[i];
+        let rank = &self.ranks[txn.da.rank as usize];
+        if rank.blocked(c) {
+            return false;
+        }
+        let bank = &rank.banks[txn.da.bank as usize];
+        bank.open_row == Some(txn.da.row) && c >= bank.next_col && self.bus_ok(txn.is_read, c)
+    }
+
+    /// Data-bus availability and turnaround for a column command at `c`.
+    fn bus_ok(&self, is_read: bool, c: u64) -> bool {
+        let data_start = c + self.t.cl;
+        if data_start < self.bus_free {
+            return false;
+        }
+        match (self.last_dir, is_read) {
+            (Some(Dir::Wr), true) => c >= self.last_data_end + self.t.wtr,
+            (Some(Dir::Rd), false) => data_start >= self.last_data_end + self.t.rtw,
+            _ => true,
+        }
+    }
+
+    /// Issues the column command for transaction `i` (which must be a row
+    /// hit with `bus_ok`); completes the transaction.
+    fn do_col(&mut self, i: usize, c: u64) {
+        let txn = self.queue.remove(i).expect("index checked by caller");
+        let (ri, bi) = (txn.da.rank as usize, txn.da.bank as usize);
+        if !txn.activated {
+            self.stats.row_hits += 1;
+        }
+        let data_start = c + self.t.cl;
+        let data_end = data_start + self.t.burst;
+        self.bus_free = data_end;
+        self.last_data_end = data_end;
+        self.last_dir = Some(if txn.is_read { Dir::Rd } else { Dir::Wr });
+        self.stats.bus_busy += self.clk.cycles(self.t.burst);
+
+        let t = self.t;
+        let bank = &mut self.ranks[ri].banks[bi];
+        bank.next_col = bank.next_col.max(c + t.burst);
+        if txn.is_read {
+            bank.next_pre = bank.next_pre.max(c + t.rtp);
+            self.stats.rd_bursts += 1;
+            self.stats.bytes_read += u64::from(txn.bytes);
+        } else {
+            bank.next_pre = bank.next_pre.max(data_end + t.wr);
+            self.stats.wr_bursts += 1;
+            self.stats.bytes_written += u64::from(txn.bytes);
+        }
+
+        if self.cfg.page_policy == CyclePagePolicy::Closed {
+            let bank = &mut self.ranks[ri].banks[bi];
+            let pre_at = bank.next_pre;
+            bank.open_row = None;
+            bank.pending_close = Some(pre_at);
+            bank.next_act = bank.next_act.max(pre_at + t.rp);
+            bank.pre_done = pre_at + t.rp;
+            self.pending_closes += 1;
+            self.stats.precharges += 1;
+        }
+
+        // Response bookkeeping.
+        let ready = self.clk.cycles(data_end);
+        if txn.is_read {
+            self.stats.read_lat.record((ready - txn.entry) as f64);
+        }
+        let group = self.groups[txn.group].as_mut().expect("live group");
+        group.remaining -= 1;
+        group.ready_at = group.ready_at.max(ready);
+        if group.remaining == 0 {
+            let group = self.groups[txn.group].take().expect("live group");
+            self.free_groups.push(txn.group);
+            if group.req.cmd.is_read() {
+                self.resp_q.schedule(
+                    group.ready_at.max(self.resp_q.now()),
+                    MemResponse::to(&group.req, group.ready_at),
+                );
+            }
+        }
+    }
+
+    /// Attempts PRE/ACT/column progress for transaction `i`; returns true
+    /// if a command was issued.
+    fn try_progress(&mut self, i: usize, c: u64) -> bool {
+        let txn = self.queue[i].clone();
+        let (ri, bi) = (txn.da.rank as usize, txn.da.bank as usize);
+        if self.ranks[ri].blocked(c) {
+            return false;
+        }
+        let t = self.t;
+        let open_row = self.ranks[ri].banks[bi].open_row;
+        match open_row {
+            Some(row) if row == txn.da.row => {
+                if self.col_issuable(i, c) {
+                    self.do_col(i, c);
+                    true
+                } else {
+                    false
+                }
+            }
+            Some(open) => {
+                // Conflict: precharge, but (under FR-FCFS only) never
+                // while other queued transactions still hit the open row —
+                // closing it would throw their locality away; FR-FCFS will
+                // serve those hits first. Under strict FCFS the head must
+                // make progress unconditionally or the queue deadlocks.
+                let hit_pending = self.cfg.scheduling == CycleSched::FrFcfs
+                    && self.queue.iter().any(|q| {
+                        q.da.rank == txn.da.rank
+                            && q.da.bank == txn.da.bank
+                            && q.da.row == open
+                    });
+                let bank = &mut self.ranks[ri].banks[bi];
+                if !hit_pending && c >= bank.next_pre {
+                    bank.open_row = None;
+                    bank.next_act = bank.next_act.max(c + t.rp);
+                    bank.pre_done = c + t.rp;
+                    self.stats.precharges += 1;
+                    true
+                } else {
+                    false
+                }
+            }
+            None => {
+                // Closed: activate if the bank, rank (tRRD) and window
+                // (tXAW) allow. A pending auto-precharge must finish first.
+                let rank = &self.ranks[ri];
+                let bank = &rank.banks[bi];
+                if bank.pending_close.is_some_and(|p| c < p) {
+                    return false;
+                }
+                if c >= bank.next_act && rank.act_allowed(c, &t) {
+                    let rank = &mut self.ranks[ri];
+                    rank.record_act(c, &t);
+                    let bank = &mut rank.banks[bi];
+                    bank.open_row = Some(txn.da.row);
+                    bank.next_col = bank.next_col.max(c + t.rcd);
+                    bank.next_pre = bank.next_pre.max(c + t.ras);
+                    self.stats.activates += 1;
+                    self.queue[i].activated = true;
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    // --------------------------------------------------------------
+    // Time advancement
+    // --------------------------------------------------------------
+
+    /// Tick of the next cycle the model must execute, if any.
+    fn next_work_tick(&self) -> Option<Tick> {
+        if self.busy() {
+            return Some(self.clk.cycles(self.cycle + 1));
+        }
+        // Idle: skip straight to the next refresh deadline.
+        let due = self
+            .ranks
+            .iter()
+            .map(|r| r.refresh_due)
+            .min()
+            .unwrap_or(u64::MAX);
+        (due != u64::MAX).then(|| self.clk.cycles(due))
+    }
+
+    /// Advances the cycle counter to `target`, ticking through any work
+    /// (including refreshes that become due) and skipping idle gaps.
+    fn advance_cycles_to(&mut self, target: u64) {
+        while self.cycle < target {
+            if self.busy() {
+                self.tick();
+            } else {
+                let due = self
+                    .ranks
+                    .iter()
+                    .map(|r| r.refresh_due)
+                    .min()
+                    .unwrap_or(u64::MAX);
+                if due > target {
+                    self.skip_idle_to(target);
+                } else {
+                    self.skip_idle_to(due.saturating_sub(1).max(self.cycle));
+                    self.tick();
+                }
+            }
+        }
+    }
+
+    /// Jumps the cycle counter across an idle gap, accounting precharged
+    /// time for power.
+    fn skip_idle_to(&mut self, target_cycle: u64) {
+        debug_assert!(!self.busy());
+        if target_cycle <= self.cycle {
+            return;
+        }
+        let span = target_cycle - self.cycle;
+        let c = self.cycle;
+        for rank in &mut self.ranks {
+            if rank.banks.iter().all(|b| !b.is_physically_open(c)) {
+                rank.closed_cycles += span;
+            }
+        }
+        self.cycle = target_cycle;
+    }
+}
+
+impl Controller for CycleCtrl {
+    fn try_send(&mut self, req: MemRequest, now: Tick) -> Result<(), Rejected> {
+        assert!(req.size > 0, "zero-sized request");
+        let n = self.burst_count(req.addr, req.size);
+        if n > self.cfg.queue_depth {
+            return Err(Rejected::TooLarge);
+        }
+        if self.queue.len() + n > self.cfg.queue_depth {
+            return Err(Rejected::Full);
+        }
+        // Catch the cycle counter up to the present before enqueuing, so
+        // commands never issue in the simulated past.
+        let now_cycle = self.clk.to_cycles(now);
+        if now_cycle > self.cycle {
+            self.advance_cycles_to(now_cycle);
+        }
+        let is_read = req.cmd.is_read();
+        if is_read {
+            self.stats.reads_accepted += 1;
+        } else {
+            self.stats.writes_accepted += 1;
+        }
+        let gidx = self.alloc_group(Group {
+            req,
+            remaining: n as u32,
+            ready_at: 0,
+        });
+        let bb = self.cfg.spec.org.burst_bytes();
+        let end = req.addr + u64::from(req.size);
+        let mut b = req.addr / bb * bb;
+        while b < end {
+            let lo = req.addr.max(b);
+            let hi = end.min(b + bb);
+            let da = self
+                .cfg
+                .mapping
+                .decode(b, &self.cfg.spec.org, self.cfg.channels);
+            self.queue.push_back(Txn {
+                is_read,
+                da,
+                bytes: (hi - lo) as u32,
+                entry: now,
+                group: gidx,
+                activated: false,
+            });
+            b += bb;
+        }
+        if !is_read {
+            // Early write acknowledgement, as in the event-based model.
+            self.resp_q
+                .schedule(now.max(self.resp_q.now()), MemResponse::to(&req, now));
+        }
+        Ok(())
+    }
+
+    fn can_accept(&self, _cmd: MemCmd, addr: u64, size: u32) -> bool {
+        self.queue.len() + self.burst_count(addr, size) <= self.cfg.queue_depth
+    }
+
+    fn next_event(&self) -> Option<Tick> {
+        match (self.resp_q.peek_tick(), self.next_work_tick()) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
+    fn advance_to(&mut self, limit: Tick, out: &mut Vec<MemResponse>) {
+        loop {
+            // Deliver responses due before (or at) the next work cycle.
+            let work = self.next_work_tick();
+            let resp = self.resp_q.peek_tick();
+            let next = match (resp, work) {
+                (Some(r), Some(w)) => {
+                    if r <= w {
+                        resp
+                    } else {
+                        work
+                    }
+                }
+                (r, w) => r.or(w),
+            };
+            let Some(next) = next else { break };
+            if next > limit {
+                break;
+            }
+            if resp == Some(next) && (work.is_none() || next <= work.unwrap()) {
+                let (_, r) = self.resp_q.pop().expect("peeked");
+                out.push(r);
+                continue;
+            }
+            // Execute the cycle at `next`.
+            if self.busy() {
+                self.tick();
+            } else {
+                // Idle skip to the refresh deadline, then run it.
+                let target = self.clk.to_cycles(next);
+                self.skip_idle_to(target.saturating_sub(1));
+                self.tick();
+            }
+        }
+    }
+
+    fn drain(&mut self, out: &mut Vec<MemResponse>) -> Tick {
+        while self.busy() || !self.resp_q.is_empty() {
+            // Refreshes recur forever; only follow them while real work
+            // remains.
+            if self.queue.is_empty() && self.pending_closes == 0 && self.resp_q.is_empty() {
+                // Let in-progress refreshes finish, then stop.
+                let until = self
+                    .ranks
+                    .iter()
+                    .map(|r| r.refreshing_until)
+                    .max()
+                    .unwrap_or(0);
+                while self.cycle < until {
+                    self.tick();
+                }
+                for r in &mut self.ranks {
+                    r.want_refresh = false;
+                }
+                break;
+            }
+            let next = self.next_event().expect("busy implies a next event");
+            self.advance_to(next, out);
+        }
+        self.clk.cycles(self.cycle).max(self.resp_q.now())
+    }
+
+    fn is_idle(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    fn spec(&self) -> &MemSpec {
+        &self.cfg.spec
+    }
+
+    fn common_stats(&self) -> CommonStats {
+        let s = &self.stats;
+        CommonStats {
+            reads_accepted: s.reads_accepted,
+            writes_accepted: s.writes_accepted,
+            rd_bursts: s.rd_bursts,
+            wr_bursts: s.wr_bursts,
+            bytes_read: s.bytes_read,
+            bytes_written: s.bytes_written,
+            row_hits: s.row_hits,
+            activates: s.activates,
+            bus_busy: s.bus_busy,
+            read_lat_sum: s.read_lat.sum(),
+        }
+    }
+
+    fn activity(&mut self, now: Tick) -> ActivityStats {
+        let now_cycle = self.clk.to_cycles(now);
+        if !self.busy() {
+            self.skip_idle_to(now_cycle);
+        }
+        ActivityStats {
+            sim_time: now,
+            activates: self.stats.activates,
+            precharges: self.stats.precharges,
+            rd_bursts: self.stats.rd_bursts,
+            wr_bursts: self.stats.wr_bursts,
+            refreshes: self.stats.refreshes,
+            time_all_banks_precharged: self
+                .ranks
+                .iter()
+                .map(|r| self.clk.cycles(r.closed_cycles))
+                .sum(),
+            time_powered_down: 0, // the baseline has no low-power states
+            time_self_refresh: 0,
+            ranks: self.cfg.spec.org.ranks,
+        }
+    }
+
+    fn report(&self, prefix: &str, now: Tick) -> Report {
+        let mut r = Report::new(prefix);
+        let s = &self.stats;
+        r.text("device", self.cfg.spec.name);
+        r.text("model", "cycle");
+        r.counter("reads_accepted", s.reads_accepted);
+        r.counter("writes_accepted", s.writes_accepted);
+        r.counter("rd_bursts", s.rd_bursts);
+        r.counter("wr_bursts", s.wr_bursts);
+        r.counter("bytes_read", s.bytes_read);
+        r.counter("bytes_written", s.bytes_written);
+        r.counter("row_hits", s.row_hits);
+        r.counter("activates", s.activates);
+        r.counter("precharges", s.precharges);
+        r.counter("refreshes", s.refreshes);
+        r.counter("cycles_simulated", s.cycles_simulated);
+        let common = self.common_stats();
+        r.scalar("page_hit_rate", common.page_hit_rate());
+        r.scalar("bus_util", common.bus_utilisation(now));
+        r.scalar(
+            "avg_read_lat_ns",
+            dramctrl_kernel::tick::to_ns(s.read_lat.mean() as Tick),
+        );
+        r
+    }
+}

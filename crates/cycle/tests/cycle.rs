@@ -1,0 +1,282 @@
+//! Tests for the cycle-based baseline: cycle-exact latencies, refresh,
+//! flow control, and first-order agreement with the event-based model.
+
+use dramctrl_cycle::{CycleConfig, CycleCtrl, CyclePagePolicy, CycleSched};
+use dramctrl_mem::{presets, AddrMapping, Controller, DramAddr, MemRequest, Rejected, ReqId};
+
+fn ctrl_with(f: impl FnOnce(&mut CycleConfig)) -> CycleCtrl {
+    let mut cfg = CycleConfig::new(presets::ddr3_1333_x64());
+    cfg.spec.timing.t_refi = 0;
+    f(&mut cfg);
+    CycleCtrl::new(cfg).unwrap()
+}
+
+fn addr(bank: u32, row: u64, col: u64) -> u64 {
+    let org = presets::ddr3_1333_x64().org;
+    AddrMapping::RoRaBaCoCh.encode(
+        &DramAddr {
+            rank: 0,
+            bank,
+            row,
+            col,
+        },
+        0,
+        &org,
+        1,
+    )
+}
+
+#[test]
+fn cold_read_latency_in_cycles() {
+    // DDR3-1333 at tCK = 1.5 ns: tRCD = tCL = ceil(13.5/1.5) = 9 cycles,
+    // tBURST = 4 cycles. ACT issues on cycle 1 (the first executed cycle),
+    // RD on cycle 1+9, data ends at 1+9+9+4 = 23 cycles = 34.5 ns.
+    let mut c = ctrl_with(|_| {});
+    c.try_send(MemRequest::read(ReqId(0), addr(0, 5, 0), 64), 0)
+        .unwrap();
+    let mut out = Vec::new();
+    c.drain(&mut out);
+    assert_eq!(out.len(), 1);
+    assert_eq!(out[0].ready_at, 23 * 1_500);
+    assert_eq!(c.stats().activates, 1);
+}
+
+#[test]
+fn row_hits_pipeline_on_the_bus() {
+    let mut c = ctrl_with(|_| {});
+    for i in 0..4 {
+        c.try_send(MemRequest::read(ReqId(i), addr(0, 5, i), 64), 0)
+            .unwrap();
+    }
+    let mut out = Vec::new();
+    c.drain(&mut out);
+    // Bursts follow back to back: each adds 4 cycles.
+    for (i, r) in out.iter().enumerate() {
+        assert_eq!(r.ready_at, (23 + 4 * i as u64) * 1_500);
+    }
+    assert_eq!(c.stats().row_hits, 3);
+    assert_eq!(c.stats().activates, 1);
+}
+
+#[test]
+fn bank_conflict_reopens_row() {
+    let mut c = ctrl_with(|_| {});
+    c.try_send(MemRequest::read(ReqId(0), addr(0, 5, 0), 64), 0)
+        .unwrap();
+    c.try_send(MemRequest::read(ReqId(1), addr(0, 6, 0), 64), 0)
+        .unwrap();
+    let mut out = Vec::new();
+    c.drain(&mut out);
+    assert_eq!(c.stats().precharges, 1);
+    assert_eq!(c.stats().activates, 2);
+    // PRE gated by tRAS (24 cycles from ACT at cycle 1), +tRP +tRCD +tCL
+    // +tBURST = 25 + 9 + 9 + 9 + 4 = 56 cycles.
+    assert_eq!(out[1].ready_at, 56 * 1_500);
+}
+
+#[test]
+fn writes_ack_immediately_but_occupy_queue() {
+    let mut c = ctrl_with(|_| {});
+    c.try_send(MemRequest::write(ReqId(0), addr(0, 1, 0), 64), 0)
+        .unwrap();
+    let mut out = Vec::new();
+    c.advance_to(0, &mut out);
+    assert_eq!(out.len(), 1, "early write acknowledgement");
+    assert_eq!(out[0].ready_at, 0);
+    // Unlike the event-based model, the unified queue drains the write
+    // without any watermark: it reaches DRAM during a normal drain.
+    c.drain(&mut out);
+    assert_eq!(c.stats().wr_bursts, 1);
+}
+
+#[test]
+fn unified_queue_interleaves_reads_and_writes() {
+    // DRAMSim2-style: no write drain mode, so a write between two reads to
+    // the same row is serviced in arrival order under FCFS, paying both
+    // turnarounds.
+    let mut c = ctrl_with(|cfg| cfg.scheduling = CycleSched::Fcfs);
+    c.try_send(MemRequest::read(ReqId(0), addr(0, 5, 0), 64), 0)
+        .unwrap();
+    c.try_send(MemRequest::write(ReqId(1), addr(0, 5, 1), 64), 0)
+        .unwrap();
+    c.try_send(MemRequest::read(ReqId(2), addr(0, 5, 2), 64), 0)
+        .unwrap();
+    let mut out = Vec::new();
+    c.drain(&mut out);
+    assert_eq!(c.stats().rd_bursts, 2);
+    assert_eq!(c.stats().wr_bursts, 1);
+    // The second read pays the write-to-read turnaround: its data cannot
+    // start before the write data end + tWTR + tCL.
+    let r2 = out.iter().find(|r| r.id == ReqId(2)).unwrap();
+    let r0 = out.iter().find(|r| r.id == ReqId(0)).unwrap();
+    assert!(r2.ready_at > r0.ready_at + 2 * 4 * 1_500, "turnaround gap");
+}
+
+#[test]
+fn closed_page_auto_precharges() {
+    let mut c = ctrl_with(|cfg| cfg.page_policy = CyclePagePolicy::Closed);
+    for i in 0..2 {
+        c.try_send(MemRequest::read(ReqId(i), addr(0, 5, i), 64), 0)
+            .unwrap();
+    }
+    let mut out = Vec::new();
+    c.drain(&mut out);
+    assert_eq!(c.stats().row_hits, 0, "closed page never hits");
+    assert_eq!(c.stats().activates, 2);
+    assert_eq!(c.stats().precharges, 2);
+}
+
+#[test]
+fn refresh_blocks_and_recurs() {
+    let cfg = CycleConfig::new(presets::ddr3_1333_x64());
+    let t_refi = cfg.spec.timing.t_refi;
+    let mut c = CycleCtrl::new(cfg).unwrap();
+    let mut out = Vec::new();
+    c.advance_to(3 * t_refi + 1_000_000, &mut out);
+    assert_eq!(c.stats().refreshes, 3);
+    // A read right at the refresh deadline waits out tRFC.
+    let mut c = CycleCtrl::new(CycleConfig::new(presets::ddr3_1333_x64())).unwrap();
+    c.advance_to(t_refi, &mut out);
+    c.try_send(MemRequest::read(ReqId(0), addr(0, 5, 0), 64), t_refi)
+        .unwrap();
+    out.clear();
+    c.drain(&mut out);
+    let t_rfc = presets::ddr3_1333_x64().timing.t_rfc;
+    assert!(out[0].ready_at >= t_refi + t_rfc, "read waits for refresh");
+}
+
+#[test]
+fn queue_backpressure() {
+    let mut c = ctrl_with(|cfg| cfg.queue_depth = 2);
+    assert_eq!(
+        c.try_send(MemRequest::read(ReqId(0), 0, 256), 0),
+        Err(Rejected::TooLarge)
+    );
+    c.try_send(MemRequest::read(ReqId(1), 0, 64), 0).unwrap();
+    c.try_send(MemRequest::write(ReqId(2), 64, 64), 0).unwrap();
+    assert_eq!(
+        c.try_send(MemRequest::read(ReqId(3), 128, 64), 0),
+        Err(Rejected::Full)
+    );
+    let mut out = Vec::new();
+    c.drain(&mut out);
+    assert!(c.can_accept(dramctrl_mem::MemCmd::Read, 128, 64));
+}
+
+#[test]
+fn frfcfs_prefers_row_hits() {
+    let mut c = ctrl_with(|_| {});
+    c.try_send(MemRequest::read(ReqId(0), addr(0, 5, 0), 64), 0)
+        .unwrap();
+    c.try_send(MemRequest::read(ReqId(1), addr(0, 6, 0), 64), 0)
+        .unwrap();
+    c.try_send(MemRequest::read(ReqId(2), addr(0, 5, 1), 64), 0)
+        .unwrap();
+    let mut out = Vec::new();
+    c.drain(&mut out);
+    let order: Vec<_> = out.iter().map(|r| r.id.0).collect();
+    assert_eq!(order, vec![0, 2, 1]);
+}
+
+#[test]
+fn deterministic_across_runs() {
+    let run = || {
+        let mut c = ctrl_with(|_| {});
+        let mut out = Vec::new();
+        for i in 0..100u64 {
+            let t = i * 3_000;
+            c.advance_to(t, &mut out);
+            let req = if i % 4 == 0 {
+                MemRequest::write(ReqId(i), (i % 16) * 4096 + i * 64, 64)
+            } else {
+                MemRequest::read(ReqId(i), (i % 16) * 4096 + i * 64, 64)
+            };
+            if c.can_accept(req.cmd, req.addr, req.size) {
+                c.try_send(req, t).unwrap();
+            }
+        }
+        c.drain(&mut out);
+        out.iter().map(|r| (r.id, r.ready_at)).collect::<Vec<_>>()
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn activity_tracks_precharged_time() {
+    let mut c = ctrl_with(|cfg| cfg.page_policy = CyclePagePolicy::Closed);
+    c.try_send(MemRequest::read(ReqId(0), addr(0, 5, 0), 64), 0)
+        .unwrap();
+    let mut out = Vec::new();
+    c.drain(&mut out);
+    let act = c.activity(1_500_000); // 1000 cycles
+    assert_eq!(act.activates, 1);
+    assert_eq!(act.refreshes, 0);
+    assert!(act.time_all_banks_precharged > 0);
+    assert!(act.time_all_banks_precharged < act.sim_time);
+}
+
+/// First-order agreement between the two models (paper Section III): same
+/// work done, comparable bus occupancy, identical burst counts on a
+/// read-only sequential stream.
+#[test]
+fn models_agree_on_sequential_reads() {
+    use dramctrl::{CtrlConfig, DramCtrl};
+
+    let mut evcfg = CtrlConfig::new(presets::ddr3_1333_x64());
+    evcfg.spec.timing.t_refi = 0;
+    let mut ev = DramCtrl::new(evcfg).unwrap();
+    let mut cy = ctrl_with(|_| {});
+
+    let mut ev_out = Vec::new();
+    let mut cy_out = Vec::new();
+    for i in 0..200u64 {
+        let req = MemRequest::read(ReqId(i), i * 64, 64);
+        let t = i * 6_000; // one burst-time apart: saturating
+        Controller::advance_to(&mut ev, t, &mut ev_out);
+        cy.advance_to(t, &mut cy_out);
+        while Controller::try_send(&mut ev, req, t).is_err() {
+            let n = Controller::next_event(&ev).unwrap();
+            Controller::advance_to(&mut ev, n.max(t), &mut ev_out);
+        }
+        while cy.try_send(req, t).is_err() {
+            let n = cy.next_event().unwrap();
+            cy.advance_to(n.max(t), &mut cy_out);
+        }
+    }
+    let ev_end = Controller::drain(&mut ev, &mut ev_out);
+    let cy_end = cy.drain(&mut cy_out);
+
+    assert_eq!(ev_out.len(), 200);
+    assert_eq!(cy_out.len(), 200);
+    let (es, cs) = (Controller::common_stats(&ev), cy.common_stats());
+    assert_eq!(es.rd_bursts, cs.rd_bursts);
+    assert_eq!(es.activates, cs.activates);
+    // Completion times within 15% of each other (cycle quantisation and
+    // command-bus modelling differ).
+    let ratio = ev_end as f64 / cy_end as f64;
+    assert!((0.85..1.15).contains(&ratio), "end ratio {ratio}");
+    // Both models near-saturate the bus.
+    assert!(es.bus_utilisation(ev_end) > 0.8);
+    assert!(cs.bus_utilisation(cy_end) > 0.8);
+}
+
+/// Regression: under strict FCFS, a conflicting head transaction must be
+/// allowed to precharge even when a row hit sits *behind* it — otherwise
+/// the queue deadlocks (the hit can never be served out of order).
+#[test]
+fn fcfs_head_conflict_with_trailing_hit_makes_progress() {
+    let mut c = ctrl_with(|cfg| cfg.scheduling = CycleSched::Fcfs);
+    // Open row 5, then queue a conflict (row 6) ahead of a hit (row 5).
+    c.try_send(MemRequest::read(ReqId(0), addr(0, 5, 0), 64), 0)
+        .unwrap();
+    let mut out = Vec::new();
+    c.drain(&mut out);
+    c.try_send(MemRequest::read(ReqId(1), addr(0, 6, 0), 64), 100_000)
+        .unwrap();
+    c.try_send(MemRequest::read(ReqId(2), addr(0, 5, 1), 64), 100_000)
+        .unwrap();
+    out.clear();
+    c.drain(&mut out);
+    let order: Vec<_> = out.iter().map(|r| r.id.0).collect();
+    assert_eq!(order, vec![1, 2], "FCFS order, no deadlock");
+}

@@ -1,0 +1,122 @@
+//! Property-based tests for the cycle-based baseline, mirroring the
+//! invariants of the event-based controller's suite: conservation of
+//! requests, ordering of responses and statistics consistency.
+
+use dramctrl_cycle::{CycleConfig, CycleCtrl, CyclePagePolicy, CycleSched};
+use dramctrl_mem::{presets, AddrMapping, Controller, MemRequest, Rejected, ReqId};
+use proptest::prelude::*;
+
+fn requests() -> impl Strategy<Value = Vec<(bool, u64, u32)>> {
+    proptest::collection::vec(
+        (
+            any::<bool>(),
+            0u64..(1 << 22),
+            prop_oneof![Just(16u32), Just(64u32), Just(128u32), Just(256u32)],
+        ),
+        1..40,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every accepted request produces exactly one response under any
+    /// policy combination; the controller ends idle with consistent
+    /// statistics.
+    #[test]
+    fn one_response_per_request(
+        reqs in requests(),
+        closed in any::<bool>(),
+        fcfs in any::<bool>(),
+        mapping_idx in 0usize..3,
+    ) {
+        let mut cfg = CycleConfig::new(presets::ddr3_1333_x64());
+        cfg.spec.timing.t_refi = 0;
+        cfg.page_policy = if closed {
+            CyclePagePolicy::Closed
+        } else {
+            CyclePagePolicy::Open
+        };
+        cfg.scheduling = if fcfs { CycleSched::Fcfs } else { CycleSched::FrFcfs };
+        cfg.mapping = [
+            AddrMapping::RoRaBaCoCh,
+            AddrMapping::RoRaBaChCo,
+            AddrMapping::RoCoRaBaCh,
+        ][mapping_idx];
+        let mut c = CycleCtrl::new(cfg).unwrap();
+
+        let mut out = Vec::new();
+        let mut t = 0;
+        let mut accepted = 0u64;
+        for (i, &(is_read, addr, size)) in reqs.iter().enumerate() {
+            let req = if is_read {
+                MemRequest::read(ReqId(i as u64), addr, size)
+            } else {
+                MemRequest::write(ReqId(i as u64), addr, size)
+            };
+            loop {
+                match c.try_send(req, t) {
+                    Ok(()) => {
+                        accepted += 1;
+                        break;
+                    }
+                    Err(Rejected::TooLarge) => break,
+                    Err(Rejected::Full) => {
+                        let next = c.next_event().expect("full implies pending work");
+                        t = t.max(next);
+                        c.advance_to(t, &mut out);
+                    }
+                }
+            }
+        }
+        c.drain(&mut out);
+
+        prop_assert_eq!(out.len() as u64, accepted);
+        prop_assert!(c.is_idle());
+        prop_assert!(out.windows(2).all(|w| w[0].ready_at <= w[1].ready_at));
+        let s = c.common_stats();
+        prop_assert_eq!(s.reads_accepted + s.writes_accepted, accepted);
+        let bursts = s.rd_bursts + s.wr_bursts;
+        prop_assert_eq!(s.bus_busy, bursts * c.config().spec.timing.t_burst);
+        prop_assert!(s.row_hits <= bursts);
+        prop_assert!(s.activates <= bursts);
+        // Cycle accounting: the model did per-cycle work.
+        prop_assert!(c.stats().cycles_simulated > 0);
+    }
+
+    /// Burst counts are identical between the two models for read-only
+    /// traffic (no merging/forwarding differences apply), regardless of
+    /// chopping.
+    #[test]
+    fn models_chop_identically(
+        addrs in proptest::collection::vec((0u64..(1 << 22), 1u32..300), 1..30),
+    ) {
+        use dramctrl::{CtrlConfig, DramCtrl};
+
+        let mut ev_cfg = CtrlConfig::new(presets::ddr3_1333_x64());
+        ev_cfg.spec.timing.t_refi = 0;
+        ev_cfg.read_buffer_size = 512;
+        let mut ev = DramCtrl::new(ev_cfg).unwrap();
+        let mut cy_cfg = CycleConfig::new(presets::ddr3_1333_x64());
+        cy_cfg.spec.timing.t_refi = 0;
+        cy_cfg.queue_depth = 512;
+        let mut cy = CycleCtrl::new(cy_cfg).unwrap();
+
+        let mut out = Vec::new();
+        for (i, &(addr, size)) in addrs.iter().enumerate() {
+            let req = MemRequest::read(ReqId(i as u64), addr, size);
+            let _ = Controller::try_send(&mut ev, req, 0);
+            let _ = cy.try_send(req, 0);
+        }
+        Controller::drain(&mut ev, &mut out);
+        cy.drain(&mut out);
+        prop_assert_eq!(
+            Controller::common_stats(&ev).rd_bursts,
+            cy.common_stats().rd_bursts
+        );
+        prop_assert_eq!(
+            Controller::common_stats(&ev).bytes_read,
+            cy.common_stats().bytes_read
+        );
+    }
+}

@@ -1,0 +1,130 @@
+use crate::tick::{Tick, S};
+
+/// A clock domain: converts between cycles and [`Tick`]s and aligns times to
+/// clock edges.
+///
+/// DRAM interfaces and cycle-based controller models are clocked; the
+/// event-based controller largely works in raw ticks but still needs the
+/// memory-bus clock period (`tCK`) to express burst durations.
+///
+/// # Example
+/// ```
+/// use dramctrl_kernel::Clock;
+///
+/// // DDR3-1333: 666 MHz bus clock (tCK = 1.5 ns).
+/// let clk = Clock::from_frequency_mhz(666.666_666);
+/// assert_eq!(clk.period(), 1_500);
+/// assert_eq!(clk.cycles(4), 6_000);
+/// // Align an arbitrary tick up to the next clock edge.
+/// assert_eq!(clk.ceil_edge(6_001), 7_500);
+/// assert_eq!(clk.ceil_edge(6_000), 6_000);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Clock {
+    period: Tick,
+}
+
+impl Clock {
+    /// Creates a clock with the given period in ticks (picoseconds).
+    ///
+    /// # Panics
+    /// Panics if `period` is zero.
+    pub fn from_period(period: Tick) -> Self {
+        assert!(period > 0, "clock period must be non-zero");
+        Self { period }
+    }
+
+    /// Creates a clock from a frequency in MHz, rounding the period to the
+    /// nearest picosecond.
+    ///
+    /// # Panics
+    /// Panics if the frequency is not positive or exceeds 1 THz.
+    pub fn from_frequency_mhz(mhz: f64) -> Self {
+        assert!(mhz > 0.0, "clock frequency must be positive");
+        let period = (1e6 / mhz).round() as Tick;
+        assert!(period > 0, "clock frequency above 1 THz is not supported");
+        Self { period }
+    }
+
+    /// The clock period in ticks.
+    pub fn period(&self) -> Tick {
+        self.period
+    }
+
+    /// The clock frequency in Hz.
+    pub fn frequency_hz(&self) -> f64 {
+        S as f64 / self.period as f64
+    }
+
+    /// Duration of `n` cycles in ticks.
+    pub fn cycles(&self, n: u64) -> Tick {
+        n * self.period
+    }
+
+    /// Number of *whole* cycles elapsed at `t` (floor).
+    pub fn to_cycles(&self, t: Tick) -> u64 {
+        t / self.period
+    }
+
+    /// Number of cycles needed to cover `t` (ceiling). Used to convert
+    /// nanosecond timing parameters to cycle counts in the cycle-based model.
+    pub fn to_cycles_ceil(&self, t: Tick) -> u64 {
+        t.div_ceil(self.period)
+    }
+
+    /// Rounds `t` up to the next clock edge (identity if already aligned).
+    pub fn ceil_edge(&self, t: Tick) -> Tick {
+        t.div_ceil(self.period) * self.period
+    }
+
+    /// Rounds `t` down to the previous clock edge.
+    pub fn floor_edge(&self, t: Tick) -> Tick {
+        (t / self.period) * self.period
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tick;
+
+    #[test]
+    fn frequency_round_trip() {
+        let clk = Clock::from_frequency_mhz(800.0);
+        assert_eq!(clk.period(), 1_250);
+        assert!((clk.frequency_hz() - 800e6).abs() < 1.0);
+    }
+
+    #[test]
+    fn cycle_arithmetic() {
+        let clk = Clock::from_period(1_500);
+        assert_eq!(clk.cycles(0), 0);
+        assert_eq!(clk.cycles(10), 15_000);
+        assert_eq!(clk.to_cycles(15_000), 10);
+        assert_eq!(clk.to_cycles(15_001), 10);
+        assert_eq!(clk.to_cycles_ceil(15_001), 11);
+        assert_eq!(clk.to_cycles_ceil(15_000), 10);
+    }
+
+    #[test]
+    fn edge_alignment() {
+        let clk = Clock::from_period(1_000);
+        assert_eq!(clk.ceil_edge(0), 0);
+        assert_eq!(clk.ceil_edge(1), 1_000);
+        assert_eq!(clk.ceil_edge(1_000), 1_000);
+        assert_eq!(clk.floor_edge(1_999), 1_000);
+    }
+
+    #[test]
+    fn ddr3_1333_timings_in_cycles() {
+        // tRCD = 13.75 ns at tCK = 1.5 ns is 10 cycles (9.17 rounded up).
+        let clk = Clock::from_frequency_mhz(666.666_666);
+        assert_eq!(clk.to_cycles_ceil(tick::from_ns(13.75)), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "clock period must be non-zero")]
+    fn zero_period_panics() {
+        let _ = Clock::from_period(0);
+    }
+}

@@ -1,0 +1,253 @@
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::tick::Tick;
+
+/// A deterministic discrete-event queue.
+///
+/// Events are ordered by tick; events scheduled for the same tick are
+/// delivered in insertion order (FIFO). This tie-break makes simulations
+/// reproducible regardless of heap internals.
+///
+/// The queue tracks the current simulated time: popping an event advances
+/// `now()` to the event's tick. Scheduling in the past is a logic error and
+/// panics (in both debug and release builds) — an event-based model must
+/// never rewind time.
+///
+/// # Example
+/// ```
+/// use dramctrl_kernel::EventQueue;
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(100, "b");
+/// q.schedule(100, "c"); // same tick: FIFO order
+/// q.schedule(50, "a");
+/// let order: Vec<_> = std::iter::from_fn(|| q.pop()).collect();
+/// assert_eq!(order, vec![(50, "a"), (100, "b"), (100, "c")]);
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    seq: u64,
+    now: Tick,
+}
+
+#[derive(Debug)]
+struct Entry<E> {
+    tick: Tick,
+    seq: u64,
+    event: E,
+}
+
+// Min-heap ordering on (tick, seq): BinaryHeap is a max-heap, so reverse.
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        (other.tick, other.seq).cmp(&(self.tick, self.seq))
+    }
+}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.tick == other.tick && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Entry<E> {}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue with `now() == 0`.
+    pub fn new() -> Self {
+        Self {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            now: 0,
+        }
+    }
+
+    /// The current simulated time (the tick of the last popped event).
+    pub fn now(&self) -> Tick {
+        self.now
+    }
+
+    /// Schedules `event` at absolute time `at`.
+    ///
+    /// # Panics
+    /// Panics if `at` is earlier than `now()`.
+    pub fn schedule(&mut self, at: Tick, event: E) {
+        assert!(
+            at >= self.now,
+            "scheduling in the past: at={} now={}",
+            at,
+            self.now
+        );
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Entry {
+            tick: at,
+            seq,
+            event,
+        });
+    }
+
+    /// Schedules `event` `delay` ticks from now.
+    pub fn schedule_in(&mut self, delay: Tick, event: E) {
+        self.schedule(self.now + delay, event);
+    }
+
+    /// The tick of the earliest pending event, if any.
+    pub fn peek_tick(&self) -> Option<Tick> {
+        self.heap.peek().map(|e| e.tick)
+    }
+
+    /// Removes and returns the earliest event, advancing `now()` to its tick.
+    pub fn pop(&mut self) -> Option<(Tick, E)> {
+        let entry = self.heap.pop()?;
+        debug_assert!(entry.tick >= self.now);
+        self.now = entry.tick;
+        Some((entry.tick, entry.event))
+    }
+
+    /// Removes and returns the earliest event only if it is due at or before
+    /// `limit`. Leaves `now()` untouched otherwise.
+    pub fn pop_until(&mut self, limit: Tick) -> Option<(Tick, E)> {
+        if self.peek_tick()? <= limit {
+            self.pop()
+        } else {
+            None
+        }
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Drops all pending events; `now()` is preserved.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn pop_advances_now() {
+        let mut q = EventQueue::new();
+        q.schedule(10, ());
+        q.schedule(20, ());
+        assert_eq!(q.now(), 0);
+        q.pop();
+        assert_eq!(q.now(), 10);
+        q.pop();
+        assert_eq!(q.now(), 20);
+    }
+
+    #[test]
+    fn fifo_within_same_tick() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule(42, i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop(), Some((42, i)));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduling in the past")]
+    fn scheduling_in_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule(10, ());
+        q.pop();
+        q.schedule(5, ());
+    }
+
+    #[test]
+    fn pop_until_respects_limit() {
+        let mut q = EventQueue::new();
+        q.schedule(10, "a");
+        q.schedule(30, "b");
+        assert_eq!(q.pop_until(20), Some((10, "a")));
+        assert_eq!(q.pop_until(20), None);
+        assert_eq!(q.now(), 10);
+        assert_eq!(q.pop_until(30), Some((30, "b")));
+    }
+
+    #[test]
+    fn schedule_in_is_relative_to_now() {
+        let mut q = EventQueue::new();
+        q.schedule(100, "x");
+        q.pop();
+        q.schedule_in(5, "y");
+        assert_eq!(q.pop(), Some((105, "y")));
+    }
+
+    #[test]
+    fn len_and_clear() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.schedule(1, ());
+        q.schedule(2, ());
+        assert_eq!(q.len(), 2);
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_tick(), None);
+    }
+
+    proptest! {
+        /// Events always come out in non-decreasing tick order, and events
+        /// with equal ticks come out in insertion order.
+        #[test]
+        fn ordering_invariant(ticks in proptest::collection::vec(0u64..1_000, 1..200)) {
+            let mut q = EventQueue::new();
+            for (i, &t) in ticks.iter().enumerate() {
+                q.schedule(t, i);
+            }
+            let mut prev: Option<(Tick, usize)> = None;
+            while let Some((t, i)) = q.pop() {
+                if let Some((pt, pi)) = prev {
+                    prop_assert!(t >= pt);
+                    if t == pt {
+                        prop_assert!(i > pi);
+                    }
+                }
+                prev = Some((t, i));
+            }
+        }
+
+        /// now() equals the tick of the last popped event.
+        #[test]
+        fn now_tracks_pops(ticks in proptest::collection::vec(0u64..1_000, 1..50)) {
+            let mut q = EventQueue::new();
+            for &t in &ticks {
+                q.schedule(t, ());
+            }
+            let mut max_seen = 0;
+            while let Some((t, ())) = q.pop() {
+                max_seen = max_seen.max(t);
+                prop_assert_eq!(q.now(), t);
+            }
+            prop_assert_eq!(q.now(), max_seen);
+        }
+    }
+}

@@ -1,0 +1,57 @@
+//! Property-based tests for clock-domain arithmetic — the conversions the
+//! cycle-based model relies on for its nanosecond-to-cycle tables.
+
+use dramctrl_kernel::{tick, Clock};
+use proptest::prelude::*;
+
+proptest! {
+    /// ceil_edge is idempotent, aligned, and never earlier than the input.
+    #[test]
+    fn ceil_edge_properties(period in 1u64..10_000, t in 0u64..(1 << 40)) {
+        let clk = Clock::from_period(period);
+        let e = clk.ceil_edge(t);
+        prop_assert!(e >= t);
+        prop_assert!(e - t < period);
+        prop_assert_eq!(e % period, 0);
+        prop_assert_eq!(clk.ceil_edge(e), e);
+    }
+
+    /// floor and ceil bracket the input by less than one period.
+    #[test]
+    fn floor_ceil_bracket(period in 1u64..10_000, t in 0u64..(1 << 40)) {
+        let clk = Clock::from_period(period);
+        let (f, c) = (clk.floor_edge(t), clk.ceil_edge(t));
+        prop_assert!(f <= t && t <= c);
+        prop_assert!(c - f < 2 * period);
+        if t % period == 0 {
+            prop_assert_eq!(f, c);
+        }
+    }
+
+    /// Cycle round trips: to_cycles(cycles(n)) == n, and the ceiling count
+    /// always covers the duration.
+    #[test]
+    fn cycle_round_trip(period in 1u64..10_000, n in 0u64..1_000_000, t in 0u64..(1 << 40)) {
+        let clk = Clock::from_period(period);
+        prop_assert_eq!(clk.to_cycles(clk.cycles(n)), n);
+        prop_assert!(clk.cycles(clk.to_cycles_ceil(t)) >= t);
+        prop_assert!(clk.cycles(clk.to_cycles(t)) <= t);
+    }
+
+    /// Tick conversions: ns round trips through ticks at ps resolution.
+    #[test]
+    fn ns_round_trip(ns in 0u64..1_000_000_000) {
+        let t = tick::from_ns(ns as f64);
+        prop_assert_eq!(t, ns * tick::NS);
+        prop_assert_eq!(tick::to_ns(t), ns as f64);
+    }
+}
+
+#[test]
+fn frequency_period_inverses() {
+    for mhz in [200.0, 666.666_666, 800.0, 1_600.0] {
+        let clk = Clock::from_frequency_mhz(mhz);
+        let back = clk.frequency_hz() / 1e6;
+        assert!((back - mhz).abs() / mhz < 1e-3, "{mhz} -> {back}");
+    }
+}

@@ -1,0 +1,332 @@
+//! Address decoding schemes (paper Table I).
+//!
+//! The controller decodes a physical address into rank, bank, row and
+//! column; channel interleaving happens *outside* the controller, in the
+//! crossbar (Section II-A). The mapping name lists the fields from most to
+//! least significant, so the last field changes fastest with sequential
+//! addresses:
+//!
+//! * `RoRaBaCoCh` — channel bits at the bottom, columns above: sequential
+//!   addresses sweep channels and then columns of the same row, maximising
+//!   row-buffer hits (used with open-page policies, Section III-B);
+//! * `RoRaBaChCo` — a whole row per channel; channel interleaving at
+//!   row-buffer granularity;
+//! * `RoCoRaBaCh` — banks and ranks just above the channel bits:
+//!   sequential addresses sweep banks, maximising bank-level parallelism
+//!   (used with closed-page policies).
+//!
+//! Columns are addressed in *burst* units: the low `log2(burst_bytes)` bits
+//! of the address are the byte offset within a burst and carry no decode
+//! information.
+
+use crate::spec::Organisation;
+
+/// The three address decoding schemes of Table I.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum AddrMapping {
+    /// Row-Rank-Bank-Column-Channel (channel fastest; row-hit friendly).
+    #[default]
+    RoRaBaCoCh,
+    /// Row-Rank-Bank-Channel-Column (row-buffer-granularity interleaving).
+    RoRaBaChCo,
+    /// Row-Column-Rank-Bank-Channel (bank-parallelism friendly).
+    RoCoRaBaCh,
+}
+
+impl std::fmt::Display for AddrMapping {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            AddrMapping::RoRaBaCoCh => "RoRaBaCoCh",
+            AddrMapping::RoRaBaChCo => "RoRaBaChCo",
+            AddrMapping::RoCoRaBaCh => "RoCoRaBaCh",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A decoded DRAM address (channel handled separately by the crossbar).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DramAddr {
+    /// Rank index within the channel.
+    pub rank: u32,
+    /// Bank index within the rank.
+    pub bank: u32,
+    /// Row index within the bank.
+    pub row: u64,
+    /// Column index within the row, in burst units.
+    pub col: u64,
+}
+
+impl DramAddr {
+    /// Flat index of the (rank, bank) pair, useful for per-bank arrays.
+    pub fn bank_id(&self, org: &Organisation) -> usize {
+        (self.rank * org.banks + self.bank) as usize
+    }
+}
+
+impl AddrMapping {
+    /// The granularity at which the crossbar interleaves channels for this
+    /// mapping: one DRAM burst — but never less than a 64-byte cache line,
+    /// so whole lines stay within one channel and the *controller* chops
+    /// them into sub-line bursts (paper Section II-A) — for the `..Ch`
+    /// mappings, and a whole row buffer for `RoRaBaChCo`.
+    pub fn interleave_granularity(self, org: &Organisation) -> u64 {
+        match self {
+            AddrMapping::RoRaBaCoCh | AddrMapping::RoCoRaBaCh => {
+                org.burst_bytes().max(MIN_CHANNEL_GRANULE)
+            }
+            AddrMapping::RoRaBaChCo => org.row_buffer_bytes(),
+        }
+    }
+
+    /// The channel an address routes to.
+    pub fn channel_of(self, addr: u64, org: &Organisation, channels: u32) -> u32 {
+        ((addr / self.interleave_granularity(org)) % u64::from(channels)) as u32
+    }
+
+    /// Removes the channel bits from `addr`, producing the address as seen
+    /// inside one channel.
+    fn strip_channel(self, addr: u64, org: &Organisation, channels: u32) -> u64 {
+        let g = self.interleave_granularity(org);
+        let ch = u64::from(channels);
+        (addr / (g * ch)) * g + addr % g
+    }
+
+    /// Inserts channel bits into a channel-local address — the inverse of
+    /// [`strip_channel`](Self::strip_channel).
+    fn insert_channel(
+        self,
+        local: u64,
+        channel: u32,
+        org: &Organisation,
+        channels: u32,
+    ) -> u64 {
+        let g = self.interleave_granularity(org);
+        let ch = u64::from(channels);
+        (local / g) * g * ch + u64::from(channel) * g + local % g
+    }
+
+    /// Decodes a physical byte address into rank/bank/row/column.
+    ///
+    /// `channels` is the number of interleaved channels; the channel bits
+    /// (at [`interleave_granularity`](Self::interleave_granularity)) are
+    /// skipped during decode — the crossbar routed the packet here.
+    /// Addresses beyond the channel capacity wrap in the row field.
+    pub fn decode(self, addr: u64, org: &Organisation, channels: u32) -> DramAddr {
+        let local = self.strip_channel(addr, org, channels);
+        let burst = org.burst_bytes();
+        let cols = org.bursts_per_row();
+        let banks = u64::from(org.banks);
+        let ranks = u64::from(org.ranks);
+        let rows = org.rows_per_bank();
+
+        let mut a = local / burst;
+        match self {
+            AddrMapping::RoRaBaCoCh | AddrMapping::RoRaBaChCo => {
+                // With the channel bits stripped, both row-hit-friendly
+                // mappings order the fields identically: Co lowest.
+                let col = a % cols;
+                a /= cols;
+                let bank = (a % banks) as u32;
+                a /= banks;
+                let rank = (a % ranks) as u32;
+                a /= ranks;
+                DramAddr {
+                    rank,
+                    bank,
+                    row: a % rows,
+                    col,
+                }
+            }
+            AddrMapping::RoCoRaBaCh => {
+                // Bank bits lowest (above any intra-granule columns), so
+                // sequential granules sweep banks.
+                let sub = a % (self.interleave_granularity(org) / burst).max(1);
+                a /= (self.interleave_granularity(org) / burst).max(1);
+                let bank = (a % banks) as u32;
+                a /= banks;
+                let rank = (a % ranks) as u32;
+                a /= ranks;
+                let stripes = cols / (self.interleave_granularity(org) / burst).max(1);
+                let col_hi = a % stripes;
+                a /= stripes;
+                DramAddr {
+                    rank,
+                    bank,
+                    row: a % rows,
+                    col: col_hi * (self.interleave_granularity(org) / burst).max(1) + sub,
+                }
+            }
+        }
+    }
+
+    /// Encodes rank/bank/row/column (and a channel) back into a physical
+    /// byte address — the inverse of [`AddrMapping::decode`]. Used by the
+    /// DRAM-aware traffic generator to construct addresses that target
+    /// specific banks and rows (paper Section III-A).
+    ///
+    /// # Panics
+    /// Panics (in debug builds) if any field exceeds the organisation's
+    /// limits.
+    pub fn encode(
+        self,
+        da: &DramAddr,
+        channel: u32,
+        org: &Organisation,
+        channels: u32,
+    ) -> u64 {
+        debug_assert!(da.col < org.bursts_per_row());
+        debug_assert!(da.bank < org.banks);
+        debug_assert!(da.rank < org.ranks);
+        debug_assert!(da.row < org.rows_per_bank());
+        debug_assert!(channel < channels);
+
+        let burst = org.burst_bytes();
+        let cols = org.bursts_per_row();
+        let banks = u64::from(org.banks);
+        let ranks = u64::from(org.ranks);
+        let (rank, bank, row, col) = (u64::from(da.rank), u64::from(da.bank), da.row, da.col);
+
+        let a = match self {
+            AddrMapping::RoRaBaCoCh | AddrMapping::RoRaBaChCo => {
+                ((row * ranks + rank) * banks + bank) * cols + col
+            }
+            AddrMapping::RoCoRaBaCh => {
+                let gb = (self.interleave_granularity(org) / burst).max(1);
+                let (col_hi, sub) = (col / gb, col % gb);
+                let stripes = cols / gb;
+                (((row * stripes + col_hi) * ranks + rank) * banks + bank) * gb + sub
+            }
+        };
+        self.insert_channel(a * burst, channel, org, channels)
+    }
+}
+
+/// Minimum channel-interleaving granule for the burst-interleaved
+/// mappings: one cache line, so a line never straddles channels even on
+/// narrow (sub-line-burst) interfaces like LPDDR3 x32.
+pub const MIN_CHANNEL_GRANULE: u64 = 64;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+    use proptest::prelude::*;
+
+    fn org() -> Organisation {
+        presets::ddr3_1333_x64().org
+    }
+
+    const ALL: [AddrMapping; 3] = [
+        AddrMapping::RoRaBaCoCh,
+        AddrMapping::RoRaBaChCo,
+        AddrMapping::RoCoRaBaCh,
+    ];
+
+    #[test]
+    fn sequential_addresses_hit_same_row_with_rorabacoch() {
+        let org = org();
+        let m = AddrMapping::RoRaBaCoCh;
+        let first = m.decode(0, &org, 1);
+        // A full row's worth of sequential bursts stays in (rank0, bank0).
+        for i in 0..org.bursts_per_row() {
+            let d = m.decode(i * org.burst_bytes(), &org, 1);
+            assert_eq!((d.rank, d.bank, d.row), (first.rank, first.bank, first.row));
+            assert_eq!(d.col, i);
+        }
+        // The next burst moves to another bank (row change only after all
+        // banks are swept).
+        let next = m.decode(org.row_buffer_bytes(), &org, 1);
+        assert_ne!(next.bank, first.bank);
+    }
+
+    #[test]
+    fn sequential_addresses_sweep_banks_with_rocorabach() {
+        let org = org();
+        let m = AddrMapping::RoCoRaBaCh;
+        for i in 0..u64::from(org.banks) {
+            let d = m.decode(i * org.burst_bytes(), &org, 1);
+            assert_eq!(d.bank, i as u32);
+            assert_eq!(d.col, 0);
+        }
+        // After sweeping all banks the column advances.
+        let d = m.decode(u64::from(org.banks) * org.burst_bytes(), &org, 1);
+        assert_eq!(d.bank, 0);
+        assert_eq!(d.col, 1);
+    }
+
+    #[test]
+    fn channel_interleaving_granularity() {
+        let org = org();
+        assert_eq!(
+            AddrMapping::RoRaBaCoCh.interleave_granularity(&org),
+            org.burst_bytes()
+        );
+        assert_eq!(
+            AddrMapping::RoRaBaChCo.interleave_granularity(&org),
+            org.row_buffer_bytes()
+        );
+        // Four channels, burst interleaved: bursts round-robin channels.
+        for i in 0..8u64 {
+            let ch = AddrMapping::RoRaBaCoCh.channel_of(i * org.burst_bytes(), &org, 4);
+            assert_eq!(u64::from(ch), i % 4);
+        }
+    }
+
+    #[test]
+    fn decode_ignores_byte_offset_within_burst() {
+        let org = org();
+        for m in ALL {
+            let a = m.decode(0x1_2345_0000, &org, 2);
+            let b = m.decode(0x1_2345_0000 + org.burst_bytes() - 1, &org, 2);
+            assert_eq!(a, b, "mapping {m}");
+        }
+    }
+
+    proptest! {
+        /// encode is the right inverse of decode for every mapping.
+        #[test]
+        fn decode_encode_round_trip(
+            raw in 0u64..(2u64 << 30),
+            channels in 1u32..=4,
+            midx in 0usize..3,
+        ) {
+            let org = org();
+            let m = ALL[midx];
+            // Align to a burst within one channel's capacity.
+            let addr = raw / org.burst_bytes() * org.burst_bytes()
+                % (org.capacity_bytes() * u64::from(channels));
+            let ch = m.channel_of(addr, &org, channels);
+            let d = m.decode(addr, &org, channels);
+            let back = m.encode(&d, ch, &org, channels);
+            prop_assert_eq!(back, addr);
+        }
+
+        /// Decoded fields are always within the organisation's bounds.
+        #[test]
+        fn decode_in_bounds(raw in proptest::num::u64::ANY, midx in 0usize..3) {
+            let org = org();
+            let d = ALL[midx].decode(raw, &org, 2);
+            prop_assert!(d.rank < org.ranks);
+            prop_assert!(d.bank < org.banks);
+            prop_assert!(d.row < org.rows_per_bank());
+            prop_assert!(d.col < org.bursts_per_row());
+        }
+
+        /// Distinct burst-aligned addresses within one channel never decode
+        /// to the same (rank, bank, row, col) tuple.
+        #[test]
+        fn decode_injective(
+            a in 0u64..(1u64 << 24),
+            b in 0u64..(1u64 << 24),
+            midx in 0usize..3,
+        ) {
+            let org = org();
+            let m = ALL[midx];
+            let (a, b) = (a * org.burst_bytes(), b * org.burst_bytes());
+            prop_assume!(a != b);
+            prop_assume!(a < org.capacity_bytes() && b < org.capacity_bytes());
+            prop_assert_ne!(m.decode(a, &org, 1), m.decode(b, &org, 1));
+        }
+    }
+}

@@ -1,0 +1,104 @@
+//! Cross-preset invariants: every device specification the library ships
+//! must be internally consistent and survive the derived-geometry maths.
+
+use dramctrl_mem::{presets, AddrMapping, MemCmd, MemRequest, MemResponse, ReqId};
+use proptest::prelude::*;
+
+#[test]
+fn presets_have_power_of_two_geometry() {
+    for spec in presets::all() {
+        let o = &spec.org;
+        assert!(o.burst_bytes().is_power_of_two(), "{}", spec.name);
+        assert!(o.row_buffer_bytes().is_power_of_two(), "{}", spec.name);
+        assert!(o.bursts_per_row().is_power_of_two(), "{}", spec.name);
+        assert!(o.rows_per_bank().is_power_of_two(), "{}", spec.name);
+        assert!(o.banks.is_power_of_two(), "{}", spec.name);
+    }
+}
+
+#[test]
+fn presets_timing_orderings() {
+    for spec in presets::all() {
+        let t = &spec.timing;
+        let n = spec.name;
+        assert!(t.t_ras >= t.t_rcd, "{n}: tRAS covers tRCD");
+        assert!(t.t_xaw >= t.t_rrd, "{n}: window at least one tRRD");
+        assert!(t.t_refi == 0 || t.t_refi > t.t_rfc, "{n}: tREFI > tRFC");
+        assert!(t.t_xs >= t.t_xp, "{n}: self-refresh exit dominates tXP");
+        assert!(t.t_burst % t.t_ck == 0, "{n}: whole-cycle bursts");
+    }
+}
+
+#[test]
+fn presets_idd_orderings() {
+    for spec in presets::all() {
+        let i = &spec.idd;
+        let n = spec.name;
+        assert!(i.idd6 < i.idd2p || i.idd6 < i.idd2n, "{n}: IDD6 deepest");
+        assert!(i.idd2p < i.idd2n, "{n}: power-down below standby");
+        assert!(i.idd2n < i.idd3n, "{n}: precharge below active standby");
+        assert!(i.idd4r > i.idd3n && i.idd4w > i.idd3n, "{n}: bursts cost");
+        assert!(i.vdd > 0.0, "{n}");
+    }
+}
+
+proptest! {
+    /// Channel routing and decode agree for every preset, mapping and
+    /// channel count: the routed channel's decode round-trips through
+    /// encode with that channel.
+    #[test]
+    fn routing_and_decode_consistent(
+        preset_idx in 0usize..9,
+        midx in 0usize..3,
+        channels in 1u32..=4,
+        raw in 0u64..(1 << 30),
+    ) {
+        let spec = presets::all()[preset_idx].clone();
+        let m = [
+            AddrMapping::RoRaBaCoCh,
+            AddrMapping::RoRaBaChCo,
+            AddrMapping::RoCoRaBaCh,
+        ][midx];
+        let g = m.interleave_granularity(&spec.org);
+        let addr = raw / g * g % (spec.org.capacity_bytes() * u64::from(channels));
+        let ch = m.channel_of(addr, &spec.org, channels);
+        prop_assert!(ch < channels);
+        let da = m.decode(addr, &spec.org, channels);
+        let back = m.encode(&da, ch, &spec.org, channels);
+        prop_assert_eq!(back, addr, "{} {}", spec.name, m);
+    }
+
+    /// Burst-granule neighbours within one interleave granule always land
+    /// in the same channel (lines never straddle channels).
+    #[test]
+    fn lines_never_straddle_channels(
+        preset_idx in 0usize..9,
+        channels in 2u32..=4,
+        line in 0u64..(1 << 22),
+    ) {
+        let spec = presets::all()[preset_idx].clone();
+        let m = AddrMapping::RoRaBaCoCh;
+        let base = line * 64;
+        let ch = m.channel_of(base, &spec.org, channels);
+        for off in [0u64, 16, 32, 63] {
+            prop_assert_eq!(m.channel_of(base + off, &spec.org, channels), ch);
+        }
+    }
+}
+
+#[test]
+fn request_response_round_trip_fields() {
+    let req = MemRequest {
+        id: ReqId(42),
+        cmd: MemCmd::Write,
+        addr: 0xdead_b000,
+        size: 128,
+        source: 9,
+    };
+    let resp = MemResponse::to(&req, 1_000);
+    assert_eq!(resp.id, req.id);
+    assert_eq!(resp.cmd, req.cmd);
+    assert_eq!(resp.addr, req.addr);
+    assert_eq!(resp.source, req.source);
+    assert_eq!(resp.ready_at, 1_000);
+}

@@ -1,0 +1,340 @@
+//! # dramctrl-power — Micron-style DRAM power model
+//!
+//! Implements the DRAM power methodology of Micron's TN-41-01 ("Calculating
+//! Memory System Power for DDR3"), the model the paper uses (Section II-G):
+//! power is computed *off-line* from controller statistics — page hit rate
+//! is implicit in the activate count, data-bus utilisation gives read/write
+//! burst power, and the time with all banks precharged splits the
+//! background power between precharge and active standby.
+//!
+//! Both controller models export the same [`ActivityStats`], so the paper's
+//! power-correlation experiment (Section III-C3: average ~3%, maximum ~8%
+//! difference) is reproduced by feeding both models' statistics through
+//! this one function.
+//!
+//! # Example
+//!
+//! ```
+//! use dramctrl_mem::{presets, ActivityStats};
+//! use dramctrl_power::micron_power;
+//!
+//! let spec = presets::ddr3_1333_x64();
+//! let idle = ActivityStats {
+//!     sim_time: 1_000_000_000, // 1 ms
+//!     time_all_banks_precharged: 1_000_000_000,
+//!     ranks: 1,
+//!     ..Default::default()
+//! };
+//! let p = micron_power(&spec, &idle);
+//! // An idle, fully precharged device burns only background power.
+//! assert_eq!(p.activate_mw, 0.0);
+//! assert!(p.background_mw > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod energy;
+
+pub use energy::{drampower_energy, EnergyBreakdown};
+
+use dramctrl_kernel::Tick;
+use dramctrl_mem::{ActivityStats, MemSpec};
+use dramctrl_stats::Report;
+
+/// DRAM power split into the TN-41-01 components, in milliwatts, for the
+/// whole channel (all devices, all ranks). When the controller's
+/// power-down extension is enabled, time spent powered down draws IDD2P
+/// instead of IDD2N.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PowerBreakdown {
+    /// Standby power: precharge standby (IDD2N) while all banks are
+    /// closed, active standby (IDD3N) otherwise.
+    pub background_mw: f64,
+    /// Row activate/precharge power (IDD0 above the standby floor).
+    pub activate_mw: f64,
+    /// Read burst power (IDD4R above active standby).
+    pub read_mw: f64,
+    /// Write burst power (IDD4W above active standby).
+    pub write_mw: f64,
+    /// Refresh power (IDD5 above active standby).
+    pub refresh_mw: f64,
+}
+
+impl PowerBreakdown {
+    /// Total channel power in milliwatts.
+    pub fn total_mw(&self) -> f64 {
+        self.background_mw + self.activate_mw + self.read_mw + self.write_mw + self.refresh_mw
+    }
+
+    /// Adds all components of another breakdown (e.g. to sum channels).
+    pub fn accumulate(&mut self, other: &PowerBreakdown) {
+        self.background_mw += other.background_mw;
+        self.activate_mw += other.activate_mw;
+        self.read_mw += other.read_mw;
+        self.write_mw += other.write_mw;
+        self.refresh_mw += other.refresh_mw;
+    }
+
+    /// Average energy per bit transferred, in picojoules, given the bytes
+    /// moved during the window of `sim_time` ticks.
+    pub fn energy_pj_per_bit(&self, bytes: u64, sim_time: Tick) -> f64 {
+        if bytes == 0 {
+            return 0.0;
+        }
+        // mW * ps = nanojoule * 1e-3; convert to pJ per bit.
+        let energy_pj = self.total_mw() * sim_time as f64 * 1e-3;
+        energy_pj / (bytes as f64 * 8.0)
+    }
+
+    /// Formats the breakdown as report entries under `prefix`.
+    pub fn report(&self, prefix: &str) -> Report {
+        let mut r = Report::new(prefix);
+        r.scalar("background_mw", self.background_mw);
+        r.scalar("activate_mw", self.activate_mw);
+        r.scalar("read_mw", self.read_mw);
+        r.scalar("write_mw", self.write_mw);
+        r.scalar("refresh_mw", self.refresh_mw);
+        r.scalar("total_mw", self.total_mw());
+        r
+    }
+}
+
+/// Computes the TN-41-01 power breakdown for `spec` from the activity of
+/// one simulation window.
+///
+/// Returns all-zero power for an empty window (`sim_time == 0`).
+pub fn micron_power(spec: &MemSpec, act: &ActivityStats) -> PowerBreakdown {
+    if act.sim_time == 0 {
+        return PowerBreakdown::default();
+    }
+    let idd = &spec.idd;
+    let t = &spec.timing;
+    let time = act.sim_time as f64;
+    // All devices of all ranks switch together from the channel's
+    // perspective; IDD currents are per device.
+    let devices = f64::from(spec.org.devices_per_rank) * f64::from(spec.org.ranks);
+    let mw = |current_ma: f64| current_ma * idd.vdd * devices;
+
+    // Background: self-refresh (IDD6) deepest, power-down (IDD2P) next,
+    // precharge standby (IDD2N) while idle but awake, active standby
+    // (IDD3N) otherwise.
+    let pre_frac = act.precharged_fraction().clamp(0.0, 1.0);
+    let sr_frac = act.self_refresh_fraction().clamp(0.0, pre_frac);
+    let pd_frac = act
+        .powered_down_fraction()
+        .clamp(0.0, pre_frac - sr_frac);
+    let background_mw = mw(idd.idd6) * sr_frac
+        + mw(idd.idd2p) * pd_frac
+        + mw(idd.idd2n) * (pre_frac - pd_frac - sr_frac)
+        + mw(idd.idd3n) * (1.0 - pre_frac);
+
+    // Activate/precharge: IDD0 is measured cycling one bank at tRC
+    // (tRAS active + tRP precharged); subtract the standby floor and scale
+    // by how often we actually activate relative to that measurement
+    // cadence.
+    let t_rc = (t.t_ras + t.t_rp) as f64;
+    let idd0_floor =
+        (idd.idd3n * t.t_ras as f64 + idd.idd2n * t.t_rp as f64) / t_rc;
+    let act_scale = act.activates as f64 * t_rc / time;
+    let activate_mw = mw((idd.idd0 - idd0_floor).max(0.0)) * act_scale;
+
+    // Read/write burst power above active standby, scaled by data-bus duty
+    // cycle in each direction.
+    let rd_duty = (act.rd_bursts as f64 * t.t_burst as f64 / time).min(1.0);
+    let wr_duty = (act.wr_bursts as f64 * t.t_burst as f64 / time).min(1.0);
+    let read_mw = mw((idd.idd4r - idd.idd3n).max(0.0)) * rd_duty;
+    let write_mw = mw((idd.idd4w - idd.idd3n).max(0.0)) * wr_duty;
+
+    // Refresh: IDD5 above active standby for tRFC per refresh performed.
+    let ref_duty = (act.refreshes as f64 * t.t_rfc as f64 / time).min(1.0);
+    let refresh_mw = mw((idd.idd5 - idd.idd3n).max(0.0)) * ref_duty;
+
+    PowerBreakdown {
+        background_mw,
+        activate_mw,
+        read_mw,
+        write_mw,
+        refresh_mw,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dramctrl_kernel::tick::MS;
+    use dramctrl_mem::presets;
+    use proptest::prelude::*;
+
+    fn spec() -> MemSpec {
+        presets::ddr3_1333_x64()
+    }
+
+    fn idle(sim_time: Tick) -> ActivityStats {
+        ActivityStats {
+            sim_time,
+            time_all_banks_precharged: sim_time,
+            ranks: 1,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn empty_window_is_zero() {
+        let p = micron_power(&spec(), &ActivityStats::default());
+        assert_eq!(p.total_mw(), 0.0);
+    }
+
+    #[test]
+    fn idle_precharged_is_idd2n_floor() {
+        let p = micron_power(&spec(), &idle(MS));
+        // 8 devices at IDD2N = 42 mA, 1.5 V: 504 mW.
+        assert!((p.background_mw - 8.0 * 42.0 * 1.5).abs() < 1e-9);
+        assert_eq!(p.activate_mw, 0.0);
+        assert_eq!(p.read_mw, 0.0);
+        assert_eq!(p.refresh_mw, 0.0);
+    }
+
+    #[test]
+    fn open_banks_cost_active_standby() {
+        let mut act = idle(MS);
+        act.time_all_banks_precharged = 0;
+        let open = micron_power(&spec(), &act);
+        let closed = micron_power(&spec(), &idle(MS));
+        assert!(open.background_mw > closed.background_mw);
+        // 8 devices at IDD3N = 45 mA, 1.5 V: 540 mW.
+        assert!((open.background_mw - 8.0 * 45.0 * 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn activates_add_power_proportionally() {
+        let mut a = idle(MS);
+        a.activates = 1_000;
+        let mut b = idle(MS);
+        b.activates = 2_000;
+        let (pa, pb) = (micron_power(&spec(), &a), micron_power(&spec(), &b));
+        assert!(pa.activate_mw > 0.0);
+        assert!((pb.activate_mw / pa.activate_mw - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn saturated_reads_hit_idd4r_delta() {
+        let s = spec();
+        let mut act = idle(MS);
+        act.time_all_banks_precharged = 0;
+        // Bus fully busy with reads.
+        act.rd_bursts = MS / s.timing.t_burst;
+        let p = micron_power(&s, &act);
+        let expect = 8.0 * (s.idd.idd4r - s.idd.idd3n) * 1.5;
+        assert!((p.read_mw - expect).abs() / expect < 1e-4);
+    }
+
+    #[test]
+    fn refresh_power_tracks_refresh_rate() {
+        let s = spec();
+        let mut act = idle(MS);
+        // Nominal refresh cadence: one per tREFI.
+        act.refreshes = MS / s.timing.t_refi;
+        let p = micron_power(&s, &act);
+        assert!(p.refresh_mw > 0.0);
+        // Roughly (tRFC/tREFI) * (IDD5-IDD3N) * VDD * devices.
+        let duty = s.timing.t_rfc as f64 / s.timing.t_refi as f64;
+        let expect = 8.0 * (s.idd.idd5 - s.idd.idd3n) * 1.5 * duty;
+        assert!((p.refresh_mw - expect).abs() / expect < 0.05);
+    }
+
+    #[test]
+    fn accumulate_sums_channels() {
+        let mut total = PowerBreakdown::default();
+        let p = micron_power(&spec(), &idle(MS));
+        total.accumulate(&p);
+        total.accumulate(&p);
+        assert!((total.total_mw() - 2.0 * p.total_mw()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn energy_per_bit_sane_for_ddr3() {
+        let s = spec();
+        let mut act = idle(MS);
+        act.time_all_banks_precharged = MS / 2;
+        act.rd_bursts = MS / s.timing.t_burst / 2;
+        act.activates = act.rd_bursts / 16;
+        act.refreshes = MS / s.timing.t_refi;
+        let bytes = act.rd_bursts * s.org.burst_bytes();
+        let p = micron_power(&s, &act);
+        let pj = p.energy_pj_per_bit(bytes, MS);
+        // DDR3 systems land in the tens of pJ/bit.
+        assert!((5.0..200.0).contains(&pj), "pj/bit = {pj}");
+    }
+
+    #[test]
+    fn powered_down_time_draws_idd2p() {
+        let s = spec();
+        let mut act = idle(MS);
+        act.time_powered_down = MS; // fully powered down
+        let pd = micron_power(&s, &act);
+        let awake = micron_power(&s, &idle(MS));
+        assert!(pd.background_mw < awake.background_mw);
+        // 8 devices at IDD2P = 12 mA, 1.5 V.
+        assert!((pd.background_mw - 8.0 * 12.0 * 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn report_has_all_components() {
+        let r = micron_power(&spec(), &idle(MS)).report("dram_power");
+        for key in [
+            "background_mw",
+            "activate_mw",
+            "read_mw",
+            "write_mw",
+            "refresh_mw",
+            "total_mw",
+        ] {
+            assert!(r.get(key).is_some(), "missing {key}");
+        }
+    }
+
+    proptest! {
+        /// Power is always non-negative and monotone in each activity
+        /// component.
+        #[test]
+        fn monotone_components(
+            acts in 0u64..100_000,
+            rd in 0u64..100_000,
+            wr in 0u64..100_000,
+            refs in 0u64..100,
+            pre in 0u64..=1_000,
+        ) {
+            let s = spec();
+            let window = 10 * MS;
+            let base = ActivityStats {
+                sim_time: window,
+                activates: acts,
+                precharges: acts,
+                rd_bursts: rd,
+                wr_bursts: wr,
+                refreshes: refs,
+                time_all_banks_precharged: window * pre / 1_000,
+                time_powered_down: 0,
+                time_self_refresh: 0,
+                ranks: 1,
+            };
+            let p = micron_power(&s, &base);
+            prop_assert!(p.total_mw() >= 0.0);
+            for bump in [
+                ActivityStats { activates: acts + 100, ..base },
+                ActivityStats { rd_bursts: rd + 100, ..base },
+                ActivityStats { wr_bursts: wr + 100, ..base },
+                ActivityStats { refreshes: refs + 10, ..base },
+            ] {
+                prop_assert!(micron_power(&s, &bump).total_mw() >= p.total_mw());
+            }
+            // More precharged time never increases power.
+            let more_pre = ActivityStats {
+                time_all_banks_precharged: window,
+                ..base
+            };
+            prop_assert!(micron_power(&s, &more_pre).total_mw() <= p.total_mw() + 1e-9);
+        }
+    }
+}

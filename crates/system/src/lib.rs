@@ -1,0 +1,52 @@
+//! # dramctrl-system — closed-loop memory-system exploration
+//!
+//! The substrate for the paper's case studies (Section IV): a multicore
+//! system model whose cores, caches and interconnect form a feedback loop
+//! with the DRAM controller, plus the multi-channel crossbar that builds
+//! the LPDDR3/WideIO/HMC-like configurations of Sections II-F and IV-B.
+//!
+//! * [`MultiChannel`] — channel-interleaving crossbar; itself a
+//!   [`Controller`](dramctrl_mem::Controller), so a 16-channel HMC-like
+//!   memory drops into any harness that accepts a single controller;
+//! * [`CacheArray`] — set-associative tag/LRU/dirty state;
+//! * [`WorkloadProfile`] / [`AccessStream`] — PARSEC-like synthetic
+//!   workloads (the full-system substitution documented in `DESIGN.md`);
+//! * [`System`] — cores + private L1s + shared LLC + controller, run to
+//!   an instruction target, reporting IPC, cache hit rates and LLC miss
+//!   latency (the metrics of paper Figures 8 and 9);
+//! * [`TieredMemory`] — heterogeneous two-tier memory split at an address
+//!   boundary (Section II-F's WideIO + LPDDR3 tiered example).
+//!
+//! # Example: canneal on four cores over DDR3
+//!
+//! ```
+//! use dramctrl::{CtrlConfig, DramCtrl};
+//! use dramctrl_mem::presets;
+//! use dramctrl_system::{workload, System, SystemConfig};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let ctrl = DramCtrl::new(CtrlConfig::new(presets::ddr3_1600_x64()))?;
+//! let profiles = vec![workload::canneal(); 4];
+//! let mut sys = System::new(SystemConfig::table2(4, 20_000), ctrl, &profiles, 42)?;
+//! let report = sys.run();
+//! assert!(report.ipc > 0.0);
+//! // canneal misses a lot by design; the DRAM saw real traffic.
+//! assert!(report.dram.rd_bursts > 0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod cache;
+mod system;
+mod tiered;
+pub mod workload;
+mod xbar;
+
+pub use cache::{CacheArray, CacheGeometry, Victim};
+pub use system::{CoreParams, System, SystemConfig, SystemReport};
+pub use tiered::TieredMemory;
+pub use workload::{AccessStream, MemRef, WorkloadProfile};
+pub use xbar::{MultiChannel, XbarError};

@@ -1,0 +1,104 @@
+//! Bursty (on/off) traffic shaping.
+
+use crate::TrafficGen;
+use dramctrl_kernel::Tick;
+use dramctrl_mem::MemRequest;
+
+/// Wraps another generator and reshapes its timeline into alternating
+/// on/off windows: the inner stream plays during `on`-long windows
+/// separated by `off`-long silences. Models the duty-cycled behaviour of
+/// real devices (frame rendering, periodic wakeups) and is the natural
+/// workload for the controller's power-down extension.
+///
+/// The inner generator's tick `t` maps to `t + (t / on) * off`, so
+/// per-window pacing is preserved and gaps are inserted between windows.
+///
+/// # Example
+/// ```
+/// use dramctrl_traffic::{BurstyGen, LinearGen, TrafficGen};
+///
+/// // 1 us of traffic, then 9 us of silence, repeating.
+/// let inner = LinearGen::new(0, 1 << 20, 64, 100, 100_000, 25, 1);
+/// let mut g = BurstyGen::new(inner, 1_000_000, 9_000_000);
+/// let ticks: Vec<u64> = std::iter::from_fn(|| g.next_request())
+///     .map(|(t, _)| t)
+///     .collect();
+/// // Requests 0..10 fill the first window, 10..20 the second.
+/// assert!(ticks[9] < 1_000_000);
+/// assert!(ticks[10] >= 10_000_000);
+/// ```
+#[derive(Debug)]
+pub struct BurstyGen<G> {
+    inner: G,
+    on: Tick,
+    off: Tick,
+}
+
+impl<G: TrafficGen> BurstyGen<G> {
+    /// Creates an on/off shaper over `inner`.
+    ///
+    /// # Panics
+    /// Panics if `on` is zero.
+    pub fn new(inner: G, on: Tick, off: Tick) -> Self {
+        assert!(on > 0, "the on-window must be non-empty");
+        Self { inner, on, off }
+    }
+
+    /// Consumes the shaper, returning the inner generator.
+    pub fn into_inner(self) -> G {
+        self.inner
+    }
+}
+
+impl<G: TrafficGen> TrafficGen for BurstyGen<G> {
+    fn next_request(&mut self) -> Option<(Tick, MemRequest)> {
+        let (t, req) = self.inner.next_request()?;
+        let window = t / self.on;
+        Some((t + window * self.off, req))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LinearGen;
+
+    #[test]
+    fn inserts_gaps_between_windows() {
+        // Inner: one request every 10 ticks; windows of 100 on / 900 off.
+        let inner = LinearGen::new(0, 1 << 20, 64, 100, 10, 30, 1);
+        let mut g = BurstyGen::new(inner, 100, 900);
+        let ticks: Vec<_> = std::iter::from_fn(|| g.next_request())
+            .map(|(t, _)| t)
+            .collect();
+        assert_eq!(ticks.len(), 30);
+        // First window: ticks 0..100 untouched.
+        assert_eq!(&ticks[..10], &[0, 10, 20, 30, 40, 50, 60, 70, 80, 90]);
+        // Second window starts at 1000.
+        assert_eq!(ticks[10], 1_000);
+        assert_eq!(ticks[19], 1_090);
+        assert_eq!(ticks[20], 2_000);
+        // Monotone overall.
+        assert!(ticks.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn zero_off_is_transparent() {
+        let mk = || LinearGen::new(0, 1 << 20, 64, 100, 7, 20, 1);
+        let plain: Vec<_> = {
+            let mut g = mk();
+            std::iter::from_fn(move || g.next_request()).collect()
+        };
+        let shaped: Vec<_> = {
+            let mut g = BurstyGen::new(mk(), 100, 0);
+            std::iter::from_fn(move || g.next_request()).collect()
+        };
+        assert_eq!(plain, shaped);
+    }
+
+    #[test]
+    #[should_panic(expected = "on-window")]
+    fn zero_on_panics() {
+        let _ = BurstyGen::new(LinearGen::new(0, 1 << 20, 64, 100, 1, 1, 1), 0, 10);
+    }
+}

@@ -1,0 +1,118 @@
+//! Weighted interleaving of traffic streams.
+
+use crate::TrafficGen;
+use dramctrl_kernel::Tick;
+use dramctrl_mem::{MemRequest, ReqId};
+
+/// Interleaves two generators with a fixed ratio, renumbering requests so
+/// ids stay globally unique. Useful for hot/cold working-set mixes and
+/// foreground/background QoS scenarios.
+///
+/// Out of every `a_share + b_share` requests, `a_share` come from `a` and
+/// `b_share` from `b` (round-robin within the window). When one stream is
+/// exhausted the other continues alone. Injection ticks are taken from
+/// whichever inner generator produced the request, so the two streams'
+/// pacing must be compatible (or zero for saturation runs).
+///
+/// # Example
+/// ```
+/// use dramctrl_traffic::{InterleaveGen, LinearGen, TrafficGen};
+///
+/// let hot = LinearGen::new(0, 4096, 64, 100, 0, 9, 1);
+/// let cold = LinearGen::new(1 << 20, (1 << 20) + 4096, 64, 100, 0, 1, 2);
+/// // Nine hot requests for every cold one.
+/// let mut g = InterleaveGen::new(hot, cold, 9, 1);
+/// let reqs: Vec<_> = std::iter::from_fn(|| g.next_request()).collect();
+/// assert_eq!(reqs.len(), 10);
+/// assert_eq!(reqs.iter().filter(|(_, r)| r.addr >= (1 << 20)).count(), 1);
+/// ```
+#[derive(Debug)]
+pub struct InterleaveGen<A, B> {
+    a: A,
+    b: B,
+    a_share: u32,
+    b_share: u32,
+    slot: u32,
+    next_id: u64,
+}
+
+impl<A: TrafficGen, B: TrafficGen> InterleaveGen<A, B> {
+    /// Creates an interleaver emitting `a_share` requests from `a` for
+    /// every `b_share` from `b`.
+    ///
+    /// # Panics
+    /// Panics if either share is zero.
+    pub fn new(a: A, b: B, a_share: u32, b_share: u32) -> Self {
+        assert!(a_share > 0 && b_share > 0, "shares must be positive");
+        Self {
+            a,
+            b,
+            a_share,
+            b_share,
+            slot: 0,
+            next_id: 0,
+        }
+    }
+}
+
+impl<A: TrafficGen, B: TrafficGen> TrafficGen for InterleaveGen<A, B> {
+    fn next_request(&mut self) -> Option<(Tick, MemRequest)> {
+        let window = self.a_share + self.b_share;
+        let from_a = self.slot % window < self.a_share;
+        self.slot = (self.slot + 1) % window;
+        let inner = if from_a {
+            self.a.next_request().or_else(|| self.b.next_request())
+        } else {
+            self.b.next_request().or_else(|| self.a.next_request())
+        };
+        inner.map(|(t, mut req)| {
+            req.id = ReqId(self.next_id);
+            self.next_id += 1;
+            (t, req)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LinearGen;
+
+    fn gen_at(base: u64, count: u64) -> LinearGen {
+        LinearGen::new(base, base + (1 << 20), 64, 100, 0, count, 1)
+    }
+
+    #[test]
+    fn ratio_respected() {
+        let mut g = InterleaveGen::new(gen_at(0, 30), gen_at(1 << 30, 10), 3, 1);
+        let reqs: Vec<_> = std::iter::from_fn(|| g.next_request()).collect();
+        assert_eq!(reqs.len(), 40);
+        // First window: a, a, a, b.
+        let from_b = |r: &MemRequest| r.addr >= (1 << 30);
+        assert!(!from_b(&reqs[0].1) && !from_b(&reqs[2].1));
+        assert!(from_b(&reqs[3].1));
+        assert_eq!(reqs.iter().filter(|(_, r)| from_b(r)).count(), 10);
+    }
+
+    #[test]
+    fn ids_globally_unique_and_sequential() {
+        let mut g = InterleaveGen::new(gen_at(0, 5), gen_at(1 << 30, 5), 1, 1);
+        let ids: Vec<_> = std::iter::from_fn(|| g.next_request())
+            .map(|(_, r)| r.id.0)
+            .collect();
+        assert_eq!(ids, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn survives_one_stream_ending() {
+        let mut g = InterleaveGen::new(gen_at(0, 2), gen_at(1 << 30, 8), 1, 1);
+        let reqs: Vec<_> = std::iter::from_fn(|| g.next_request()).collect();
+        assert_eq!(reqs.len(), 10, "b continues after a runs dry");
+    }
+
+    #[test]
+    #[should_panic(expected = "shares must be positive")]
+    fn zero_share_panics() {
+        let _ = InterleaveGen::new(gen_at(0, 1), gen_at(0, 1), 0, 1);
+    }
+}

@@ -1,0 +1,420 @@
+//! Statistical state-machine traffic (gem5's `TrafficGen` configuration
+//! style, paper Section III-A: "a number of traffic generators, either
+//! based on statistical behaviours or traces").
+//!
+//! A [`StateMachineGen`] walks a probabilistic graph of states — idle,
+//! linear or random traffic with per-state parameters — staying in each
+//! state for its configured duration, then sampling the next from a
+//! row-stochastic transition matrix.
+
+use crate::{LinearGen, RandomGen, TrafficGen};
+use dramctrl_kernel::Tick;
+use dramctrl_mem::{MemRequest, ReqId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Traffic emitted while a state is active.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StateTraffic {
+    /// No traffic.
+    Idle,
+    /// Sequential addresses over `[start, end)`.
+    Linear {
+        /// Range start.
+        start: u64,
+        /// Range end (exclusive).
+        end: u64,
+        /// Request size in bytes.
+        block: u32,
+        /// Percentage of reads.
+        read_pct: u8,
+        /// Inter-transaction time (must be non-zero).
+        period: Tick,
+    },
+    /// Uniformly random block-aligned addresses over `[start, end)`.
+    Random {
+        /// Range start.
+        start: u64,
+        /// Range end (exclusive).
+        end: u64,
+        /// Request size in bytes.
+        block: u32,
+        /// Percentage of reads.
+        read_pct: u8,
+        /// Inter-transaction time (must be non-zero).
+        period: Tick,
+    },
+}
+
+/// One state of the machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MachineState {
+    /// What to emit while here.
+    pub traffic: StateTraffic,
+    /// How long to stay.
+    pub duration: Tick,
+}
+
+/// Error building a [`StateMachineGen`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct MachineError(String);
+
+impl std::fmt::Display for MachineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid traffic state machine: {}", self.0)
+    }
+}
+
+impl std::error::Error for MachineError {}
+
+enum Active {
+    Idle,
+    Linear(LinearGen),
+    Random(RandomGen),
+}
+
+impl std::fmt::Debug for Active {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Active::Idle => "Idle",
+            Active::Linear(_) => "Linear",
+            Active::Random(_) => "Random",
+        })
+    }
+}
+
+/// A probabilistic state machine over traffic patterns.
+///
+/// # Example
+/// ```
+/// use dramctrl_traffic::{MachineState, StateMachineGen, StateTraffic, TrafficGen};
+///
+/// // Alternate 1 us of linear traffic with 1 us of idle.
+/// let states = vec![
+///     MachineState {
+///         traffic: StateTraffic::Linear {
+///             start: 0, end: 1 << 20, block: 64, read_pct: 100, period: 50_000,
+///         },
+///         duration: 1_000_000,
+///     },
+///     MachineState { traffic: StateTraffic::Idle, duration: 1_000_000 },
+/// ];
+/// let transitions = vec![vec![0.0, 1.0], vec![1.0, 0.0]];
+/// let mut g = StateMachineGen::new(states, transitions, 4_000_000, 7)?;
+/// let ticks: Vec<u64> = std::iter::from_fn(|| g.next_request()).map(|(t, _)| t).collect();
+/// // Traffic in [0,1us) and [2us,3us); silence elsewhere.
+/// assert!(ticks.iter().all(|&t| t < 1_000_000 || (2_000_000..3_000_000).contains(&t)));
+/// # Ok::<(), dramctrl_traffic::MachineError>(())
+/// ```
+#[derive(Debug)]
+pub struct StateMachineGen {
+    states: Vec<MachineState>,
+    transitions: Vec<Vec<f64>>,
+    rng: StdRng,
+    seed: u64,
+    cur: usize,
+    state_start: Tick,
+    horizon: Tick,
+    active: Active,
+    next_id: u64,
+    visits: Vec<u64>,
+}
+
+impl StateMachineGen {
+    /// Builds a machine starting in state 0, running until `horizon`.
+    ///
+    /// # Errors
+    /// Rejects empty machines, non-square or non-stochastic transition
+    /// matrices, zero-duration states and active states with a zero
+    /// period.
+    pub fn new(
+        states: Vec<MachineState>,
+        transitions: Vec<Vec<f64>>,
+        horizon: Tick,
+        seed: u64,
+    ) -> Result<Self, MachineError> {
+        if states.is_empty() {
+            return Err(MachineError("at least one state required".into()));
+        }
+        if transitions.len() != states.len()
+            || transitions.iter().any(|row| row.len() != states.len())
+        {
+            return Err(MachineError(format!(
+                "transition matrix must be {n}x{n}",
+                n = states.len()
+            )));
+        }
+        for (i, row) in transitions.iter().enumerate() {
+            let sum: f64 = row.iter().sum();
+            if row.iter().any(|&p| !(0.0..=1.0).contains(&p)) || (sum - 1.0).abs() > 1e-9 {
+                return Err(MachineError(format!("row {i} is not a distribution")));
+            }
+        }
+        for (i, s) in states.iter().enumerate() {
+            if s.duration == 0 {
+                return Err(MachineError(format!("state {i} has zero duration")));
+            }
+            match s.traffic {
+                StateTraffic::Linear { period, .. } | StateTraffic::Random { period, .. }
+                    if period == 0 =>
+                {
+                    return Err(MachineError(format!("state {i} has zero period")));
+                }
+                _ => {}
+            }
+        }
+        let visits = vec![0; states.len()];
+        let mut machine = Self {
+            states,
+            transitions,
+            rng: StdRng::seed_from_u64(seed),
+            seed,
+            cur: 0,
+            state_start: 0,
+            horizon,
+            active: Active::Idle,
+            next_id: 0,
+            visits,
+        };
+        machine.enter(0, 0);
+        Ok(machine)
+    }
+
+    /// How many times each state has been entered.
+    pub fn visits(&self) -> &[u64] {
+        &self.visits
+    }
+
+    fn enter(&mut self, state: usize, at: Tick) {
+        self.cur = state;
+        self.state_start = at;
+        self.visits[state] += 1;
+        let s = self.states[state];
+        // Each visit gets its own deterministic sub-seed so revisiting a
+        // state does not replay identical addresses.
+        let sub_seed = self
+            .seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(self.visits.iter().sum::<u64>());
+        let count = match s.traffic {
+            StateTraffic::Idle => 0,
+            StateTraffic::Linear { period, .. } | StateTraffic::Random { period, .. } => {
+                s.duration / period + 1
+            }
+        };
+        self.active = match s.traffic {
+            StateTraffic::Idle => Active::Idle,
+            StateTraffic::Linear {
+                start,
+                end,
+                block,
+                read_pct,
+                period,
+            } => Active::Linear(LinearGen::new(
+                start, end, block, read_pct, period, count, sub_seed,
+            )),
+            StateTraffic::Random {
+                start,
+                end,
+                block,
+                read_pct,
+                period,
+            } => Active::Random(RandomGen::new(
+                start, end, block, read_pct, period, count, sub_seed,
+            )),
+        };
+    }
+
+    fn transition(&mut self) -> bool {
+        let end = self.state_start + self.states[self.cur].duration;
+        if end >= self.horizon {
+            return false;
+        }
+        let roll: f64 = self.rng.gen();
+        let row = &self.transitions[self.cur];
+        let mut acc = 0.0;
+        let mut next = row.len() - 1;
+        for (i, &p) in row.iter().enumerate() {
+            acc += p;
+            if roll < acc {
+                next = i;
+                break;
+            }
+        }
+        self.enter(next, end);
+        true
+    }
+}
+
+impl TrafficGen for StateMachineGen {
+    fn next_request(&mut self) -> Option<(Tick, MemRequest)> {
+        loop {
+            let duration = self.states[self.cur].duration;
+            let inner = match &mut self.active {
+                Active::Idle => None,
+                Active::Linear(g) => g.next_request(),
+                Active::Random(g) => g.next_request(),
+            };
+            match inner {
+                Some((t, mut req)) if t < duration => {
+                    let at = self.state_start + t;
+                    if at >= self.horizon {
+                        return None;
+                    }
+                    req.id = ReqId(self.next_id);
+                    self.next_id += 1;
+                    return Some((at, req));
+                }
+                _ => {
+                    // State exhausted (or idle): move on.
+                    if !self.transition() {
+                        return None;
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn linear_state(period: Tick, duration: Tick) -> MachineState {
+        MachineState {
+            traffic: StateTraffic::Linear {
+                start: 0,
+                end: 1 << 20,
+                block: 64,
+                read_pct: 100,
+                period,
+            },
+            duration,
+        }
+    }
+
+    fn idle_state(duration: Tick) -> MachineState {
+        MachineState {
+            traffic: StateTraffic::Idle,
+            duration,
+        }
+    }
+
+    #[test]
+    fn alternates_on_and_off() {
+        let states = vec![linear_state(100, 1_000), idle_state(1_000)];
+        let transitions = vec![vec![0.0, 1.0], vec![1.0, 0.0]];
+        let mut g = StateMachineGen::new(states, transitions, 10_000, 1).unwrap();
+        let ticks: Vec<_> = std::iter::from_fn(|| g.next_request())
+            .map(|(t, _)| t)
+            .collect();
+        assert!(!ticks.is_empty());
+        // All requests fall in even [2k, 2k+1000) windows.
+        assert!(ticks.iter().all(|t| (t / 1_000) % 2 == 0), "{ticks:?}");
+        // Both states visited repeatedly.
+        assert!(g.visits()[0] >= 4 && g.visits()[1] >= 4);
+    }
+
+    #[test]
+    fn ids_unique_across_states() {
+        let states = vec![linear_state(100, 500), idle_state(200)];
+        let transitions = vec![vec![0.2, 0.8], vec![1.0, 0.0]];
+        let mut g = StateMachineGen::new(states, transitions, 20_000, 3).unwrap();
+        let mut ids: Vec<_> = std::iter::from_fn(|| g.next_request())
+            .map(|(_, r)| r.id.0)
+            .collect();
+        let n = ids.len();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), n, "request ids must not repeat");
+    }
+
+    #[test]
+    fn ticks_monotone_and_bounded() {
+        let states = vec![
+            linear_state(70, 700),
+            idle_state(300),
+            MachineState {
+                traffic: StateTraffic::Random {
+                    start: 0,
+                    end: 1 << 22,
+                    block: 64,
+                    read_pct: 50,
+                    period: 130,
+                },
+                duration: 900,
+            },
+        ];
+        let transitions = vec![
+            vec![0.0, 0.5, 0.5],
+            vec![0.5, 0.0, 0.5],
+            vec![0.5, 0.5, 0.0],
+        ];
+        let mut g = StateMachineGen::new(states, transitions, 50_000, 9).unwrap();
+        let ticks: Vec<_> = std::iter::from_fn(|| g.next_request())
+            .map(|(t, _)| t)
+            .collect();
+        assert!(ticks.windows(2).all(|w| w[0] <= w[1]));
+        assert!(ticks.iter().all(|&t| t < 50_000));
+    }
+
+    #[test]
+    fn deterministic_per_seed_and_distinct_across_visits() {
+        // Random traffic so the seed actually matters.
+        let states = vec![
+            MachineState {
+                traffic: StateTraffic::Random {
+                    start: 0,
+                    end: 1 << 20,
+                    block: 64,
+                    read_pct: 50,
+                    period: 100,
+                },
+                duration: 400,
+            },
+            idle_state(100),
+        ];
+        let transitions = vec![vec![0.0, 1.0], vec![1.0, 0.0]];
+        let collect = |seed| {
+            let mut g = StateMachineGen::new(
+                states.clone(),
+                transitions.clone(),
+                5_000,
+                seed,
+            )
+            .unwrap();
+            std::iter::from_fn(move || g.next_request())
+                .map(|(t, r)| (t, r.addr, r.cmd.is_read()))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(collect(5), collect(5));
+        assert_ne!(collect(5), collect(6));
+    }
+
+    #[test]
+    fn rejects_bad_configurations() {
+        let s = vec![linear_state(100, 1_000)];
+        assert!(StateMachineGen::new(vec![], vec![], 1_000, 0).is_err());
+        assert!(StateMachineGen::new(s.clone(), vec![vec![0.5]], 1_000, 0).is_err());
+        assert!(StateMachineGen::new(s.clone(), vec![vec![1.0, 0.0]], 1_000, 0).is_err());
+        let zero_dur = vec![MachineState {
+            traffic: StateTraffic::Idle,
+            duration: 0,
+        }];
+        assert!(StateMachineGen::new(zero_dur, vec![vec![1.0]], 1_000, 0).is_err());
+        let zero_period = vec![linear_state(0, 1_000)];
+        assert!(StateMachineGen::new(zero_period, vec![vec![1.0]], 1_000, 0).is_err());
+    }
+
+    #[test]
+    fn transition_probabilities_respected() {
+        // 80/20 split between two active states.
+        let states = vec![linear_state(100, 100), linear_state(100, 100)];
+        let transitions = vec![vec![0.8, 0.2], vec![0.8, 0.2]];
+        let mut g = StateMachineGen::new(states, transitions, 1_000_000, 11).unwrap();
+        while g.next_request().is_some() {}
+        let v = g.visits();
+        let frac = v[0] as f64 / (v[0] + v[1]) as f64;
+        assert!((0.72..0.88).contains(&frac), "state-0 fraction {frac:.3}");
+    }
+}

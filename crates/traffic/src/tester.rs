@@ -1,0 +1,205 @@
+//! The measurement harness that drives a generator into a controller.
+
+use std::collections::HashMap;
+
+use crate::TrafficGen;
+use dramctrl_kernel::{tick, Tick};
+use dramctrl_mem::{CommonStats, Controller, MemResponse, Rejected, ReqId};
+use dramctrl_stats::Histogram;
+
+/// Drives a [`TrafficGen`] into a [`Controller`] with flow control and
+/// measures what the paper's validation plots need: end-to-end latency
+/// distributions (Figures 6–7) and achieved bandwidth / bus utilisation
+/// (Figures 3–5). Latency is measured *from the traffic generator*,
+/// including queueing, exactly as in paper Section III-C2.
+///
+/// # Example
+/// ```
+/// use dramctrl::{CtrlConfig, DramCtrl};
+/// use dramctrl_mem::presets;
+/// use dramctrl_traffic::{LinearGen, Tester};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut ctrl = DramCtrl::new(CtrlConfig::new(presets::ddr3_1333_x64()))?;
+/// let mut gen = LinearGen::new(0, 1 << 20, 64, 100, 6_000, 1_000, 1);
+/// let summary = Tester::new(2_000, 200).run(&mut gen, &mut ctrl);
+/// assert_eq!(summary.reads_completed, 1_000);
+/// assert!(summary.bus_util > 0.5);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Tester {
+    max_lat_ns: u64,
+    buckets: usize,
+}
+
+/// The results of a [`Tester`] run.
+#[derive(Debug, Clone)]
+pub struct TestSummary {
+    /// Tick at which the run (including the final drain) completed.
+    pub duration: Tick,
+    /// Read responses received.
+    pub reads_completed: u64,
+    /// Write acknowledgements received.
+    pub writes_completed: u64,
+    /// Requests dropped because they could never fit the controller.
+    pub dropped: u64,
+    /// Injection attempts that hit controller backpressure.
+    pub inject_stalls: u64,
+    /// End-to-end read latency distribution, in nanoseconds.
+    pub read_lat_ns: Histogram,
+    /// End-to-end write-acknowledgement latency distribution, in
+    /// nanoseconds.
+    pub write_lat_ns: Histogram,
+    /// Controller statistics snapshot at the end of the run.
+    pub ctrl: CommonStats,
+    /// Data-bus utilisation over the run.
+    pub bus_util: f64,
+    /// Achieved bandwidth in GB/s over the run.
+    pub bandwidth_gbps: f64,
+}
+
+impl Tester {
+    /// Creates a tester whose latency histograms span `[0, max_lat_ns)` ns
+    /// with `buckets` bins.
+    ///
+    /// # Panics
+    /// Panics if `max_lat_ns` does not divide evenly into `buckets`.
+    pub fn new(max_lat_ns: u64, buckets: usize) -> Self {
+        // Validate eagerly so misconfiguration fails before a long run.
+        let _ = Histogram::new(0, max_lat_ns, buckets);
+        Self {
+            max_lat_ns,
+            buckets,
+        }
+    }
+
+    /// Runs the full generator stream through `ctrl` and drains.
+    pub fn run<C: Controller>(&self, gen: &mut impl TrafficGen, ctrl: &mut C) -> TestSummary {
+        self.run_until(gen, ctrl, Tick::MAX)
+    }
+
+    /// Runs until the generator is exhausted or proposes an injection past
+    /// `until`, then drains outstanding work.
+    pub fn run_until<C: Controller>(
+        &self,
+        gen: &mut impl TrafficGen,
+        ctrl: &mut C,
+        until: Tick,
+    ) -> TestSummary {
+        let mut read_lat = Histogram::new(0, self.max_lat_ns, self.buckets);
+        let mut write_lat = Histogram::new(0, self.max_lat_ns, self.buckets);
+        let mut sent: HashMap<ReqId, Tick> = HashMap::new();
+        let mut out: Vec<MemResponse> = Vec::new();
+        let mut reads = 0u64;
+        let mut writes = 0u64;
+        let mut dropped = 0u64;
+        let mut stalls = 0u64;
+        let mut now: Tick = 0;
+
+        let consume =
+            |out: &mut Vec<MemResponse>,
+             sent: &mut HashMap<ReqId, Tick>,
+             read_lat: &mut Histogram,
+             write_lat: &mut Histogram,
+             reads: &mut u64,
+             writes: &mut u64| {
+                for resp in out.drain(..) {
+                    let at = sent.remove(&resp.id).expect("response for unknown request");
+                    let lat_ns = tick::to_ns(resp.ready_at.saturating_sub(at)).round() as u64;
+                    if resp.cmd.is_read() {
+                        read_lat.record(lat_ns);
+                        *reads += 1;
+                    } else {
+                        write_lat.record(lat_ns);
+                        *writes += 1;
+                    }
+                }
+            };
+
+        'inject: while let Some((t, req)) = gen.next_request() {
+            if t > until {
+                break;
+            }
+            now = now.max(t);
+            ctrl.advance_to(now, &mut out);
+            consume(
+                &mut out,
+                &mut sent,
+                &mut read_lat,
+                &mut write_lat,
+                &mut reads,
+                &mut writes,
+            );
+            loop {
+                match ctrl.try_send(req, now) {
+                    Ok(()) => {
+                        sent.insert(req.id, now);
+                        break;
+                    }
+                    Err(Rejected::TooLarge) => {
+                        dropped += 1;
+                        break;
+                    }
+                    Err(Rejected::Full) => {
+                        stalls += 1;
+                        let next = ctrl
+                            .next_event()
+                            .expect("a full controller must have pending work");
+                        now = now.max(next);
+                        if now > until {
+                            dropped += 1;
+                            break 'inject;
+                        }
+                        ctrl.advance_to(now, &mut out);
+                        consume(
+                            &mut out,
+                            &mut sent,
+                            &mut read_lat,
+                            &mut write_lat,
+                            &mut reads,
+                            &mut writes,
+                        );
+                    }
+                }
+            }
+        }
+
+        let end = ctrl.drain(&mut out).max(now);
+        consume(
+            &mut out,
+            &mut sent,
+            &mut read_lat,
+            &mut write_lat,
+            &mut reads,
+            &mut writes,
+        );
+        debug_assert!(sent.is_empty(), "all requests must be answered");
+
+        let stats = ctrl.common_stats();
+        TestSummary {
+            duration: end,
+            reads_completed: reads,
+            writes_completed: writes,
+            dropped,
+            inject_stalls: stalls,
+            read_lat_ns: read_lat,
+            write_lat_ns: write_lat,
+            bus_util: stats.bus_utilisation(end),
+            bandwidth_gbps: if end == 0 {
+                0.0
+            } else {
+                (stats.bytes_read + stats.bytes_written) as f64 / tick::to_s(end) / 1e9
+            },
+            ctrl: stats,
+        }
+    }
+}
+
+impl Default for Tester {
+    /// A tester with a 2 us / 200-bucket latency histogram.
+    fn default() -> Self {
+        Self::new(2_000, 200)
+    }
+}

@@ -1,0 +1,230 @@
+//! Trace recording and replay.
+//!
+//! The text format is one request per line:
+//!
+//! ```text
+//! # tick cmd addr size
+//! 0 R 0x1000 64
+//! 1500 W 0x2040 64
+//! ```
+//!
+//! Ticks are picoseconds, addresses hexadecimal (with or without `0x`),
+//! sizes bytes. Blank lines and `#` comments are ignored.
+
+use crate::TrafficGen;
+use dramctrl_kernel::Tick;
+use dramctrl_mem::{MemCmd, MemRequest, ReqId};
+use std::fmt::Write as _;
+use std::str::FromStr;
+
+/// One record of a memory trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEntry {
+    /// Intended injection tick.
+    pub tick: Tick,
+    /// Read or write.
+    pub cmd: MemCmd,
+    /// Byte address.
+    pub addr: u64,
+    /// Size in bytes.
+    pub size: u32,
+}
+
+/// Error parsing a trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseTraceError {
+    line: usize,
+    reason: String,
+}
+
+impl std::fmt::Display for ParseTraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "trace line {}: {}", self.line, self.reason)
+    }
+}
+
+impl std::error::Error for ParseTraceError {}
+
+/// Replays a sequence of [`TraceEntry`]s as traffic.
+///
+/// # Example
+/// ```
+/// use dramctrl_traffic::{TraceGen, TrafficGen};
+///
+/// let mut g: TraceGen = "0 R 0x40 64\n100 W 0x80 64".parse()?;
+/// let (t0, r0) = g.next_request().unwrap();
+/// assert_eq!((t0, r0.addr), (0, 0x40));
+/// assert!(g.next_request().unwrap().1.cmd.is_write());
+/// assert!(g.next_request().is_none());
+/// # Ok::<(), dramctrl_traffic::ParseTraceError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct TraceGen {
+    entries: Vec<TraceEntry>,
+    pos: usize,
+    next_id: u64,
+}
+
+impl TraceGen {
+    /// Creates a replayer over the given entries.
+    ///
+    /// # Panics
+    /// Panics if ticks are not non-decreasing or any size is zero.
+    pub fn new(entries: Vec<TraceEntry>) -> Self {
+        assert!(
+            entries.windows(2).all(|w| w[0].tick <= w[1].tick),
+            "trace ticks must be non-decreasing"
+        );
+        assert!(entries.iter().all(|e| e.size > 0), "zero-sized trace entry");
+        Self {
+            entries,
+            pos: 0,
+            next_id: 0,
+        }
+    }
+
+    /// Number of entries in the trace.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Serialises entries to the text format, suitable for `parse()`.
+    pub fn to_text(entries: &[TraceEntry]) -> String {
+        let mut s = String::from("# tick cmd addr size\n");
+        for e in entries {
+            let cmd = if e.cmd.is_read() { 'R' } else { 'W' };
+            writeln!(s, "{} {} {:#x} {}", e.tick, cmd, e.addr, e.size).expect("string write");
+        }
+        s
+    }
+}
+
+impl FromStr for TraceGen {
+    type Err = ParseTraceError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut entries = Vec::new();
+        for (i, line) in s.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let err = |reason: &str| ParseTraceError {
+                line: i + 1,
+                reason: reason.to_owned(),
+            };
+            let mut parts = line.split_whitespace();
+            let tick: Tick = parts
+                .next()
+                .ok_or_else(|| err("missing tick"))?
+                .parse()
+                .map_err(|_| err("bad tick"))?;
+            let cmd = match parts.next().ok_or_else(|| err("missing cmd"))? {
+                "R" | "r" => MemCmd::Read,
+                "W" | "w" => MemCmd::Write,
+                other => return Err(err(&format!("bad cmd {other:?}"))),
+            };
+            let addr_s = parts.next().ok_or_else(|| err("missing addr"))?;
+            let addr_s = addr_s.strip_prefix("0x").unwrap_or(addr_s);
+            let addr = u64::from_str_radix(addr_s, 16).map_err(|_| err("bad addr"))?;
+            let size: u32 = parts
+                .next()
+                .ok_or_else(|| err("missing size"))?
+                .parse()
+                .map_err(|_| err("bad size"))?;
+            if size == 0 {
+                return Err(err("zero size"));
+            }
+            if parts.next().is_some() {
+                return Err(err("trailing fields"));
+            }
+            if entries
+                .last()
+                .is_some_and(|prev: &TraceEntry| prev.tick > tick)
+            {
+                return Err(err("ticks must be non-decreasing"));
+            }
+            entries.push(TraceEntry {
+                tick,
+                cmd,
+                addr,
+                size,
+            });
+        }
+        Ok(TraceGen::new(entries))
+    }
+}
+
+impl TrafficGen for TraceGen {
+    fn next_request(&mut self) -> Option<(Tick, MemRequest)> {
+        let e = *self.entries.get(self.pos)?;
+        self.pos += 1;
+        let id = ReqId(self.next_id);
+        self.next_id += 1;
+        let req = match e.cmd {
+            MemCmd::Read => MemRequest::read(id, e.addr, e.size),
+            MemCmd::Write => MemRequest::write(id, e.addr, e.size),
+        };
+        Some((e.tick, req))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_text() {
+        let entries = vec![
+            TraceEntry {
+                tick: 0,
+                cmd: MemCmd::Read,
+                addr: 0x40,
+                size: 64,
+            },
+            TraceEntry {
+                tick: 1500,
+                cmd: MemCmd::Write,
+                addr: 0x1000,
+                size: 32,
+            },
+        ];
+        let text = TraceGen::to_text(&entries);
+        let parsed: TraceGen = text.parse().unwrap();
+        assert_eq!(parsed.entries, entries);
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let g: TraceGen = "# header\n\n0 R 40 64\n".parse().unwrap();
+        assert_eq!(g.len(), 1);
+        assert_eq!(g.entries[0].addr, 0x40);
+    }
+
+    #[test]
+    fn rejects_descending_ticks() {
+        let e = "100 R 0x0 64\n50 R 0x40 64".parse::<TraceGen>();
+        assert!(e.unwrap_err().to_string().contains("non-decreasing"));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!("x R 0 64".parse::<TraceGen>().is_err());
+        assert!("0 Q 0 64".parse::<TraceGen>().is_err());
+        assert!("0 R zz 64".parse::<TraceGen>().is_err());
+        assert!("0 R 0 0".parse::<TraceGen>().is_err());
+        assert!("0 R 0 64 extra".parse::<TraceGen>().is_err());
+    }
+
+    #[test]
+    fn assigns_sequential_ids() {
+        let mut g: TraceGen = "0 R 0 64\n0 W 40 64".parse().unwrap();
+        assert_eq!(g.next_request().unwrap().1.id, ReqId(0));
+        assert_eq!(g.next_request().unwrap().1.id, ReqId(1));
+    }
+}

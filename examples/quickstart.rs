@@ -1,0 +1,46 @@
+//! Quickstart: instantiate a DDR3 controller, stream sequential reads
+//! through it, and print the gem5-style statistics report.
+//!
+//! ```text
+//! cargo run --release -p dramctrl-system --example quickstart
+//! ```
+
+use dramctrl::{CtrlConfig, DramCtrl, PagePolicy};
+use dramctrl_mem::presets;
+use dramctrl_power::micron_power;
+use dramctrl_traffic::{LinearGen, Tester};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Pick a device and configure the controller (paper Table I
+    //    parameters).
+    let mut cfg = CtrlConfig::new(presets::ddr3_1600_x64());
+    cfg.page_policy = PagePolicy::OpenAdaptive;
+    let mut ctrl = DramCtrl::new(cfg)?;
+
+    // 2. Drive it with a linear read/write mix at a 10 ns injection pace.
+    let mut gen = LinearGen::new(0, 64 << 20, 64, 70, 10_000, 50_000, 1);
+    let summary = Tester::new(2_000, 100).run(&mut gen, &mut ctrl);
+
+    // 3. Report.
+    println!("== dramctrl quickstart: {} ==\n", ctrl.config().spec.name);
+    println!("{}", ctrl.report("ctrl", summary.duration));
+    println!(
+        "achieved bandwidth: {:.2} GB/s of {:.2} GB/s peak ({:.1}% bus utilisation)",
+        summary.bandwidth_gbps,
+        ctrl.config().spec.peak_bandwidth_gbps(),
+        summary.bus_util * 100.0
+    );
+    println!(
+        "read latency: mean {:.1} ns, p95 {} ns",
+        summary.read_lat_ns.mean(),
+        summary.read_lat_ns.quantile(0.95).unwrap_or(0)
+    );
+
+    // 4. DRAM power from the Micron model.
+    let power = micron_power(
+        &ctrl.config().spec.clone(),
+        &ctrl.activity(summary.duration),
+    );
+    println!("\n{}", power.report("dram_power"));
+    Ok(())
+}
