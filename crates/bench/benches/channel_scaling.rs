@@ -1,43 +1,54 @@
-//! Criterion measurement of event-model scalability with channel count
+//! Measurement of event-model scalability with channel count
 //! (Section II-F: "even a 16-channel memory system has limited impact on
 //! simulation performance").
+//!
+//! Hand-rolled harness (`harness = false`), driven through the
+//! `dramctrl-campaign` engine: each channel count is a single-job
+//! campaign run `ITERS` times on a serial executor; the minimum and mean
+//! wall-clock seconds are reported, normalised against the
+//! single-channel case.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use dramctrl::PagePolicy;
-use dramctrl_bench::ev_ctrl;
-use dramctrl_mem::{presets, AddrMapping};
-use dramctrl_system::MultiChannel;
-use dramctrl_traffic::{LinearGen, Tester};
+use dramctrl_bench::{f1, run_job, Table};
+use dramctrl_campaign::{run_campaign, Campaign, ExecutorConfig, TrafficPattern};
 
-fn bench_channels(c: &mut Criterion) {
-    let mut group = c.benchmark_group("channel_scaling");
-    group.sample_size(10);
-    let tester = Tester::new(100_000, 1_000);
-    for n in [1u32, 4, 16] {
-        group.bench_with_input(BenchmarkId::new("event_hmc", n), &n, |b, &n| {
-            b.iter(|| {
-                let xbar = MultiChannel::new(
-                    (0..n)
-                        .map(|_| {
-                            ev_ctrl(
-                                presets::hbm_1000_x128(),
-                                PagePolicy::Open,
-                                AddrMapping::RoRaBaCoCh,
-                                n,
-                            )
-                        })
-                        .collect(),
-                    0,
-                )
-                .unwrap();
-                let mut gen = LinearGen::new(0, 1 << 30, 64, 67, 0, 20_000, 4);
-                let mut xbar = xbar;
-                tester.run(&mut gen, &mut xbar)
-            })
-        });
-    }
-    group.finish();
+const N: u64 = 20_000;
+const ITERS: usize = 5;
+
+fn campaign_for(channels: u32) -> Campaign {
+    Campaign::new("channel-scaling", 4)
+        .devices(["HBM-1000-x128"])
+        .channels([channels])
+        .traffic([TrafficPattern::Linear {
+            range: 1 << 30,
+            block: 64,
+        }])
+        .read_pcts([67])
+        .requests([N])
 }
 
-criterion_group!(benches, bench_channels);
-criterion_main!(benches);
+fn main() {
+    let mut t = Table::new(["channels", "min (ms)", "mean (ms)", "vs 1ch"]);
+    let mut base_min = 0.0f64;
+    for n in [1u32, 4, 16] {
+        let c = campaign_for(n);
+        let mut times = Vec::with_capacity(ITERS);
+        for _ in 0..ITERS {
+            let report = run_campaign(&c, &ExecutorConfig::serial(), run_job);
+            assert_eq!(report.failed(), 0);
+            times.push(report.wall_secs);
+        }
+        let min = times.iter().copied().fold(f64::INFINITY, f64::min);
+        let mean = times.iter().sum::<f64>() / times.len() as f64;
+        if n == 1 {
+            base_min = min;
+        }
+        t.row([
+            n.to_string(),
+            f1(min * 1e3),
+            f1(mean * 1e3),
+            format!("{:.2}x", min / base_min),
+        ]);
+    }
+    println!("channel_scaling: HBM event model, {N} requests, {ITERS} iterations\n");
+    t.print();
+}

@@ -1,14 +1,18 @@
-//! Criterion measurement of the paper's headline claim (Section III-D):
-//! the event-based controller is several times faster to simulate than a
+//! Measurement of the paper's headline claim (Section III-D): the
+//! event-based controller is several times faster to simulate than a
 //! cycle-based model on identical workloads.
+//!
+//! Hand-rolled harness (`harness = false`): each model × workload cell is
+//! run `ITERS` times and the minimum and mean wall-clock seconds are
+//! reported, plus the cycle/event speedup per workload.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dramctrl::PagePolicy;
-use dramctrl_bench::{cy_ctrl, ev_ctrl};
+use dramctrl_bench::{cy_ctrl, ev_ctrl, f1, timed, Table};
 use dramctrl_mem::{presets, AddrMapping};
 use dramctrl_traffic::{DramAwareGen, LinearGen, RandomGen, Tester, TrafficGen};
 
 const N: u64 = 20_000;
+const ITERS: usize = 5;
 
 fn gen_for(name: &str) -> Box<dyn TrafficGen> {
     match name {
@@ -38,27 +42,53 @@ fn policy_for(name: &str) -> (PagePolicy, AddrMapping) {
     }
 }
 
-fn bench_models(c: &mut Criterion) {
-    let mut group = c.benchmark_group("model_perf");
-    group.sample_size(10);
-    let tester = Tester::new(100_000, 1_000);
-    for wl in ["linear", "random", "dram_aware"] {
-        let (policy, mapping) = policy_for(wl);
-        group.bench_with_input(BenchmarkId::new("event", wl), &wl, |b, wl| {
-            b.iter(|| {
-                let mut gen = gen_for(wl);
-                tester.run(&mut gen, &mut ev_ctrl(presets::ddr3_1333_x64(), policy, mapping, 1))
-            })
-        });
-        group.bench_with_input(BenchmarkId::new("cycle", wl), &wl, |b, wl| {
-            b.iter(|| {
-                let mut gen = gen_for(wl);
-                tester.run(&mut gen, &mut cy_ctrl(presets::ddr3_1333_x64(), policy, mapping, 1))
-            })
-        });
+/// Runs `f` `ITERS` times, returning (min, mean) seconds.
+fn measure(mut f: impl FnMut()) -> (f64, f64) {
+    let mut times = Vec::with_capacity(ITERS);
+    for _ in 0..ITERS {
+        let ((), secs) = timed(&mut f);
+        times.push(secs);
     }
-    group.finish();
+    let min = times.iter().copied().fold(f64::INFINITY, f64::min);
+    let mean = times.iter().sum::<f64>() / times.len() as f64;
+    (min, mean)
 }
 
-criterion_group!(benches, bench_models);
-criterion_main!(benches);
+fn main() {
+    let tester = Tester::new(100_000, 1_000);
+    let mut t = Table::new([
+        "workload",
+        "event min (ms)",
+        "event mean (ms)",
+        "cycle min (ms)",
+        "cycle mean (ms)",
+        "speedup",
+    ]);
+    for wl in ["linear", "random", "dram_aware"] {
+        let (policy, mapping) = policy_for(wl);
+        let (ev_min, ev_mean) = measure(|| {
+            let mut gen = gen_for(wl);
+            tester.run(
+                &mut gen,
+                &mut ev_ctrl(presets::ddr3_1333_x64(), policy, mapping, 1),
+            );
+        });
+        let (cy_min, cy_mean) = measure(|| {
+            let mut gen = gen_for(wl);
+            tester.run(
+                &mut gen,
+                &mut cy_ctrl(presets::ddr3_1333_x64(), policy, mapping, 1),
+            );
+        });
+        t.row([
+            wl.to_string(),
+            f1(ev_min * 1e3),
+            f1(ev_mean * 1e3),
+            f1(cy_min * 1e3),
+            f1(cy_mean * 1e3),
+            format!("{:.1}x", cy_min / ev_min),
+        ]);
+    }
+    println!("model_perf: {N} requests per run, {ITERS} iterations per cell\n");
+    t.print();
+}

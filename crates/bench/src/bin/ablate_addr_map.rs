@@ -1,19 +1,46 @@
 //! Ablation — the three address mappings of Table I on sequential and
 //! random traffic (Section III-B's rationale: RoRaBaCoCh maximises page
 //! hits for sequential streams, RoCoRaBaCh maximises bank parallelism).
+//!
+//! Runs as a `dramctrl-campaign` sweep: traffic × mappings expand into
+//! one parallel campaign instead of a bespoke serial loop.
 
-use dramctrl::PagePolicy;
-use dramctrl_bench::{ev_ctrl, f1, f3, Table};
-use dramctrl_mem::{presets, AddrMapping};
-use dramctrl_traffic::{LinearGen, RandomGen, Tester, TrafficGen};
+use dramctrl_bench::{f1, f3, run_job, Table};
+use dramctrl_campaign::{run_campaign, Campaign, ExecutorConfig, Progress, TrafficPattern};
+use dramctrl_mem::AddrMapping;
 
 fn main() {
-    let spec = presets::ddr3_1333_x64();
     let maps = [
         AddrMapping::RoRaBaCoCh,
         AddrMapping::RoRaBaChCo,
         AddrMapping::RoCoRaBaCh,
     ];
+    let patterns = [
+        (
+            "linear",
+            TrafficPattern::Linear {
+                range: 256 << 20,
+                block: 64,
+            },
+        ),
+        (
+            "random",
+            TrafficPattern::Random {
+                range: 256 << 20,
+                block: 64,
+            },
+        ),
+    ];
+    let campaign = Campaign::new("ablate-addr-map", 5)
+        .mappings(maps)
+        .traffic(patterns.map(|(_, p)| p))
+        .requests([20_000]);
+    let report = run_campaign(
+        &campaign,
+        &ExecutorConfig::default().with_progress(Progress::Stderr),
+        run_job,
+    );
+
     println!("Ablation: address mappings (DDR3-1333, open page, FR-FCFS)\n");
     let mut table = Table::new([
         "traffic",
@@ -22,27 +49,17 @@ fn main() {
         "row-hit rate",
         "avg read lat (ns)",
     ]);
-    let t = Tester::new(100_000, 1_000);
-    for (name, mk_gen) in [
-        (
-            "linear",
-            Box::new(|| Box::new(LinearGen::new(0, 256 << 20, 64, 100, 0, 20_000, 5)) as Box<dyn TrafficGen>)
-                as Box<dyn Fn() -> Box<dyn TrafficGen>>,
-        ),
-        (
-            "random",
-            Box::new(|| Box::new(RandomGen::new(0, 256 << 20, 64, 100, 0, 20_000, 5)) as Box<dyn TrafficGen>),
-        ),
-    ] {
+    for (name, pattern) in patterns {
         for map in maps {
-            let mut gen = mk_gen();
-            let s = t.run(&mut gen, &mut ev_ctrl(spec.clone(), PagePolicy::Open, map, 1));
+            let (_, m) = report
+                .find(|j| j.mapping == map && j.traffic == pattern)
+                .expect("job completed");
             table.row([
                 name.to_string(),
                 map.to_string(),
-                f3(s.bus_util),
-                f3(s.ctrl.page_hit_rate()),
-                f1(s.read_lat_ns.mean()),
+                f3(m.get("bus_util").unwrap()),
+                f3(m.get("row_hit_rate").unwrap()),
+                f1(m.get("avg_read_lat_ns").unwrap()),
             ]);
         }
     }

@@ -4,21 +4,33 @@
 //! Expected: open policies win on high-locality traffic, closed policies
 //! win on single-access-per-row traffic, and the adaptive variants are
 //! never (much) worse than the better of the two static ones.
+//!
+//! Runs as a `dramctrl-campaign` sweep: policies × strides expand into
+//! one parallel campaign instead of a bespoke serial loop.
 
 use dramctrl::PagePolicy;
-use dramctrl_bench::{ev_ctrl, f1, f3, Table};
-use dramctrl_mem::{presets, AddrMapping};
-use dramctrl_traffic::{DramAwareGen, Tester};
+use dramctrl_bench::{f1, f3, run_job, Table};
+use dramctrl_campaign::{run_campaign, Campaign, ExecutorConfig, Progress, TrafficPattern};
 
 fn main() {
-    let spec = presets::ddr3_1333_x64();
-    let m = AddrMapping::RoRaBaCoCh;
     let policies = [
         PagePolicy::Open,
         PagePolicy::OpenAdaptive,
         PagePolicy::Closed,
         PagePolicy::ClosedAdaptive,
     ];
+    let strides = [1u64, 4, 32, 128];
+    let campaign = Campaign::new("ablate-page-policy", 5)
+        .policies(policies)
+        .traffic(strides.map(|stride| TrafficPattern::DramAware { stride, banks: 4 }))
+        .read_pcts([50])
+        .requests([10_000]);
+    let report = run_campaign(
+        &campaign,
+        &ExecutorConfig::default().with_progress(Progress::Stderr),
+        run_job,
+    );
+
     println!("Ablation: page policies (DDR3-1333, FR-FCFS, 4 banks, 1:1 mix)\n");
     let mut table = Table::new([
         "stride (bursts)",
@@ -27,18 +39,18 @@ fn main() {
         "avg read lat (ns)",
         "row-hit rate",
     ]);
-    let t = Tester::new(100_000, 1_000);
-    for stride in [1u64, 4, 32, 128] {
+    for stride in strides {
         for policy in policies {
-            let mut gen = DramAwareGen::new(spec.org, m, 1, 0, stride, 4, 50, 0, 10_000, 5);
-            let mut ctrl = ev_ctrl(spec.clone(), policy, m, 1);
-            let s = t.run(&mut gen, &mut ctrl);
+            let traffic = TrafficPattern::DramAware { stride, banks: 4 };
+            let (_, m) = report
+                .find(|j| j.policy == policy && j.traffic == traffic)
+                .expect("job completed");
             table.row([
                 stride.to_string(),
                 policy.to_string(),
-                f3(s.bus_util),
-                f1(s.read_lat_ns.mean()),
-                f3(s.ctrl.page_hit_rate()),
+                f3(m.get("bus_util").unwrap()),
+                f1(m.get("avg_read_lat_ns").unwrap()),
+                f3(m.get("row_hit_rate").unwrap()),
             ]);
         }
     }

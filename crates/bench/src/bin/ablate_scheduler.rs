@@ -4,20 +4,49 @@
 //! Expected: on random traffic with bank parallelism available, FR-FCFS's
 //! row-hit-first / first-ready-bank selection clearly beats in-order
 //! service; on purely sequential single-bank traffic they coincide.
+//!
+//! Runs as a `dramctrl-campaign` sweep: workloads × schedulers expand
+//! into one parallel campaign instead of a bespoke serial loop.
 
-use dramctrl::{CtrlConfig, DramCtrl, PagePolicy, SchedPolicy};
-use dramctrl_bench::{f1, f3, Table};
-use dramctrl_mem::{presets, AddrMapping};
-use dramctrl_traffic::{DramAwareGen, LinearGen, RandomGen, Tester, TrafficGen};
-
-fn ctrl(sched: SchedPolicy) -> DramCtrl {
-    let mut cfg = CtrlConfig::new(presets::ddr3_1333_x64());
-    cfg.scheduling = sched;
-    cfg.page_policy = PagePolicy::Open;
-    DramCtrl::new(cfg).unwrap()
-}
+use dramctrl::SchedPolicy;
+use dramctrl_bench::{f1, f3, run_job, Table};
+use dramctrl_campaign::{run_campaign, Campaign, ExecutorConfig, Progress, TrafficPattern};
 
 fn main() {
+    let workloads = [
+        (
+            "sequential 1-bank",
+            TrafficPattern::Linear {
+                range: 8 << 10,
+                block: 64,
+            },
+        ),
+        (
+            "random",
+            TrafficPattern::Random {
+                range: 256 << 20,
+                block: 64,
+            },
+        ),
+        (
+            "interleaved rows, 8 banks",
+            TrafficPattern::DramAware {
+                stride: 2,
+                banks: 8,
+            },
+        ),
+    ];
+    let scheds = [SchedPolicy::Fcfs, SchedPolicy::FrFcfs];
+    let campaign = Campaign::new("ablate-scheduler", 5)
+        .scheds(scheds)
+        .traffic(workloads.map(|(_, p)| p))
+        .requests([10_000]);
+    let report = run_campaign(
+        &campaign,
+        &ExecutorConfig::default().with_progress(Progress::Stderr),
+        run_job,
+    );
+
     println!("Ablation: FCFS vs FR-FCFS (DDR3-1333, open page)\n");
     let mut table = Table::new([
         "traffic",
@@ -26,44 +55,17 @@ fn main() {
         "avg read lat (ns)",
         "row-hit rate",
     ]);
-    let t = Tester::new(200_000, 1_000);
-    let workloads: Vec<(&str, Box<dyn Fn() -> Box<dyn TrafficGen>>)> = vec![
-        (
-            "sequential 1-bank",
-            Box::new(|| Box::new(LinearGen::new(0, 8 << 10, 64, 100, 0, 10_000, 5))),
-        ),
-        (
-            "random",
-            Box::new(|| Box::new(RandomGen::new(0, 256 << 20, 64, 100, 0, 10_000, 5))),
-        ),
-        (
-            "interleaved rows, 8 banks",
-            Box::new(|| {
-                Box::new(DramAwareGen::new(
-                    presets::ddr3_1333_x64().org,
-                    AddrMapping::RoRaBaCoCh,
-                    1,
-                    0,
-                    2,
-                    8,
-                    100,
-                    0,
-                    10_000,
-                    5,
-                ))
-            }),
-        ),
-    ];
-    for (name, mk) in &workloads {
-        for sched in [SchedPolicy::Fcfs, SchedPolicy::FrFcfs] {
-            let mut gen = mk();
-            let s = t.run(&mut gen, &mut ctrl(sched));
+    for (name, pattern) in workloads {
+        for sched in scheds {
+            let (_, m) = report
+                .find(|j| j.sched == sched && j.traffic == pattern)
+                .expect("job completed");
             table.row([
                 name.to_string(),
                 sched.to_string(),
-                f3(s.bus_util),
-                f1(s.read_lat_ns.mean()),
-                f3(s.ctrl.page_hit_rate()),
+                f3(m.get("bus_util").unwrap()),
+                f1(m.get("avg_read_lat_ns").unwrap()),
+                f3(m.get("row_hit_rate").unwrap()),
             ]);
         }
     }

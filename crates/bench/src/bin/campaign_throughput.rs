@@ -1,0 +1,72 @@
+//! Campaign-engine throughput: serial vs parallel execution of a 64-job
+//! campaign (the numbers recorded in EXPERIMENTS.md).
+//!
+//! Two workloads are measured:
+//! - **simulation-bound**: the real `run_job` runner (CPU-bound; scales
+//!   with physical cores, so a single-core host shows ~1x), and
+//! - **latency-bound**: a 5 ms wait per job (the shape of trace-fetch /
+//!   I/O-heavy campaigns; scales with the worker count even on one
+//!   core).
+
+use dramctrl::{PagePolicy, SchedPolicy};
+use dramctrl_bench::{f1, run_job, Table};
+use dramctrl_campaign::{
+    run_campaign, Campaign, ExecutorConfig, JobMetrics, JobSpec, Model, TrafficPattern,
+};
+use std::time::Duration;
+
+fn sim_campaign() -> Campaign {
+    Campaign::new("throughput-sim", 2)
+        .models([Model::Event, Model::Cycle])
+        .policies([PagePolicy::Open, PagePolicy::Closed])
+        .scheds([SchedPolicy::Fcfs, SchedPolicy::FrFcfs])
+        .traffic([
+            TrafficPattern::Random {
+                range: 64 << 20,
+                block: 64,
+            },
+            TrafficPattern::DramAware {
+                stride: 4,
+                banks: 8,
+            },
+        ])
+        .read_pcts([50, 100])
+        .requests([1_000, 2_000])
+}
+
+fn main() {
+    let ncpu = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!("campaign_throughput: 64 jobs per campaign, host has {ncpu} core(s)\n");
+    let mut table = Table::new(["workload", "workers", "wall (ms)", "jobs/s", "speedup"]);
+
+    let sleep_runner = |_job: &JobSpec| {
+        std::thread::sleep(Duration::from_millis(5));
+        JobMetrics::new()
+    };
+    let mut measure = |name: &str, runner: &(dyn Fn(&JobSpec) -> JobMetrics + Sync)| {
+        let c = if name == "simulation-bound" {
+            sim_campaign()
+        } else {
+            Campaign::new("throughput-sleep", 2).read_pcts(0..64)
+        };
+        assert_eq!(c.len(), 64);
+        let mut base = 0.0f64;
+        for workers in [1usize, 8] {
+            let r = run_campaign(&c, &ExecutorConfig::default().with_workers(workers), runner);
+            assert_eq!(r.failed(), 0);
+            if workers == 1 {
+                base = r.wall_secs;
+            }
+            table.row([
+                name.to_string(),
+                workers.to_string(),
+                f1(r.wall_secs * 1e3),
+                f1(r.jobs_per_sec()),
+                format!("{:.2}x", base / r.wall_secs),
+            ]);
+        }
+    };
+    measure("simulation-bound", &run_job);
+    measure("latency-bound (5ms/job)", &sleep_runner);
+    table.print();
+}

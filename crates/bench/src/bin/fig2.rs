@@ -23,7 +23,8 @@ fn main() {
         "cycle-model cycles",
         "work ratio",
     ]);
-    let workloads: Vec<(&str, Box<dyn Fn() -> Box<dyn TrafficGen>>)> = vec![
+    type GenFactory = Box<dyn Fn() -> Box<dyn TrafficGen>>;
+    let workloads: Vec<(&str, GenFactory)> = vec![
         (
             "linear, saturating",
             Box::new(move || Box::new(LinearGen::new(0, 256 << 20, 64, 100, 0, n, 1))),

@@ -16,8 +16,14 @@ fn main() {
     let mk_gen = || LinearGen::new(0, 64 << 20, 64, 100, 10_000, 20_000, 3);
     let t = Tester::new(1_000, 50); // 20 ns buckets
 
-    let ev = t.run(&mut mk_gen(), &mut ev_ctrl(spec.clone(), PagePolicy::Open, m, 1));
-    let cy = t.run(&mut mk_gen(), &mut cy_ctrl(spec.clone(), PagePolicy::Open, m, 1));
+    let ev = t.run(
+        &mut mk_gen(),
+        &mut ev_ctrl(spec.clone(), PagePolicy::Open, m, 1),
+    );
+    let cy = t.run(
+        &mut mk_gen(),
+        &mut cy_ctrl(spec.clone(), PagePolicy::Open, m, 1),
+    );
 
     println!("Figure 6: read latency distribution — linear reads, open page\n");
     let mut table = Table::new(["latency bucket (ns)", "event count", "cycle count"]);

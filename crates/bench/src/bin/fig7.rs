@@ -18,8 +18,14 @@ fn main() {
     let mk_gen = || LinearGen::new(0, 64 << 20, 64, 50, 10_000, 20_000, 3);
     let t = Tester::new(2_000, 100); // 20 ns buckets
 
-    let ev = t.run(&mut mk_gen(), &mut ev_ctrl(spec.clone(), PagePolicy::Closed, m, 1));
-    let cy = t.run(&mut mk_gen(), &mut cy_ctrl(spec.clone(), PagePolicy::Closed, m, 1));
+    let ev = t.run(
+        &mut mk_gen(),
+        &mut ev_ctrl(spec.clone(), PagePolicy::Closed, m, 1),
+    );
+    let cy = t.run(
+        &mut mk_gen(),
+        &mut cy_ctrl(spec.clone(), PagePolicy::Closed, m, 1),
+    );
 
     println!("Figure 7: read latency distribution — linear 1:1 mix, closed page\n");
     let mut table = Table::new(["latency bucket (ns)", "event count", "cycle count"]);
@@ -38,7 +44,5 @@ fn main() {
         f1(ev.read_lat_ns.mean()),
         f1(cy.read_lat_ns.mean()),
     );
-    println!(
-        "event model spread (write drain): p10 = {e10} ns, p90 = {e90} ns"
-    );
+    println!("event model spread (write drain): p10 = {e10} ns, p90 = {e90} ns");
 }

@@ -46,8 +46,7 @@ fn main() {
             cy_s / ev_s,
             cy.ipc / ev.ipc,
             cy.llc_miss_lat.mean() / ev.llc_miss_lat.mean(),
-            (cy.dram.bus_utilisation(cy.roi_duration))
-                / (ev.dram.bus_utilisation(ev.roi_duration)),
+            (cy.dram.bus_utilisation(cy.roi_duration)) / (ev.dram.bus_utilisation(ev.roi_duration)),
         ];
         for (s, r) in sums.iter_mut().zip(ratios) {
             *s += r;

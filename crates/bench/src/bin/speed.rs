@@ -19,17 +19,23 @@ fn spec() -> MemSpec {
     presets::ddr3_1333_x64()
 }
 
-fn workloads() -> Vec<(&'static str, Box<dyn Fn() -> Box<dyn TrafficGen>>, PagePolicy, AddrMapping)> {
+type GenFactory = Box<dyn Fn() -> Box<dyn TrafficGen>>;
+
+fn workloads() -> Vec<(&'static str, GenFactory, PagePolicy, AddrMapping)> {
     vec![
         (
             "linear reads",
-            Box::new(|| Box::new(LinearGen::new(0, 256 << 20, 64, 100, 0, N, 1)) as Box<dyn TrafficGen>),
+            Box::new(|| {
+                Box::new(LinearGen::new(0, 256 << 20, 64, 100, 0, N, 1)) as Box<dyn TrafficGen>
+            }),
             PagePolicy::Open,
             AddrMapping::RoRaBaCoCh,
         ),
         (
             "random mixed",
-            Box::new(|| Box::new(RandomGen::new(0, 256 << 20, 64, 67, 0, N, 2)) as Box<dyn TrafficGen>),
+            Box::new(|| {
+                Box::new(RandomGen::new(0, 256 << 20, 64, 67, 0, N, 2)) as Box<dyn TrafficGen>
+            }),
             PagePolicy::Open,
             AddrMapping::RoRaBaCoCh,
         ),
@@ -82,7 +88,14 @@ fn main() {
     let mk_xbar_ev = || {
         MultiChannel::new(
             (0..16)
-                .map(|_| ev_ctrl(presets::hbm_1000_x128(), PagePolicy::Open, AddrMapping::RoRaBaCoCh, 16))
+                .map(|_| {
+                    ev_ctrl(
+                        presets::hbm_1000_x128(),
+                        PagePolicy::Open,
+                        AddrMapping::RoRaBaCoCh,
+                        16,
+                    )
+                })
                 .collect(),
             0,
         )
@@ -91,7 +104,14 @@ fn main() {
     let mk_xbar_cy = || {
         MultiChannel::new(
             (0..16)
-                .map(|_| cy_ctrl(presets::hbm_1000_x128(), PagePolicy::Open, AddrMapping::RoRaBaCoCh, 16))
+                .map(|_| {
+                    cy_ctrl(
+                        presets::hbm_1000_x128(),
+                        PagePolicy::Open,
+                        AddrMapping::RoRaBaCoCh,
+                        16,
+                    )
+                })
                 .collect(),
             0,
         )

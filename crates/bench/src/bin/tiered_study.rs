@@ -40,20 +40,14 @@ fn main() {
     let cores = 4;
     let insts = 60_000;
     println!("Tiered memory: 2x WideIO near tier + LPDDR3 far tier, {cores}-core canneal\n");
-    let mut table = Table::new([
-        "near tier",
-        "IPC",
-        "L2 miss lat (ns)",
-        "near share",
-    ]);
+    let mut table = Table::new(["near tier", "IPC", "L2 miss lat (ns)", "near share"]);
     // canneal per-core footprint is 48 MiB, rounded to 64 MiB regions:
     // 4 cores occupy 256 MiB.
     for near_mb in [16u64, 64, 128, 256] {
         let mem = TieredMemory::new(near(2), far(), near_mb << 20);
         let mut cfg = SystemConfig::table2(cores, insts);
         cfg.llc.size = 2 << 20;
-        let mut sys =
-            System::new(cfg, mem, &vec![workload::canneal(); cores], 42).expect("valid");
+        let mut sys = System::new(cfg, mem, &vec![workload::canneal(); cores], 42).expect("valid");
         let r = sys.run();
         let near_bursts = {
             let n = sys.controller().near().common_stats();

@@ -10,46 +10,32 @@
 
 #![warn(missing_docs)]
 
+pub mod runner;
+
+pub use runner::{cy_ctrl_with, ev_ctrl_with, gen_for_job, job_metrics, run_job, std_tester};
+
 use std::time::Instant;
 
-use dramctrl::{CtrlConfig, DramCtrl, PagePolicy, SchedPolicy};
-use dramctrl_cycle::{CycleConfig, CycleCtrl, CyclePagePolicy, CycleSched};
+use dramctrl::{DramCtrl, PagePolicy, SchedPolicy};
+use dramctrl_cycle::CycleCtrl;
 use dramctrl_mem::{AddrMapping, MemSpec};
 
-
-/// Builds an event-based controller with the validation defaults.
-pub fn ev_ctrl(
-    spec: MemSpec,
-    policy: PagePolicy,
-    mapping: AddrMapping,
-    channels: u32,
-) -> DramCtrl {
-    let mut cfg = CtrlConfig::new(spec);
-    cfg.page_policy = policy;
-    cfg.mapping = mapping;
-    cfg.channels = channels;
-    cfg.scheduling = SchedPolicy::FrFcfs;
-    DramCtrl::new(cfg).expect("valid config")
+/// Builds an event-based controller with the validation defaults
+/// (FR-FCFS scheduling; see [`ev_ctrl_with`] for the general form).
+pub fn ev_ctrl(spec: MemSpec, policy: PagePolicy, mapping: AddrMapping, channels: u32) -> DramCtrl {
+    ev_ctrl_with(spec, policy, SchedPolicy::FrFcfs, mapping, channels)
 }
 
 /// Builds the matching cycle-based baseline (paper Section III: matched
-/// timing, matched policies, unified queue architecture).
+/// timing, matched policies, unified queue architecture; see
+/// [`cy_ctrl_with`] for the general form).
 pub fn cy_ctrl(
     spec: MemSpec,
     policy: PagePolicy,
     mapping: AddrMapping,
     channels: u32,
 ) -> CycleCtrl {
-    let mut cfg = CycleConfig::new(spec);
-    cfg.page_policy = if policy.is_open() {
-        CyclePagePolicy::Open
-    } else {
-        CyclePagePolicy::Closed
-    };
-    cfg.mapping = mapping;
-    cfg.channels = channels;
-    cfg.scheduling = CycleSched::FrFcfs;
-    CycleCtrl::new(cfg).expect("valid config")
+    cy_ctrl_with(spec, policy, SchedPolicy::FrFcfs, mapping, channels)
 }
 
 /// Runs `f`, returning its result and the host wall-clock seconds spent.
@@ -59,85 +45,7 @@ pub fn timed<R>(f: impl FnOnce() -> R) -> (R, f64) {
     (r, start.elapsed().as_secs_f64())
 }
 
-/// A minimal aligned markdown table printer for the figure binaries.
-#[derive(Debug, Default)]
-pub struct Table {
-    header: Vec<String>,
-    rows: Vec<Vec<String>>,
-}
-
-impl Table {
-    /// Creates a table with the given column headers.
-    pub fn new<S: Into<String>>(header: impl IntoIterator<Item = S>) -> Self {
-        Self {
-            header: header.into_iter().map(Into::into).collect(),
-            rows: Vec::new(),
-        }
-    }
-
-    /// Appends a row (must match the header arity).
-    ///
-    /// # Panics
-    /// Panics on arity mismatch.
-    pub fn row<S: Into<String>>(&mut self, cells: impl IntoIterator<Item = S>) {
-        let row: Vec<String> = cells.into_iter().map(Into::into).collect();
-        assert_eq!(row.len(), self.header.len(), "row arity mismatch");
-        self.rows.push(row);
-    }
-
-    /// Renders the table as aligned markdown.
-    pub fn render(&self) -> String {
-        let cols = self.header.len();
-        let mut width = vec![0usize; cols];
-        for row in std::iter::once(&self.header).chain(self.rows.iter()) {
-            for (i, cell) in row.iter().enumerate() {
-                width[i] = width[i].max(cell.len());
-            }
-        }
-        let fmt_row = |row: &[String]| {
-            let cells: Vec<String> = row
-                .iter()
-                .enumerate()
-                .map(|(i, c)| format!("{c:>w$}", w = width[i]))
-                .collect();
-            format!("| {} |", cells.join(" | "))
-        };
-        let mut out = fmt_row(&self.header) + "\n";
-        let dashes: Vec<String> = width.iter().map(|w| "-".repeat(*w)).collect();
-        out += &format!("| {} |\n", dashes.join(" | "));
-        for row in &self.rows {
-            out += &(fmt_row(row) + "\n");
-        }
-        out
-    }
-
-    /// Renders the table as CSV (for plotting scripts).
-    pub fn render_csv(&self) -> String {
-        let esc = |c: &str| {
-            if c.contains(',') || c.contains('"') {
-                format!("\"{}\"", c.replace('"', "\"\""))
-            } else {
-                c.to_owned()
-            }
-        };
-        let mut out = String::new();
-        for row in std::iter::once(&self.header).chain(self.rows.iter()) {
-            let cells: Vec<String> = row.iter().map(|c| esc(c)).collect();
-            out += &(cells.join(",") + "\n");
-        }
-        out
-    }
-
-    /// Prints the rendered table to stdout — as CSV when the process was
-    /// invoked with a `--csv` argument, aligned markdown otherwise.
-    pub fn print(&self) {
-        if std::env::args().any(|a| a == "--csv") {
-            print!("{}", self.render_csv());
-        } else {
-            print!("{}", self.render());
-        }
-    }
-}
+pub use dramctrl_stats::Table;
 
 /// The bus-utilisation sweeps behind paper Figures 3–5.
 pub mod sweep {
@@ -171,11 +79,8 @@ pub mod sweep {
         let tester = Tester::new(100_000, 1_000);
         for &b in banks {
             for &s in strides {
-                let gen = || {
-                    DramAwareGen::new(
-                        spec.org, mapping, 1, 0, s, b, read_pct, 0, requests, 7,
-                    )
-                };
+                let gen =
+                    || DramAwareGen::new(spec.org, mapping, 1, 0, s, b, read_pct, 0, requests, 7);
                 let ev = tester.run(&mut gen(), &mut ev_ctrl(spec.clone(), policy, mapping, 1));
                 let cy = tester.run(&mut gen(), &mut cy_ctrl(spec.clone(), policy, mapping, 1));
                 points.push(BwPoint {
@@ -221,43 +126,11 @@ mod tests {
     use super::*;
 
     #[test]
-    fn table_renders_aligned_markdown() {
-        let mut t = Table::new(["a", "long-header"]);
-        t.row(["1", "2"]);
-        t.row(["333", "4"]);
-        let s = t.render();
-        let lines: Vec<_> = s.lines().collect();
-        assert_eq!(lines.len(), 4);
-        assert!(lines.iter().all(|l| l.len() == lines[0].len()));
-        assert!(s.contains("long-header"));
-    }
-
-    #[test]
-    #[should_panic(expected = "arity")]
-    fn row_arity_checked() {
-        let mut t = Table::new(["a"]);
-        t.row(["1", "2"]);
-    }
-
-    #[test]
     fn controllers_build_for_all_presets() {
         for spec in dramctrl_mem::presets::all() {
-            let _ = ev_ctrl(
-                spec.clone(),
-                PagePolicy::Open,
-                AddrMapping::RoRaBaCoCh,
-                1,
-            );
+            let _ = ev_ctrl(spec.clone(), PagePolicy::Open, AddrMapping::RoRaBaCoCh, 1);
             let _ = cy_ctrl(spec, PagePolicy::Closed, AddrMapping::RoCoRaBaCh, 1);
         }
-    }
-
-    #[test]
-    fn csv_rendering() {
-        let mut t = Table::new(["a", "b,comma"]);
-        t.row(["1", "x\"y"]);
-        let csv = t.render_csv();
-        assert_eq!(csv, "a,\"b,comma\"\n1,\"x\"\"y\"\n");
     }
 
     #[test]

@@ -1,0 +1,218 @@
+//! The canonical campaign runner: wires a declarative
+//! [`JobSpec`](dramctrl_campaign::JobSpec) to real controllers, traffic
+//! generators and the [`Tester`] run loop.
+//!
+//! This is the scaffolding every figure/ablation binary used to
+//! duplicate — build a controller for a (policy, scheduler, mapping,
+//! channels) tuple, build a seeded generator, push the stream through
+//! the tester, read the summary — extracted once so that both the
+//! binaries and the `dramctrl-campaign` executor share it.
+
+use dramctrl::{CtrlConfig, DramCtrl, PagePolicy, SchedPolicy};
+use dramctrl_campaign::{JobMetrics, JobSpec, Model, TrafficPattern};
+use dramctrl_cycle::{CycleConfig, CycleCtrl, CyclePagePolicy, CycleSched};
+use dramctrl_mem::{presets, AddrMapping, MemSpec};
+use dramctrl_system::MultiChannel;
+use dramctrl_traffic::{DramAwareGen, LinearGen, RandomGen, TestSummary, Tester, TrafficGen};
+
+/// Builds an event-based controller with an explicit scheduler (the
+/// general form of [`ev_ctrl`](crate::ev_ctrl)).
+pub fn ev_ctrl_with(
+    spec: MemSpec,
+    policy: PagePolicy,
+    sched: SchedPolicy,
+    mapping: AddrMapping,
+    channels: u32,
+) -> DramCtrl {
+    let mut cfg = CtrlConfig::new(spec);
+    cfg.page_policy = policy;
+    cfg.mapping = mapping;
+    cfg.channels = channels;
+    cfg.scheduling = sched;
+    DramCtrl::new(cfg).expect("valid config")
+}
+
+/// Builds the matching cycle-based baseline with an explicit scheduler
+/// (the general form of [`cy_ctrl`](crate::cy_ctrl)).
+pub fn cy_ctrl_with(
+    spec: MemSpec,
+    policy: PagePolicy,
+    sched: SchedPolicy,
+    mapping: AddrMapping,
+    channels: u32,
+) -> CycleCtrl {
+    let mut cfg = CycleConfig::new(spec);
+    cfg.page_policy = if policy.is_open() {
+        CyclePagePolicy::Open
+    } else {
+        CyclePagePolicy::Closed
+    };
+    cfg.mapping = mapping;
+    cfg.channels = channels;
+    cfg.scheduling = match sched {
+        SchedPolicy::Fcfs => CycleSched::Fcfs,
+        SchedPolicy::FrFcfs => CycleSched::FrFcfs,
+    };
+    CycleCtrl::new(cfg).expect("valid config")
+}
+
+/// The tester configuration shared by the campaign runner and the
+/// ablation binaries: 200 µs latency cap, 1 000 histogram buckets.
+pub fn std_tester() -> Tester {
+    Tester::new(200_000, 1_000)
+}
+
+/// Builds the seeded traffic generator described by `job`.
+pub fn gen_for_job(job: &JobSpec, spec: &MemSpec) -> Box<dyn TrafficGen> {
+    let rd = job.read_pct;
+    let n = job.requests;
+    match job.traffic {
+        TrafficPattern::Linear { range, block } => {
+            Box::new(LinearGen::new(0, range, block, rd, 0, n, job.seed))
+        }
+        TrafficPattern::Random { range, block } => {
+            Box::new(RandomGen::new(0, range, block, rd, 0, n, job.seed))
+        }
+        TrafficPattern::DramAware { stride, banks } => Box::new(DramAwareGen::new(
+            spec.org,
+            job.mapping,
+            job.channels,
+            0,
+            stride,
+            banks,
+            rd,
+            0,
+            n,
+            job.seed,
+        )),
+    }
+}
+
+/// Converts a run's [`TestSummary`] into campaign metrics.
+pub fn job_metrics(s: &TestSummary) -> JobMetrics {
+    let mut m = JobMetrics::new();
+    m.set("reads", s.reads_completed as f64);
+    m.set("writes", s.writes_completed as f64);
+    m.set("dropped", s.dropped as f64);
+    m.set("duration_ticks", s.duration as f64);
+    m.set("bus_util", s.bus_util);
+    m.set("bandwidth_gbps", s.bandwidth_gbps);
+    m.set("avg_read_lat_ns", s.read_lat_ns.mean());
+    if let Some(p95) = s.read_lat_ns.quantile(0.95) {
+        m.set("p95_read_lat_ns", p95 as f64);
+    }
+    m.set("row_hit_rate", s.ctrl.page_hit_rate());
+    m.set("activates", s.ctrl.activates as f64);
+    m
+}
+
+/// The canonical runner for [`dramctrl_campaign::run_campaign`]:
+/// simulates one [`JobSpec`] end to end and returns its metrics.
+///
+/// Deterministic in the spec: the traffic generator is seeded with
+/// `job.seed` and the simulation itself contains no other randomness,
+/// so the same spec always yields the same metrics.
+///
+/// # Panics
+/// Panics on an unknown device preset or an invalid configuration —
+/// under the campaign executor these become
+/// [`JobOutcome::Failed`](dramctrl_campaign::JobOutcome) records rather
+/// than aborting the sweep.
+pub fn run_job(job: &JobSpec) -> JobMetrics {
+    let spec = presets::by_name(&job.device)
+        .unwrap_or_else(|| panic!("unknown device preset '{}'", job.device));
+    let mut gen = gen_for_job(job, &spec);
+    let tester = std_tester();
+    let s = match job.model {
+        Model::Event => {
+            if job.channels <= 1 {
+                tester.run(
+                    &mut gen,
+                    &mut ev_ctrl_with(spec.clone(), job.policy, job.sched, job.mapping, 1),
+                )
+            } else {
+                let ctrls = (0..job.channels)
+                    .map(|_| {
+                        ev_ctrl_with(
+                            spec.clone(),
+                            job.policy,
+                            job.sched,
+                            job.mapping,
+                            job.channels,
+                        )
+                    })
+                    .collect();
+                let mut xbar = MultiChannel::new(ctrls, 0)
+                    .expect("valid crossbar")
+                    .with_mapping(job.mapping);
+                tester.run(&mut gen, &mut xbar)
+            }
+        }
+        Model::Cycle => {
+            if job.channels <= 1 {
+                tester.run(
+                    &mut gen,
+                    &mut cy_ctrl_with(spec.clone(), job.policy, job.sched, job.mapping, 1),
+                )
+            } else {
+                let ctrls = (0..job.channels)
+                    .map(|_| {
+                        cy_ctrl_with(
+                            spec.clone(),
+                            job.policy,
+                            job.sched,
+                            job.mapping,
+                            job.channels,
+                        )
+                    })
+                    .collect();
+                let mut xbar = MultiChannel::new(ctrls, 0)
+                    .expect("valid crossbar")
+                    .with_mapping(job.mapping);
+                tester.run(&mut gen, &mut xbar)
+            }
+        }
+    };
+    job_metrics(&s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dramctrl_campaign::Campaign;
+
+    #[test]
+    fn run_job_is_deterministic() {
+        let jobs = Campaign::new("det", 77)
+            .traffic([TrafficPattern::DramAware {
+                stride: 4,
+                banks: 8,
+            }])
+            .read_pcts([50])
+            .requests([500])
+            .expand();
+        assert_eq!(run_job(&jobs[0]), run_job(&jobs[0]));
+    }
+
+    #[test]
+    fn run_job_covers_models_and_channels() {
+        let jobs = Campaign::new("cov", 3)
+            .models([Model::Event, Model::Cycle])
+            .channels([1, 2])
+            .requests([300])
+            .expand();
+        for job in &jobs {
+            let m = run_job(job);
+            assert_eq!(m.get("reads"), Some(300.0), "{}", job.label());
+            assert!(m.get("bus_util").unwrap() > 0.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown device preset")]
+    fn unknown_device_panics() {
+        let mut jobs = Campaign::new("bad", 1).requests([10]).expand();
+        jobs[0].device = "SDRAM-66-x16".to_owned();
+        let _ = run_job(&jobs[0]);
+    }
+}

@@ -1,0 +1,372 @@
+//! The campaign executor: a work-stealing thread pool with panic
+//! isolation and a dedicated progress/collection thread.
+//!
+//! Workers pull job indices from a shared atomic counter (the cheapest
+//! possible work-stealing deque for identical-cost jobs), run the
+//! caller's runner under [`std::panic::catch_unwind`], retry panicked
+//! jobs up to a bound, and stream `(index, outcome)` pairs over a
+//! channel to a collector thread that also reports progress. Results are
+//! stored by job index, so the final report is independent of scheduling
+//! order and worker count.
+
+use crate::report::{CampaignReport, JobMetrics, JobRecord};
+use crate::spec::{Campaign, JobSpec};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::time::Instant;
+
+/// What happened to one job.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobOutcome {
+    /// The job ran to completion (possibly after retries).
+    Completed {
+        /// The metrics it produced.
+        metrics: JobMetrics,
+        /// Attempts used (1 = first try succeeded).
+        attempts: u32,
+    },
+    /// Every attempt panicked; the campaign carried on without it.
+    Failed {
+        /// The final panic's message.
+        panic_msg: String,
+        /// Attempts used (equals the executor's `max_attempts`).
+        attempts: u32,
+    },
+}
+
+impl JobOutcome {
+    /// Whether this job ultimately failed.
+    pub fn is_failed(&self) -> bool {
+        matches!(self, JobOutcome::Failed { .. })
+    }
+
+    /// Attempts used.
+    pub fn attempts(&self) -> u32 {
+        match self {
+            JobOutcome::Completed { attempts, .. } | JobOutcome::Failed { attempts, .. } => {
+                *attempts
+            }
+        }
+    }
+}
+
+/// Where progress updates go.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Progress {
+    /// No progress output (library / test use).
+    #[default]
+    Silent,
+    /// Carriage-return progress line on stderr with ETA.
+    Stderr,
+}
+
+/// Executor tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ExecutorConfig {
+    /// Worker threads; `0` means [`std::thread::available_parallelism`].
+    pub workers: usize,
+    /// Maximum attempts per job (must be ≥ 1); a job failing this many
+    /// times is recorded as [`JobOutcome::Failed`].
+    pub max_attempts: u32,
+    /// Progress reporting sink.
+    pub progress: Progress,
+}
+
+impl Default for ExecutorConfig {
+    fn default() -> Self {
+        Self {
+            workers: 0,
+            max_attempts: 2,
+            progress: Progress::Silent,
+        }
+    }
+}
+
+impl ExecutorConfig {
+    /// A serial configuration (one worker) — useful for baselines.
+    pub fn serial() -> Self {
+        Self {
+            workers: 1,
+            ..Self::default()
+        }
+    }
+
+    /// Sets the worker count.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Sets the retry bound.
+    pub fn with_max_attempts(mut self, max_attempts: u32) -> Self {
+        self.max_attempts = max_attempts;
+        self
+    }
+
+    /// Sets the progress sink.
+    pub fn with_progress(mut self, progress: Progress) -> Self {
+        self.progress = progress;
+        self
+    }
+
+    fn effective_workers(&self, total: usize) -> usize {
+        let hw = || {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        };
+        let w = if self.workers == 0 {
+            hw()
+        } else {
+            self.workers
+        };
+        w.clamp(1, total.max(1))
+    }
+}
+
+/// Expands `campaign` and runs every job through `runner` on a worker
+/// pool, returning the aggregated report.
+///
+/// `runner` maps a [`JobSpec`] to its [`JobMetrics`]; it must be
+/// deterministic in the spec (including `spec.seed`) for the campaign's
+/// reproducibility guarantee to hold. Panics inside the runner are
+/// caught, retried up to [`ExecutorConfig::max_attempts`] times, and
+/// recorded as [`JobOutcome::Failed`] — a panicking job never aborts the
+/// campaign.
+///
+/// # Panics
+/// Panics if `max_attempts` is zero, if the campaign has an empty axis,
+/// or if an internal executor thread is broken (never by a runner
+/// panic).
+pub fn run_campaign<F>(campaign: &Campaign, cfg: &ExecutorConfig, runner: F) -> CampaignReport
+where
+    F: Fn(&JobSpec) -> JobMetrics + Sync,
+{
+    assert!(cfg.max_attempts >= 1, "max_attempts must be at least 1");
+    let jobs = campaign.expand();
+    let total = jobs.len();
+    let workers = cfg.effective_workers(total);
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, JobOutcome)>();
+    let start = Instant::now();
+
+    let outcomes = std::thread::scope(|s| {
+        let jobs = &jobs;
+        let next = &next;
+        let runner = &runner;
+        for _ in 0..workers {
+            let tx = tx.clone();
+            s.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= total {
+                    break;
+                }
+                let outcome = run_one(&jobs[i], cfg.max_attempts, runner);
+                if tx.send((i, outcome)).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+
+        let name = campaign.name.clone();
+        let progress = cfg.progress;
+        let collector = s.spawn(move || {
+            let mut outcomes: Vec<Option<JobOutcome>> = (0..total).map(|_| None).collect();
+            let mut done = 0usize;
+            let mut failed = 0usize;
+            while let Ok((i, outcome)) = rx.recv() {
+                done += 1;
+                if outcome.is_failed() {
+                    failed += 1;
+                }
+                outcomes[i] = Some(outcome);
+                if progress == Progress::Stderr {
+                    let elapsed = start.elapsed().as_secs_f64();
+                    let eta = elapsed / done as f64 * (total - done) as f64;
+                    eprint!("\r[{name}] {done}/{total} done, {failed} failed, ETA {eta:.0}s  ");
+                }
+            }
+            if progress == Progress::Stderr && total > 0 {
+                eprintln!();
+            }
+            outcomes
+        });
+        collector.join().expect("collector thread panicked")
+    });
+
+    let records = jobs
+        .into_iter()
+        .zip(outcomes)
+        .map(|(job, outcome)| JobRecord {
+            job,
+            outcome: outcome.expect("every job index is executed exactly once"),
+        })
+        .collect();
+    CampaignReport {
+        name: campaign.name.clone(),
+        seed: campaign.seed,
+        workers,
+        wall_secs: start.elapsed().as_secs_f64(),
+        records,
+    }
+}
+
+fn run_one<F>(job: &JobSpec, max_attempts: u32, runner: &F) -> JobOutcome
+where
+    F: Fn(&JobSpec) -> JobMetrics + Sync,
+{
+    let mut attempts = 0;
+    loop {
+        attempts += 1;
+        match catch_unwind(AssertUnwindSafe(|| runner(job))) {
+            Ok(metrics) => return JobOutcome::Completed { metrics, attempts },
+            Err(payload) => {
+                if attempts >= max_attempts {
+                    return JobOutcome::Failed {
+                        panic_msg: panic_message(payload.as_ref()),
+                        attempts,
+                    };
+                }
+            }
+        }
+    }
+}
+
+/// Extracts a human-readable message from a panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::Campaign;
+    use std::sync::atomic::AtomicU32;
+
+    /// A runner that records which thread computed each job, for
+    /// asserting that parallelism actually happened.
+    fn toy_runner(job: &JobSpec) -> JobMetrics {
+        // Busy-ish work keyed off the seed so results differ per job.
+        let mut acc = job.seed;
+        for _ in 0..1_000 {
+            acc = acc.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+        }
+        JobMetrics::new()
+            .with("acc_low", (acc & 0xFFFF) as f64)
+            .with("index", job.index as f64)
+    }
+
+    fn campaign(n_read_pcts: u8) -> Campaign {
+        Campaign::new("exec-test", 31).read_pcts(0..n_read_pcts)
+    }
+
+    #[test]
+    fn outcomes_are_keyed_by_job_not_schedule() {
+        let c = campaign(24);
+        for workers in [1usize, 3, 8] {
+            let cfg = ExecutorConfig::default().with_workers(workers);
+            let r = run_campaign(&c, &cfg, toy_runner);
+            assert_eq!(r.workers, workers.min(24));
+            assert_eq!(r.records.len(), 24);
+            for (i, rec) in r.records.iter().enumerate() {
+                assert_eq!(rec.job.index, i);
+                match &rec.outcome {
+                    JobOutcome::Completed { metrics, attempts } => {
+                        assert_eq!(*attempts, 1);
+                        assert_eq!(metrics.get("index"), Some(i as f64));
+                    }
+                    JobOutcome::Failed { .. } => panic!("toy runner never fails"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn worker_zero_uses_available_parallelism() {
+        let r = run_campaign(&campaign(4), &ExecutorConfig::default(), toy_runner);
+        assert!(r.workers >= 1);
+        assert!(r.workers <= 4, "clamped to job count");
+    }
+
+    #[test]
+    fn panicking_job_is_retried_then_reported() {
+        // Quiet hook: these panics are intentional.
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let c = campaign(8);
+        let tries = AtomicU32::new(0);
+        let cfg = ExecutorConfig::serial().with_max_attempts(3);
+        let r = run_campaign(&c, &cfg, |job| {
+            if job.index == 5 {
+                tries.fetch_add(1, Ordering::Relaxed);
+                panic!("job 5 always dies (read_pct={})", job.read_pct);
+            }
+            toy_runner(job)
+        });
+        std::panic::set_hook(prev);
+
+        assert_eq!(tries.load(Ordering::Relaxed), 3, "bounded retry");
+        assert_eq!(r.failed(), 1);
+        assert_eq!(r.completed(), 7, "campaign did not abort");
+        match &r.records[5].outcome {
+            JobOutcome::Failed {
+                panic_msg,
+                attempts,
+            } => {
+                assert_eq!(*attempts, 3);
+                assert!(panic_msg.contains("job 5 always dies"));
+            }
+            other => panic!("expected failure, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn flaky_job_succeeds_on_retry() {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let c = campaign(2);
+        let first = AtomicU32::new(0);
+        let cfg = ExecutorConfig::serial().with_max_attempts(2);
+        let r = run_campaign(&c, &cfg, |job| {
+            if job.index == 0 && first.fetch_add(1, Ordering::Relaxed) == 0 {
+                panic!("transient");
+            }
+            toy_runner(job)
+        });
+        std::panic::set_hook(prev);
+
+        assert_eq!(r.failed(), 0);
+        assert_eq!(r.records[0].outcome.attempts(), 2);
+        assert_eq!(r.records[1].outcome.attempts(), 1);
+    }
+
+    #[test]
+    fn reports_identical_across_worker_counts() {
+        let c = campaign(32);
+        let base = run_campaign(&c, &ExecutorConfig::serial(), toy_runner);
+        for workers in [2usize, 8] {
+            let r = run_campaign(
+                &c,
+                &ExecutorConfig::default().with_workers(workers),
+                toy_runner,
+            );
+            assert_eq!(base.records, r.records);
+            assert_eq!(base.to_jsonl(), r.to_jsonl());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "max_attempts")]
+    fn zero_attempts_rejected() {
+        let cfg = ExecutorConfig::serial().with_max_attempts(0);
+        let _ = run_campaign(&campaign(1), &cfg, toy_runner);
+    }
+}

@@ -123,7 +123,9 @@ pub fn parse_size(s: &str) -> Result<u64, ArgError> {
         .find(|c: char| c.is_ascii_alphabetic())
         .map(|i| s.split_at(i))
         .unwrap_or((s, ""));
-    let value: u64 = num.parse().map_err(|_| ArgError(format!("bad size {s:?}")))?;
+    let value: u64 = num
+        .parse()
+        .map_err(|_| ArgError(format!("bad size {s:?}")))?;
     let scale = match unit {
         "" | "B" => 1,
         "KiB" | "KB" | "K" | "k" => 1 << 10,
@@ -161,7 +163,11 @@ pub fn parse_device(name: &str) -> Result<MemSpec, ArgError> {
         )),
         _ => err(format!(
             "ambiguous device {name:?}: {}",
-            matches.iter().map(|s| s.name).collect::<Vec<_>>().join(", ")
+            matches
+                .iter()
+                .map(|s| s.name)
+                .collect::<Vec<_>>()
+                .join(", ")
         )),
     }
 }
@@ -206,8 +212,7 @@ mod tests {
 
     #[test]
     fn flags_switches_positionals() {
-        let argv = ["--device", "ddr3", "trace.txt", "--csv", "--requests", "5"]
-            .map(String::from);
+        let argv = ["--device", "ddr3", "trace.txt", "--csv", "--requests", "5"].map(String::from);
         let a = Args::parse(argv, &["csv"]).unwrap();
         assert_eq!(a.get("device"), Some("ddr3"));
         assert!(a.switch("csv"));
@@ -258,9 +263,15 @@ mod tests {
 
     #[test]
     fn policy_sched_mapping() {
-        assert_eq!(parse_policy("open-adaptive").unwrap(), PagePolicy::OpenAdaptive);
+        assert_eq!(
+            parse_policy("open-adaptive").unwrap(),
+            PagePolicy::OpenAdaptive
+        );
         assert!(parse_policy("half-open").is_err());
         assert_eq!(parse_sched("fr-fcfs").unwrap(), SchedPolicy::FrFcfs);
-        assert_eq!(parse_mapping("rocorabach").unwrap(), AddrMapping::RoCoRaBaCh);
+        assert_eq!(
+            parse_mapping("rocorabach").unwrap(),
+            AddrMapping::RoCoRaBaCh
+        );
     }
 }

@@ -5,6 +5,7 @@
 //! dramctrl run --device ddr3-1600 --gen random --reads 70 --requests 100000
 //! dramctrl record --gen linear --requests 10000 -o trace.txt
 //! dramctrl replay trace.txt --device lpddr3 --policy closed
+//! dramctrl sweep --policies open,closed --reads 0,50,100 --jsonl report.jsonl
 //! ```
 
 mod args;
@@ -30,6 +31,7 @@ USAGE:
     dramctrl run [OPTIONS]                    run a synthetic workload
     dramctrl record [OPTIONS] -o FILE         write a trace file
     dramctrl replay FILE [OPTIONS]            replay a trace file
+    dramctrl sweep [OPTIONS]                  run a parallel parameter-sweep campaign
 
 RUN / RECORD OPTIONS:
     --device NAME        device preset (default ddr3-1600-x64)
@@ -48,6 +50,28 @@ RUN / RECORD OPTIONS:
     --seed N             RNG seed (default 1)
     --powerdown DUR      enable power-down after this idle time
     --energy             also print the DRAMPower-style energy breakdown
+
+SWEEP OPTIONS (comma-separated lists become campaign axes; their
+Cartesian product runs in parallel with per-job deterministic seeds):
+    --devices A,B        device presets (default ddr3-1333-x64)
+    --models L           event,cycle (default event)
+    --policies L         page policies (default open)
+    --scheds L           schedulers (default frfcfs)
+    --mappings L         address mappings (default RoRaBaCoCh)
+    --channels L         channel counts (default 1)
+    --gens L             linear,random,dram-aware (default linear)
+    --reads L            read percentages (default 100)
+    --requests L         request counts (default 10000)
+    --range SIZE         linear/random address range (default 256MiB)
+    --block N            request size in bytes (default 64)
+    --stride N           dram-aware stride in bursts (default 8)
+    --banks N            dram-aware banks (default 4)
+    --seed N             campaign seed (default 1)
+    --workers N          worker threads, 0 = all cores (default 0)
+    --retries N          attempts per job before it is recorded failed (default 2)
+    --jsonl FILE         also write the deterministic JSON-lines report
+    --csv                print the result table as CSV
+    --quiet              suppress the stderr progress line
 ";
 
 fn main() -> ExitCode {
@@ -62,6 +86,7 @@ fn main() -> ExitCode {
         "run" => run(argv),
         "record" => record(argv),
         "replay" => replay(argv),
+        "sweep" => sweep(argv),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");
             Ok(())
@@ -99,8 +124,23 @@ fn devices() -> Result<(), ArgError> {
 }
 
 const RUN_OPTS: &[&str] = &[
-    "device", "model", "gen", "reads", "requests", "period", "range", "block", "stride",
-    "banks", "policy", "sched", "mapping", "seed", "powerdown", "energy", "o",
+    "device",
+    "model",
+    "gen",
+    "reads",
+    "requests",
+    "period",
+    "range",
+    "block",
+    "stride",
+    "banks",
+    "policy",
+    "sched",
+    "mapping",
+    "seed",
+    "powerdown",
+    "energy",
+    "o",
 ];
 
 struct WorkloadSpec {
@@ -121,8 +161,12 @@ fn build_workload(a: &Args) -> Result<WorkloadSpec, ArgError> {
     let seed: u64 = a.parse_or("seed", 1u64)?;
     let mapping = parse_mapping(a.get("mapping").unwrap_or("rorabacoch"))?;
     let gen: Box<dyn TrafficGen> = match a.get("gen").unwrap_or("linear") {
-        "linear" => Box::new(LinearGen::new(0, range, block, reads, period, requests, seed)),
-        "random" => Box::new(RandomGen::new(0, range, block, reads, period, requests, seed)),
+        "linear" => Box::new(LinearGen::new(
+            0, range, block, reads, period, requests, seed,
+        )),
+        "random" => Box::new(RandomGen::new(
+            0, range, block, reads, period, requests, seed,
+        )),
         "dram-aware" | "dram_aware" => {
             let stride: u64 = a.parse_or("stride", 8u64)?;
             let banks: u32 = a.parse_or("banks", 4u32)?;
@@ -136,8 +180,14 @@ fn build_workload(a: &Args) -> Result<WorkloadSpec, ArgError> {
 }
 
 fn print_summary(s: &TestSummary, spec: &MemSpec) {
-    println!("requests completed : {}", s.reads_completed + s.writes_completed);
-    println!("  reads / writes   : {} / {}", s.reads_completed, s.writes_completed);
+    println!(
+        "requests completed : {}",
+        s.reads_completed + s.writes_completed
+    );
+    println!(
+        "  reads / writes   : {} / {}",
+        s.reads_completed, s.writes_completed
+    );
     println!("simulated time     : {:.3} us", s.duration as f64 / 1e6);
     println!(
         "bandwidth          : {:.2} GB/s of {:.2} GB/s peak ({:.1}% bus)",
@@ -152,7 +202,10 @@ fn print_summary(s: &TestSummary, spec: &MemSpec) {
         s.read_lat_ns.quantile(0.95).unwrap_or(0),
         s.read_lat_ns.quantile(0.99).unwrap_or(0),
     );
-    println!("row-hit rate       : {:.1}%", s.ctrl.page_hit_rate() * 100.0);
+    println!(
+        "row-hit rate       : {:.1}%",
+        s.ctrl.page_hit_rate() * 100.0
+    );
 }
 
 fn run(argv: Vec<String>) -> Result<(), ArgError> {
@@ -173,8 +226,7 @@ fn run(argv: Vec<String>) -> Result<(), ArgError> {
             if let Some(pd) = a.get("powerdown") {
                 cfg.powerdown_idle = parse_duration(pd)?;
             }
-            let mut ctrl =
-                DramCtrl::new(cfg).map_err(|e| ArgError(e.to_string()))?;
+            let mut ctrl = DramCtrl::new(cfg).map_err(|e| ArgError(e.to_string()))?;
             let summary = tester.run(&mut gen, &mut ctrl);
             println!("== {} (event-based model) ==", spec.name);
             print_summary(&summary, &spec);
@@ -213,6 +265,141 @@ fn run(argv: Vec<String>) -> Result<(), ArgError> {
     Ok(())
 }
 
+const SWEEP_OPTS: &[&str] = &[
+    "devices", "models", "policies", "scheds", "mappings", "channels", "gens", "reads", "requests",
+    "range", "block", "stride", "banks", "seed", "workers", "retries", "jsonl", "csv", "quiet",
+];
+
+fn sweep(argv: Vec<String>) -> Result<(), ArgError> {
+    use dramctrl_bench::run_job;
+    use dramctrl_campaign::{
+        run_campaign, Campaign, ExecutorConfig, Model, Progress, TrafficPattern,
+    };
+
+    let a = Args::parse(argv, &["csv", "quiet"])?;
+    a.ensure_known(SWEEP_OPTS)?;
+    let list = |name: &str, default: &str| -> Result<Vec<String>, ArgError> {
+        let items: Vec<String> = a
+            .get(name)
+            .unwrap_or(default)
+            .split(',')
+            .map(|s| s.trim().to_owned())
+            .filter(|s| !s.is_empty())
+            .collect();
+        if items.is_empty() {
+            return Err(ArgError(format!("--{name}: list must not be empty")));
+        }
+        Ok(items)
+    };
+
+    let devices = list("devices", "ddr3-1333-x64")?
+        .iter()
+        .map(|d| parse_device(d).map(|s| s.name.to_owned()))
+        .collect::<Result<Vec<_>, _>>()?;
+    let models = list("models", "event")?
+        .iter()
+        .map(|m| m.parse::<Model>().map_err(ArgError))
+        .collect::<Result<Vec<_>, _>>()?;
+    let policies = list("policies", "open")?
+        .iter()
+        .map(|p| parse_policy(p))
+        .collect::<Result<Vec<_>, _>>()?;
+    let scheds = list("scheds", "frfcfs")?
+        .iter()
+        .map(|s| parse_sched(s))
+        .collect::<Result<Vec<_>, _>>()?;
+    let mappings = list("mappings", "rorabacoch")?
+        .iter()
+        .map(|m| parse_mapping(m))
+        .collect::<Result<Vec<_>, _>>()?;
+    let channels = list("channels", "1")?
+        .iter()
+        .map(|c| {
+            c.parse::<u32>()
+                .map_err(|_| ArgError(format!("--channels: cannot parse {c:?}")))
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    let reads = list("reads", "100")?
+        .iter()
+        .map(|r| {
+            r.parse::<u8>()
+                .ok()
+                .filter(|r| *r <= 100)
+                .ok_or_else(|| ArgError(format!("--reads: {r:?} is not 0..=100")))
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    let requests = list("requests", "10000")?
+        .iter()
+        .map(|n| {
+            n.parse::<u64>()
+                .map_err(|_| ArgError(format!("--requests: cannot parse {n:?}")))
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+
+    let range = parse_size(a.get("range").unwrap_or("256MiB"))?;
+    let block: u32 = a.parse_or("block", 64u32)?;
+    let stride: u64 = a.parse_or("stride", 8u64)?;
+    let banks: u32 = a.parse_or("banks", 4u32)?;
+    let traffic = list("gens", "linear")?
+        .iter()
+        .map(|g| match g.as_str() {
+            "linear" => Ok(TrafficPattern::Linear { range, block }),
+            "random" => Ok(TrafficPattern::Random { range, block }),
+            "dram-aware" | "dram_aware" => Ok(TrafficPattern::DramAware { stride, banks }),
+            other => Err(ArgError(format!("unknown generator {other:?}"))),
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+
+    let seed: u64 = a.parse_or("seed", 1u64)?;
+    let campaign = Campaign::new("sweep", seed)
+        .devices(devices)
+        .models(models)
+        .policies(policies)
+        .scheds(scheds)
+        .mappings(mappings)
+        .channels(channels)
+        .traffic(traffic)
+        .read_pcts(reads)
+        .requests(requests);
+
+    let cfg = ExecutorConfig {
+        workers: a.parse_or("workers", 0usize)?,
+        max_attempts: {
+            let retries: u32 = a.parse_or("retries", 2u32)?;
+            if retries == 0 {
+                return Err(ArgError("--retries must be at least 1".into()));
+            }
+            retries
+        },
+        progress: if a.switch("quiet") {
+            Progress::Silent
+        } else {
+            Progress::Stderr
+        },
+    };
+    eprintln!("sweep: {} jobs, seed {}", campaign.len(), seed);
+    let report = run_campaign(&campaign, &cfg, run_job);
+
+    if let Some(path) = a.get("jsonl") {
+        std::fs::write(path, report.to_jsonl())
+            .map_err(|e| ArgError(format!("writing {path:?}: {e}")))?;
+        eprintln!("wrote {} JSONL records to {path}", report.records.len());
+    }
+    report
+        .table(&[
+            "bus_util",
+            "bandwidth_gbps",
+            "avg_read_lat_ns",
+            "row_hit_rate",
+        ])
+        .print();
+    eprintln!("{}", report.summary());
+    if report.failed() > 0 {
+        return Err(ArgError(format!("{} job(s) failed", report.failed())));
+    }
+    Ok(())
+}
+
 fn record(argv: Vec<String>) -> Result<(), ArgError> {
     let a = Args::parse(argv, &[])?;
     a.ensure_known(RUN_OPTS)?;
@@ -242,8 +429,8 @@ fn replay(argv: Vec<String>) -> Result<(), ArgError> {
     let [path] = a.positional() else {
         return Err(ArgError("replay needs exactly one trace file".into()));
     };
-    let text = std::fs::read_to_string(path)
-        .map_err(|e| ArgError(format!("reading {path:?}: {e}")))?;
+    let text =
+        std::fs::read_to_string(path).map_err(|e| ArgError(format!("reading {path:?}: {e}")))?;
     let mut trace: TraceGen = text.parse().map_err(|e| ArgError(format!("{e}")))?;
     let spec = parse_device(a.get("device").unwrap_or("ddr3-1600-x64"))?;
     let mut cfg = CtrlConfig::new(spec.clone());

@@ -11,7 +11,12 @@ fn devices_lists_presets() {
     let out = dramctrl().arg("devices").output().unwrap();
     assert!(out.status.success());
     let text = String::from_utf8(out.stdout).unwrap();
-    for name in ["DDR3-1600-x64", "LPDDR3-1600-x32", "WideIO-200-x128", "HBM-1000-x128"] {
+    for name in [
+        "DDR3-1600-x64",
+        "LPDDR3-1600-x32",
+        "WideIO-200-x128",
+        "HBM-1000-x128",
+    ] {
         assert!(text.contains(name), "missing {name} in\n{text}");
     }
 }
@@ -20,12 +25,23 @@ fn devices_lists_presets() {
 fn run_reports_bandwidth_and_power() {
     let out = dramctrl()
         .args([
-            "run", "--device", "ddr3-1600-x64", "--gen", "linear", "--requests", "5000",
-            "--reads", "80",
+            "run",
+            "--device",
+            "ddr3-1600-x64",
+            "--gen",
+            "linear",
+            "--requests",
+            "5000",
+            "--reads",
+            "80",
         ])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8(out.stdout).unwrap();
     assert!(text.contains("requests completed : 5000"));
     assert!(text.contains("bandwidth"));
@@ -39,7 +55,9 @@ fn cycle_model_also_runs() {
         .output()
         .unwrap();
     assert!(out.status.success());
-    assert!(String::from_utf8(out.stdout).unwrap().contains("cycle-based baseline"));
+    assert!(String::from_utf8(out.stdout)
+        .unwrap()
+        .contains("cycle-based baseline"));
 }
 
 #[test]
@@ -51,17 +69,35 @@ fn record_then_replay_round_trips() {
 
     let out = dramctrl()
         .args([
-            "record", "--gen", "random", "--requests", "3000", "--reads", "60", "--o", trace_s,
+            "record",
+            "--gen",
+            "random",
+            "--requests",
+            "3000",
+            "--reads",
+            "60",
+            "--o",
+            trace_s,
         ])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
 
     let out = dramctrl()
-        .args(["replay", trace_s, "--device", "lpddr3", "--policy", "closed"])
+        .args([
+            "replay", trace_s, "--device", "lpddr3", "--policy", "closed",
+        ])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8(out.stdout).unwrap();
     assert!(text.contains("requests completed : 3000"));
     assert!(text.contains("LPDDR3"));

@@ -93,7 +93,7 @@ impl Rank {
     /// Records an ACT at `at` and updates the rank-wide constraints.
     pub fn record_act(&mut self, at: Tick, t_rrd: Tick, limit: u32) {
         debug_assert!(
-            self.act_window.back().is_none_or(|&last| at >= last),
+            !self.act_window.back().is_some_and(|&last| at < last),
             "activates must be recorded in order"
         );
         self.next_act_at = self.next_act_at.max(at + t_rrd);

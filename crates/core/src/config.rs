@@ -214,7 +214,9 @@ mod tests {
 
     #[test]
     fn defaults_are_valid() {
-        CtrlConfig::new(presets::ddr3_1333_x64()).validate().unwrap();
+        CtrlConfig::new(presets::ddr3_1333_x64())
+            .validate()
+            .unwrap();
         for spec in presets::all() {
             CtrlConfig::new(spec).validate().unwrap();
         }

@@ -513,10 +513,7 @@ impl DramCtrl {
         {
             return;
         }
-        let at = now
-            .max(self.bus_busy_until)
-            .max(self.last_activity)
-            + self.cfg.powerdown_idle;
+        let at = now.max(self.bus_busy_until).max(self.last_activity) + self.cfg.powerdown_idle;
         self.events
             .schedule(at.max(self.events.now()), Ev::PowerDownCheck);
         self.pd_check_scheduled = true;
@@ -714,10 +711,7 @@ impl DramCtrl {
                 self.stats.precharges += 1;
             }
             let rank = &self.ranks[ri];
-            let earliest = rank.banks[bi]
-                .act_allowed_at
-                .max(rank.next_act_at)
-                .max(now);
+            let earliest = rank.banks[bi].act_allowed_at.max(rank.next_act_at).max(now);
             let act_at = rank.act_constrained(earliest, t.t_xaw, t.activation_limit);
             let rank = &mut self.ranks[ri];
             rank.record_act(act_at, t.t_rrd, t.activation_limit);
@@ -871,8 +865,7 @@ impl DramCtrl {
                 } else {
                     0
                 };
-            time_sr += rank.sr_time
-                + if rank.self_refreshing { live } else { 0 };
+            time_sr += rank.sr_time + if rank.self_refreshing { live } else { 0 };
         }
         ActivityStats {
             sim_time: now,
@@ -895,11 +888,7 @@ impl DramCtrl {
 }
 
 impl dramctrl_mem::Controller for DramCtrl {
-    fn try_send(
-        &mut self,
-        req: MemRequest,
-        now: Tick,
-    ) -> Result<(), dramctrl_mem::Rejected> {
+    fn try_send(&mut self, req: MemRequest, now: Tick) -> Result<(), dramctrl_mem::Rejected> {
         DramCtrl::try_send(self, req, now).map_err(|e| match e {
             SendError::TooLarge { .. } => dramctrl_mem::Rejected::TooLarge,
             _ => dramctrl_mem::Rejected::Full,

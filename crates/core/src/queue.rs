@@ -103,7 +103,7 @@ pub(crate) fn chop(
 pub(crate) fn burst_count(addr: u64, size: u32, burst_bytes: u64) -> usize {
     let end = addr + u64::from(size);
     let first = addr / burst_bytes;
-    let last = (end + burst_bytes - 1) / burst_bytes;
+    let last = end.div_ceil(burst_bytes);
     (last - first) as usize
 }
 

@@ -144,9 +144,15 @@ impl CtrlStats {
         r.scalar("page_hit_rate", self.page_hit_rate());
         r.scalar("bus_util", self.bus_utilisation(now));
         r.scalar("bandwidth_gbps", self.bandwidth_gbps(now));
-        r.scalar("avg_queue_lat_ns", tick::to_ns(self.queue_lat.mean() as Tick));
+        r.scalar(
+            "avg_queue_lat_ns",
+            tick::to_ns(self.queue_lat.mean() as Tick),
+        );
         r.scalar("avg_bank_lat_ns", tick::to_ns(self.bank_lat.mean() as Tick));
-        r.scalar("avg_read_lat_ns", tick::to_ns(self.total_lat.mean() as Tick));
+        r.scalar(
+            "avg_read_lat_ns",
+            tick::to_ns(self.total_lat.mean() as Tick),
+        );
         r.scalar("avg_rdq_occupancy", self.rdq_occ.average(now));
         r.scalar("avg_wrq_occupancy", self.wrq_occ.average(now));
         r
@@ -163,7 +169,7 @@ mod tests {
         occ.update(2, 0); // empty over [0,0), then 2 entries
         occ.update(4, 100); // 2 entries over [0,100)
         occ.update(0, 200); // 4 entries over [100,200)
-        // average over [0,200]: (2*100 + 4*100) / 200 = 3
+                            // average over [0,200]: (2*100 + 4*100) / 200 = 3
         assert_eq!(occ.average(200), 3.0);
         // extending the window with an empty queue dilutes the average
         assert_eq!(occ.average(400), 1.5);

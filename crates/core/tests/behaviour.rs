@@ -2,8 +2,8 @@
 //! flow control, conservation invariants and statistics plumbing.
 
 use dramctrl::{CtrlConfig, DramCtrl, PagePolicy, SchedPolicy, SendError};
+use dramctrl_kernel::rng::Rng;
 use dramctrl_mem::{presets, AddrMapping, MemCmd, MemRequest, ReqId};
-use proptest::prelude::*;
 
 fn small_ctrl() -> DramCtrl {
     let mut cfg = CtrlConfig::new(presets::ddr3_1333_x64());
@@ -134,31 +134,31 @@ fn deterministic_across_runs() {
     assert_eq!(run(), run());
 }
 
-/// Strategy: a batch of requests with mixed commands, sizes and localities.
-fn requests() -> impl Strategy<Value = Vec<(bool, u64, u32)>> {
-    proptest::collection::vec(
-        (
-            any::<bool>(),
-            0u64..(1 << 22),
-            prop_oneof![Just(16u32), Just(64u32), Just(128u32), Just(256u32)],
-        ),
-        1..60,
-    )
+/// A seeded batch of requests with mixed commands, sizes and localities.
+fn requests(rng: &mut Rng, max_len: u64) -> Vec<(bool, u64, u32)> {
+    let sizes = [16u32, 64, 128, 256];
+    (0..rng.gen_range(1..max_len))
+        .map(|_| {
+            (
+                rng.gen_bool(),
+                rng.gen_range(0..1 << 22),
+                sizes[rng.gen_range(0..4) as usize],
+            )
+        })
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Every accepted request produces exactly one response, regardless of
-    /// command mix, chopping, merging and forwarding; the controller ends
-    /// idle and conservation holds between bursts and queue traffic.
-    #[test]
-    fn one_response_per_request(
-        reqs in requests(),
-        policy_idx in 0usize..4,
-        sched in 0usize..2,
-        mapping_idx in 0usize..3,
-    ) {
+/// Every accepted request produces exactly one response, regardless of
+/// command mix, chopping, merging and forwarding; the controller ends
+/// idle and conservation holds between bursts and queue traffic.
+#[test]
+fn one_response_per_request() {
+    let mut rng = Rng::seed_from_u64(0xBE4A_0001);
+    for _ in 0..64 {
+        let reqs = requests(&mut rng, 60);
+        let policy_idx = rng.gen_range(0..4) as usize;
+        let sched = rng.gen_range(0..2) as usize;
+        let mapping_idx = rng.gen_range(0..3) as usize;
         let mut cfg = CtrlConfig::new(presets::ddr3_1333_x64());
         cfg.spec.timing.t_refi = 0;
         cfg.page_policy = [
@@ -201,31 +201,35 @@ proptest! {
         }
         c.drain(&mut out);
 
-        prop_assert_eq!(out.len() as u64, accepted);
-        prop_assert!(c.is_idle());
+        assert_eq!(out.len() as u64, accepted);
+        assert!(c.is_idle());
         // Responses are delivered in non-decreasing ready order.
-        prop_assert!(out.windows(2).all(|w| w[0].ready_at <= w[1].ready_at));
+        assert!(out.windows(2).all(|w| w[0].ready_at <= w[1].ready_at));
         // All response ids are distinct and were actually sent.
         let mut ids: Vec<_> = out.iter().map(|r| r.id.0).collect();
         ids.sort_unstable();
         ids.dedup();
-        prop_assert_eq!(ids.len() as u64, accepted);
+        assert_eq!(ids.len() as u64, accepted);
 
         let s = c.stats();
-        prop_assert_eq!(s.reads_accepted + s.writes_accepted, accepted);
+        assert_eq!(s.reads_accepted + s.writes_accepted, accepted);
         // Bus time equals bursts * tBURST.
         let bursts = s.rd_bursts + s.wr_bursts;
-        prop_assert_eq!(s.bus_busy, bursts * c.config().spec.timing.t_burst);
+        assert_eq!(s.bus_busy, bursts * c.config().spec.timing.t_burst);
         // Row hits never exceed bursts; activates need a matching burst
         // unless the access was a pure reopen (impossible here).
-        prop_assert!(s.rd_row_hits + s.wr_row_hits <= bursts);
-        prop_assert!(s.activates <= bursts);
+        assert!(s.rd_row_hits + s.wr_row_hits <= bursts);
+        assert!(s.activates <= bursts);
     }
+}
 
-    /// The bank-state timeline never goes negative and the precharged time
-    /// never exceeds the window.
-    #[test]
-    fn activity_bounds(reqs in requests()) {
+/// The bank-state timeline never goes negative and the precharged time
+/// never exceeds the window.
+#[test]
+fn activity_bounds() {
+    let mut rng = Rng::seed_from_u64(0xBE4A_0002);
+    for _ in 0..64 {
+        let reqs = requests(&mut rng, 60);
         let mut cfg = CtrlConfig::new(presets::ddr3_1333_x64());
         cfg.spec.timing.t_refi = 0;
         let mut c = DramCtrl::new(cfg).unwrap();
@@ -251,11 +255,11 @@ proptest! {
         }
         let end = c.drain(&mut out).max(t) + 1_000_000;
         let act = c.activity(end);
-        prop_assert!(act.time_all_banks_precharged <= end);
-        prop_assert_eq!(act.ranks, 1);
+        assert!(act.time_all_banks_precharged <= end);
+        assert_eq!(act.ranks, 1);
         // With an open-page policy the last row stays open forever, so the
         // fraction may legitimately reach 0.0.
-        prop_assert!((0.0..=1.0).contains(&act.precharged_fraction()));
+        assert!((0.0..=1.0).contains(&act.precharged_fraction()));
     }
 }
 
@@ -276,12 +280,15 @@ fn windowed_stats_isolate_a_region() {
     // Region of interest: 2 writes (the small queue's capacity) and 3
     // reads.
     for i in 0..2u64 {
-        DramCtrl::try_send(&mut c, MemRequest::write(ReqId(100 + i), i * 64, 64), 0)
-            .unwrap();
+        DramCtrl::try_send(&mut c, MemRequest::write(ReqId(100 + i), i * 64, 64), 0).unwrap();
     }
     for i in 0..3u64 {
-        DramCtrl::try_send(&mut c, MemRequest::read(ReqId(200 + i), 4096 + i * 64, 64), 0)
-            .unwrap();
+        DramCtrl::try_send(
+            &mut c,
+            MemRequest::read(ReqId(200 + i), 4096 + i * 64, 64),
+            0,
+        )
+        .unwrap();
         DramCtrl::drain(&mut c, &mut out);
     }
     DramCtrl::drain(&mut c, &mut out);

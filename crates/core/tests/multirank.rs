@@ -18,7 +18,17 @@ fn two_rank_ctrl(refresh: bool) -> DramCtrl {
 fn addr(rank: u32, bank: u32, row: u64, col: u64) -> u64 {
     let mut org = presets::ddr3_1333_x64().org;
     org.ranks = 2;
-    AddrMapping::RoRaBaCoCh.encode(&DramAddr { rank, bank, row, col }, 0, &org, 1)
+    AddrMapping::RoRaBaCoCh.encode(
+        &DramAddr {
+            rank,
+            bank,
+            row,
+            col,
+        },
+        0,
+        &org,
+        1,
+    )
 }
 
 fn drain(c: &mut DramCtrl) -> Vec<MemResponse> {

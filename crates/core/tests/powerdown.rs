@@ -97,7 +97,8 @@ fn reenters_after_each_idle_period() {
     for burst in 0..3u64 {
         let t = burst * 5_000_000;
         c.advance_to(t, &mut out);
-        c.try_send(MemRequest::read(ReqId(burst), 0, 64), t).unwrap();
+        c.try_send(MemRequest::read(ReqId(burst), 0, 64), t)
+            .unwrap();
     }
     c.advance_to(20_000_000, &mut out);
     assert_eq!(c.stats().powerdowns, 3);

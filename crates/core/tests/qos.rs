@@ -18,7 +18,12 @@ fn ctrl(qos: Vec<u8>, sched: SchedPolicy) -> DramCtrl {
 
 fn addr(bank: u32, row: u64, col: u64) -> u64 {
     AddrMapping::RoRaBaCoCh.encode(
-        &DramAddr { rank: 0, bank, row, col },
+        &DramAddr {
+            rank: 0,
+            bank,
+            row,
+            col,
+        },
         0,
         &presets::ddr3_1333_x64().org,
         1,

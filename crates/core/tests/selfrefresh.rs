@@ -85,7 +85,8 @@ fn wake_before_descent_costs_only_txp() {
     c.advance_to(500_000, &mut out);
     assert_eq!(c.stats().powerdowns, 1);
     assert_eq!(c.stats().self_refreshes, 0);
-    c.try_send(MemRequest::read(ReqId(1), 0, 64), 500_000).unwrap();
+    c.try_send(MemRequest::read(ReqId(1), 0, 64), 500_000)
+        .unwrap();
     out.clear();
     // The stale self-refresh check (armed by the first power-down entry)
     // fires around 1.15 us; the rank re-entered power-down at ~0.79 us,

@@ -175,7 +175,8 @@ fn writes_merge_when_subsumed() {
     let mut c = ctrl();
     let a = addr(0, 2, 0);
     c.try_send(MemRequest::write(ReqId(0), a, 64), 0).unwrap();
-    c.try_send(MemRequest::write(ReqId(1), a + 8, 8), 0).unwrap();
+    c.try_send(MemRequest::write(ReqId(1), a + 8, 8), 0)
+        .unwrap();
     assert_eq!(c.stats().merged_writes, 1);
     assert_eq!(c.write_queue_len(), 1);
     // A write that is not subsumed gets its own entry.

@@ -268,7 +268,7 @@ impl CycleCtrl {
     fn burst_count(&self, addr: u64, size: u32) -> usize {
         let bb = self.cfg.spec.org.burst_bytes();
         let first = addr / bb;
-        let last = (addr + u64::from(size) + bb - 1) / bb;
+        let last = (addr + u64::from(size)).div_ceil(bb);
         (last - first) as usize
     }
 
@@ -502,9 +502,7 @@ impl CycleCtrl {
                 // make progress unconditionally or the queue deadlocks.
                 let hit_pending = self.cfg.scheduling == CycleSched::FrFcfs
                     && self.queue.iter().any(|q| {
-                        q.da.rank == txn.da.rank
-                            && q.da.bank == txn.da.bank
-                            && q.da.row == open
+                        q.da.rank == txn.da.rank && q.da.bank == txn.da.bank && q.da.row == open
                     });
                 let bank = &mut self.ranks[ri].banks[bi];
                 if !hit_pending && c >= bank.next_pre {

@@ -3,33 +3,34 @@
 //! requests, ordering of responses and statistics consistency.
 
 use dramctrl_cycle::{CycleConfig, CycleCtrl, CyclePagePolicy, CycleSched};
+use dramctrl_kernel::rng::Rng;
 use dramctrl_mem::{presets, AddrMapping, Controller, MemRequest, Rejected, ReqId};
-use proptest::prelude::*;
 
-fn requests() -> impl Strategy<Value = Vec<(bool, u64, u32)>> {
-    proptest::collection::vec(
-        (
-            any::<bool>(),
-            0u64..(1 << 22),
-            prop_oneof![Just(16u32), Just(64u32), Just(128u32), Just(256u32)],
-        ),
-        1..40,
-    )
+/// A seeded batch of requests with mixed commands, sizes and localities.
+fn requests(rng: &mut Rng) -> Vec<(bool, u64, u32)> {
+    let sizes = [16u32, 64, 128, 256];
+    (0..rng.gen_range(1..40))
+        .map(|_| {
+            (
+                rng.gen_bool(),
+                rng.gen_range(0..1 << 22),
+                sizes[rng.gen_range(0..4) as usize],
+            )
+        })
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Every accepted request produces exactly one response under any
-    /// policy combination; the controller ends idle with consistent
-    /// statistics.
-    #[test]
-    fn one_response_per_request(
-        reqs in requests(),
-        closed in any::<bool>(),
-        fcfs in any::<bool>(),
-        mapping_idx in 0usize..3,
-    ) {
+/// Every accepted request produces exactly one response under any
+/// policy combination; the controller ends idle with consistent
+/// statistics.
+#[test]
+fn one_response_per_request() {
+    let mut rng = Rng::seed_from_u64(0x000C_7C1E_0001);
+    for _ in 0..48 {
+        let reqs = requests(&mut rng);
+        let closed = rng.gen_bool();
+        let fcfs = rng.gen_bool();
+        let mapping_idx = rng.gen_range(0..3) as usize;
         let mut cfg = CycleConfig::new(presets::ddr3_1333_x64());
         cfg.spec.timing.t_refi = 0;
         cfg.page_policy = if closed {
@@ -37,7 +38,11 @@ proptest! {
         } else {
             CyclePagePolicy::Open
         };
-        cfg.scheduling = if fcfs { CycleSched::Fcfs } else { CycleSched::FrFcfs };
+        cfg.scheduling = if fcfs {
+            CycleSched::Fcfs
+        } else {
+            CycleSched::FrFcfs
+        };
         cfg.mapping = [
             AddrMapping::RoRaBaCoCh,
             AddrMapping::RoRaBaChCo,
@@ -71,28 +76,32 @@ proptest! {
         }
         c.drain(&mut out);
 
-        prop_assert_eq!(out.len() as u64, accepted);
-        prop_assert!(c.is_idle());
-        prop_assert!(out.windows(2).all(|w| w[0].ready_at <= w[1].ready_at));
+        assert_eq!(out.len() as u64, accepted);
+        assert!(c.is_idle());
+        assert!(out.windows(2).all(|w| w[0].ready_at <= w[1].ready_at));
         let s = c.common_stats();
-        prop_assert_eq!(s.reads_accepted + s.writes_accepted, accepted);
+        assert_eq!(s.reads_accepted + s.writes_accepted, accepted);
         let bursts = s.rd_bursts + s.wr_bursts;
-        prop_assert_eq!(s.bus_busy, bursts * c.config().spec.timing.t_burst);
-        prop_assert!(s.row_hits <= bursts);
-        prop_assert!(s.activates <= bursts);
+        assert_eq!(s.bus_busy, bursts * c.config().spec.timing.t_burst);
+        assert!(s.row_hits <= bursts);
+        assert!(s.activates <= bursts);
         // Cycle accounting: the model did per-cycle work.
-        prop_assert!(c.stats().cycles_simulated > 0);
+        assert!(c.stats().cycles_simulated > 0);
     }
+}
 
-    /// Burst counts are identical between the two models for read-only
-    /// traffic (no merging/forwarding differences apply), regardless of
-    /// chopping.
-    #[test]
-    fn models_chop_identically(
-        addrs in proptest::collection::vec((0u64..(1 << 22), 1u32..300), 1..30),
-    ) {
-        use dramctrl::{CtrlConfig, DramCtrl};
+/// Burst counts are identical between the two models for read-only
+/// traffic (no merging/forwarding differences apply), regardless of
+/// chopping.
+#[test]
+fn models_chop_identically() {
+    use dramctrl::{CtrlConfig, DramCtrl};
 
+    let mut rng = Rng::seed_from_u64(0x000C_7C1E_0002);
+    for _ in 0..48 {
+        let addrs: Vec<(u64, u32)> = (0..rng.gen_range(1..30))
+            .map(|_| (rng.gen_range(0..1 << 22), rng.gen_range(1..300) as u32))
+            .collect();
         let mut ev_cfg = CtrlConfig::new(presets::ddr3_1333_x64());
         ev_cfg.spec.timing.t_refi = 0;
         ev_cfg.read_buffer_size = 512;
@@ -110,11 +119,11 @@ proptest! {
         }
         Controller::drain(&mut ev, &mut out);
         cy.drain(&mut out);
-        prop_assert_eq!(
+        assert_eq!(
             Controller::common_stats(&ev).rd_bursts,
             cy.common_stats().rd_bursts
         );
-        prop_assert_eq!(
+        assert_eq!(
             Controller::common_stats(&ev).bytes_read,
             cy.common_stats().bytes_read
         );

@@ -148,7 +148,7 @@ impl<E> Default for EventQueue<E> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use crate::rng::Rng;
 
     #[test]
     fn pop_advances_now() {
@@ -214,11 +214,23 @@ mod tests {
         assert_eq!(q.peek_tick(), None);
     }
 
-    proptest! {
-        /// Events always come out in non-decreasing tick order, and events
-        /// with equal ticks come out in insertion order.
-        #[test]
-        fn ordering_invariant(ticks in proptest::collection::vec(0u64..1_000, 1..200)) {
+    /// Randomised (seeded, deterministic) case generator: vectors of
+    /// ticks in `[0, 1000)` with lengths in `[1, max_len)`.
+    fn random_tick_vecs(seed: u64, cases: usize, max_len: u64) -> Vec<Vec<Tick>> {
+        let mut rng = Rng::seed_from_u64(seed);
+        (0..cases)
+            .map(|_| {
+                let len = rng.gen_range(1..max_len);
+                (0..len).map(|_| rng.gen_range(0..1_000)).collect()
+            })
+            .collect()
+    }
+
+    /// Events always come out in non-decreasing tick order, and events
+    /// with equal ticks come out in insertion order.
+    #[test]
+    fn ordering_invariant() {
+        for ticks in random_tick_vecs(0xE0E0, 256, 200) {
             let mut q = EventQueue::new();
             for (i, &t) in ticks.iter().enumerate() {
                 q.schedule(t, i);
@@ -226,18 +238,20 @@ mod tests {
             let mut prev: Option<(Tick, usize)> = None;
             while let Some((t, i)) = q.pop() {
                 if let Some((pt, pi)) = prev {
-                    prop_assert!(t >= pt);
+                    assert!(t >= pt);
                     if t == pt {
-                        prop_assert!(i > pi);
+                        assert!(i > pi);
                     }
                 }
                 prev = Some((t, i));
             }
         }
+    }
 
-        /// now() equals the tick of the last popped event.
-        #[test]
-        fn now_tracks_pops(ticks in proptest::collection::vec(0u64..1_000, 1..50)) {
+    /// now() equals the tick of the last popped event.
+    #[test]
+    fn now_tracks_pops() {
+        for ticks in random_tick_vecs(0x1111, 256, 50) {
             let mut q = EventQueue::new();
             for &t in &ticks {
                 q.schedule(t, ());
@@ -245,9 +259,9 @@ mod tests {
             let mut max_seen = 0;
             while let Some((t, ())) = q.pop() {
                 max_seen = max_seen.max(t);
-                prop_assert_eq!(q.now(), t);
+                assert_eq!(q.now(), t);
             }
-            prop_assert_eq!(q.now(), max_seen);
+            assert_eq!(q.now(), max_seen);
         }
     }
 }

@@ -32,6 +32,7 @@
 
 mod clock;
 mod event;
+pub mod rng;
 pub mod tick;
 
 pub use clock::Clock;

@@ -1,49 +1,75 @@
-//! Property-based tests for clock-domain arithmetic — the conversions the
-//! cycle-based model relies on for its nanosecond-to-cycle tables.
+//! Randomised (seeded, deterministic) tests for clock-domain arithmetic —
+//! the conversions the cycle-based model relies on for its
+//! nanosecond-to-cycle tables.
 
+use dramctrl_kernel::rng::Rng;
 use dramctrl_kernel::{tick, Clock};
-use proptest::prelude::*;
 
-proptest! {
-    /// ceil_edge is idempotent, aligned, and never earlier than the input.
-    #[test]
-    fn ceil_edge_properties(period in 1u64..10_000, t in 0u64..(1 << 40)) {
+const CASES: usize = 512;
+
+/// ceil_edge is idempotent, aligned, and never earlier than the input.
+#[test]
+fn ceil_edge_properties() {
+    let mut rng = Rng::seed_from_u64(0xC10C_0001);
+    for _ in 0..CASES {
+        let period = rng.gen_range(1..10_000);
+        let t = rng.gen_range(0..1 << 40);
         let clk = Clock::from_period(period);
         let e = clk.ceil_edge(t);
-        prop_assert!(e >= t);
-        prop_assert!(e - t < period);
-        prop_assert_eq!(e % period, 0);
-        prop_assert_eq!(clk.ceil_edge(e), e);
+        assert!(e >= t);
+        assert!(e - t < period);
+        assert_eq!(e % period, 0);
+        assert_eq!(clk.ceil_edge(e), e);
     }
+}
 
-    /// floor and ceil bracket the input by less than one period.
-    #[test]
-    fn floor_ceil_bracket(period in 1u64..10_000, t in 0u64..(1 << 40)) {
+/// floor and ceil bracket the input by less than one period.
+#[test]
+fn floor_ceil_bracket() {
+    let mut rng = Rng::seed_from_u64(0xC10C_0002);
+    for _ in 0..CASES {
+        let period = rng.gen_range(1..10_000);
+        // Half the cases exactly on an edge so the f == c branch is hit.
+        let t = if rng.gen_bool() {
+            rng.gen_range(0..1 << 40)
+        } else {
+            rng.gen_range(0..1 << 40) / period * period
+        };
         let clk = Clock::from_period(period);
         let (f, c) = (clk.floor_edge(t), clk.ceil_edge(t));
-        prop_assert!(f <= t && t <= c);
-        prop_assert!(c - f < 2 * period);
+        assert!(f <= t && t <= c);
+        assert!(c - f < 2 * period);
         if t % period == 0 {
-            prop_assert_eq!(f, c);
+            assert_eq!(f, c);
         }
     }
+}
 
-    /// Cycle round trips: to_cycles(cycles(n)) == n, and the ceiling count
-    /// always covers the duration.
-    #[test]
-    fn cycle_round_trip(period in 1u64..10_000, n in 0u64..1_000_000, t in 0u64..(1 << 40)) {
+/// Cycle round trips: to_cycles(cycles(n)) == n, and the ceiling count
+/// always covers the duration.
+#[test]
+fn cycle_round_trip() {
+    let mut rng = Rng::seed_from_u64(0xC10C_0003);
+    for _ in 0..CASES {
+        let period = rng.gen_range(1..10_000);
+        let n = rng.gen_range(0..1_000_000);
+        let t = rng.gen_range(0..1 << 40);
         let clk = Clock::from_period(period);
-        prop_assert_eq!(clk.to_cycles(clk.cycles(n)), n);
-        prop_assert!(clk.cycles(clk.to_cycles_ceil(t)) >= t);
-        prop_assert!(clk.cycles(clk.to_cycles(t)) <= t);
+        assert_eq!(clk.to_cycles(clk.cycles(n)), n);
+        assert!(clk.cycles(clk.to_cycles_ceil(t)) >= t);
+        assert!(clk.cycles(clk.to_cycles(t)) <= t);
     }
+}
 
-    /// Tick conversions: ns round trips through ticks at ps resolution.
-    #[test]
-    fn ns_round_trip(ns in 0u64..1_000_000_000) {
+/// Tick conversions: ns round trips through ticks at ps resolution.
+#[test]
+fn ns_round_trip() {
+    let mut rng = Rng::seed_from_u64(0xC10C_0004);
+    for _ in 0..CASES {
+        let ns = rng.gen_range(0..1_000_000_000);
         let t = tick::from_ns(ns as f64);
-        prop_assert_eq!(t, ns * tick::NS);
-        prop_assert_eq!(tick::to_ns(t), ns as f64);
+        assert_eq!(t, ns * tick::NS);
+        assert_eq!(tick::to_ns(t), ns as f64);
     }
 }
 

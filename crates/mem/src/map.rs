@@ -94,13 +94,7 @@ impl AddrMapping {
 
     /// Inserts channel bits into a channel-local address — the inverse of
     /// [`strip_channel`](Self::strip_channel).
-    fn insert_channel(
-        self,
-        local: u64,
-        channel: u32,
-        org: &Organisation,
-        channels: u32,
-    ) -> u64 {
+    fn insert_channel(self, local: u64, channel: u32, org: &Organisation, channels: u32) -> u64 {
         let g = self.interleave_granularity(org);
         let ch = u64::from(channels);
         (local / g) * g * ch + u64::from(channel) * g + local % g
@@ -168,13 +162,7 @@ impl AddrMapping {
     /// # Panics
     /// Panics (in debug builds) if any field exceeds the organisation's
     /// limits.
-    pub fn encode(
-        self,
-        da: &DramAddr,
-        channel: u32,
-        org: &Organisation,
-        channels: u32,
-    ) -> u64 {
+    pub fn encode(self, da: &DramAddr, channel: u32, org: &Organisation, channels: u32) -> u64 {
         debug_assert!(da.col < org.bursts_per_row());
         debug_assert!(da.bank < org.banks);
         debug_assert!(da.rank < org.ranks);
@@ -211,7 +199,7 @@ pub const MIN_CHANNEL_GRANULE: u64 = 64;
 mod tests {
     use super::*;
     use crate::presets;
-    use proptest::prelude::*;
+    use dramctrl_kernel::rng::Rng;
 
     fn org() -> Organisation {
         presets::ddr3_1333_x64().org
@@ -283,50 +271,54 @@ mod tests {
         }
     }
 
-    proptest! {
-        /// encode is the right inverse of decode for every mapping.
-        #[test]
-        fn decode_encode_round_trip(
-            raw in 0u64..(2u64 << 30),
-            channels in 1u32..=4,
-            midx in 0usize..3,
-        ) {
+    /// encode is the right inverse of decode for every mapping.
+    #[test]
+    fn decode_encode_round_trip() {
+        let mut rng = Rng::seed_from_u64(0x3A9_0001);
+        for _ in 0..1_024 {
+            let raw = rng.gen_range(0..2 << 30);
+            let channels = rng.gen_range(1..5) as u32;
+            let m = ALL[rng.gen_range(0..3) as usize];
             let org = org();
-            let m = ALL[midx];
             // Align to a burst within one channel's capacity.
             let addr = raw / org.burst_bytes() * org.burst_bytes()
                 % (org.capacity_bytes() * u64::from(channels));
             let ch = m.channel_of(addr, &org, channels);
             let d = m.decode(addr, &org, channels);
             let back = m.encode(&d, ch, &org, channels);
-            prop_assert_eq!(back, addr);
+            assert_eq!(back, addr);
         }
+    }
 
-        /// Decoded fields are always within the organisation's bounds.
-        #[test]
-        fn decode_in_bounds(raw in proptest::num::u64::ANY, midx in 0usize..3) {
+    /// Decoded fields are always within the organisation's bounds.
+    #[test]
+    fn decode_in_bounds() {
+        let mut rng = Rng::seed_from_u64(0x3A9_0002);
+        for _ in 0..1_024 {
+            let raw = rng.next_u64();
             let org = org();
-            let d = ALL[midx].decode(raw, &org, 2);
-            prop_assert!(d.rank < org.ranks);
-            prop_assert!(d.bank < org.banks);
-            prop_assert!(d.row < org.rows_per_bank());
-            prop_assert!(d.col < org.bursts_per_row());
+            let d = ALL[rng.gen_range(0..3) as usize].decode(raw, &org, 2);
+            assert!(d.rank < org.ranks);
+            assert!(d.bank < org.banks);
+            assert!(d.row < org.rows_per_bank());
+            assert!(d.col < org.bursts_per_row());
         }
+    }
 
-        /// Distinct burst-aligned addresses within one channel never decode
-        /// to the same (rank, bank, row, col) tuple.
-        #[test]
-        fn decode_injective(
-            a in 0u64..(1u64 << 24),
-            b in 0u64..(1u64 << 24),
-            midx in 0usize..3,
-        ) {
+    /// Distinct burst-aligned addresses within one channel never decode
+    /// to the same (rank, bank, row, col) tuple.
+    #[test]
+    fn decode_injective() {
+        let mut rng = Rng::seed_from_u64(0x3A9_0003);
+        for _ in 0..1_024 {
             let org = org();
-            let m = ALL[midx];
-            let (a, b) = (a * org.burst_bytes(), b * org.burst_bytes());
-            prop_assume!(a != b);
-            prop_assume!(a < org.capacity_bytes() && b < org.capacity_bytes());
-            prop_assert_ne!(m.decode(a, &org, 1), m.decode(b, &org, 1));
+            let m = ALL[rng.gen_range(0..3) as usize];
+            let a = rng.gen_range(0..1 << 24) * org.burst_bytes();
+            let b = rng.gen_range(0..1 << 24) * org.burst_bytes();
+            if a == b || a >= org.capacity_bytes() || b >= org.capacity_bytes() {
+                continue;
+            }
+            assert_ne!(m.decode(a, &org, 1), m.decode(b, &org, 1));
         }
     }
 }

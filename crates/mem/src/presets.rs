@@ -449,6 +449,11 @@ pub fn lpddr4_3200_x32() -> MemSpec {
     }
 }
 
+/// Looks up a preset by its `name` field (e.g. `"DDR3-1333-x64"`).
+pub fn by_name(name: &str) -> Option<MemSpec> {
+    all().into_iter().find(|s| s.name == name)
+}
+
 /// All presets, for exhaustive sweeps in tests and benchmarks.
 pub fn all() -> Vec<MemSpec> {
     vec![
@@ -500,12 +505,23 @@ mod tests {
         let (d, l, w) = (ddr3_1600_x64(), lpddr3_1600_x32(), wideio_200_x128());
         // Bus width / burst length / row buffer / banks.
         assert_eq!(
-            [d.org.bus_width_bits(), l.org.bus_width_bits(), w.org.bus_width_bits()],
+            [
+                d.org.bus_width_bits(),
+                l.org.bus_width_bits(),
+                w.org.bus_width_bits()
+            ],
             [64, 32, 128]
         );
-        assert_eq!([d.org.burst_length, l.org.burst_length, w.org.burst_length], [8, 8, 4]);
         assert_eq!(
-            [d.org.row_buffer_bytes(), l.org.row_buffer_bytes(), w.org.row_buffer_bytes()],
+            [d.org.burst_length, l.org.burst_length, w.org.burst_length],
+            [8, 8, 4]
+        );
+        assert_eq!(
+            [
+                d.org.row_buffer_bytes(),
+                l.org.row_buffer_bytes(),
+                w.org.row_buffer_bytes()
+            ],
             [1024, 1024, 4096]
         );
         assert_eq!([d.org.banks, l.org.banks, w.org.banks], [8, 8, 4]);
@@ -539,7 +555,11 @@ mod tests {
             [from_ns(40.0), from_ns(50.0), from_ns(50.0)]
         );
         assert_eq!(
-            [d.timing.activation_limit, l.timing.activation_limit, w.timing.activation_limit],
+            [
+                d.timing.activation_limit,
+                l.timing.activation_limit,
+                w.timing.activation_limit
+            ],
             [4, 4, 2]
         );
     }

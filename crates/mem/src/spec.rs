@@ -209,9 +209,7 @@ impl MemSpec {
                 t.t_ras, t.t_rcd
             )));
         }
-        if t.activation_limit > 1
-            && t.t_xaw < Tick::from(t.activation_limit - 1) * t.t_rrd
-        {
+        if t.activation_limit > 1 && t.t_xaw < Tick::from(t.activation_limit - 1) * t.t_rrd {
             return Err(SpecError(
                 "t_xaw shorter than (activation_limit-1) * t_rrd".into(),
             ));

@@ -211,7 +211,14 @@ mod tests {
     #[test]
     fn report_entries_present() {
         let r = drampower_energy(&presets::ddr3_1333_x64(), &busy_window()).report("energy");
-        for key in ["act_nj", "read_nj", "write_nj", "refresh_nj", "background_nj", "total_nj"] {
+        for key in [
+            "act_nj",
+            "read_nj",
+            "write_nj",
+            "refresh_nj",
+            "background_nj",
+            "total_nj",
+        ] {
             assert!(r.get(key).is_some(), "missing {key}");
         }
     }

@@ -244,7 +244,20 @@ impl Histogram {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+
+    /// Minimal seeded LCG (Knuth MMIX constants) so this dependency-free
+    /// crate can run randomised tests deterministically.
+    struct Lcg(u64);
+
+    impl Lcg {
+        fn next(&mut self, bound: u64) -> u64 {
+            self.0 = self
+                .0
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1_442_695_040_888_963_407);
+            (self.0 >> 33) % bound
+        }
+    }
 
     #[test]
     fn buckets_partition_range() {
@@ -344,25 +357,31 @@ mod tests {
         let _ = Histogram::new(0, 10, 3);
     }
 
-    proptest! {
-        /// Every sample lands in exactly one bucket (or under/overflow).
-        #[test]
-        fn counts_conserved(samples in proptest::collection::vec(0u64..2_000, 0..500)) {
+    /// Every sample lands in exactly one bucket (or under/overflow).
+    #[test]
+    fn counts_conserved() {
+        let mut rng = Lcg(0xB157_0001);
+        for _ in 0..256 {
+            let samples: Vec<u64> = (0..rng.next(500)).map(|_| rng.next(2_000)).collect();
             let mut h = Histogram::new(100, 1_100, 20);
             for &s in &samples {
                 h.record(s);
             }
             let bucketed: u64 = (0..h.num_buckets()).map(|i| h.bucket_count(i)).sum();
-            prop_assert_eq!(
+            assert_eq!(
                 bucketed + h.underflow() + h.overflow(),
                 samples.len() as u64
             );
-            prop_assert_eq!(h.count(), samples.len() as u64);
+            assert_eq!(h.count(), samples.len() as u64);
         }
+    }
 
-        /// The quantile function is monotonically non-decreasing in p.
-        #[test]
-        fn quantile_monotone(samples in proptest::collection::vec(0u64..1_000, 1..200)) {
+    /// The quantile function is monotonically non-decreasing in p.
+    #[test]
+    fn quantile_monotone() {
+        let mut rng = Lcg(0x9_0417);
+        for _ in 0..256 {
+            let samples: Vec<u64> = (0..1 + rng.next(199)).map(|_| rng.next(1_000)).collect();
             let mut h = Histogram::new(0, 1_000, 50);
             for &s in &samples {
                 h.record(s);
@@ -370,7 +389,7 @@ mod tests {
             let qs: Vec<_> = (0..=10)
                 .map(|i| h.quantile(i as f64 / 10.0).unwrap())
                 .collect();
-            prop_assert!(qs.windows(2).all(|w| w[0] <= w[1]));
+            assert!(qs.windows(2).all(|w| w[0] <= w[1]));
         }
     }
 }

@@ -32,7 +32,9 @@
 mod average;
 mod histogram;
 mod report;
+mod table;
 
 pub use average::Average;
 pub use histogram::Histogram;
 pub use report::Report;
+pub use table::Table;

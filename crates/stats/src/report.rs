@@ -104,11 +104,14 @@ impl Report {
     /// Looks up a value by (unprefixed) name; scalars and counters are
     /// returned as `f64`.
     pub fn get(&self, name: &str) -> Option<f64> {
-        self.entries.iter().find(|(n, _)| n == name).and_then(|(_, v)| match v {
-            Value::Counter(c) => Some(*c as f64),
-            Value::Scalar(s) => Some(*s),
-            Value::Text(_) => None,
-        })
+        self.entries
+            .iter()
+            .find(|(n, _)| n == name)
+            .and_then(|(_, v)| match v {
+                Value::Counter(c) => Some(*c as f64),
+                Value::Scalar(s) => Some(*s),
+                Value::Text(_) => None,
+            })
     }
 
     /// Iterates over `(name, formatted_value)` pairs in insertion order.

@@ -1,0 +1,135 @@
+//! A minimal aligned markdown/CSV table printer.
+//!
+//! Used by the figure-regeneration binaries in `dramctrl-bench` and by the
+//! campaign engine's report rendering. Deliberately tiny: headers, rows,
+//! aligned markdown or CSV out.
+
+/// A minimal aligned markdown table printer.
+#[derive(Debug, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(header: impl IntoIterator<Item = S>) -> Self {
+        Self {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header arity).
+    ///
+    /// # Panics
+    /// Panics on arity mismatch.
+    pub fn row<S: Into<String>>(&mut self, cells: impl IntoIterator<Item = S>) {
+        let row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(row.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table as aligned markdown.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut width = vec![0usize; cols];
+        for row in std::iter::once(&self.header).chain(self.rows.iter()) {
+            for (i, cell) in row.iter().enumerate() {
+                width[i] = width[i].max(cell.len());
+            }
+        }
+        let fmt_row = |row: &[String]| {
+            let cells: Vec<String> = row
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{c:>w$}", w = width[i]))
+                .collect();
+            format!("| {} |", cells.join(" | "))
+        };
+        let mut out = fmt_row(&self.header) + "\n";
+        let dashes: Vec<String> = width.iter().map(|w| "-".repeat(*w)).collect();
+        out += &format!("| {} |\n", dashes.join(" | "));
+        for row in &self.rows {
+            out += &(fmt_row(row) + "\n");
+        }
+        out
+    }
+
+    /// Renders the table as CSV (for plotting scripts).
+    pub fn render_csv(&self) -> String {
+        let esc = |c: &str| {
+            if c.contains(',') || c.contains('"') {
+                format!("\"{}\"", c.replace('"', "\"\""))
+            } else {
+                c.to_owned()
+            }
+        };
+        let mut out = String::new();
+        for row in std::iter::once(&self.header).chain(self.rows.iter()) {
+            let cells: Vec<String> = row.iter().map(|c| esc(c)).collect();
+            out += &(cells.join(",") + "\n");
+        }
+        out
+    }
+
+    /// Prints the rendered table to stdout — as CSV when the process was
+    /// invoked with a `--csv` argument, aligned markdown otherwise.
+    pub fn print(&self) {
+        if std::env::args().any(|a| a == "--csv") {
+            print!("{}", self.render_csv());
+        } else {
+            print!("{}", self.render());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned_markdown() {
+        let mut t = Table::new(["a", "long-header"]);
+        t.row(["1", "2"]);
+        t.row(["333", "4"]);
+        let s = t.render();
+        let lines: Vec<_> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines.iter().all(|l| l.len() == lines[0].len()));
+        assert!(s.contains("long-header"));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn row_arity_checked() {
+        let mut t = Table::new(["a"]);
+        t.row(["1", "2"]);
+    }
+
+    #[test]
+    fn csv_rendering() {
+        let mut t = Table::new(["a", "b,comma"]);
+        t.row(["1", "x\"y"]);
+        let csv = t.render_csv();
+        assert_eq!(csv, "a,\"b,comma\"\n1,\"x\"\"y\"\n");
+    }
+
+    #[test]
+    fn len_tracks_rows() {
+        let mut t = Table::new(["a"]);
+        assert!(t.is_empty());
+        t.row(["1"]);
+        assert_eq!(t.len(), 1);
+    }
+}

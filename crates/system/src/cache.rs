@@ -192,7 +192,7 @@ impl CacheArray {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use dramctrl_kernel::rng::Rng;
 
     fn small() -> CacheArray {
         // 2 sets x 2 ways x 64 B.
@@ -283,33 +283,47 @@ mod tests {
         });
     }
 
-    proptest! {
-        /// The cache never holds more lines than its capacity, and a fill
-        /// of a full set always reports a victim.
-        #[test]
-        fn capacity_invariant(addrs in proptest::collection::vec(0u64..(1 << 14), 1..300)) {
-            let mut c = CacheArray::new(CacheGeometry { size: 1024, assoc: 4, line: 64 });
+    /// The cache never holds more lines than its capacity, and a fill
+    /// of a full set always reports a victim.
+    #[test]
+    fn capacity_invariant() {
+        let mut rng = Rng::seed_from_u64(0x000C_AC4E_0001);
+        for _ in 0..256 {
+            let addrs: Vec<u64> = (0..rng.gen_range(1..300))
+                .map(|_| rng.gen_range(0..1 << 14))
+                .collect();
+            let mut c = CacheArray::new(CacheGeometry {
+                size: 1024,
+                assoc: 4,
+                line: 64,
+            });
             let mut resident = std::collections::HashSet::new();
             for &a in &addrs {
                 if !c.access(a, a % 3 == 0) {
                     let victim = c.fill(a, a % 3 == 0);
                     if let Some(v) = victim {
-                        prop_assert!(resident.remove(&c.geometry().line_addr(v.addr)));
+                        assert!(resident.remove(&c.geometry().line_addr(v.addr)));
                     }
                     resident.insert(c.geometry().line_addr(a));
                 }
-                prop_assert!(resident.len() <= 16); // 1024/64
+                assert!(resident.len() <= 16); // 1024/64
             }
             // Everything we believe resident really is.
             for &line in &resident {
-                prop_assert!(c.contains(line));
+                assert!(c.contains(line));
             }
         }
+    }
 
-        /// Hit rate of a repeated small working set approaches 1.
-        #[test]
-        fn locality_pays(reps in 2u32..20) {
-            let mut c = CacheArray::new(CacheGeometry { size: 4096, assoc: 4, line: 64 });
+    /// Hit rate of a repeated small working set approaches 1.
+    #[test]
+    fn locality_pays() {
+        for reps in 2u32..20 {
+            let mut c = CacheArray::new(CacheGeometry {
+                size: 4096,
+                assoc: 4,
+                line: 64,
+            });
             let lines: Vec<u64> = (0..8).map(|i| i * 64).collect();
             for _ in 0..reps {
                 for &a in &lines {
@@ -319,7 +333,7 @@ mod tests {
                 }
             }
             // After the cold pass everything hits.
-            prop_assert_eq!(c.misses(), 8);
+            assert_eq!(c.misses(), 8);
         }
     }
 }

@@ -189,7 +189,10 @@ impl SystemReport {
         let mut r = Report::new(prefix);
         r.scalar("ipc", self.ipc);
         r.counter("insts", self.insts);
-        r.scalar("duration_ms", dramctrl_kernel::tick::to_ns(self.duration) / 1e6);
+        r.scalar(
+            "duration_ms",
+            dramctrl_kernel::tick::to_ns(self.duration) / 1e6,
+        );
         r.scalar("l1_hit_rate", self.l1_hit_rate);
         r.scalar("llc_hit_rate", self.llc_hit_rate);
         r.scalar(
@@ -417,8 +420,7 @@ impl<C: Controller> System<C> {
             && core.insts_done >= self.cfg.warmup_insts
         {
             core.warm_at = Some(t);
-            if self.cores.iter().all(|c| c.warm_at.is_some()) && self.roi_dram_base.is_none()
-            {
+            if self.cores.iter().all(|c| c.warm_at.is_some()) && self.roi_dram_base.is_none() {
                 // All cores warmed up: the region of interest begins.
                 self.roi_dram_base = Some((t, self.ctrl.common_stats()));
                 self.llc_miss_lat.reset();
@@ -562,10 +564,9 @@ impl<C: Controller> System<C> {
             })
             .collect();
         let ipc = per_core_ipc.iter().sum::<f64>() / per_core_ipc.len() as f64;
-        let (l1_hits, l1_total): (u64, u64) = self
-            .l1
-            .iter()
-            .fold((0, 0), |(h, t), c| (h + c.hits(), t + c.hits() + c.misses()));
+        let (l1_hits, l1_total): (u64, u64) = self.l1.iter().fold((0, 0), |(h, t), c| {
+            (h + c.hits(), t + c.hits() + c.misses())
+        });
         SystemReport {
             duration,
             insts: self.cores.iter().map(|c| c.insts_done).sum(),

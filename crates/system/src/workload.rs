@@ -10,8 +10,7 @@
 //! scaled to simulation-friendly footprints; an [`AccessStream`] turns a
 //! profile into a deterministic per-core address stream.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use dramctrl_kernel::rng::Rng;
 
 /// Memory behaviour of one benchmark.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -129,7 +128,7 @@ pub fn parsec() -> Vec<WorkloadProfile> {
         },
         WorkloadProfile {
             name: "swaptions",
-            footprint: 1 * MB,
+            footprint: MB,
             read_pct: 75,
             mem_ref_interval: 7,
             seq_lines: 4,
@@ -166,7 +165,7 @@ pub struct AccessStream {
     profile: WorkloadProfile,
     base: u64,
     line: u64,
-    rng: StdRng,
+    rng: Rng,
     cursor: u64,
     seq_left: u32,
 }
@@ -192,7 +191,7 @@ impl AccessStream {
             profile,
             base,
             line: u64::from(line),
-            rng: StdRng::seed_from_u64(seed),
+            rng: Rng::seed_from_u64(seed),
             cursor: base,
             seq_left: 0,
         }
@@ -216,7 +215,7 @@ impl AccessStream {
         } else {
             // Start a new run: hot or cold region, geometric-ish length.
             let hot_lines = ((lines as f64 * p.hot_fraction) as u64).max(1);
-            let line_idx = if self.rng.gen_range(0..100) < p.hot_pct {
+            let line_idx = if self.rng.gen_range(0..100) < u64::from(p.hot_pct) {
                 self.rng.gen_range(0..hot_lines)
             } else {
                 self.rng.gen_range(0..lines)
@@ -225,19 +224,20 @@ impl AccessStream {
             self.seq_left = if p.seq_lines <= 1 {
                 0
             } else {
-                self.rng.gen_range(0..2 * p.seq_lines)
+                self.rng.gen_range(0..2 * u64::from(p.seq_lines)) as u32
             };
         }
         let gap = if p.mem_ref_interval <= 1 {
             1
         } else {
-            self.rng
-                .gen_range(p.mem_ref_interval / 2..=p.mem_ref_interval * 3 / 2)
+            (self.rng.gen_range_inclusive(
+                u64::from(p.mem_ref_interval / 2)..=u64::from(p.mem_ref_interval * 3 / 2),
+            ) as u32)
                 .max(1)
         };
         MemRef {
             addr: self.cursor,
-            is_write: self.rng.gen_range(0..100) >= p.read_pct,
+            is_write: self.rng.gen_range(0..100) >= u64::from(p.read_pct),
             gap_insts: gap,
         }
     }
@@ -306,16 +306,24 @@ mod tests {
             }
             seq
         };
-        let stream = parsec().into_iter().find(|p| p.name == "streamcluster").unwrap();
+        let stream = parsec()
+            .into_iter()
+            .find(|p| p.name == "streamcluster")
+            .unwrap();
         assert!(seq_score(stream) > 3 * seq_score(canneal()));
     }
 
     #[test]
     fn hot_region_concentrates_accesses() {
-        let p = parsec().into_iter().find(|p| p.name == "swaptions").unwrap();
+        let p = parsec()
+            .into_iter()
+            .find(|p| p.name == "swaptions")
+            .unwrap();
         let mut s = AccessStream::new(p, 0, 64, 4);
         let hot_limit = (p.footprint as f64 * p.hot_fraction) as u64;
-        let hot = (0..10_000).filter(|_| s.next_ref().addr < hot_limit).count();
+        let hot = (0..10_000)
+            .filter(|_| s.next_ref().addr < hot_limit)
+            .count();
         // 85% of runs start hot; sequential runs blur it somewhat.
         assert!(hot > 5_000, "hot accesses = {hot}");
     }

@@ -12,8 +12,8 @@
 
 use dramctrl_kernel::Tick;
 use dramctrl_mem::{
-    ActivityStats, AddrMapping, CommonStats, Controller, MemCmd, MemRequest, MemResponse,
-    MemSpec, Rejected,
+    ActivityStats, AddrMapping, CommonStats, Controller, MemCmd, MemRequest, MemResponse, MemSpec,
+    Rejected,
 };
 use dramctrl_stats::Report;
 
@@ -118,8 +118,7 @@ impl<C: Controller> MultiChannel<C> {
 
     fn route(&self, addr: u64) -> usize {
         self.mapping
-            .channel_of(addr, &self.channels[0].spec().org, self.channels())
-            as usize
+            .channel_of(addr, &self.channels[0].spec().org, self.channels()) as usize
     }
 }
 

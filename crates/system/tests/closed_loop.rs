@@ -95,8 +95,7 @@ fn deterministic_runs() {
     let run = || {
         let ctrl = ev_ctrl(presets::ddr3_1600_x64(), 1);
         let profiles = vec![workload::canneal(); 2];
-        let mut sys =
-            System::new(SystemConfig::table2(2, 40_000), ctrl, &profiles, 99).unwrap();
+        let mut sys = System::new(SystemConfig::table2(2, 40_000), ctrl, &profiles, 99).unwrap();
         let r = sys.run();
         (
             r.duration,
@@ -116,7 +115,7 @@ fn writebacks_reach_dram() {
     let mut p = workload::canneal();
     p.read_pct = 40;
     let ctrl = ev_ctrl(presets::ddr3_1600_x64(), 1);
-    let mut sys = System::new(SystemConfig::table2(2, 60_000), ctrl, &vec![p; 2], 5).unwrap();
+    let mut sys = System::new(SystemConfig::table2(2, 60_000), ctrl, &[p; 2], 5).unwrap();
     let r = sys.run();
     assert!(r.dram.wr_bursts > 0, "dirty evictions must write back");
     assert!(r.dram.rd_bursts > r.dram.wr_bursts, "fills dominate");
@@ -133,7 +132,7 @@ fn llc_filters_traffic() {
             .into_iter()
             .find(|p| p.name == "freqmine")
             .unwrap();
-        let mut sys = System::new(cfg, ctrl, &vec![p; 2], 11).unwrap();
+        let mut sys = System::new(cfg, ctrl, &[p; 2], 11).unwrap();
         let r = sys.run();
         (r.llc_hit_rate, r.dram.rd_bursts)
     };
@@ -181,7 +180,10 @@ fn event_and_cycle_models_agree_in_closed_loop() {
     };
 
     let ipc_ratio = cy.ipc / ev.ipc;
-    assert!((0.85..1.15).contains(&ipc_ratio), "IPC ratio {ipc_ratio:.3}");
+    assert!(
+        (0.85..1.15).contains(&ipc_ratio),
+        "IPC ratio {ipc_ratio:.3}"
+    );
     let lat_ratio = cy.llc_miss_lat.mean() / ev.llc_miss_lat.mean();
     assert!(
         (0.75..1.3).contains(&lat_ratio),
@@ -215,7 +217,7 @@ fn prefetcher_helps_latency_bound_sequential_work() {
         let ctrl = ev_ctrl(presets::ddr3_1600_x64(), 1);
         let mut cfg = SystemConfig::table2(2, 80_000);
         cfg.prefetch_degree = degree;
-        let mut sys = System::new(cfg, ctrl, &vec![profile; 2], 21).unwrap();
+        let mut sys = System::new(cfg, ctrl, &[profile; 2], 21).unwrap();
         sys.run()
     };
     let off = run(0);
@@ -238,7 +240,7 @@ fn prefetcher_harmless_on_random_workloads() {
         let ctrl = ev_ctrl(presets::ddr3_1600_x64(), 1);
         let mut cfg = SystemConfig::table2(2, 50_000);
         cfg.prefetch_degree = degree;
-        let mut sys = System::new(cfg, ctrl, &vec![workload::canneal(); 2], 21).unwrap();
+        let mut sys = System::new(cfg, ctrl, &[workload::canneal(); 2], 21).unwrap();
         sys.run()
     };
     let (off, on) = (run(0), run(2));
@@ -253,7 +255,7 @@ fn warmup_isolates_the_region_of_interest() {
         let ctrl = ev_ctrl(presets::ddr3_1600_x64(), 1);
         let mut cfg = SystemConfig::table2(2, 60_000);
         cfg.warmup_insts = warmup;
-        let mut sys = System::new(cfg, ctrl, &vec![p; 2], 17).unwrap();
+        let mut sys = System::new(cfg, ctrl, &[p; 2], 17).unwrap();
         sys.run()
     };
     let cold = run(0);

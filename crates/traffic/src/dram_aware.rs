@@ -2,10 +2,9 @@
 //! Section III-A).
 
 use crate::{Pacer, TrafficGen};
+use dramctrl_kernel::rng::Rng;
 use dramctrl_kernel::Tick;
 use dramctrl_mem::{AddrMapping, DramAddr, MemRequest, Organisation};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// A generator that knows the DRAM's internal organisation — page size,
 /// bank count and address mapping — and uses [`AddrMapping::encode`] to
@@ -31,7 +30,7 @@ pub struct DramAwareGen {
     stride_bursts: u64,
     banks_used: u32,
     read_pct: u8,
-    rng: StdRng,
+    rng: Rng,
     bank_idx: u32,
     rows: Vec<u64>,
     seq: u64,
@@ -76,7 +75,7 @@ impl DramAwareGen {
             stride_bursts,
             banks_used,
             read_pct,
-            rng: StdRng::seed_from_u64(seed),
+            rng: Rng::seed_from_u64(seed),
             bank_idx: 0,
             rows: vec![0; banks_used as usize],
             seq: 0,
@@ -117,7 +116,7 @@ impl TrafficGen for DramAwareGen {
         }
 
         let size = self.org.burst_bytes() as u32;
-        let req = if self.rng.gen_range(0..100) < self.read_pct {
+        let req = if self.rng.gen_range(0..100) < u64::from(self.read_pct) {
             MemRequest::read(id, addr, size)
         } else {
             MemRequest::write(id, addr, size)
@@ -180,10 +179,7 @@ mod tests {
         let mut g = gen_with(2, 4, 16);
         let das = decode_all(&mut g);
         let banks: Vec<_> = das.iter().map(|d| d.bank).collect();
-        assert_eq!(
-            banks,
-            vec![0, 0, 1, 1, 2, 2, 3, 3, 0, 0, 1, 1, 2, 2, 3, 3]
-        );
+        assert_eq!(banks, vec![0, 0, 1, 1, 2, 2, 3, 3, 0, 0, 1, 1, 2, 2, 3, 3]);
     }
 
     #[test]
@@ -201,7 +197,7 @@ mod tests {
         let mut g = gen_with(8, 2, 800);
         let das = decode_all(&mut g);
         let mut hits = 0;
-        let mut last_row = vec![None; 8];
+        let mut last_row = [None; 8];
         for d in &das {
             if last_row[d.bank as usize] == Some(d.row) {
                 hits += 1;

@@ -1,10 +1,9 @@
 //! Sequential-address traffic.
 
 use crate::{Pacer, TrafficGen};
+use dramctrl_kernel::rng::Rng;
 use dramctrl_kernel::Tick;
 use dramctrl_mem::MemRequest;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Generates bursts with a sequential address stream (paper Section
 /// III-A), wrapping at the end of the range. The read/write mix is chosen
@@ -28,7 +27,7 @@ pub struct LinearGen {
     block: u32,
     read_pct: u8,
     cur: u64,
-    rng: StdRng,
+    rng: Rng,
 }
 
 impl LinearGen {
@@ -61,7 +60,7 @@ impl LinearGen {
             block,
             read_pct,
             cur: start,
-            rng: StdRng::seed_from_u64(seed),
+            rng: Rng::seed_from_u64(seed),
         }
     }
 }
@@ -74,7 +73,7 @@ impl TrafficGen for LinearGen {
         }
         let addr = self.cur;
         self.cur += u64::from(self.block);
-        let req = if self.rng.gen_range(0..100) < self.read_pct {
+        let req = if self.rng.gen_range(0..100) < u64::from(self.read_pct) {
             MemRequest::read(id, addr, self.block)
         } else {
             MemRequest::write(id, addr, self.block)

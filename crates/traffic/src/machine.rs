@@ -8,10 +8,9 @@
 //! row-stochastic transition matrix.
 
 use crate::{LinearGen, RandomGen, TrafficGen};
+use dramctrl_kernel::rng::Rng;
 use dramctrl_kernel::Tick;
 use dramctrl_mem::{MemRequest, ReqId};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Traffic emitted while a state is active.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -110,7 +109,7 @@ impl std::fmt::Debug for Active {
 pub struct StateMachineGen {
     states: Vec<MachineState>,
     transitions: Vec<Vec<f64>>,
-    rng: StdRng,
+    rng: Rng,
     seed: u64,
     cur: usize,
     state_start: Tick,
@@ -167,7 +166,7 @@ impl StateMachineGen {
         let mut machine = Self {
             states,
             transitions,
-            rng: StdRng::seed_from_u64(seed),
+            rng: Rng::seed_from_u64(seed),
             seed,
             cur: 0,
             state_start: 0,
@@ -230,7 +229,7 @@ impl StateMachineGen {
         if end >= self.horizon {
             return false;
         }
-        let roll: f64 = self.rng.gen();
+        let roll = self.rng.gen_f64();
         let row = &self.transitions[self.cur];
         let mut acc = 0.0;
         let mut next = row.len() - 1;
@@ -376,13 +375,8 @@ mod tests {
         ];
         let transitions = vec![vec![0.0, 1.0], vec![1.0, 0.0]];
         let collect = |seed| {
-            let mut g = StateMachineGen::new(
-                states.clone(),
-                transitions.clone(),
-                5_000,
-                seed,
-            )
-            .unwrap();
+            let mut g =
+                StateMachineGen::new(states.clone(), transitions.clone(), 5_000, seed).unwrap();
             std::iter::from_fn(move || g.next_request())
                 .map(|(t, r)| (t, r.addr, r.cmd.is_read()))
                 .collect::<Vec<_>>()

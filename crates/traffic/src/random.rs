@@ -1,10 +1,9 @@
 //! Uniformly random traffic.
 
 use crate::{Pacer, TrafficGen};
+use dramctrl_kernel::rng::Rng;
 use dramctrl_kernel::Tick;
 use dramctrl_mem::MemRequest;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Generates block-aligned requests at uniformly random addresses within a
 /// range (paper Section III-A), defeating row-buffer locality.
@@ -15,7 +14,7 @@ pub struct RandomGen {
     blocks: u64,
     block: u32,
     read_pct: u8,
-    rng: StdRng,
+    rng: Rng,
 }
 
 impl RandomGen {
@@ -44,7 +43,7 @@ impl RandomGen {
             blocks,
             block,
             read_pct,
-            rng: StdRng::seed_from_u64(seed),
+            rng: Rng::seed_from_u64(seed),
         }
     }
 }
@@ -53,7 +52,7 @@ impl TrafficGen for RandomGen {
     fn next_request(&mut self) -> Option<(Tick, MemRequest)> {
         let (tick, id) = self.pacer.take()?;
         let addr = self.start + self.rng.gen_range(0..self.blocks) * u64::from(self.block);
-        let req = if self.rng.gen_range(0..100) < self.read_pct {
+        let req = if self.rng.gen_range(0..100) < u64::from(self.read_pct) {
             MemRequest::read(id, addr, self.block)
         } else {
             MemRequest::write(id, addr, self.block)

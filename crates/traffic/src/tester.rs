@@ -98,25 +98,24 @@ impl Tester {
         let mut stalls = 0u64;
         let mut now: Tick = 0;
 
-        let consume =
-            |out: &mut Vec<MemResponse>,
-             sent: &mut HashMap<ReqId, Tick>,
-             read_lat: &mut Histogram,
-             write_lat: &mut Histogram,
-             reads: &mut u64,
-             writes: &mut u64| {
-                for resp in out.drain(..) {
-                    let at = sent.remove(&resp.id).expect("response for unknown request");
-                    let lat_ns = tick::to_ns(resp.ready_at.saturating_sub(at)).round() as u64;
-                    if resp.cmd.is_read() {
-                        read_lat.record(lat_ns);
-                        *reads += 1;
-                    } else {
-                        write_lat.record(lat_ns);
-                        *writes += 1;
-                    }
+        let consume = |out: &mut Vec<MemResponse>,
+                       sent: &mut HashMap<ReqId, Tick>,
+                       read_lat: &mut Histogram,
+                       write_lat: &mut Histogram,
+                       reads: &mut u64,
+                       writes: &mut u64| {
+            for resp in out.drain(..) {
+                let at = sent.remove(&resp.id).expect("response for unknown request");
+                let lat_ns = tick::to_ns(resp.ready_at.saturating_sub(at)).round() as u64;
+                if resp.cmd.is_read() {
+                    read_lat.record(lat_ns);
+                    *reads += 1;
+                } else {
+                    write_lat.record(lat_ns);
+                    *writes += 1;
                 }
-            };
+            }
+        };
 
         'inject: while let Some((t, req)) = gen.next_request() {
             if t > until {

@@ -43,7 +43,10 @@ fn aware(mapping: AddrMapping, stride: u64, banks: u32, read_pct: u8) -> DramAwa
 fn fig3_point(stride: u64, banks: u32) -> (f64, f64) {
     let m = AddrMapping::RoRaBaCoCh;
     let t = Tester::new(50_000, 500);
-    let e = t.run(&mut aware(m, stride, banks, 100), &mut ev(PagePolicy::Open, m));
+    let e = t.run(
+        &mut aware(m, stride, banks, 100),
+        &mut ev(PagePolicy::Open, m),
+    );
     let c = t.run(
         &mut aware(m, stride, banks, 100),
         &mut cy(CyclePagePolicy::Open, m),
@@ -55,7 +58,10 @@ fn fig3_point(stride: u64, banks: u32) -> (f64, f64) {
 fn fig5_point(stride: u64, banks: u32) -> (f64, f64) {
     let m = AddrMapping::RoCoRaBaCh;
     let t = Tester::new(50_000, 500);
-    let e = t.run(&mut aware(m, stride, banks, 0), &mut ev(PagePolicy::Closed, m));
+    let e = t.run(
+        &mut aware(m, stride, banks, 0),
+        &mut ev(PagePolicy::Closed, m),
+    );
     let c = t.run(
         &mut aware(m, stride, banks, 0),
         &mut cy(CyclePagePolicy::Closed, m),
@@ -169,7 +175,10 @@ fn fig7_write_drain_spreads_read_latency() {
     // turnarounds on most accesses instead.
     let mk_gen = || LinearGen::new(0, 1 << 22, 64, 50, 10_000, N, 3);
     let t = Tester::new(4_000, 100);
-    let e = t.run(&mut mk_gen(), &mut ev(PagePolicy::Closed, AddrMapping::RoCoRaBaCh));
+    let e = t.run(
+        &mut mk_gen(),
+        &mut ev(PagePolicy::Closed, AddrMapping::RoCoRaBaCh),
+    );
     let c = t.run(
         &mut mk_gen(),
         &mut cy(CyclePagePolicy::Closed, AddrMapping::RoCoRaBaCh),

@@ -14,7 +14,10 @@ use dramctrl_mem::{presets, AddrMapping, Controller, MemSpec};
 use dramctrl_power::micron_power;
 use dramctrl_system::{workload, MultiChannel, System, SystemConfig};
 
-fn memory(spec: &MemSpec, channels: u32) -> Result<MultiChannel<DramCtrl>, Box<dyn std::error::Error>> {
+fn memory(
+    spec: &MemSpec,
+    channels: u32,
+) -> Result<MultiChannel<DramCtrl>, Box<dyn std::error::Error>> {
     let ctrls = (0..channels)
         .map(|_| {
             let mut cfg = CtrlConfig::new(spec.clone());

@@ -16,10 +16,8 @@ use dramctrl_traffic::{InterleaveGen, RandomGen, Tester};
 const NEAR_SIZE: u64 = 256 << 20;
 
 /// 4 WideIO channels (near) in front of a single LPDDR3 channel (far).
-fn build_memory() -> Result<
-    TieredMemory<MultiChannel<DramCtrl>, DramCtrl>,
-    Box<dyn std::error::Error>,
-> {
+fn build_memory(
+) -> Result<TieredMemory<MultiChannel<DramCtrl>, DramCtrl>, Box<dyn std::error::Error>> {
     let near_spec: MemSpec = presets::wideio_200_x128();
     let near_channels = 4;
     let near = MultiChannel::new(

@@ -40,7 +40,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     let path = std::env::temp_dir().join("dramctrl_example.trace");
     std::fs::write(&path, TraceGen::to_text(&entries))?;
-    println!("recorded {} requests to {}\n", entries.len(), path.display());
+    println!(
+        "recorded {} requests to {}\n",
+        entries.len(),
+        path.display()
+    );
 
     // 2. Replay against two page policies.
     for policy in [PagePolicy::Open, PagePolicy::Closed] {
@@ -63,6 +67,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let parsed: TraceGen = std::fs::read_to_string(&path)?.parse()?;
     assert_eq!(parsed.len(), entries.len());
     let reads = entries.iter().filter(|e| e.cmd == MemCmd::Read).count();
-    println!("\ntrace round-trip ok ({reads} reads / {} writes)", entries.len() - reads);
+    println!(
+        "\ntrace round-trip ok ({reads} reads / {} writes)",
+        entries.len() - reads
+    );
     Ok(())
 }

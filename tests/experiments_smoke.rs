@@ -101,13 +101,25 @@ fn fig6_fig7_latency_shapes() {
     let t = Tester::new(4_000, 100);
     let mk = |rd| LinearGen::new(0, 1 << 22, 64, rd, 10_000, 2_000, 3);
 
-    let ev6 = t.run(&mut mk(100), &mut ev_ctrl(spec.clone(), PagePolicy::Open, AddrMapping::RoRaBaCoCh, 1));
-    let cy6 = t.run(&mut mk(100), &mut cy_ctrl(spec.clone(), PagePolicy::Open, AddrMapping::RoRaBaCoCh, 1));
+    let ev6 = t.run(
+        &mut mk(100),
+        &mut ev_ctrl(spec.clone(), PagePolicy::Open, AddrMapping::RoRaBaCoCh, 1),
+    );
+    let cy6 = t.run(
+        &mut mk(100),
+        &mut cy_ctrl(spec.clone(), PagePolicy::Open, AddrMapping::RoRaBaCoCh, 1),
+    );
     let ratio = ev6.read_lat_ns.mean() / cy6.read_lat_ns.mean();
     assert!((0.9..1.1).contains(&ratio), "fig6 mean ratio {ratio:.3}");
 
-    let ev7 = t.run(&mut mk(50), &mut ev_ctrl(spec.clone(), PagePolicy::Closed, AddrMapping::RoCoRaBaCh, 1));
-    let cy7 = t.run(&mut mk(50), &mut cy_ctrl(spec.clone(), PagePolicy::Closed, AddrMapping::RoCoRaBaCh, 1));
+    let ev7 = t.run(
+        &mut mk(50),
+        &mut ev_ctrl(spec.clone(), PagePolicy::Closed, AddrMapping::RoCoRaBaCh, 1),
+    );
+    let cy7 = t.run(
+        &mut mk(50),
+        &mut cy_ctrl(spec.clone(), PagePolicy::Closed, AddrMapping::RoCoRaBaCh, 1),
+    );
     let p10 = ev7.read_lat_ns.quantile(0.1).unwrap();
     let p90 = ev7.read_lat_ns.quantile(0.9).unwrap();
     assert!(p90 > 2 * p10, "fig7 spread p10={p10} p90={p90}");
