@@ -13,6 +13,7 @@ use dramctrl_mem::{presets, AddrMapping, MemSpec};
 use dramctrl_system::MultiChannel;
 use dramctrl_traffic::{DramAwareGen, LinearGen, RandomGen, Tester, TrafficGen};
 
+/// Default request count per workload; override with `--requests <n>`.
 const N: u64 = 200_000;
 
 fn spec() -> MemSpec {
@@ -21,27 +22,27 @@ fn spec() -> MemSpec {
 
 type GenFactory = Box<dyn Fn() -> Box<dyn TrafficGen>>;
 
-fn workloads() -> Vec<(&'static str, GenFactory, PagePolicy, AddrMapping)> {
+fn workloads(n: u64) -> Vec<(&'static str, GenFactory, PagePolicy, AddrMapping)> {
     vec![
         (
             "linear reads",
-            Box::new(|| {
-                Box::new(LinearGen::new(0, 256 << 20, 64, 100, 0, N, 1)) as Box<dyn TrafficGen>
+            Box::new(move || {
+                Box::new(LinearGen::new(0, 256 << 20, 64, 100, 0, n, 1)) as Box<dyn TrafficGen>
             }),
             PagePolicy::Open,
             AddrMapping::RoRaBaCoCh,
         ),
         (
             "random mixed",
-            Box::new(|| {
-                Box::new(RandomGen::new(0, 256 << 20, 64, 67, 0, N, 2)) as Box<dyn TrafficGen>
+            Box::new(move || {
+                Box::new(RandomGen::new(0, 256 << 20, 64, 67, 0, n, 2)) as Box<dyn TrafficGen>
             }),
             PagePolicy::Open,
             AddrMapping::RoRaBaCoCh,
         ),
         (
             "dram-aware 8-bank",
-            Box::new(|| {
+            Box::new(move || {
                 Box::new(DramAwareGen::new(
                     presets::ddr3_1333_x64().org,
                     AddrMapping::RoCoRaBaCh,
@@ -51,7 +52,7 @@ fn workloads() -> Vec<(&'static str, GenFactory, PagePolicy, AddrMapping)> {
                     8,
                     50,
                     0,
-                    N,
+                    n,
                     3,
                 )) as Box<dyn TrafficGen>
             }),
@@ -62,11 +63,25 @@ fn workloads() -> Vec<(&'static str, GenFactory, PagePolicy, AddrMapping)> {
 }
 
 fn main() {
-    println!("Model performance (Section III-D) — {N} requests per workload\n");
+    let mut n = N;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--requests" => {
+                n = args
+                    .next()
+                    .expect("--requests needs a value")
+                    .parse()
+                    .expect("--requests takes a number");
+            }
+            other => panic!("unknown argument {other:?}"),
+        }
+    }
+    println!("Model performance (Section III-D) — {n} requests per workload\n");
     let t = Tester::new(100_000, 1_000);
     let mut table = Table::new(["workload", "event s", "cycle s", "speedup"]);
     let mut speedups = Vec::new();
-    for (name, mk_gen, policy, mapping) in workloads() {
+    for (name, mk_gen, policy, mapping) in workloads(n) {
         let (_, ev_s) = timed(|| {
             let mut g = mk_gen();
             t.run(&mut g, &mut ev_ctrl(spec(), policy, mapping, 1))
@@ -118,11 +133,11 @@ fn main() {
         .unwrap()
     };
     let (_, ev_s) = timed(|| {
-        let mut g = LinearGen::new(0, 1 << 30, 64, 67, 0, N, 4);
+        let mut g = LinearGen::new(0, 1 << 30, 64, 67, 0, n, 4);
         t.run(&mut g, &mut mk_xbar_ev())
     });
     let (_, cy_s) = timed(|| {
-        let mut g = LinearGen::new(0, 1 << 30, 64, 67, 0, N, 4);
+        let mut g = LinearGen::new(0, 1 << 30, 64, 67, 0, n, 4);
         t.run(&mut g, &mut mk_xbar_cy())
     });
     speedups.push(cy_s / ev_s);

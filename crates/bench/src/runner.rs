@@ -53,6 +53,9 @@ pub fn cy_ctrl_with(
         SchedPolicy::Fcfs => CycleSched::Fcfs,
         SchedPolicy::FrFcfs => CycleSched::FrFcfs,
     };
+    // Model comparisons must service the same burst stream on both sides,
+    // so give the baseline the event model's write snooping too.
+    cfg.write_snooping = true;
     CycleCtrl::new(cfg).expect("valid config")
 }
 

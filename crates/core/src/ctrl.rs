@@ -1,6 +1,5 @@
 //! The event-based DRAM controller (the paper's contribution, Section II).
 
-use std::collections::VecDeque;
 use std::fmt;
 
 use dramctrl_kernel::{EventQueue, Tick};
@@ -8,7 +7,10 @@ use dramctrl_mem::{ActivityStats, MemCmd, MemRequest, MemResponse};
 
 use crate::bank::Rank;
 use crate::config::{ConfigError, CtrlConfig, PagePolicy, SchedPolicy};
-use crate::queue::{burst_count, chop, covers, BurstGroup, DramPacket, GroupArena};
+#[cfg(any(test, feature = "ref-model"))]
+use crate::queue::covers;
+use crate::queue::{burst_count, chop, BurstGroup, DramPacket, GroupArena};
+use crate::sched::SchedQueue;
 use crate::stats::CtrlStats;
 
 /// Why a request was rejected by [`DramCtrl::try_send`].
@@ -103,9 +105,13 @@ enum BusState {
 pub struct DramCtrl {
     cfg: CtrlConfig,
     events: EventQueue<Ev>,
-    read_q: VecDeque<DramPacket>,
-    write_q: VecDeque<DramPacket>,
+    read_q: SchedQueue,
+    write_q: SchedQueue,
     groups: GroupArena,
+    /// Answer scheduling questions with the original linear queue scans
+    /// instead of the indices (see [`Self::new_reference`]).
+    #[cfg(any(test, feature = "ref-model"))]
+    use_reference: bool,
     ranks: Vec<Rank>,
     bus_state: BusState,
     /// Direction of the most recent data burst (for turnaround timing).
@@ -132,18 +138,29 @@ impl DramCtrl {
         let ranks = (0..cfg.spec.org.ranks)
             .map(|_| Rank::new(cfg.spec.org.banks, cfg.spec.timing.t_refi))
             .collect::<Vec<_>>();
-        let mut events = EventQueue::new();
+        // Pending events are bounded by one ack per queued request, one
+        // refresh per rank and a few singletons (NextReq, the power-down
+        // checks) — pre-size so the hot path never grows the heap.
+        let mut events = EventQueue::with_capacity(
+            cfg.read_buffer_size + cfg.write_buffer_size + ranks.len() + 4,
+        );
         for (i, r) in ranks.iter().enumerate() {
             if r.refresh_due != Tick::MAX {
                 events.schedule(r.refresh_due, Ev::Refresh(i as u32));
             }
         }
+        let org = &cfg.spec.org;
+        let read_q = SchedQueue::new(org.ranks, org.banks, cfg.read_buffer_size);
+        let write_q = SchedQueue::new(org.ranks, org.banks, cfg.write_buffer_size);
+        let groups = GroupArena::with_capacity(cfg.read_buffer_size);
         Ok(Self {
             cfg,
             events,
-            read_q: VecDeque::new(),
-            write_q: VecDeque::new(),
-            groups: GroupArena::default(),
+            read_q,
+            write_q,
+            groups,
+            #[cfg(any(test, feature = "ref-model"))]
+            use_reference: false,
             ranks,
             bus_state: BusState::Read,
             last_burst_read: None,
@@ -156,6 +173,24 @@ impl DramCtrl {
             last_activity: 0,
             stats: CtrlStats::default(),
         })
+    }
+
+    /// Creates a controller that schedules with the original linear queue
+    /// scans instead of the incremental indices.
+    ///
+    /// Behaviourally identical to [`new`](Self::new) — the differential
+    /// harness in [`diff`](crate::diff) asserts byte-identical responses
+    /// and reports — but O(queue depth) per decision. Kept as the
+    /// reference model for equivalence tests and before/after
+    /// benchmarking; only available with the `ref-model` feature.
+    ///
+    /// # Errors
+    /// Returns a [`ConfigError`] if the configuration is inconsistent.
+    #[cfg(any(test, feature = "ref-model"))]
+    pub fn new_reference(cfg: CtrlConfig) -> Result<Self, ConfigError> {
+        let mut ctrl = Self::new(cfg)?;
+        ctrl.use_reference = true;
+        Ok(ctrl)
     }
 
     /// The controller's configuration.
@@ -171,10 +206,36 @@ impl DramCtrl {
     /// Whether a request of `cmd`/`addr`/`size` would currently be
     /// accepted.
     pub fn can_accept(&self, cmd: MemCmd, addr: u64, size: u32) -> bool {
+        self.admission_check(cmd, addr, size).is_ok()
+    }
+
+    /// Flow-control decision for a request: `Ok` if the target queue can
+    /// hold every burst the request chops into. Shared by
+    /// [`can_accept`](Self::can_accept) and [`try_send`](Self::try_send)
+    /// so the two can never disagree.
+    fn admission_check(&self, cmd: MemCmd, addr: u64, size: u32) -> Result<(), SendError> {
         let n = burst_count(addr, size, self.cfg.spec.org.burst_bytes());
-        match cmd {
-            MemCmd::Read => self.read_q.len() + n <= self.cfg.read_buffer_size,
-            MemCmd::Write => self.write_q.len() + n <= self.cfg.write_buffer_size,
+        let (len, capacity, full) = match cmd {
+            MemCmd::Read => (
+                self.read_q.len(),
+                self.cfg.read_buffer_size,
+                SendError::ReadQueueFull,
+            ),
+            MemCmd::Write => (
+                self.write_q.len(),
+                self.cfg.write_buffer_size,
+                SendError::WriteQueueFull,
+            ),
+        };
+        if n > capacity {
+            Err(SendError::TooLarge {
+                bursts: n,
+                capacity,
+            })
+        } else if len + n > capacity {
+            Err(full)
+        } else {
+            Ok(())
         }
     }
 
@@ -220,40 +281,39 @@ impl DramCtrl {
     /// event.
     pub fn try_send(&mut self, req: MemRequest, now: Tick) -> Result<(), SendError> {
         assert!(req.size > 0, "zero-sized request");
+        // Arrival side effects happen even for rejected requests: the
+        // controller saw activity and must leave power-down to be able to
+        // accept the retry.
         self.last_activity = self.last_activity.max(now);
         self.pd_drain = false;
         self.wake_ranks(now);
-        let burst_bytes = self.cfg.spec.org.burst_bytes();
-        let n = burst_count(req.addr, req.size, burst_bytes);
+        self.admission_check(req.cmd, req.addr, req.size)?;
         match req.cmd {
             MemCmd::Read => {
-                if n > self.cfg.read_buffer_size {
-                    return Err(SendError::TooLarge {
-                        bursts: n,
-                        capacity: self.cfg.read_buffer_size,
-                    });
-                }
-                if self.read_q.len() + n > self.cfg.read_buffer_size {
-                    return Err(SendError::ReadQueueFull);
-                }
                 self.stats.reads_accepted += 1;
                 self.enqueue_read(req, now);
             }
             MemCmd::Write => {
-                if n > self.cfg.write_buffer_size {
-                    return Err(SendError::TooLarge {
-                        bursts: n,
-                        capacity: self.cfg.write_buffer_size,
-                    });
-                }
-                if self.write_q.len() + n > self.cfg.write_buffer_size {
-                    return Err(SendError::WriteQueueFull);
-                }
                 self.stats.writes_accepted += 1;
                 self.enqueue_write(req, now);
             }
         }
         Ok(())
+    }
+
+    /// Whether a queued write fully covers `[lo, hi)` of the burst at
+    /// `burst_addr` — the write-merging / read-forwarding test (paper
+    /// Section II-A). Answered in O(1) from the coverage index; the
+    /// reference model keeps the original O(queue depth) scan.
+    fn write_queue_covers(&self, burst_addr: u64, lo: u32, hi: u32) -> bool {
+        #[cfg(any(test, feature = "ref-model"))]
+        if self.use_reference {
+            return self
+                .write_q
+                .iter_packets()
+                .any(|w| covers(w, burst_addr, lo, hi));
+        }
+        self.write_q.write_covers(burst_addr, lo, hi)
     }
 
     fn enqueue_read(&mut self, req: MemRequest, now: Tick) {
@@ -266,12 +326,12 @@ impl DramCtrl {
         });
         let mut pending = 0u32;
         for (burst_addr, lo, hi) in chop(req.addr, req.size, burst_bytes) {
-            if self.write_q.iter().any(|w| covers(w, burst_addr, lo, hi)) {
+            if self.write_queue_covers(burst_addr, lo, hi) {
                 self.stats.forwarded_reads += 1;
                 continue;
             }
             let da = self.cfg.mapping.decode(burst_addr, org, self.cfg.channels);
-            self.read_q.push_back(DramPacket {
+            self.read_q.push(DramPacket {
                 is_read: true,
                 burst_addr,
                 lo,
@@ -280,6 +340,7 @@ impl DramCtrl {
                 entry_time: now,
                 priority: self.cfg.priority_of(req.source),
                 group: Some(gidx),
+                seq: 0, // stamped by push
             });
             pending += 1;
         }
@@ -302,12 +363,12 @@ impl DramCtrl {
         let org = &self.cfg.spec.org;
         let burst_bytes = org.burst_bytes();
         for (burst_addr, lo, hi) in chop(req.addr, req.size, burst_bytes) {
-            if self.write_q.iter().any(|w| covers(w, burst_addr, lo, hi)) {
+            if self.write_queue_covers(burst_addr, lo, hi) {
                 self.stats.merged_writes += 1;
                 continue;
             }
             let da = self.cfg.mapping.decode(burst_addr, org, self.cfg.channels);
-            self.write_q.push_back(DramPacket {
+            self.write_q.push(DramPacket {
                 is_read: false,
                 burst_addr,
                 lo,
@@ -316,6 +377,7 @@ impl DramCtrl {
                 entry_time: now,
                 priority: self.cfg.priority_of(req.source),
                 group: None,
+                seq: 0, // stamped by push
             });
         }
         self.stats.wrq_occ.update(self.write_q.len(), now);
@@ -382,8 +444,12 @@ impl DramCtrl {
     pub fn drain(&mut self, out: &mut Vec<MemResponse>) -> Tick {
         self.draining = true;
         self.schedule_next_req(self.events.now());
+        // Each rank perpetually reschedules its own refresh, so the number
+        // of pending refresh events is invariant after construction —
+        // hoist it out of the drain loop.
+        let refresh_events = self.refresh_event_count();
         loop {
-            if self.is_idle() && self.events.len() == self.refresh_event_count() {
+            if self.is_idle() && self.events.len() == refresh_events {
                 break;
             }
             let Some(t) = self.next_event() else { break };
@@ -439,13 +505,14 @@ impl DramCtrl {
             }
         }
 
-        // Second level: pick a request from the active queue.
+        // Second level: pick a request from the active queue. The chosen
+        // slot is recycled by `take` in O(1) — no queue compaction.
         let is_read = self.bus_state == BusState::Read;
-        let idx = self.choose_next(is_read, now);
+        let slot = self.choose_next(is_read, now);
         let pkt = if is_read {
-            self.read_q.remove(idx).expect("chosen index in range")
+            self.read_q.take(slot)
         } else {
-            self.write_q.remove(idx).expect("chosen index in range")
+            self.write_q.take(slot)
         };
         if is_read {
             self.stats.rdq_occ.update(self.read_q.len(), now);
@@ -620,43 +687,121 @@ impl DramCtrl {
         }
     }
 
-    /// FR-FCFS / FCFS selection (paper Section II-C): index into the active
-    /// queue of the packet to serve next.
-    fn choose_next(&self, is_read: bool, now: Tick) -> usize {
+    /// FR-FCFS / FCFS selection (paper Section II-C): slot of the packet
+    /// in the active queue to serve next.
+    ///
+    /// Answered from the queue indices instead of scanning packets:
+    ///
+    /// * the QoS top class and the FCFS pick come straight from the order
+    ///   index (O(log n));
+    /// * FR-FCFS row hits can only live in banks with an open row, so pass
+    ///   one probes those banks' per-row candidate lists — the oldest
+    ///   candidate over open banks is exactly the first hit a FIFO scan
+    ///   would find;
+    /// * with no eligible hit, `estimate_col_at` is row-independent for
+    ///   every remaining packet of a bank (they all miss), so pass two
+    ///   evaluates one per-bank candidate and minimises by
+    ///   (estimate, age) — reproducing the scan's first-wins minimum.
+    ///
+    /// Both passes are O(banks · log n) instead of O(queue depth).
+    fn choose_next(&self, is_read: bool, now: Tick) -> u32 {
+        #[cfg(any(test, feature = "ref-model"))]
+        if self.use_reference {
+            return self.choose_next_reference(is_read, now);
+        }
         let queue = if is_read { &self.read_q } else { &self.write_q };
         debug_assert!(!queue.is_empty());
         // QoS first level: only the highest priority class present in the
         // queue competes for the slot (paper Section II-C).
-        let top = queue.iter().map(|p| p.priority).max().expect("non-empty");
-        let eligible = |p: &DramPacket| p.priority == top;
+        let top = queue.top_priority().expect("non-empty");
         match self.cfg.scheduling {
-            SchedPolicy::Fcfs => queue
-                .iter()
-                .position(eligible)
-                .expect("some packet has the top priority"),
+            SchedPolicy::Fcfs => queue.first_in_order().expect("non-empty"),
             SchedPolicy::FrFcfs => {
                 // First ready: prefer the oldest row hit in the class.
-                for (i, pkt) in queue.iter().enumerate() {
+                let mut hit_seq = u64::MAX;
+                let mut hit_slot = 0;
+                for (ri, rank) in self.ranks.iter().enumerate() {
+                    for (bi, bank) in rank.banks.iter().enumerate() {
+                        let Some(row) = bank.open_row else { continue };
+                        let b = queue.flat_bank(ri as u32, bi as u32);
+                        if let Some((seq, slot)) = queue.row_candidate(b, row, top) {
+                            if seq < hit_seq {
+                                hit_seq = seq;
+                                hit_slot = slot;
+                            }
+                        }
+                    }
+                }
+                if hit_seq != u64::MAX {
+                    return hit_slot;
+                }
+                // No row hits: the packet whose bank can deliver data
+                // soonest (first available bank), FCFS on ties.
+                let mut best = None;
+                let mut best_at = Tick::MAX;
+                let mut best_seq = u64::MAX;
+                let flat_banks = self.ranks.len() as u32 * self.cfg.spec.org.banks;
+                for b in 0..flat_banks {
+                    let Some((seq, slot)) = queue.bank_candidate(b, top) else {
+                        continue;
+                    };
+                    let at = self.estimate_col_at(queue.get(slot), now);
+                    if at < best_at || (at == best_at && seq < best_seq) {
+                        best_at = at;
+                        best_seq = seq;
+                        best = Some(slot);
+                    }
+                }
+                best.expect("some candidate in a non-empty queue")
+            }
+        }
+    }
+
+    /// The original linear-scan scheduler, preserved verbatim over a FIFO
+    /// view of the queue. The differential harness ([`diff`](crate::diff))
+    /// asserts it agrees with [`choose_next`](Self::choose_next) down to
+    /// byte-identical simulation outputs.
+    #[cfg(any(test, feature = "ref-model"))]
+    fn choose_next_reference(&self, is_read: bool, now: Tick) -> u32 {
+        let queue = if is_read { &self.read_q } else { &self.write_q };
+        let fifo = queue.fifo_packets();
+        debug_assert!(!fifo.is_empty());
+        let top = fifo
+            .iter()
+            .map(|(_, p)| p.priority)
+            .max()
+            .expect("non-empty");
+        let eligible = |p: &DramPacket| p.priority == top;
+        match self.cfg.scheduling {
+            SchedPolicy::Fcfs => {
+                fifo.iter()
+                    .find(|&&(_, p)| eligible(p))
+                    .expect("some packet has the top priority")
+                    .0
+            }
+            SchedPolicy::FrFcfs => {
+                // First ready: prefer the oldest row hit in the class.
+                for &(slot, pkt) in &fifo {
                     if !eligible(pkt) {
                         continue;
                     }
                     let bank = &self.ranks[pkt.da.rank as usize].banks[pkt.da.bank as usize];
                     if bank.open_row == Some(pkt.da.row) {
-                        return i;
+                        return slot;
                     }
                 }
                 // No row hits: the packet whose bank can deliver data
                 // soonest (first available bank), FCFS on ties.
                 let mut best = 0;
                 let mut best_at = Tick::MAX;
-                for (i, pkt) in queue.iter().enumerate() {
+                for &(slot, pkt) in &fifo {
                     if !eligible(pkt) {
                         continue;
                     }
                     let at = self.estimate_col_at(pkt, now);
                     if at < best_at {
                         best_at = at;
-                        best = i;
+                        best = slot;
                     }
                 }
                 best
@@ -691,6 +836,38 @@ impl DramCtrl {
                 act_at + t.t_rcd
             }
         }
+    }
+
+    /// Whether any queued packet (either queue) targets `pkt`'s bank with
+    /// (`same_row == true`) or without (`same_row == false`) matching its
+    /// row — the question the adaptive page policies ask after every
+    /// access. Answered in O(1) from the per-bank and per-row occupancy
+    /// counters: a matching-row packet exists iff the row count is
+    /// non-zero, and an other-row packet exists iff the bank count exceeds
+    /// the row count.
+    fn queued_to_row(&self, pkt: &DramPacket, same_row: bool) -> bool {
+        #[cfg(any(test, feature = "ref-model"))]
+        if self.use_reference {
+            return self.queued_to_row_reference(pkt, same_row);
+        }
+        let b = self.read_q.flat_bank(pkt.da.rank, pkt.da.bank);
+        let row = self.read_q.row_len(b, pkt.da.row) + self.write_q.row_len(b, pkt.da.row);
+        if same_row {
+            row > 0
+        } else {
+            self.read_q.bank_len(b) + self.write_q.bank_len(b) > row
+        }
+    }
+
+    /// The original both-queue scan for [`queued_to_row`](Self::queued_to_row)
+    /// (an existence test, so iteration order is irrelevant).
+    #[cfg(any(test, feature = "ref-model"))]
+    fn queued_to_row_reference(&self, pkt: &DramPacket, same_row: bool) -> bool {
+        self.read_q
+            .iter_packets()
+            .chain(self.write_q.iter_packets())
+            .filter(|p| p.da.rank == pkt.da.rank && p.da.bank == pkt.da.bank)
+            .any(|p| (p.da.row == pkt.da.row) == same_row)
     }
 
     /// Performs the DRAM access for `pkt`: updates bank, rank and bus
@@ -774,13 +951,10 @@ impl DramCtrl {
         let close = force_close
             || match self.cfg.page_policy {
                 PagePolicy::Closed => true,
-                PagePolicy::ClosedAdaptive => {
-                    !queued_to_row(&self.read_q, &self.write_q, pkt, true)
-                }
+                PagePolicy::ClosedAdaptive => !self.queued_to_row(pkt, true),
                 PagePolicy::Open => false,
                 PagePolicy::OpenAdaptive => {
-                    queued_to_row(&self.read_q, &self.write_q, pkt, false)
-                        && !queued_to_row(&self.read_q, &self.write_q, pkt, true)
+                    self.queued_to_row(pkt, false) && !self.queued_to_row(pkt, true)
                 }
             };
         if close {
@@ -942,19 +1116,4 @@ impl dramctrl_mem::Controller for DramCtrl {
     fn report(&self, prefix: &str, now: Tick) -> dramctrl_stats::Report {
         DramCtrl::report(self, prefix, now)
     }
-}
-
-/// Whether any queued packet targets `pkt`'s bank with (`same_row == true`)
-/// or without (`same_row == false`) matching its row.
-fn queued_to_row(
-    read_q: &VecDeque<DramPacket>,
-    write_q: &VecDeque<DramPacket>,
-    pkt: &DramPacket,
-    same_row: bool,
-) -> bool {
-    read_q
-        .iter()
-        .chain(write_q.iter())
-        .filter(|p| p.da.rank == pkt.da.rank && p.da.bank == pkt.da.bank)
-        .any(|p| (p.da.row == pkt.da.row) == same_row)
 }

@@ -52,7 +52,10 @@
 mod bank;
 mod config;
 mod ctrl;
+#[cfg(any(test, feature = "ref-model"))]
+pub mod diff;
 mod queue;
+mod sched;
 mod stats;
 
 pub use config::{ConfigError, CtrlConfig, PagePolicy, SchedPolicy};

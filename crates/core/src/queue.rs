@@ -30,6 +30,10 @@ pub(crate) struct DramPacket {
     pub priority: u8,
     /// Index of the burst group this read belongs to (reads only).
     pub group: Option<usize>,
+    /// Queue-local arrival sequence number, stamped on enqueue. Strictly
+    /// increasing within a queue, so it encodes FCFS age independently of
+    /// where the packet is stored.
+    pub seq: u64,
 }
 
 /// Tracks the outstanding bursts of a chopped read so the response is only
@@ -52,6 +56,14 @@ pub(crate) struct GroupArena {
 }
 
 impl GroupArena {
+    /// Creates an arena pre-sized for `capacity` live groups.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            slots: Vec::with_capacity(capacity),
+            free: Vec::with_capacity(capacity),
+        }
+    }
+
     pub fn insert(&mut self, group: BurstGroup) -> usize {
         if let Some(idx) = self.free.pop() {
             self.slots[idx] = Some(group);
@@ -110,6 +122,11 @@ pub(crate) fn burst_count(addr: u64, size: u32, burst_bytes: u64) -> usize {
 /// Whether an existing write packet fully covers `[lo, hi)` of the same
 /// burst — the condition for merging an incoming write (it is subsumed) or
 /// forwarding a read from the write queue.
+///
+/// Only the reference model scans packets for coverage; the indexed
+/// controller asks the [`WriteCoverage`](dramctrl_mem::WriteCoverage)
+/// multiset instead.
+#[cfg(any(test, feature = "ref-model"))]
 pub(crate) fn covers(pkt: &DramPacket, burst_addr: u64, lo: u32, hi: u32) -> bool {
     !pkt.is_read && pkt.burst_addr == burst_addr && pkt.lo <= lo && pkt.hi >= hi
 }
@@ -134,6 +151,7 @@ mod tests {
             entry_time: 0,
             priority: 0,
             group: None,
+            seq: 0,
         }
     }
 

@@ -1,0 +1,377 @@
+//! Indexed controller queues: incremental data structures that answer the
+//! scheduler's hot-path questions without scanning the queue.
+//!
+//! The original implementation held each queue as a `VecDeque<DramPacket>`
+//! and answered every question with a linear scan:
+//!
+//! * write snooping (merge/forward) scanned the write queue per incoming
+//!   burst;
+//! * the adaptive page policies scanned *both* queues per serviced burst
+//!   (`queued_to_row`);
+//! * FR-FCFS scanned the active queue twice per scheduling decision and
+//!   removed the winner with an O(n) `VecDeque::remove`.
+//!
+//! At the deep queues the ROADMAP targets this is O(depth) work per burst
+//! — quadratic per simulation. [`SchedQueue`] replaces the scans with
+//! indices maintained incrementally on enqueue/dequeue:
+//!
+//! * a slot arena with free-list reuse (packets never move; removal is
+//!   O(1) slot recycling instead of `VecDeque::remove`'s memmove);
+//! * a monotonically increasing per-queue *sequence number* stamped on
+//!   every packet, so FCFS age survives arbitrary removal order;
+//! * `by_order` — a `BTreeMap` keyed `(255 - priority, seq)`, whose first
+//!   entry is the oldest packet of the highest QoS class (the FCFS pick and
+//!   the QoS first level, O(log n));
+//! * `by_bank` — per-(rank, bank) sorted candidate lists, so FR-FCFS
+//!   probes only banks instead of packets (O(banks · log n) per decision);
+//! * `by_row` — per-(rank, bank, row) sorted candidate lists, so row-hit
+//!   detection and the adaptive page policies' `queued_to_row` are point
+//!   lookups;
+//! * a [`WriteCoverage`] multiset for O(1) write snooping.
+//!
+//! Determinism: `BTreeMap` orders by key; the hash maps use the fixed-seed
+//! hasher from [`dramctrl_kernel::hash`] and are only probed point-wise.
+//! No iteration order can differ between runs or leak into scheduling.
+//! The scan implementations survive behind
+//! `#[cfg(any(test, feature = "ref-model"))]` in `ctrl.rs`, and the
+//! differential harness (`diff.rs`) proves both produce byte-identical
+//! results.
+
+use std::collections::BTreeMap;
+
+use dramctrl_kernel::hash::DetMap;
+use dramctrl_mem::WriteCoverage;
+
+use crate::queue::DramPacket;
+
+/// Sort key of a queued packet: QoS-descending, then age-ascending.
+///
+/// `255 - priority` makes the natural ascending order of `BTreeMap` and
+/// sorted vectors yield the highest-priority, oldest packet first.
+#[inline]
+fn order_key(pkt: &DramPacket) -> (u8, u64) {
+    (255 - pkt.priority, pkt.seq)
+}
+
+/// A sorted candidate list for one bank (or one row of one bank):
+/// `(255 - priority, seq, slot)` triples in ascending order.
+///
+/// Per-bucket population is small (queue depth spread over banks × rows),
+/// so a sorted `Vec` beats a tree: inserts are a short memmove, lookups a
+/// binary search, and iteration is cache-friendly.
+#[derive(Debug, Default, Clone)]
+struct Bucket {
+    entries: Vec<(u8, u64, u32)>,
+}
+
+impl Bucket {
+    fn insert(&mut self, key: (u8, u64), slot: u32) {
+        let probe = (key.0, key.1, slot);
+        let at = self.entries.partition_point(|&e| e < probe);
+        self.entries.insert(at, probe);
+    }
+
+    fn remove(&mut self, key: (u8, u64), slot: u32) {
+        let probe = (key.0, key.1, slot);
+        let at = self.entries.partition_point(|&e| e < probe);
+        debug_assert_eq!(self.entries.get(at), Some(&probe), "bucket out of sync");
+        self.entries.remove(at);
+    }
+
+    /// Oldest entry of exactly the given inverted-priority class.
+    fn first_of(&self, inv_prio: u8) -> Option<(u64, u32)> {
+        let at = self.entries.partition_point(|&e| e.0 < inv_prio);
+        match self.entries.get(at) {
+            Some(&(ip, seq, slot)) if ip == inv_prio => Some((seq, slot)),
+            _ => None,
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+/// One controller queue (read or write) with incremental scheduling
+/// indices. See the module docs for the structure inventory.
+#[derive(Debug)]
+pub(crate) struct SchedQueue {
+    slots: Vec<Option<DramPacket>>,
+    free: Vec<u32>,
+    next_seq: u64,
+    banks_per_rank: u32,
+    /// (255 - priority, seq) → slot, over all queued packets.
+    by_order: BTreeMap<(u8, u64), u32>,
+    /// Flat bank id → candidates in that bank.
+    by_bank: Vec<Bucket>,
+    /// (flat bank id, row) → candidates for that row.
+    by_row: DetMap<(u32, u64), Bucket>,
+    /// Byte-span coverage of queued writes (empty for the read queue).
+    coverage: WriteCoverage,
+}
+
+impl SchedQueue {
+    /// Creates a queue for a device with `ranks` × `banks_per_rank` banks,
+    /// pre-sized for `capacity` packets.
+    pub fn new(ranks: u32, banks_per_rank: u32, capacity: usize) -> Self {
+        Self {
+            slots: Vec::with_capacity(capacity),
+            free: Vec::with_capacity(capacity),
+            next_seq: 0,
+            banks_per_rank,
+            by_order: BTreeMap::new(),
+            by_bank: vec![Bucket::default(); (ranks * banks_per_rank) as usize],
+            by_row: DetMap::default(),
+            coverage: WriteCoverage::default(),
+        }
+    }
+
+    /// Flat bank id of a packet's (rank, bank).
+    #[inline]
+    pub fn flat_bank(&self, rank: u32, bank: u32) -> u32 {
+        rank * self.banks_per_rank + bank
+    }
+
+    /// Number of queued packets (the queue depth in bursts).
+    pub fn len(&self) -> usize {
+        self.by_order.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.by_order.is_empty()
+    }
+
+    /// Enqueues `pkt`, stamping its sequence number; returns its slot.
+    pub fn push(&mut self, mut pkt: DramPacket) -> u32 {
+        pkt.seq = self.next_seq;
+        self.next_seq += 1;
+        let key = order_key(&pkt);
+        let b = self.flat_bank(pkt.da.rank, pkt.da.bank);
+        let row = pkt.da.row;
+        if !pkt.is_read {
+            self.coverage.insert(pkt.burst_addr, pkt.lo, pkt.hi);
+        }
+        let slot = match self.free.pop() {
+            Some(s) => {
+                self.slots[s as usize] = Some(pkt);
+                s
+            }
+            None => {
+                self.slots.push(Some(pkt));
+                (self.slots.len() - 1) as u32
+            }
+        };
+        self.by_order.insert(key, slot);
+        self.by_bank[b as usize].insert(key, slot);
+        self.by_row.entry((b, row)).or_default().insert(key, slot);
+        slot
+    }
+
+    /// The packet in `slot`.
+    ///
+    /// # Panics
+    /// Panics on a stale slot.
+    pub fn get(&self, slot: u32) -> &DramPacket {
+        self.slots[slot as usize].as_ref().expect("stale slot")
+    }
+
+    /// Removes and returns the packet in `slot`, updating every index.
+    pub fn take(&mut self, slot: u32) -> DramPacket {
+        let pkt = self.slots[slot as usize].take().expect("stale slot");
+        self.free.push(slot);
+        let key = order_key(&pkt);
+        let b = self.flat_bank(pkt.da.rank, pkt.da.bank);
+        self.by_order.remove(&key);
+        self.by_bank[b as usize].remove(key, slot);
+        let bucket = self
+            .by_row
+            .get_mut(&(b, pkt.da.row))
+            .expect("row bucket for queued packet");
+        bucket.remove(key, slot);
+        if bucket.len() == 0 {
+            self.by_row.remove(&(b, pkt.da.row));
+        }
+        if !pkt.is_read {
+            self.coverage.remove(pkt.burst_addr, pkt.lo, pkt.hi);
+        }
+        pkt
+    }
+
+    /// Highest QoS priority present in the queue.
+    pub fn top_priority(&self) -> Option<u8> {
+        self.by_order.first_key_value().map(|((ip, _), _)| 255 - ip)
+    }
+
+    /// Slot of the oldest packet of the highest priority class (the FCFS
+    /// pick).
+    pub fn first_in_order(&self) -> Option<u32> {
+        self.by_order.first_key_value().map(|(_, &slot)| slot)
+    }
+
+    /// Oldest `(seq, slot)` of priority `prio` queued to `row` of the flat
+    /// bank `b`, if any — the FR-FCFS row-hit probe.
+    pub fn row_candidate(&self, b: u32, row: u64, prio: u8) -> Option<(u64, u32)> {
+        self.by_row.get(&(b, row))?.first_of(255 - prio)
+    }
+
+    /// Oldest `(seq, slot)` of priority `prio` queued to the flat bank
+    /// `b`, if any — the FR-FCFS first-available-bank probe.
+    pub fn bank_candidate(&self, b: u32, prio: u8) -> Option<(u64, u32)> {
+        self.by_bank[b as usize].first_of(255 - prio)
+    }
+
+    /// Packets queued to the flat bank `b` (any row, any priority).
+    pub fn bank_len(&self, b: u32) -> usize {
+        self.by_bank[b as usize].len()
+    }
+
+    /// Packets queued to `row` of the flat bank `b`.
+    pub fn row_len(&self, b: u32, row: u64) -> usize {
+        self.by_row.get(&(b, row)).map_or(0, Bucket::len)
+    }
+
+    /// Whether a queued write fully covers `[lo, hi)` of `burst_addr`
+    /// (O(1) write snooping).
+    pub fn write_covers(&self, burst_addr: u64, lo: u32, hi: u32) -> bool {
+        self.coverage.covers(burst_addr, lo, hi)
+    }
+
+    /// Live packets in unspecified order (for order-independent scans).
+    #[cfg(any(test, feature = "ref-model"))]
+    pub fn iter_packets(&self) -> impl Iterator<Item = &DramPacket> {
+        self.slots.iter().filter_map(Option::as_ref)
+    }
+
+    /// Live `(slot, packet)` pairs in FIFO (sequence) order — the queue
+    /// order the reference scheduler scans. O(n log n); reference only.
+    #[cfg(any(test, feature = "ref-model"))]
+    pub fn fifo_packets(&self) -> Vec<(u32, &DramPacket)> {
+        let mut v: Vec<(u32, &DramPacket)> = self
+            .slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_ref().map(|p| (i as u32, p)))
+            .collect();
+        v.sort_by_key(|(_, p)| p.seq);
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dramctrl_mem::DramAddr;
+
+    fn pkt(is_read: bool, rank: u32, bank: u32, row: u64, priority: u8) -> DramPacket {
+        DramPacket {
+            is_read,
+            burst_addr: row * 0x1000 + u64::from(bank) * 64,
+            lo: 0,
+            hi: 64,
+            da: DramAddr {
+                rank,
+                bank,
+                row,
+                col: 0,
+            },
+            entry_time: 0,
+            priority,
+            group: None,
+            seq: 0, // stamped by push
+        }
+    }
+
+    fn q() -> SchedQueue {
+        SchedQueue::new(2, 8, 32)
+    }
+
+    #[test]
+    fn fcfs_order_survives_slot_reuse() {
+        let mut q = q();
+        let a = q.push(pkt(true, 0, 0, 1, 0));
+        let _b = q.push(pkt(true, 0, 1, 2, 0));
+        q.take(a); // free slot 0
+        let c = q.push(pkt(true, 0, 2, 3, 0)); // reuses slot 0
+        assert_eq!(c, a, "slot reused");
+        // FCFS pick is still the older packet despite the newer one
+        // occupying a lower slot.
+        let first = q.first_in_order().unwrap();
+        assert_eq!(q.get(first).da.bank, 1);
+    }
+
+    #[test]
+    fn priority_classes_order_before_age() {
+        let mut q = q();
+        q.push(pkt(true, 0, 0, 1, 0));
+        let hi = q.push(pkt(true, 0, 1, 2, 3));
+        assert_eq!(q.top_priority(), Some(3));
+        assert_eq!(q.first_in_order(), Some(hi));
+    }
+
+    #[test]
+    fn row_and_bank_candidates() {
+        let mut q = q();
+        q.push(pkt(true, 1, 2, 7, 0));
+        let second = q.push(pkt(true, 1, 2, 7, 0));
+        q.push(pkt(true, 1, 2, 9, 0));
+        let b = q.flat_bank(1, 2);
+        // Oldest packet for row 7 is the first push.
+        let (seq, slot) = q.row_candidate(b, 7, 0).unwrap();
+        assert_eq!(q.get(slot).da.row, 7);
+        assert!(seq < q.get(second).seq);
+        assert_eq!(q.row_len(b, 7), 2);
+        assert_eq!(q.row_len(b, 9), 1);
+        assert_eq!(q.bank_len(b), 3);
+        assert!(q.row_candidate(b, 8, 0).is_none());
+        assert!(q.bank_candidate(b, 1).is_none(), "no priority-1 packets");
+    }
+
+    #[test]
+    fn coverage_tracks_writes_only() {
+        let mut q = q();
+        let w = q.push(pkt(false, 0, 0, 1, 0));
+        let r = q.push(pkt(true, 0, 0, 1, 0));
+        let wa = q.get(w).burst_addr;
+        let ra = q.get(r).burst_addr;
+        assert!(q.write_covers(wa, 0, 64));
+        assert!(q.write_covers(wa, 8, 16));
+        assert_eq!(wa, ra);
+        q.take(w);
+        assert!(!q.write_covers(wa, 0, 64), "removed with the write");
+    }
+
+    #[test]
+    fn fifo_packets_sorted_by_seq() {
+        let mut q = q();
+        let a = q.push(pkt(true, 0, 0, 1, 2));
+        q.push(pkt(true, 0, 1, 2, 0));
+        q.take(a);
+        q.push(pkt(true, 0, 3, 4, 1));
+        let seqs: Vec<u64> = q.fifo_packets().iter().map(|(_, p)| p.seq).collect();
+        assert_eq!(seqs, vec![1, 2]);
+        assert_eq!(q.iter_packets().count(), 2);
+    }
+
+    #[test]
+    fn len_tracks_push_take() {
+        let mut q = q();
+        assert!(q.is_empty());
+        let a = q.push(pkt(true, 0, 0, 1, 0));
+        let b = q.push(pkt(false, 0, 0, 2, 0));
+        assert_eq!(q.len(), 2);
+        q.take(b);
+        q.take(a);
+        assert!(q.is_empty());
+        assert_eq!(q.bank_len(0), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "stale slot")]
+    fn take_twice_panics() {
+        let mut q = q();
+        let a = q.push(pkt(true, 0, 0, 1, 0));
+        q.take(a);
+        q.take(a);
+    }
+}

@@ -36,9 +36,11 @@ pub enum CycleSched {
 ///
 /// Deliberately mirrors DRAMSim2's architecture rather than the event-based
 /// model's: one *unified* transaction queue shared by reads and writes, no
-/// write-drain watermarks, no write merging and no read forwarding. These
-/// are exactly the architectural differences the paper's validation
-/// discusses (Sections II-A and III).
+/// write-drain watermarks and — by default — no write merging and no read
+/// forwarding. These are exactly the architectural differences the paper's
+/// validation discusses (Sections II-A and III). [`write_snooping`]
+/// (CycleConfig::write_snooping) optionally lifts the last difference for
+/// apples-to-apples model comparisons.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CycleConfig {
     /// The DRAM device behind this controller.
@@ -53,6 +55,15 @@ pub struct CycleConfig {
     pub scheduling: CycleSched,
     /// Number of channels interleaved upstream (skipped in decode).
     pub channels: u32,
+    /// Snoop queued writes on arrival: merge fully-covered incoming
+    /// writes and forward fully-covered incoming reads, exactly as the
+    /// event-based model does (paper Section II-A), using the same O(1)
+    /// coverage index.
+    ///
+    /// Off by default — DRAMSim2 has no write snooping, and the baseline's
+    /// job is to mirror it. Turn it on when comparing the two models'
+    /// *simulation speed* so both service the same burst stream.
+    pub write_snooping: bool,
 }
 
 impl CycleConfig {
@@ -66,6 +77,7 @@ impl CycleConfig {
             page_policy: CyclePagePolicy::Open,
             scheduling: CycleSched::FrFcfs,
             channels: 1,
+            write_snooping: false,
         }
     }
 

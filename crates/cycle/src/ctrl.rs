@@ -12,7 +12,7 @@ use std::collections::VecDeque;
 use dramctrl_kernel::{Clock, EventQueue, Tick};
 use dramctrl_mem::{
     ActivityStats, CommonStats, Controller, DramAddr, MemCmd, MemRequest, MemResponse, MemSpec,
-    Rejected,
+    Rejected, WriteCoverage,
 };
 use dramctrl_stats::{Average, Report};
 
@@ -134,7 +134,12 @@ impl CycRank {
 struct Txn {
     is_read: bool,
     da: DramAddr,
-    bytes: u32,
+    /// Burst-aligned base address (keys the write-coverage index).
+    burst_addr: u64,
+    /// Covered byte range within the burst, relative to `burst_addr`.
+    lo: u32,
+    /// Exclusive end of the covered range.
+    hi: u32,
     entry: Tick,
     group: usize,
     /// Whether this transaction triggered its own activation (a burst is a
@@ -181,6 +186,12 @@ pub struct CycleStats {
     pub refreshes: u64,
     /// Accumulated data-bus busy time (ticks).
     pub bus_busy: Tick,
+    /// Incoming writes dropped because a queued write already covered
+    /// them (only with `write_snooping`).
+    pub merged_writes: u64,
+    /// Incoming read bursts serviced from the queued write data (only
+    /// with `write_snooping`).
+    pub forwarded_reads: u64,
     /// Total clock cycles executed by the model (the cost of being
     /// cycle-based).
     pub cycles_simulated: u64,
@@ -222,6 +233,8 @@ pub struct CycleCtrl {
     last_data_end: u64,
     last_dir: Option<Dir>,
     pending_closes: usize,
+    /// Coverage of queued writes; only maintained with `write_snooping`.
+    coverage: WriteCoverage,
     stats: CycleStats,
 }
 
@@ -237,20 +250,23 @@ impl CycleCtrl {
         let ranks = (0..cfg.spec.org.ranks)
             .map(|_| CycRank::new(cfg.spec.org.banks, t.refi))
             .collect();
+        let queue = VecDeque::with_capacity(cfg.queue_depth);
+        let resp_q = EventQueue::with_capacity(cfg.queue_depth);
         Ok(Self {
             cfg,
             clk,
             t,
             cycle: 0,
-            queue: VecDeque::new(),
+            queue,
             groups: Vec::new(),
             free_groups: Vec::new(),
             ranks,
-            resp_q: EventQueue::new(),
+            resp_q,
             bus_free: 0,
             last_data_end: 0,
             last_dir: None,
             pending_closes: 0,
+            coverage: WriteCoverage::default(),
             stats: CycleStats::default(),
         })
     }
@@ -421,6 +437,9 @@ impl CycleCtrl {
     fn do_col(&mut self, i: usize, c: u64) {
         let txn = self.queue.remove(i).expect("index checked by caller");
         let (ri, bi) = (txn.da.rank as usize, txn.da.bank as usize);
+        if self.cfg.write_snooping && !txn.is_read {
+            self.coverage.remove(txn.burst_addr, txn.lo, txn.hi);
+        }
         if !txn.activated {
             self.stats.row_hits += 1;
         }
@@ -437,11 +456,11 @@ impl CycleCtrl {
         if txn.is_read {
             bank.next_pre = bank.next_pre.max(c + t.rtp);
             self.stats.rd_bursts += 1;
-            self.stats.bytes_read += u64::from(txn.bytes);
+            self.stats.bytes_read += u64::from(txn.hi - txn.lo);
         } else {
             bank.next_pre = bank.next_pre.max(data_end + t.wr);
             self.stats.wr_bursts += 1;
-            self.stats.bytes_written += u64::from(txn.bytes);
+            self.stats.bytes_written += u64::from(txn.hi - txn.lo);
         }
 
         if self.cfg.page_policy == CyclePagePolicy::Closed {
@@ -624,15 +643,30 @@ impl Controller for CycleCtrl {
         }
         let gidx = self.alloc_group(Group {
             req,
-            remaining: n as u32,
+            remaining: 0,
             ready_at: 0,
         });
         let bb = self.cfg.spec.org.burst_bytes();
         let end = req.addr + u64::from(req.size);
         let mut b = req.addr / bb * bb;
+        let mut pending = 0u32;
         while b < end {
-            let lo = req.addr.max(b);
-            let hi = end.min(b + bb);
+            let lo = (req.addr.max(b) - b) as u32;
+            let hi = (end.min(b + bb) - b) as u32;
+            // Optional write snooping (paper Section II-A), answered from
+            // the same O(1) coverage index the event-based model uses.
+            if self.cfg.write_snooping && self.coverage.covers(b, lo, hi) {
+                if is_read {
+                    self.stats.forwarded_reads += 1;
+                } else {
+                    self.stats.merged_writes += 1;
+                }
+                b += bb;
+                continue;
+            }
+            if self.cfg.write_snooping && !is_read {
+                self.coverage.insert(b, lo, hi);
+            }
             let da = self
                 .cfg
                 .mapping
@@ -640,12 +674,26 @@ impl Controller for CycleCtrl {
             self.queue.push_back(Txn {
                 is_read,
                 da,
-                bytes: (hi - lo) as u32,
+                burst_addr: b,
+                lo,
+                hi,
                 entry: now,
                 group: gidx,
                 activated: false,
             });
+            pending += 1;
             b += bb;
+        }
+        if pending == 0 {
+            // Entirely covered by queued writes: nothing to simulate.
+            self.groups[gidx] = None;
+            self.free_groups.push(gidx);
+            if is_read {
+                self.resp_q
+                    .schedule(now.max(self.resp_q.now()), MemResponse::to(&req, now));
+            }
+        } else {
+            self.groups[gidx].as_mut().expect("live group").remaining = pending;
         }
         if !is_read {
             // Early write acknowledgement, as in the event-based model.
@@ -790,6 +838,10 @@ impl Controller for CycleCtrl {
         r.counter("activates", s.activates);
         r.counter("precharges", s.precharges);
         r.counter("refreshes", s.refreshes);
+        if self.cfg.write_snooping {
+            r.counter("merged_writes", s.merged_writes);
+            r.counter("forwarded_reads", s.forwarded_reads);
+        }
         r.counter("cycles_simulated", s.cycles_simulated);
         let common = self.common_stats();
         r.scalar("page_hit_rate", common.page_hit_rate());

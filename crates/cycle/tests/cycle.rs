@@ -280,3 +280,70 @@ fn fcfs_head_conflict_with_trailing_hit_makes_progress() {
     let order: Vec<_> = out.iter().map(|r| r.id.0).collect();
     assert_eq!(order, vec![1, 2], "FCFS order, no deadlock");
 }
+
+/// With `write_snooping` on, a read fully covered by a queued write is
+/// forwarded (no DRAM access) and a covered write is merged away — the
+/// event-based model's Section II-A behaviour, via the same coverage index.
+#[test]
+fn write_snooping_forwards_reads_and_merges_writes() {
+    let mut c = ctrl_with(|cfg| cfg.write_snooping = true);
+    let a = addr(2, 7, 0);
+    c.try_send(MemRequest::write(ReqId(0), a, 64), 0).unwrap();
+    c.try_send(MemRequest::write(ReqId(1), a, 64), 0).unwrap();
+    c.try_send(MemRequest::read(ReqId(2), a, 64), 0).unwrap();
+    let mut out = Vec::new();
+    c.drain(&mut out);
+    // Two write acks plus the forwarded read, all at tick 0.
+    assert_eq!(out.len(), 3);
+    assert!(out.iter().all(|r| r.ready_at == 0));
+    assert_eq!(c.stats().merged_writes, 1);
+    assert_eq!(c.stats().forwarded_reads, 1);
+    assert_eq!(c.stats().wr_bursts, 1, "only one write touches DRAM");
+    assert_eq!(c.stats().rd_bursts, 0, "the read never touches DRAM");
+}
+
+/// A partial write does not cover a wider read; coverage ends when the
+/// write leaves the queue.
+#[test]
+fn write_snooping_respects_spans_and_drain() {
+    let mut c = ctrl_with(|cfg| cfg.write_snooping = true);
+    let a = addr(1, 3, 0);
+    c.try_send(MemRequest::write(ReqId(0), a + 8, 16), 0)
+        .unwrap();
+    // Wider than the queued write: must go to DRAM.
+    c.try_send(MemRequest::read(ReqId(1), a, 64), 0).unwrap();
+    // Subsumed by the queued write: forwarded.
+    c.try_send(MemRequest::read(ReqId(2), a + 12, 4), 0)
+        .unwrap();
+    let mut out = Vec::new();
+    c.drain(&mut out);
+    assert_eq!(c.stats().forwarded_reads, 1);
+    assert_eq!(c.stats().rd_bursts, 1);
+    // Once drained, the write no longer covers anything.
+    c.try_send(
+        MemRequest::read(ReqId(3), a + 12, 4),
+        c.next_event().unwrap_or(10_000_000),
+    )
+    .unwrap();
+    out.clear();
+    c.drain(&mut out);
+    assert_eq!(c.stats().forwarded_reads, 1, "no stale coverage");
+    assert_eq!(c.stats().rd_bursts, 2);
+}
+
+/// Snooping off (the default) keeps DRAMSim2 behaviour: every burst
+/// reaches DRAM.
+#[test]
+fn snooping_off_by_default_services_every_burst() {
+    let mut c = ctrl_with(|_| {});
+    let a = addr(2, 7, 0);
+    c.try_send(MemRequest::write(ReqId(0), a, 64), 0).unwrap();
+    c.try_send(MemRequest::write(ReqId(1), a, 64), 0).unwrap();
+    c.try_send(MemRequest::read(ReqId(2), a, 64), 0).unwrap();
+    let mut out = Vec::new();
+    c.drain(&mut out);
+    assert_eq!(c.stats().merged_writes, 0);
+    assert_eq!(c.stats().forwarded_reads, 0);
+    assert_eq!(c.stats().wr_bursts, 2);
+    assert_eq!(c.stats().rd_bursts, 1);
+}

@@ -70,6 +70,18 @@ impl<E> EventQueue<E> {
         }
     }
 
+    /// Creates an empty queue with room for `capacity` pending events
+    /// before the heap reallocates. Components with a known bound on
+    /// outstanding events (e.g. a controller's queue depths) should
+    /// pre-size the heap so the hot path never grows it.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            heap: BinaryHeap::with_capacity(capacity),
+            seq: 0,
+            now: 0,
+        }
+    }
+
     /// The current simulated time (the tick of the last popped event).
     pub fn now(&self) -> Tick {
         self.now
@@ -200,6 +212,15 @@ mod tests {
         q.pop();
         q.schedule_in(5, "y");
         assert_eq!(q.pop(), Some((105, "y")));
+    }
+
+    #[test]
+    fn with_capacity_behaves_like_new() {
+        let mut q = EventQueue::with_capacity(16);
+        assert_eq!(q.now(), 0);
+        assert!(q.is_empty());
+        q.schedule(3, "x");
+        assert_eq!(q.pop(), Some((3, "x")));
     }
 
     #[test]

@@ -32,6 +32,7 @@
 
 mod clock;
 mod event;
+pub mod hash;
 pub mod rng;
 pub mod tick;
 

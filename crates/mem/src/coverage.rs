@@ -1,0 +1,147 @@
+//! O(1) write-queue burst-coverage index.
+//!
+//! Both controller models snoop their write queue on every incoming
+//! request: a read burst fully covered by a queued write is serviced from
+//! the queue (read forwarding), and a write burst fully covered by a queued
+//! write is dropped (write merging) — paper Section II-A. Scanning the
+//! queue makes every acceptance O(queue depth); gem5's production
+//! controller grew an `isInWriteQueue` address set for exactly this reason.
+//!
+//! [`WriteCoverage`] is that set, generalised to the sub-burst writes this
+//! model supports: a deterministic hash multiset keyed by burst-aligned
+//! address, whose value is the list of byte spans `[lo, hi)` of the queued
+//! write packets for that burst. Lookup, insert and removal are O(1)
+//! expected — the span list of a single burst is almost always one entry,
+//! because a new span subsumed by an existing one is merged away by the
+//! caller rather than inserted.
+//!
+//! A *widest-span-only* summary (as a first cut might try) would not be
+//! equivalent to scanning the queue: two partial writes `[0,10)` and
+//! `[20,64)` cover `[5,8)` via the *narrower* span. Keeping every span
+//! preserves exact scan semantics, which the differential tests in the
+//! `dramctrl` crate rely on.
+//!
+//! Determinism: the map is only ever probed point-wise (never iterated),
+//! and the hasher is fixed-seed ([`dramctrl_kernel::hash`]), so no hash
+//! order can leak into scheduling decisions.
+
+use dramctrl_kernel::hash::DetMap;
+
+/// Deterministic multiset of queued-write byte spans, keyed by
+/// burst-aligned address.
+///
+/// # Example
+/// ```
+/// use dramctrl_mem::WriteCoverage;
+///
+/// let mut cov = WriteCoverage::default();
+/// cov.insert(0x80, 0, 64);
+/// assert!(cov.covers(0x80, 16, 32)); // subsumed read: forward it
+/// assert!(!cov.covers(0xc0, 0, 8)); // different burst
+/// cov.remove(0x80, 0, 64);
+/// assert!(cov.is_empty());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct WriteCoverage {
+    by_burst: DetMap<u64, Vec<(u32, u32)>>,
+    len: usize,
+}
+
+impl WriteCoverage {
+    /// Records a queued write covering `[lo, hi)` of the burst at
+    /// `burst_addr`.
+    pub fn insert(&mut self, burst_addr: u64, lo: u32, hi: u32) {
+        debug_assert!(lo < hi, "empty span");
+        self.by_burst.entry(burst_addr).or_default().push((lo, hi));
+        self.len += 1;
+    }
+
+    /// Removes one previously inserted span (the write left the queue).
+    ///
+    /// # Panics
+    /// Panics if the span was never inserted — the index and the queue
+    /// would be out of sync, which is a controller bug.
+    pub fn remove(&mut self, burst_addr: u64, lo: u32, hi: u32) {
+        let spans = self
+            .by_burst
+            .get_mut(&burst_addr)
+            .expect("coverage entry for removed write");
+        let at = spans
+            .iter()
+            .position(|&s| s == (lo, hi))
+            .expect("span for removed write");
+        spans.swap_remove(at);
+        if spans.is_empty() {
+            self.by_burst.remove(&burst_addr);
+        }
+        self.len -= 1;
+    }
+
+    /// Whether some queued write fully covers `[lo, hi)` of the burst at
+    /// `burst_addr` — exactly the condition the linear queue scan tests.
+    pub fn covers(&self, burst_addr: u64, lo: u32, hi: u32) -> bool {
+        self.by_burst
+            .get(&burst_addr)
+            .is_some_and(|spans| spans.iter().any(|&(l, h)| l <= lo && h >= hi))
+    }
+
+    /// Number of spans currently indexed (equals queued write bursts).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no spans are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covers_requires_subsumption() {
+        let mut cov = WriteCoverage::default();
+        cov.insert(64, 8, 40);
+        assert!(cov.covers(64, 8, 40));
+        assert!(cov.covers(64, 10, 20));
+        assert!(!cov.covers(64, 0, 40), "starts before the write");
+        assert!(!cov.covers(64, 8, 48), "ends after the write");
+        assert!(!cov.covers(128, 8, 40), "different burst");
+    }
+
+    #[test]
+    fn multiple_spans_per_burst() {
+        let mut cov = WriteCoverage::default();
+        cov.insert(0, 0, 10);
+        cov.insert(0, 20, 64);
+        // The narrower span answers; a widest-only summary would miss this.
+        assert!(cov.covers(0, 5, 8));
+        assert!(cov.covers(0, 30, 60));
+        assert!(!cov.covers(0, 5, 30));
+        cov.remove(0, 0, 10);
+        assert!(!cov.covers(0, 5, 8));
+        assert!(cov.covers(0, 30, 60));
+        assert_eq!(cov.len(), 1);
+    }
+
+    #[test]
+    fn remove_clears_entries() {
+        let mut cov = WriteCoverage::default();
+        cov.insert(0x40, 0, 64);
+        cov.insert(0x80, 0, 64);
+        cov.remove(0x40, 0, 64);
+        cov.remove(0x80, 0, 64);
+        assert!(cov.is_empty());
+        assert!(!cov.covers(0x40, 0, 64));
+    }
+
+    #[test]
+    #[should_panic(expected = "span for removed write")]
+    fn removing_unknown_span_panics() {
+        let mut cov = WriteCoverage::default();
+        cov.insert(0, 0, 64);
+        cov.remove(0, 0, 32);
+    }
+}

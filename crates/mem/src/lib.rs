@@ -21,6 +21,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod activity;
+pub mod coverage;
 pub mod ctrl_if;
 pub mod map;
 pub mod packet;
@@ -28,6 +29,7 @@ pub mod presets;
 pub mod spec;
 
 pub use activity::ActivityStats;
+pub use coverage::WriteCoverage;
 pub use ctrl_if::{CommonStats, Controller, Rejected};
 pub use map::{AddrMapping, DramAddr};
 pub use packet::{MemCmd, MemRequest, MemResponse, ReqId};
