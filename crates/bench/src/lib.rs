@@ -12,7 +12,10 @@
 
 pub mod runner;
 
-pub use runner::{cy_ctrl_with, ev_ctrl_with, gen_for_job, job_metrics, run_job, std_tester};
+pub use runner::{
+    cy_cfg, cy_ctrl_with, ev_cfg, ev_ctrl_with, gen_for_job, job_metrics, run_job,
+    run_job_observed, std_tester, JobArtifacts,
+};
 
 use std::time::Instant;
 

@@ -11,36 +11,38 @@
 use dramctrl::{CtrlConfig, DramCtrl, PagePolicy, SchedPolicy};
 use dramctrl_campaign::{JobMetrics, JobSpec, Model, TrafficPattern};
 use dramctrl_cycle::{CycleConfig, CycleCtrl, CyclePagePolicy, CycleSched};
-use dramctrl_mem::{presets, AddrMapping, MemSpec};
+use dramctrl_kernel::Tick;
+use dramctrl_mem::{presets, AddrMapping, Controller, MemSpec};
+use dramctrl_obs::{ChromeTracer, EpochRecorder};
+use dramctrl_stats::Report;
 use dramctrl_system::MultiChannel;
 use dramctrl_traffic::{DramAwareGen, LinearGen, RandomGen, TestSummary, Tester, TrafficGen};
 
-/// Builds an event-based controller with an explicit scheduler (the
-/// general form of [`ev_ctrl`](crate::ev_ctrl)).
-pub fn ev_ctrl_with(
+/// The event-model configuration for a (policy, scheduler, mapping,
+/// channels) tuple.
+pub fn ev_cfg(
     spec: MemSpec,
     policy: PagePolicy,
     sched: SchedPolicy,
     mapping: AddrMapping,
     channels: u32,
-) -> DramCtrl {
+) -> CtrlConfig {
     let mut cfg = CtrlConfig::new(spec);
     cfg.page_policy = policy;
     cfg.mapping = mapping;
     cfg.channels = channels;
     cfg.scheduling = sched;
-    DramCtrl::new(cfg).expect("valid config")
+    cfg
 }
 
-/// Builds the matching cycle-based baseline with an explicit scheduler
-/// (the general form of [`cy_ctrl`](crate::cy_ctrl)).
-pub fn cy_ctrl_with(
+/// The matching cycle-baseline configuration.
+pub fn cy_cfg(
     spec: MemSpec,
     policy: PagePolicy,
     sched: SchedPolicy,
     mapping: AddrMapping,
     channels: u32,
-) -> CycleCtrl {
+) -> CycleConfig {
     let mut cfg = CycleConfig::new(spec);
     cfg.page_policy = if policy.is_open() {
         CyclePagePolicy::Open
@@ -56,7 +58,31 @@ pub fn cy_ctrl_with(
     // Model comparisons must service the same burst stream on both sides,
     // so give the baseline the event model's write snooping too.
     cfg.write_snooping = true;
-    CycleCtrl::new(cfg).expect("valid config")
+    cfg
+}
+
+/// Builds an event-based controller with an explicit scheduler (the
+/// general form of [`ev_ctrl`](crate::ev_ctrl)).
+pub fn ev_ctrl_with(
+    spec: MemSpec,
+    policy: PagePolicy,
+    sched: SchedPolicy,
+    mapping: AddrMapping,
+    channels: u32,
+) -> DramCtrl {
+    DramCtrl::new(ev_cfg(spec, policy, sched, mapping, channels)).expect("valid config")
+}
+
+/// Builds the matching cycle-based baseline with an explicit scheduler
+/// (the general form of [`cy_ctrl`](crate::cy_ctrl)).
+pub fn cy_ctrl_with(
+    spec: MemSpec,
+    policy: PagePolicy,
+    sched: SchedPolicy,
+    mapping: AddrMapping,
+    channels: u32,
+) -> CycleCtrl {
+    CycleCtrl::new(cy_cfg(spec, policy, sched, mapping, channels)).expect("valid config")
 }
 
 /// The tester configuration shared by the campaign runner and the
@@ -179,6 +205,127 @@ pub fn run_job(job: &JobSpec) -> JobMetrics {
     job_metrics(&s)
 }
 
+/// Observability artifacts produced by [`run_job_observed`], ready to be
+/// written next to the campaign report.
+#[derive(Debug, Clone)]
+pub struct JobArtifacts {
+    /// Chrome trace-event JSON of every DRAM command, request flow and
+    /// power-state residency (all channels merged; load at
+    /// <https://ui.perfetto.dev>).
+    pub perfetto_json: String,
+    /// Epoch time-series CSV (per-channel recorders summed per epoch).
+    pub epochs_csv: String,
+    /// Stable machine-readable statistics report
+    /// ([`Report::to_json`]).
+    pub stats_json: String,
+}
+
+/// The per-channel probe pair used by [`run_job_observed`].
+type ObsProbe = (ChromeTracer, EpochRecorder);
+
+/// Merges per-channel probes and the final report into [`JobArtifacts`].
+fn collect_artifacts(
+    probes: Vec<ObsProbe>,
+    report: &Report,
+    end: Tick,
+    interval: Tick,
+) -> JobArtifacts {
+    let mut merged = EpochRecorder::new(interval);
+    let mut tracers = Vec::with_capacity(probes.len());
+    for (tracer, mut epochs) in probes {
+        epochs.finish(end);
+        merged.absorb(&epochs);
+        tracers.push(tracer);
+    }
+    JobArtifacts {
+        perfetto_json: ChromeTracer::combined_json(&tracers),
+        epochs_csv: merged.to_csv(),
+        stats_json: report.to_json(),
+    }
+}
+
+/// [`run_job`] with live instrumentation: every channel carries a
+/// [`ChromeTracer`] and an [`EpochRecorder`] binning at `epoch_interval`
+/// ticks, and the returned metrics come with the rendered artifacts.
+///
+/// The probes are pure observers, so the metrics are identical to an
+/// unobserved [`run_job`] of the same spec — the zero-perturbation
+/// property the differential harness asserts controller-by-controller.
+pub fn run_job_observed(job: &JobSpec, epoch_interval: Tick) -> (JobMetrics, JobArtifacts) {
+    let spec = presets::by_name(&job.device)
+        .unwrap_or_else(|| panic!("unknown device preset '{}'", job.device));
+    let mut gen = gen_for_job(job, &spec);
+    let tester = std_tester();
+    let probe = |ch: u32| {
+        (
+            ChromeTracer::for_channel(ch),
+            EpochRecorder::new(epoch_interval),
+        )
+    };
+    let (s, report, probes) = match job.model {
+        Model::Event => {
+            let cfg = || {
+                ev_cfg(
+                    spec.clone(),
+                    job.policy,
+                    job.sched,
+                    job.mapping,
+                    job.channels,
+                )
+            };
+            if job.channels <= 1 {
+                let mut ctrl = DramCtrl::with_probe(cfg(), probe(0)).expect("valid config");
+                let s = tester.run(&mut gen, &mut ctrl);
+                let report = ctrl.report("ctrl", s.duration);
+                (s, report, vec![ctrl.into_probe()])
+            } else {
+                let ctrls = (0..job.channels)
+                    .map(|ch| DramCtrl::with_probe(cfg(), probe(ch)).expect("valid config"))
+                    .collect();
+                let mut xbar = MultiChannel::new(ctrls, 0)
+                    .expect("valid crossbar")
+                    .with_mapping(job.mapping);
+                let s = tester.run(&mut gen, &mut xbar);
+                let report = xbar.report("system", s.duration);
+                let (ctrls, _) = xbar.into_parts();
+                let probes = ctrls.into_iter().map(DramCtrl::into_probe).collect();
+                (s, report, probes)
+            }
+        }
+        Model::Cycle => {
+            let cfg = || {
+                cy_cfg(
+                    spec.clone(),
+                    job.policy,
+                    job.sched,
+                    job.mapping,
+                    job.channels,
+                )
+            };
+            if job.channels <= 1 {
+                let mut ctrl = CycleCtrl::with_probe(cfg(), probe(0)).expect("valid config");
+                let s = tester.run(&mut gen, &mut ctrl);
+                let report = ctrl.report("ctrl", s.duration);
+                (s, report, vec![ctrl.into_probe()])
+            } else {
+                let ctrls = (0..job.channels)
+                    .map(|ch| CycleCtrl::with_probe(cfg(), probe(ch)).expect("valid config"))
+                    .collect();
+                let mut xbar = MultiChannel::new(ctrls, 0)
+                    .expect("valid crossbar")
+                    .with_mapping(job.mapping);
+                let s = tester.run(&mut gen, &mut xbar);
+                let report = xbar.report("system", s.duration);
+                let (ctrls, _) = xbar.into_parts();
+                let probes = ctrls.into_iter().map(CycleCtrl::into_probe).collect();
+                (s, report, probes)
+            }
+        }
+    };
+    let artifacts = collect_artifacts(probes, &report, s.duration, epoch_interval);
+    (job_metrics(&s), artifacts)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -208,6 +355,25 @@ mod tests {
             let m = run_job(job);
             assert_eq!(m.get("reads"), Some(300.0), "{}", job.label());
             assert!(m.get("bus_util").unwrap() > 0.0);
+        }
+    }
+
+    #[test]
+    fn observed_run_matches_plain_run_and_renders_artifacts() {
+        let jobs = Campaign::new("obs", 9)
+            .models([Model::Event, Model::Cycle])
+            .channels([1, 2])
+            .requests([300])
+            .expand();
+        for job in &jobs {
+            let (m, art) = run_job_observed(job, 1_000_000);
+            // Zero perturbation all the way up: observed metrics equal the
+            // unobserved run's bit for bit.
+            assert_eq!(m, run_job(job), "{}", job.label());
+            dramctrl_obs::json::validate(&art.perfetto_json).expect("loadable trace");
+            assert!(art.perfetto_json.contains("\"ACT\""), "{}", job.label());
+            assert!(art.epochs_csv.lines().count() > 1, "{}", job.label());
+            dramctrl_obs::json::validate(&art.stats_json).expect("valid stats JSON");
         }
     }
 

@@ -39,7 +39,14 @@ impl Args {
         let mut args = Args::default();
         let mut it = argv.into_iter().peekable();
         while let Some(a) = it.next() {
-            if let Some(name) = a.strip_prefix("--") {
+            // `--name` long options, plus single-letter short options like
+            // `-o` (two characters, second alphabetic, so negative numbers
+            // stay positional).
+            let name = a.strip_prefix("--").or_else(|| {
+                a.strip_prefix('-')
+                    .filter(|n| n.len() == 1 && n.chars().all(|c| c.is_ascii_alphabetic()))
+            });
+            if let Some(name) = name {
                 if switches.contains(&name) {
                     args.switches.push(name.to_owned());
                 } else {
@@ -219,6 +226,13 @@ mod tests {
         assert_eq!(a.positional(), ["trace.txt"]);
         assert_eq!(a.parse_or("requests", 0u64).unwrap(), 5);
         assert_eq!(a.parse_or("missing", 7u64).unwrap(), 7);
+    }
+
+    #[test]
+    fn short_options_and_negative_positionals() {
+        let a = Args::parse(["-o", "out.txt", "-5"].map(String::from), &[]).unwrap();
+        assert_eq!(a.get("o"), Some("out.txt"));
+        assert_eq!(a.positional(), ["-5"]);
     }
 
     #[test]

@@ -16,8 +16,11 @@ use args::{
 };
 use dramctrl::{CtrlConfig, DramCtrl};
 use dramctrl_cycle::{CycleConfig, CycleCtrl, CyclePagePolicy, CycleSched};
+use dramctrl_kernel::Tick;
 use dramctrl_mem::{presets, Controller, MemSpec};
+use dramctrl_obs::{ChromeTracer, EpochRecorder};
 use dramctrl_power::{drampower_energy, micron_power};
+use dramctrl_stats::Report;
 use dramctrl_traffic::{
     DramAwareGen, LinearGen, RandomGen, TestSummary, Tester, TraceEntry, TraceGen, TrafficGen,
 };
@@ -29,7 +32,8 @@ dramctrl — event-based DRAM controller simulator (ISPASS 2014 reproduction)
 USAGE:
     dramctrl devices                          list device presets
     dramctrl run [OPTIONS]                    run a synthetic workload
-    dramctrl record [OPTIONS] -o FILE         write a trace file
+    dramctrl record [OPTIONS] -o FILE         write a request trace file
+                                              (alias: trace-record)
     dramctrl replay FILE [OPTIONS]            replay a trace file
     dramctrl sweep [OPTIONS]                  run a parallel parameter-sweep campaign
 
@@ -50,6 +54,15 @@ RUN / RECORD OPTIONS:
     --seed N             RNG seed (default 1)
     --powerdown DUR      enable power-down after this idle time
     --energy             also print the DRAMPower-style energy breakdown
+
+OBSERVABILITY OPTIONS (run and replay):
+    --perfetto FILE      write a Chrome/Perfetto trace of every DRAM command
+                         (open the file at https://ui.perfetto.dev)
+    --epochs DUR         record an epoch time-series at this interval
+                         (e.g. 1us; written to --epochs-out)
+    --epochs-out FILE    epoch output path; .jsonl writes JSON lines,
+                         anything else CSV (default epochs.csv)
+    --stats-json FILE    write the full statistics report as JSON
 
 SWEEP OPTIONS (comma-separated lists become campaign axes; their
 Cartesian product runs in parallel with per-job deterministic seeds):
@@ -72,6 +85,9 @@ Cartesian product runs in parallel with per-job deterministic seeds):
     --jsonl FILE         also write the deterministic JSON-lines report
     --csv                print the result table as CSV
     --quiet              suppress the stderr progress line
+    --obs-dir DIR        per-job observability artifacts: DIR/job-<index>
+                         gets .trace.json (Perfetto), .epochs.csv and
+                         .stats.json
 ";
 
 fn main() -> ExitCode {
@@ -84,7 +100,7 @@ fn main() -> ExitCode {
     let result = match cmd.as_str() {
         "devices" => devices(),
         "run" => run(argv),
-        "record" => record(argv),
+        "record" | "trace-record" => record(argv),
         "replay" => replay(argv),
         "sweep" => sweep(argv),
         "help" | "--help" | "-h" => {
@@ -141,7 +157,90 @@ const RUN_OPTS: &[&str] = &[
     "powerdown",
     "energy",
     "o",
+    "perfetto",
+    "epochs",
+    "epochs-out",
+    "stats-json",
 ];
+
+/// The CLI's run-time-selected probe: each sink is present only when its
+/// flag was given. `(None, None)` observes nothing.
+type CliProbe = (Option<ChromeTracer>, Option<EpochRecorder>);
+
+/// Observability outputs requested on the command line.
+struct ObsOpts {
+    perfetto: Option<String>,
+    epochs_out: Option<String>,
+    interval: Tick,
+    stats_json: Option<String>,
+}
+
+impl ObsOpts {
+    fn parse(a: &Args) -> Result<Self, ArgError> {
+        let interval = parse_duration(a.get("epochs").unwrap_or("1us"))?;
+        if interval == 0 {
+            return Err(ArgError("--epochs interval must be non-zero".into()));
+        }
+        // --epochs alone picks the default output path; --epochs-out alone
+        // uses the default 1 us interval.
+        let epochs_out = match (a.get("epochs-out"), a.get("epochs")) {
+            (Some(path), _) => Some(path.to_owned()),
+            (None, Some(_)) => Some("epochs.csv".to_owned()),
+            (None, None) => None,
+        };
+        Ok(Self {
+            perfetto: a.get("perfetto").map(str::to_owned),
+            epochs_out,
+            interval,
+            stats_json: a.get("stats-json").map(str::to_owned),
+        })
+    }
+
+    /// Builds the probe pair matching the requested sinks.
+    fn probe(&self) -> CliProbe {
+        (
+            self.perfetto.as_ref().map(|_| ChromeTracer::new()),
+            self.epochs_out
+                .as_ref()
+                .map(|_| EpochRecorder::new(self.interval)),
+        )
+    }
+
+    /// Writes the trace and epoch files from a finished run's probe.
+    fn write_probe(&self, probe: CliProbe, end: Tick) -> Result<(), ArgError> {
+        let write = |path: &str, text: String| {
+            std::fs::write(path, text).map_err(|e| ArgError(format!("writing {path:?}: {e}")))
+        };
+        if let (Some(path), Some(tracer)) = (&self.perfetto, probe.0) {
+            write(path, tracer.to_json())?;
+            eprintln!(
+                "wrote Perfetto trace ({} events) to {path} — open at https://ui.perfetto.dev",
+                tracer.event_count()
+            );
+        }
+        if let (Some(path), Some(mut epochs)) = (&self.epochs_out, probe.1) {
+            epochs.finish(end);
+            let text = if path.ends_with(".jsonl") {
+                epochs.to_jsonl()
+            } else {
+                epochs.to_csv()
+            };
+            write(path, text)?;
+            eprintln!("wrote {} epochs to {path}", epochs.rows().len());
+        }
+        Ok(())
+    }
+
+    /// Writes the machine-readable statistics report, when requested.
+    fn write_stats(&self, report: &Report) -> Result<(), ArgError> {
+        if let Some(path) = &self.stats_json {
+            std::fs::write(path, report.to_json())
+                .map_err(|e| ArgError(format!("writing {path:?}: {e}")))?;
+            eprintln!("wrote {} statistics to {path}", report.len());
+        }
+        Ok(())
+    }
+}
 
 struct WorkloadSpec {
     spec: MemSpec,
@@ -215,6 +314,7 @@ fn run(argv: Vec<String>) -> Result<(), ArgError> {
     let policy = parse_policy(a.get("policy").unwrap_or("open"))?;
     let sched = parse_sched(a.get("sched").unwrap_or("frfcfs"))?;
     let mapping = parse_mapping(a.get("mapping").unwrap_or("rorabacoch"))?;
+    let obs = ObsOpts::parse(&a)?;
     let tester = Tester::new(1_000_000, 10_000);
 
     match a.get("model").unwrap_or("event") {
@@ -226,7 +326,8 @@ fn run(argv: Vec<String>) -> Result<(), ArgError> {
             if let Some(pd) = a.get("powerdown") {
                 cfg.powerdown_idle = parse_duration(pd)?;
             }
-            let mut ctrl = DramCtrl::new(cfg).map_err(|e| ArgError(e.to_string()))?;
+            let mut ctrl =
+                DramCtrl::with_probe(cfg, obs.probe()).map_err(|e| ArgError(e.to_string()))?;
             let summary = tester.run(&mut gen, &mut ctrl);
             println!("== {} (event-based model) ==", spec.name);
             print_summary(&summary, &spec);
@@ -237,6 +338,8 @@ fn run(argv: Vec<String>) -> Result<(), ArgError> {
                 println!();
                 print!("{}", drampower_energy(&spec, &act).report("energy"));
             }
+            obs.write_stats(&Controller::report(&ctrl, "ctrl", summary.duration))?;
+            obs.write_probe(ctrl.into_probe(), summary.duration)?;
         }
         "cycle" => {
             let mut cfg = CycleConfig::new(spec.clone());
@@ -250,15 +353,18 @@ fn run(argv: Vec<String>) -> Result<(), ArgError> {
                 dramctrl::SchedPolicy::FrFcfs => CycleSched::FrFcfs,
             };
             cfg.mapping = mapping;
-            let mut ctrl = CycleCtrl::new(cfg).map_err(|e| ArgError(e.to_string()))?;
+            let mut ctrl =
+                CycleCtrl::with_probe(cfg, obs.probe()).map_err(|e| ArgError(e.to_string()))?;
             let summary = tester.run(&mut gen, &mut ctrl);
             println!("== {} (cycle-based baseline) ==", spec.name);
             print_summary(&summary, &spec);
-            let act = ctrl.activity(summary.duration);
+            let act = Controller::activity(&mut ctrl, summary.duration);
             println!(
                 "DRAM power         : {:.1} mW",
                 micron_power(&spec, &act).total_mw()
             );
+            obs.write_stats(&Controller::report(&ctrl, "ctrl", summary.duration))?;
+            obs.write_probe(ctrl.into_probe(), summary.duration)?;
         }
         other => return Err(ArgError(format!("unknown model {other:?}"))),
     }
@@ -268,6 +374,7 @@ fn run(argv: Vec<String>) -> Result<(), ArgError> {
 const SWEEP_OPTS: &[&str] = &[
     "devices", "models", "policies", "scheds", "mappings", "channels", "gens", "reads", "requests",
     "range", "block", "stride", "banks", "seed", "workers", "retries", "jsonl", "csv", "quiet",
+    "obs-dir",
 ];
 
 fn sweep(argv: Vec<String>) -> Result<(), ArgError> {
@@ -378,7 +485,29 @@ fn sweep(argv: Vec<String>) -> Result<(), ArgError> {
         },
     };
     eprintln!("sweep: {} jobs, seed {}", campaign.len(), seed);
-    let report = run_campaign(&campaign, &cfg, run_job);
+    let report = match a.get("obs-dir") {
+        Some(dir) => {
+            use dramctrl_bench::run_job_observed;
+            std::fs::create_dir_all(dir).map_err(|e| ArgError(format!("creating {dir:?}: {e}")))?;
+            let dir = std::path::PathBuf::from(dir);
+            run_campaign(&campaign, &cfg, move |job| {
+                let (metrics, art) = run_job_observed(job, 1_000_000);
+                let base = dir.join(format!("job-{:04}", job.index));
+                // A failed write panics so the executor records the job as
+                // failed instead of silently dropping the artifact.
+                let write = |ext: &str, text: &str| {
+                    let path = base.with_extension(ext);
+                    std::fs::write(&path, text)
+                        .unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
+                };
+                write("trace.json", &art.perfetto_json);
+                write("epochs.csv", &art.epochs_csv);
+                write("stats.json", &art.stats_json);
+                metrics
+            })
+        }
+        None => run_campaign(&campaign, &cfg, run_job),
+    };
 
     if let Some(path) = a.get("jsonl") {
         std::fs::write(path, report.to_jsonl())
@@ -433,13 +562,16 @@ fn replay(argv: Vec<String>) -> Result<(), ArgError> {
         std::fs::read_to_string(path).map_err(|e| ArgError(format!("reading {path:?}: {e}")))?;
     let mut trace: TraceGen = text.parse().map_err(|e| ArgError(format!("{e}")))?;
     let spec = parse_device(a.get("device").unwrap_or("ddr3-1600-x64"))?;
+    let obs = ObsOpts::parse(&a)?;
     let mut cfg = CtrlConfig::new(spec.clone());
     cfg.page_policy = parse_policy(a.get("policy").unwrap_or("open"))?;
     cfg.scheduling = parse_sched(a.get("sched").unwrap_or("frfcfs"))?;
     cfg.mapping = parse_mapping(a.get("mapping").unwrap_or("rorabacoch"))?;
-    let mut ctrl = DramCtrl::new(cfg).map_err(|e| ArgError(e.to_string()))?;
+    let mut ctrl = DramCtrl::with_probe(cfg, obs.probe()).map_err(|e| ArgError(e.to_string()))?;
     let summary = Tester::new(1_000_000, 10_000).run(&mut trace, &mut ctrl);
     println!("== replay of {} on {} ==", path, spec.name);
     print_summary(&summary, &spec);
+    obs.write_stats(&Controller::report(&ctrl, "ctrl", summary.duration))?;
+    obs.write_probe(ctrl.into_probe(), summary.duration)?;
     Ok(())
 }

@@ -4,6 +4,7 @@ use std::fmt;
 
 use dramctrl_kernel::{EventQueue, Tick};
 use dramctrl_mem::{ActivityStats, MemCmd, MemRequest, MemResponse};
+use dramctrl_obs::{CmdEvent, DramCmd, NoProbe, PowerState, Probe};
 
 use crate::bank::Rank;
 use crate::config::{ConfigError, CtrlConfig, PagePolicy, SchedPolicy};
@@ -84,6 +85,14 @@ enum BusState {
 ///
 /// All calls must use non-decreasing `now` values.
 ///
+/// The `P` type parameter is an instrumentation hook (see `dramctrl-obs`):
+/// the default [`NoProbe`] compiles every probe call away, so an
+/// uninstrumented controller is exactly the controller before
+/// instrumentation existed. [`with_probe`](Self::with_probe) attaches a
+/// live sink; probes observe and never influence, so a traced run is
+/// byte-identical to an untraced one (asserted by
+/// [`diff::assert_probe_transparent`](crate::diff)).
+///
 /// # Example
 ///
 /// ```
@@ -102,8 +111,9 @@ enum BusState {
 /// # }
 /// ```
 #[derive(Debug)]
-pub struct DramCtrl {
+pub struct DramCtrl<P: Probe = NoProbe> {
     cfg: CtrlConfig,
+    probe: P,
     events: EventQueue<Ev>,
     read_q: SchedQueue,
     write_q: SchedQueue,
@@ -128,12 +138,42 @@ pub struct DramCtrl {
 }
 
 impl DramCtrl {
-    /// Creates a controller for the given configuration.
+    /// Creates an uninstrumented controller for the given configuration.
     ///
     /// # Errors
     /// Returns a [`ConfigError`] if the configuration is inconsistent (see
     /// [`CtrlConfig::validate`]).
     pub fn new(cfg: CtrlConfig) -> Result<Self, ConfigError> {
+        Self::with_probe(cfg, NoProbe)
+    }
+
+    /// Creates a controller that schedules with the original linear queue
+    /// scans instead of the incremental indices.
+    ///
+    /// Behaviourally identical to [`new`](Self::new) — the differential
+    /// harness in [`diff`](crate::diff) asserts byte-identical responses
+    /// and reports — but O(queue depth) per decision. Kept as the
+    /// reference model for equivalence tests and before/after
+    /// benchmarking; only available with the `ref-model` feature.
+    ///
+    /// # Errors
+    /// Returns a [`ConfigError`] if the configuration is inconsistent.
+    #[cfg(any(test, feature = "ref-model"))]
+    pub fn new_reference(cfg: CtrlConfig) -> Result<Self, ConfigError> {
+        let mut ctrl = Self::new(cfg)?;
+        ctrl.use_reference = true;
+        Ok(ctrl)
+    }
+}
+
+impl<P: Probe> DramCtrl<P> {
+    /// Creates a controller with an attached instrumentation probe (see
+    /// the type-level docs for the zero-perturbation contract).
+    ///
+    /// # Errors
+    /// Returns a [`ConfigError`] if the configuration is inconsistent (see
+    /// [`CtrlConfig::validate`]).
+    pub fn with_probe(cfg: CtrlConfig, probe: P) -> Result<Self, ConfigError> {
         cfg.validate()?;
         let ranks = (0..cfg.spec.org.ranks)
             .map(|_| Rank::new(cfg.spec.org.banks, cfg.spec.timing.t_refi))
@@ -155,6 +195,7 @@ impl DramCtrl {
         let groups = GroupArena::with_capacity(cfg.read_buffer_size);
         Ok(Self {
             cfg,
+            probe,
             events,
             read_q,
             write_q,
@@ -175,27 +216,24 @@ impl DramCtrl {
         })
     }
 
-    /// Creates a controller that schedules with the original linear queue
-    /// scans instead of the incremental indices.
-    ///
-    /// Behaviourally identical to [`new`](Self::new) — the differential
-    /// harness in [`diff`](crate::diff) asserts byte-identical responses
-    /// and reports — but O(queue depth) per decision. Kept as the
-    /// reference model for equivalence tests and before/after
-    /// benchmarking; only available with the `ref-model` feature.
-    ///
-    /// # Errors
-    /// Returns a [`ConfigError`] if the configuration is inconsistent.
-    #[cfg(any(test, feature = "ref-model"))]
-    pub fn new_reference(cfg: CtrlConfig) -> Result<Self, ConfigError> {
-        let mut ctrl = Self::new(cfg)?;
-        ctrl.use_reference = true;
-        Ok(ctrl)
-    }
-
     /// The controller's configuration.
     pub fn config(&self) -> &CtrlConfig {
         &self.cfg
+    }
+
+    /// The attached instrumentation probe.
+    pub fn probe(&self) -> &P {
+        &self.probe
+    }
+
+    /// Mutable access to the probe (e.g. to close an epoch recorder).
+    pub fn probe_mut(&mut self) -> &mut P {
+        &mut self.probe
+    }
+
+    /// Consumes the controller, returning the probe and its recordings.
+    pub fn into_probe(self) -> P {
+        self.probe
     }
 
     /// Accumulated statistics.
@@ -288,6 +326,10 @@ impl DramCtrl {
         self.pd_drain = false;
         self.wake_ranks(now);
         self.admission_check(req.cmd, req.addr, req.size)?;
+        if P::ENABLED {
+            self.probe
+                .req_accepted(req.id.0, req.cmd == MemCmd::Read, req.addr, req.size, now);
+        }
         match req.cmd {
             MemCmd::Read => {
                 self.stats.reads_accepted += 1;
@@ -345,6 +387,10 @@ impl DramCtrl {
             pending += 1;
         }
         self.stats.rdq_occ.update(self.read_q.len(), now);
+        if P::ENABLED {
+            self.probe
+                .queue_depth(self.read_q.len(), self.write_q.len(), now);
+        }
         if pending == 0 {
             // Entirely serviced from the write queue.
             self.groups.remove(gidx);
@@ -353,6 +399,9 @@ impl DramCtrl {
                 ready.max(self.events.now()),
                 Ev::Ack(MemResponse::to(&req, ready)),
             );
+            if P::ENABLED {
+                self.probe.req_completed(req.id.0, true, ready);
+            }
         } else {
             self.groups.get_mut(gidx).remaining = pending;
             self.schedule_next_req(now);
@@ -381,12 +430,19 @@ impl DramCtrl {
             });
         }
         self.stats.wrq_occ.update(self.write_q.len(), now);
+        if P::ENABLED {
+            self.probe
+                .queue_depth(self.read_q.len(), self.write_q.len(), now);
+        }
         // Early write response (paper Section II-A).
         let ready = now + self.cfg.frontend_latency;
         self.events.schedule(
             ready.max(self.events.now()),
             Ev::Ack(MemResponse::to(&req, ready)),
         );
+        if P::ENABLED {
+            self.probe.req_completed(req.id.0, false, ready);
+        }
         self.schedule_next_req(now);
     }
 
@@ -519,6 +575,10 @@ impl DramCtrl {
         } else {
             self.stats.wrq_occ.update(self.write_q.len(), now);
         }
+        if P::ENABLED {
+            self.probe
+                .queue_depth(self.read_q.len(), self.write_q.len(), now);
+        }
 
         let (data_start, data_end) = self.do_access(&pkt, now);
 
@@ -537,6 +597,10 @@ impl DramCtrl {
                     group.ready_at,
                     Ev::Ack(MemResponse::to(&group.req, group.ready_at)),
                 );
+                if P::ENABLED {
+                    self.probe
+                        .req_completed(group.req.id.0, true, group.ready_at);
+                }
             }
         } else {
             self.writes_this_switch += 1;
@@ -623,6 +687,10 @@ impl DramCtrl {
                     entry = entry.max(pre_at + t.t_rp);
                     self.ranks[ri].timeline.close_at(pre_at);
                     self.stats.precharges += 1;
+                    if P::ENABLED {
+                        self.probe
+                            .dram_cmd(CmdEvent::pre(ri as u32, bi as u32, pre_at, t.t_rp));
+                    }
                 }
             }
             let rank = &mut self.ranks[ri];
@@ -630,6 +698,10 @@ impl DramCtrl {
             rank.self_refreshing = false;
             rank.pd_since = entry;
             self.stats.powerdowns += 1;
+            if P::ENABLED {
+                self.probe
+                    .power_state(ri as u32, PowerState::PoweredDown, entry);
+            }
         }
         if self.cfg.selfrefresh_after > 0 {
             let latest_entry = self
@@ -649,7 +721,7 @@ impl DramCtrl {
     /// Descends still-powered-down ranks into self-refresh once they have
     /// been powered down for `selfrefresh_after`.
     fn process_sr_check(&mut self, now: Tick) {
-        for rank in &mut self.ranks {
+        for (i, rank) in self.ranks.iter_mut().enumerate() {
             if rank.powered_down
                 && !rank.self_refreshing
                 && now >= rank.pd_since + self.cfg.selfrefresh_after
@@ -659,6 +731,10 @@ impl DramCtrl {
                 rank.self_refreshing = true;
                 rank.pd_since = now;
                 self.stats.self_refreshes += 1;
+                if P::ENABLED {
+                    self.probe
+                        .power_state(i as u32, PowerState::SelfRefresh, now);
+                }
             }
         }
     }
@@ -667,9 +743,12 @@ impl DramCtrl {
     /// to each rank pays the `t_xp` exit latency.
     fn wake_ranks(&mut self, now: Tick) {
         let t = self.cfg.spec.timing;
-        for rank in &mut self.ranks {
+        for (i, rank) in self.ranks.iter_mut().enumerate() {
             if !rank.powered_down {
                 continue;
+            }
+            if P::ENABLED {
+                self.probe.power_state(i as u32, PowerState::Active, now);
             }
             let exit = if rank.self_refreshing {
                 rank.sr_time += now.saturating_sub(rank.pd_since);
@@ -878,6 +957,7 @@ impl DramCtrl {
 
         // Row management: precharge on conflict, activate on miss.
         let open_row = self.ranks[ri].banks[bi].open_row;
+        let row_hit = open_row == Some(pkt.da.row);
         if open_row != Some(pkt.da.row) {
             if open_row.is_some() {
                 let bank = &mut self.ranks[ri].banks[bi];
@@ -886,6 +966,10 @@ impl DramCtrl {
                 bank.open_row = None;
                 self.ranks[ri].timeline.close_at(pre_at);
                 self.stats.precharges += 1;
+                if P::ENABLED {
+                    self.probe
+                        .dram_cmd(CmdEvent::pre(pkt.da.rank, pkt.da.bank, pre_at, t.t_rp));
+                }
             }
             let rank = &self.ranks[ri];
             let earliest = rank.banks[bi].act_allowed_at.max(rank.next_act_at).max(now);
@@ -899,6 +983,15 @@ impl DramCtrl {
             bank.col_allowed_at = bank.col_allowed_at.max(act_at + t.t_rcd);
             bank.pre_allowed_at = bank.pre_allowed_at.max(act_at + t.t_ras);
             self.stats.activates += 1;
+            if P::ENABLED {
+                self.probe.dram_cmd(CmdEvent::act(
+                    pkt.da.rank,
+                    pkt.da.bank,
+                    pkt.da.row,
+                    act_at,
+                    t.t_rcd,
+                ));
+            }
         } else if pkt.is_read {
             self.stats.rd_row_hits += 1;
         } else {
@@ -924,6 +1017,26 @@ impl DramCtrl {
         self.bus_busy_until = data_end;
         self.last_burst_read = Some(pkt.is_read);
         self.stats.bus_busy += t.t_burst;
+        if P::ENABLED {
+            let cmd = if pkt.is_read {
+                DramCmd::Rd
+            } else {
+                DramCmd::Wr
+            };
+            self.probe.dram_cmd(CmdEvent {
+                req: pkt.group.map(|g| self.groups.get(g).req.id.0),
+                ..CmdEvent::data(
+                    cmd,
+                    pkt.da.rank,
+                    pkt.da.bank,
+                    pkt.da.row,
+                    data_start,
+                    t.t_burst,
+                    pkt.hi - pkt.lo,
+                    row_hit,
+                )
+            });
+        }
 
         // Post-access bank bookkeeping.
         let row_accesses = {
@@ -964,6 +1077,10 @@ impl DramCtrl {
             bank.act_allowed_at = bank.act_allowed_at.max(pre_at + t.t_rp);
             self.ranks[ri].timeline.close_at(pre_at);
             self.stats.precharges += 1;
+            if P::ENABLED {
+                self.probe
+                    .dram_cmd(CmdEvent::pre(pkt.da.rank, pkt.da.bank, pre_at, t.t_rp));
+            }
         }
 
         // Fold bank open/close deltas that are now in the past.
@@ -990,6 +1107,10 @@ impl DramCtrl {
             rank.powered_down = false;
             rank.pd_time += now.saturating_sub(rank.pd_since);
             start = now + t.t_xp;
+            if P::ENABLED {
+                self.probe
+                    .power_state(rank_idx as u32, PowerState::Active, now);
+            }
         }
         // All banks must be precharged before REF may issue.
         let banks = self.ranks[rank_idx].banks.len();
@@ -1001,6 +1122,10 @@ impl DramCtrl {
                 start = start.max(pre_at + t.t_rp);
                 self.ranks[rank_idx].timeline.close_at(pre_at);
                 self.stats.precharges += 1;
+                if P::ENABLED {
+                    self.probe
+                        .dram_cmd(CmdEvent::pre(rank_idx as u32, bi as u32, pre_at, t.t_rp));
+                }
             } else {
                 start = start.max(bank.act_allowed_at);
             }
@@ -1013,6 +1138,10 @@ impl DramCtrl {
             bank.act_allowed_at = bank.act_allowed_at.max(done);
         }
         self.stats.refreshes += 1;
+        if P::ENABLED {
+            self.probe
+                .dram_cmd(CmdEvent::refresh(rank_idx as u32, start, t.t_rfc));
+        }
         rank.refresh_due += t.t_refi;
         self.events
             .schedule(rank.refresh_due, Ev::Refresh(rank_idx as u32));
@@ -1061,7 +1190,7 @@ impl DramCtrl {
     }
 }
 
-impl dramctrl_mem::Controller for DramCtrl {
+impl<P: Probe> dramctrl_mem::Controller for DramCtrl<P> {
     fn try_send(&mut self, req: MemRequest, now: Tick) -> Result<(), dramctrl_mem::Rejected> {
         DramCtrl::try_send(self, req, now).map_err(|e| match e {
             SendError::TooLarge { .. } => dramctrl_mem::Rejected::TooLarge,

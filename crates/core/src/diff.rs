@@ -12,10 +12,16 @@
 //! The module is compiled for tests and under the `ref-model` feature so
 //! the benches can reuse the same harness (`cargo bench` runs the check
 //! before timing anything).
+//!
+//! The same lockstep driver also proves the *zero-perturbation guarantee*
+//! of the instrumentation layer ([`assert_probe_transparent`]): a
+//! controller carrying live `dramctrl-obs` sinks must produce byte-identical
+//! responses, drain ticks and statistics reports to an uninstrumented one.
 
 use dramctrl_kernel::rng::Rng;
 use dramctrl_kernel::Tick;
 use dramctrl_mem::{MemRequest, ReqId};
+use dramctrl_obs::{ChromeTracer, EpochRecorder};
 
 use crate::config::CtrlConfig;
 use crate::ctrl::DramCtrl;
@@ -86,6 +92,70 @@ pub fn assert_equivalent(cfg: &CtrlConfig, requests: &[(Tick, MemRequest)]) -> D
         responses: iresp.len(),
         drain_tick: it,
     }
+}
+
+/// Drives an uninstrumented controller and one carrying live observability
+/// sinks (a [`ChromeTracer`] paired with an [`EpochRecorder`]) in lockstep
+/// over `requests`, asserting the zero-perturbation guarantee: byte-identical
+/// acceptance decisions, response streams, drain ticks and rendered +
+/// JSON-serialised statistics reports. Returns the traced run's probe so
+/// callers can additionally assert the sinks saw real events.
+///
+/// # Panics
+/// Panics on the first divergence between the traced and untraced run.
+pub fn assert_probe_transparent(
+    cfg: &CtrlConfig,
+    requests: &[(Tick, MemRequest)],
+) -> (DiffSummary, (ChromeTracer, EpochRecorder)) {
+    let mut plain = DramCtrl::new(cfg.clone()).expect("valid config");
+    let probe = (ChromeTracer::new(), EpochRecorder::new(1_000_000));
+    let mut traced = DramCtrl::with_probe(cfg.clone(), probe).expect("valid config");
+    let mut presp = Vec::new();
+    let mut tresp = Vec::new();
+    let mut accepted = 0;
+    let mut rejected = 0;
+    for &(t, req) in requests {
+        plain.advance_to(t, &mut presp);
+        traced.advance_to(t, &mut tresp);
+        assert_eq!(
+            presp, tresp,
+            "tracing perturbed the response stream before tick {t}"
+        );
+        let sent = plain.try_send(req, t);
+        assert_eq!(
+            sent,
+            traced.try_send(req, t),
+            "tracing perturbed flow control at tick {t} for {req:?}"
+        );
+        if sent.is_ok() {
+            accepted += 1;
+        } else {
+            rejected += 1;
+        }
+    }
+    let pt = plain.drain(&mut presp);
+    let tt = traced.drain(&mut tresp);
+    assert_eq!(pt, tt, "tracing perturbed the drain tick");
+    assert_eq!(presp, tresp, "tracing perturbed the final response stream");
+    assert_eq!(
+        plain.report("ctrl", pt).to_string(),
+        traced.report("ctrl", tt).to_string(),
+        "tracing perturbed the rendered statistics report"
+    );
+    assert_eq!(
+        plain.report("ctrl", pt).to_json(),
+        traced.report("ctrl", tt).to_json(),
+        "tracing perturbed the JSON statistics report"
+    );
+    let summary = DiffSummary {
+        accepted,
+        rejected,
+        responses: tresp.len(),
+        drain_tick: tt,
+    };
+    let mut probe = traced.into_probe();
+    probe.1.finish(tt);
+    (summary, probe)
 }
 
 /// Generates a deterministic random request stream that exercises every
@@ -232,6 +302,38 @@ mod tests {
                 }
             }
         }
+    }
+
+    /// The zero-perturbation guarantee: live Chrome-trace + epoch sinks
+    /// leave every output of every page/scheduling policy byte-identical,
+    /// while the sinks themselves see real commands and produce loadable
+    /// JSON.
+    #[test]
+    fn tracing_is_zero_perturbation_across_policies() {
+        for (i, cfg) in cfg_matrix().into_iter().enumerate() {
+            let wl = random_workload(0x0B5 + i as u64, 150, 1);
+            let (summary, (tracer, epochs)) = assert_probe_transparent(&cfg, &wl);
+            assert!(summary.responses > 0);
+            assert!(!tracer.is_empty(), "tracer saw no events");
+            let json = tracer.to_json();
+            dramctrl_obs::json::validate(&json).expect("loadable trace JSON");
+            assert!(json.contains("\"RD\"") || json.contains("\"WR\""));
+            assert!(!epochs.rows().is_empty(), "no epochs recorded");
+        }
+    }
+
+    /// Zero-perturbation also holds through the power-down/self-refresh
+    /// state machine, and the tracer records the residency transitions.
+    #[test]
+    fn tracing_is_zero_perturbation_with_powerdown() {
+        let mut cfg = CtrlConfig::new(presets::ddr3_1333_x64());
+        cfg.powerdown_idle = 200_000;
+        cfg.selfrefresh_after = 400_000;
+        let wl = random_workload(0x0B6, 120, 1);
+        let (summary, (tracer, _)) = assert_probe_transparent(&cfg, &wl);
+        assert!(summary.responses > 0);
+        let json = tracer.to_json();
+        assert!(json.contains("\"powerdown\""), "no power-down slice traced");
     }
 
     /// Power-down and self-refresh interact with arrival side effects;

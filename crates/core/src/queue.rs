@@ -74,6 +74,10 @@ impl GroupArena {
         }
     }
 
+    pub fn get(&self, idx: usize) -> &BurstGroup {
+        self.slots[idx].as_ref().expect("stale group index")
+    }
+
     pub fn get_mut(&mut self, idx: usize) -> &mut BurstGroup {
         self.slots[idx].as_mut().expect("stale group index")
     }

@@ -24,14 +24,19 @@ impl QueueOcc {
         self.len = new_len;
     }
 
-    /// Average occupancy over `[0, now]`.
+    /// Average occupancy over `[0, max(now, last update)]`.
+    ///
+    /// The integral already covers time up to the last update, so a `now`
+    /// that lags behind it (out-of-order queries) must not shrink the
+    /// divisor — that would overstate the average.
     pub fn average(&self, now: Tick) -> f64 {
-        if now == 0 {
+        let end = now.max(self.last_change);
+        if end == 0 {
             return self.len as f64;
         }
         let integral =
             self.integral + (self.len as u128) * u128::from(now.saturating_sub(self.last_change));
-        integral as f64 / now as f64
+        integral as f64 / end as f64
     }
 }
 
@@ -180,6 +185,46 @@ mod tests {
         let mut occ = QueueOcc::default();
         occ.update(5, 0);
         assert_eq!(occ.average(0), 5.0);
+    }
+
+    #[test]
+    fn occupancy_same_tick_update_replaces_without_double_count() {
+        let mut occ = QueueOcc::default();
+        occ.update(3, 100); // 0 entries over [0,100)
+        occ.update(7, 100); // same tick: zero-width span, len replaced
+        occ.update(7, 200); // 7 entries over [100,200)
+        assert_eq!(occ.average(200), 3.5);
+    }
+
+    #[test]
+    fn occupancy_query_behind_last_update_does_not_overstate() {
+        let mut occ = QueueOcc::default();
+        occ.update(4, 0);
+        occ.update(0, 1_000); // integral now covers [0,1000)
+                              // Querying at an earlier tick must use the
+                              // integrated window, not divide by the stale
+                              // `now`: 4*1000 / 1000, not 4*1000 / 10.
+        assert_eq!(occ.average(10), 4.0);
+        assert_eq!(occ.average(1_000), 4.0);
+    }
+
+    #[test]
+    fn occupancy_out_of_order_update_is_sane() {
+        let mut occ = QueueOcc::default();
+        occ.update(2, 1_000); // 0 entries over [0,1000)
+        occ.update(6, 500); // earlier tick: no negative span, len applies
+                            // from the last in-order change
+        occ.update(6, 1_000); // zero-width; still 6 from tick 1000 on
+        occ.update(0, 2_000); // 6 entries over [1000,2000)
+        assert_eq!(occ.average(2_000), 3.0);
+    }
+
+    #[test]
+    fn occupancy_zero_query_after_updates_uses_integrated_window() {
+        let mut occ = QueueOcc::default();
+        occ.update(8, 0);
+        occ.update(0, 400); // 8 entries over [0,400)
+        assert_eq!(occ.average(0), 8.0);
     }
 
     #[test]

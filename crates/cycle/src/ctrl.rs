@@ -14,6 +14,7 @@ use dramctrl_mem::{
     ActivityStats, CommonStats, Controller, DramAddr, MemCmd, MemRequest, MemResponse, MemSpec,
     Rejected, WriteCoverage,
 };
+use dramctrl_obs::{CmdEvent, DramCmd, NoProbe, Probe};
 use dramctrl_stats::{Average, Report};
 
 use crate::config::{CycleConfig, CycleConfigError, CyclePagePolicy, CycleSched};
@@ -202,7 +203,11 @@ pub struct CycleStats {
 /// The cycle-based DRAMSim2-style controller.
 ///
 /// Implements the same pull interface as the event-based model (the
-/// [`Controller`] trait), so identical harnesses drive both.
+/// [`Controller`] trait), so identical harnesses drive both. Like the
+/// event-based model, the controller carries a `dramctrl-obs` probe type
+/// parameter; the default [`NoProbe`] compiles all instrumentation away,
+/// and [`with_probe`](Self::with_probe) attaches a live sink without
+/// perturbing the simulation.
 ///
 /// # Example
 /// ```
@@ -219,8 +224,9 @@ pub struct CycleStats {
 /// # }
 /// ```
 #[derive(Debug)]
-pub struct CycleCtrl {
+pub struct CycleCtrl<P: Probe = NoProbe> {
     cfg: CycleConfig,
+    probe: P,
     clk: Clock,
     t: CycTiming,
     cycle: u64,
@@ -239,11 +245,22 @@ pub struct CycleCtrl {
 }
 
 impl CycleCtrl {
-    /// Creates a controller for the given configuration.
+    /// Creates an uninstrumented controller for the given configuration.
     ///
     /// # Errors
     /// Returns a [`CycleConfigError`] if the configuration is inconsistent.
     pub fn new(cfg: CycleConfig) -> Result<Self, CycleConfigError> {
+        Self::with_probe(cfg, NoProbe)
+    }
+}
+
+impl<P: Probe> CycleCtrl<P> {
+    /// Creates a controller with an attached instrumentation probe (see
+    /// the type-level docs for the zero-perturbation contract).
+    ///
+    /// # Errors
+    /// Returns a [`CycleConfigError`] if the configuration is inconsistent.
+    pub fn with_probe(cfg: CycleConfig, probe: P) -> Result<Self, CycleConfigError> {
         cfg.validate()?;
         let clk = Clock::from_period(cfg.spec.timing.t_ck);
         let t = CycTiming::from_spec(&cfg.spec, &clk);
@@ -254,6 +271,7 @@ impl CycleCtrl {
         let resp_q = EventQueue::with_capacity(cfg.queue_depth);
         Ok(Self {
             cfg,
+            probe,
             clk,
             t,
             cycle: 0,
@@ -279,6 +297,30 @@ impl CycleCtrl {
     /// Accumulated statistics.
     pub fn stats(&self) -> &CycleStats {
         &self.stats
+    }
+
+    /// The attached instrumentation probe.
+    pub fn probe(&self) -> &P {
+        &self.probe
+    }
+
+    /// Mutable access to the probe (e.g. to close an epoch recorder).
+    pub fn probe_mut(&mut self) -> &mut P {
+        &mut self.probe
+    }
+
+    /// Consumes the controller, returning the probe and its recordings.
+    pub fn into_probe(self) -> P {
+        self.probe
+    }
+
+    /// Read/write transaction counts for the queue-depth probe. Only
+    /// evaluated when a live probe is attached.
+    fn probe_queue_depth(&mut self, now: Tick) {
+        if P::ENABLED {
+            let reads = self.queue.iter().filter(|t| t.is_read).count();
+            self.probe.queue_depth(reads, self.queue.len() - reads, now);
+        }
     }
 
     fn burst_count(&self, addr: u64, size: u32) -> usize {
@@ -366,20 +408,36 @@ impl CycleCtrl {
                 }
                 rank.next_act_rank = rank.next_act_rank.max(rank.refreshing_until);
                 self.stats.refreshes += 1;
+                if P::ENABLED {
+                    self.probe.dram_cmd(CmdEvent::refresh(
+                        ri as u32,
+                        self.clk.cycles(c),
+                        self.clk.cycles(self.t.rfc),
+                    ));
+                }
                 return;
             }
             // Precharge the first open bank that is ready.
             let t_rp = self.t.rp;
             let rank = &mut self.ranks[ri];
-            if let Some(bank) = rank
+            if let Some(bi) = rank
                 .banks
-                .iter_mut()
-                .find(|b| b.open_row.is_some() && c >= b.next_pre)
+                .iter()
+                .position(|b| b.open_row.is_some() && c >= b.next_pre)
             {
+                let bank = &mut rank.banks[bi];
                 bank.open_row = None;
                 bank.next_act = bank.next_act.max(c + t_rp);
                 bank.pre_done = c + t_rp;
                 self.stats.precharges += 1;
+                if P::ENABLED {
+                    self.probe.dram_cmd(CmdEvent::pre(
+                        ri as u32,
+                        bi as u32,
+                        self.clk.cycles(c),
+                        self.clk.cycles(t_rp),
+                    ));
+                }
                 return;
             }
         }
@@ -449,6 +507,34 @@ impl CycleCtrl {
         self.last_data_end = data_end;
         self.last_dir = Some(if txn.is_read { Dir::Rd } else { Dir::Wr });
         self.stats.bus_busy += self.clk.cycles(self.t.burst);
+        if P::ENABLED {
+            let cmd = if txn.is_read {
+                DramCmd::Rd
+            } else {
+                DramCmd::Wr
+            };
+            self.probe.dram_cmd(CmdEvent {
+                req: txn.is_read.then(|| {
+                    self.groups[txn.group]
+                        .as_ref()
+                        .expect("live group")
+                        .req
+                        .id
+                        .0
+                }),
+                ..CmdEvent::data(
+                    cmd,
+                    txn.da.rank,
+                    txn.da.bank,
+                    txn.da.row,
+                    self.clk.cycles(data_start),
+                    self.clk.cycles(self.t.burst),
+                    txn.hi - txn.lo,
+                    !txn.activated,
+                )
+            });
+            self.probe_queue_depth(self.clk.cycles(c));
+        }
 
         let t = self.t;
         let bank = &mut self.ranks[ri].banks[bi];
@@ -472,6 +558,14 @@ impl CycleCtrl {
             bank.pre_done = pre_at + t.rp;
             self.pending_closes += 1;
             self.stats.precharges += 1;
+            if P::ENABLED {
+                self.probe.dram_cmd(CmdEvent::pre(
+                    txn.da.rank,
+                    txn.da.bank,
+                    self.clk.cycles(pre_at),
+                    self.clk.cycles(t.rp),
+                ));
+            }
         }
 
         // Response bookkeeping.
@@ -490,6 +584,10 @@ impl CycleCtrl {
                     group.ready_at.max(self.resp_q.now()),
                     MemResponse::to(&group.req, group.ready_at),
                 );
+                if P::ENABLED {
+                    self.probe
+                        .req_completed(group.req.id.0, true, group.ready_at);
+                }
             }
         }
     }
@@ -529,6 +627,14 @@ impl CycleCtrl {
                     bank.next_act = bank.next_act.max(c + t.rp);
                     bank.pre_done = c + t.rp;
                     self.stats.precharges += 1;
+                    if P::ENABLED {
+                        self.probe.dram_cmd(CmdEvent::pre(
+                            txn.da.rank,
+                            txn.da.bank,
+                            self.clk.cycles(c),
+                            self.clk.cycles(t.rp),
+                        ));
+                    }
                     true
                 } else {
                     false
@@ -551,6 +657,15 @@ impl CycleCtrl {
                     bank.next_pre = bank.next_pre.max(c + t.ras);
                     self.stats.activates += 1;
                     self.queue[i].activated = true;
+                    if P::ENABLED {
+                        self.probe.dram_cmd(CmdEvent::act(
+                            txn.da.rank,
+                            txn.da.bank,
+                            txn.da.row,
+                            self.clk.cycles(c),
+                            self.clk.cycles(t.rcd),
+                        ));
+                    }
                     true
                 } else {
                     false
@@ -619,7 +734,7 @@ impl CycleCtrl {
     }
 }
 
-impl Controller for CycleCtrl {
+impl<P: Probe> Controller for CycleCtrl<P> {
     fn try_send(&mut self, req: MemRequest, now: Tick) -> Result<(), Rejected> {
         assert!(req.size > 0, "zero-sized request");
         let n = self.burst_count(req.addr, req.size);
@@ -640,6 +755,10 @@ impl Controller for CycleCtrl {
             self.stats.reads_accepted += 1;
         } else {
             self.stats.writes_accepted += 1;
+        }
+        if P::ENABLED {
+            self.probe
+                .req_accepted(req.id.0, is_read, req.addr, req.size, now);
         }
         let gidx = self.alloc_group(Group {
             req,
@@ -691,14 +810,21 @@ impl Controller for CycleCtrl {
             if is_read {
                 self.resp_q
                     .schedule(now.max(self.resp_q.now()), MemResponse::to(&req, now));
+                if P::ENABLED {
+                    self.probe.req_completed(req.id.0, true, now);
+                }
             }
         } else {
             self.groups[gidx].as_mut().expect("live group").remaining = pending;
         }
+        self.probe_queue_depth(now);
         if !is_read {
             // Early write acknowledgement, as in the event-based model.
             self.resp_q
                 .schedule(now.max(self.resp_q.now()), MemResponse::to(&req, now));
+            if P::ENABLED {
+                self.probe.req_completed(req.id.0, false, now);
+            }
         }
         Ok(())
     }

@@ -347,3 +347,64 @@ fn snooping_off_by_default_services_every_burst() {
     assert_eq!(c.stats().wr_bursts, 2);
     assert_eq!(c.stats().rd_bursts, 1);
 }
+
+/// The instrumentation layer must not perturb the cycle model either:
+/// a controller carrying live Chrome-trace + epoch sinks produces the
+/// same responses, drain tick and rendered report as a plain one, while
+/// the sinks see real commands.
+#[test]
+fn tracing_is_zero_perturbation() {
+    use dramctrl_obs::{ChromeTracer, EpochRecorder};
+
+    let mut cfg = CycleConfig::new(presets::ddr3_1333_x64());
+    cfg.page_policy = CyclePagePolicy::Open;
+    let mut plain = CycleCtrl::new(cfg.clone()).unwrap();
+    let mut traced =
+        CycleCtrl::with_probe(cfg, (ChromeTracer::new(), EpochRecorder::new(1_000_000))).unwrap();
+
+    // Deterministic mixed workload over several banks and rows.
+    let mut state = 0x0B5u64;
+    let mut step = || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        state >> 33
+    };
+    let mut t = 0;
+    for i in 0..200u64 {
+        let a = addr((step() % 8) as u32, step() % 64, step() % 64);
+        let req = if step() % 3 == 0 {
+            MemRequest::write(ReqId(i), a, 64)
+        } else {
+            MemRequest::read(ReqId(i), a, 64)
+        };
+        t += step() % 20_000;
+        let (mut o1, mut o2) = (Vec::new(), Vec::new());
+        plain.advance_to(t, &mut o1);
+        traced.advance_to(t, &mut o2);
+        assert_eq!(o1, o2, "tracing perturbed responses before tick {t}");
+        assert_eq!(
+            plain.try_send(req, t).is_ok(),
+            traced.try_send(req, t).is_ok(),
+            "tracing perturbed flow control at tick {t}"
+        );
+    }
+    let (mut o1, mut o2) = (Vec::new(), Vec::new());
+    let t1 = plain.drain(&mut o1);
+    let t2 = traced.drain(&mut o2);
+    assert_eq!(t1, t2, "tracing perturbed the drain tick");
+    assert_eq!(o1, o2, "tracing perturbed the final responses");
+    assert_eq!(
+        plain.report("ctrl", t1).to_string(),
+        traced.report("ctrl", t2).to_string(),
+        "tracing perturbed the statistics report"
+    );
+
+    let (tracer, mut epochs) = traced.into_probe();
+    epochs.finish(t2);
+    assert!(!tracer.is_empty(), "tracer saw no events");
+    let json = tracer.to_json();
+    dramctrl_obs::json::validate(&json).expect("loadable trace JSON");
+    assert!(json.contains("\"ACT\"") && json.contains("\"RD\""));
+    assert!(!epochs.rows().is_empty(), "no epochs recorded");
+}

@@ -1,0 +1,52 @@
+//! # dramctrl-obs — zero-perturbation instrumentation
+//!
+//! Observability substrate for the `dramctrl` simulator family. The design
+//! splits instrumentation into two halves:
+//!
+//! * **Probe points** — the controllers carry a generic [`Probe`] type
+//!   parameter and call its hooks at every interesting transition: DRAM
+//!   commands, request lifecycle stages, queue-depth changes and power-state
+//!   transitions. The default probe, [`NoProbe`], compiles every hook to a
+//!   no-op (the parameter is monomorphised, so the disabled path costs
+//!   exactly nothing — there is no branch, no indirect call, not even an
+//!   argument computation thanks to the [`Probe::ENABLED`] guard).
+//! * **Sinks** — concrete probes that turn the event stream into artefacts:
+//!   [`ChromeTracer`] renders banks as tracks and commands as duration
+//!   slices in the Chrome trace-event JSON format (loadable in
+//!   [ui.perfetto.dev](https://ui.perfetto.dev)), and [`EpochRecorder`]
+//!   folds the stream into a gem5-style periodic time-series (bandwidth,
+//!   bus utilisation, row-hit rate, queue occupancy, power residency) dumped
+//!   as CSV or JSON lines.
+//!
+//! Probes observe and never influence: a hook receives data and returns
+//! nothing, so a traced simulation is byte-identical to an untraced one by
+//! construction — a property the `dramctrl` differential harness asserts
+//! end to end.
+//!
+//! # Example
+//!
+//! ```
+//! use dramctrl_obs::{ChromeTracer, CmdEvent, DramCmd, Probe};
+//!
+//! let mut t = ChromeTracer::new();
+//! t.dram_cmd(CmdEvent::act(0, 3, 42, 1_000, 13_500));
+//! t.dram_cmd(CmdEvent {
+//!     req: Some(7),
+//!     ..CmdEvent::data(DramCmd::Rd, 0, 3, 42, 14_500, 6_000, 64, false)
+//! });
+//! let json = t.to_json();
+//! assert!(json.contains("\"ACT\""));
+//! dramctrl_obs::json::validate(&json).unwrap();
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod chrome;
+mod epoch;
+pub mod json;
+mod probe;
+
+pub use chrome::ChromeTracer;
+pub use epoch::{EpochRecorder, EpochRow};
+pub use probe::{CmdEvent, DramCmd, NoProbe, PowerState, Probe};

@@ -130,6 +130,81 @@ impl Report {
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
     }
+
+    /// Machine-readable JSON rendering with a stable schema:
+    ///
+    /// ```json
+    /// {"prefix":"ctrl","entries":[
+    ///   {"name":"reads_accepted","type":"counter","value":1024},
+    ///   {"name":"bus_util","type":"scalar","value":0.895},
+    ///   {"name":"device","type":"text","value":"DDR3-1333"}]}
+    /// ```
+    ///
+    /// Entries keep their insertion order (the same order as the text
+    /// dump), counters stay integers, scalars use shortest round-trip
+    /// formatting (non-finite values become `null`), so equal reports
+    /// always serialise byte-identically — campaign reports, CLI runs and
+    /// the differential harness all share this one schema.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(64 + self.entries.len() * 32);
+        out.push_str("{\"prefix\":");
+        out.push_str(&json_str(&self.prefix));
+        out.push_str(",\"entries\":[");
+        for (i, (name, value)) in self.entries.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n{\"name\":");
+            out.push_str(&json_str(name));
+            match value {
+                Value::Counter(v) => {
+                    out.push_str(&format!(",\"type\":\"counter\",\"value\":{v}"));
+                }
+                Value::Scalar(v) => {
+                    out.push_str(",\"type\":\"scalar\",\"value\":");
+                    out.push_str(&json_f64(*v));
+                }
+                Value::Text(v) => {
+                    out.push_str(",\"type\":\"text\",\"value\":");
+                    out.push_str(&json_str(v));
+                }
+            }
+            out.push('}');
+        }
+        out.push_str("]}\n");
+        out
+    }
+}
+
+/// JSON string literal with the required escapes (kept local so the stats
+/// crate stays dependency-free).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Shortest round-trip JSON number; non-finite becomes `null`.
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_owned()
+    }
 }
 
 impl fmt::Display for Report {
@@ -197,6 +272,28 @@ mod tests {
         r.histogram("lat", &h);
         assert_eq!(r.get("lat.count"), Some(2.0));
         assert_eq!(r.get("lat.mean"), Some(15.0));
+    }
+
+    #[test]
+    fn json_schema_is_stable_and_valid() {
+        let mut r = Report::new("ctrl");
+        r.counter("reads", 1024);
+        r.scalar("util", 0.5);
+        r.scalar("bad", f64::NAN);
+        r.text("device", "DDR3 \"x64\"");
+        let json = r.to_json();
+        dramctrl_obs::json::validate(&json).expect("valid JSON");
+        assert!(json.starts_with("{\"prefix\":\"ctrl\",\"entries\":["));
+        assert!(json.contains("{\"name\":\"reads\",\"type\":\"counter\",\"value\":1024}"));
+        assert!(json.contains("{\"name\":\"util\",\"type\":\"scalar\",\"value\":0.5}"));
+        assert!(json.contains("{\"name\":\"bad\",\"type\":\"scalar\",\"value\":null}"));
+        assert!(
+            json.contains("{\"name\":\"device\",\"type\":\"text\",\"value\":\"DDR3 \\\"x64\\\"\"}")
+        );
+        // Equal reports serialise byte-identically.
+        assert_eq!(json, r.clone().to_json());
+        // Empty reports are still valid documents.
+        dramctrl_obs::json::validate(&Report::new("empty").to_json()).unwrap();
     }
 
     #[test]

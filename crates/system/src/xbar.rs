@@ -15,6 +15,7 @@ use dramctrl_mem::{
     ActivityStats, AddrMapping, CommonStats, Controller, MemCmd, MemRequest, MemResponse, MemSpec,
     Rejected,
 };
+use dramctrl_obs::{NoProbe, Probe};
 use dramctrl_stats::Report;
 
 /// A set of per-channel controllers behind an interleaving crossbar.
@@ -22,6 +23,11 @@ use dramctrl_stats::Report;
 /// The crossbar adds a fixed `latency` to every response (modelling its
 /// forward and return hops) and applies per-channel flow control: a
 /// request is rejected only if *its* channel is full.
+///
+/// Like the controllers, the crossbar carries a `dramctrl-obs` probe type
+/// parameter (default [`NoProbe`], compiled away): a live probe observes
+/// every routing decision via `xbar_route`. Per-channel DRAM activity is
+/// instead observed by giving each channel controller its own probe.
 ///
 /// # Example
 /// ```
@@ -49,10 +55,11 @@ use dramctrl_stats::Report;
 /// # }
 /// ```
 #[derive(Debug)]
-pub struct MultiChannel<C: Controller> {
+pub struct MultiChannel<C: Controller, P: Probe = NoProbe> {
     channels: Vec<C>,
     mapping: AddrMapping,
     latency: Tick,
+    probe: P,
 }
 
 /// Error constructing a [`MultiChannel`].
@@ -68,14 +75,25 @@ impl std::fmt::Display for XbarError {
 impl std::error::Error for XbarError {}
 
 impl<C: Controller> MultiChannel<C> {
-    /// Creates a crossbar over the given controllers, which must share one
-    /// device specification (organisation and mapping are read from the
-    /// first).
+    /// Creates an uninstrumented crossbar over the given controllers,
+    /// which must share one device specification (organisation and mapping
+    /// are read from the first).
     ///
     /// # Errors
     /// Returns an [`XbarError`] if no controllers are given or their specs
     /// differ.
     pub fn new(channels: Vec<C>, latency: Tick) -> Result<Self, XbarError> {
+        Self::with_probe(channels, latency, NoProbe)
+    }
+}
+
+impl<C: Controller, P: Probe> MultiChannel<C, P> {
+    /// Creates a crossbar with an attached instrumentation probe.
+    ///
+    /// # Errors
+    /// Returns an [`XbarError`] if no controllers are given or their specs
+    /// differ.
+    pub fn with_probe(channels: Vec<C>, latency: Tick, probe: P) -> Result<Self, XbarError> {
         let first = channels
             .first()
             .ok_or_else(|| XbarError("at least one channel required".into()))?;
@@ -90,6 +108,7 @@ impl<C: Controller> MultiChannel<C> {
             channels,
             mapping: AddrMapping::RoRaBaCoCh,
             latency,
+            probe,
         })
     }
 
@@ -98,6 +117,17 @@ impl<C: Controller> MultiChannel<C> {
     pub fn with_mapping(mut self, mapping: AddrMapping) -> Self {
         self.mapping = mapping;
         self
+    }
+
+    /// The attached instrumentation probe.
+    pub fn probe(&self) -> &P {
+        &self.probe
+    }
+
+    /// Consumes the crossbar, returning the channel controllers and the
+    /// probe (e.g. to collect per-channel tracers at the end of a run).
+    pub fn into_parts(self) -> (Vec<C>, P) {
+        (self.channels, self.probe)
     }
 
     /// Number of channels.
@@ -122,10 +152,14 @@ impl<C: Controller> MultiChannel<C> {
     }
 }
 
-impl<C: Controller> Controller for MultiChannel<C> {
+impl<C: Controller, P: Probe> Controller for MultiChannel<C, P> {
     fn try_send(&mut self, req: MemRequest, now: Tick) -> Result<(), Rejected> {
         let ch = self.route(req.addr);
-        self.channels[ch].try_send(req, now)
+        self.channels[ch].try_send(req, now)?;
+        if P::ENABLED {
+            self.probe.xbar_route(req.id.0, ch as u32, now);
+        }
+        Ok(())
     }
 
     fn can_accept(&self, cmd: MemCmd, addr: u64, size: u32) -> bool {

@@ -207,6 +207,60 @@ mod tests {
     }
 
     #[test]
+    fn messy_input_survives_full_round_trip() {
+        // Comments (leading and interior), blank lines, surrounding
+        // whitespace, lower-case commands, `0x`-less addresses and
+        // unaligned sizes must all survive
+        // parse → to_text → parse → replay.
+        let messy = "\
+# recorded by hand
+
+  0 r 40 64
+10 W 0xff8 64
+
+# a burst of unaligned accesses
+20 R 1fff 3
+20 w 0x2000 100
+\t30 R 0 1
+";
+        let first: TraceGen = messy.parse().unwrap();
+        assert_eq!(first.len(), 5);
+        assert_eq!(first.entries[0].addr, 0x40);
+        assert_eq!(first.entries[2].addr, 0x1fff);
+        assert_eq!(first.entries[2].size, 3);
+
+        let canonical = TraceGen::to_text(&first.entries);
+        let mut second: TraceGen = canonical.parse().unwrap();
+        assert_eq!(second.entries, first.entries);
+        // Canonical text is a fixed point.
+        assert_eq!(TraceGen::to_text(&second.entries), canonical);
+
+        // Replay matches the entries record for record.
+        let mut replayed = Vec::new();
+        while let Some((tick, req)) = second.next_request() {
+            replayed.push((tick, req.cmd, req.addr, req.size));
+        }
+        let expected: Vec<_> = first
+            .entries
+            .iter()
+            .map(|e| (e.tick, e.cmd, e.addr, e.size))
+            .collect();
+        assert_eq!(replayed, expected);
+    }
+
+    #[test]
+    fn extreme_values_round_trip() {
+        let entries = vec![TraceEntry {
+            tick: Tick::MAX,
+            cmd: MemCmd::Write,
+            addr: u64::MAX,
+            size: u32::MAX,
+        }];
+        let parsed: TraceGen = TraceGen::to_text(&entries).parse().unwrap();
+        assert_eq!(parsed.entries, entries);
+    }
+
+    #[test]
     fn rejects_descending_ticks() {
         let e = "100 R 0x0 64\n50 R 0x40 64".parse::<TraceGen>();
         assert!(e.unwrap_err().to_string().contains("non-decreasing"));
