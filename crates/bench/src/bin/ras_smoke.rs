@@ -1,0 +1,175 @@
+//! CI gate for the RAS subsystem: exercises fault injection, ECC and
+//! retry on **both** controller models and asserts
+//!
+//! 1. a fault-free (`ras: None` vs zero-rate `RasConfig`) run is
+//!    **byte-identical** through the CLI-visible report surface on both
+//!    models — the zero-cost guarantee,
+//! 2. a short faulty run at single-bit rates under SEC-DED corrects a
+//!    nonzero number of errors and goes silent only on the modelled
+//!    multi-symbol syndrome alias (never on a single-symbol fault),
+//!    again on both models,
+//! 3. a run with link errors retries and still completes every request,
+//! 4. seeded faulty runs are byte-for-byte deterministic.
+//!
+//! Exits non-zero on any violation. `--out FILE` writes the faulty-run
+//! RAS stats JSON for artifact upload; `--requests N` scales the
+//! workload.
+
+use dramctrl::{CtrlConfig, DramCtrl, EccMode, PagePolicy, RasConfig};
+use dramctrl_cycle::{CycleConfig, CycleCtrl};
+use dramctrl_mem::{presets, Controller};
+use dramctrl_traffic::{RandomGen, Tester, TrafficGen};
+
+/// Drops ras_* entries and per-line JSON closers so fault-free reports
+/// can be compared against unarmed ones.
+fn strip_ras(json: &str) -> String {
+    json.lines()
+        .filter(|l| !l.contains("\"ras_"))
+        .map(|l| l.trim_end_matches("]}").trim_end_matches(','))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+fn main() {
+    let mut requests: u64 = 20_000;
+    let mut out: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--requests" => {
+                requests = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--requests needs a number");
+            }
+            "--out" => out = Some(args.next().expect("--out needs a path")),
+            other => panic!("unknown argument {other:?}"),
+        }
+    }
+
+    let spec = presets::ddr3_1333_x64();
+    let gen = || -> Box<dyn TrafficGen> {
+        Box::new(RandomGen::new(0, 64 << 20, 64, 70, 0, requests, 42))
+    };
+    let tester = Tester::new(1_000_000, 1_000);
+
+    // 1. Fault-free transparency, both models.
+    {
+        let mut cfg = CtrlConfig::new(spec.clone());
+        cfg.page_policy = PagePolicy::OpenAdaptive;
+        let mut armed_cfg = cfg.clone();
+        armed_cfg.ras = Some(RasConfig::new(7)); // all rates zero
+        let mut plain = DramCtrl::new(cfg).expect("valid config");
+        let mut armed = DramCtrl::new(armed_cfg).expect("valid config");
+        let sp = tester.run(&mut gen(), &mut plain);
+        let sa = tester.run(&mut gen(), &mut armed);
+        assert_eq!(sp.duration, sa.duration, "event: RAS changed the duration");
+        let jp = plain.report("ctrl", sp.duration).to_json();
+        let ja = armed.report("ctrl", sa.duration).to_json();
+        assert_eq!(
+            strip_ras(&jp),
+            strip_ras(&ja),
+            "event: zero-rate RAS perturbed the report"
+        );
+
+        let cy_cfg = CycleConfig::new(spec.clone());
+        let mut cy_armed_cfg = cy_cfg.clone();
+        cy_armed_cfg.ras = Some(RasConfig::new(7));
+        let mut cy_plain = CycleCtrl::new(cy_cfg).expect("valid config");
+        let mut cy_armed = CycleCtrl::new(cy_armed_cfg).expect("valid config");
+        let sp = tester.run(&mut gen(), &mut cy_plain);
+        let sa = tester.run(&mut gen(), &mut cy_armed);
+        assert_eq!(sp.duration, sa.duration, "cycle: RAS changed the duration");
+        assert_eq!(
+            strip_ras(&cy_plain.report("ctrl", sp.duration).to_json()),
+            strip_ras(&cy_armed.report("ctrl", sa.duration).to_json()),
+            "cycle: zero-rate RAS perturbed the report"
+        );
+        println!("fault-free transparency: OK on both models ({requests} requests)");
+    }
+
+    // 2 + 4. Faulty runs at single-bit rates under SEC-DED, both models:
+    // corrected > 0, silent == 0, deterministic across repeats.
+    let ras = RasConfig::from_error_rate(2e11, 0xBEEF).with_ecc(EccMode::SecDed);
+    let run_ev = || {
+        let mut cfg = CtrlConfig::new(spec.clone());
+        cfg.page_policy = PagePolicy::OpenAdaptive;
+        cfg.ras = Some(ras.clone());
+        let mut ctrl = DramCtrl::new(cfg).expect("valid config");
+        let s = tester.run(&mut gen(), &mut ctrl);
+        let report = ctrl.report("ctrl", s.duration);
+        let log = ctrl.fault_model().expect("armed").log_text();
+        (report, log)
+    };
+    let run_cy = || {
+        let mut cfg = CycleConfig::new(spec.clone());
+        cfg.ras = Some(ras.clone());
+        let mut ctrl = CycleCtrl::new(cfg).expect("valid config");
+        let s = tester.run(&mut gen(), &mut ctrl);
+        let report = ctrl.report("ctrl", s.duration);
+        let log = ctrl.fault_model().expect("armed").log_text();
+        (report, log)
+    };
+    let mut stats_artifact = String::new();
+    type FaultyRun<'a> = &'a dyn Fn() -> (dramctrl_stats::Report, String);
+    for (model, run) in [
+        ("event", &run_ev as FaultyRun),
+        ("cycle", &run_cy as FaultyRun),
+    ] {
+        let (r1, log1) = run();
+        let (r2, log2) = run();
+        assert_eq!(
+            r1.to_json(),
+            r2.to_json(),
+            "{model}: faulty run not deterministic"
+        );
+        assert_eq!(log1, log2, "{model}: fault log not deterministic");
+        let corrected = r1.get("ras_corrected").expect("ras_corrected in report");
+        let silent = r1.get("ras_silent").expect("ras_silent in report");
+        let rank_failures = r1.get("ras_rank_failures").unwrap_or(0.0);
+        assert!(corrected > 0.0, "{model}: SEC-DED corrected no errors");
+        // SEC-DED never misses a single-symbol fault; the only silent
+        // outcomes allowed are the modelled 1-in-16 syndrome alias on
+        // multi-symbol rank failures.
+        assert!(
+            silent <= rank_failures,
+            "{model}: {silent} silent events but only {rank_failures} rank failures — \
+             a single-symbol fault escaped SEC-DED"
+        );
+        println!(
+            "faulty run ({model}): OK ({corrected} corrected, {silent} silent of \
+             {rank_failures} multi-symbol, {} log lines)",
+            log1.lines().count()
+        );
+        stats_artifact.push_str(&r1.to_json());
+    }
+
+    // 3. Link errors: bounded retry completes every request.
+    {
+        let mut link = RasConfig::new(0x5EED);
+        link.link_error_rate = 0.02;
+        let mut cfg = CtrlConfig::new(spec.clone());
+        cfg.ras = Some(link.clone());
+        let mut ctrl = DramCtrl::new(cfg).expect("valid config");
+        let s = tester.run(&mut gen(), &mut ctrl);
+        assert_eq!(
+            s.reads_completed + s.writes_completed + s.dropped,
+            requests,
+            "event: link-error retries lost requests"
+        );
+        let r = ctrl.report("ctrl", s.duration);
+        assert!(
+            r.get("ras_retries").expect("ras_retries") > 0.0,
+            "event: no retries at a 2% link error rate"
+        );
+        println!(
+            "link retries (event): OK ({} retries, every request completed)",
+            r.get("ras_retries").unwrap()
+        );
+    }
+
+    if let Some(path) = out {
+        std::fs::write(&path, &stats_artifact).unwrap_or_else(|e| panic!("writing {path:?}: {e}"));
+        println!("wrote RAS stats to {path}");
+    }
+}

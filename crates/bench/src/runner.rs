@@ -8,7 +8,7 @@
 //! the tester, read the summary — extracted once so that both the
 //! binaries and the `dramctrl-campaign` executor share it.
 
-use dramctrl::{CtrlConfig, DramCtrl, PagePolicy, SchedPolicy};
+use dramctrl::{CtrlConfig, DramCtrl, EccMode, FaultModel, PagePolicy, RasConfig, SchedPolicy};
 use dramctrl_campaign::{JobMetrics, JobSpec, Model, TrafficPattern};
 use dramctrl_cycle::{CycleConfig, CycleCtrl, CyclePagePolicy, CycleSched};
 use dramctrl_kernel::Tick;
@@ -117,6 +117,50 @@ pub fn gen_for_job(job: &JobSpec, spec: &MemSpec) -> Box<dyn TrafficGen> {
     }
 }
 
+/// The RAS configuration a job's `error_rate` axis implies: `None` at
+/// rate 0 (byte-identical to a build without the RAS subsystem), else a
+/// SEC-DED fault model seeded with the job seed.
+pub fn ras_for_job(job: &JobSpec) -> Option<RasConfig> {
+    (job.error_rate > 0.0)
+        .then(|| RasConfig::from_error_rate(job.error_rate, job.seed).with_ecc(EccMode::SecDed))
+}
+
+/// Tick budget armed on every event-model campaign controller: one hour
+/// of simulated time, orders of magnitude beyond any job in this
+/// repository. A controller that sails past it is stuck in a scheduling
+/// or retry livelock, and the watchdog turns that into a loud
+/// [`JobOutcome::Failed`](dramctrl_campaign::JobOutcome) instead of a
+/// silent never-ending worker.
+pub const JOB_TICK_BUDGET: Tick = 3_600_000_000_000_000;
+
+/// Sums the RAS counters of every channel's fault model into `m`
+/// (no-op when no fault model is armed).
+fn add_ras_metrics<'a>(m: &mut JobMetrics, fms: impl Iterator<Item = &'a FaultModel>) {
+    let mut sums: std::collections::BTreeMap<&'static str, u64> = std::collections::BTreeMap::new();
+    let mut any = false;
+    for fm in fms {
+        any = true;
+        for (name, v) in fm.stats().entries() {
+            *sums.entry(name).or_insert(0) += v;
+        }
+    }
+    if any {
+        for (name, v) in sums {
+            m.set(name, v as f64);
+        }
+    }
+}
+
+/// Panics with the stall diagnostic if any event controller tripped its
+/// watchdog (the campaign executor records the panic as a failed job).
+fn assert_no_stall<'a>(ctrls: impl Iterator<Item = &'a DramCtrl>) {
+    for c in ctrls {
+        if let Err(stall) = c.check_stall() {
+            panic!("{stall}");
+        }
+    }
+}
+
 /// Converts a run's [`TestSummary`] into campaign metrics.
 pub fn job_metrics(s: &TestSummary) -> JobMetrics {
     let mut m = JobMetrics::new();
@@ -152,57 +196,61 @@ pub fn run_job(job: &JobSpec) -> JobMetrics {
         .unwrap_or_else(|| panic!("unknown device preset '{}'", job.device));
     let mut gen = gen_for_job(job, &spec);
     let tester = std_tester();
-    let s = match job.model {
+    let ras = ras_for_job(job);
+    match job.model {
         Model::Event => {
+            let mk = |ch_total| {
+                let mut cfg = ev_cfg(spec.clone(), job.policy, job.sched, job.mapping, ch_total);
+                cfg.ras = ras.clone();
+                let mut ctrl = DramCtrl::new(cfg).expect("valid config");
+                ctrl.set_tick_budget(Some(JOB_TICK_BUDGET));
+                ctrl
+            };
             if job.channels <= 1 {
-                tester.run(
-                    &mut gen,
-                    &mut ev_ctrl_with(spec.clone(), job.policy, job.sched, job.mapping, 1),
-                )
+                let mut ctrl = mk(1);
+                let s = tester.run(&mut gen, &mut ctrl);
+                assert_no_stall(std::iter::once(&ctrl));
+                let mut m = job_metrics(&s);
+                add_ras_metrics(&mut m, ctrl.fault_model().into_iter());
+                m
             } else {
-                let ctrls = (0..job.channels)
-                    .map(|_| {
-                        ev_ctrl_with(
-                            spec.clone(),
-                            job.policy,
-                            job.sched,
-                            job.mapping,
-                            job.channels,
-                        )
-                    })
-                    .collect();
+                let ctrls = (0..job.channels).map(|_| mk(job.channels)).collect();
                 let mut xbar = MultiChannel::new(ctrls, 0)
                     .expect("valid crossbar")
                     .with_mapping(job.mapping);
-                tester.run(&mut gen, &mut xbar)
+                let s = tester.run(&mut gen, &mut xbar);
+                let (ctrls, _) = xbar.into_parts();
+                assert_no_stall(ctrls.iter());
+                let mut m = job_metrics(&s);
+                add_ras_metrics(&mut m, ctrls.iter().filter_map(DramCtrl::fault_model));
+                m
             }
         }
         Model::Cycle => {
+            let mk = |ch_total| {
+                let mut cfg = cy_cfg(spec.clone(), job.policy, job.sched, job.mapping, ch_total);
+                cfg.ras = ras.clone();
+                CycleCtrl::new(cfg).expect("valid config")
+            };
             if job.channels <= 1 {
-                tester.run(
-                    &mut gen,
-                    &mut cy_ctrl_with(spec.clone(), job.policy, job.sched, job.mapping, 1),
-                )
+                let mut ctrl = mk(1);
+                let s = tester.run(&mut gen, &mut ctrl);
+                let mut m = job_metrics(&s);
+                add_ras_metrics(&mut m, ctrl.fault_model().into_iter());
+                m
             } else {
-                let ctrls = (0..job.channels)
-                    .map(|_| {
-                        cy_ctrl_with(
-                            spec.clone(),
-                            job.policy,
-                            job.sched,
-                            job.mapping,
-                            job.channels,
-                        )
-                    })
-                    .collect();
+                let ctrls = (0..job.channels).map(|_| mk(job.channels)).collect();
                 let mut xbar = MultiChannel::new(ctrls, 0)
                     .expect("valid crossbar")
                     .with_mapping(job.mapping);
-                tester.run(&mut gen, &mut xbar)
+                let s = tester.run(&mut gen, &mut xbar);
+                let (ctrls, _) = xbar.into_parts();
+                let mut m = job_metrics(&s);
+                add_ras_metrics(&mut m, ctrls.iter().filter_map(CycleCtrl::fault_model));
+                m
             }
         }
-    };
-    job_metrics(&s)
+    }
 }
 
 /// Observability artifacts produced by [`run_job_observed`], ready to be
@@ -256,28 +304,33 @@ pub fn run_job_observed(job: &JobSpec, epoch_interval: Tick) -> (JobMetrics, Job
         .unwrap_or_else(|| panic!("unknown device preset '{}'", job.device));
     let mut gen = gen_for_job(job, &spec);
     let tester = std_tester();
+    let ras = ras_for_job(job);
     let probe = |ch: u32| {
         (
             ChromeTracer::for_channel(ch),
             EpochRecorder::new(epoch_interval),
         )
     };
-    let (s, report, probes) = match job.model {
+    let (m, report, probes, end) = match job.model {
         Model::Event => {
             let cfg = || {
-                ev_cfg(
+                let mut cfg = ev_cfg(
                     spec.clone(),
                     job.policy,
                     job.sched,
                     job.mapping,
                     job.channels,
-                )
+                );
+                cfg.ras = ras.clone();
+                cfg
             };
             if job.channels <= 1 {
                 let mut ctrl = DramCtrl::with_probe(cfg(), probe(0)).expect("valid config");
                 let s = tester.run(&mut gen, &mut ctrl);
                 let report = ctrl.report("ctrl", s.duration);
-                (s, report, vec![ctrl.into_probe()])
+                let mut m = job_metrics(&s);
+                add_ras_metrics(&mut m, ctrl.fault_model().into_iter());
+                (m, report, vec![ctrl.into_probe()], s.duration)
             } else {
                 let ctrls = (0..job.channels)
                     .map(|ch| DramCtrl::with_probe(cfg(), probe(ch)).expect("valid config"))
@@ -288,25 +341,31 @@ pub fn run_job_observed(job: &JobSpec, epoch_interval: Tick) -> (JobMetrics, Job
                 let s = tester.run(&mut gen, &mut xbar);
                 let report = xbar.report("system", s.duration);
                 let (ctrls, _) = xbar.into_parts();
+                let mut m = job_metrics(&s);
+                add_ras_metrics(&mut m, ctrls.iter().filter_map(DramCtrl::fault_model));
                 let probes = ctrls.into_iter().map(DramCtrl::into_probe).collect();
-                (s, report, probes)
+                (m, report, probes, s.duration)
             }
         }
         Model::Cycle => {
             let cfg = || {
-                cy_cfg(
+                let mut cfg = cy_cfg(
                     spec.clone(),
                     job.policy,
                     job.sched,
                     job.mapping,
                     job.channels,
-                )
+                );
+                cfg.ras = ras.clone();
+                cfg
             };
             if job.channels <= 1 {
                 let mut ctrl = CycleCtrl::with_probe(cfg(), probe(0)).expect("valid config");
                 let s = tester.run(&mut gen, &mut ctrl);
                 let report = ctrl.report("ctrl", s.duration);
-                (s, report, vec![ctrl.into_probe()])
+                let mut m = job_metrics(&s);
+                add_ras_metrics(&mut m, ctrl.fault_model().into_iter());
+                (m, report, vec![ctrl.into_probe()], s.duration)
             } else {
                 let ctrls = (0..job.channels)
                     .map(|ch| CycleCtrl::with_probe(cfg(), probe(ch)).expect("valid config"))
@@ -317,13 +376,15 @@ pub fn run_job_observed(job: &JobSpec, epoch_interval: Tick) -> (JobMetrics, Job
                 let s = tester.run(&mut gen, &mut xbar);
                 let report = xbar.report("system", s.duration);
                 let (ctrls, _) = xbar.into_parts();
+                let mut m = job_metrics(&s);
+                add_ras_metrics(&mut m, ctrls.iter().filter_map(CycleCtrl::fault_model));
                 let probes = ctrls.into_iter().map(CycleCtrl::into_probe).collect();
-                (s, report, probes)
+                (m, report, probes, s.duration)
             }
         }
     };
-    let artifacts = collect_artifacts(probes, &report, s.duration, epoch_interval);
-    (job_metrics(&s), artifacts)
+    let artifacts = collect_artifacts(probes, &report, end, epoch_interval);
+    (m, artifacts)
 }
 
 #[cfg(test)]
@@ -375,6 +436,43 @@ mod tests {
             assert!(art.epochs_csv.lines().count() > 1, "{}", job.label());
             dramctrl_obs::json::validate(&art.stats_json).expect("valid stats JSON");
         }
+    }
+
+    #[test]
+    fn faulty_jobs_complete_with_ras_metrics_on_both_models() {
+        let jobs = Campaign::new("ras", 21)
+            .models([Model::Event, Model::Cycle])
+            .channels([1, 2])
+            .read_pcts([70])
+            .requests([400])
+            .error_rates([2e11])
+            .expand();
+        for job in &jobs {
+            let m = run_job(job);
+            assert_eq!(
+                m.get("reads").unwrap() + m.get("writes").unwrap() + m.get("dropped").unwrap(),
+                400.0,
+                "{}",
+                job.label()
+            );
+            assert!(
+                m.get("ras_corrected").unwrap() + m.get("ras_transient_faults").unwrap() >= 0.0,
+                "RAS counters missing: {}",
+                job.label()
+            );
+            // Silent events can only be the multi-symbol syndrome alias.
+            assert!(
+                m.get("ras_silent").unwrap() <= m.get("ras_rank_failures").unwrap(),
+                "single-symbol fault escaped SEC-DED: {}",
+                job.label()
+            );
+            // Determinism across repeated runs, RAS counters included.
+            assert_eq!(m, run_job(job), "{}", job.label());
+        }
+        // Fault-free jobs carry no ras_* metrics at all.
+        let mut clean = jobs[0].clone();
+        clean.error_rate = 0.0;
+        assert_eq!(run_job(&clean).get("ras_corrected"), None);
     }
 
     #[test]

@@ -11,10 +11,11 @@
 
 use crate::report::{CampaignReport, JobMetrics, JobRecord};
 use crate::spec::{Campaign, JobSpec};
+use dramctrl_kernel::rng::splitmix64;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// What happened to one job.
 #[derive(Debug, Clone, PartialEq)]
@@ -69,6 +70,10 @@ pub struct ExecutorConfig {
     /// Maximum attempts per job (must be ≥ 1); a job failing this many
     /// times is recorded as [`JobOutcome::Failed`].
     pub max_attempts: u32,
+    /// Base backoff before the second attempt of a panicked job, in
+    /// milliseconds; doubles per further attempt, plus a deterministic
+    /// per-(job, attempt) jitter. `0` retries immediately.
+    pub retry_backoff_ms: u64,
     /// Progress reporting sink.
     pub progress: Progress,
 }
@@ -78,6 +83,7 @@ impl Default for ExecutorConfig {
         Self {
             workers: 0,
             max_attempts: 2,
+            retry_backoff_ms: 10,
             progress: Progress::Silent,
         }
     }
@@ -101,6 +107,12 @@ impl ExecutorConfig {
     /// Sets the retry bound.
     pub fn with_max_attempts(mut self, max_attempts: u32) -> Self {
         self.max_attempts = max_attempts;
+        self
+    }
+
+    /// Sets the base retry backoff in milliseconds (`0` disables it).
+    pub fn with_retry_backoff_ms(mut self, ms: u64) -> Self {
+        self.retry_backoff_ms = ms;
         self
     }
 
@@ -162,7 +174,7 @@ where
                 if i >= total {
                     break;
                 }
-                let outcome = run_one(&jobs[i], cfg.max_attempts, runner);
+                let outcome = run_one(&jobs[i], cfg, runner);
                 if tx.send((i, outcome)).is_err() {
                     break;
                 }
@@ -213,7 +225,7 @@ where
     }
 }
 
-fn run_one<F>(job: &JobSpec, max_attempts: u32, runner: &F) -> JobOutcome
+fn run_one<F>(job: &JobSpec, cfg: &ExecutorConfig, runner: &F) -> JobOutcome
 where
     F: Fn(&JobSpec) -> JobMetrics + Sync,
 {
@@ -223,15 +235,34 @@ where
         match catch_unwind(AssertUnwindSafe(|| runner(job))) {
             Ok(metrics) => return JobOutcome::Completed { metrics, attempts },
             Err(payload) => {
-                if attempts >= max_attempts {
+                if attempts >= cfg.max_attempts {
                     return JobOutcome::Failed {
                         panic_msg: panic_message(payload.as_ref()),
                         attempts,
                     };
                 }
+                let ms = retry_backoff_ms(cfg.retry_backoff_ms, job.seed, attempts);
+                if ms > 0 {
+                    std::thread::sleep(Duration::from_millis(ms));
+                }
             }
         }
     }
+}
+
+/// Backoff before re-running a job that has already panicked `attempt`
+/// times: exponential in the attempt count with a deterministic jitter
+/// derived from `(job_seed, attempt)` — never from the wall clock or the
+/// worker id — so reruns pace their retries identically at any worker
+/// count.
+fn retry_backoff_ms(base_ms: u64, job_seed: u64, attempt: u32) -> u64 {
+    if base_ms == 0 {
+        return 0;
+    }
+    let expo = base_ms.saturating_mul(1 << (attempt - 1).min(6));
+    let mut state = job_seed ^ u64::from(attempt).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    let jitter = splitmix64(&mut state) % (expo / 2 + 1);
+    expo + jitter
 }
 
 /// Extracts a human-readable message from a panic payload.
@@ -361,6 +392,26 @@ mod tests {
             assert_eq!(base.records, r.records);
             assert_eq!(base.to_jsonl(), r.to_jsonl());
         }
+    }
+
+    #[test]
+    fn retry_backoff_is_deterministic_and_exponential() {
+        // Same (seed, attempt) → same sleep; growth dominated by the
+        // doubling base; jitter bounded by half the base.
+        for seed in [0u64, 31, u64::MAX] {
+            for attempt in 1..=5u32 {
+                let a = retry_backoff_ms(10, seed, attempt);
+                let b = retry_backoff_ms(10, seed, attempt);
+                assert_eq!(a, b, "backoff must not depend on ambient state");
+                let expo = 10 * (1 << (attempt - 1));
+                assert!((expo..=expo + expo / 2).contains(&a));
+            }
+        }
+        // Different jobs spread out (not all identical).
+        let spread: std::collections::BTreeSet<u64> =
+            (0..16u64).map(|s| retry_backoff_ms(100, s, 1)).collect();
+        assert!(spread.len() > 1, "jitter never varies");
+        assert_eq!(retry_backoff_ms(0, 7, 3), 0, "zero base disables backoff");
     }
 
     #[test]

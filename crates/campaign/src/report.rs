@@ -134,7 +134,7 @@ impl CampaignReport {
                 out,
                 "{{\"campaign\":{},\"job\":{},\"seed\":{},\"device\":{},\"model\":{},\
                  \"policy\":{},\"sched\":{},\"mapping\":{},\"channels\":{},\"traffic\":{},\
-                 \"read_pct\":{},\"requests\":{}",
+                 \"read_pct\":{},\"requests\":{},\"error_rate\":{}",
                 json_str(&self.name),
                 j.index,
                 j.seed,
@@ -147,6 +147,7 @@ impl CampaignReport {
                 json_str(&j.traffic.to_string()),
                 j.read_pct,
                 j.requests,
+                json_f64(j.error_rate),
             )
             .expect("writing to String cannot fail");
             match &r.outcome {

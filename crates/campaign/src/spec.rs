@@ -112,6 +112,9 @@ pub struct JobSpec {
     pub read_pct: u8,
     /// Number of requests to inject.
     pub requests: u64,
+    /// RAS error rate (faults per gigabit-hour of simulated time); `0.0`
+    /// runs without a fault model.
+    pub error_rate: f64,
     /// Deterministic per-job seed derived from the campaign seed and
     /// `index`.
     pub seed: u64,
@@ -120,7 +123,7 @@ pub struct JobSpec {
 impl JobSpec {
     /// A compact human-readable label identifying this job.
     pub fn label(&self) -> String {
-        format!(
+        let mut label = format!(
             "{}/{}/{}/{}/{}/ch{}/{}/r{}/n{}",
             self.device,
             self.model,
@@ -131,7 +134,11 @@ impl JobSpec {
             self.traffic,
             self.read_pct,
             self.requests
-        )
+        );
+        if self.error_rate > 0.0 {
+            label.push_str(&format!("/e{}", self.error_rate));
+        }
+        label
     }
 }
 
@@ -187,6 +194,9 @@ pub struct Campaign {
     pub read_pcts: Vec<u8>,
     /// Request counts.
     pub request_counts: Vec<u64>,
+    /// RAS error rates (faults per gigabit-hour); `0.0` means no fault
+    /// model.
+    pub error_rates: Vec<f64>,
 }
 
 impl Campaign {
@@ -210,6 +220,7 @@ impl Campaign {
             }],
             read_pcts: vec![100],
             request_counts: vec![10_000],
+            error_rates: vec![0.0],
         }
     }
 
@@ -267,6 +278,13 @@ impl Campaign {
         self
     }
 
+    /// Replaces the error-rate axis (faults per gigabit-hour; `0.0` runs
+    /// fault-free).
+    pub fn error_rates(mut self, axis: impl IntoIterator<Item = f64>) -> Self {
+        self.error_rates = axis.into_iter().collect();
+        self
+    }
+
     /// Number of jobs the campaign expands into.
     pub fn len(&self) -> usize {
         self.devices.len()
@@ -278,6 +296,7 @@ impl Campaign {
             * self.traffic.len()
             * self.read_pcts.len()
             * self.request_counts.len()
+            * self.error_rates.len()
     }
 
     /// Whether the Cartesian product is empty (some axis has no values).
@@ -302,6 +321,7 @@ impl Campaign {
             ("traffic", self.traffic.len()),
             ("read_pcts", self.read_pcts.len()),
             ("request_counts", self.request_counts.len()),
+            ("error_rates", self.error_rates.len()),
         ] {
             assert!(len > 0, "campaign axis '{axis}' is empty");
         }
@@ -315,20 +335,23 @@ impl Campaign {
                                 for &traffic in &self.traffic {
                                     for &read_pct in &self.read_pcts {
                                         for &requests in &self.request_counts {
-                                            let index = jobs.len();
-                                            jobs.push(JobSpec {
-                                                index,
-                                                device: device.clone(),
-                                                model,
-                                                policy,
-                                                sched,
-                                                mapping,
-                                                channels,
-                                                traffic,
-                                                read_pct,
-                                                requests,
-                                                seed: job_seed(self.seed, index),
-                                            });
+                                            for &error_rate in &self.error_rates {
+                                                let index = jobs.len();
+                                                jobs.push(JobSpec {
+                                                    index,
+                                                    device: device.clone(),
+                                                    model,
+                                                    policy,
+                                                    sched,
+                                                    mapping,
+                                                    channels,
+                                                    traffic,
+                                                    read_pct,
+                                                    requests,
+                                                    error_rate,
+                                                    seed: job_seed(self.seed, index),
+                                                });
+                                            }
                                         }
                                     }
                                 }
@@ -398,6 +421,28 @@ mod tests {
         assert!(l.contains("event"));
         assert!(l.contains("open"));
         assert!(l.contains("linear"));
+    }
+
+    #[test]
+    fn error_rate_axis_expands_innermost_and_labels() {
+        let c = Campaign::new("ras", 5)
+            .read_pcts([0, 100])
+            .error_rates([0.0, 1e10, 1e12]);
+        assert_eq!(c.len(), 6);
+        let jobs = c.expand();
+        // Innermost: error rate varies fastest.
+        assert_eq!(jobs[0].error_rate, 0.0);
+        assert_eq!(jobs[1].error_rate, 1e10);
+        assert_eq!(jobs[2].error_rate, 1e12);
+        assert_eq!(jobs[3].read_pct, 100);
+        // The default single-valued axis leaves indices and seeds exactly
+        // as they were before the axis existed.
+        let plain = Campaign::new("ras", 5).read_pcts([0, 100]).expand();
+        assert_eq!(plain.len(), 2);
+        assert!(plain.iter().all(|j| j.error_rate == 0.0));
+        // Fault-free labels are unchanged; faulty ones name the rate.
+        assert_eq!(jobs[0].label(), plain[0].label());
+        assert!(jobs[1].label().ends_with("/e10000000000"));
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Tiny hand-rolled argument parsing (no external dependencies).
 
-use dramctrl::{PagePolicy, SchedPolicy};
+use dramctrl::{EccMode, PagePolicy, SchedPolicy};
 use dramctrl_kernel::Tick;
 use dramctrl_mem::{presets, AddrMapping, MemSpec};
 use std::collections::BTreeMap;
@@ -201,6 +201,30 @@ pub fn parse_sched(s: &str) -> Result<SchedPolicy, ArgError> {
     }
 }
 
+/// Parses an ECC mode name.
+pub fn parse_ecc(s: &str) -> Result<EccMode, ArgError> {
+    match s.to_ascii_lowercase().as_str() {
+        "none" => Ok(EccMode::None),
+        "secded" | "sec-ded" | "sec_ded" => Ok(EccMode::SecDed),
+        "chipkill" => Ok(EccMode::Chipkill),
+        other => err(format!(
+            "unknown ECC mode {other:?} (none, secded, chipkill)"
+        )),
+    }
+}
+
+/// Parses a `--ras` fault rate (faults per gigabit-hour).
+pub fn parse_ras_rate(s: &str) -> Result<f64, ArgError> {
+    s.parse::<f64>()
+        .ok()
+        .filter(|r| r.is_finite() && *r >= 0.0)
+        .ok_or_else(|| {
+            ArgError(format!(
+                "--ras: {s:?} is not a non-negative fault rate (faults per gigabit-hour, e.g. 2e11)"
+            ))
+        })
+}
+
 /// Parses an address mapping name.
 pub fn parse_mapping(s: &str) -> Result<AddrMapping, ArgError> {
     match s.to_ascii_lowercase().as_str() {
@@ -273,6 +297,18 @@ mod tests {
         assert_eq!(parse_device("wideio").unwrap().name, "WideIO-200-x128");
         assert!(parse_device("ddr3").is_err(), "ambiguous");
         assert!(parse_device("sram").is_err());
+    }
+
+    #[test]
+    fn ecc_and_ras_rate() {
+        assert_eq!(parse_ecc("SEC-DED").unwrap(), EccMode::SecDed);
+        assert_eq!(parse_ecc("chipkill").unwrap(), EccMode::Chipkill);
+        assert!(parse_ecc("parity").is_err());
+        assert_eq!(parse_ras_rate("2e11").unwrap(), 2e11);
+        assert_eq!(parse_ras_rate("0").unwrap(), 0.0);
+        assert!(parse_ras_rate("-1").is_err());
+        assert!(parse_ras_rate("NaN").is_err());
+        assert!(parse_ras_rate("lots").is_err());
     }
 
     #[test]

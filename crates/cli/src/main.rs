@@ -11,10 +11,10 @@
 mod args;
 
 use args::{
-    parse_device, parse_duration, parse_mapping, parse_policy, parse_sched, parse_size, ArgError,
-    Args,
+    parse_device, parse_duration, parse_ecc, parse_mapping, parse_policy, parse_ras_rate,
+    parse_sched, parse_size, ArgError, Args,
 };
-use dramctrl::{CtrlConfig, DramCtrl};
+use dramctrl::{CtrlConfig, DramCtrl, FaultModel, RasConfig};
 use dramctrl_cycle::{CycleConfig, CycleCtrl, CyclePagePolicy, CycleSched};
 use dramctrl_kernel::Tick;
 use dramctrl_mem::{presets, Controller, MemSpec};
@@ -55,6 +55,13 @@ RUN / RECORD OPTIONS:
     --powerdown DUR      enable power-down after this idle time
     --energy             also print the DRAMPower-style energy breakdown
 
+RAS OPTIONS (run and replay; faults are seeded and deterministic):
+    --ras RATE           inject faults at RATE transient upsets per
+                         gigabit-hour (e.g. 2e11); derived stuck-row,
+                         rank-failure and link-error rates scale with it
+    --ecc MODE           none|secded|chipkill (default secded;
+                         requires --ras)
+
 OBSERVABILITY OPTIONS (run and replay):
     --perfetto FILE      write a Chrome/Perfetto trace of every DRAM command
                          (open the file at https://ui.perfetto.dev)
@@ -79,6 +86,8 @@ Cartesian product runs in parallel with per-job deterministic seeds):
     --block N            request size in bytes (default 64)
     --stride N           dram-aware stride in bursts (default 8)
     --banks N            dram-aware banks (default 4)
+    --ras L              fault-rate axis, faults per gigabit-hour
+                         (default 0 = fault-free; e.g. 0,1e11,2e11)
     --seed N             campaign seed (default 1)
     --workers N          worker threads, 0 = all cores (default 0)
     --retries N          attempts per job before it is recorded failed (default 2)
@@ -94,7 +103,7 @@ fn main() -> ExitCode {
     let mut argv: Vec<String> = std::env::args().skip(1).collect();
     if argv.is_empty() {
         eprint!("{USAGE}");
-        return ExitCode::FAILURE;
+        return ExitCode::from(2);
     }
     let cmd = argv.remove(0);
     let result = match cmd.as_str() {
@@ -112,9 +121,10 @@ fn main() -> ExitCode {
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
-            eprintln!("error: {e}");
-            eprintln!("run `dramctrl help` for usage");
-            ExitCode::FAILURE
+            // One line, actionable, and the conventional usage-error code
+            // (2) so scripts can tell bad invocations from failed runs.
+            eprintln!("error: {e} (run `dramctrl help` for usage)");
+            ExitCode::from(2)
         }
     }
 }
@@ -156,6 +166,8 @@ const RUN_OPTS: &[&str] = &[
     "seed",
     "powerdown",
     "energy",
+    "ras",
+    "ecc",
     "o",
     "perfetto",
     "epochs",
@@ -242,6 +254,50 @@ impl ObsOpts {
     }
 }
 
+/// Builds the optional fault model config from `--ras` / `--ecc`.
+/// `--ecc` alone is rejected: an ECC mode without a fault rate has no
+/// observable effect, so the contradiction is surfaced instead of
+/// silently ignored.
+fn parse_ras_config(a: &Args) -> Result<Option<RasConfig>, ArgError> {
+    match (a.get("ras"), a.get("ecc")) {
+        (None, None) => Ok(None),
+        (None, Some(_)) => Err(ArgError(
+            "--ecc has no effect without --ras RATE; add --ras or drop --ecc".into(),
+        )),
+        (Some(rate), ecc) => {
+            let seed: u64 = a.parse_or("seed", 1u64)?;
+            let mut ras = RasConfig::from_error_rate(parse_ras_rate(rate)?, seed);
+            if let Some(mode) = ecc {
+                ras = ras.with_ecc(parse_ecc(mode)?);
+            }
+            Ok(Some(ras))
+        }
+    }
+}
+
+/// Prints the RAS summary line for an armed run; no-op when `--ras` was
+/// not given.
+fn print_ras(fm: Option<&FaultModel>) {
+    let Some(fm) = fm else { return };
+    let stats = fm.stats();
+    let get = |name: &str| {
+        stats
+            .entries()
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map_or(0, |(_, v)| *v)
+    };
+    println!(
+        "RAS                : {} corrected, {} uncorrectable, {} silent, {} retries, {} row remaps, {} rank(s) offlined",
+        get("ras_corrected"),
+        get("ras_uncorrected"),
+        get("ras_silent"),
+        get("ras_retries"),
+        get("ras_row_remaps"),
+        get("ras_ranks_offlined"),
+    );
+}
+
 struct WorkloadSpec {
     spec: MemSpec,
     gen: Box<dyn TrafficGen>,
@@ -315,6 +371,7 @@ fn run(argv: Vec<String>) -> Result<(), ArgError> {
     let sched = parse_sched(a.get("sched").unwrap_or("frfcfs"))?;
     let mapping = parse_mapping(a.get("mapping").unwrap_or("rorabacoch"))?;
     let obs = ObsOpts::parse(&a)?;
+    let ras = parse_ras_config(&a)?;
     let tester = Tester::new(1_000_000, 10_000);
 
     match a.get("model").unwrap_or("event") {
@@ -323,6 +380,7 @@ fn run(argv: Vec<String>) -> Result<(), ArgError> {
             cfg.page_policy = policy;
             cfg.scheduling = sched;
             cfg.mapping = mapping;
+            cfg.ras = ras;
             if let Some(pd) = a.get("powerdown") {
                 cfg.powerdown_idle = parse_duration(pd)?;
             }
@@ -331,6 +389,7 @@ fn run(argv: Vec<String>) -> Result<(), ArgError> {
             let summary = tester.run(&mut gen, &mut ctrl);
             println!("== {} (event-based model) ==", spec.name);
             print_summary(&summary, &spec);
+            print_ras(ctrl.fault_model());
             let act = Controller::activity(&mut ctrl, summary.duration);
             let power = micron_power(&spec, &act);
             println!("DRAM power         : {:.1} mW", power.total_mw());
@@ -353,11 +412,13 @@ fn run(argv: Vec<String>) -> Result<(), ArgError> {
                 dramctrl::SchedPolicy::FrFcfs => CycleSched::FrFcfs,
             };
             cfg.mapping = mapping;
+            cfg.ras = ras;
             let mut ctrl =
                 CycleCtrl::with_probe(cfg, obs.probe()).map_err(|e| ArgError(e.to_string()))?;
             let summary = tester.run(&mut gen, &mut ctrl);
             println!("== {} (cycle-based baseline) ==", spec.name);
             print_summary(&summary, &spec);
+            print_ras(ctrl.fault_model());
             let act = Controller::activity(&mut ctrl, summary.duration);
             println!(
                 "DRAM power         : {:.1} mW",
@@ -373,8 +434,8 @@ fn run(argv: Vec<String>) -> Result<(), ArgError> {
 
 const SWEEP_OPTS: &[&str] = &[
     "devices", "models", "policies", "scheds", "mappings", "channels", "gens", "reads", "requests",
-    "range", "block", "stride", "banks", "seed", "workers", "retries", "jsonl", "csv", "quiet",
-    "obs-dir",
+    "range", "block", "stride", "banks", "ras", "seed", "workers", "retries", "jsonl", "csv",
+    "quiet", "obs-dir",
 ];
 
 fn sweep(argv: Vec<String>) -> Result<(), ArgError> {
@@ -457,6 +518,11 @@ fn sweep(argv: Vec<String>) -> Result<(), ArgError> {
         })
         .collect::<Result<Vec<_>, _>>()?;
 
+    let error_rates = list("ras", "0")?
+        .iter()
+        .map(|r| parse_ras_rate(r))
+        .collect::<Result<Vec<_>, _>>()?;
+
     let seed: u64 = a.parse_or("seed", 1u64)?;
     let campaign = Campaign::new("sweep", seed)
         .devices(devices)
@@ -467,7 +533,8 @@ fn sweep(argv: Vec<String>) -> Result<(), ArgError> {
         .channels(channels)
         .traffic(traffic)
         .read_pcts(reads)
-        .requests(requests);
+        .requests(requests)
+        .error_rates(error_rates);
 
     let cfg = ExecutorConfig {
         workers: a.parse_or("workers", 0usize)?,
@@ -483,6 +550,7 @@ fn sweep(argv: Vec<String>) -> Result<(), ArgError> {
         } else {
             Progress::Stderr
         },
+        ..ExecutorConfig::default()
     };
     eprintln!("sweep: {} jobs, seed {}", campaign.len(), seed);
     let report = match a.get("obs-dir") {
@@ -558,6 +626,10 @@ fn replay(argv: Vec<String>) -> Result<(), ArgError> {
     let [path] = a.positional() else {
         return Err(ArgError("replay needs exactly one trace file".into()));
     };
+    // Validate the flag set before touching the filesystem so a
+    // contradictory invocation is diagnosed as such even when the trace
+    // path is also bad.
+    let ras = parse_ras_config(&a)?;
     let text =
         std::fs::read_to_string(path).map_err(|e| ArgError(format!("reading {path:?}: {e}")))?;
     let mut trace: TraceGen = text.parse().map_err(|e| ArgError(format!("{e}")))?;
@@ -567,10 +639,12 @@ fn replay(argv: Vec<String>) -> Result<(), ArgError> {
     cfg.page_policy = parse_policy(a.get("policy").unwrap_or("open"))?;
     cfg.scheduling = parse_sched(a.get("sched").unwrap_or("frfcfs"))?;
     cfg.mapping = parse_mapping(a.get("mapping").unwrap_or("rorabacoch"))?;
+    cfg.ras = ras;
     let mut ctrl = DramCtrl::with_probe(cfg, obs.probe()).map_err(|e| ArgError(e.to_string()))?;
     let summary = Tester::new(1_000_000, 10_000).run(&mut trace, &mut ctrl);
     println!("== replay of {} on {} ==", path, spec.name);
     print_summary(&summary, &spec);
+    print_ras(ctrl.fault_model());
     obs.write_stats(&Controller::report(&ctrl, "ctrl", summary.duration))?;
     obs.write_probe(ctrl.into_probe(), summary.duration)?;
     Ok(())

@@ -103,6 +103,18 @@ fn record_then_replay_round_trips() {
     assert!(text.contains("LPDDR3"));
 }
 
+/// Asserts a bad invocation exits with the usage-error code (2) and a
+/// single actionable `error:` line on stderr, never a panic.
+fn assert_usage_error(args: &[&str]) -> String {
+    let out = dramctrl().args(args).output().unwrap();
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert_eq!(out.status.code(), Some(2), "{args:?} should exit 2: {err}");
+    let error_lines: Vec<_> = err.lines().filter(|l| l.starts_with("error:")).collect();
+    assert_eq!(error_lines.len(), 1, "{args:?} wants one error line: {err}");
+    assert!(!err.contains("panicked"), "{args:?} panicked: {err}");
+    error_lines[0].to_owned()
+}
+
 #[test]
 fn bad_arguments_fail_cleanly() {
     for args in [
@@ -111,10 +123,107 @@ fn bad_arguments_fail_cleanly() {
         vec!["frobnicate"],
         vec!["replay"],
         vec!["run", "--reads", "150"],
+        vec!["run", "--ras", "-3"],
+        vec!["run", "--ras", "2e11", "--ecc", "parity"],
+        vec!["sweep", "--ras", "1e11,banana"],
     ] {
-        let out = dramctrl().args(&args).output().unwrap();
-        assert!(!out.status.success(), "{args:?} should fail");
-        let err = String::from_utf8(out.stderr).unwrap();
-        assert!(err.contains("error:"), "{args:?}: {err}");
+        assert_usage_error(&args);
     }
+}
+
+#[test]
+fn unknown_preset_exits_2_with_available_list() {
+    let err = assert_usage_error(&["run", "--device", "sram"]);
+    assert!(
+        err.contains("unknown device") && err.contains("available:"),
+        "message should name the alternatives: {err}"
+    );
+}
+
+#[test]
+fn malformed_trace_exits_2() {
+    let dir = std::env::temp_dir().join("dramctrl-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let bad = dir.join("garbage.trace");
+    std::fs::write(&bad, "0 FROB 0x10 64\nnot a trace line\n").unwrap();
+    assert_usage_error(&["replay", bad.to_str().unwrap()]);
+    // A missing file is the same class of error, not a panic.
+    assert_usage_error(&["replay", "/nonexistent/trace.txt"]);
+}
+
+#[test]
+fn contradictory_ras_flags_exit_2() {
+    let err = assert_usage_error(&["run", "--ecc", "secded", "--requests", "100"]);
+    assert!(err.contains("--ras"), "should point at the fix: {err}");
+    let err = assert_usage_error(&["replay", "x.trace", "--ecc", "none"]);
+    assert!(err.contains("--ras"), "should point at the fix: {err}");
+}
+
+#[test]
+fn ras_run_reports_fault_statistics() {
+    let out = dramctrl()
+        .args([
+            "run",
+            "--requests",
+            "5000",
+            "--gen",
+            "random",
+            "--reads",
+            "70",
+            "--ras",
+            "2e11",
+            "--ecc",
+            "secded",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("requests completed : 5000"), "{text}");
+    assert!(
+        text.contains("RAS") && text.contains("corrected"),
+        "armed run should print the RAS line: {text}"
+    );
+}
+
+#[test]
+fn sweep_error_rate_axis_runs_fault_free_and_faulty_jobs() {
+    let dir = std::env::temp_dir().join("dramctrl-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let jsonl = dir.join("ras-sweep.jsonl");
+    let out = dramctrl()
+        .args([
+            "sweep",
+            "--requests",
+            "2000",
+            "--models",
+            "event,cycle",
+            "--ras",
+            "0,2e11",
+            "--quiet",
+            "--jsonl",
+            jsonl.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let records = std::fs::read_to_string(&jsonl).unwrap();
+    assert_eq!(records.lines().count(), 4, "2 models x 2 rates");
+    assert!(
+        records.contains("\"error_rate\":200000000000") && records.contains("\"error_rate\":0"),
+        "JSONL should carry the error-rate axis: {records}"
+    );
+    assert!(
+        records.contains("\"ras_corrected\""),
+        "faulty jobs should report RAS metrics: {records}"
+    );
+    assert!(!records.contains("\"outcome\":\"failed\""), "{records}");
 }

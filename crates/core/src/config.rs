@@ -2,6 +2,7 @@
 
 use dramctrl_kernel::Tick;
 use dramctrl_mem::{AddrMapping, MemSpec};
+use dramctrl_ras::RasConfig;
 use std::fmt;
 
 /// Row-buffer management policy (paper Section II-C).
@@ -108,6 +109,11 @@ pub struct CtrlConfig {
     /// requirements). Higher is more important; sources beyond the end of
     /// the vector get priority 0. Empty disables QoS (all traffic equal).
     pub qos_priorities: Vec<u8>,
+    /// Reliability model: fault injection, ECC and recovery
+    /// (`dramctrl-ras`). `None` — the default — compiles and runs
+    /// byte-identically to a build without any RAS support (asserted by the
+    /// differential harness).
+    pub ras: Option<RasConfig>,
 }
 
 impl CtrlConfig {
@@ -133,6 +139,7 @@ impl CtrlConfig {
             powerdown_idle: 0,
             selfrefresh_after: 0,
             qos_priorities: Vec::new(),
+            ras: None,
         }
     }
 
@@ -190,6 +197,9 @@ impl CtrlConfig {
             return Err(ConfigError(
                 "selfrefresh_after requires powerdown_idle".into(),
             ));
+        }
+        if let Some(ras) = &self.ras {
+            ras.validate().map_err(|e| ConfigError(e.to_string()))?;
         }
         Ok(())
     }

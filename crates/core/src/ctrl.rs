@@ -2,9 +2,10 @@
 
 use std::fmt;
 
-use dramctrl_kernel::{EventQueue, Tick};
+use dramctrl_kernel::{EventQueue, SimStall, Tick};
 use dramctrl_mem::{ActivityStats, MemCmd, MemRequest, MemResponse};
-use dramctrl_obs::{CmdEvent, DramCmd, NoProbe, PowerState, Probe};
+use dramctrl_obs::{CmdEvent, DramCmd, NoProbe, PowerState, Probe, RasMark};
+use dramctrl_ras::{BurstOutcome, FaultModel, RasGeometry};
 
 use crate::bank::Rank;
 use crate::config::{ConfigError, CtrlConfig, PagePolicy, SchedPolicy};
@@ -61,6 +62,9 @@ enum Ev {
     PowerDownCheck,
     /// Powered down long enough? Consider descending into self-refresh.
     SelfRefreshCheck,
+    /// Re-enqueue a burst whose transfer hit a link error (RAS retry,
+    /// carrying the packet through its backoff delay).
+    Retry(DramPacket),
 }
 
 /// Data-bus direction.
@@ -135,6 +139,9 @@ pub struct DramCtrl<P: Probe = NoProbe> {
     pd_check_scheduled: bool,
     last_activity: Tick,
     stats: CtrlStats,
+    /// Fault injection / ECC / recovery state (`None` without RAS — the
+    /// hot paths then short-circuit to exactly the fault-free code).
+    fault: Option<FaultModel>,
 }
 
 impl DramCtrl {
@@ -193,6 +200,17 @@ impl<P: Probe> DramCtrl<P> {
         let read_q = SchedQueue::new(org.ranks, org.banks, cfg.read_buffer_size);
         let write_q = SchedQueue::new(org.ranks, org.banks, cfg.write_buffer_size);
         let groups = GroupArena::with_capacity(cfg.read_buffer_size);
+        let fault = cfg.ras.clone().map(|ras| {
+            FaultModel::new(
+                ras,
+                RasGeometry {
+                    ranks: org.ranks,
+                    banks: org.banks,
+                    row_bytes: org.row_buffer_bytes(),
+                    rank_bytes: org.capacity_bytes() / u64::from(org.ranks),
+                },
+            )
+        });
         Ok(Self {
             cfg,
             probe,
@@ -213,6 +231,7 @@ impl<P: Probe> DramCtrl<P> {
             pd_check_scheduled: false,
             last_activity: 0,
             stats: CtrlStats::default(),
+            fault,
         })
     }
 
@@ -239,6 +258,42 @@ impl<P: Probe> DramCtrl<P> {
     /// Accumulated statistics.
     pub fn stats(&self) -> &CtrlStats {
         &self.stats
+    }
+
+    /// The fault model, when the configuration enables RAS.
+    pub fn fault_model(&self) -> Option<&FaultModel> {
+        self.fault.as_ref()
+    }
+
+    /// Arms (or disarms) the kernel watchdog's tick budget: once simulated
+    /// time passes `budget`, [`check_stall`](Self::check_stall) reports a
+    /// [`SimStall`].
+    pub fn set_tick_budget(&mut self, budget: Option<Tick>) {
+        self.events.set_tick_budget(budget);
+    }
+
+    /// Runs the kernel no-progress watchdog: queued bursts with no pending
+    /// event, or an exceeded tick budget, yield a [`SimStall`] carrying a
+    /// controller state summary. Cheap enough to call every drain
+    /// iteration.
+    ///
+    /// # Errors
+    /// Returns the diagnosed [`SimStall`] so drivers can fail loudly
+    /// instead of hanging.
+    pub fn check_stall(&self) -> Result<(), SimStall> {
+        let outstanding = self.read_q.len() + self.write_q.len();
+        self.events.check_progress(outstanding, || {
+            format!(
+                "read_q={} write_q={} bus_state={:?} bus_busy_until={} draining={} \
+                 last_activity={}",
+                self.read_q.len(),
+                self.write_q.len(),
+                self.bus_state,
+                self.bus_busy_until,
+                self.draining,
+                self.last_activity,
+            )
+        })
     }
 
     /// Whether a request of `cmd`/`addr`/`size` would currently be
@@ -372,7 +427,12 @@ impl<P: Probe> DramCtrl<P> {
                 self.stats.forwarded_reads += 1;
                 continue;
             }
-            let da = self.cfg.mapping.decode(burst_addr, org, self.cfg.channels);
+            let mut da = self.cfg.mapping.decode(burst_addr, org, self.cfg.channels);
+            if let Some(fm) = &self.fault {
+                if fm.offline_mask() != 0 {
+                    da.rank = dramctrl_mem::remap_rank(da.rank, fm.offline_mask(), org.ranks);
+                }
+            }
             self.read_q.push(DramPacket {
                 is_read: true,
                 burst_addr,
@@ -383,6 +443,7 @@ impl<P: Probe> DramCtrl<P> {
                 priority: self.cfg.priority_of(req.source),
                 group: Some(gidx),
                 seq: 0, // stamped by push
+                retries: 0,
             });
             pending += 1;
         }
@@ -416,7 +477,12 @@ impl<P: Probe> DramCtrl<P> {
                 self.stats.merged_writes += 1;
                 continue;
             }
-            let da = self.cfg.mapping.decode(burst_addr, org, self.cfg.channels);
+            let mut da = self.cfg.mapping.decode(burst_addr, org, self.cfg.channels);
+            if let Some(fm) = &self.fault {
+                if fm.offline_mask() != 0 {
+                    da.rank = dramctrl_mem::remap_rank(da.rank, fm.offline_mask(), org.ranks);
+                }
+            }
             self.write_q.push(DramPacket {
                 is_read: false,
                 burst_addr,
@@ -427,6 +493,7 @@ impl<P: Probe> DramCtrl<P> {
                 priority: self.cfg.priority_of(req.source),
                 group: None,
                 seq: 0, // stamped by push
+                retries: 0,
             });
         }
         self.stats.wrq_occ.update(self.write_q.len(), now);
@@ -487,6 +554,7 @@ impl<P: Probe> DramCtrl<P> {
                     self.process_pd_check(t);
                 }
                 Ev::SelfRefreshCheck => self.process_sr_check(t),
+                Ev::Retry(pkt) => self.process_retry(pkt, t),
             }
         }
     }
@@ -582,6 +650,50 @@ impl<P: Probe> DramCtrl<P> {
 
         let (data_start, data_end) = self.do_access(&pkt, now);
 
+        // RAS: classify the burst against the fault model; a link error
+        // (write CRC / CA parity) re-enqueues the packet after a bounded
+        // exponential backoff instead of completing it.
+        if self.fault.is_some() && self.ras_check(&pkt, data_end) {
+            let mut pkt = pkt;
+            let attempt = pkt.retries;
+            pkt.retries += 1;
+            pkt.priority = u8::MAX; // retried bursts are served first
+            let fm = self.fault.as_mut().expect("checked above");
+            fm.note_retry();
+            let delay = fm.retry_delay(u32::from(attempt));
+            if P::ENABLED {
+                self.probe.ras_event(
+                    pkt.da.rank,
+                    pkt.da.bank,
+                    pkt.da.row,
+                    RasMark::Retry,
+                    data_end,
+                );
+            }
+            // The bus was consumed even though the data is discarded, so
+            // the write-switch accounting below must still run for writes;
+            // read completion is what the retry defers.
+            if !pkt.is_read {
+                self.writes_this_switch += 1;
+                let switch_back = self.write_q.is_empty()
+                    || (!self.read_q.is_empty()
+                        && self.writes_this_switch >= self.cfg.min_writes_per_switch)
+                    || (self.read_q.is_empty()
+                        && !self.draining
+                        && !self.pd_drain
+                        && self.write_q.len() < self.cfg.write_low_entries());
+                if switch_back {
+                    self.bus_state = BusState::Read;
+                }
+            }
+            self.events
+                .schedule((data_end + delay).max(self.events.now()), Ev::Retry(pkt));
+            if !self.read_q.is_empty() || !self.write_q.is_empty() {
+                self.schedule_next_req(now);
+            }
+            return;
+        }
+
         if pkt.is_read {
             let ready = data_end + self.cfg.frontend_latency + self.cfg.backend_latency;
             self.stats.queue_lat.record((now - pkt.entry_time) as f64);
@@ -626,6 +738,75 @@ impl<P: Probe> DramCtrl<P> {
         } else {
             self.maybe_schedule_pd_check(now);
         }
+    }
+
+    // ------------------------------------------------------------------
+    // RAS (fault injection, ECC, retry and degradation; `dramctrl-ras`)
+    // ------------------------------------------------------------------
+
+    /// Runs the fault model on a just-transferred burst. Counts and marks
+    /// every outcome; returns `true` when the burst hit a link error with
+    /// retry budget left, telling the caller to re-enqueue it.
+    fn ras_check(&mut self, pkt: &DramPacket, data_end: Tick) -> bool {
+        let fm = self.fault.as_mut().expect("caller checked fault.is_some()");
+        let rep = fm.check(pkt.da.rank, pkt.da.bank, pkt.da.row, pkt.is_read, data_end);
+        let max_retries = fm.max_retries();
+        let mut retry = false;
+        let mark = match rep.outcome {
+            BurstOutcome::Clean => None,
+            BurstOutcome::Corrected => Some(RasMark::Corrected),
+            BurstOutcome::Uncorrected => Some(RasMark::Uncorrected),
+            BurstOutcome::Silent => Some(RasMark::Silent),
+            BurstOutcome::LinkError => {
+                if u32::from(pkt.retries) < max_retries {
+                    retry = true;
+                    None // the caller emits the Retry mark
+                } else {
+                    fm.note_retry_exhausted();
+                    Some(RasMark::Uncorrected)
+                }
+            }
+        };
+        if P::ENABLED {
+            if let Some(mark) = mark {
+                self.probe
+                    .ras_event(pkt.da.rank, pkt.da.bank, pkt.da.row, mark, data_end);
+            }
+            if rep.remapped {
+                self.probe.ras_event(
+                    pkt.da.rank,
+                    pkt.da.bank,
+                    pkt.da.row,
+                    RasMark::Remap,
+                    data_end,
+                );
+            }
+            if let Some(r) = rep.offlined_rank {
+                self.probe
+                    .ras_event(r, 0, 0, RasMark::RankOffline, data_end);
+            }
+        }
+        retry
+    }
+
+    /// Returns a retried packet to its queue at elevated priority once the
+    /// backoff delay has elapsed.
+    fn process_retry(&mut self, pkt: DramPacket, now: Tick) {
+        self.last_activity = self.last_activity.max(now);
+        self.pd_drain = false;
+        self.wake_ranks(now);
+        if pkt.is_read {
+            self.read_q.push(pkt);
+            self.stats.rdq_occ.update(self.read_q.len(), now);
+        } else {
+            self.write_q.push(pkt);
+            self.stats.wrq_occ.update(self.write_q.len(), now);
+        }
+        if P::ENABLED {
+            self.probe
+                .queue_depth(self.read_q.len(), self.write_q.len(), now);
+        }
+        self.schedule_next_req(now);
     }
 
     // ------------------------------------------------------------------
@@ -1184,9 +1365,22 @@ impl<P: Probe> DramCtrl<P> {
         }
     }
 
-    /// Full statistics report at time `now`.
+    /// Full statistics report at time `now`. With RAS configured the
+    /// report gains the `ras_*` error/retry/degradation counters and the
+    /// usable capacity left after rank offlining; without RAS the report
+    /// is byte-identical to a build that never heard of faults.
     pub fn report(&self, prefix: &str, now: Tick) -> dramctrl_stats::Report {
-        self.stats.report(prefix, now, &self.cfg)
+        let mut r = self.stats.report(prefix, now, &self.cfg);
+        if let Some(fm) = &self.fault {
+            for (name, v) in fm.stats().entries() {
+                r.counter(name, v);
+            }
+            r.counter(
+                "ras_usable_capacity_bytes",
+                dramctrl_mem::degraded_capacity_bytes(&self.cfg.spec.org, fm.offline_mask()),
+            );
+        }
+        r
     }
 }
 

@@ -158,6 +158,80 @@ pub fn assert_probe_transparent(
     (summary, probe)
 }
 
+/// Drives a controller with `ras: None` and one armed with a zero-rate
+/// [`RasConfig`](dramctrl_ras::RasConfig) in lockstep over `requests`,
+/// asserting the RAS plumbing is invisible when no fault can fire:
+/// byte-identical acceptance decisions, response streams and drain ticks,
+/// a byte-identical statistics report once the armed run's `ras_*` entries
+/// are stripped — and every one of those `ras_*` counters zero.
+///
+/// # Panics
+/// Panics on the first divergence, or if `cfg` already has RAS configured.
+pub fn assert_ras_transparent(cfg: &CtrlConfig, requests: &[(Tick, MemRequest)]) -> DiffSummary {
+    assert!(cfg.ras.is_none(), "pass a fault-free base config");
+    let mut armed_cfg = cfg.clone();
+    armed_cfg.ras = Some(dramctrl_ras::RasConfig::new(0xA5));
+    let mut plain = DramCtrl::new(cfg.clone()).expect("valid config");
+    let mut armed = DramCtrl::new(armed_cfg).expect("valid config");
+    let mut presp = Vec::new();
+    let mut aresp = Vec::new();
+    let mut accepted = 0;
+    let mut rejected = 0;
+    for &(t, req) in requests {
+        plain.advance_to(t, &mut presp);
+        armed.advance_to(t, &mut aresp);
+        assert_eq!(
+            presp, aresp,
+            "zero-rate RAS perturbed the response stream before tick {t}"
+        );
+        let sent = plain.try_send(req, t);
+        assert_eq!(
+            sent,
+            armed.try_send(req, t),
+            "zero-rate RAS perturbed flow control at tick {t} for {req:?}"
+        );
+        if sent.is_ok() {
+            accepted += 1;
+        } else {
+            rejected += 1;
+        }
+    }
+    let pt = plain.drain(&mut presp);
+    let at = armed.drain(&mut aresp);
+    assert_eq!(pt, at, "zero-rate RAS perturbed the drain tick");
+    assert_eq!(
+        presp, aresp,
+        "zero-rate RAS perturbed the final response stream"
+    );
+    // Compare the JSON reports (stable schema, no column alignment to
+    // disturb) after stripping the armed run's `ras_*` entries.
+    // One entry per line; the document closer `]}` sits on whichever line
+    // is last, so trim it off along with the entry separator.
+    let strip_ras = |json: String| -> String {
+        json.lines()
+            .filter(|l| !l.contains("\"ras_"))
+            .map(|l| l.trim_end_matches("]}").trim_end_matches(','))
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    assert_eq!(
+        strip_ras(plain.report("ctrl", pt).to_json()),
+        strip_ras(armed.report("ctrl", at).to_json()),
+        "zero-rate RAS perturbed the statistics report"
+    );
+    let fm = armed.fault_model().expect("armed controller carries RAS");
+    for (name, v) in fm.stats().entries() {
+        assert_eq!(v, 0, "zero-rate RAS counted {name}={v}");
+    }
+    assert!(fm.log().is_empty(), "zero-rate RAS logged faults");
+    DiffSummary {
+        accepted,
+        rejected,
+        responses: aresp.len(),
+        drain_tick: at,
+    }
+}
+
 /// Generates a deterministic random request stream that exercises every
 /// controller path the indices touch: row hits and conflicts (a hot
 /// region), bank spread (a wide region), write merging and read forwarding
@@ -219,6 +293,7 @@ mod tests {
     use super::*;
     use crate::config::{PagePolicy, SchedPolicy};
     use dramctrl_mem::presets;
+    use dramctrl_ras::EccMode;
 
     fn cfg_matrix() -> Vec<CtrlConfig> {
         let mut cfgs = Vec::new();
@@ -347,5 +422,114 @@ mod tests {
         let wl = random_workload(0x9D, 120, 1);
         let summary = assert_equivalent(&cfg, &wl);
         assert!(summary.responses > 0);
+    }
+
+    /// A zero-rate fault model is invisible across the whole policy ×
+    /// scheduler matrix, with power-down, and at one and four channels.
+    #[test]
+    fn zero_rate_ras_is_transparent_across_policies_and_channels() {
+        for (i, cfg) in cfg_matrix().into_iter().enumerate() {
+            let wl = random_workload(0x9A5 + i as u64, 120, 1);
+            let summary = assert_ras_transparent(&cfg, &wl);
+            assert!(summary.responses > 0);
+            let mut multi = cfg.clone();
+            multi.channels = 4;
+            for sub in split_by_channel(&wl, 4) {
+                if !sub.is_empty() {
+                    assert_ras_transparent(&multi, &sub);
+                }
+            }
+        }
+        let mut pd = CtrlConfig::new(presets::ddr3_1333_x64());
+        pd.powerdown_idle = 200_000;
+        pd.selfrefresh_after = 400_000;
+        assert_ras_transparent(&pd, &random_workload(0x9A5F, 120, 1));
+    }
+
+    /// Runs a faulty configuration to completion, returning every
+    /// determinism-relevant artefact: responses, fault log, stats JSON and
+    /// the Perfetto trace.
+    fn faulty_run(channels: u32, wl: &[(Tick, MemRequest)]) -> (String, String, String) {
+        let mut cfg = CtrlConfig::new(presets::ddr3_1333_x64());
+        cfg.channels = channels;
+        cfg.ras =
+            Some(dramctrl_ras::RasConfig::from_error_rate(2e11, 0xFA_15).with_ecc(EccMode::SecDed));
+        let probe = (ChromeTracer::new(), EpochRecorder::new(1_000_000));
+        let mut ctrl = DramCtrl::with_probe(cfg, probe).expect("valid config");
+        let mut resp = Vec::new();
+        for &(t, req) in wl {
+            ctrl.advance_to(t, &mut resp);
+            let _ = ctrl.try_send(req, t);
+        }
+        let end = ctrl.drain(&mut resp);
+        let log = ctrl.fault_model().expect("RAS armed").log_text();
+        let stats = ctrl.report("ctrl", end).to_json();
+        let trace = ctrl.into_probe().0.to_json();
+        (log, stats, trace)
+    }
+
+    /// Same seed + config ⇒ byte-identical fault logs, stats JSON and
+    /// Perfetto traces, at one and four channels — and the runs actually
+    /// inject faults.
+    #[test]
+    fn faulty_runs_are_deterministic() {
+        let wl = random_workload(0xDE7, 200, 1);
+        for channels in [1u32, 4] {
+            let subs = if channels == 1 {
+                vec![wl.clone()]
+            } else {
+                split_by_channel(&wl, u64::from(channels))
+            };
+            for sub in &subs {
+                if sub.is_empty() {
+                    continue;
+                }
+                let a = faulty_run(channels, sub);
+                let b = faulty_run(channels, sub);
+                assert_eq!(a.0, b.0, "fault logs diverged at {channels} channel(s)");
+                assert_eq!(a.1, b.1, "stats JSON diverged at {channels} channel(s)");
+                assert_eq!(a.2, b.2, "traces diverged at {channels} channel(s)");
+            }
+            let (log, stats, _) = faulty_run(channels, &subs[0]);
+            assert!(
+                !log.is_empty(),
+                "no faults injected at {channels} channel(s)"
+            );
+            assert!(stats.contains("\"ras_corrected\""));
+        }
+    }
+
+    /// Link errors drive the in-queue retry path: retries are counted, the
+    /// run still completes every request, and it stays deterministic.
+    #[test]
+    fn link_error_retries_complete_and_count() {
+        let mut cfg = CtrlConfig::new(presets::ddr3_1333_x64());
+        let mut ras = dramctrl_ras::RasConfig::new(0x11E);
+        ras.link_error_rate = 0.05;
+        cfg.ras = Some(ras);
+        let wl = random_workload(0x11E7, 200, 1);
+        let run = |cfg: &CtrlConfig| {
+            let mut ctrl = DramCtrl::new(cfg.clone()).expect("valid config");
+            let mut resp = Vec::new();
+            for &(t, req) in &wl {
+                ctrl.advance_to(t, &mut resp);
+                let _ = ctrl.try_send(req, t);
+            }
+            let end = ctrl.drain(&mut resp);
+            (resp.len(), ctrl.report("ctrl", end))
+        };
+        let (n1, r1) = run(&cfg);
+        let (n2, r2) = run(&cfg);
+        assert_eq!(r1.to_json(), r2.to_json(), "retrying run not deterministic");
+        // Every accepted request still gets exactly one response.
+        let mut plain = cfg.clone();
+        plain.ras = None;
+        let (n_plain, _) = run(&plain);
+        assert_eq!(n1, n_plain, "retries lost or duplicated responses");
+        assert_eq!(n1, n2);
+        let retries = r1.get("ras_retries").expect("ras_retries in report");
+        assert!(retries > 0.0, "no retries exercised");
+        let crc = r1.get("ras_crc_errors").unwrap() + r1.get("ras_parity_errors").unwrap();
+        assert!(crc > 0.0, "no link errors injected");
     }
 }

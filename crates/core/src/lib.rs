@@ -61,3 +61,7 @@ mod stats;
 pub use config::{ConfigError, CtrlConfig, PagePolicy, SchedPolicy};
 pub use ctrl::{DramCtrl, SendError};
 pub use stats::CtrlStats;
+
+// Re-exported so front ends configure RAS without a direct `dramctrl-ras`
+// dependency.
+pub use dramctrl_ras::{EccMode, FaultModel, RasConfig};

@@ -34,6 +34,9 @@ pub(crate) struct DramPacket {
     /// increasing within a queue, so it encodes FCFS age independently of
     /// where the packet is stored.
     pub seq: u64,
+    /// Link-error retry attempts already made for this burst (RAS; always
+    /// 0 without a fault model).
+    pub retries: u8,
 }
 
 /// Tracks the outstanding bursts of a chopped read so the response is only
@@ -156,6 +159,7 @@ mod tests {
             priority: 0,
             group: None,
             seq: 0,
+            retries: 0,
         }
     }
 

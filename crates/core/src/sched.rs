@@ -279,6 +279,7 @@ mod tests {
             priority,
             group: None,
             seq: 0, // stamped by push
+            retries: 0,
         }
     }
 

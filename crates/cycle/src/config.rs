@@ -1,6 +1,7 @@
 //! Configuration of the cycle-based baseline controller.
 
 use dramctrl_mem::{AddrMapping, MemSpec};
+use dramctrl_ras::RasConfig;
 use std::fmt;
 
 /// Row-buffer policy of the baseline (DRAMSim2 offers open and closed).
@@ -64,6 +65,11 @@ pub struct CycleConfig {
     /// job is to mirror it. Turn it on when comparing the two models'
     /// *simulation speed* so both service the same burst stream.
     pub write_snooping: bool,
+    /// Optional RAS model: deterministic fault injection, ECC
+    /// classification and link-error retry, mirroring the event-based
+    /// model. `None` (the default) leaves the controller byte-identical to
+    /// a build without the RAS subsystem.
+    pub ras: Option<RasConfig>,
 }
 
 impl CycleConfig {
@@ -78,6 +84,7 @@ impl CycleConfig {
             scheduling: CycleSched::FrFcfs,
             channels: 1,
             write_snooping: false,
+            ras: None,
         }
     }
 
@@ -95,6 +102,10 @@ impl CycleConfig {
         }
         if self.channels == 0 {
             return Err(CycleConfigError("channels must be positive".into()));
+        }
+        if let Some(ras) = &self.ras {
+            ras.validate()
+                .map_err(|e| CycleConfigError(e.to_string()))?;
         }
         Ok(())
     }

@@ -14,7 +14,8 @@ use dramctrl_mem::{
     ActivityStats, CommonStats, Controller, DramAddr, MemCmd, MemRequest, MemResponse, MemSpec,
     Rejected, WriteCoverage,
 };
-use dramctrl_obs::{CmdEvent, DramCmd, NoProbe, Probe};
+use dramctrl_obs::{CmdEvent, DramCmd, NoProbe, Probe, RasMark};
+use dramctrl_ras::{BurstOutcome, FaultModel, RasGeometry};
 use dramctrl_stats::{Average, Report};
 
 use crate::config::{CycleConfig, CycleConfigError, CyclePagePolicy, CycleSched};
@@ -146,6 +147,12 @@ struct Txn {
     /// Whether this transaction triggered its own activation (a burst is a
     /// row hit only if the row was open on someone else's behalf).
     activated: bool,
+    /// Link-error replays already made for this burst (RAS; always 0
+    /// without a fault model).
+    retries: u8,
+    /// Earliest cycle at which this transaction may issue again — the
+    /// retry backoff of the RAS model (0 without one).
+    not_before: u64,
 }
 
 #[derive(Debug, Clone)]
@@ -241,6 +248,9 @@ pub struct CycleCtrl<P: Probe = NoProbe> {
     pending_closes: usize,
     /// Coverage of queued writes; only maintained with `write_snooping`.
     coverage: WriteCoverage,
+    /// RAS fault model, when configured (`None` is byte-identical to the
+    /// pre-RAS controller).
+    fault: Option<FaultModel>,
     stats: CycleStats,
 }
 
@@ -269,6 +279,18 @@ impl<P: Probe> CycleCtrl<P> {
             .collect();
         let queue = VecDeque::with_capacity(cfg.queue_depth);
         let resp_q = EventQueue::with_capacity(cfg.queue_depth);
+        let org = &cfg.spec.org;
+        let fault = cfg.ras.clone().map(|ras| {
+            FaultModel::new(
+                ras,
+                RasGeometry {
+                    ranks: org.ranks,
+                    banks: org.banks,
+                    row_bytes: org.row_buffer_bytes(),
+                    rank_bytes: org.capacity_bytes() / u64::from(org.ranks),
+                },
+            )
+        });
         Ok(Self {
             cfg,
             probe,
@@ -285,6 +307,7 @@ impl<P: Probe> CycleCtrl<P> {
             last_dir: None,
             pending_closes: 0,
             coverage: WriteCoverage::default(),
+            fault,
             stats: CycleStats::default(),
         })
     }
@@ -297,6 +320,11 @@ impl<P: Probe> CycleCtrl<P> {
     /// Accumulated statistics.
     pub fn stats(&self) -> &CycleStats {
         &self.stats
+    }
+
+    /// The RAS fault model, when one is configured.
+    pub fn fault_model(&self) -> Option<&FaultModel> {
+        self.fault.as_ref()
     }
 
     /// The attached instrumentation probe.
@@ -469,6 +497,9 @@ impl<P: Probe> CycleCtrl<P> {
     /// Whether transaction `i` is an issuable row hit at cycle `c`.
     fn col_issuable(&self, i: usize, c: u64) -> bool {
         let txn = &self.queue[i];
+        if c < txn.not_before {
+            return false;
+        }
         let rank = &self.ranks[txn.da.rank as usize];
         if rank.blocked(c) {
             return false;
@@ -570,6 +601,29 @@ impl<P: Probe> CycleCtrl<P> {
 
         // Response bookkeeping.
         let ready = self.clk.cycles(data_end);
+        if self.fault.is_some() && self.ras_check(&txn, ready) {
+            // Link-layer error: the burst is replayed after a backoff. The
+            // command and bus time are already spent; only completion is
+            // withheld, so the group stays pending and the transaction
+            // re-enters the unified queue (FIFO — the cycle baseline has no
+            // priority lanes).
+            let mut txn = txn;
+            let attempt = txn.retries;
+            txn.retries += 1;
+            let fm = self.fault.as_mut().expect("checked above");
+            fm.note_retry();
+            let backoff = self.clk.to_cycles_ceil(fm.retry_delay(u32::from(attempt)));
+            txn.not_before = data_end + backoff;
+            if P::ENABLED {
+                self.probe
+                    .ras_event(txn.da.rank, txn.da.bank, txn.da.row, RasMark::Retry, ready);
+            }
+            if self.cfg.write_snooping && !txn.is_read {
+                self.coverage.insert(txn.burst_addr, txn.lo, txn.hi);
+            }
+            self.queue.push_back(txn);
+            return;
+        }
         if txn.is_read {
             self.stats.read_lat.record((ready - txn.entry) as f64);
         }
@@ -596,6 +650,9 @@ impl<P: Probe> CycleCtrl<P> {
     /// if a command was issued.
     fn try_progress(&mut self, i: usize, c: u64) -> bool {
         let txn = self.queue[i].clone();
+        if c < txn.not_before {
+            return false;
+        }
         let (ri, bi) = (txn.da.rank as usize, txn.da.bank as usize);
         if self.ranks[ri].blocked(c) {
             return false;
@@ -672,6 +729,55 @@ impl<P: Probe> CycleCtrl<P> {
                 }
             }
         }
+    }
+
+    // --------------------------------------------------------------
+    // RAS (fault injection, ECC, link retry) — mirrors the event model
+    // --------------------------------------------------------------
+
+    /// Runs the fault model for a burst whose data ends at `data_end`
+    /// (ticks). Returns true when the burst must be replayed (a link error
+    /// with retry budget left); the caller re-queues it. Only called when
+    /// a fault model is configured.
+    fn ras_check(&mut self, txn: &Txn, data_end: Tick) -> bool {
+        let fm = self.fault.as_mut().expect("caller checked");
+        let rep = fm.check(txn.da.rank, txn.da.bank, txn.da.row, txn.is_read, data_end);
+        let mut retry = false;
+        let mark = match rep.outcome {
+            BurstOutcome::Clean => None,
+            BurstOutcome::Corrected => Some(RasMark::Corrected),
+            BurstOutcome::Uncorrected => Some(RasMark::Uncorrected),
+            BurstOutcome::Silent => Some(RasMark::Silent),
+            BurstOutcome::LinkError => {
+                if u32::from(txn.retries) < fm.max_retries() {
+                    retry = true;
+                    None // the caller emits the retry mark
+                } else {
+                    fm.note_retry_exhausted();
+                    Some(RasMark::Uncorrected)
+                }
+            }
+        };
+        if P::ENABLED {
+            if let Some(mark) = mark {
+                self.probe
+                    .ras_event(txn.da.rank, txn.da.bank, txn.da.row, mark, data_end);
+            }
+            if rep.remapped {
+                self.probe.ras_event(
+                    txn.da.rank,
+                    txn.da.bank,
+                    txn.da.row,
+                    RasMark::Remap,
+                    data_end,
+                );
+            }
+            if let Some(r) = rep.offlined_rank {
+                self.probe
+                    .ras_event(r, 0, 0, RasMark::RankOffline, data_end);
+            }
+        }
+        retry
     }
 
     // --------------------------------------------------------------
@@ -786,10 +892,21 @@ impl<P: Probe> Controller for CycleCtrl<P> {
             if self.cfg.write_snooping && !is_read {
                 self.coverage.insert(b, lo, hi);
             }
-            let da = self
+            let mut da = self
                 .cfg
                 .mapping
                 .decode(b, &self.cfg.spec.org, self.cfg.channels);
+            if let Some(fm) = &self.fault {
+                // Degraded mode: traffic to offlined ranks lands on the
+                // remaining live ones (capacity loss, not an abort).
+                if fm.offline_mask() != 0 {
+                    da.rank = dramctrl_mem::remap_rank(
+                        da.rank,
+                        fm.offline_mask(),
+                        self.cfg.spec.org.ranks,
+                    );
+                }
+            }
             self.queue.push_back(Txn {
                 is_read,
                 da,
@@ -799,6 +916,8 @@ impl<P: Probe> Controller for CycleCtrl<P> {
                 entry: now,
                 group: gidx,
                 activated: false,
+                retries: 0,
+                not_before: 0,
             });
             pending += 1;
             b += bb;
@@ -976,6 +1095,15 @@ impl<P: Probe> Controller for CycleCtrl<P> {
             "avg_read_lat_ns",
             dramctrl_kernel::tick::to_ns(s.read_lat.mean() as Tick),
         );
+        if let Some(fm) = &self.fault {
+            for (name, v) in fm.stats().entries() {
+                r.counter(name, v);
+            }
+            r.counter(
+                "ras_usable_capacity_bytes",
+                dramctrl_mem::degraded_capacity_bytes(&self.cfg.spec.org, fm.offline_mask()),
+            );
+        }
         r
     }
 }

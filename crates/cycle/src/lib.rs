@@ -26,3 +26,7 @@ mod ctrl;
 
 pub use config::{CycleConfig, CycleConfigError, CyclePagePolicy, CycleSched};
 pub use ctrl::{CycleCtrl, CycleStats};
+
+// Re-exported so front ends configure RAS without a direct `dramctrl-ras`
+// dependency.
+pub use dramctrl_ras::{EccMode, FaultModel, RasConfig};

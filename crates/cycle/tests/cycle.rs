@@ -408,3 +408,174 @@ fn tracing_is_zero_perturbation() {
     assert!(json.contains("\"ACT\"") && json.contains("\"RD\""));
     assert!(!epochs.rows().is_empty(), "no epochs recorded");
 }
+
+/// Zero-rate RAS must be byte-transparent on the cycle model too: same
+/// responses, flow control, drain tick and (modulo the ras_* counters
+/// themselves) the same report as a controller without a fault model.
+#[test]
+fn zero_rate_ras_is_transparent() {
+    use dramctrl_cycle::RasConfig;
+
+    // Drop the ras_* entries and the JSON document closer, which lands on
+    // whatever the last entry line is.
+    let strip_ras = |json: &str| {
+        json.lines()
+            .filter(|l| !l.contains("\"ras_"))
+            .map(|l| l.trim_end_matches("]}").trim_end_matches(','))
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+
+    for policy in [CyclePagePolicy::Open, CyclePagePolicy::Closed] {
+        for sched in [CycleSched::Fcfs, CycleSched::FrFcfs] {
+            let mut cfg = CycleConfig::new(presets::ddr3_1333_x64());
+            cfg.page_policy = policy;
+            cfg.scheduling = sched;
+            let mut armed_cfg = cfg.clone();
+            armed_cfg.ras = Some(RasConfig::new(0xA5)); // all rates zero
+            let mut plain = CycleCtrl::new(cfg).unwrap();
+            let mut armed = CycleCtrl::new(armed_cfg).unwrap();
+
+            let mut state = 0x5EEDu64;
+            let mut step = || {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                state >> 33
+            };
+            let mut t = 0;
+            for i in 0..300u64 {
+                let a = addr((step() % 8) as u32, step() % 64, step() % 64);
+                let req = if step() % 3 == 0 {
+                    MemRequest::write(ReqId(i), a, 64)
+                } else {
+                    MemRequest::read(ReqId(i), a, 64)
+                };
+                t += step() % 15_000;
+                let (mut o1, mut o2) = (Vec::new(), Vec::new());
+                plain.advance_to(t, &mut o1);
+                armed.advance_to(t, &mut o2);
+                assert_eq!(o1, o2, "RAS perturbed responses ({policy}/{sched:?})");
+                assert_eq!(
+                    plain.try_send(req, t).is_ok(),
+                    armed.try_send(req, t).is_ok(),
+                    "RAS perturbed flow control ({policy}/{sched:?})"
+                );
+            }
+            let (mut o1, mut o2) = (Vec::new(), Vec::new());
+            let t1 = plain.drain(&mut o1);
+            let t2 = armed.drain(&mut o2);
+            assert_eq!(t1, t2, "RAS perturbed the drain tick");
+            assert_eq!(o1, o2, "RAS perturbed the final responses");
+            assert_eq!(
+                strip_ras(&plain.report("ctrl", t1).to_json()),
+                strip_ras(&armed.report("ctrl", t2).to_json()),
+                "RAS perturbed the statistics ({policy}/{sched:?})"
+            );
+            let fm = armed.fault_model().unwrap();
+            assert!(
+                fm.stats().entries().iter().all(|&(_, v)| v == 0),
+                "zero-rate model recorded faults"
+            );
+            assert!(fm.log().is_empty());
+        }
+    }
+}
+
+/// A seeded faulty cycle run is fully deterministic: byte-identical fault
+/// log and stats JSON across repeated runs, with corrected errors under
+/// SEC-DED at single-bit rates and zero silent corruptions.
+#[test]
+fn faulty_cycle_runs_are_deterministic() {
+    use dramctrl_cycle::{EccMode, RasConfig};
+
+    let run = || {
+        let mut cfg = CycleConfig::new(presets::ddr3_1333_x64());
+        cfg.ras = Some(RasConfig::from_error_rate(2e11, 0xFA_15).with_ecc(EccMode::SecDed));
+        let mut c = CycleCtrl::new(cfg).unwrap();
+        let mut state = 0xDEAFu64;
+        let mut step = || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        let mut t = 0;
+        let mut out = Vec::new();
+        for i in 0..400u64 {
+            let a = addr((step() % 8) as u32, step() % 128, step() % 64);
+            let req = if step() % 3 == 0 {
+                MemRequest::write(ReqId(i), a, 64)
+            } else {
+                MemRequest::read(ReqId(i), a, 64)
+            };
+            t += step() % 25_000;
+            c.advance_to(t, &mut out);
+            if c.can_accept(req.cmd, req.addr, req.size) {
+                c.try_send(req, t).unwrap();
+            }
+        }
+        let end = c.drain(&mut out);
+        let report = c.report("ctrl", end);
+        let fm = c.fault_model().unwrap();
+        (fm.log_text(), report.to_json(), report)
+    };
+
+    let (log1, json1, report) = run();
+    let (log2, json2, _) = run();
+    assert_eq!(log1, log2, "fault log not deterministic");
+    assert_eq!(json1, json2, "stats JSON not deterministic");
+    assert!(!log1.is_empty(), "no faults injected at a high rate");
+    assert!(
+        report.get("ras_corrected").unwrap() > 0.0,
+        "SEC-DED corrected nothing"
+    );
+    // SEC-DED only goes silent on the modelled multi-symbol syndrome
+    // alias, never on a single-symbol fault.
+    assert!(
+        report.get("ras_silent").unwrap() <= report.get("ras_rank_failures").unwrap(),
+        "single-symbol fault escaped SEC-DED"
+    );
+}
+
+/// Link-error retries on the cycle model: every request still completes,
+/// retries are counted, and the run stays deterministic.
+#[test]
+fn cycle_link_retries_complete_and_count() {
+    use dramctrl_cycle::RasConfig;
+
+    let run = |ras: Option<RasConfig>| {
+        let mut cfg = CycleConfig::new(presets::ddr3_1333_x64());
+        cfg.ras = ras;
+        let mut c = CycleCtrl::new(cfg).unwrap();
+        let mut out = Vec::new();
+        for i in 0..200u64 {
+            let t = i * 10_000;
+            c.advance_to(t, &mut out);
+            let req = if i % 4 == 0 {
+                MemRequest::write(ReqId(i), (i % 16) * 4096 + i * 64, 64)
+            } else {
+                MemRequest::read(ReqId(i), (i % 16) * 4096 + i * 64, 64)
+            };
+            if c.can_accept(req.cmd, req.addr, req.size) {
+                c.try_send(req, t).unwrap();
+            }
+        }
+        let end = c.drain(&mut out);
+        (out.len(), c.report("ctrl", end))
+    };
+
+    let mut ras = RasConfig::new(0x11E);
+    ras.link_error_rate = 0.05;
+    let (n_plain, _) = run(None);
+    let (n1, r1) = run(Some(ras.clone()));
+    let (n2, r2) = run(Some(ras));
+    assert_eq!(n1, n_plain, "retries lost responses");
+    assert_eq!(n1, n2, "faulty run response count not deterministic");
+    assert_eq!(r1.to_json(), r2.to_json(), "faulty run not deterministic");
+    assert!(r1.get("ras_retries").unwrap() > 0.0, "no retries recorded");
+    assert!(
+        r1.get("ras_crc_errors").unwrap() + r1.get("ras_parity_errors").unwrap() > 0.0,
+        "no link errors recorded"
+    );
+}

@@ -30,7 +30,30 @@ pub struct EventQueue<E> {
     heap: BinaryHeap<Entry<E>>,
     seq: u64,
     now: Tick,
+    /// Optional watchdog: latest tick the simulation is allowed to reach.
+    budget: Option<Tick>,
 }
+
+/// A diagnosed no-progress condition: the simulation holds outstanding
+/// work but no event that could retire it, or it ran past its tick
+/// budget. Raised by [`EventQueue::check_progress`] so drivers fail with
+/// a state summary instead of hanging silently.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimStall {
+    /// Simulated time at which the stall was detected.
+    pub at: Tick,
+    /// A component state summary (queue depths, bus state, …) supplied by
+    /// the caller for the diagnostic.
+    pub detail: String,
+}
+
+impl std::fmt::Display for SimStall {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "simulation stalled at tick {}: {}", self.at, self.detail)
+    }
+}
+
+impl std::error::Error for SimStall {}
 
 #[derive(Debug)]
 struct Entry<E> {
@@ -67,6 +90,7 @@ impl<E> EventQueue<E> {
             heap: BinaryHeap::new(),
             seq: 0,
             now: 0,
+            budget: None,
         }
     }
 
@@ -79,7 +103,46 @@ impl<E> EventQueue<E> {
             heap: BinaryHeap::with_capacity(capacity),
             seq: 0,
             now: 0,
+            budget: None,
         }
+    }
+
+    /// Arms (or disarms, with `None`) the watchdog: once `now()` passes
+    /// `budget`, [`check_progress`](Self::check_progress) reports a
+    /// [`SimStall`]. Off by default.
+    pub fn set_tick_budget(&mut self, budget: Option<Tick>) {
+        self.budget = budget;
+    }
+
+    /// The no-progress guard. Returns a [`SimStall`] when the component
+    /// holds `outstanding > 0` items of work but no event is pending (the
+    /// simulation would hang), or when the armed tick budget has been
+    /// exceeded (the simulation is live-locked or runaway). `detail` is
+    /// evaluated lazily, only on a stall, to render the component's state
+    /// summary.
+    pub fn check_progress(
+        &self,
+        outstanding: usize,
+        detail: impl FnOnce() -> String,
+    ) -> Result<(), SimStall> {
+        if outstanding > 0 && self.heap.is_empty() {
+            return Err(SimStall {
+                at: self.now,
+                detail: format!(
+                    "{outstanding} outstanding item(s) but no event scheduled; {}",
+                    detail()
+                ),
+            });
+        }
+        if let Some(budget) = self.budget {
+            if self.now > budget {
+                return Err(SimStall {
+                    at: self.now,
+                    detail: format!("tick budget {budget} exceeded; {}", detail()),
+                });
+            }
+        }
+        Ok(())
     }
 
     /// The current simulated time (the tick of the last popped event).
@@ -221,6 +284,31 @@ mod tests {
         assert!(q.is_empty());
         q.schedule(3, "x");
         assert_eq!(q.pop(), Some((3, "x")));
+    }
+
+    #[test]
+    fn watchdog_detects_no_progress_and_budget() {
+        let mut q = EventQueue::new();
+        // Idle and empty: fine.
+        q.check_progress(0, || unreachable!("detail not rendered"))
+            .unwrap();
+        // Outstanding work with no event: stall.
+        let err = q.check_progress(3, || "readq=3".to_owned()).unwrap_err();
+        assert_eq!(err.at, 0);
+        assert!(err.detail.contains("3 outstanding"));
+        assert!(err.detail.contains("readq=3"));
+        assert!(format!("{err}").contains("stalled at tick 0"));
+        // Pending event: no stall even with outstanding work.
+        q.schedule(10, ());
+        q.check_progress(3, || unreachable!()).unwrap();
+        // Budget watchdog fires once now passes the budget.
+        q.set_tick_budget(Some(5));
+        q.pop();
+        let err = q.check_progress(0, || "bus=idle".to_owned()).unwrap_err();
+        assert_eq!(err.at, 10);
+        assert!(err.detail.contains("tick budget 5 exceeded"));
+        q.set_tick_budget(None);
+        q.check_progress(0, || unreachable!()).unwrap();
     }
 
     #[test]

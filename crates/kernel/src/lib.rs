@@ -37,5 +37,5 @@ pub mod rng;
 pub mod tick;
 
 pub use clock::Clock;
-pub use event::EventQueue;
+pub use event::{EventQueue, SimStall};
 pub use tick::Tick;

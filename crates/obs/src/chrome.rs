@@ -16,7 +16,7 @@
 //! so `ts = ticks / 1e6` with sub-microsecond precision preserved in the
 //! fractional part.
 
-use crate::probe::{CmdEvent, DramCmd, PowerState, Probe};
+use crate::probe::{CmdEvent, DramCmd, PowerState, Probe, RasMark};
 use dramctrl_kernel::Tick;
 use std::fmt::Write as _;
 
@@ -34,6 +34,7 @@ pub struct ChromeTracer {
     accepts: Vec<(u64, bool, u64, u32, Tick)>,
     completes: Vec<(u64, bool, Tick)>,
     power: Vec<(u32, PowerState, Tick)>,
+    ras: Vec<(u32, u32, u64, RasMark, Tick)>,
 }
 
 impl ChromeTracer {
@@ -55,10 +56,14 @@ impl ChromeTracer {
         self.channel
     }
 
-    /// Number of raw events recorded so far (commands, lifecycle marks and
-    /// power transitions).
+    /// Number of raw events recorded so far (commands, lifecycle marks,
+    /// power transitions and RAS marks).
     pub fn event_count(&self) -> usize {
-        self.cmds.len() + self.accepts.len() + self.completes.len() + self.power.len()
+        self.cmds.len()
+            + self.accepts.len()
+            + self.completes.len()
+            + self.power.len()
+            + self.ras.len()
     }
 
     /// Whether nothing has been recorded.
@@ -102,6 +107,7 @@ impl ChromeTracer {
             .iter()
             .filter(|c| c.cmd != DramCmd::Ref)
             .map(|c| (c.rank, c.bank))
+            .chain(self.ras.iter().map(|&(r, b, _, _, _)| (r, b)))
             .collect();
         banks.sort_unstable();
         banks.dedup();
@@ -199,6 +205,12 @@ impl ChromeTracer {
             }
         }
 
+        // RAS marks as instant events on the bank track they hit.
+        for &(r, b, row, mark, at) in &self.ras {
+            let args = format!("\"row\":{row}");
+            out.push(instant(mark.name(), "ras", pid, bank_tid(r, b), at, &args));
+        }
+
         // Request lifecycles as nestable async spans on tid 0.
         for &(id, is_read, addr, size, at) in &self.accepts {
             let name = if is_read { "read" } else { "write" };
@@ -226,6 +238,9 @@ impl ChromeTracer {
         for &(_, _, at) in &self.power {
             end = end.max(at);
         }
+        for &(_, _, _, _, at) in &self.ras {
+            end = end.max(at);
+        }
         end
     }
 }
@@ -245,6 +260,10 @@ impl Probe for ChromeTracer {
 
     fn power_state(&mut self, rank: u32, state: PowerState, at: Tick) {
         self.power.push((rank, state, at));
+    }
+
+    fn ras_event(&mut self, rank: u32, bank: u32, row: u64, mark: RasMark, at: Tick) {
+        self.ras.push((rank, bank, row, mark, at));
     }
 }
 
@@ -267,6 +286,14 @@ fn slice(name: &str, cat: &str, pid: u32, tid: u64, at: Tick, dur: Tick, args: &
          \"pid\":{pid},\"tid\":{tid},\"args\":{{{args}}}}}",
         ts(at),
         ts(dur),
+    )
+}
+
+fn instant(name: &str, cat: &str, pid: u32, tid: u64, at: Tick, args: &str) -> String {
+    format!(
+        "{{\"name\":\"{name}\",\"cat\":\"{cat}\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{},\
+         \"pid\":{pid},\"tid\":{tid},\"args\":{{{args}}}}}",
+        ts(at),
     )
 }
 
@@ -354,6 +381,28 @@ mod tests {
         crate::json::validate(&json).unwrap();
         assert!(json.contains("\"channel 0\"") && json.contains("\"channel 1\""));
         assert!(json.contains("\"pid\":0") && json.contains("\"pid\":1"));
+    }
+
+    #[test]
+    fn ras_marks_render_as_instants() {
+        let mut t = ChromeTracer::new();
+        // No command ever touches (1, 5): the RAS mark alone must create
+        // the bank track.
+        t.ras_event(1, 5, 77, RasMark::Corrected, 3_000_000);
+        t.ras_event(1, 5, 77, RasMark::Retry, 4_000_000);
+        let json = t.to_json();
+        crate::json::validate(&json).unwrap();
+        for needle in [
+            "\"corrected\"",
+            "\"retry\"",
+            "\"cat\":\"ras\"",
+            "\"ph\":\"i\"",
+            "\"rank 1 bank 5\"",
+            "\"row\":77",
+        ] {
+            assert!(json.contains(needle), "missing {needle} in {json}");
+        }
+        assert_eq!(t.event_count(), 2);
     }
 
     #[test]

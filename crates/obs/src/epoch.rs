@@ -14,7 +14,7 @@
 //! on demand rather than rolled forward.
 
 use crate::json::json_f64;
-use crate::probe::{CmdEvent, DramCmd, PowerState, Probe};
+use crate::probe::{CmdEvent, DramCmd, PowerState, Probe, RasMark};
 use dramctrl_kernel::Tick;
 use std::fmt::Write as _;
 
@@ -33,6 +33,9 @@ struct Bin {
     wrq_integral: u128,
     powerdown: Tick,
     selfref: Tick,
+    ras_corrected: u64,
+    ras_uncorrected: u64,
+    ras_retries: u64,
 }
 
 /// One finished epoch, with derived rates.
@@ -68,6 +71,13 @@ pub struct EpochRow {
     pub powerdown: Tick,
     /// Rank-ticks spent in self-refresh (summed over ranks).
     pub selfref: Tick,
+    /// Faulty bursts corrected by ECC in the epoch.
+    pub ras_corrected: u64,
+    /// Faulty bursts detected but not corrected (including silent
+    /// corruptions, counted by the controller's fault model).
+    pub ras_uncorrected: u64,
+    /// Link-error retries issued in the epoch.
+    pub ras_retries: u64,
 }
 
 impl EpochRow {
@@ -191,6 +201,9 @@ impl EpochRecorder {
                     avg_wrq: bin.wrq_integral as f64 / span as f64,
                     powerdown: bin.powerdown,
                     selfref: bin.selfref,
+                    ras_corrected: bin.ras_corrected,
+                    ras_uncorrected: bin.ras_uncorrected,
+                    ras_retries: bin.ras_retries,
                 }
             })
             .collect()
@@ -201,12 +214,12 @@ impl EpochRecorder {
         let mut out = String::from(
             "epoch,start_ps,end_ps,bytes_read,bytes_written,bandwidth_gbps,bus_util,\
              row_hits,row_misses,row_hit_rate,acts,pres,refs,avg_rdq,avg_wrq,\
-             powerdown_ps,selfref_ps\n",
+             powerdown_ps,selfref_ps,ras_corrected,ras_uncorrected,ras_retries\n",
         );
         for r in self.rows() {
             let _ = writeln!(
                 out,
-                "{},{},{},{},{},{:.6},{:.6},{},{},{:.6},{},{},{},{:.6},{:.6},{},{}",
+                "{},{},{},{},{},{:.6},{:.6},{},{},{:.6},{},{},{},{:.6},{:.6},{},{},{},{},{}",
                 r.epoch,
                 r.start,
                 r.end,
@@ -224,6 +237,9 @@ impl EpochRecorder {
                 r.avg_wrq,
                 r.powerdown,
                 r.selfref,
+                r.ras_corrected,
+                r.ras_uncorrected,
+                r.ras_retries,
             );
         }
         out
@@ -240,7 +256,8 @@ impl EpochRecorder {
                  \"bytes_written\":{},\"bandwidth_gbps\":{},\"bus_util\":{},\
                  \"row_hits\":{},\"row_misses\":{},\"row_hit_rate\":{},\
                  \"acts\":{},\"pres\":{},\"refs\":{},\"avg_rdq\":{},\"avg_wrq\":{},\
-                 \"powerdown_ps\":{},\"selfref_ps\":{}}}",
+                 \"powerdown_ps\":{},\"selfref_ps\":{},\
+                 \"ras_corrected\":{},\"ras_uncorrected\":{},\"ras_retries\":{}}}",
                 r.epoch,
                 r.start,
                 r.end,
@@ -258,6 +275,9 @@ impl EpochRecorder {
                 json_f64(r.avg_wrq),
                 r.powerdown,
                 r.selfref,
+                r.ras_corrected,
+                r.ras_uncorrected,
+                r.ras_retries,
             );
         }
         out
@@ -292,6 +312,9 @@ impl EpochRecorder {
             dst.wrq_integral += src.wrq_integral;
             dst.powerdown += src.powerdown;
             dst.selfref += src.selfref;
+            dst.ras_corrected += src.ras_corrected;
+            dst.ras_uncorrected += src.ras_uncorrected;
+            dst.ras_retries += src.ras_retries;
         }
         self.end = self.end.max(other.end);
     }
@@ -372,6 +395,16 @@ impl Probe for EpochRecorder {
         }
         self.rdq = read_q;
         self.wrq = write_q;
+    }
+
+    fn ras_event(&mut self, _rank: u32, _bank: u32, _row: u64, mark: RasMark, at: Tick) {
+        let bin = self.bin_mut(at);
+        match mark {
+            RasMark::Corrected => bin.ras_corrected += 1,
+            RasMark::Uncorrected | RasMark::Silent => bin.ras_uncorrected += 1,
+            RasMark::Retry => bin.ras_retries += 1,
+            RasMark::Remap | RasMark::RankOffline => {}
+        }
     }
 
     fn power_state(&mut self, rank: u32, state: PowerState, at: Tick) {
@@ -485,6 +518,36 @@ mod tests {
         assert_eq!(rows[0].acts, 1);
         assert_eq!(rows[1].bytes_written, 32);
         assert_eq!(rows[1].row_misses, 1);
+    }
+
+    #[test]
+    fn ras_marks_are_binned_and_exported() {
+        let mut r = EpochRecorder::new(1_000);
+        r.ras_event(0, 0, 7, RasMark::Corrected, 100);
+        r.ras_event(0, 0, 7, RasMark::Retry, 200);
+        r.ras_event(0, 1, 8, RasMark::Uncorrected, 1_100);
+        r.ras_event(0, 1, 8, RasMark::Silent, 1_200);
+        r.ras_event(0, 1, 8, RasMark::Remap, 1_300); // not counted
+        r.finish(2_000);
+        let rows = r.rows();
+        assert_eq!(rows[0].ras_corrected, 1);
+        assert_eq!(rows[0].ras_retries, 1);
+        assert_eq!(rows[1].ras_uncorrected, 2);
+        let csv = r.to_csv();
+        assert!(
+            csv.lines().next().unwrap().ends_with("ras_retries"),
+            "{csv}"
+        );
+        for line in r.to_jsonl().lines() {
+            crate::json::validate(line).unwrap();
+        }
+        assert!(r.to_jsonl().contains("\"ras_corrected\":1"));
+        // Absorb sums the RAS columns too.
+        let mut other = EpochRecorder::new(1_000);
+        other.ras_event(0, 0, 9, RasMark::Corrected, 150);
+        other.finish(2_000);
+        r.absorb(&other);
+        assert_eq!(r.rows()[0].ras_corrected, 2);
     }
 
     #[test]

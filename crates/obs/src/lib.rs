@@ -49,4 +49,4 @@ mod probe;
 
 pub use chrome::ChromeTracer;
 pub use epoch::{EpochRecorder, EpochRow};
-pub use probe::{CmdEvent, DramCmd, NoProbe, PowerState, Probe};
+pub use probe::{CmdEvent, DramCmd, NoProbe, PowerState, Probe, RasMark};

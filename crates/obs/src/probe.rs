@@ -138,6 +138,39 @@ impl CmdEvent {
     }
 }
 
+/// A reliability (RAS) event category, reported by the controllers when a
+/// fault model is armed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RasMark {
+    /// A faulty burst was corrected by ECC.
+    Corrected,
+    /// A faulty burst was detected but could not be corrected.
+    Uncorrected,
+    /// A faulty burst escaped detection (silent data corruption).
+    Silent,
+    /// A link error (write CRC / command-address parity) triggered an
+    /// in-queue retry of the burst.
+    Retry,
+    /// A stuck row was remapped to a spare row.
+    Remap,
+    /// A rank was taken offline after exhausting recovery options.
+    RankOffline,
+}
+
+impl RasMark {
+    /// Display name for trace tracks and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            RasMark::Corrected => "corrected",
+            RasMark::Uncorrected => "uncorrected",
+            RasMark::Silent => "silent",
+            RasMark::Retry => "retry",
+            RasMark::Remap => "remap",
+            RasMark::RankOffline => "rank-offline",
+        }
+    }
+}
+
 /// Instrumentation hooks called by the simulators.
 ///
 /// Every method has a no-op default, so a sink implements only what it
@@ -191,6 +224,13 @@ pub trait Probe {
     fn xbar_route(&mut self, id: u64, channel: u32, now: Tick) {
         let _ = (id, channel, now);
     }
+
+    /// A reliability event (`mark`) occurred at `(rank, bank, row)` at `at`.
+    /// Only emitted when a fault model is armed; fault-free runs never call
+    /// this hook.
+    fn ras_event(&mut self, rank: u32, bank: u32, row: u64, mark: RasMark, at: Tick) {
+        let _ = (rank, bank, row, mark, at);
+    }
 }
 
 /// The disabled probe: every hook is a no-op and [`Probe::ENABLED`] is
@@ -237,6 +277,11 @@ impl<A: Probe, B: Probe> Probe for (A, B) {
         self.0.xbar_route(id, channel, now);
         self.1.xbar_route(id, channel, now);
     }
+
+    fn ras_event(&mut self, rank: u32, bank: u32, row: u64, mark: RasMark, at: Tick) {
+        self.0.ras_event(rank, bank, row, mark, at);
+        self.1.ras_event(rank, bank, row, mark, at);
+    }
 }
 
 /// Run-time optional probe: `None` observes nothing, `Some(p)` forwards to
@@ -280,6 +325,12 @@ impl<P: Probe> Probe for Option<P> {
     fn xbar_route(&mut self, id: u64, channel: u32, now: Tick) {
         if let Some(p) = self {
             p.xbar_route(id, channel, now);
+        }
+    }
+
+    fn ras_event(&mut self, rank: u32, bank: u32, row: u64, mark: RasMark, at: Tick) {
+        if let Some(p) = self {
+            p.ras_event(rank, bank, row, mark, at);
         }
     }
 }

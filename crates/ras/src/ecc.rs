@@ -1,0 +1,132 @@
+//! ECC schemes and the fault-classification table.
+
+/// The ECC scheme protecting each burst.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum EccMode {
+    /// No ECC: every fault is silent data corruption.
+    None,
+    /// SEC-DED (single-error-correct, double-error-detect) Hamming code,
+    /// the classic x72 side-band ECC.
+    #[default]
+    SecDed,
+    /// Chipkill-style single-symbol correction: corrects any fault
+    /// confined to one device, detects most multi-device faults.
+    Chipkill,
+}
+
+impl EccMode {
+    /// Canonical lower-case name (also the CLI spelling).
+    pub fn name(self) -> &'static str {
+        match self {
+            EccMode::None => "none",
+            EccMode::SecDed => "secded",
+            EccMode::Chipkill => "chipkill",
+        }
+    }
+}
+
+impl std::fmt::Display for EccMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for EccMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "none" => Ok(EccMode::None),
+            "secded" => Ok(EccMode::SecDed),
+            "chipkill" => Ok(EccMode::Chipkill),
+            other => Err(format!(
+                "unknown ECC mode {other:?} (expected none, secded or chipkill)"
+            )),
+        }
+    }
+}
+
+/// What the ECC made of a faulty burst.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EccOutcome {
+    /// The error was corrected in-line; data is intact.
+    Corrected,
+    /// The error was detected but not correctable; data is poisoned and
+    /// the controller degrades (remap / offline).
+    Uncorrected,
+    /// The error escaped detection: silent data corruption.
+    Silent,
+}
+
+impl EccOutcome {
+    /// Canonical lower-case name used in fault logs.
+    pub fn name(self) -> &'static str {
+        match self {
+            EccOutcome::Corrected => "corrected",
+            EccOutcome::Uncorrected => "uncorrected",
+            EccOutcome::Silent => "silent",
+        }
+    }
+}
+
+use crate::inject::FaultKind;
+
+/// The classification table (see DESIGN.md "RAS and fault injection"):
+///
+/// | fault                           | none   | secded      | chipkill    |
+/// |---------------------------------|--------|-------------|-------------|
+/// | transient single-bit            | silent | corrected   | corrected   |
+/// | stuck-at row (one symbol)       | silent | uncorrected | corrected   |
+/// | rank/chip hard (multi-symbol)   | silent | uncorrected¹| uncorrected¹|
+///
+/// ¹ with a deterministic 1-in-16 syndrome-alias chance of going silent,
+/// drawn from the fault stream (`alias`), modelling the miscorrection
+/// window of real codes under multi-symbol corruption.
+pub(crate) fn classify(ecc: EccMode, kind: FaultKind, alias: u64) -> EccOutcome {
+    match (ecc, kind) {
+        (EccMode::None, _) => EccOutcome::Silent,
+        (_, FaultKind::Transient) => EccOutcome::Corrected,
+        (EccMode::SecDed, FaultKind::StuckRow) => EccOutcome::Uncorrected,
+        (EccMode::Chipkill, FaultKind::StuckRow) => EccOutcome::Corrected,
+        (_, FaultKind::RankFail) => {
+            if alias % 16 == 0 {
+                EccOutcome::Silent
+            } else {
+                EccOutcome::Uncorrected
+            }
+        }
+        // Link errors are caught by CRC/parity, not ECC; they never reach
+        // classification (the controller retries instead).
+        (_, FaultKind::WriteCrc | FaultKind::CaParity) => EccOutcome::Uncorrected,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_and_parsing_round_trip() {
+        for ecc in [EccMode::None, EccMode::SecDed, EccMode::Chipkill] {
+            assert_eq!(ecc.name().parse::<EccMode>().unwrap(), ecc);
+        }
+        assert!("sec-ded".parse::<EccMode>().is_err());
+        assert_eq!(EccOutcome::Corrected.name(), "corrected");
+    }
+
+    #[test]
+    fn classification_table() {
+        use EccOutcome::*;
+        use FaultKind::*;
+        assert_eq!(classify(EccMode::None, Transient, 1), Silent);
+        assert_eq!(classify(EccMode::None, StuckRow, 1), Silent);
+        assert_eq!(classify(EccMode::SecDed, Transient, 1), Corrected);
+        assert_eq!(classify(EccMode::SecDed, StuckRow, 1), Uncorrected);
+        assert_eq!(classify(EccMode::Chipkill, Transient, 1), Corrected);
+        assert_eq!(classify(EccMode::Chipkill, StuckRow, 1), Corrected);
+        // Multi-symbol faults alias 1-in-16 deterministically.
+        assert_eq!(classify(EccMode::SecDed, RankFail, 16), Silent);
+        assert_eq!(classify(EccMode::SecDed, RankFail, 17), Uncorrected);
+        assert_eq!(classify(EccMode::Chipkill, RankFail, 3), Uncorrected);
+    }
+}

@@ -1,0 +1,731 @@
+//! The fault injector and degradation bookkeeping engine.
+//!
+//! The controllers call [`FaultModel::check`] once per serviced burst
+//! (at the tick the data transfer completes) and act on the returned
+//! [`BurstReport`]: retry on link errors, keep going on corrected or
+//! silent faults, degrade (remap / offline) on uncorrectable ones — the
+//! degradation decision itself is made here so both controllers share one
+//! policy.
+
+use crate::config::{per_tick, RasConfig, RasGeometry};
+use crate::ecc::{classify, EccOutcome};
+use dramctrl_kernel::hash::DetMap;
+use dramctrl_kernel::rng::splitmix64;
+use dramctrl_kernel::Tick;
+
+/// The kinds of fault the injector models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// Transient single-bit upset (cleared once observed).
+    Transient,
+    /// Stuck-at row: a persistent single-symbol fault in one row.
+    StuckRow,
+    /// Hard chip/rank failure: persistent multi-symbol corruption.
+    RankFail,
+    /// Write-CRC error signalled via ALERT_n (DDR4-style).
+    WriteCrc,
+    /// Command/address parity error.
+    CaParity,
+}
+
+impl FaultKind {
+    /// Canonical lower-case name used in fault logs.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultKind::Transient => "transient",
+            FaultKind::StuckRow => "stuck-row",
+            FaultKind::RankFail => "rank-fail",
+            FaultKind::WriteCrc => "write-crc",
+            FaultKind::CaParity => "ca-parity",
+        }
+    }
+}
+
+/// What the controller should do with a just-serviced burst.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BurstOutcome {
+    /// No fault: proceed normally.
+    Clean,
+    /// A fault occurred and ECC corrected it: proceed, count it.
+    Corrected,
+    /// A detected-uncorrectable fault: data is poisoned, degradation has
+    /// been recorded; proceed (deliver the poisoned response) rather than
+    /// abort.
+    Uncorrected,
+    /// An undetected fault: silent data corruption (only the simulator
+    /// knows); proceed.
+    Silent,
+    /// A link error (write CRC or C/A parity): the burst did not take
+    /// effect — retry it with backoff, or give up after
+    /// [`RasConfig::max_retries`].
+    LinkError,
+}
+
+impl BurstOutcome {
+    /// Canonical lower-case name used in fault logs.
+    pub fn name(self) -> &'static str {
+        match self {
+            BurstOutcome::Clean => "clean",
+            BurstOutcome::Corrected => "corrected",
+            BurstOutcome::Uncorrected => "uncorrected",
+            BurstOutcome::Silent => "silent",
+            BurstOutcome::LinkError => "link-error",
+        }
+    }
+}
+
+/// Everything [`FaultModel::check`] decided about one burst.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BurstReport {
+    /// The controller-facing disposition.
+    pub outcome: BurstOutcome,
+    /// The underlying fault, when one occurred.
+    pub kind: Option<FaultKind>,
+    /// Whether this burst's row was just remapped to a spare.
+    pub remapped: bool,
+    /// A rank that was just taken offline by this burst, if any.
+    pub offlined_rank: Option<u32>,
+}
+
+impl BurstReport {
+    fn clean() -> Self {
+        Self {
+            outcome: BurstOutcome::Clean,
+            kind: None,
+            remapped: false,
+            offlined_rank: None,
+        }
+    }
+}
+
+/// One entry of the deterministic fault log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultRecord {
+    /// Tick the fault was observed (burst data-end time).
+    pub at: Tick,
+    /// Faulting rank.
+    pub rank: u32,
+    /// Faulting bank.
+    pub bank: u32,
+    /// Faulting row.
+    pub row: u64,
+    /// What went wrong.
+    pub kind: FaultKind,
+    /// How it was classified / handled.
+    pub outcome: BurstOutcome,
+}
+
+/// Error, retry and degradation counters. All start at zero; the
+/// controllers publish them as `ras_*` report entries.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RasStats {
+    /// Transient single-bit upsets injected.
+    pub transient_faults: u64,
+    /// Stuck-at row onsets injected.
+    pub stuck_rows: u64,
+    /// Hard rank failures injected.
+    pub rank_failures: u64,
+    /// Write-CRC (ALERT_n) link errors.
+    pub crc_errors: u64,
+    /// Command/address parity errors.
+    pub parity_errors: u64,
+    /// Bursts whose fault ECC corrected.
+    pub corrected: u64,
+    /// Bursts with detected-uncorrectable faults (including retry
+    /// give-ups).
+    pub uncorrected: u64,
+    /// Bursts with silent (undetected) corruption.
+    pub silent: u64,
+    /// In-queue burst retries performed.
+    pub retries: u64,
+    /// Bursts whose retry budget was exhausted.
+    pub retries_exhausted: u64,
+    /// Rows remapped to the spare-row pool.
+    pub row_remaps: u64,
+    /// Ranks taken offline.
+    pub ranks_offlined: u64,
+}
+
+impl RasStats {
+    /// The counters as stable `(name, value)` report entries, in a fixed
+    /// order, prefixed `ras_`.
+    pub fn entries(&self) -> [(&'static str, u64); 12] {
+        [
+            ("ras_transient_faults", self.transient_faults),
+            ("ras_stuck_rows", self.stuck_rows),
+            ("ras_rank_failures", self.rank_failures),
+            ("ras_crc_errors", self.crc_errors),
+            ("ras_parity_errors", self.parity_errors),
+            ("ras_corrected", self.corrected),
+            ("ras_uncorrected", self.uncorrected),
+            ("ras_silent", self.silent),
+            ("ras_retries", self.retries),
+            ("ras_retries_exhausted", self.retries_exhausted),
+            ("ras_row_remaps", self.row_remaps),
+            ("ras_ranks_offlined", self.ranks_offlined),
+        ]
+    }
+}
+
+/// Per-row fault stream state.
+#[derive(Debug, Clone)]
+struct RowState {
+    /// SplitMix64 stream state, keyed by `(seed, rank, bank, row)`.
+    stream: u64,
+    /// Tick of the last cell-fault evaluation for this row.
+    last: Tick,
+    /// A stuck-at fault is active on this row.
+    stuck: bool,
+    /// The row has been remapped to a spare (clean again).
+    remapped: bool,
+}
+
+/// Per-rank hard-failure stream state.
+#[derive(Debug, Clone)]
+struct RankState {
+    stream: u64,
+    last: Tick,
+}
+
+/// The seeded deterministic fault injector plus the shared degradation
+/// policy (spare-row remap, then rank offlining).
+///
+/// All probability draws advance SplitMix64 streams keyed by the fault
+/// site, so the decision for an access depends only on the seed and the
+/// sequence of accesses to that site — never on unrelated traffic,
+/// thread interleaving or map iteration order.
+#[derive(Debug, Clone)]
+pub struct FaultModel {
+    cfg: RasConfig,
+    geom: RasGeometry,
+    /// Per-tick Poisson intensities (precomputed from the per-Gb·h rates).
+    l_transient: f64,
+    l_stuck: f64,
+    l_rank: f64,
+    rows: DetMap<(u32, u32, u64), RowState>,
+    ranks: Vec<RankState>,
+    /// Bit `r` set = rank `r` is offline.
+    offline_mask: u32,
+    /// Remaining spare rows per flat (rank, bank).
+    spares: Vec<u32>,
+    stats: RasStats,
+    log: Vec<FaultRecord>,
+}
+
+/// Uniform `[0, 1)` from a u64 draw, bit-exact on every platform.
+fn unit(draw: u64) -> f64 {
+    (draw >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Decorrelated SplitMix64 stream seed for a fault site.
+fn stream_seed(seed: u64, rank: u32, bank: u32, row: u64) -> u64 {
+    let mut s = seed
+        ^ u64::from(rank).wrapping_mul(0xA24B_AED4_963E_E407)
+        ^ u64::from(bank).wrapping_mul(0x9E6D_62D0_6F6A_9A9B)
+        ^ row.wrapping_mul(0xD134_2543_DE82_EF95);
+    let _ = splitmix64(&mut s); // whiten so nearby sites decorrelate
+    s
+}
+
+impl FaultModel {
+    /// Builds an injector for a channel with the given geometry.
+    ///
+    /// # Panics
+    /// Panics if the config fails [`RasConfig::validate`] or the geometry
+    /// is degenerate.
+    pub fn new(cfg: RasConfig, geom: RasGeometry) -> Self {
+        cfg.validate().expect("invalid RAS config");
+        assert!(geom.ranks > 0 && geom.banks > 0, "degenerate geometry");
+        assert!(geom.ranks <= 32, "offline mask supports up to 32 ranks");
+        let l_transient = per_tick(cfg.transient_per_gbh, geom.row_gigabits());
+        let l_stuck = per_tick(cfg.stuck_per_gbh, geom.row_gigabits());
+        let l_rank = per_tick(cfg.rank_fail_per_gbh, geom.rank_gigabits());
+        let ranks = (0..geom.ranks)
+            .map(|r| RankState {
+                stream: stream_seed(cfg.seed, r, u32::MAX, u64::MAX),
+                last: 0,
+            })
+            .collect();
+        let spares = vec![cfg.spare_rows_per_bank; (geom.ranks * geom.banks) as usize];
+        Self {
+            cfg,
+            geom,
+            l_transient,
+            l_stuck,
+            l_rank,
+            rows: DetMap::default(),
+            ranks,
+            offline_mask: 0,
+            spares,
+            stats: RasStats::default(),
+            log: Vec::new(),
+        }
+    }
+
+    /// The configuration the model was built with.
+    pub fn config(&self) -> &RasConfig {
+        &self.cfg
+    }
+
+    /// Whether every fault source is disabled (the model is transparent).
+    pub fn is_fault_free(&self) -> bool {
+        self.cfg.is_fault_free()
+    }
+
+    /// Bitmask of offlined ranks (bit `r` = rank `r` offline).
+    pub fn offline_mask(&self) -> u32 {
+        self.offline_mask
+    }
+
+    /// Number of ranks still online.
+    pub fn live_ranks(&self) -> u32 {
+        self.geom.ranks - self.offline_mask.count_ones()
+    }
+
+    /// The error/retry/degradation counters.
+    pub fn stats(&self) -> &RasStats {
+        &self.stats
+    }
+
+    /// The fault log, in occurrence order.
+    pub fn log(&self) -> &[FaultRecord] {
+        &self.log
+    }
+
+    /// The fault log rendered one line per record — the byte-identical
+    /// artifact the determinism tests compare.
+    pub fn log_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for r in &self.log {
+            let _ = writeln!(
+                out,
+                "{} rank {} bank {} row {} {} {}",
+                r.at,
+                r.rank,
+                r.bank,
+                r.row,
+                r.kind.name(),
+                r.outcome.name()
+            );
+        }
+        out
+    }
+
+    /// Retry budget per burst.
+    pub fn max_retries(&self) -> u32 {
+        self.cfg.max_retries
+    }
+
+    /// Exponential backoff before retry `attempt` (0-based): the base
+    /// backoff doubled per attempt.
+    pub fn retry_delay(&self, attempt: u32) -> Tick {
+        self.cfg.retry_backoff << attempt.min(16)
+    }
+
+    /// Counts one in-queue retry.
+    pub fn note_retry(&mut self) {
+        self.stats.retries += 1;
+    }
+
+    /// Counts a burst that exhausted its retry budget; the give-up is a
+    /// detected-uncorrected error.
+    pub fn note_retry_exhausted(&mut self) {
+        self.stats.retries_exhausted += 1;
+        self.stats.uncorrected += 1;
+    }
+
+    fn count(&mut self, outcome: BurstOutcome) {
+        match outcome {
+            BurstOutcome::Corrected => self.stats.corrected += 1,
+            BurstOutcome::Uncorrected => self.stats.uncorrected += 1,
+            BurstOutcome::Silent => self.stats.silent += 1,
+            BurstOutcome::Clean | BurstOutcome::LinkError => {}
+        }
+    }
+
+    fn record(
+        &mut self,
+        at: Tick,
+        rank: u32,
+        bank: u32,
+        row: u64,
+        kind: FaultKind,
+        o: BurstOutcome,
+    ) {
+        self.log.push(FaultRecord {
+            at,
+            rank,
+            bank,
+            row,
+            kind,
+            outcome: o,
+        });
+    }
+
+    /// Takes `rank` offline unless it is the last one standing (the
+    /// channel keeps serving, degraded, rather than dying entirely).
+    /// Returns the rank when it was actually offlined.
+    fn offline(&mut self, rank: u32) -> Option<u32> {
+        if self.live_ranks() > 1 && self.offline_mask & (1 << rank) == 0 {
+            self.offline_mask |= 1 << rank;
+            self.stats.ranks_offlined += 1;
+            Some(rank)
+        } else {
+            None
+        }
+    }
+
+    /// Evaluates the fault streams for one serviced burst at `now` (its
+    /// data-end tick) and applies the degradation policy. Call exactly
+    /// once per burst, in service order.
+    pub fn check(
+        &mut self,
+        rank: u32,
+        bank: u32,
+        row: u64,
+        is_read: bool,
+        now: Tick,
+    ) -> BurstReport {
+        let mut rep = BurstReport::clean();
+
+        // 1. Accesses touching an offlined rank (packets enqueued before
+        // the failure) are hard faults; no new degradation.
+        if self.offline_mask & (1 << rank) != 0 {
+            rep.outcome = BurstOutcome::Uncorrected;
+            rep.kind = Some(FaultKind::RankFail);
+            self.count(rep.outcome);
+            self.record(now, rank, bank, row, FaultKind::RankFail, rep.outcome);
+            return rep;
+        }
+
+        // 2. Hard rank failure: per-rank Poisson stream over elapsed time.
+        if self.l_rank > 0.0 {
+            let rk = &mut self.ranks[rank as usize];
+            let dt = now.saturating_sub(rk.last);
+            rk.last = now;
+            if dt > 0 {
+                let p = (self.l_rank * dt as f64).min(1.0);
+                let draw = splitmix64(&mut rk.stream);
+                if unit(draw) < p {
+                    let alias = splitmix64(&mut rk.stream);
+                    self.stats.rank_failures += 1;
+                    let outcome = match classify(self.cfg.ecc, FaultKind::RankFail, alias) {
+                        EccOutcome::Corrected => BurstOutcome::Corrected,
+                        EccOutcome::Uncorrected => BurstOutcome::Uncorrected,
+                        EccOutcome::Silent => BurstOutcome::Silent,
+                    };
+                    self.count(outcome);
+                    self.record(now, rank, bank, row, FaultKind::RankFail, outcome);
+                    if outcome != BurstOutcome::Silent {
+                        rep.offlined_rank = self.offline(rank);
+                    }
+                    rep.outcome = outcome;
+                    rep.kind = Some(FaultKind::RankFail);
+                    return rep;
+                }
+            }
+        }
+
+        let has_link = self.cfg.link_error_rate > 0.0;
+        let has_cells = self.l_transient > 0.0 || self.l_stuck > 0.0;
+        if !(has_link || (is_read && has_cells)) {
+            return rep;
+        }
+
+        let seed = self.cfg.seed;
+        let rs = self
+            .rows
+            .entry((rank, bank, row))
+            .or_insert_with(|| RowState {
+                stream: stream_seed(seed, rank, bank, row),
+                last: 0,
+                stuck: false,
+                remapped: false,
+            });
+
+        // 3. Link errors: write CRC (ALERT_n) on writes, C/A parity on
+        // reads. The burst did not take effect; the controller retries.
+        if has_link {
+            let draw = splitmix64(&mut rs.stream);
+            if unit(draw) < self.cfg.link_error_rate {
+                let kind = if is_read {
+                    FaultKind::CaParity
+                } else {
+                    FaultKind::WriteCrc
+                };
+                if is_read {
+                    self.stats.parity_errors += 1;
+                } else {
+                    self.stats.crc_errors += 1;
+                }
+                self.record(now, rank, bank, row, kind, BurstOutcome::LinkError);
+                rep.outcome = BurstOutcome::LinkError;
+                rep.kind = Some(kind);
+                return rep;
+            }
+        }
+
+        // 4. Cell faults are observed on reads (writes land faults that a
+        // later read of a stuck row will see).
+        if is_read && has_cells {
+            let dt = now.saturating_sub(rs.last);
+            rs.last = now;
+            if !rs.stuck && !rs.remapped && self.l_stuck > 0.0 && dt > 0 {
+                let p = (self.l_stuck * dt as f64).min(1.0);
+                let draw = splitmix64(&mut rs.stream);
+                if unit(draw) < p {
+                    rs.stuck = true;
+                    self.stats.stuck_rows += 1;
+                }
+            }
+            if rs.stuck {
+                let outcome = match classify(self.cfg.ecc, FaultKind::StuckRow, 0) {
+                    EccOutcome::Corrected => BurstOutcome::Corrected,
+                    EccOutcome::Uncorrected => BurstOutcome::Uncorrected,
+                    EccOutcome::Silent => BurstOutcome::Silent,
+                };
+                self.count(outcome);
+                self.record(now, rank, bank, row, FaultKind::StuckRow, outcome);
+                rep.outcome = outcome;
+                rep.kind = Some(FaultKind::StuckRow);
+                // Detected persistent faults are repaired: remap the row
+                // to a spare, or offline the rank once the pool is dry.
+                if outcome != BurstOutcome::Silent {
+                    let slot = (rank * self.geom.banks + bank) as usize;
+                    if self.spares[slot] > 0 {
+                        self.spares[slot] -= 1;
+                        self.stats.row_remaps += 1;
+                        if let Some(rs) = self.rows.get_mut(&(rank, bank, row)) {
+                            rs.stuck = false;
+                            rs.remapped = true;
+                        }
+                        rep.remapped = true;
+                    } else {
+                        rep.offlined_rank = self.offline(rank);
+                    }
+                }
+                return rep;
+            }
+            if self.l_transient > 0.0 && dt > 0 {
+                let p = (self.l_transient * dt as f64).min(1.0);
+                let draw = splitmix64(&mut rs.stream);
+                if unit(draw) < p {
+                    self.stats.transient_faults += 1;
+                    let outcome = match classify(self.cfg.ecc, FaultKind::Transient, 0) {
+                        EccOutcome::Corrected => BurstOutcome::Corrected,
+                        EccOutcome::Uncorrected => BurstOutcome::Uncorrected,
+                        EccOutcome::Silent => BurstOutcome::Silent,
+                    };
+                    self.count(outcome);
+                    self.record(now, rank, bank, row, FaultKind::Transient, outcome);
+                    rep.outcome = outcome;
+                    rep.kind = Some(FaultKind::Transient);
+                    return rep;
+                }
+            }
+        }
+
+        rep
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::EccMode;
+
+    fn geom() -> RasGeometry {
+        RasGeometry {
+            ranks: 2,
+            banks: 8,
+            row_bytes: 8 * 1024,
+            rank_bytes: 2 << 30,
+        }
+    }
+
+    /// A synthetic access sequence sweeping rows over simulated time.
+    fn drive(fm: &mut FaultModel, accesses: u64) {
+        for i in 0..accesses {
+            let rank = (i % 2) as u32;
+            let bank = ((i / 2) % 8) as u32;
+            let row = (i / 16) % 64;
+            let now = (i + 1) * 1_000_000; // 1 us apart
+            let _ = fm.check(rank, bank, row, i % 4 != 3, now);
+        }
+    }
+
+    #[test]
+    fn fault_free_model_is_transparent() {
+        let mut fm = FaultModel::new(RasConfig::new(1), geom());
+        assert!(fm.is_fault_free());
+        for i in 0..10_000u64 {
+            let rep = fm.check((i % 2) as u32, (i % 8) as u32, i % 32, true, i * 1_000);
+            assert_eq!(rep.outcome, BurstOutcome::Clean);
+        }
+        assert_eq!(fm.stats(), &RasStats::default());
+        assert!(fm.log().is_empty());
+        assert_eq!(fm.log_text(), "");
+        assert_eq!(fm.offline_mask(), 0);
+    }
+
+    #[test]
+    fn same_seed_same_log() {
+        let cfg = RasConfig::from_error_rate(1e11, 42);
+        let run = || {
+            let mut fm = FaultModel::new(cfg.clone(), geom());
+            drive(&mut fm, 20_000);
+            (fm.log_text(), *fm.stats())
+        };
+        let (log_a, stats_a) = run();
+        let (log_b, stats_b) = run();
+        assert!(!log_a.is_empty(), "accelerated rates must inject faults");
+        assert_eq!(log_a, log_b);
+        assert_eq!(stats_a, stats_b);
+        // A different seed yields a different fault sequence.
+        let mut other = FaultModel::new(RasConfig::from_error_rate(1e11, 43), geom());
+        drive(&mut other, 20_000);
+        assert_ne!(log_a, other.log_text());
+    }
+
+    #[test]
+    fn single_bit_rates_under_secded_never_go_silent() {
+        let mut cfg = RasConfig::new(7);
+        cfg.transient_per_gbh = 1e12; // single-bit transients only
+        let mut fm = FaultModel::new(cfg, geom());
+        drive(&mut fm, 50_000);
+        let s = fm.stats();
+        assert!(s.transient_faults > 0, "rate high enough to fire");
+        assert_eq!(s.corrected, s.transient_faults);
+        assert_eq!(s.silent, 0);
+        assert_eq!(s.uncorrected, 0);
+    }
+
+    #[test]
+    fn no_ecc_makes_everything_silent() {
+        let mut cfg = RasConfig::new(7).with_ecc(EccMode::None);
+        cfg.transient_per_gbh = 1e12;
+        let mut fm = FaultModel::new(cfg, geom());
+        drive(&mut fm, 20_000);
+        assert!(fm.stats().silent > 0);
+        assert_eq!(fm.stats().corrected, 0);
+        // Undetected faults are never repaired.
+        assert_eq!(fm.stats().row_remaps, 0);
+    }
+
+    #[test]
+    fn stuck_rows_remap_until_spares_run_out_then_offline() {
+        let mut cfg = RasConfig::new(3);
+        cfg.stuck_per_gbh = 1e13;
+        cfg.spare_rows_per_bank = 2;
+        let mut fm = FaultModel::new(cfg, geom());
+        // Hammer distinct rows of one bank far apart in time so each
+        // first touch trips the stuck-at onset.
+        let mut offlined = None;
+        for row in 0..64u64 {
+            let rep = fm.check(0, 0, row, true, (row + 1) * 1_000_000_000);
+            if rep.offlined_rank.is_some() {
+                offlined = rep.offlined_rank;
+                break;
+            }
+        }
+        let s = fm.stats();
+        assert_eq!(s.row_remaps, 2, "both spares consumed first");
+        assert_eq!(offlined, Some(0), "then the rank goes offline");
+        assert_eq!(fm.offline_mask(), 1);
+        assert_eq!(fm.live_ranks(), 1);
+        // Later accesses to the dead rank are hard faults, but the other
+        // rank keeps serving cleanly at these (stuck-only) rates for
+        // already-remapped rows.
+        let rep = fm.check(0, 3, 9, true, 1 << 40);
+        assert_eq!(rep.outcome, BurstOutcome::Uncorrected);
+        assert_eq!(rep.kind, Some(FaultKind::RankFail));
+    }
+
+    #[test]
+    fn remapped_rows_are_clean_again() {
+        let mut cfg = RasConfig::new(3);
+        cfg.stuck_per_gbh = 1e13;
+        let mut fm = FaultModel::new(cfg, geom());
+        let first = fm.check(1, 2, 5, true, 1_000_000_000);
+        assert_eq!(first.outcome, BurstOutcome::Uncorrected);
+        assert!(first.remapped);
+        let again = fm.check(1, 2, 5, true, 2_000_000_000);
+        assert_eq!(again.outcome, BurstOutcome::Clean, "spare row is clean");
+        assert_eq!(fm.stats().row_remaps, 1);
+    }
+
+    #[test]
+    fn chipkill_corrects_stuck_rows_without_offlining() {
+        let mut cfg = RasConfig::new(3).with_ecc(EccMode::Chipkill);
+        cfg.stuck_per_gbh = 1e13;
+        let mut fm = FaultModel::new(cfg, geom());
+        let rep = fm.check(0, 0, 1, true, 1_000_000_000);
+        assert_eq!(rep.outcome, BurstOutcome::Corrected);
+        assert!(rep.remapped, "still proactively remapped");
+        assert_eq!(fm.offline_mask(), 0);
+    }
+
+    #[test]
+    fn link_errors_hit_both_directions_and_respect_rate() {
+        let mut cfg = RasConfig::new(9);
+        cfg.link_error_rate = 0.1;
+        let mut fm = FaultModel::new(cfg, geom());
+        drive(&mut fm, 40_000);
+        let s = *fm.stats();
+        assert!(s.parity_errors > 0, "reads see C/A parity errors");
+        assert!(s.crc_errors > 0, "writes see CRC errors");
+        let hits = s.parity_errors + s.crc_errors;
+        // 10% of 40k accesses, loose 3-sigma-ish bound.
+        assert!((3_000..5_000).contains(&hits), "got {hits}");
+    }
+
+    #[test]
+    fn rank_failures_offline_all_but_the_last_rank() {
+        let mut cfg = RasConfig::new(11);
+        cfg.rank_fail_per_gbh = 1e9;
+        let mut fm = FaultModel::new(cfg, geom());
+        for i in 0..10_000u64 {
+            let _ = fm.check((i % 2) as u32, 0, 0, true, (i + 1) * 1_000_000_000);
+        }
+        assert!(fm.stats().rank_failures > 0);
+        assert_eq!(fm.stats().ranks_offlined, 1, "last rank never offlined");
+        assert_eq!(fm.live_ranks(), 1);
+    }
+
+    #[test]
+    fn retry_plumbing() {
+        let mut fm = FaultModel::new(RasConfig::new(0), geom());
+        assert_eq!(fm.max_retries(), 4);
+        assert_eq!(fm.retry_delay(0), 20_000);
+        assert_eq!(fm.retry_delay(3), 160_000);
+        fm.note_retry();
+        fm.note_retry();
+        fm.note_retry_exhausted();
+        assert_eq!(fm.stats().retries, 2);
+        assert_eq!(fm.stats().retries_exhausted, 1);
+        assert_eq!(fm.stats().uncorrected, 1);
+    }
+
+    #[test]
+    fn stats_entries_are_stable() {
+        let fm = FaultModel::new(RasConfig::new(0), geom());
+        let entries = fm.stats().entries();
+        assert_eq!(entries.len(), 12);
+        assert_eq!(entries[0].0, "ras_transient_faults");
+        assert_eq!(entries[11].0, "ras_ranks_offlined");
+        assert!(entries.iter().all(|&(_, v)| v == 0));
+    }
+
+    #[test]
+    fn log_text_format() {
+        let mut cfg = RasConfig::new(3);
+        cfg.stuck_per_gbh = 1e13;
+        let mut fm = FaultModel::new(cfg, geom());
+        let _ = fm.check(1, 2, 5, true, 1_000_000_000);
+        assert_eq!(
+            fm.log_text(),
+            "1000000000 rank 1 bank 2 row 5 stuck-row uncorrected\n"
+        );
+    }
+}

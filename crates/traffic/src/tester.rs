@@ -143,9 +143,13 @@ impl Tester {
                     }
                     Err(Rejected::Full) => {
                         stalls += 1;
-                        let next = ctrl
-                            .next_event()
-                            .expect("a full controller must have pending work");
+                        let next = ctrl.next_event().unwrap_or_else(|| {
+                            panic!(
+                                "simulation stalled at tick {now}: controller rejected a \
+                                 request as Full but schedules no event to drain it \
+                                 (queued work with no way forward)"
+                            )
+                        });
                         now = now.max(next);
                         if now > until {
                             dropped += 1;
