@@ -13,8 +13,8 @@
 pub mod runner;
 
 pub use runner::{
-    cy_cfg, cy_ctrl_with, ev_cfg, ev_ctrl_with, gen_for_job, job_metrics, run_job,
-    run_job_observed, std_tester, JobArtifacts,
+    cy_cfg, cy_ctrl_with, ev_cfg, ev_ctrl_with, gen_for_job, job_fingerprint, job_metrics, run_job,
+    run_job_observed, run_job_resumable, std_tester, JobArtifacts,
 };
 
 use std::time::Instant;

@@ -11,12 +11,17 @@
 use dramctrl::{CtrlConfig, DramCtrl, EccMode, FaultModel, PagePolicy, RasConfig, SchedPolicy};
 use dramctrl_campaign::{JobMetrics, JobSpec, Model, TrafficPattern};
 use dramctrl_cycle::{CycleConfig, CycleCtrl, CyclePagePolicy, CycleSched};
+use dramctrl_kernel::fsio::write_atomic;
+use dramctrl_kernel::snap::{fingerprint, SnapError, SnapReader, SnapState, SnapWriter};
 use dramctrl_kernel::Tick;
 use dramctrl_mem::{presets, AddrMapping, Controller, MemSpec};
 use dramctrl_obs::{ChromeTracer, EpochRecorder};
 use dramctrl_stats::Report;
 use dramctrl_system::MultiChannel;
-use dramctrl_traffic::{DramAwareGen, LinearGen, RandomGen, TestSummary, Tester, TrafficGen};
+use dramctrl_traffic::{
+    DramAwareGen, LinearGen, RandomGen, SnapGen, TestRun, TestSummary, Tester, TrafficGen,
+};
+use std::path::Path;
 
 /// The event-model configuration for a (policy, scheduler, mapping,
 /// channels) tuple.
@@ -91,8 +96,10 @@ pub fn std_tester() -> Tester {
     Tester::new(200_000, 1_000)
 }
 
-/// Builds the seeded traffic generator described by `job`.
-pub fn gen_for_job(job: &JobSpec, spec: &MemSpec) -> Box<dyn TrafficGen> {
+/// Builds the seeded traffic generator described by `job`. The box is a
+/// [`SnapGen`], so the generator's stream position participates in job
+/// checkpoints.
+pub fn gen_for_job(job: &JobSpec, spec: &MemSpec) -> Box<dyn SnapGen> {
     let rd = job.read_pct;
     let n = job.requests;
     match job.traffic {
@@ -192,11 +199,54 @@ pub fn job_metrics(s: &TestSummary) -> JobMetrics {
 /// [`JobOutcome::Failed`](dramctrl_campaign::JobOutcome) records rather
 /// than aborting the sweep.
 pub fn run_job(job: &JobSpec) -> JobMetrics {
+    run_job_resumable(job, None, 0, None).expect("an unpaused run always completes")
+}
+
+/// Fingerprint of a job's full specification — the compatibility guard
+/// stamped into job checkpoints, so a snapshot of one job can never be
+/// restored into a differently configured simulation.
+#[must_use]
+pub fn job_fingerprint(job: &JobSpec) -> u64 {
+    fingerprint(format!("{job:?}").as_bytes())
+}
+
+/// [`run_job`] with deterministic checkpoint/restore.
+///
+/// When `checkpoint` names a file that exists, the run *resumes* from it
+/// (the snapshot must carry [`job_fingerprint`]`(job)` — anything else
+/// panics loudly). While running, a snapshot of the tester run, the
+/// traffic generator and the controller is written atomically to
+/// `checkpoint` every `every` injected requests (`0` disables periodic
+/// checkpointing), and — when `pause_after` is `Some(n)` — the run stops
+/// at the first request boundary at or past `n` injections, writes a
+/// final checkpoint and returns `None`.
+///
+/// Restoring a checkpoint into a fresh process and running to completion
+/// yields metrics byte-identical to an uninterrupted [`run_job`]: request
+/// boundaries are legal checkpoints for every model, channel count and
+/// RAS configuration.
+///
+/// # Panics
+/// Panics like [`run_job`], and additionally on checkpoint I/O errors or
+/// a checkpoint that does not match the job (wrong fingerprint, torn or
+/// corrupt state) — under the campaign executor these become failed-job
+/// records.
+pub fn run_job_resumable(
+    job: &JobSpec,
+    checkpoint: Option<&Path>,
+    every: u64,
+    pause_after: Option<u64>,
+) -> Option<JobMetrics> {
     let spec = presets::by_name(&job.device)
         .unwrap_or_else(|| panic!("unknown device preset '{}'", job.device));
     let mut gen = gen_for_job(job, &spec);
-    let tester = std_tester();
     let ras = ras_for_job(job);
+    let ck = Ckpt {
+        fp: job_fingerprint(job),
+        path: checkpoint,
+        every,
+        pause_after,
+    };
     match job.model {
         Model::Event => {
             let mk = |ch_total| {
@@ -208,22 +258,22 @@ pub fn run_job(job: &JobSpec) -> JobMetrics {
             };
             if job.channels <= 1 {
                 let mut ctrl = mk(1);
-                let s = tester.run(&mut gen, &mut ctrl);
+                let s = ck.drive(&mut gen, &mut ctrl)?;
                 assert_no_stall(std::iter::once(&ctrl));
                 let mut m = job_metrics(&s);
                 add_ras_metrics(&mut m, ctrl.fault_model().into_iter());
-                m
+                Some(m)
             } else {
                 let ctrls = (0..job.channels).map(|_| mk(job.channels)).collect();
                 let mut xbar = MultiChannel::new(ctrls, 0)
                     .expect("valid crossbar")
                     .with_mapping(job.mapping);
-                let s = tester.run(&mut gen, &mut xbar);
+                let s = ck.drive(&mut gen, &mut xbar)?;
                 let (ctrls, _) = xbar.into_parts();
                 assert_no_stall(ctrls.iter());
                 let mut m = job_metrics(&s);
                 add_ras_metrics(&mut m, ctrls.iter().filter_map(DramCtrl::fault_model));
-                m
+                Some(m)
             }
         }
         Model::Cycle => {
@@ -234,23 +284,94 @@ pub fn run_job(job: &JobSpec) -> JobMetrics {
             };
             if job.channels <= 1 {
                 let mut ctrl = mk(1);
-                let s = tester.run(&mut gen, &mut ctrl);
+                let s = ck.drive(&mut gen, &mut ctrl)?;
                 let mut m = job_metrics(&s);
                 add_ras_metrics(&mut m, ctrl.fault_model().into_iter());
-                m
+                Some(m)
             } else {
                 let ctrls = (0..job.channels).map(|_| mk(job.channels)).collect();
                 let mut xbar = MultiChannel::new(ctrls, 0)
                     .expect("valid crossbar")
                     .with_mapping(job.mapping);
-                let s = tester.run(&mut gen, &mut xbar);
+                let s = ck.drive(&mut gen, &mut xbar)?;
                 let (ctrls, _) = xbar.into_parts();
                 let mut m = job_metrics(&s);
                 add_ras_metrics(&mut m, ctrls.iter().filter_map(CycleCtrl::fault_model));
-                m
+                Some(m)
             }
         }
     }
+}
+
+/// Checkpoint policy for one job run.
+struct Ckpt<'a> {
+    fp: u64,
+    path: Option<&'a Path>,
+    every: u64,
+    pause_after: Option<u64>,
+}
+
+impl Ckpt<'_> {
+    /// Drives the tester loop with restore-on-entry, periodic snapshots
+    /// and an optional pause point. Returns `None` when paused.
+    fn drive<G, C>(&self, gen: &mut G, ctrl: &mut C) -> Option<TestSummary>
+    where
+        G: TrafficGen + SnapState,
+        C: Controller + SnapState,
+    {
+        let mut run = std_tester().begin();
+        if let Some(path) = self.path.filter(|p| p.exists()) {
+            let bytes = std::fs::read(path)
+                .unwrap_or_else(|e| panic!("reading checkpoint {}: {e}", path.display()));
+            restore_all(&bytes, self.fp, &mut run, gen, ctrl)
+                .unwrap_or_else(|e| panic!("restoring checkpoint {}: {e}", path.display()));
+        }
+        while run.step(gen, ctrl, Tick::MAX) {
+            if let Some(n) = self.pause_after {
+                if run.injected() >= n {
+                    let path = self.path.expect("pausing a run requires a checkpoint path");
+                    self.save(path, &run, gen, ctrl);
+                    return None;
+                }
+            }
+            if self.every > 0 && run.injected() % self.every == 0 {
+                if let Some(path) = self.path {
+                    self.save(path, &run, gen, ctrl);
+                }
+            }
+        }
+        Some(run.finish(ctrl))
+    }
+
+    fn save<G: SnapState, C: SnapState>(&self, path: &Path, run: &TestRun, gen: &G, ctrl: &C) {
+        let mut w = SnapWriter::new(self.fp);
+        run.save_state(&mut w);
+        gen.save_state(&mut w);
+        ctrl.save_state(&mut w);
+        write_atomic(path, w.into_bytes())
+            .unwrap_or_else(|e| panic!("writing checkpoint {}: {e}", path.display()));
+    }
+}
+
+/// Restores `(run, gen, ctrl)` — the fixed snapshot component order —
+/// from checkpoint bytes.
+fn restore_all<G: SnapState, C: SnapState>(
+    bytes: &[u8],
+    fp: u64,
+    run: &mut TestRun,
+    gen: &mut G,
+    ctrl: &mut C,
+) -> Result<(), SnapError> {
+    let mut r = SnapReader::new(bytes, fp)?;
+    run.restore_state(&mut r)?;
+    gen.restore_state(&mut r)?;
+    ctrl.restore_state(&mut r)?;
+    if !r.is_exhausted() {
+        return Err(SnapError::Corrupt(
+            "checkpoint has trailing bytes after the controller state".into(),
+        ));
+    }
+    Ok(())
 }
 
 /// Observability artifacts produced by [`run_job_observed`], ready to be

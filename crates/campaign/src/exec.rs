@@ -9,6 +9,7 @@
 //! stored by job index, so the final report is independent of scheduling
 //! order and worker count.
 
+use crate::journal::CampaignJournal;
 use crate::report::{CampaignReport, JobMetrics, JobRecord};
 use crate::spec::{Campaign, JobSpec};
 use dramctrl_kernel::rng::splitmix64;
@@ -155,10 +156,62 @@ pub fn run_campaign<F>(campaign: &Campaign, cfg: &ExecutorConfig, runner: F) -> 
 where
     F: Fn(&JobSpec) -> JobMetrics + Sync,
 {
+    run_campaign_inner(campaign, cfg, None, runner)
+}
+
+/// [`run_campaign`] with a durable write-ahead journal: every finished
+/// job is committed to `journal` (appended and fsync'd) *before* it
+/// counts as done, and jobs the journal already records — from an earlier
+/// run that crashed or was killed — are skipped, their outcomes merged
+/// into the report from the journal.
+///
+/// The journal append is the single commit point: a job that produced
+/// artifacts but died before its append re-runs cleanly on resume, and a
+/// journaled job is never appended twice. The merged
+/// [`CampaignReport::to_jsonl`] is byte-identical to an uninterrupted
+/// run's at any worker count, because journaled lines and report lines
+/// come from one renderer and per-job results depend only on the spec.
+///
+/// # Panics
+/// Panics like [`run_campaign`], and additionally if a journal append
+/// fails — a record that cannot be made durable must not be reported as
+/// done.
+pub fn run_campaign_journaled<F>(
+    campaign: &Campaign,
+    cfg: &ExecutorConfig,
+    journal: &mut CampaignJournal,
+    runner: F,
+) -> CampaignReport
+where
+    F: Fn(&JobSpec) -> JobMetrics + Sync,
+{
+    run_campaign_inner(campaign, cfg, Some(journal), runner)
+}
+
+fn run_campaign_inner<F>(
+    campaign: &Campaign,
+    cfg: &ExecutorConfig,
+    journal: Option<&mut CampaignJournal>,
+    runner: F,
+) -> CampaignReport
+where
+    F: Fn(&JobSpec) -> JobMetrics + Sync,
+{
     assert!(cfg.max_attempts >= 1, "max_attempts must be at least 1");
     let jobs = campaign.expand();
     let total = jobs.len();
-    let workers = cfg.effective_workers(total);
+
+    // Seed the outcome table with what the journal already holds; only
+    // the remainder is dispatched to workers.
+    let mut prefilled: Vec<Option<JobOutcome>> = (0..total).map(|_| None).collect();
+    if let Some(j) = journal.as_deref() {
+        for (&i, outcome) in j.completed() {
+            prefilled[i] = Some(outcome.clone());
+        }
+    }
+    let pending: Vec<usize> = (0..total).filter(|&i| prefilled[i].is_none()).collect();
+
+    let workers = cfg.effective_workers(pending.len());
     let next = AtomicUsize::new(0);
     let (tx, rx) = mpsc::channel::<(usize, JobOutcome)>();
     let start = Instant::now();
@@ -167,13 +220,12 @@ where
         let jobs = &jobs;
         let next = &next;
         let runner = &runner;
+        let pending = &pending;
         for _ in 0..workers {
             let tx = tx.clone();
             s.spawn(move || loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= total {
-                    break;
-                }
+                let slot = next.fetch_add(1, Ordering::Relaxed);
+                let Some(&i) = pending.get(slot) else { break };
                 let outcome = run_one(&jobs[i], cfg, runner);
                 if tx.send((i, outcome)).is_err() {
                     break;
@@ -184,11 +236,27 @@ where
 
         let name = campaign.name.clone();
         let progress = cfg.progress;
+        let to_run = pending.len();
         let collector = s.spawn(move || {
-            let mut outcomes: Vec<Option<JobOutcome>> = (0..total).map(|_| None).collect();
+            let mut journal = journal;
+            let mut outcomes = prefilled;
             let mut done = 0usize;
             let mut failed = 0usize;
             while let Ok((i, outcome)) = rx.recv() {
+                // The commit point: the record hits the durable journal
+                // before the outcome is accepted into the report.
+                if let Some(j) = journal.as_deref_mut() {
+                    let rec = JobRecord {
+                        job: jobs[i].clone(),
+                        outcome: outcome.clone(),
+                    };
+                    j.commit(&rec).unwrap_or_else(|e| {
+                        panic!(
+                            "cannot commit job {i} to the campaign journal at {}: {e}",
+                            j.path().display()
+                        )
+                    });
+                }
                 done += 1;
                 if outcome.is_failed() {
                     failed += 1;
@@ -196,11 +264,11 @@ where
                 outcomes[i] = Some(outcome);
                 if progress == Progress::Stderr {
                     let elapsed = start.elapsed().as_secs_f64();
-                    let eta = elapsed / done as f64 * (total - done) as f64;
-                    eprint!("\r[{name}] {done}/{total} done, {failed} failed, ETA {eta:.0}s  ");
+                    let eta = elapsed / done as f64 * (to_run - done) as f64;
+                    eprint!("\r[{name}] {done}/{to_run} done, {failed} failed, ETA {eta:.0}s  ");
                 }
             }
-            if progress == Progress::Stderr && total > 0 {
+            if progress == Progress::Stderr && to_run > 0 {
                 eprintln!();
             }
             outcomes

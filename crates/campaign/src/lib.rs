@@ -17,6 +17,11 @@
 //! - [`CampaignReport`] aggregates per-job [`JobMetrics`] and renders
 //!   deterministic JSON lines ([`CampaignReport::to_jsonl`]) and
 //!   markdown tables ([`CampaignReport::table`]).
+//! - [`CampaignJournal`] is a durable write-ahead journal of completed
+//!   jobs: [`run_campaign_journaled`] fsyncs every record before counting
+//!   the job as done, so a killed sweep resumes exactly where it stopped —
+//!   skipping journaled jobs and merging their outcomes into a report
+//!   byte-identical to an uninterrupted run's.
 //!
 //! The engine is generic over the runner (`Fn(&JobSpec) -> JobMetrics`),
 //! so it has no dependency on the controller crates beyond the axis
@@ -51,9 +56,11 @@
 #![warn(missing_debug_implementations)]
 
 mod exec;
+mod journal;
 mod report;
 mod spec;
 
-pub use exec::{run_campaign, ExecutorConfig, JobOutcome, Progress};
+pub use exec::{run_campaign, run_campaign_journaled, ExecutorConfig, JobOutcome, Progress};
+pub use journal::{campaign_hash, CampaignJournal, JournalError, JOURNAL_VERSION};
 pub use report::{CampaignReport, JobMetrics, JobRecord};
 pub use spec::{job_seed, Campaign, JobSpec, Model, TrafficPattern};

@@ -129,54 +129,7 @@ impl CampaignReport {
     pub fn to_jsonl(&self) -> String {
         let mut out = String::new();
         for r in &self.records {
-            let j = &r.job;
-            write!(
-                out,
-                "{{\"campaign\":{},\"job\":{},\"seed\":{},\"device\":{},\"model\":{},\
-                 \"policy\":{},\"sched\":{},\"mapping\":{},\"channels\":{},\"traffic\":{},\
-                 \"read_pct\":{},\"requests\":{},\"error_rate\":{}",
-                json_str(&self.name),
-                j.index,
-                j.seed,
-                json_str(&j.device),
-                json_str(&j.model.to_string()),
-                json_str(&j.policy.to_string()),
-                json_str(&j.sched.to_string()),
-                json_str(&j.mapping.to_string()),
-                j.channels,
-                json_str(&j.traffic.to_string()),
-                j.read_pct,
-                j.requests,
-                json_f64(j.error_rate),
-            )
-            .expect("writing to String cannot fail");
-            match &r.outcome {
-                JobOutcome::Completed { metrics, attempts } => {
-                    write!(
-                        out,
-                        ",\"outcome\":\"ok\",\"attempts\":{attempts},\"metrics\":{{"
-                    )
-                    .unwrap();
-                    for (i, (k, v)) in metrics.iter().enumerate() {
-                        if i > 0 {
-                            out.push(',');
-                        }
-                        write!(out, "{}:{}", json_str(k), json_f64(v)).unwrap();
-                    }
-                    out.push_str("}}");
-                }
-                JobOutcome::Failed {
-                    panic_msg,
-                    attempts,
-                } => {
-                    write!(
-                        out,
-                        ",\"outcome\":\"failed\",\"attempts\":{attempts},\"panic_msg\":{}}}",
-                        json_str(panic_msg)
-                    )
-                    .unwrap();
-                }
-            }
+            out.push_str(&render_record(&self.name, r));
             out.push('\n');
         }
         out
@@ -242,6 +195,65 @@ impl CampaignReport {
             self.workers
         )
     }
+}
+
+/// Renders one [`JobRecord`] as its JSON-lines object, without a trailing
+/// newline. This is the single renderer behind both
+/// [`CampaignReport::to_jsonl`] and the durable campaign journal, so a
+/// journaled line is byte-identical to the report line the same record
+/// produces — resuming a crashed sweep can merge journaled and freshly
+/// computed records into one byte-identical report.
+pub(crate) fn render_record(campaign_name: &str, r: &JobRecord) -> String {
+    let mut out = String::new();
+    let j = &r.job;
+    write!(
+        out,
+        "{{\"campaign\":{},\"job\":{},\"seed\":{},\"device\":{},\"model\":{},\
+         \"policy\":{},\"sched\":{},\"mapping\":{},\"channels\":{},\"traffic\":{},\
+         \"read_pct\":{},\"requests\":{},\"error_rate\":{}",
+        json_str(campaign_name),
+        j.index,
+        j.seed,
+        json_str(&j.device),
+        json_str(&j.model.to_string()),
+        json_str(&j.policy.to_string()),
+        json_str(&j.sched.to_string()),
+        json_str(&j.mapping.to_string()),
+        j.channels,
+        json_str(&j.traffic.to_string()),
+        j.read_pct,
+        j.requests,
+        json_f64(j.error_rate),
+    )
+    .expect("writing to String cannot fail");
+    match &r.outcome {
+        JobOutcome::Completed { metrics, attempts } => {
+            write!(
+                out,
+                ",\"outcome\":\"ok\",\"attempts\":{attempts},\"metrics\":{{"
+            )
+            .unwrap();
+            for (i, (k, v)) in metrics.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write!(out, "{}:{}", json_str(k), json_f64(v)).unwrap();
+            }
+            out.push_str("}}");
+        }
+        JobOutcome::Failed {
+            panic_msg,
+            attempts,
+        } => {
+            write!(
+                out,
+                ",\"outcome\":\"failed\",\"attempts\":{attempts},\"panic_msg\":{}}}",
+                json_str(panic_msg)
+            )
+            .unwrap();
+        }
+    }
+    out
 }
 
 /// JSON string literal with escaping.

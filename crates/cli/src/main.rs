@@ -16,14 +16,18 @@ use args::{
 };
 use dramctrl::{CtrlConfig, DramCtrl, FaultModel, RasConfig};
 use dramctrl_cycle::{CycleConfig, CycleCtrl, CyclePagePolicy, CycleSched};
+use dramctrl_kernel::fsio::write_atomic;
+use dramctrl_kernel::snap::{fingerprint, SnapError, SnapReader, SnapState, SnapWriter};
 use dramctrl_kernel::Tick;
 use dramctrl_mem::{presets, Controller, MemSpec};
 use dramctrl_obs::{ChromeTracer, EpochRecorder};
 use dramctrl_power::{drampower_energy, micron_power};
 use dramctrl_stats::Report;
 use dramctrl_traffic::{
-    DramAwareGen, LinearGen, RandomGen, TestSummary, Tester, TraceEntry, TraceGen, TrafficGen,
+    DramAwareGen, LinearGen, RandomGen, SnapGen, TestSummary, Tester, TraceEntry, TraceGen,
+    TrafficGen,
 };
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 const USAGE: &str = "\
@@ -62,6 +66,16 @@ RAS OPTIONS (run and replay; faults are seeded and deterministic):
     --ecc MODE           none|secded|chipkill (default secded;
                          requires --ras)
 
+CHECKPOINT OPTIONS (run; snapshots are deterministic — resuming in a
+fresh process is byte-identical to never having stopped):
+    --checkpoint FILE    write a state snapshot to FILE and stop once
+                         --checkpoint-at requests have been injected
+    --checkpoint-at N    injection count at which to pause (requires
+                         --checkpoint)
+    --restore FILE       resume a run from a snapshot; the command line
+                         must describe the same simulation that wrote it
+                         (a mismatch is refused)
+
 OBSERVABILITY OPTIONS (run and replay):
     --perfetto FILE      write a Chrome/Perfetto trace of every DRAM command
                          (open the file at https://ui.perfetto.dev)
@@ -92,11 +106,23 @@ Cartesian product runs in parallel with per-job deterministic seeds):
     --workers N          worker threads, 0 = all cores (default 0)
     --retries N          attempts per job before it is recorded failed (default 2)
     --jsonl FILE         also write the deterministic JSON-lines report
+    --md FILE            also write the result table as markdown
     --csv                print the result table as CSV
     --quiet              suppress the stderr progress line
     --obs-dir DIR        per-job observability artifacts: DIR/job-<index>
                          gets .trace.json (Perfetto), .epochs.csv and
                          .stats.json
+    --journal PATH       write-ahead journal: every finished job is
+                         fsync'd to PATH (a directory gets journal.jsonl)
+                         before it counts as done
+    --resume PATH        resume a killed sweep from its journal: verifies
+                         the campaign matches, skips journaled jobs, runs
+                         the rest; merged reports are byte-identical to an
+                         uninterrupted run's
+    --checkpoint-every N checkpoint each running job every N injected
+                         requests (requires --journal/--resume; snapshots
+                         live beside the journal and are removed when the
+                         sweep completes)
 ";
 
 fn main() -> ExitCode {
@@ -173,6 +199,9 @@ const RUN_OPTS: &[&str] = &[
     "epochs",
     "epochs-out",
     "stats-json",
+    "checkpoint",
+    "checkpoint-at",
+    "restore",
 ];
 
 /// The CLI's run-time-selected probe: each sink is present only when its
@@ -221,7 +250,7 @@ impl ObsOpts {
     /// Writes the trace and epoch files from a finished run's probe.
     fn write_probe(&self, probe: CliProbe, end: Tick) -> Result<(), ArgError> {
         let write = |path: &str, text: String| {
-            std::fs::write(path, text).map_err(|e| ArgError(format!("writing {path:?}: {e}")))
+            write_atomic(path, text).map_err(|e| ArgError(format!("writing {path:?}: {e}")))
         };
         if let (Some(path), Some(tracer)) = (&self.perfetto, probe.0) {
             write(path, tracer.to_json())?;
@@ -246,7 +275,7 @@ impl ObsOpts {
     /// Writes the machine-readable statistics report, when requested.
     fn write_stats(&self, report: &Report) -> Result<(), ArgError> {
         if let Some(path) = &self.stats_json {
-            std::fs::write(path, report.to_json())
+            write_atomic(path, report.to_json())
                 .map_err(|e| ArgError(format!("writing {path:?}: {e}")))?;
             eprintln!("wrote {} statistics to {path}", report.len());
         }
@@ -300,7 +329,10 @@ fn print_ras(fm: Option<&FaultModel>) {
 
 struct WorkloadSpec {
     spec: MemSpec,
-    gen: Box<dyn TrafficGen>,
+    gen: Box<dyn SnapGen>,
+    /// Canonical description of every parameter that shapes the request
+    /// stream — one input to the checkpoint fingerprint.
+    desc: String,
 }
 
 fn build_workload(a: &Args) -> Result<WorkloadSpec, ArgError> {
@@ -315,7 +347,8 @@ fn build_workload(a: &Args) -> Result<WorkloadSpec, ArgError> {
     let block: u32 = a.parse_or("block", 64u32)?;
     let seed: u64 = a.parse_or("seed", 1u64)?;
     let mapping = parse_mapping(a.get("mapping").unwrap_or("rorabacoch"))?;
-    let gen: Box<dyn TrafficGen> = match a.get("gen").unwrap_or("linear") {
+    let gen_name = a.get("gen").unwrap_or("linear");
+    let gen: Box<dyn SnapGen> = match gen_name {
         "linear" => Box::new(LinearGen::new(
             0, range, block, reads, period, requests, seed,
         )),
@@ -331,7 +364,109 @@ fn build_workload(a: &Args) -> Result<WorkloadSpec, ArgError> {
         }
         other => return Err(ArgError(format!("unknown generator {other:?}"))),
     };
-    Ok(WorkloadSpec { spec, gen })
+    let stride: u64 = a.parse_or("stride", 8u64)?;
+    let banks: u32 = a.parse_or("banks", 4u32)?;
+    let desc = format!(
+        "device={} gen={gen_name} reads={reads} requests={requests} period={period} \
+         range={range} block={block} stride={stride} banks={banks} seed={seed} \
+         mapping={mapping:?}",
+        spec.name
+    );
+    Ok(WorkloadSpec { spec, gen, desc })
+}
+
+/// Checkpoint/restore options for `run`.
+struct RunCkpt {
+    checkpoint: Option<String>,
+    at: Option<u64>,
+    restore: Option<String>,
+}
+
+impl RunCkpt {
+    fn parse(a: &Args) -> Result<Self, ArgError> {
+        let ck = Self {
+            checkpoint: a.get("checkpoint").map(str::to_owned),
+            at: a
+                .get("checkpoint-at")
+                .map(str::parse)
+                .transpose()
+                .map_err(|_| ArgError("--checkpoint-at: cannot parse injection count".into()))?,
+            restore: a.get("restore").map(str::to_owned),
+        };
+        match (&ck.checkpoint, ck.at) {
+            (Some(_), None) => Err(ArgError(
+                "--checkpoint needs --checkpoint-at N (where to pause)".into(),
+            )),
+            (None, Some(_)) => Err(ArgError(
+                "--checkpoint-at needs --checkpoint FILE (where to write)".into(),
+            )),
+            _ => Ok(ck),
+        }
+    }
+}
+
+/// Drives a `run`/`replay` simulation with optional restore-on-entry and
+/// pause-at-checkpoint. Returns `None` when the run paused (the snapshot
+/// was written and the caller should exit without printing a summary).
+fn drive_run<C: Controller + SnapState>(
+    gen: &mut (impl TrafficGen + SnapState),
+    ctrl: &mut C,
+    fp: u64,
+    ck: &RunCkpt,
+    tester: &Tester,
+) -> Result<Option<TestSummary>, ArgError> {
+    let mut run = tester.begin();
+    if let Some(path) = &ck.restore {
+        let bytes = std::fs::read(path)
+            .map_err(|e| ArgError(format!("reading checkpoint {path:?}: {e}")))?;
+        restore_state_of(&bytes, fp, &mut run, gen, ctrl)
+            .map_err(|e| ArgError(format!("cannot restore checkpoint {path:?}: {e}")))?;
+        eprintln!(
+            "restored checkpoint {path} ({} requests already injected)",
+            run.injected()
+        );
+    }
+    while run.step(gen, ctrl, Tick::MAX) {
+        if let (Some(path), Some(n)) = (&ck.checkpoint, ck.at) {
+            if run.injected() >= n {
+                let mut w = SnapWriter::new(fp);
+                run.save_state(&mut w);
+                gen.save_state(&mut w);
+                ctrl.save_state(&mut w);
+                write_atomic(path, w.into_bytes())
+                    .map_err(|e| ArgError(format!("writing checkpoint {path:?}: {e}")))?;
+                eprintln!(
+                    "checkpoint written to {path} at {} injected requests; \
+                     continue with --restore {path}",
+                    run.injected()
+                );
+                return Ok(None);
+            }
+        }
+    }
+    Ok(Some(run.finish(ctrl)))
+}
+
+/// Restores `(run, gen, ctrl)` — the fixed component order — from
+/// snapshot bytes, rejecting wrong-fingerprint and trailing-garbage
+/// states.
+fn restore_state_of(
+    bytes: &[u8],
+    fp: u64,
+    run: &mut dramctrl_traffic::TestRun,
+    gen: &mut impl SnapState,
+    ctrl: &mut impl SnapState,
+) -> Result<(), SnapError> {
+    let mut r = SnapReader::new(bytes, fp)?;
+    run.restore_state(&mut r)?;
+    gen.restore_state(&mut r)?;
+    ctrl.restore_state(&mut r)?;
+    if !r.is_exhausted() {
+        return Err(SnapError::Corrupt(
+            "snapshot has trailing bytes after the controller state".into(),
+        ));
+    }
+    Ok(())
 }
 
 fn print_summary(s: &TestSummary, spec: &MemSpec) {
@@ -366,15 +501,31 @@ fn print_summary(s: &TestSummary, spec: &MemSpec) {
 fn run(argv: Vec<String>) -> Result<(), ArgError> {
     let a = Args::parse(argv, &["energy"])?;
     a.ensure_known(RUN_OPTS)?;
-    let WorkloadSpec { spec, mut gen } = build_workload(&a)?;
+    let WorkloadSpec {
+        spec,
+        mut gen,
+        desc,
+    } = build_workload(&a)?;
     let policy = parse_policy(a.get("policy").unwrap_or("open"))?;
     let sched = parse_sched(a.get("sched").unwrap_or("frfcfs"))?;
     let mapping = parse_mapping(a.get("mapping").unwrap_or("rorabacoch"))?;
     let obs = ObsOpts::parse(&a)?;
     let ras = parse_ras_config(&a)?;
+    let ck = RunCkpt::parse(&a)?;
+    let model = a.get("model").unwrap_or("event").to_owned();
+    // The fingerprint covers everything that shapes the simulation, so a
+    // snapshot can only be restored by the command line that matches it.
+    let fp = fingerprint(
+        format!(
+            "run model={model} policy={policy:?} sched={sched:?} ras={ras:?} \
+             powerdown={} {desc}",
+            a.get("powerdown").unwrap_or("0")
+        )
+        .as_bytes(),
+    );
     let tester = Tester::new(1_000_000, 10_000);
 
-    match a.get("model").unwrap_or("event") {
+    match model.as_str() {
         "event" => {
             let mut cfg = CtrlConfig::new(spec.clone());
             cfg.page_policy = policy;
@@ -386,7 +537,9 @@ fn run(argv: Vec<String>) -> Result<(), ArgError> {
             }
             let mut ctrl =
                 DramCtrl::with_probe(cfg, obs.probe()).map_err(|e| ArgError(e.to_string()))?;
-            let summary = tester.run(&mut gen, &mut ctrl);
+            let Some(summary) = drive_run(&mut gen, &mut ctrl, fp, &ck, &tester)? else {
+                return Ok(());
+            };
             println!("== {} (event-based model) ==", spec.name);
             print_summary(&summary, &spec);
             print_ras(ctrl.fault_model());
@@ -415,7 +568,9 @@ fn run(argv: Vec<String>) -> Result<(), ArgError> {
             cfg.ras = ras;
             let mut ctrl =
                 CycleCtrl::with_probe(cfg, obs.probe()).map_err(|e| ArgError(e.to_string()))?;
-            let summary = tester.run(&mut gen, &mut ctrl);
+            let Some(summary) = drive_run(&mut gen, &mut ctrl, fp, &ck, &tester)? else {
+                return Ok(());
+            };
             println!("== {} (cycle-based baseline) ==", spec.name);
             print_summary(&summary, &spec);
             print_ras(ctrl.fault_model());
@@ -433,15 +588,49 @@ fn run(argv: Vec<String>) -> Result<(), ArgError> {
 }
 
 const SWEEP_OPTS: &[&str] = &[
-    "devices", "models", "policies", "scheds", "mappings", "channels", "gens", "reads", "requests",
-    "range", "block", "stride", "banks", "ras", "seed", "workers", "retries", "jsonl", "csv",
-    "quiet", "obs-dir",
+    "devices",
+    "models",
+    "policies",
+    "scheds",
+    "mappings",
+    "channels",
+    "gens",
+    "reads",
+    "requests",
+    "range",
+    "block",
+    "stride",
+    "banks",
+    "ras",
+    "seed",
+    "workers",
+    "retries",
+    "jsonl",
+    "md",
+    "csv",
+    "quiet",
+    "obs-dir",
+    "journal",
+    "resume",
+    "checkpoint-every",
 ];
 
+/// Resolves `--journal`/`--resume` PATH: a directory (existing, or a
+/// trailing separator) means `PATH/journal.jsonl`.
+fn journal_path(p: &str) -> PathBuf {
+    let path = PathBuf::from(p);
+    if path.is_dir() || p.ends_with('/') {
+        path.join("journal.jsonl")
+    } else {
+        path
+    }
+}
+
 fn sweep(argv: Vec<String>) -> Result<(), ArgError> {
-    use dramctrl_bench::run_job;
+    use dramctrl_bench::{run_job, run_job_resumable};
     use dramctrl_campaign::{
-        run_campaign, Campaign, ExecutorConfig, Model, Progress, TrafficPattern,
+        run_campaign, run_campaign_journaled, Campaign, CampaignJournal, ExecutorConfig,
+        JobMetrics, JobSpec, Model, Progress, TrafficPattern,
     };
 
     let a = Args::parse(argv, &["csv", "quiet"])?;
@@ -552,20 +741,79 @@ fn sweep(argv: Vec<String>) -> Result<(), ArgError> {
         },
         ..ExecutorConfig::default()
     };
+    // Durable journal: --journal starts one, --resume picks an existing
+    // one back up (verifying it matches this campaign).
+    let mut journal = match (a.get("journal"), a.get("resume")) {
+        (Some(_), Some(_)) => {
+            return Err(ArgError(
+                "--journal and --resume are mutually exclusive; --resume \
+                 already knows its journal"
+                    .into(),
+            ))
+        }
+        (Some(p), None) => {
+            let path = journal_path(p);
+            if let Some(parent) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+                std::fs::create_dir_all(parent)
+                    .map_err(|e| ArgError(format!("creating {}: {e}", parent.display())))?;
+            }
+            Some(
+                CampaignJournal::create(&path, &campaign)
+                    .map_err(|e| ArgError(format!("creating journal {}: {e}", path.display())))?,
+            )
+        }
+        (None, Some(p)) => {
+            let path = journal_path(p);
+            let j = CampaignJournal::resume(&path, &campaign)
+                .map_err(|e| ArgError(format!("resuming {}: {e}", path.display())))?;
+            eprintln!(
+                "resuming: {} of {} jobs already journaled",
+                j.completed().len(),
+                campaign.len()
+            );
+            Some(j)
+        }
+        (None, None) => None,
+    };
+
+    let every: u64 = a.parse_or("checkpoint-every", 0u64)?;
+    if every > 0 {
+        if journal.is_none() {
+            return Err(ArgError(
+                "--checkpoint-every needs --journal or --resume (snapshots \
+                 live beside the journal)"
+                    .into(),
+            ));
+        }
+        if a.get("obs-dir").is_some() {
+            return Err(ArgError(
+                "--checkpoint-every cannot be combined with --obs-dir".into(),
+            ));
+        }
+    }
+    // Snapshots live beside the journal; remember the directory even when
+    // this invocation doesn't checkpoint, so a plain `--resume` still
+    // cleans up snapshots left by an interrupted `--checkpoint-every` run.
+    let ckpt_dir = journal
+        .as_ref()
+        .map(|j| j.path().parent().unwrap_or(Path::new(".")).to_path_buf());
+    let job_ckpt =
+        move |dir: &Path, job: &JobSpec| dir.join(format!("ckpt-job-{:04}.snap", job.index));
+
     eprintln!("sweep: {} jobs, seed {}", campaign.len(), seed);
-    let report = match a.get("obs-dir") {
+    let runner: Box<dyn Fn(&JobSpec) -> JobMetrics + Sync> = match a.get("obs-dir") {
         Some(dir) => {
             use dramctrl_bench::run_job_observed;
             std::fs::create_dir_all(dir).map_err(|e| ArgError(format!("creating {dir:?}: {e}")))?;
-            let dir = std::path::PathBuf::from(dir);
-            run_campaign(&campaign, &cfg, move |job| {
+            let dir = PathBuf::from(dir);
+            Box::new(move |job| {
                 let (metrics, art) = run_job_observed(job, 1_000_000);
                 let base = dir.join(format!("job-{:04}", job.index));
                 // A failed write panics so the executor records the job as
                 // failed instead of silently dropping the artifact.
                 let write = |ext: &str, text: &str| {
                     let path = base.with_extension(ext);
-                    std::fs::write(&path, text)
+                    write_atomic(&path, text)
                         .unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
                 };
                 write("trace.json", &art.perfetto_json);
@@ -574,22 +822,45 @@ fn sweep(argv: Vec<String>) -> Result<(), ArgError> {
                 metrics
             })
         }
-        None => run_campaign(&campaign, &cfg, run_job),
+        None => match &ckpt_dir {
+            Some(dir) => {
+                let dir = dir.clone();
+                Box::new(move |job| {
+                    run_job_resumable(job, Some(&job_ckpt(&dir, job)), every, None)
+                        .expect("an unpaused job run always completes")
+                })
+            }
+            None => Box::new(run_job),
+        },
     };
+    let report = match &mut journal {
+        Some(j) => run_campaign_journaled(&campaign, &cfg, j, runner),
+        None => run_campaign(&campaign, &cfg, runner),
+    };
+    // A finished sweep no longer needs its per-job snapshots.
+    if let Some(dir) = &ckpt_dir {
+        for job in campaign.expand() {
+            let _ = std::fs::remove_file(job_ckpt(dir, &job));
+        }
+    }
 
     if let Some(path) = a.get("jsonl") {
-        std::fs::write(path, report.to_jsonl())
+        write_atomic(path, report.to_jsonl())
             .map_err(|e| ArgError(format!("writing {path:?}: {e}")))?;
         eprintln!("wrote {} JSONL records to {path}", report.records.len());
     }
-    report
-        .table(&[
-            "bus_util",
-            "bandwidth_gbps",
-            "avg_read_lat_ns",
-            "row_hit_rate",
-        ])
-        .print();
+    let table = report.table(&[
+        "bus_util",
+        "bandwidth_gbps",
+        "avg_read_lat_ns",
+        "row_hit_rate",
+    ]);
+    if let Some(path) = a.get("md") {
+        write_atomic(path, table.render())
+            .map_err(|e| ArgError(format!("writing {path:?}: {e}")))?;
+        eprintln!("wrote result table to {path}");
+    }
+    table.print();
     eprintln!("{}", report.summary());
     if report.failed() > 0 {
         return Err(ArgError(format!("{} job(s) failed", report.failed())));
@@ -614,7 +885,7 @@ fn record(argv: Vec<String>) -> Result<(), ArgError> {
             size: req.size,
         });
     }
-    std::fs::write(&out_path, TraceGen::to_text(&entries))
+    write_atomic(&out_path, TraceGen::to_text(&entries))
         .map_err(|e| ArgError(format!("writing {out_path:?}: {e}")))?;
     println!("wrote {} requests to {}", entries.len(), out_path);
     Ok(())
@@ -640,8 +911,32 @@ fn replay(argv: Vec<String>) -> Result<(), ArgError> {
     cfg.scheduling = parse_sched(a.get("sched").unwrap_or("frfcfs"))?;
     cfg.mapping = parse_mapping(a.get("mapping").unwrap_or("rorabacoch"))?;
     cfg.ras = ras;
+    let ck = RunCkpt::parse(&a)?;
+    // The trace *contents* (not the file name) are part of the replay
+    // fingerprint: restoring against an edited trace is refused.
+    let fp = fingerprint(
+        format!(
+            "replay trace={:#018x} device={} policy={:?} sched={:?} mapping={:?} ras={:?}",
+            fingerprint(text.as_bytes()),
+            spec.name,
+            cfg.page_policy,
+            cfg.scheduling,
+            cfg.mapping,
+            cfg.ras,
+        )
+        .as_bytes(),
+    );
     let mut ctrl = DramCtrl::with_probe(cfg, obs.probe()).map_err(|e| ArgError(e.to_string()))?;
-    let summary = Tester::new(1_000_000, 10_000).run(&mut trace, &mut ctrl);
+    let Some(summary) = drive_run(
+        &mut trace,
+        &mut ctrl,
+        fp,
+        &ck,
+        &Tester::new(1_000_000, 10_000),
+    )?
+    else {
+        return Ok(());
+    };
     println!("== replay of {} on {} ==", path, spec.name);
     print_summary(&summary, &spec);
     print_ras(ctrl.fault_model());

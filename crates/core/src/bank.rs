@@ -6,6 +6,7 @@
 //! A simplified DRAM state machine is thus implicitly encoded in these
 //! timestamps.
 
+use dramctrl_kernel::snap::{SnapError, SnapReader, SnapState, SnapWriter};
 use dramctrl_kernel::Tick;
 use std::collections::{BTreeMap, VecDeque};
 
@@ -112,6 +113,81 @@ impl Rank {
     }
 }
 
+impl SnapState for Bank {
+    fn save_state(&self, w: &mut SnapWriter) {
+        w.opt_u64(self.open_row);
+        w.u64(self.act_allowed_at);
+        w.u64(self.pre_allowed_at);
+        w.u64(self.col_allowed_at);
+        w.u32(self.row_accesses);
+    }
+
+    fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.open_row = r.opt_u64()?;
+        self.act_allowed_at = r.u64()?;
+        self.pre_allowed_at = r.u64()?;
+        self.col_allowed_at = r.u64()?;
+        self.row_accesses = r.u32()?;
+        Ok(())
+    }
+}
+
+impl SnapState for Rank {
+    // The bank count is configuration, not state: restore targets a rank
+    // freshly built for the same device and fails loudly on a mismatch.
+    fn save_state(&self, w: &mut SnapWriter) {
+        w.usize(self.banks.len());
+        for b in &self.banks {
+            b.save_state(w);
+        }
+        w.usize(self.act_window.len());
+        for &t in &self.act_window {
+            w.u64(t);
+        }
+        w.u64(self.next_act_at);
+        w.u64(self.refresh_due);
+        w.u64(self.refresh_done);
+        self.timeline.save_state(w);
+        w.bool(self.powered_down);
+        w.bool(self.self_refreshing);
+        w.u64(self.pd_since);
+        w.u64(self.pd_time);
+        w.u64(self.sr_time);
+    }
+
+    fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        let n_banks = r.usize()?;
+        if n_banks != self.banks.len() {
+            return Err(SnapError::Corrupt(format!(
+                "bank count {n_banks} != device organisation {}",
+                self.banks.len()
+            )));
+        }
+        for b in &mut self.banks {
+            b.restore_state(r)?;
+        }
+        let n_acts = r.usize()?;
+        self.act_window.clear();
+        for _ in 0..n_acts {
+            let t = r.u64()?;
+            if self.act_window.back().is_some_and(|&last| t < last) {
+                return Err(SnapError::Corrupt("activation window out of order".into()));
+            }
+            self.act_window.push_back(t);
+        }
+        self.next_act_at = r.u64()?;
+        self.refresh_due = r.u64()?;
+        self.refresh_done = r.u64()?;
+        self.timeline.restore_state(r)?;
+        self.powered_down = r.bool()?;
+        self.self_refreshing = r.bool()?;
+        self.pd_since = r.u64()?;
+        self.pd_time = r.u64()?;
+        self.sr_time = r.u64()?;
+        Ok(())
+    }
+}
+
 /// Integrates the number-of-open-banks signal over time to produce the
 /// "time with all banks precharged" statistic required by the Micron power
 /// model (paper Section II-G).
@@ -180,6 +256,40 @@ impl OpenTimeline {
     #[allow(dead_code)] // exercised by tests; kept for diagnostics
     pub fn time_some_open(&self) -> Tick {
         self.time_some_open
+    }
+}
+
+impl SnapState for OpenTimeline {
+    fn save_state(&self, w: &mut SnapWriter) {
+        w.usize(self.pending.len());
+        for (&t, &delta) in &self.pending {
+            w.u64(t);
+            w.u64(delta as u64);
+        }
+        w.u64(self.open as u64);
+        w.u64(self.frontier);
+        w.u64(self.time_all_closed);
+        w.u64(self.time_some_open);
+    }
+
+    fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        let n = r.usize()?;
+        self.pending.clear();
+        for _ in 0..n {
+            let t = r.u64()?;
+            let delta = r.u64()? as i64;
+            if self.pending.insert(t, delta).is_some() {
+                return Err(SnapError::Corrupt(format!("duplicate timeline tick {t}")));
+            }
+        }
+        self.open = r.u64()? as i64;
+        if self.open < 0 {
+            return Err(SnapError::Corrupt("negative open-bank count".into()));
+        }
+        self.frontier = r.u64()?;
+        self.time_all_closed = r.u64()?;
+        self.time_some_open = r.u64()?;
+        Ok(())
     }
 }
 

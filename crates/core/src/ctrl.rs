@@ -2,8 +2,9 @@
 
 use std::fmt;
 
+use dramctrl_kernel::snap::{SnapError, SnapReader, SnapState, SnapWriter};
 use dramctrl_kernel::{EventQueue, SimStall, Tick};
-use dramctrl_mem::{ActivityStats, MemCmd, MemRequest, MemResponse};
+use dramctrl_mem::{snapio, ActivityStats, MemCmd, MemRequest, MemResponse};
 use dramctrl_obs::{CmdEvent, DramCmd, NoProbe, PowerState, Probe, RasMark};
 use dramctrl_ras::{BurstOutcome, FaultModel, RasGeometry};
 
@@ -65,6 +66,40 @@ enum Ev {
     /// Re-enqueue a burst whose transfer hit a link error (RAS retry,
     /// carrying the packet through its backoff delay).
     Retry(DramPacket),
+}
+
+impl Ev {
+    fn save(&self, w: &mut SnapWriter) {
+        match self {
+            Ev::NextReq => w.u8(0),
+            Ev::Ack(resp) => {
+                w.u8(1);
+                snapio::save_response(w, resp);
+            }
+            Ev::Refresh(rank) => {
+                w.u8(2);
+                w.u32(*rank);
+            }
+            Ev::PowerDownCheck => w.u8(3),
+            Ev::SelfRefreshCheck => w.u8(4),
+            Ev::Retry(pkt) => {
+                w.u8(5);
+                crate::queue::save_packet(w, pkt);
+            }
+        }
+    }
+
+    fn read(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(match r.u8()? {
+            0 => Ev::NextReq,
+            1 => Ev::Ack(snapio::read_response(r)?),
+            2 => Ev::Refresh(r.u32()?),
+            3 => Ev::PowerDownCheck,
+            4 => Ev::SelfRefreshCheck,
+            5 => Ev::Retry(crate::queue::read_packet(r)?),
+            t => return Err(SnapError::Corrupt(format!("controller event tag {t}"))),
+        })
+    }
 }
 
 /// Data-bus direction.
@@ -1381,6 +1416,94 @@ impl<P: Probe> DramCtrl<P> {
             );
         }
         r
+    }
+}
+
+impl<P: Probe> SnapState for DramCtrl<P> {
+    // Everything configuration-derived (cfg, probe wiring, queue geometry,
+    // the reference-model flag) is rebuilt by constructing the restore
+    // target with the same `CtrlConfig`; only dynamic state is captured.
+    // The caller guards against config drift with the snapshot fingerprint.
+    fn save_state(&self, w: &mut SnapWriter) {
+        self.events.save_state(w, |w, ev| ev.save(w));
+        self.read_q.save_state(w);
+        self.write_q.save_state(w);
+        self.groups.save_state(w);
+        w.usize(self.ranks.len());
+        for rank in &self.ranks {
+            rank.save_state(w);
+        }
+        w.u8(match self.bus_state {
+            BusState::Read => 0,
+            BusState::Write => 1,
+        });
+        w.u8(match self.last_burst_read {
+            None => 0,
+            Some(false) => 1,
+            Some(true) => 2,
+        });
+        w.u64(self.bus_busy_until);
+        w.usize(self.writes_this_switch);
+        w.bool(self.next_req_scheduled);
+        w.bool(self.draining);
+        w.bool(self.pd_drain);
+        w.bool(self.pd_check_scheduled);
+        w.u64(self.last_activity);
+        self.stats.save_state(w);
+        match &self.fault {
+            Some(fm) => {
+                w.bool(true);
+                fm.save_state(w);
+            }
+            None => w.bool(false),
+        }
+    }
+
+    fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.events.restore_state(r, Ev::read)?;
+        self.read_q.restore_state(r)?;
+        self.write_q.restore_state(r)?;
+        self.groups.restore_state(r)?;
+        let n_ranks = r.usize()?;
+        if n_ranks != self.ranks.len() {
+            return Err(SnapError::Corrupt(format!(
+                "rank count {n_ranks} != device organisation {}",
+                self.ranks.len()
+            )));
+        }
+        for rank in &mut self.ranks {
+            rank.restore_state(r)?;
+        }
+        self.bus_state = match r.u8()? {
+            0 => BusState::Read,
+            1 => BusState::Write,
+            t => return Err(SnapError::Corrupt(format!("bus state tag {t}"))),
+        };
+        self.last_burst_read = match r.u8()? {
+            0 => None,
+            1 => Some(false),
+            2 => Some(true),
+            t => return Err(SnapError::Corrupt(format!("bus direction tag {t}"))),
+        };
+        self.bus_busy_until = r.u64()?;
+        self.writes_this_switch = r.usize()?;
+        self.next_req_scheduled = r.bool()?;
+        self.draining = r.bool()?;
+        self.pd_drain = r.bool()?;
+        self.pd_check_scheduled = r.bool()?;
+        self.last_activity = r.u64()?;
+        self.stats.restore_state(r)?;
+        let has_fault = r.bool()?;
+        match (&mut self.fault, has_fault) {
+            (Some(fm), true) => fm.restore_state(r)?,
+            (None, false) => {}
+            _ => {
+                return Err(SnapError::Corrupt(
+                    "RAS presence differs between snapshot and config".into(),
+                ))
+            }
+        }
+        Ok(())
     }
 }
 

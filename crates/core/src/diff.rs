@@ -232,6 +232,114 @@ pub fn assert_ras_transparent(cfg: &CtrlConfig, requests: &[(Tick, MemRequest)])
     }
 }
 
+/// Drives an uninterrupted controller and a checkpoint/restore pair over
+/// the same `requests`, asserting the crash-safety guarantee of the
+/// snapshot layer: pausing after `pause_after` requests, serialising the
+/// controller, restoring the bytes into a *freshly constructed* controller
+/// and continuing must be byte-identical to never having stopped — same
+/// post-pause response stream, same drain tick, same rendered and JSON
+/// statistics reports, same fault log (when RAS is armed), and a Perfetto
+/// trace identical to the uninterrupted run's post-pause trace suffix
+/// (captured by swapping a fresh tracer in at the pause point).
+///
+/// Returns the summary of the uninterrupted run plus the snapshot size in
+/// bytes, so callers can assert the pause actually split live state.
+///
+/// # Panics
+/// Panics on the first divergence, or if `pause_after` is out of range.
+pub fn assert_checkpoint_equivalent(
+    cfg: &CtrlConfig,
+    requests: &[(Tick, MemRequest)],
+    pause_after: usize,
+) -> (DiffSummary, usize) {
+    use dramctrl_kernel::snap::{SnapReader, SnapState, SnapWriter};
+    assert!(
+        pause_after < requests.len(),
+        "pause point outside the workload"
+    );
+    let mut base = DramCtrl::with_probe(cfg.clone(), ChromeTracer::new()).expect("valid config");
+    let mut resumed: Option<DramCtrl<ChromeTracer>> = None;
+    let mut bresp = Vec::new();
+    let mut rresp = Vec::new();
+    let mut snap_len = 0;
+    let mut accepted = 0;
+    let mut rejected = 0;
+    for (i, &(t, req)) in requests.iter().enumerate() {
+        if i == pause_after {
+            // Snapshot the live controller mid-flight...
+            let mut w = SnapWriter::new(0xC0FFEE);
+            base.save_state(&mut w);
+            let bytes = w.into_bytes();
+            snap_len = bytes.len();
+            // ...restore into a virgin controller built from the same
+            // config...
+            let mut fresh =
+                DramCtrl::with_probe(cfg.clone(), ChromeTracer::new()).expect("valid config");
+            let mut r = SnapReader::new(&bytes, 0xC0FFEE).expect("fresh snapshot header");
+            fresh.restore_state(&mut r).expect("fresh snapshot body");
+            assert!(r.is_exhausted(), "snapshot has trailing bytes");
+            resumed = Some(fresh);
+            // ...and start the baseline's trace suffix: from here on the
+            // uninterrupted run records into a fresh tracer, which must
+            // match the resumed run's tracer byte for byte.
+            let _prefix = std::mem::take(base.probe_mut());
+            bresp.clear();
+        }
+        base.advance_to(t, &mut bresp);
+        let sent = base.try_send(req, t);
+        if sent.is_ok() {
+            accepted += 1;
+        } else {
+            rejected += 1;
+        }
+        if let Some(res) = resumed.as_mut() {
+            res.advance_to(t, &mut rresp);
+            assert_eq!(bresp, rresp, "response streams diverged before tick {t}");
+            assert_eq!(
+                sent,
+                res.try_send(req, t),
+                "try_send diverged at tick {t} for {req:?}"
+            );
+        }
+    }
+    let mut resumed = resumed.expect("pause point inside the workload");
+    let bt = base.drain(&mut bresp);
+    let rt = resumed.drain(&mut rresp);
+    assert_eq!(bt, rt, "drain ticks diverged");
+    assert_eq!(bresp, rresp, "final response streams diverged");
+    assert_eq!(
+        base.report("ctrl", bt).to_string(),
+        resumed.report("ctrl", rt).to_string(),
+        "rendered statistics reports diverged"
+    );
+    assert_eq!(
+        base.report("ctrl", bt).to_json(),
+        resumed.report("ctrl", rt).to_json(),
+        "JSON statistics reports diverged"
+    );
+    if base.fault_model().is_some() {
+        assert_eq!(
+            base.fault_model().unwrap().log_text(),
+            resumed.fault_model().unwrap().log_text(),
+            "fault logs diverged"
+        );
+    }
+    assert_eq!(
+        base.into_probe().to_json(),
+        resumed.into_probe().to_json(),
+        "post-pause Perfetto trace suffixes diverged"
+    );
+    (
+        DiffSummary {
+            accepted,
+            rejected,
+            responses: bresp.len(),
+            drain_tick: bt,
+        },
+        snap_len,
+    )
+}
+
 /// Generates a deterministic random request stream that exercises every
 /// controller path the indices touch: row hits and conflicts (a hot
 /// region), bank spread (a wide region), write merging and read forwarding
@@ -496,6 +604,49 @@ mod tests {
                 "no faults injected at {channels} channel(s)"
             );
             assert!(stats.contains("\"ras_corrected\""));
+        }
+    }
+
+    /// Checkpoint/restore is byte-identical across the page-policy ×
+    /// scheduler matrix, and the snapshot actually carries live state.
+    #[test]
+    fn checkpoint_restore_equivalent_across_policies() {
+        for (i, cfg) in cfg_matrix().into_iter().enumerate() {
+            let wl = random_workload(0xC4E0 + i as u64, 150, 1);
+            let (summary, snap_len) = assert_checkpoint_equivalent(&cfg, &wl, 75);
+            assert!(summary.responses > 0);
+            assert!(snap_len > 64, "snapshot suspiciously empty");
+        }
+    }
+
+    /// Checkpoint/restore equivalence holds with a live fault model: the
+    /// restored run continues the per-site fault streams, retry state and
+    /// the fault log exactly.
+    #[test]
+    fn checkpoint_restore_equivalent_with_ras() {
+        for seed in [0xC4E1u64, 0xC4E2] {
+            let mut cfg = CtrlConfig::new(presets::ddr3_1333_x64());
+            cfg.ras = Some(
+                dramctrl_ras::RasConfig::from_error_rate(2e11, seed).with_ecc(EccMode::SecDed),
+            );
+            let wl = random_workload(seed, 200, 1);
+            let (summary, _) = assert_checkpoint_equivalent(&cfg, &wl, 100);
+            assert!(summary.responses > 0);
+        }
+    }
+
+    /// Checkpoint/restore equivalence holds through the power-down /
+    /// self-refresh machinery and with QoS classes in play.
+    #[test]
+    fn checkpoint_restore_equivalent_with_powerdown_and_qos() {
+        let mut cfg = CtrlConfig::new(presets::ddr3_1333_x64());
+        cfg.powerdown_idle = 200_000;
+        cfg.selfrefresh_after = 400_000;
+        cfg.qos_priorities = vec![0, 1, 3, 7];
+        let wl = random_workload(0xC4E3, 150, 4);
+        for pause in [1, 40, 149] {
+            let (summary, _) = assert_checkpoint_equivalent(&cfg, &wl, pause);
+            assert!(summary.responses > 0);
         }
     }
 

@@ -7,8 +7,9 @@
 //! [`DramPacket`]s and merges/forwards at burst granularity, leaving the
 //! rest of the memory system oblivious to the DRAM burst size.
 
+use dramctrl_kernel::snap::{SnapError, SnapReader, SnapWriter};
 use dramctrl_kernel::Tick;
-use dramctrl_mem::{DramAddr, MemRequest};
+use dramctrl_mem::{snapio, DramAddr, MemRequest};
 
 /// One DRAM burst's worth of a memory request, as held in the controller's
 /// read or write queue.
@@ -37,6 +38,36 @@ pub(crate) struct DramPacket {
     /// Link-error retry attempts already made for this burst (RAS; always
     /// 0 without a fault model).
     pub retries: u8,
+}
+
+/// Writes a queued packet's fields.
+pub(crate) fn save_packet(w: &mut SnapWriter, pkt: &DramPacket) {
+    w.bool(pkt.is_read);
+    w.u64(pkt.burst_addr);
+    w.u32(pkt.lo);
+    w.u32(pkt.hi);
+    snapio::save_addr(w, &pkt.da);
+    w.u64(pkt.entry_time);
+    w.u8(pkt.priority);
+    w.opt_u64(pkt.group.map(|g| g as u64));
+    w.u64(pkt.seq);
+    w.u8(pkt.retries);
+}
+
+/// Reads a packet written by [`save_packet`].
+pub(crate) fn read_packet(r: &mut SnapReader<'_>) -> Result<DramPacket, SnapError> {
+    Ok(DramPacket {
+        is_read: r.bool()?,
+        burst_addr: r.u64()?,
+        lo: r.u32()?,
+        hi: r.u32()?,
+        da: snapio::read_addr(r)?,
+        entry_time: r.u64()?,
+        priority: r.u8()?,
+        group: r.opt_u64()?.map(|g| g as usize),
+        seq: r.u64()?,
+        retries: r.u8()?,
+    })
 }
 
 /// Tracks the outstanding bursts of a chopped read so the response is only
@@ -94,6 +125,62 @@ impl GroupArena {
     #[cfg(test)]
     pub fn live(&self) -> usize {
         self.slots.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// Writes the arena: slot contents *and* the free list, so restored
+    /// slot indices (held by queued packets and in-flight events) and the
+    /// slot-reuse order stay exactly as checkpointed.
+    pub fn save_state(&self, w: &mut SnapWriter) {
+        w.usize(self.slots.len());
+        for slot in &self.slots {
+            match slot {
+                Some(g) => {
+                    w.bool(true);
+                    snapio::save_request(w, &g.req);
+                    w.u32(g.remaining);
+                    w.u64(g.ready_at);
+                }
+                None => w.bool(false),
+            }
+        }
+        w.usize(self.free.len());
+        for &f in &self.free {
+            w.usize(f);
+        }
+    }
+
+    /// Restores an arena written by [`save_state`](Self::save_state).
+    pub fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        let n_slots = r.usize()?;
+        self.slots.clear();
+        for _ in 0..n_slots {
+            if r.bool()? {
+                self.slots.push(Some(BurstGroup {
+                    req: snapio::read_request(r)?,
+                    remaining: r.u32()?,
+                    ready_at: r.u64()?,
+                }));
+            } else {
+                self.slots.push(None);
+            }
+        }
+        let n_free = r.usize()?;
+        self.free.clear();
+        for _ in 0..n_free {
+            let f = r.usize()?;
+            if self.slots.get(f).map_or(true, Option::is_some) {
+                return Err(SnapError::Corrupt(format!("free-list entry {f} not free")));
+            }
+            self.free.push(f);
+        }
+        let empty = self.slots.iter().filter(|s| s.is_none()).count();
+        if empty != self.free.len() {
+            return Err(SnapError::Corrupt(format!(
+                "{empty} empty slots but {} free-list entries",
+                self.free.len()
+            )));
+        }
+        Ok(())
     }
 }
 

@@ -40,9 +40,10 @@
 use std::collections::BTreeMap;
 
 use dramctrl_kernel::hash::DetMap;
+use dramctrl_kernel::snap::{SnapError, SnapReader, SnapWriter};
 use dramctrl_mem::WriteCoverage;
 
-use crate::queue::DramPacket;
+use crate::queue::{read_packet, save_packet, DramPacket};
 
 /// Sort key of a queued packet: QoS-descending, then age-ascending.
 ///
@@ -235,6 +236,94 @@ impl SchedQueue {
     /// (O(1) write snooping).
     pub fn write_covers(&self, burst_addr: u64, lo: u32, hi: u32) -> bool {
         self.coverage.covers(burst_addr, lo, hi)
+    }
+
+    /// Writes the queue: slot contents, the free list and the sequence
+    /// counter. The derived indices (`by_order`, `by_bank`, `by_row`,
+    /// `coverage`) are pure functions of the live packets and are rebuilt
+    /// on restore rather than serialised.
+    pub fn save_state(&self, w: &mut SnapWriter) {
+        w.u64(self.next_seq);
+        w.usize(self.slots.len());
+        for slot in &self.slots {
+            match slot {
+                Some(pkt) => {
+                    w.bool(true);
+                    save_packet(w, pkt);
+                }
+                None => w.bool(false),
+            }
+        }
+        w.usize(self.free.len());
+        for &f in &self.free {
+            w.u32(f);
+        }
+    }
+
+    /// Restores a queue written by [`save_state`](Self::save_state),
+    /// rebuilding every index. The bank geometry is configuration and must
+    /// match the snapshot's packets.
+    pub fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.next_seq = r.u64()?;
+        let n_slots = r.usize()?;
+        self.slots.clear();
+        self.by_order.clear();
+        for bucket in &mut self.by_bank {
+            bucket.entries.clear();
+        }
+        self.by_row.clear();
+        self.coverage = WriteCoverage::default();
+        for slot in 0..n_slots {
+            if !r.bool()? {
+                self.slots.push(None);
+                continue;
+            }
+            let pkt = read_packet(r)?;
+            if pkt.seq >= self.next_seq {
+                return Err(SnapError::Corrupt(format!(
+                    "packet seq {} >= queue counter {}",
+                    pkt.seq, self.next_seq
+                )));
+            }
+            let key = order_key(&pkt);
+            let b = self.flat_bank(pkt.da.rank, pkt.da.bank);
+            if b as usize >= self.by_bank.len() {
+                return Err(SnapError::Corrupt(format!(
+                    "packet bank {b} outside device geometry"
+                )));
+            }
+            if self.by_order.insert(key, slot as u32).is_some() {
+                return Err(SnapError::Corrupt(format!(
+                    "duplicate (priority, seq) key {key:?}"
+                )));
+            }
+            self.by_bank[b as usize].insert(key, slot as u32);
+            self.by_row
+                .entry((b, pkt.da.row))
+                .or_default()
+                .insert(key, slot as u32);
+            if !pkt.is_read {
+                self.coverage.insert(pkt.burst_addr, pkt.lo, pkt.hi);
+            }
+            self.slots.push(Some(pkt));
+        }
+        let n_free = r.usize()?;
+        self.free.clear();
+        for _ in 0..n_free {
+            let f = r.u32()?;
+            if self.slots.get(f as usize).map_or(true, Option::is_some) {
+                return Err(SnapError::Corrupt(format!("free-list entry {f} not free")));
+            }
+            self.free.push(f);
+        }
+        let empty = self.slots.iter().filter(|s| s.is_none()).count();
+        if empty != self.free.len() {
+            return Err(SnapError::Corrupt(format!(
+                "{empty} empty slots but {} free-list entries",
+                self.free.len()
+            )));
+        }
+        Ok(())
     }
 
     /// Live packets in unspecified order (for order-independent scans).

@@ -1,9 +1,28 @@
 //! Controller statistics (paper Section II-E/II-G).
 
+use dramctrl_kernel::snap::{SnapError, SnapReader, SnapState, SnapWriter};
 use dramctrl_kernel::{tick, Tick};
 use dramctrl_stats::{Average, Report};
 
 use crate::config::CtrlConfig;
+
+/// Writes an [`Average`] bit-exactly (floats via `to_bits`).
+pub(crate) fn save_average(w: &mut SnapWriter, a: &Average) {
+    let (sum, count, min, max) = a.to_parts();
+    w.f64(sum);
+    w.u64(count);
+    w.f64(min);
+    w.f64(max);
+}
+
+/// Reads an [`Average`] written by [`save_average`].
+pub(crate) fn read_average(r: &mut SnapReader<'_>) -> Result<Average, SnapError> {
+    let sum = r.f64()?;
+    let count = r.u64()?;
+    let min = r.f64()?;
+    let max = r.f64()?;
+    Ok(Average::from_parts(sum, count, min, max))
+}
 
 /// Time-weighted queue-occupancy accumulator.
 #[derive(Debug, Clone, Default)]
@@ -37,6 +56,21 @@ impl QueueOcc {
         let integral =
             self.integral + (self.len as u128) * u128::from(now.saturating_sub(self.last_change));
         integral as f64 / end as f64
+    }
+}
+
+impl SnapState for QueueOcc {
+    fn save_state(&self, w: &mut SnapWriter) {
+        w.u128(self.integral);
+        w.u64(self.last_change);
+        w.usize(self.len);
+    }
+
+    fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.integral = r.u128()?;
+        self.last_change = r.u64()?;
+        self.len = r.usize()?;
+        Ok(())
     }
 }
 
@@ -161,6 +195,61 @@ impl CtrlStats {
         r.scalar("avg_rdq_occupancy", self.rdq_occ.average(now));
         r.scalar("avg_wrq_occupancy", self.wrq_occ.average(now));
         r
+    }
+}
+
+impl SnapState for CtrlStats {
+    fn save_state(&self, w: &mut SnapWriter) {
+        w.u64(self.reads_accepted);
+        w.u64(self.writes_accepted);
+        w.u64(self.rd_bursts);
+        w.u64(self.wr_bursts);
+        w.u64(self.bytes_read);
+        w.u64(self.bytes_written);
+        w.u64(self.rd_row_hits);
+        w.u64(self.wr_row_hits);
+        w.u64(self.activates);
+        w.u64(self.precharges);
+        w.u64(self.refreshes);
+        w.u64(self.merged_writes);
+        w.u64(self.forwarded_reads);
+        w.u64(self.bus_turnarounds);
+        w.u64(self.powerdowns);
+        w.u64(self.self_refreshes);
+        w.u64(self.events_processed);
+        w.u64(self.bus_busy);
+        save_average(w, &self.queue_lat);
+        save_average(w, &self.bank_lat);
+        save_average(w, &self.total_lat);
+        self.rdq_occ.save_state(w);
+        self.wrq_occ.save_state(w);
+    }
+
+    fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.reads_accepted = r.u64()?;
+        self.writes_accepted = r.u64()?;
+        self.rd_bursts = r.u64()?;
+        self.wr_bursts = r.u64()?;
+        self.bytes_read = r.u64()?;
+        self.bytes_written = r.u64()?;
+        self.rd_row_hits = r.u64()?;
+        self.wr_row_hits = r.u64()?;
+        self.activates = r.u64()?;
+        self.precharges = r.u64()?;
+        self.refreshes = r.u64()?;
+        self.merged_writes = r.u64()?;
+        self.forwarded_reads = r.u64()?;
+        self.bus_turnarounds = r.u64()?;
+        self.powerdowns = r.u64()?;
+        self.self_refreshes = r.u64()?;
+        self.events_processed = r.u64()?;
+        self.bus_busy = r.u64()?;
+        self.queue_lat = read_average(r)?;
+        self.bank_lat = read_average(r)?;
+        self.total_lat = read_average(r)?;
+        self.rdq_occ.restore_state(r)?;
+        self.wrq_occ.restore_state(r)?;
+        Ok(())
     }
 }
 

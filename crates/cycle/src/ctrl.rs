@@ -9,10 +9,11 @@
 
 use std::collections::VecDeque;
 
+use dramctrl_kernel::snap::{SnapError, SnapReader, SnapState, SnapWriter};
 use dramctrl_kernel::{Clock, EventQueue, Tick};
 use dramctrl_mem::{
-    ActivityStats, CommonStats, Controller, DramAddr, MemCmd, MemRequest, MemResponse, MemSpec,
-    Rejected, WriteCoverage,
+    snapio, ActivityStats, CommonStats, Controller, DramAddr, MemCmd, MemRequest, MemResponse,
+    MemSpec, Rejected, WriteCoverage,
 };
 use dramctrl_obs::{CmdEvent, DramCmd, NoProbe, Probe, RasMark};
 use dramctrl_ras::{BurstOutcome, FaultModel, RasGeometry};
@@ -1105,5 +1106,270 @@ impl<P: Probe> Controller for CycleCtrl<P> {
             );
         }
         r
+    }
+}
+
+// ------------------------------------------------------------------
+// Checkpointing
+// ------------------------------------------------------------------
+
+fn save_txn(w: &mut SnapWriter, txn: &Txn) {
+    w.bool(txn.is_read);
+    snapio::save_addr(w, &txn.da);
+    w.u64(txn.burst_addr);
+    w.u32(txn.lo);
+    w.u32(txn.hi);
+    w.u64(txn.entry);
+    w.usize(txn.group);
+    w.bool(txn.activated);
+    w.u8(txn.retries);
+    w.u64(txn.not_before);
+}
+
+fn read_txn(r: &mut SnapReader<'_>) -> Result<Txn, SnapError> {
+    Ok(Txn {
+        is_read: r.bool()?,
+        da: snapio::read_addr(r)?,
+        burst_addr: r.u64()?,
+        lo: r.u32()?,
+        hi: r.u32()?,
+        entry: r.u64()?,
+        group: r.usize()?,
+        activated: r.bool()?,
+        retries: r.u8()?,
+        not_before: r.u64()?,
+    })
+}
+
+fn save_bank(w: &mut SnapWriter, bank: &CycBank) {
+    w.opt_u64(bank.open_row);
+    w.u64(bank.next_act);
+    w.u64(bank.next_pre);
+    w.u64(bank.next_col);
+    w.opt_u64(bank.pending_close);
+    w.u64(bank.pre_done);
+}
+
+fn read_bank(r: &mut SnapReader<'_>) -> Result<CycBank, SnapError> {
+    Ok(CycBank {
+        open_row: r.opt_u64()?,
+        next_act: r.u64()?,
+        next_pre: r.u64()?,
+        next_col: r.u64()?,
+        pending_close: r.opt_u64()?,
+        pre_done: r.u64()?,
+    })
+}
+
+impl<P: Probe> SnapState for CycleCtrl<P> {
+    /// Captures the full dynamic state of the controller: the cycle
+    /// counter, the unified transaction queue, burst groups (slots *and*
+    /// free list, preserving slot-reuse order), per-bank FSM timers,
+    /// refresh bookkeeping, the response queue, bus direction/turnaround
+    /// state, write coverage, the RAS fault model and statistics.
+    ///
+    /// Configuration-derived fields (the config itself, the clock, the
+    /// cycle-converted timing table and the probe) are *not* written;
+    /// restore targets a freshly constructed controller built from the
+    /// same [`CycleConfig`].
+    fn save_state(&self, w: &mut SnapWriter) {
+        w.u64(self.cycle);
+        w.usize(self.queue.len());
+        for txn in &self.queue {
+            save_txn(w, txn);
+        }
+        w.usize(self.groups.len());
+        for slot in &self.groups {
+            match slot {
+                Some(g) => {
+                    w.bool(true);
+                    snapio::save_request(w, &g.req);
+                    w.u32(g.remaining);
+                    w.u64(g.ready_at);
+                }
+                None => w.bool(false),
+            }
+        }
+        w.usize(self.free_groups.len());
+        for &f in &self.free_groups {
+            w.usize(f);
+        }
+        w.usize(self.ranks.len());
+        for rank in &self.ranks {
+            w.usize(rank.banks.len());
+            for bank in &rank.banks {
+                save_bank(w, bank);
+            }
+            w.usize(rank.act_times.len());
+            for &t in &rank.act_times {
+                w.u64(t);
+            }
+            w.u64(rank.next_act_rank);
+            w.u64(rank.refresh_due);
+            w.bool(rank.want_refresh);
+            w.u64(rank.refreshing_until);
+            w.u64(rank.closed_cycles);
+        }
+        self.resp_q.save_state(w, snapio::save_response);
+        w.u64(self.bus_free);
+        w.u64(self.last_data_end);
+        w.u8(match self.last_dir {
+            None => 0,
+            Some(Dir::Rd) => 1,
+            Some(Dir::Wr) => 2,
+        });
+        self.coverage.save_state(w);
+        w.bool(self.fault.is_some());
+        if let Some(fm) = &self.fault {
+            fm.save_state(w);
+        }
+        let s = &self.stats;
+        w.u64(s.reads_accepted);
+        w.u64(s.writes_accepted);
+        w.u64(s.rd_bursts);
+        w.u64(s.wr_bursts);
+        w.u64(s.bytes_read);
+        w.u64(s.bytes_written);
+        w.u64(s.row_hits);
+        w.u64(s.activates);
+        w.u64(s.precharges);
+        w.u64(s.refreshes);
+        w.u64(s.bus_busy);
+        w.u64(s.merged_writes);
+        w.u64(s.forwarded_reads);
+        w.u64(s.cycles_simulated);
+        let (sum, count, min, max) = s.read_lat.to_parts();
+        w.f64(sum);
+        w.u64(count);
+        w.f64(min);
+        w.f64(max);
+    }
+
+    fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.cycle = r.u64()?;
+        let n_txn = r.usize()?;
+        self.queue.clear();
+        for _ in 0..n_txn {
+            self.queue.push_back(read_txn(r)?);
+        }
+        let n_groups = r.usize()?;
+        self.groups.clear();
+        for _ in 0..n_groups {
+            if r.bool()? {
+                self.groups.push(Some(Group {
+                    req: snapio::read_request(r)?,
+                    remaining: r.u32()?,
+                    ready_at: r.u64()?,
+                }));
+            } else {
+                self.groups.push(None);
+            }
+        }
+        let n_free = r.usize()?;
+        self.free_groups.clear();
+        for _ in 0..n_free {
+            let f = r.usize()?;
+            if self.groups.get(f).map_or(true, Option::is_some) {
+                return Err(SnapError::Corrupt(format!("free-list entry {f} not free")));
+            }
+            self.free_groups.push(f);
+        }
+        let empty = self.groups.iter().filter(|s| s.is_none()).count();
+        if empty != self.free_groups.len() {
+            return Err(SnapError::Corrupt(format!(
+                "{empty} empty group slots but {} free-list entries",
+                self.free_groups.len()
+            )));
+        }
+        for txn in &self.queue {
+            if self.groups.get(txn.group).map_or(true, Option::is_none) {
+                return Err(SnapError::Corrupt(format!(
+                    "queued burst references dead group {}",
+                    txn.group
+                )));
+            }
+        }
+        let n_ranks = r.usize()?;
+        if n_ranks != self.ranks.len() {
+            return Err(SnapError::Corrupt(format!(
+                "snapshot has {n_ranks} ranks, configuration has {}",
+                self.ranks.len()
+            )));
+        }
+        for rank in &mut self.ranks {
+            let n_banks = r.usize()?;
+            if n_banks != rank.banks.len() {
+                return Err(SnapError::Corrupt(format!(
+                    "snapshot has {n_banks} banks per rank, configuration has {}",
+                    rank.banks.len()
+                )));
+            }
+            for bank in &mut rank.banks {
+                *bank = read_bank(r)?;
+            }
+            let n_acts = r.usize()?;
+            rank.act_times.clear();
+            for _ in 0..n_acts {
+                let t = r.u64()?;
+                if rank.act_times.back().is_some_and(|&last| t < last) {
+                    return Err(SnapError::Corrupt(
+                        "activation window times out of order".into(),
+                    ));
+                }
+                rank.act_times.push_back(t);
+            }
+            rank.next_act_rank = r.u64()?;
+            rank.refresh_due = r.u64()?;
+            rank.want_refresh = r.bool()?;
+            rank.refreshing_until = r.u64()?;
+            rank.closed_cycles = r.u64()?;
+        }
+        self.resp_q.restore_state(r, snapio::read_response)?;
+        self.bus_free = r.u64()?;
+        self.last_data_end = r.u64()?;
+        self.last_dir = match r.u8()? {
+            0 => None,
+            1 => Some(Dir::Rd),
+            2 => Some(Dir::Wr),
+            t => return Err(SnapError::Corrupt(format!("unknown bus direction tag {t}"))),
+        };
+        // Derived: the count of banks with a scheduled auto-precharge.
+        self.pending_closes = self
+            .ranks
+            .iter()
+            .flat_map(|r| &r.banks)
+            .filter(|b| b.pending_close.is_some())
+            .count();
+        self.coverage.restore_state(r)?;
+        let has_fault = r.bool()?;
+        if has_fault != self.fault.is_some() {
+            return Err(SnapError::Corrupt(
+                "RAS presence differs between snapshot and configuration".into(),
+            ));
+        }
+        if let Some(fm) = &mut self.fault {
+            fm.restore_state(r)?;
+        }
+        let s = &mut self.stats;
+        s.reads_accepted = r.u64()?;
+        s.writes_accepted = r.u64()?;
+        s.rd_bursts = r.u64()?;
+        s.wr_bursts = r.u64()?;
+        s.bytes_read = r.u64()?;
+        s.bytes_written = r.u64()?;
+        s.row_hits = r.u64()?;
+        s.activates = r.u64()?;
+        s.precharges = r.u64()?;
+        s.refreshes = r.u64()?;
+        s.bus_busy = r.u64()?;
+        s.merged_writes = r.u64()?;
+        s.forwarded_reads = r.u64()?;
+        s.cycles_simulated = r.u64()?;
+        let sum = r.f64()?;
+        let count = r.u64()?;
+        let min = r.f64()?;
+        let max = r.f64()?;
+        s.read_lat = Average::from_parts(sum, count, min, max);
+        Ok(())
     }
 }

@@ -579,3 +579,104 @@ fn cycle_link_retries_complete_and_count() {
         "no link errors recorded"
     );
 }
+
+/// Checkpoint/restore equivalence on the cycle model: pause a run
+/// mid-flight, snapshot, restore into a *fresh* controller built from the
+/// same configuration, and run both to completion in lockstep — every
+/// response, the drain tick, the rendered report and the post-pause trace
+/// suffix must be byte-identical to the uninterrupted run. Covers the
+/// policy × scheduler matrix plus a RAS-armed, write-snooping run.
+#[test]
+fn checkpoint_restore_equivalent() {
+    use dramctrl_cycle::{CycleCtrl, EccMode, RasConfig};
+    use dramctrl_kernel::snap::{fingerprint, SnapReader, SnapState, SnapWriter};
+    use dramctrl_obs::ChromeTracer;
+
+    let mut cfgs = Vec::new();
+    for policy in [CyclePagePolicy::Open, CyclePagePolicy::Closed] {
+        for sched in [CycleSched::Fcfs, CycleSched::FrFcfs] {
+            let mut cfg = CycleConfig::new(presets::ddr3_1333_x64());
+            cfg.page_policy = policy;
+            cfg.scheduling = sched;
+            cfgs.push(cfg);
+        }
+    }
+    let mut ras_cfg = CycleConfig::new(presets::ddr3_1333_x64());
+    ras_cfg.ras = Some(RasConfig::from_error_rate(2e11, 0xC4C1).with_ecc(EccMode::SecDed));
+    ras_cfg.write_snooping = true;
+    cfgs.push(ras_cfg);
+
+    for cfg in cfgs {
+        let fp = fingerprint(format!("{cfg:?}").as_bytes());
+        let label = format!("{}/{:?}", cfg.page_policy, cfg.scheduling);
+        let mut base = CycleCtrl::with_probe(cfg.clone(), ChromeTracer::new()).unwrap();
+        let mut resumed: Option<CycleCtrl<ChromeTracer>> = None;
+
+        let mut state = 0xC4C2u64;
+        let mut step = || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        let mut t = 0;
+        let (mut bout, mut rout) = (Vec::new(), Vec::new());
+        for i in 0..300u64 {
+            if i == 150 {
+                let mut w = SnapWriter::new(fp);
+                base.save_state(&mut w);
+                let bytes = w.into_bytes();
+                assert!(bytes.len() > 64, "implausibly small snapshot");
+                // A mismatched fingerprint must be refused loudly.
+                assert!(SnapReader::new(&bytes, fp ^ 1).is_err());
+                let mut fresh = CycleCtrl::with_probe(cfg.clone(), ChromeTracer::new()).unwrap();
+                let mut r = SnapReader::new(&bytes, fp).unwrap();
+                fresh.restore_state(&mut r).unwrap();
+                assert!(r.is_exhausted(), "trailing snapshot bytes ({label})");
+                // From here the baseline records only the trace suffix,
+                // directly comparable with the resumed controller's trace.
+                let _prefix = std::mem::take(base.probe_mut());
+                bout.clear();
+                resumed = Some(fresh);
+            }
+            let a = addr((step() % 8) as u32, step() % 64, step() % 64);
+            let req = if step() % 3 == 0 {
+                MemRequest::write(ReqId(i), a, 64)
+            } else {
+                MemRequest::read(ReqId(i), a, 64)
+            };
+            t += step() % 20_000;
+            base.advance_to(t, &mut bout);
+            let sent = base.try_send(req, t).is_ok();
+            if let Some(res) = resumed.as_mut() {
+                res.advance_to(t, &mut rout);
+                assert_eq!(bout, rout, "responses diverged at tick {t} ({label})");
+                assert_eq!(
+                    sent,
+                    res.try_send(req, t).is_ok(),
+                    "flow control diverged at tick {t} ({label})"
+                );
+            }
+        }
+        let end_b = base.drain(&mut bout);
+        let res = resumed.as_mut().expect("pause point reached");
+        let end_r = res.drain(&mut rout);
+        assert_eq!(end_b, end_r, "drain ticks diverged ({label})");
+        assert_eq!(bout, rout, "final responses diverged ({label})");
+        assert_eq!(
+            base.report("ctrl", end_b).to_json(),
+            res.report("ctrl", end_r).to_json(),
+            "reports diverged ({label})"
+        );
+        if let (Some(fb), Some(fr)) = (base.fault_model(), res.fault_model()) {
+            assert_eq!(fb.log_text(), fr.log_text(), "fault logs diverged");
+            assert!(!fb.log_text().is_empty(), "RAS run injected no faults");
+        }
+        let resumed = resumed.take().expect("pause point reached");
+        assert_eq!(
+            base.into_probe().to_json(),
+            resumed.into_probe().to_json(),
+            "trace suffixes diverged ({label})"
+        );
+    }
+}

@@ -1,0 +1,164 @@
+//! Crash-safe filesystem primitives shared by every artifact writer.
+//!
+//! Two durability patterns cover everything the simulators write:
+//!
+//! - [`write_atomic`]: whole-file artifacts (reports, traces, checkpoints)
+//!   are written to a temporary sibling, fsync'd, then renamed over the
+//!   destination. A crash at any point leaves either the old file or the
+//!   new one — never a torn half of each.
+//! - [`DurableAppender`]: append-only journals get every record flushed
+//!   and fsync'd before the append returns, so a record that was reported
+//!   as committed survives the process dying on the very next instruction.
+
+use std::fs::{File, OpenOptions};
+use std::io::{self, Write};
+use std::path::Path;
+
+/// Writes `contents` to `path` atomically: the data lands in a temporary
+/// file in the same directory (same filesystem, so the rename is atomic),
+/// is fsync'd, and is then renamed over `path`. On Unix the parent
+/// directory is fsync'd too, making the rename itself durable.
+///
+/// # Errors
+/// Any I/O error from creating, writing, syncing or renaming the
+/// temporary file; the temporary is removed on failure.
+pub fn write_atomic(path: impl AsRef<Path>, contents: impl AsRef<[u8]>) -> io::Result<()> {
+    let path = path.as_ref();
+    let dir = path.parent().filter(|p| !p.as_os_str().is_empty());
+    let file_name = path
+        .file_name()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "path has no file name"))?;
+    let mut tmp = std::ffi::OsString::from(".");
+    tmp.push(file_name);
+    tmp.push(format!(".tmp.{}", std::process::id()));
+    let tmp_path = match dir {
+        Some(d) => d.join(&tmp),
+        None => std::path::PathBuf::from(&tmp),
+    };
+
+    let result = (|| {
+        let mut f = File::create(&tmp_path)?;
+        f.write_all(contents.as_ref())?;
+        f.sync_all()?;
+        std::fs::rename(&tmp_path, path)?;
+        if let Some(d) = dir {
+            sync_dir(d)?;
+        }
+        Ok(())
+    })();
+    if result.is_err() {
+        let _ = std::fs::remove_file(&tmp_path);
+    }
+    result
+}
+
+/// Fsyncs a directory so a rename inside it is durable. Windows cannot
+/// open directories for syncing; the rename is still atomic there.
+fn sync_dir(dir: &Path) -> io::Result<()> {
+    #[cfg(unix)]
+    {
+        File::open(dir)?.sync_all()?;
+    }
+    #[cfg(not(unix))]
+    {
+        let _ = dir;
+    }
+    Ok(())
+}
+
+/// An append-only file whose every appended record is durable before the
+/// append returns: written, flushed and fsync'd.
+#[derive(Debug)]
+pub struct DurableAppender {
+    file: File,
+}
+
+impl DurableAppender {
+    /// Creates the file (truncating any previous content) and makes the
+    /// creation itself durable by syncing the parent directory.
+    ///
+    /// # Errors
+    /// Any I/O error from creating or syncing.
+    pub fn create(path: impl AsRef<Path>) -> io::Result<Self> {
+        let path = path.as_ref();
+        let file = File::create(path)?;
+        if let Some(dir) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+            sync_dir(dir)?;
+        }
+        Ok(Self { file })
+    }
+
+    /// Opens an existing file for appending.
+    ///
+    /// # Errors
+    /// Any I/O error from opening.
+    pub fn append_to(path: impl AsRef<Path>) -> io::Result<Self> {
+        let file = OpenOptions::new().append(true).open(path)?;
+        Ok(Self { file })
+    }
+
+    /// Appends `line` plus a newline, then fsyncs. When this returns `Ok`,
+    /// the record is on disk.
+    ///
+    /// # Errors
+    /// Any I/O error from writing or syncing.
+    pub fn append_line(&mut self, line: &str) -> io::Result<()> {
+        self.file.write_all(line.as_bytes())?;
+        self.file.write_all(b"\n")?;
+        self.file.sync_data()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(name: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!("dramctrl-fsio-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn write_atomic_replaces_and_leaves_no_temp() {
+        let d = tmp_dir("atomic");
+        let p = d.join("out.json");
+        write_atomic(&p, "first").unwrap();
+        assert_eq!(std::fs::read_to_string(&p).unwrap(), "first");
+        write_atomic(&p, "second").unwrap();
+        assert_eq!(std::fs::read_to_string(&p).unwrap(), "second");
+        // No stray temporaries survive a successful write.
+        let stray: Vec<_> = std::fs::read_dir(&d)
+            .unwrap()
+            .map(|e| e.unwrap().file_name())
+            .filter(|n| n != "out.json")
+            .collect();
+        assert!(stray.is_empty(), "leftover files: {stray:?}");
+        std::fs::remove_dir_all(&d).unwrap();
+    }
+
+    #[test]
+    fn write_atomic_relative_path_in_cwd_works() {
+        let d = tmp_dir("rel");
+        let p = d.join("nested").join("out.txt");
+        std::fs::create_dir_all(p.parent().unwrap()).unwrap();
+        write_atomic(&p, b"data".as_slice()).unwrap();
+        assert_eq!(std::fs::read(&p).unwrap(), b"data");
+        std::fs::remove_dir_all(&d).unwrap();
+    }
+
+    #[test]
+    fn appender_accumulates_lines() {
+        let d = tmp_dir("append");
+        let p = d.join("j.jsonl");
+        let mut a = DurableAppender::create(&p).unwrap();
+        a.append_line("one").unwrap();
+        a.append_line("two").unwrap();
+        drop(a);
+        let mut b = DurableAppender::append_to(&p).unwrap();
+        b.append_line("three").unwrap();
+        assert_eq!(std::fs::read_to_string(&p).unwrap(), "one\ntwo\nthree\n");
+        std::fs::remove_dir_all(&d).unwrap();
+    }
+}

@@ -32,8 +32,10 @@
 
 mod clock;
 mod event;
+pub mod fsio;
 pub mod hash;
 pub mod rng;
+pub mod snap;
 pub mod tick;
 
 pub use clock::Clock;

@@ -109,6 +109,20 @@ impl Rng {
     pub fn gen_bool(&mut self) -> bool {
         self.next_u64() & 1 == 1
     }
+
+    /// The raw xoshiro256** state, for checkpointing. A generator rebuilt
+    /// with [`from_state`](Self::from_state) continues the exact stream.
+    #[must_use]
+    pub fn state(&self) -> [u64; 4] {
+        self.s
+    }
+
+    /// Rebuilds a generator from a state captured by
+    /// [`state`](Self::state).
+    #[must_use]
+    pub fn from_state(s: [u64; 4]) -> Self {
+        Self { s }
+    }
 }
 
 #[cfg(test)]
@@ -162,6 +176,18 @@ mod tests {
     #[should_panic(expected = "empty range")]
     fn empty_range_panics() {
         Rng::seed_from_u64(0).gen_range(5..5);
+    }
+
+    #[test]
+    fn state_round_trip_continues_the_stream() {
+        let mut a = Rng::seed_from_u64(99);
+        for _ in 0..10 {
+            a.next_u64();
+        }
+        let mut b = Rng::from_state(a.state());
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
     }
 
     #[test]

@@ -96,6 +96,57 @@ impl WriteCoverage {
     }
 }
 
+impl dramctrl_kernel::snap::SnapState for WriteCoverage {
+    // The map is only ever probed point-wise, so the multiset is the whole
+    // observable state; keys are written sorted to keep the snapshot bytes
+    // deterministic regardless of insertion history.
+    fn save_state(&self, w: &mut dramctrl_kernel::snap::SnapWriter) {
+        let mut keys: Vec<u64> = self.by_burst.keys().copied().collect();
+        keys.sort_unstable();
+        w.usize(keys.len());
+        for k in keys {
+            let spans = &self.by_burst[&k];
+            w.u64(k);
+            w.usize(spans.len());
+            for &(lo, hi) in spans {
+                w.u32(lo);
+                w.u32(hi);
+            }
+        }
+    }
+
+    fn restore_state(
+        &mut self,
+        r: &mut dramctrl_kernel::snap::SnapReader<'_>,
+    ) -> Result<(), dramctrl_kernel::snap::SnapError> {
+        use dramctrl_kernel::snap::SnapError;
+        self.by_burst.clear();
+        self.len = 0;
+        let n_keys = r.usize()?;
+        for _ in 0..n_keys {
+            let k = r.u64()?;
+            let n_spans = r.usize()?;
+            if n_spans == 0 {
+                return Err(SnapError::Corrupt(format!("burst {k:#x} with no spans")));
+            }
+            let mut spans = Vec::with_capacity(n_spans);
+            for _ in 0..n_spans {
+                let lo = r.u32()?;
+                let hi = r.u32()?;
+                if lo >= hi {
+                    return Err(SnapError::Corrupt(format!("empty span [{lo}, {hi})")));
+                }
+                spans.push((lo, hi));
+            }
+            self.len += spans.len();
+            if self.by_burst.insert(k, spans).is_some() {
+                return Err(SnapError::Corrupt(format!("duplicate burst key {k:#x}")));
+            }
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -135,6 +186,38 @@ mod tests {
         cov.remove(0x80, 0, 64);
         assert!(cov.is_empty());
         assert!(!cov.covers(0x40, 0, 64));
+    }
+
+    #[test]
+    fn snapshot_round_trip_preserves_multiset() {
+        use dramctrl_kernel::snap::{SnapReader, SnapState, SnapWriter};
+        let mut cov = WriteCoverage::default();
+        cov.insert(0x80, 0, 64);
+        cov.insert(0x80, 8, 16);
+        cov.insert(0x40, 0, 32);
+        let mut w = SnapWriter::new(0);
+        cov.save_state(&mut w);
+        let bytes = w.into_bytes();
+        let mut restored = WriteCoverage::default();
+        restored.insert(0xFF, 0, 1); // stale state is replaced, not merged
+        let mut r = SnapReader::new(&bytes, 0).unwrap();
+        restored.restore_state(&mut r).unwrap();
+        assert!(r.is_exhausted());
+        assert_eq!(restored.len(), 3);
+        assert!(restored.covers(0x80, 10, 14));
+        assert!(restored.covers(0x40, 0, 32));
+        assert!(!restored.covers(0xFF, 0, 1));
+        // Restored index accepts removals exactly like the original.
+        restored.remove(0x80, 8, 16);
+        assert!(restored.covers(0x80, 8, 16), "wider span still covers");
+        // Snapshot bytes are deterministic regardless of insertion order.
+        let mut cov2 = WriteCoverage::default();
+        cov2.insert(0x40, 0, 32);
+        cov2.insert(0x80, 0, 64);
+        cov2.insert(0x80, 8, 16);
+        let mut w2 = SnapWriter::new(0);
+        cov2.save_state(&mut w2);
+        assert_eq!(bytes, w2.into_bytes());
     }
 
     #[test]

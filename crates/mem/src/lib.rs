@@ -26,6 +26,7 @@ pub mod ctrl_if;
 pub mod map;
 pub mod packet;
 pub mod presets;
+pub mod snapio;
 pub mod spec;
 
 pub use activity::ActivityStats;

@@ -1,0 +1,126 @@
+//! Snapshot codecs for the shared packet types.
+//!
+//! Both controller models hold [`MemRequest`]s and [`MemResponse`]s in
+//! their dynamic state (burst groups, pending acks), so the byte layout of
+//! a checkpointed packet lives here, next to the types, rather than being
+//! duplicated per controller.
+
+use dramctrl_kernel::snap::{SnapError, SnapReader, SnapWriter};
+
+use crate::map::DramAddr;
+use crate::packet::{MemCmd, MemRequest, MemResponse, ReqId};
+
+fn cmd_tag(cmd: MemCmd) -> u8 {
+    match cmd {
+        MemCmd::Read => 0,
+        MemCmd::Write => 1,
+    }
+}
+
+fn cmd_from_tag(t: u8) -> Result<MemCmd, SnapError> {
+    match t {
+        0 => Ok(MemCmd::Read),
+        1 => Ok(MemCmd::Write),
+        _ => Err(SnapError::Corrupt(format!("memory command tag {t}"))),
+    }
+}
+
+/// Writes a request's fields.
+pub fn save_request(w: &mut SnapWriter, req: &MemRequest) {
+    w.u64(req.id.0);
+    w.u8(cmd_tag(req.cmd));
+    w.u64(req.addr);
+    w.u32(req.size);
+    w.u16(req.source);
+}
+
+/// Reads a request written by [`save_request`].
+///
+/// # Errors
+/// Propagates truncation and rejects unknown command tags.
+pub fn read_request(r: &mut SnapReader<'_>) -> Result<MemRequest, SnapError> {
+    Ok(MemRequest {
+        id: ReqId(r.u64()?),
+        cmd: cmd_from_tag(r.u8()?)?,
+        addr: r.u64()?,
+        size: r.u32()?,
+        source: r.u16()?,
+    })
+}
+
+/// Writes a response's fields.
+pub fn save_response(w: &mut SnapWriter, resp: &MemResponse) {
+    w.u64(resp.id.0);
+    w.u8(cmd_tag(resp.cmd));
+    w.u64(resp.addr);
+    w.u16(resp.source);
+    w.u64(resp.ready_at);
+}
+
+/// Reads a response written by [`save_response`].
+///
+/// # Errors
+/// Propagates truncation and rejects unknown command tags.
+pub fn read_response(r: &mut SnapReader<'_>) -> Result<MemResponse, SnapError> {
+    Ok(MemResponse {
+        id: ReqId(r.u64()?),
+        cmd: cmd_from_tag(r.u8()?)?,
+        addr: r.u64()?,
+        source: r.u16()?,
+        ready_at: r.u64()?,
+    })
+}
+
+/// Writes a decoded DRAM address.
+pub fn save_addr(w: &mut SnapWriter, da: &DramAddr) {
+    w.u32(da.rank);
+    w.u32(da.bank);
+    w.u64(da.row);
+    w.u64(da.col);
+}
+
+/// Reads an address written by [`save_addr`].
+///
+/// # Errors
+/// Propagates truncation.
+pub fn read_addr(r: &mut SnapReader<'_>) -> Result<DramAddr, SnapError> {
+    Ok(DramAddr {
+        rank: r.u32()?,
+        bank: r.u32()?,
+        row: r.u64()?,
+        col: r.u64()?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn packet_codecs_round_trip() {
+        let req = MemRequest {
+            id: ReqId(7),
+            cmd: MemCmd::Write,
+            addr: 0xdead_beef,
+            size: 64,
+            source: 3,
+        };
+        let resp = MemResponse::to(&req, 123_456);
+        let da = DramAddr {
+            rank: 1,
+            bank: 5,
+            row: 42,
+            col: 9,
+        };
+        let mut w = SnapWriter::new(0);
+        save_request(&mut w, &req);
+        save_response(&mut w, &resp);
+        save_addr(&mut w, &da);
+        let bytes = w.into_bytes();
+        let mut r = SnapReader::new(&bytes, 0).unwrap();
+        assert_eq!(read_request(&mut r).unwrap(), req);
+        assert_eq!(read_response(&mut r).unwrap(), resp);
+        assert_eq!(read_addr(&mut r).unwrap(), da);
+        assert!(r.is_exhausted());
+    }
+}

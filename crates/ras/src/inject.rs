@@ -11,6 +11,7 @@ use crate::config::{per_tick, RasConfig, RasGeometry};
 use crate::ecc::{classify, EccOutcome};
 use dramctrl_kernel::hash::DetMap;
 use dramctrl_kernel::rng::splitmix64;
+use dramctrl_kernel::snap::{SnapError, SnapReader, SnapState, SnapWriter};
 use dramctrl_kernel::Tick;
 
 /// The kinds of fault the injector models.
@@ -210,6 +211,163 @@ pub struct FaultModel {
     spares: Vec<u32>,
     stats: RasStats,
     log: Vec<FaultRecord>,
+}
+
+impl FaultKind {
+    fn tag(self) -> u8 {
+        match self {
+            FaultKind::Transient => 0,
+            FaultKind::StuckRow => 1,
+            FaultKind::RankFail => 2,
+            FaultKind::WriteCrc => 3,
+            FaultKind::CaParity => 4,
+        }
+    }
+
+    fn from_tag(t: u8) -> Result<Self, SnapError> {
+        Ok(match t {
+            0 => FaultKind::Transient,
+            1 => FaultKind::StuckRow,
+            2 => FaultKind::RankFail,
+            3 => FaultKind::WriteCrc,
+            4 => FaultKind::CaParity,
+            _ => return Err(SnapError::Corrupt(format!("fault kind tag {t}"))),
+        })
+    }
+}
+
+impl BurstOutcome {
+    fn tag(self) -> u8 {
+        match self {
+            BurstOutcome::Clean => 0,
+            BurstOutcome::Corrected => 1,
+            BurstOutcome::Uncorrected => 2,
+            BurstOutcome::Silent => 3,
+            BurstOutcome::LinkError => 4,
+        }
+    }
+
+    fn from_tag(t: u8) -> Result<Self, SnapError> {
+        Ok(match t {
+            0 => BurstOutcome::Clean,
+            1 => BurstOutcome::Corrected,
+            2 => BurstOutcome::Uncorrected,
+            3 => BurstOutcome::Silent,
+            4 => BurstOutcome::LinkError,
+            _ => return Err(SnapError::Corrupt(format!("burst outcome tag {t}"))),
+        })
+    }
+}
+
+impl SnapState for FaultModel {
+    // The config-derived fields (`cfg`, `geom`, `l_*`) are rebuilt by
+    // constructing the restore target with [`FaultModel::new`]; only the
+    // dynamic fault-stream state is captured. Row keys are written sorted
+    // so the snapshot bytes do not depend on access order.
+    fn save_state(&self, w: &mut SnapWriter) {
+        let mut keys: Vec<(u32, u32, u64)> = self.rows.keys().copied().collect();
+        keys.sort_unstable();
+        w.usize(keys.len());
+        for k in keys {
+            let rs = &self.rows[&k];
+            w.u32(k.0);
+            w.u32(k.1);
+            w.u64(k.2);
+            w.u64(rs.stream);
+            w.u64(rs.last);
+            w.bool(rs.stuck);
+            w.bool(rs.remapped);
+        }
+        w.usize(self.ranks.len());
+        for rk in &self.ranks {
+            w.u64(rk.stream);
+            w.u64(rk.last);
+        }
+        w.u32(self.offline_mask);
+        w.usize(self.spares.len());
+        for &s in &self.spares {
+            w.u32(s);
+        }
+        for (_, v) in self.stats.entries() {
+            w.u64(v);
+        }
+        w.usize(self.log.len());
+        for r in &self.log {
+            w.u64(r.at);
+            w.u32(r.rank);
+            w.u32(r.bank);
+            w.u64(r.row);
+            w.u8(r.kind.tag());
+            w.u8(r.outcome.tag());
+        }
+    }
+
+    fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.rows.clear();
+        let n_rows = r.usize()?;
+        for _ in 0..n_rows {
+            let key = (r.u32()?, r.u32()?, r.u64()?);
+            let rs = RowState {
+                stream: r.u64()?,
+                last: r.u64()?,
+                stuck: r.bool()?,
+                remapped: r.bool()?,
+            };
+            if self.rows.insert(key, rs).is_some() {
+                return Err(SnapError::Corrupt(format!("duplicate row key {key:?}")));
+            }
+        }
+        let n_ranks = r.usize()?;
+        if n_ranks != self.ranks.len() {
+            return Err(SnapError::Corrupt(format!(
+                "rank count {n_ranks} != geometry {}",
+                self.ranks.len()
+            )));
+        }
+        for rk in &mut self.ranks {
+            rk.stream = r.u64()?;
+            rk.last = r.u64()?;
+        }
+        self.offline_mask = r.u32()?;
+        let n_spares = r.usize()?;
+        if n_spares != self.spares.len() {
+            return Err(SnapError::Corrupt(format!(
+                "spare-pool count {n_spares} != geometry {}",
+                self.spares.len()
+            )));
+        }
+        for s in &mut self.spares {
+            *s = r.u32()?;
+        }
+        self.stats = RasStats {
+            transient_faults: r.u64()?,
+            stuck_rows: r.u64()?,
+            rank_failures: r.u64()?,
+            crc_errors: r.u64()?,
+            parity_errors: r.u64()?,
+            corrected: r.u64()?,
+            uncorrected: r.u64()?,
+            silent: r.u64()?,
+            retries: r.u64()?,
+            retries_exhausted: r.u64()?,
+            row_remaps: r.u64()?,
+            ranks_offlined: r.u64()?,
+        };
+        let n_log = r.usize()?;
+        self.log.clear();
+        self.log.reserve(n_log);
+        for _ in 0..n_log {
+            self.log.push(FaultRecord {
+                at: r.u64()?,
+                rank: r.u32()?,
+                bank: r.u32()?,
+                row: r.u64()?,
+                kind: FaultKind::from_tag(r.u8()?)?,
+                outcome: BurstOutcome::from_tag(r.u8()?)?,
+            });
+        }
+        Ok(())
+    }
 }
 
 /// Uniform `[0, 1)` from a u64 draw, bit-exact on every platform.
@@ -715,6 +873,52 @@ mod tests {
         assert_eq!(entries[0].0, "ras_transient_faults");
         assert_eq!(entries[11].0, "ras_ranks_offlined");
         assert!(entries.iter().all(|&(_, v)| v == 0));
+    }
+
+    #[test]
+    fn snapshot_round_trip_continues_fault_streams() {
+        let cfg = RasConfig::from_error_rate(1e11, 42);
+        // Uninterrupted baseline.
+        let mut base = FaultModel::new(cfg.clone(), geom());
+        drive(&mut base, 20_000);
+
+        // Same prefix, snapshot at the midpoint, restore into a fresh
+        // model, drive the identical suffix.
+        let mut first = FaultModel::new(cfg.clone(), geom());
+        for i in 0..10_000u64 {
+            let rank = (i % 2) as u32;
+            let bank = ((i / 2) % 8) as u32;
+            let row = (i / 16) % 64;
+            let _ = first.check(rank, bank, row, i % 4 != 3, (i + 1) * 1_000_000);
+        }
+        let mut w = SnapWriter::new(7);
+        first.save_state(&mut w);
+        let bytes = w.into_bytes();
+
+        let mut resumed = FaultModel::new(cfg.clone(), geom());
+        let mut r = SnapReader::new(&bytes, 7).unwrap();
+        resumed.restore_state(&mut r).unwrap();
+        assert!(r.is_exhausted());
+        for i in 10_000..20_000u64 {
+            let rank = (i % 2) as u32;
+            let bank = ((i / 2) % 8) as u32;
+            let row = (i / 16) % 64;
+            let _ = resumed.check(rank, bank, row, i % 4 != 3, (i + 1) * 1_000_000);
+        }
+        assert_eq!(resumed.log_text(), base.log_text());
+        assert_eq!(resumed.stats(), base.stats());
+        assert_eq!(resumed.offline_mask(), base.offline_mask());
+
+        // Geometry mismatch fails loudly rather than restoring nonsense.
+        let small = RasGeometry {
+            ranks: 1,
+            banks: 8,
+            row_bytes: 8 * 1024,
+            rank_bytes: 2 << 30,
+        };
+        let mut wrong = FaultModel::new(cfg, small);
+        let mut r2 = SnapReader::new(&bytes, 7).unwrap();
+        assert!(wrong.restore_state(&mut r2).is_err());
     }
 
     #[test]

@@ -90,6 +90,25 @@ impl Average {
         self.min = self.min.min(other.min);
         self.max = self.max.max(other.max);
     }
+
+    /// The raw accumulator state `(sum, count, min, max)` for
+    /// checkpointing. The floats must be persisted bit-exactly (via
+    /// `f64::to_bits`) so a restored accumulator renders byte-identical
+    /// reports; this crate stays dependency-free, so serialisation itself
+    /// lives with the caller.
+    pub fn to_parts(&self) -> (f64, u64, f64, f64) {
+        (self.sum, self.count, self.min, self.max)
+    }
+
+    /// Rebuilds an accumulator from [`to_parts`](Self::to_parts) output.
+    pub fn from_parts(sum: f64, count: u64, min: f64, max: f64) -> Self {
+        Self {
+            sum,
+            count,
+            min,
+            max,
+        }
+    }
 }
 
 #[cfg(test)]

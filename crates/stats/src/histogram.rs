@@ -239,6 +239,85 @@ impl Histogram {
         let (min, max, n) = (self.min, self.max, self.buckets.len());
         *self = Self::new(min, max, n);
     }
+
+    /// The complete raw state for checkpointing. The float fields must be
+    /// persisted bit-exactly (`f64::to_bits`); this crate stays
+    /// dependency-free, so serialisation lives with the caller.
+    pub fn to_parts(&self) -> HistogramParts {
+        HistogramParts {
+            min: self.min,
+            max: self.max,
+            buckets: self.buckets.clone(),
+            underflow: self.underflow,
+            overflow: self.overflow,
+            sum: self.sum,
+            sum_sq: self.sum_sq,
+            count: self.count,
+            sample_min: self.sample_min,
+            sample_max: self.sample_max,
+        }
+    }
+
+    /// Rebuilds a histogram from [`to_parts`](Self::to_parts) output.
+    ///
+    /// # Errors
+    /// Returns a message when the parts violate the constructor's
+    /// invariants (empty range, zero buckets, uneven width).
+    pub fn from_parts(p: HistogramParts) -> Result<Self, String> {
+        if p.max <= p.min {
+            return Err("histogram range must be non-empty".into());
+        }
+        if p.buckets.is_empty() {
+            return Err("histogram needs at least one bucket".into());
+        }
+        let range = p.max - p.min;
+        if range % p.buckets.len() as u64 != 0 {
+            return Err(format!(
+                "range {range} must divide evenly into {} buckets",
+                p.buckets.len()
+            ));
+        }
+        let width = range / p.buckets.len() as u64;
+        Ok(Self {
+            min: p.min,
+            max: p.max,
+            width,
+            buckets: p.buckets,
+            underflow: p.underflow,
+            overflow: p.overflow,
+            sum: p.sum,
+            sum_sq: p.sum_sq,
+            count: p.count,
+            sample_min: p.sample_min,
+            sample_max: p.sample_max,
+        })
+    }
+}
+
+/// The raw state of a [`Histogram`], produced by [`Histogram::to_parts`]
+/// and consumed by [`Histogram::from_parts`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramParts {
+    /// Lower bound of the bucketed range (inclusive).
+    pub min: u64,
+    /// Upper bound of the bucketed range (exclusive).
+    pub max: u64,
+    /// Per-bucket sample counts.
+    pub buckets: Vec<u64>,
+    /// Samples below the range.
+    pub underflow: u64,
+    /// Samples at or above the range.
+    pub overflow: u64,
+    /// Exact sum of all samples (bit-exact persistence required).
+    pub sum: f64,
+    /// Exact sum of squares (bit-exact persistence required).
+    pub sum_sq: f64,
+    /// Total samples recorded.
+    pub count: u64,
+    /// Smallest sample seen (`u64::MAX` when empty).
+    pub sample_min: u64,
+    /// Largest sample seen (`0` when empty).
+    pub sample_max: u64,
 }
 
 #[cfg(test)]
@@ -374,6 +453,22 @@ mod tests {
             );
             assert_eq!(h.count(), samples.len() as u64);
         }
+    }
+
+    /// to_parts/from_parts is the identity, including on empty histograms.
+    #[test]
+    fn parts_round_trip() {
+        let mut h = Histogram::new(100, 1_100, 20);
+        for v in [50u64, 100, 555, 2_000] {
+            h.record(v);
+        }
+        assert_eq!(Histogram::from_parts(h.to_parts()).unwrap(), h);
+        let empty = Histogram::new(0, 10, 10);
+        assert_eq!(Histogram::from_parts(empty.to_parts()).unwrap(), empty);
+        // Invalid parts are rejected, not silently accepted.
+        let mut bad = h.to_parts();
+        bad.max = bad.min;
+        assert!(Histogram::from_parts(bad).is_err());
     }
 
     /// The quantile function is monotonically non-decreasing in p.

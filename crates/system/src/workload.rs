@@ -11,6 +11,7 @@
 //! profile into a deterministic per-core address stream.
 
 use dramctrl_kernel::rng::Rng;
+use dramctrl_kernel::snap::{SnapError, SnapReader, SnapState, SnapWriter};
 
 /// Memory behaviour of one benchmark.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -240,6 +241,33 @@ impl AccessStream {
             is_write: self.rng.gen_range(0..100) >= u64::from(p.read_pct),
             gap_insts: gap,
         }
+    }
+}
+
+impl SnapState for AccessStream {
+    /// Captures the stream's dynamic state: the RNG, the cursor and the
+    /// remaining sequential-run length. The profile, base and line size
+    /// are construction parameters and are not written.
+    fn save_state(&self, w: &mut SnapWriter) {
+        for word in self.rng.state() {
+            w.u64(word);
+        }
+        w.u64(self.cursor);
+        w.u32(self.seq_left);
+    }
+
+    fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        let state = [r.u64()?, r.u64()?, r.u64()?, r.u64()?];
+        self.rng = Rng::from_state(state);
+        let cursor = r.u64()?;
+        if cursor < self.base || cursor >= self.base + self.profile.footprint {
+            return Err(SnapError::Corrupt(format!(
+                "stream cursor {cursor:#x} outside the workload region"
+            )));
+        }
+        self.cursor = cursor;
+        self.seq_left = r.u32()?;
+        Ok(())
     }
 }
 

@@ -10,6 +10,7 @@
 //! channels) and HMC-like (16 channels) configurations of Sections III-D
 //! and IV-B are built.
 
+use dramctrl_kernel::snap::{SnapError, SnapReader, SnapState, SnapWriter};
 use dramctrl_kernel::Tick;
 use dramctrl_mem::{
     ActivityStats, AddrMapping, CommonStats, Controller, MemCmd, MemRequest, MemResponse, MemSpec,
@@ -261,6 +262,33 @@ impl<C: Controller, P: Probe> Controller for MultiChannel<C, P> {
             r.nest(&c.report(&format!("ch{i}"), now));
         }
         r
+    }
+}
+
+impl<C: Controller + SnapState, P: Probe> SnapState for MultiChannel<C, P> {
+    /// Delegates to each channel controller in routing order. The crossbar
+    /// itself is stateless between calls (mapping and latency are
+    /// configuration), so a channel-count header plus the per-channel
+    /// states captures everything.
+    fn save_state(&self, w: &mut SnapWriter) {
+        w.usize(self.channels.len());
+        for c in &self.channels {
+            c.save_state(w);
+        }
+    }
+
+    fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        let n = r.usize()?;
+        if n != self.channels.len() {
+            return Err(SnapError::Corrupt(format!(
+                "snapshot has {n} channels, crossbar has {}",
+                self.channels.len()
+            )));
+        }
+        for c in &mut self.channels {
+            c.restore_state(r)?;
+        }
+        Ok(())
     }
 }
 

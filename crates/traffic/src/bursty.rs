@@ -1,6 +1,7 @@
 //! Bursty (on/off) traffic shaping.
 
 use crate::TrafficGen;
+use dramctrl_kernel::snap::{SnapError, SnapReader, SnapState, SnapWriter};
 use dramctrl_kernel::Tick;
 use dramctrl_mem::MemRequest;
 
@@ -47,6 +48,18 @@ impl<G: TrafficGen> BurstyGen<G> {
     /// Consumes the shaper, returning the inner generator.
     pub fn into_inner(self) -> G {
         self.inner
+    }
+}
+
+impl<G: SnapState> SnapState for BurstyGen<G> {
+    /// The shaper itself is a pure function of the inner tick stream;
+    /// only the inner generator's state is written.
+    fn save_state(&self, w: &mut SnapWriter) {
+        self.inner.save_state(w);
+    }
+
+    fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.inner.restore_state(r)
     }
 }
 

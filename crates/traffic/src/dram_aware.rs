@@ -3,6 +3,7 @@
 
 use crate::{Pacer, TrafficGen};
 use dramctrl_kernel::rng::Rng;
+use dramctrl_kernel::snap::{SnapError, SnapReader, SnapState, SnapWriter};
 use dramctrl_kernel::Tick;
 use dramctrl_mem::{AddrMapping, DramAddr, MemRequest, Organisation};
 
@@ -85,6 +86,53 @@ impl DramAwareGen {
     /// The stride (row-hit run length) in bursts.
     pub fn stride_bursts(&self) -> u64 {
         self.stride_bursts
+    }
+}
+
+impl SnapState for DramAwareGen {
+    fn save_state(&self, w: &mut SnapWriter) {
+        self.pacer.save_state(w);
+        for word in self.rng.state() {
+            w.u64(word);
+        }
+        w.u32(self.bank_idx);
+        w.usize(self.rows.len());
+        for &row in &self.rows {
+            w.u64(row);
+        }
+        w.u64(self.seq);
+    }
+
+    fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.pacer.restore_state(r)?;
+        self.rng = Rng::from_state([r.u64()?, r.u64()?, r.u64()?, r.u64()?]);
+        let bank_idx = r.u32()?;
+        if bank_idx >= self.banks_used {
+            return Err(SnapError::Corrupt(format!(
+                "bank cursor {bank_idx} outside the {} banks used",
+                self.banks_used
+            )));
+        }
+        self.bank_idx = bank_idx;
+        let n_rows = r.usize()?;
+        if n_rows != self.rows.len() {
+            return Err(SnapError::Corrupt(format!(
+                "snapshot tracks {n_rows} banks, generator uses {}",
+                self.rows.len()
+            )));
+        }
+        for row in &mut self.rows {
+            *row = r.u64()?;
+        }
+        let seq = r.u64()?;
+        if seq >= self.stride_bursts {
+            return Err(SnapError::Corrupt(format!(
+                "stride cursor {seq} at or beyond stride {}",
+                self.stride_bursts
+            )));
+        }
+        self.seq = seq;
+        Ok(())
     }
 }
 

@@ -1,6 +1,7 @@
 //! Weighted interleaving of traffic streams.
 
 use crate::TrafficGen;
+use dramctrl_kernel::snap::{SnapError, SnapReader, SnapState, SnapWriter};
 use dramctrl_kernel::Tick;
 use dramctrl_mem::{MemRequest, ReqId};
 
@@ -52,6 +53,23 @@ impl<A: TrafficGen, B: TrafficGen> InterleaveGen<A, B> {
             slot: 0,
             next_id: 0,
         }
+    }
+}
+
+impl<A: SnapState, B: SnapState> SnapState for InterleaveGen<A, B> {
+    fn save_state(&self, w: &mut SnapWriter) {
+        self.a.save_state(w);
+        self.b.save_state(w);
+        w.u32(self.slot);
+        w.u64(self.next_id);
+    }
+
+    fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.a.restore_state(r)?;
+        self.b.restore_state(r)?;
+        self.slot = r.u32()?;
+        self.next_id = r.u64()?;
+        Ok(())
     }
 }
 

@@ -39,7 +39,7 @@ pub use linear::LinearGen;
 pub use machine::{MachineError, MachineState, StateMachineGen, StateTraffic};
 pub use pacer::Pacer;
 pub use random::RandomGen;
-pub use tester::{TestSummary, Tester};
+pub use tester::{TestRun, TestSummary, Tester};
 pub use trace::{ParseTraceError, TraceEntry, TraceGen};
 
 use dramctrl_kernel::Tick;
@@ -60,3 +60,13 @@ impl<T: TrafficGen + ?Sized> TrafficGen for Box<T> {
         (**self).next_request()
     }
 }
+
+/// A traffic generator whose stream position can be checkpointed:
+/// [`TrafficGen`] plus [`SnapState`](dramctrl_kernel::snap::SnapState).
+///
+/// Every generator in this crate implements it (blanket impl), and
+/// `Box<dyn SnapGen>` is itself both a generator and snapshottable, so
+/// run-time-selected workloads participate in crash-safe checkpoints.
+pub trait SnapGen: TrafficGen + dramctrl_kernel::snap::SnapState {}
+
+impl<T: TrafficGen + dramctrl_kernel::snap::SnapState> SnapGen for T {}

@@ -2,6 +2,7 @@
 
 use crate::{Pacer, TrafficGen};
 use dramctrl_kernel::rng::Rng;
+use dramctrl_kernel::snap::{SnapError, SnapReader, SnapState, SnapWriter};
 use dramctrl_kernel::Tick;
 use dramctrl_mem::MemRequest;
 
@@ -62,6 +63,29 @@ impl LinearGen {
             cur: start,
             rng: Rng::seed_from_u64(seed),
         }
+    }
+}
+
+impl SnapState for LinearGen {
+    fn save_state(&self, w: &mut SnapWriter) {
+        self.pacer.save_state(w);
+        w.u64(self.cur);
+        for word in self.rng.state() {
+            w.u64(word);
+        }
+    }
+
+    fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.pacer.restore_state(r)?;
+        let cur = r.u64()?;
+        if cur < self.start || cur > self.end {
+            return Err(SnapError::Corrupt(format!(
+                "linear cursor {cur:#x} outside the address range"
+            )));
+        }
+        self.cur = cur;
+        self.rng = Rng::from_state([r.u64()?, r.u64()?, r.u64()?, r.u64()?]);
+        Ok(())
     }
 }
 

@@ -9,6 +9,7 @@
 
 use crate::{LinearGen, RandomGen, TrafficGen};
 use dramctrl_kernel::rng::Rng;
+use dramctrl_kernel::snap::{SnapError, SnapReader, SnapState, SnapWriter};
 use dramctrl_kernel::Tick;
 use dramctrl_mem::{MemRequest, ReqId};
 
@@ -188,20 +189,27 @@ impl StateMachineGen {
         self.cur = state;
         self.state_start = at;
         self.visits[state] += 1;
-        let s = self.states[state];
         // Each visit gets its own deterministic sub-seed so revisiting a
         // state does not replay identical addresses.
         let sub_seed = self
             .seed
             .wrapping_mul(0x9E37_79B9_7F4A_7C15)
             .wrapping_add(self.visits.iter().sum::<u64>());
+        self.active = self.make_active(state, sub_seed);
+    }
+
+    /// Builds the generator driving `state`. Also used on snapshot restore
+    /// (with a placeholder seed) before the generator's dynamic state is
+    /// overwritten.
+    fn make_active(&self, state: usize, sub_seed: u64) -> Active {
+        let s = self.states[state];
         let count = match s.traffic {
             StateTraffic::Idle => 0,
             StateTraffic::Linear { period, .. } | StateTraffic::Random { period, .. } => {
                 s.duration / period + 1
             }
         };
-        self.active = match s.traffic {
+        match s.traffic {
             StateTraffic::Idle => Active::Idle,
             StateTraffic::Linear {
                 start,
@@ -221,7 +229,7 @@ impl StateMachineGen {
             } => Active::Random(RandomGen::new(
                 start, end, block, read_pct, period, count, sub_seed,
             )),
-        };
+        }
     }
 
     fn transition(&mut self) -> bool {
@@ -242,6 +250,81 @@ impl StateMachineGen {
         }
         self.enter(next, end);
         true
+    }
+}
+
+impl SnapState for StateMachineGen {
+    /// Captures the machine's dynamic state: the transition RNG, the
+    /// current state and its start tick, the id counter, visit counts and
+    /// the active generator (tagged by kind, then its own state). The
+    /// state list, transition matrix, horizon and seed are construction
+    /// parameters and are not written.
+    fn save_state(&self, w: &mut SnapWriter) {
+        for word in self.rng.state() {
+            w.u64(word);
+        }
+        w.usize(self.cur);
+        w.u64(self.state_start);
+        w.u64(self.next_id);
+        w.usize(self.visits.len());
+        for &v in &self.visits {
+            w.u64(v);
+        }
+        match &self.active {
+            Active::Idle => w.u8(0),
+            Active::Linear(g) => {
+                w.u8(1);
+                g.save_state(w);
+            }
+            Active::Random(g) => {
+                w.u8(2);
+                g.save_state(w);
+            }
+        }
+    }
+
+    fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.rng = Rng::from_state([r.u64()?, r.u64()?, r.u64()?, r.u64()?]);
+        let cur = r.usize()?;
+        if cur >= self.states.len() {
+            return Err(SnapError::Corrupt(format!(
+                "current state {cur} outside the {}-state machine",
+                self.states.len()
+            )));
+        }
+        self.cur = cur;
+        self.state_start = r.u64()?;
+        self.next_id = r.u64()?;
+        let n_visits = r.usize()?;
+        if n_visits != self.visits.len() {
+            return Err(SnapError::Corrupt(format!(
+                "snapshot tracks {n_visits} states, machine has {}",
+                self.visits.len()
+            )));
+        }
+        for v in &mut self.visits {
+            *v = r.u64()?;
+        }
+        let tag = r.u8()?;
+        let expected = match self.states[cur].traffic {
+            StateTraffic::Idle => 0,
+            StateTraffic::Linear { .. } => 1,
+            StateTraffic::Random { .. } => 2,
+        };
+        if tag != expected {
+            return Err(SnapError::Corrupt(format!(
+                "active generator tag {tag} does not match state {cur}'s traffic kind"
+            )));
+        }
+        // Rebuild the generator from the state's configuration, then
+        // overwrite its dynamic state from the snapshot.
+        self.active = self.make_active(cur, 0);
+        match &mut self.active {
+            Active::Idle => {}
+            Active::Linear(g) => g.restore_state(r)?,
+            Active::Random(g) => g.restore_state(r)?,
+        }
+        Ok(())
     }
 }
 

@@ -1,5 +1,6 @@
 //! Shared pacing and identity state for generators.
 
+use dramctrl_kernel::snap::{SnapError, SnapReader, SnapState, SnapWriter};
 use dramctrl_kernel::Tick;
 use dramctrl_mem::ReqId;
 
@@ -49,6 +50,23 @@ impl Pacer {
     /// Requests not yet issued.
     pub fn remaining(&self) -> u64 {
         self.remaining
+    }
+}
+
+impl SnapState for Pacer {
+    /// Captures the issue cursor: next tick, next id and the remaining
+    /// count. The period is a construction parameter and is not written.
+    fn save_state(&self, w: &mut SnapWriter) {
+        w.u64(self.next_tick);
+        w.u64(self.next_id);
+        w.u64(self.remaining);
+    }
+
+    fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.next_tick = r.u64()?;
+        self.next_id = r.u64()?;
+        self.remaining = r.u64()?;
+        Ok(())
     }
 }
 

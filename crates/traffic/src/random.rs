@@ -2,6 +2,7 @@
 
 use crate::{Pacer, TrafficGen};
 use dramctrl_kernel::rng::Rng;
+use dramctrl_kernel::snap::{SnapError, SnapReader, SnapState, SnapWriter};
 use dramctrl_kernel::Tick;
 use dramctrl_mem::MemRequest;
 
@@ -45,6 +46,21 @@ impl RandomGen {
             read_pct,
             rng: Rng::seed_from_u64(seed),
         }
+    }
+}
+
+impl SnapState for RandomGen {
+    fn save_state(&self, w: &mut SnapWriter) {
+        self.pacer.save_state(w);
+        for word in self.rng.state() {
+            w.u64(word);
+        }
+    }
+
+    fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.pacer.restore_state(r)?;
+        self.rng = Rng::from_state([r.u64()?, r.u64()?, r.u64()?, r.u64()?]);
+        Ok(())
     }
 }
 

@@ -1,17 +1,24 @@
 //! The measurement harness that drives a generator into a controller.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::TrafficGen;
+use dramctrl_kernel::snap::{SnapError, SnapReader, SnapState, SnapWriter};
 use dramctrl_kernel::{tick, Tick};
 use dramctrl_mem::{CommonStats, Controller, MemResponse, Rejected, ReqId};
-use dramctrl_stats::Histogram;
+use dramctrl_stats::{Histogram, HistogramParts};
 
 /// Drives a [`TrafficGen`] into a [`Controller`] with flow control and
 /// measures what the paper's validation plots need: end-to-end latency
 /// distributions (Figures 6–7) and achieved bandwidth / bus utilisation
 /// (Figures 3–5). Latency is measured *from the traffic generator*,
 /// including queueing, exactly as in paper Section III-C2.
+///
+/// [`run`](Self::run) and [`run_until`](Self::run_until) drive a whole
+/// stream in one call; [`begin`](Self::begin) hands out a resumable
+/// [`TestRun`] whose per-request [`step`](TestRun::step) loop can be
+/// paused at any request boundary, checkpointed (it implements
+/// [`SnapState`]) and continued — the basis of crash-safe simulation.
 ///
 /// # Example
 /// ```
@@ -75,6 +82,25 @@ impl Tester {
         }
     }
 
+    /// Starts a resumable run. Drive it with [`TestRun::step`], then call
+    /// [`TestRun::finish`]; `run`/`run_until` are convenience wrappers
+    /// around exactly this loop.
+    pub fn begin(&self) -> TestRun {
+        TestRun {
+            read_lat: Histogram::new(0, self.max_lat_ns, self.buckets),
+            write_lat: Histogram::new(0, self.max_lat_ns, self.buckets),
+            sent: BTreeMap::new(),
+            out: Vec::new(),
+            reads: 0,
+            writes: 0,
+            dropped: 0,
+            stalls: 0,
+            now: 0,
+            injected: 0,
+            done: false,
+        }
+    }
+
     /// Runs the full generator stream through `ctrl` and drains.
     pub fn run<C: Controller>(&self, gen: &mut impl TrafficGen, ctrl: &mut C) -> TestSummary {
         self.run_until(gen, ctrl, Tick::MAX)
@@ -88,107 +114,150 @@ impl Tester {
         ctrl: &mut C,
         until: Tick,
     ) -> TestSummary {
-        let mut read_lat = Histogram::new(0, self.max_lat_ns, self.buckets);
-        let mut write_lat = Histogram::new(0, self.max_lat_ns, self.buckets);
-        let mut sent: HashMap<ReqId, Tick> = HashMap::new();
-        let mut out: Vec<MemResponse> = Vec::new();
-        let mut reads = 0u64;
-        let mut writes = 0u64;
-        let mut dropped = 0u64;
-        let mut stalls = 0u64;
-        let mut now: Tick = 0;
+        let mut run = self.begin();
+        while run.step(gen, ctrl, until) {}
+        run.finish(ctrl)
+    }
+}
 
-        let consume = |out: &mut Vec<MemResponse>,
-                       sent: &mut HashMap<ReqId, Tick>,
-                       read_lat: &mut Histogram,
-                       write_lat: &mut Histogram,
-                       reads: &mut u64,
-                       writes: &mut u64| {
-            for resp in out.drain(..) {
-                let at = sent.remove(&resp.id).expect("response for unknown request");
-                let lat_ns = tick::to_ns(resp.ready_at.saturating_sub(at)).round() as u64;
-                if resp.cmd.is_read() {
-                    read_lat.record(lat_ns);
-                    *reads += 1;
-                } else {
-                    write_lat.record(lat_ns);
-                    *writes += 1;
-                }
+impl Default for Tester {
+    /// A tester with a 2 us / 200-bucket latency histogram.
+    fn default() -> Self {
+        Self::new(2_000, 200)
+    }
+}
+
+/// An in-flight [`Tester`] run that can be paused between requests.
+///
+/// Each [`step`](Self::step) pulls one request from the generator and
+/// injects it (applying controller backpressure); the boundary between
+/// steps is a legal checkpoint: snapshotting the run, the generator and
+/// the controller there, then restoring all three into fresh instances,
+/// continues the simulation with byte-identical results.
+#[derive(Debug)]
+pub struct TestRun {
+    read_lat: Histogram,
+    write_lat: Histogram,
+    sent: BTreeMap<ReqId, Tick>,
+    /// Scratch response buffer; always drained within a step, so it is
+    /// empty at every checkpoint boundary and never serialised.
+    out: Vec<MemResponse>,
+    reads: u64,
+    writes: u64,
+    dropped: u64,
+    stalls: u64,
+    now: Tick,
+    injected: u64,
+    done: bool,
+}
+
+impl TestRun {
+    /// Requests pulled from the generator so far (the step count — used to
+    /// place periodic checkpoints).
+    pub fn injected(&self) -> u64 {
+        self.injected
+    }
+
+    /// Current simulation time at the injection frontier.
+    pub fn now(&self) -> Tick {
+        self.now
+    }
+
+    /// Whether the stream is exhausted (further `step` calls are no-ops).
+    pub fn is_done(&self) -> bool {
+        self.done
+    }
+
+    fn absorb(&mut self) {
+        for resp in self.out.drain(..) {
+            let at = self
+                .sent
+                .remove(&resp.id)
+                .expect("response for unknown request");
+            let lat_ns = tick::to_ns(resp.ready_at.saturating_sub(at)).round() as u64;
+            if resp.cmd.is_read() {
+                self.read_lat.record(lat_ns);
+                self.reads += 1;
+            } else {
+                self.write_lat.record(lat_ns);
+                self.writes += 1;
             }
+        }
+    }
+
+    /// Pulls the next request and injects it, advancing the controller
+    /// under backpressure. Returns `false` when the generator is exhausted
+    /// or proposes an injection past `until` — the run is then ready for
+    /// [`finish`](Self::finish).
+    pub fn step<C: Controller>(
+        &mut self,
+        gen: &mut impl TrafficGen,
+        ctrl: &mut C,
+        until: Tick,
+    ) -> bool {
+        if self.done {
+            return false;
+        }
+        let Some((t, req)) = gen.next_request() else {
+            self.done = true;
+            return false;
         };
-
-        'inject: while let Some((t, req)) = gen.next_request() {
-            if t > until {
-                break;
-            }
-            now = now.max(t);
-            ctrl.advance_to(now, &mut out);
-            consume(
-                &mut out,
-                &mut sent,
-                &mut read_lat,
-                &mut write_lat,
-                &mut reads,
-                &mut writes,
-            );
-            loop {
-                match ctrl.try_send(req, now) {
-                    Ok(()) => {
-                        sent.insert(req.id, now);
-                        break;
+        if t > until {
+            self.done = true;
+            return false;
+        }
+        self.injected += 1;
+        self.now = self.now.max(t);
+        ctrl.advance_to(self.now, &mut self.out);
+        self.absorb();
+        loop {
+            match ctrl.try_send(req, self.now) {
+                Ok(()) => {
+                    self.sent.insert(req.id, self.now);
+                    return true;
+                }
+                Err(Rejected::TooLarge) => {
+                    self.dropped += 1;
+                    return true;
+                }
+                Err(Rejected::Full) => {
+                    self.stalls += 1;
+                    let next = ctrl.next_event().unwrap_or_else(|| {
+                        panic!(
+                            "simulation stalled at tick {}: controller rejected a \
+                             request as Full but schedules no event to drain it \
+                             (queued work with no way forward)",
+                            self.now
+                        )
+                    });
+                    self.now = self.now.max(next);
+                    if self.now > until {
+                        self.dropped += 1;
+                        self.done = true;
+                        return false;
                     }
-                    Err(Rejected::TooLarge) => {
-                        dropped += 1;
-                        break;
-                    }
-                    Err(Rejected::Full) => {
-                        stalls += 1;
-                        let next = ctrl.next_event().unwrap_or_else(|| {
-                            panic!(
-                                "simulation stalled at tick {now}: controller rejected a \
-                                 request as Full but schedules no event to drain it \
-                                 (queued work with no way forward)"
-                            )
-                        });
-                        now = now.max(next);
-                        if now > until {
-                            dropped += 1;
-                            break 'inject;
-                        }
-                        ctrl.advance_to(now, &mut out);
-                        consume(
-                            &mut out,
-                            &mut sent,
-                            &mut read_lat,
-                            &mut write_lat,
-                            &mut reads,
-                            &mut writes,
-                        );
-                    }
+                    ctrl.advance_to(self.now, &mut self.out);
+                    self.absorb();
                 }
             }
         }
+    }
 
-        let end = ctrl.drain(&mut out).max(now);
-        consume(
-            &mut out,
-            &mut sent,
-            &mut read_lat,
-            &mut write_lat,
-            &mut reads,
-            &mut writes,
-        );
-        debug_assert!(sent.is_empty(), "all requests must be answered");
+    /// Drains outstanding work and produces the summary.
+    pub fn finish<C: Controller>(mut self, ctrl: &mut C) -> TestSummary {
+        let end = ctrl.drain(&mut self.out).max(self.now);
+        self.absorb();
+        debug_assert!(self.sent.is_empty(), "all requests must be answered");
 
         let stats = ctrl.common_stats();
         TestSummary {
             duration: end,
-            reads_completed: reads,
-            writes_completed: writes,
-            dropped,
-            inject_stalls: stalls,
-            read_lat_ns: read_lat,
-            write_lat_ns: write_lat,
+            reads_completed: self.reads,
+            writes_completed: self.writes,
+            dropped: self.dropped,
+            inject_stalls: self.stalls,
+            read_lat_ns: self.read_lat,
+            write_lat_ns: self.write_lat,
             bus_util: stats.bus_utilisation(end),
             bandwidth_gbps: if end == 0 {
                 0.0
@@ -200,9 +269,88 @@ impl Tester {
     }
 }
 
-impl Default for Tester {
-    /// A tester with a 2 us / 200-bucket latency histogram.
-    fn default() -> Self {
-        Self::new(2_000, 200)
+fn save_histogram(w: &mut SnapWriter, h: &Histogram) {
+    let p = h.to_parts();
+    w.u64(p.min);
+    w.u64(p.max);
+    w.usize(p.buckets.len());
+    for &b in &p.buckets {
+        w.u64(b);
+    }
+    w.u64(p.underflow);
+    w.u64(p.overflow);
+    w.f64(p.sum);
+    w.f64(p.sum_sq);
+    w.u64(p.count);
+    w.u64(p.sample_min);
+    w.u64(p.sample_max);
+}
+
+fn read_histogram(r: &mut SnapReader<'_>) -> Result<Histogram, SnapError> {
+    let min = r.u64()?;
+    let max = r.u64()?;
+    let n = r.usize()?;
+    let mut buckets = Vec::with_capacity(n);
+    for _ in 0..n {
+        buckets.push(r.u64()?);
+    }
+    let parts = HistogramParts {
+        min,
+        max,
+        buckets,
+        underflow: r.u64()?,
+        overflow: r.u64()?,
+        sum: r.f64()?,
+        sum_sq: r.f64()?,
+        count: r.u64()?,
+        sample_min: r.u64()?,
+        sample_max: r.u64()?,
+    };
+    Histogram::from_parts(parts).map_err(SnapError::Corrupt)
+}
+
+impl SnapState for TestRun {
+    fn save_state(&self, w: &mut SnapWriter) {
+        debug_assert!(self.out.is_empty(), "responses pending mid-step");
+        save_histogram(w, &self.read_lat);
+        save_histogram(w, &self.write_lat);
+        w.usize(self.sent.len());
+        for (&id, &at) in &self.sent {
+            w.u64(id.0);
+            w.u64(at);
+        }
+        w.u64(self.reads);
+        w.u64(self.writes);
+        w.u64(self.dropped);
+        w.u64(self.stalls);
+        w.u64(self.now);
+        w.u64(self.injected);
+        w.bool(self.done);
+    }
+
+    fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.read_lat = read_histogram(r)?;
+        self.write_lat = read_histogram(r)?;
+        let n = r.usize()?;
+        self.sent.clear();
+        for _ in 0..n {
+            let id = ReqId(r.u64()?);
+            let at = r.u64()?;
+            if self.sent.insert(id, at).is_some() {
+                return Err(SnapError::Corrupt(format!(
+                    "duplicate outstanding request id {}",
+                    id.0
+                )));
+            }
+        }
+        self.out.clear();
+        self.reads = r.u64()?;
+        self.writes = r.u64()?;
+        self.dropped = r.u64()?;
+        self.stalls = r.u64()?;
+        self.now = r.u64()?;
+        self.injected = r.u64()?;
+        self.done = r.bool()?;
+        Ok(())
     }
 }

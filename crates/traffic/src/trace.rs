@@ -12,6 +12,7 @@
 //! sizes bytes. Blank lines and `#` comments are ignored.
 
 use crate::TrafficGen;
+use dramctrl_kernel::snap::{SnapError, SnapReader, SnapState, SnapWriter};
 use dramctrl_kernel::Tick;
 use dramctrl_mem::{MemCmd, MemRequest, ReqId};
 use std::fmt::Write as _;
@@ -157,6 +158,28 @@ impl FromStr for TraceGen {
             });
         }
         Ok(TraceGen::new(entries))
+    }
+}
+
+impl SnapState for TraceGen {
+    /// Captures the replay cursor and id counter. The trace entries are
+    /// configuration (reloaded from the trace file) and are not written.
+    fn save_state(&self, w: &mut SnapWriter) {
+        w.usize(self.pos);
+        w.u64(self.next_id);
+    }
+
+    fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        let pos = r.usize()?;
+        if pos > self.entries.len() {
+            return Err(SnapError::Corrupt(format!(
+                "replay cursor {pos} beyond the {}-entry trace",
+                self.entries.len()
+            )));
+        }
+        self.pos = pos;
+        self.next_id = r.u64()?;
+        Ok(())
     }
 }
 

@@ -1,0 +1,95 @@
+//! Checkpoint/restore equivalence gate: a job paused at a checkpoint and
+//! resumed — even in a different process, as the CLI tests do — must
+//! produce metrics byte-identical to an uninterrupted run, across the
+//! model × channels × scheduler × RAS matrix. Periodic snapshots taken
+//! mid-run must never perturb the simulation.
+
+use dramctrl::SchedPolicy;
+use dramctrl_bench::{job_fingerprint, run_job, run_job_resumable};
+use dramctrl_campaign::{Campaign, JobSpec, Model};
+use std::path::PathBuf;
+
+fn tmp(name: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("dramctrl-ckpt-eq-{}", std::process::id()));
+    std::fs::create_dir_all(&d).unwrap();
+    d.join(name)
+}
+
+/// Event/cycle × single/multi-channel × both schedulers × RAS on/off.
+fn matrix() -> Vec<JobSpec> {
+    Campaign::new("ckpt-equiv", 19)
+        .models([Model::Event, Model::Cycle])
+        .channels([1, 2])
+        .scheds([SchedPolicy::Fcfs, SchedPolicy::FrFcfs])
+        .error_rates([0.0, 2e11])
+        .requests([300])
+        .expand()
+}
+
+/// Metrics as an exact, order-stable string (f64 `Debug` is shortest
+/// round-trip, so equal strings mean bit-equal values).
+fn exact(m: &dramctrl_campaign::JobMetrics) -> String {
+    format!("{m:?}")
+}
+
+#[test]
+fn periodic_checkpoints_do_not_perturb_the_run() {
+    for job in matrix() {
+        let baseline = run_job(&job);
+        let p = tmp(&format!("periodic-{}.snap", job.index));
+        let _ = std::fs::remove_file(&p);
+        let ckpted = run_job_resumable(&job, Some(&p), 50, None).expect("unpaused run completes");
+        assert_eq!(
+            exact(&baseline),
+            exact(&ckpted),
+            "job {} ({}) diverged under periodic checkpointing",
+            job.index,
+            job.label()
+        );
+        // Snapshots were actually written along the way.
+        assert!(p.exists(), "job {} wrote no checkpoint", job.index);
+        std::fs::remove_file(&p).unwrap();
+    }
+}
+
+#[test]
+fn pause_and_resume_matches_uninterrupted_run() {
+    for job in matrix() {
+        let baseline = run_job(&job);
+        let p = tmp(&format!("pause-{}.snap", job.index));
+        let _ = std::fs::remove_file(&p);
+        // Pause mid-run: the job stops at the first request boundary past
+        // 150 injections and persists its full state.
+        assert!(
+            run_job_resumable(&job, Some(&p), 0, Some(150)).is_none(),
+            "job {} did not pause",
+            job.index
+        );
+        assert!(p.exists());
+        // Resume from the snapshot and run to completion.
+        let resumed = run_job_resumable(&job, Some(&p), 0, None).expect("resumed run completes");
+        assert_eq!(
+            exact(&baseline),
+            exact(&resumed),
+            "job {} ({}) diverged after pause/resume",
+            job.index,
+            job.label()
+        );
+        std::fs::remove_file(&p).unwrap();
+    }
+}
+
+#[test]
+fn checkpoint_of_one_job_refuses_to_restore_another() {
+    let jobs = matrix();
+    let (a, b) = (&jobs[0], &jobs[1]);
+    assert_ne!(job_fingerprint(a), job_fingerprint(b));
+    let p = tmp("mismatch.snap");
+    let _ = std::fs::remove_file(&p);
+    assert!(run_job_resumable(a, Some(&p), 0, Some(100)).is_none());
+    // Restoring job A's snapshot into job B's configuration must fail
+    // loudly, never silently produce a hybrid simulation.
+    let err = std::panic::catch_unwind(|| run_job_resumable(b, Some(&p), 0, None));
+    assert!(err.is_err(), "fingerprint mismatch was not rejected");
+    std::fs::remove_file(&p).unwrap();
+}
