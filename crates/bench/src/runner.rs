@@ -237,6 +237,53 @@ pub fn run_job_resumable(
     every: u64,
     pause_after: Option<u64>,
 ) -> Option<JobMetrics> {
+    match run_job_slice_inner(job, checkpoint, every, pause_after) {
+        SliceOutcome::Done(m) => Some(m),
+        SliceOutcome::Paused { .. } => None,
+    }
+}
+
+/// What one bounded slice of a job produced.
+///
+/// Returned by [`run_job_slice`]; `Paused` carries the injection count at
+/// the pause point so a preemptive scheduler can set the *next* slice's
+/// pause target relative to actual progress (`injected + quantum`)
+/// instead of guessing.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SliceOutcome {
+    /// The job ran to completion; here are its metrics.
+    Done(JobMetrics),
+    /// The job paused at a request boundary and checkpointed.
+    Paused {
+        /// Requests injected so far (monotonic across slices).
+        injected: u64,
+    },
+}
+
+/// Runs one preemptible slice of `job`: resume from `checkpoint` if it
+/// exists, simulate until either the job completes or the first request
+/// boundary at or past `pause_after` injections, and checkpoint on pause.
+///
+/// This is [`run_job_resumable`] shaped for a scheduler: the quantum is
+/// expressed as an absolute injection target, the pause point reports how
+/// far the job actually got, and chaining slices to completion yields
+/// metrics byte-identical to an uninterrupted [`run_job`] — preemption is
+/// invisible in the results. `pause_after: None` runs to completion
+/// (returning `Done`) while still resuming any checkpoint left by an
+/// earlier slice.
+///
+/// # Panics
+/// Panics like [`run_job_resumable`].
+pub fn run_job_slice(job: &JobSpec, checkpoint: &Path, pause_after: Option<u64>) -> SliceOutcome {
+    run_job_slice_inner(job, Some(checkpoint), 0, pause_after)
+}
+
+fn run_job_slice_inner(
+    job: &JobSpec,
+    checkpoint: Option<&Path>,
+    every: u64,
+    pause_after: Option<u64>,
+) -> SliceOutcome {
     let spec = presets::by_name(&job.device)
         .unwrap_or_else(|| panic!("unknown device preset '{}'", job.device));
     let mut gen = gen_for_job(job, &spec);
@@ -258,22 +305,28 @@ pub fn run_job_resumable(
             };
             if job.channels <= 1 {
                 let mut ctrl = mk(1);
-                let s = ck.drive(&mut gen, &mut ctrl)?;
+                let s = match ck.drive(&mut gen, &mut ctrl) {
+                    Driven::Done(s) => *s,
+                    Driven::Paused { injected } => return SliceOutcome::Paused { injected },
+                };
                 assert_no_stall(std::iter::once(&ctrl));
                 let mut m = job_metrics(&s);
                 add_ras_metrics(&mut m, ctrl.fault_model().into_iter());
-                Some(m)
+                SliceOutcome::Done(m)
             } else {
                 let ctrls = (0..job.channels).map(|_| mk(job.channels)).collect();
                 let mut xbar = MultiChannel::new(ctrls, 0)
                     .expect("valid crossbar")
                     .with_mapping(job.mapping);
-                let s = ck.drive(&mut gen, &mut xbar)?;
+                let s = match ck.drive(&mut gen, &mut xbar) {
+                    Driven::Done(s) => *s,
+                    Driven::Paused { injected } => return SliceOutcome::Paused { injected },
+                };
                 let (ctrls, _) = xbar.into_parts();
                 assert_no_stall(ctrls.iter());
                 let mut m = job_metrics(&s);
                 add_ras_metrics(&mut m, ctrls.iter().filter_map(DramCtrl::fault_model));
-                Some(m)
+                SliceOutcome::Done(m)
             }
         }
         Model::Cycle => {
@@ -284,20 +337,26 @@ pub fn run_job_resumable(
             };
             if job.channels <= 1 {
                 let mut ctrl = mk(1);
-                let s = ck.drive(&mut gen, &mut ctrl)?;
+                let s = match ck.drive(&mut gen, &mut ctrl) {
+                    Driven::Done(s) => *s,
+                    Driven::Paused { injected } => return SliceOutcome::Paused { injected },
+                };
                 let mut m = job_metrics(&s);
                 add_ras_metrics(&mut m, ctrl.fault_model().into_iter());
-                Some(m)
+                SliceOutcome::Done(m)
             } else {
                 let ctrls = (0..job.channels).map(|_| mk(job.channels)).collect();
                 let mut xbar = MultiChannel::new(ctrls, 0)
                     .expect("valid crossbar")
                     .with_mapping(job.mapping);
-                let s = ck.drive(&mut gen, &mut xbar)?;
+                let s = match ck.drive(&mut gen, &mut xbar) {
+                    Driven::Done(s) => *s,
+                    Driven::Paused { injected } => return SliceOutcome::Paused { injected },
+                };
                 let (ctrls, _) = xbar.into_parts();
                 let mut m = job_metrics(&s);
                 add_ras_metrics(&mut m, ctrls.iter().filter_map(CycleCtrl::fault_model));
-                Some(m)
+                SliceOutcome::Done(m)
             }
         }
     }
@@ -311,10 +370,17 @@ struct Ckpt<'a> {
     pause_after: Option<u64>,
 }
 
+/// Internal result of [`Ckpt::drive`]: the run's summary, or the pause
+/// point it checkpointed at.
+enum Driven {
+    Done(Box<TestSummary>),
+    Paused { injected: u64 },
+}
+
 impl Ckpt<'_> {
     /// Drives the tester loop with restore-on-entry, periodic snapshots
-    /// and an optional pause point. Returns `None` when paused.
-    fn drive<G, C>(&self, gen: &mut G, ctrl: &mut C) -> Option<TestSummary>
+    /// and an optional pause point.
+    fn drive<G, C>(&self, gen: &mut G, ctrl: &mut C) -> Driven
     where
         G: TrafficGen + SnapState,
         C: Controller + SnapState,
@@ -331,7 +397,9 @@ impl Ckpt<'_> {
                 if run.injected() >= n {
                     let path = self.path.expect("pausing a run requires a checkpoint path");
                     self.save(path, &run, gen, ctrl);
-                    return None;
+                    return Driven::Paused {
+                        injected: run.injected(),
+                    };
                 }
             }
             if self.every > 0 && run.injected() % self.every == 0 {
@@ -340,7 +408,7 @@ impl Ckpt<'_> {
                 }
             }
         }
-        Some(run.finish(ctrl))
+        Driven::Done(Box::new(run.finish(ctrl)))
     }
 
     fn save<G: SnapState, C: SnapState>(&self, path: &Path, run: &TestRun, gen: &G, ctrl: &C) {
@@ -384,6 +452,9 @@ pub struct JobArtifacts {
     pub perfetto_json: String,
     /// Epoch time-series CSV (per-channel recorders summed per epoch).
     pub epochs_csv: String,
+    /// The same epoch series as JSON lines — the streaming form the
+    /// simulation service forwards to clients record by record.
+    pub epochs_jsonl: String,
     /// Stable machine-readable statistics report
     /// ([`Report::to_json`]).
     pub stats_json: String,
@@ -409,6 +480,7 @@ fn collect_artifacts(
     JobArtifacts {
         perfetto_json: ChromeTracer::combined_json(&tracers),
         epochs_csv: merged.to_csv(),
+        epochs_jsonl: merged.to_jsonl(),
         stats_json: report.to_json(),
     }
 }

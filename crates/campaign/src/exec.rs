@@ -156,7 +156,7 @@ pub fn run_campaign<F>(campaign: &Campaign, cfg: &ExecutorConfig, runner: F) -> 
 where
     F: Fn(&JobSpec) -> JobMetrics + Sync,
 {
-    run_campaign_inner(campaign, cfg, None, runner)
+    run_campaign_inner(campaign, cfg, None, None, runner)
 }
 
 /// [`run_campaign`] with a durable write-ahead journal: every finished
@@ -185,13 +185,51 @@ pub fn run_campaign_journaled<F>(
 where
     F: Fn(&JobSpec) -> JobMetrics + Sync,
 {
-    run_campaign_inner(campaign, cfg, Some(journal), runner)
+    run_campaign_inner(campaign, cfg, Some(journal), None, runner)
+}
+
+/// [`run_campaign_journaled`] restricted to one deterministic shard of the
+/// campaign: only jobs whose index `i` satisfies `i % count == index` are
+/// dispatched (journaled jobs are still skipped and merged in, whichever
+/// shard committed them).
+///
+/// Sharding is by job *index*, so `N` processes — or hosts — given shards
+/// `0/N .. N-1/N` of the same campaign partition the work exactly, and
+/// their journals merge back into the uninterrupted report via
+/// [`merge_journals`](crate::merge_journals): per-job seeds depend only on
+/// `(campaign seed, index)`, never on which shard ran the job.
+///
+/// The returned report holds records for the jobs this process has
+/// outcomes for (its shard plus anything already journaled) — a *partial*
+/// view; the full report comes from the merge.
+///
+/// # Panics
+/// Panics like [`run_campaign_journaled`], and if `index >= count` or
+/// `count == 0`.
+pub fn run_campaign_shard<F>(
+    campaign: &Campaign,
+    cfg: &ExecutorConfig,
+    journal: &mut CampaignJournal,
+    shard: (u32, u32),
+    runner: F,
+) -> CampaignReport
+where
+    F: Fn(&JobSpec) -> JobMetrics + Sync,
+{
+    assert!(
+        shard.1 > 0 && shard.0 < shard.1,
+        "shard {}/{} is not a valid shard (need index < count)",
+        shard.0,
+        shard.1
+    );
+    run_campaign_inner(campaign, cfg, Some(journal), Some(shard), runner)
 }
 
 fn run_campaign_inner<F>(
     campaign: &Campaign,
     cfg: &ExecutorConfig,
     journal: Option<&mut CampaignJournal>,
+    shard: Option<(u32, u32)>,
     runner: F,
 ) -> CampaignReport
 where
@@ -209,7 +247,10 @@ where
             prefilled[i] = Some(outcome.clone());
         }
     }
-    let pending: Vec<usize> = (0..total).filter(|&i| prefilled[i].is_none()).collect();
+    let in_shard = |i: usize| shard.map_or(true, |(idx, n)| i % n as usize == idx as usize);
+    let pending: Vec<usize> = (0..total)
+        .filter(|&i| prefilled[i].is_none() && in_shard(i))
+        .collect();
 
     let workers = cfg.effective_workers(pending.len());
     let next = AtomicUsize::new(0);
@@ -276,12 +317,15 @@ where
         collector.join().expect("collector thread panicked")
     });
 
+    // Unsharded, every index must have an outcome; a shard only has
+    // outcomes for its own indices plus whatever the journal carried in.
     let records = jobs
         .into_iter()
         .zip(outcomes)
-        .map(|(job, outcome)| JobRecord {
-            job,
-            outcome: outcome.expect("every job index is executed exactly once"),
+        .filter_map(|(job, outcome)| match outcome {
+            Some(outcome) => Some(JobRecord { job, outcome }),
+            None if shard.is_some() => None,
+            None => panic!("every job index is executed exactly once"),
         })
         .collect();
     CampaignReport {

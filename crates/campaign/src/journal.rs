@@ -62,6 +62,17 @@ pub enum JournalError {
         /// What went wrong.
         why: String,
     },
+    /// A merge was asked to produce a complete report but some job
+    /// indices appear in none of the journals (a shard has not finished,
+    /// or a shard journal was left out of the merge).
+    Incomplete {
+        /// How many job indices have no record.
+        missing: usize,
+        /// The lowest missing index, as a concrete pointer.
+        first_missing: usize,
+        /// Jobs the campaign expands into.
+        total: usize,
+    },
 }
 
 impl fmt::Display for JournalError {
@@ -82,6 +93,17 @@ impl fmt::Display for JournalError {
             JournalError::Corrupt { line, why } => {
                 write!(f, "journal line {line} is corrupt: {why}")
             }
+            JournalError::Incomplete {
+                missing,
+                first_missing,
+                total,
+            } => write!(
+                f,
+                "merged journals cover only {}/{total} jobs ({missing} missing, \
+                 first missing index {first_missing}); run the remaining shards \
+                 or include their journals in the merge",
+                total - missing
+            ),
         }
     }
 }
@@ -150,63 +172,11 @@ impl CampaignJournal {
     /// line that is not the torn tail.
     pub fn resume(path: impl Into<PathBuf>, campaign: &Campaign) -> Result<Self, JournalError> {
         let path = path.into();
-        let text = std::fs::read_to_string(&path)?;
-        let mut lines = text.split_inclusive('\n');
-
-        let header = lines.next().ok_or(JournalError::NotAJournal)?;
-        if !header.ends_with('\n') {
-            // Even the header never made it to disk whole.
-            return Err(JournalError::NotAJournal);
-        }
-        let (version, spec_hash, total) =
-            parse_header(header.trim_end_matches('\n')).ok_or(JournalError::NotAJournal)?;
-        if version != JOURNAL_VERSION {
-            return Err(JournalError::Version(version));
-        }
-        let expected = campaign_hash(campaign);
-        if spec_hash != expected {
-            return Err(JournalError::SpecMismatch {
-                expected,
-                found: spec_hash,
-            });
-        }
-        if total != campaign.len() {
-            return Err(JournalError::Corrupt {
-                line: 1,
-                why: format!(
-                    "header total {} does not match the campaign's {} jobs",
-                    total,
-                    campaign.len()
-                ),
-            });
-        }
-
-        let mut completed = BTreeMap::new();
-        let mut valid_len = header.len();
-        let mut dropped_torn_tail = false;
-        for (i, line) in lines.enumerate() {
-            let line_no = i + 2;
-            if !line.ends_with('\n') {
-                // Torn tail: the process died mid-append. Drop it.
-                dropped_torn_tail = true;
-                break;
-            }
-            let (index, outcome) = parse_record(line.trim_end_matches('\n'))
-                .map_err(|why| JournalError::Corrupt { line: line_no, why })?;
-            if index >= total {
-                return Err(JournalError::Corrupt {
-                    line: line_no,
-                    why: format!("job index {index} is outside the campaign's {total} jobs"),
-                });
-            }
-            // Keep-first: the earliest durable record for an index wins.
-            completed.entry(index).or_insert(outcome);
-            valid_len = valid_len.saturating_add(line.len());
-        }
-        if valid_len < text.len() {
+        let scan = scan_journal(&path, campaign)?;
+        if scan.dropped_torn_tail {
             // Truncate the torn bytes so the next append starts a clean line.
             let f = std::fs::OpenOptions::new().write(true).open(&path)?;
-            f.set_len(valid_len as u64)?;
+            f.set_len(scan.valid_len as u64)?;
             f.sync_data()?;
         }
         let appender = DurableAppender::append_to(&path)?;
@@ -214,10 +184,27 @@ impl CampaignJournal {
             path,
             appender,
             campaign_name: campaign.name.clone(),
-            completed,
-            total,
-            dropped_torn_tail,
+            completed: scan.completed,
+            total: scan.total,
+            dropped_torn_tail: scan.dropped_torn_tail,
         })
+    }
+
+    /// Reads a journal without opening it for appends and without
+    /// modifying the file: validates the header against `campaign` and
+    /// returns the journaled outcomes (keep-first, torn tail ignored).
+    ///
+    /// This is the read path for merging shard journals and for serving
+    /// finished results — the journal may still be live in another
+    /// process, so replay must not truncate.
+    ///
+    /// # Errors
+    /// The same validation errors as [`resume`](Self::resume).
+    pub fn replay(
+        path: impl AsRef<Path>,
+        campaign: &Campaign,
+    ) -> Result<BTreeMap<usize, JobOutcome>, JournalError> {
+        Ok(scan_journal(path.as_ref(), campaign)?.completed)
     }
 
     /// The journal file's path.
@@ -267,6 +254,156 @@ impl CampaignJournal {
         test_kill_hook();
         Ok(true)
     }
+
+    /// Switches the journal to group commit: appends within `window` of
+    /// the last fsync skip their own fsync and ride the next one (see
+    /// [`DurableAppender::set_group_commit`]). `None` restores
+    /// sync-every-append.
+    ///
+    /// Safe for the journal's crash contract: a record lost from an
+    /// unsynced tail simply re-runs on resume, and keep-first dedup means
+    /// the re-run's record is the one that counts.
+    pub fn set_group_commit(&mut self, window: Option<std::time::Duration>) {
+        self.appender.set_group_commit(window);
+    }
+
+    /// Forces any batched (group-commit) appends to disk now.
+    ///
+    /// # Errors
+    /// Any I/O error from syncing.
+    pub fn sync(&mut self) -> io::Result<()> {
+        self.appender.sync()
+    }
+}
+
+/// What a validating read of a journal file yields.
+struct JournalScan {
+    completed: BTreeMap<usize, JobOutcome>,
+    total: usize,
+    /// Bytes up to and including the last complete record line.
+    valid_len: usize,
+    dropped_torn_tail: bool,
+}
+
+/// Reads and validates a journal file against `campaign` without
+/// modifying it: header checks, keep-first record replay, torn-tail
+/// detection. Shared by [`CampaignJournal::resume`] (which then
+/// truncates and reopens for append) and the read-only paths
+/// ([`CampaignJournal::replay`], [`merge_journals`]).
+fn scan_journal(path: &Path, campaign: &Campaign) -> Result<JournalScan, JournalError> {
+    let text = std::fs::read_to_string(path)?;
+    let mut lines = text.split_inclusive('\n');
+
+    let header = lines.next().ok_or(JournalError::NotAJournal)?;
+    if !header.ends_with('\n') {
+        // Even the header never made it to disk whole.
+        return Err(JournalError::NotAJournal);
+    }
+    let (version, spec_hash, total) =
+        parse_header(header.trim_end_matches('\n')).ok_or(JournalError::NotAJournal)?;
+    if version != JOURNAL_VERSION {
+        return Err(JournalError::Version(version));
+    }
+    let expected = campaign_hash(campaign);
+    if spec_hash != expected {
+        return Err(JournalError::SpecMismatch {
+            expected,
+            found: spec_hash,
+        });
+    }
+    if total != campaign.len() {
+        return Err(JournalError::Corrupt {
+            line: 1,
+            why: format!(
+                "header total {} does not match the campaign's {} jobs",
+                total,
+                campaign.len()
+            ),
+        });
+    }
+
+    let mut completed = BTreeMap::new();
+    let mut valid_len = header.len();
+    let mut dropped_torn_tail = false;
+    for (i, line) in lines.enumerate() {
+        let line_no = i + 2;
+        if !line.ends_with('\n') {
+            // Torn tail: the process died mid-append. Drop it.
+            dropped_torn_tail = true;
+            break;
+        }
+        let (index, outcome) = parse_record(line.trim_end_matches('\n'))
+            .map_err(|why| JournalError::Corrupt { line: line_no, why })?;
+        if index >= total {
+            return Err(JournalError::Corrupt {
+                line: line_no,
+                why: format!("job index {index} is outside the campaign's {total} jobs"),
+            });
+        }
+        // Keep-first: the earliest durable record for an index wins.
+        completed.entry(index).or_insert(outcome);
+        valid_len = valid_len.saturating_add(line.len());
+    }
+    Ok(JournalScan {
+        completed,
+        total,
+        valid_len,
+        dropped_torn_tail,
+    })
+}
+
+/// Merges shard journals for one campaign into a complete
+/// [`CampaignReport`](crate::CampaignReport).
+///
+/// Every journal is validated against `campaign` (header hash, version,
+/// total) and replayed read-only; outcomes are unioned keep-first in
+/// `paths` order, matching the single-journal dedup rule. The merged
+/// report's [`to_jsonl`](crate::CampaignReport::to_jsonl) is
+/// byte-identical to an unsharded run's, because records are keyed by
+/// job index and each job's result depends only on its spec — never on
+/// which shard ran it. Host-dependent fields (`workers`, `wall_secs`)
+/// are zeroed: a merge is not a run.
+///
+/// # Errors
+/// Any per-journal validation error, or [`JournalError::Incomplete`] if
+/// the union does not cover every job index.
+pub fn merge_journals(
+    campaign: &Campaign,
+    paths: &[impl AsRef<Path>],
+) -> Result<crate::CampaignReport, JournalError> {
+    let mut merged: BTreeMap<usize, JobOutcome> = BTreeMap::new();
+    for path in paths {
+        for (index, outcome) in scan_journal(path.as_ref(), campaign)?.completed {
+            merged.entry(index).or_insert(outcome);
+        }
+    }
+    let jobs = campaign.expand();
+    let missing: Vec<usize> = (0..jobs.len())
+        .filter(|i| !merged.contains_key(i))
+        .collect();
+    if let Some(&first_missing) = missing.first() {
+        return Err(JournalError::Incomplete {
+            missing: missing.len(),
+            first_missing,
+            total: jobs.len(),
+        });
+    }
+    let records = jobs
+        .into_iter()
+        .map(|job| {
+            let outcome = merged
+                .remove(&job.index)
+                .expect("missing indices were rejected above");
+            JobRecord { job, outcome }
+        })
+        .collect();
+    Ok(crate::CampaignReport {
+        name: campaign.name.clone(),
+        seed: campaign.seed,
+        workers: 0,
+        wall_secs: 0.0,
+        records,
+    })
 }
 
 /// Crash-injection hook for the recovery tests: when the environment

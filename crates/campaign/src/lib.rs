@@ -60,7 +60,9 @@ mod journal;
 mod report;
 mod spec;
 
-pub use exec::{run_campaign, run_campaign_journaled, ExecutorConfig, JobOutcome, Progress};
-pub use journal::{campaign_hash, CampaignJournal, JournalError, JOURNAL_VERSION};
+pub use exec::{
+    run_campaign, run_campaign_journaled, run_campaign_shard, ExecutorConfig, JobOutcome, Progress,
+};
+pub use journal::{campaign_hash, merge_journals, CampaignJournal, JournalError, JOURNAL_VERSION};
 pub use report::{CampaignReport, JobMetrics, JobRecord};
 pub use spec::{job_seed, Campaign, JobSpec, Model, TrafficPattern};

@@ -66,6 +66,18 @@ pub struct JobRecord {
     pub outcome: JobOutcome,
 }
 
+impl JobRecord {
+    /// Renders this record as its JSON-lines object, without a trailing
+    /// newline — the exact bytes [`CampaignReport::to_jsonl`] and the
+    /// campaign journal write for it, so consumers (the simulation
+    /// service streams these to clients) deliver results byte-identical
+    /// to a local sweep's report.
+    #[must_use]
+    pub fn render(&self, campaign_name: &str) -> String {
+        render_record(campaign_name, self)
+    }
+}
+
 /// The aggregated result of a campaign run.
 #[derive(Debug, Clone)]
 pub struct CampaignReport {

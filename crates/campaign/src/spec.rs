@@ -87,6 +87,46 @@ impl fmt::Display for TrafficPattern {
     }
 }
 
+impl std::str::FromStr for TrafficPattern {
+    type Err = String;
+
+    /// Parses the exact form [`Display`](fmt::Display) renders, e.g.
+    /// `linear(range=268435456,block=64)` — so patterns round-trip through
+    /// reports, journals and the service protocol.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (kind, rest) = s
+            .split_once('(')
+            .ok_or_else(|| format!("bad traffic pattern {s:?}"))?;
+        let body = rest
+            .strip_suffix(')')
+            .ok_or_else(|| format!("bad traffic pattern {s:?}"))?;
+        let field = |key: &str| -> Result<u64, String> {
+            body.split(',')
+                .find_map(|kv| kv.strip_prefix(key)?.strip_prefix('='))
+                .ok_or_else(|| format!("traffic pattern {s:?} is missing '{key}='"))?
+                .parse()
+                .map_err(|_| format!("bad '{key}' value in {s:?}"))
+        };
+        match kind {
+            "linear" => Ok(TrafficPattern::Linear {
+                range: field("range")?,
+                block: field("block")? as u32,
+            }),
+            "random" => Ok(TrafficPattern::Random {
+                range: field("range")?,
+                block: field("block")? as u32,
+            }),
+            "dram-aware" => Ok(TrafficPattern::DramAware {
+                stride: field("stride")?,
+                banks: field("banks")? as u32,
+            }),
+            other => Err(format!(
+                "unknown traffic pattern kind '{other}' (linear, random, dram-aware)"
+            )),
+        }
+    }
+}
+
 /// One fully specified simulation: a single point of a campaign's
 /// Cartesian product.
 #[derive(Debug, Clone, PartialEq)]

@@ -40,6 +40,11 @@ USAGE:
                                               (alias: trace-record)
     dramctrl replay FILE [OPTIONS]            replay a trace file
     dramctrl sweep [OPTIONS]                  run a parallel parameter-sweep campaign
+    dramctrl serve --listen ADDR --store DIR  run the always-up simulation service
+    dramctrl submit --to ADDR [AXES]          submit a sweep to a running service
+    dramctrl watch ID --to ADDR [OPTIONS]     stream a submitted job's results
+    dramctrl status --to ADDR                 show a service's job table
+    dramctrl version                          print crate/protocol/format versions
 
 RUN / RECORD OPTIONS:
     --device NAME        device preset (default ddr3-1600-x64)
@@ -123,6 +128,45 @@ Cartesian product runs in parallel with per-job deterministic seeds):
                          requests (requires --journal/--resume; snapshots
                          live beside the journal and are removed when the
                          sweep completes)
+    --shard I/N          run only jobs with index % N == I (requires
+                         --journal/--resume); N cooperating processes
+                         given shards 0/N..N-1/N partition the campaign,
+                         and --merge recombines their journals
+    --merge P1,P2,...    merge shard journals into the full report (with
+                         the same axis flags the shards ran); no
+                         simulation happens, and the merged --jsonl/--md
+                         are byte-identical to an unsharded run's
+    --group-commit-ms N  batch journal fsyncs in an N ms window instead
+                         of one per record (higher throughput, same
+                         crash-safety: a lost batch tail re-runs
+                         deterministically on resume; default 0 = every
+                         record)
+
+SERVICE OPTIONS:
+    serve:
+      --listen ADDR      socket to listen on: a path (Unix socket) or
+                         host:port (TCP); port 0 picks one (announced on
+                         stderr)
+      --store DIR        durable job store; a killed daemon restarted on
+                         the same store resumes every in-flight job
+      --max-jobs N       admission bound: reject submits at N unfinished
+                         jobs (default 8)
+      --quantum N        preemption quantum in injected requests: long
+                         jobs checkpoint-pause at request boundaries so
+                         tenants share the simulator fairly (default 1000)
+    submit (takes the same axis flags as sweep, plus):
+      --to ADDR          the service to submit to
+      --tenant NAME      tenant for fair scheduling (default cli)
+      --epochs DUR       request observed units: epoch series binned at
+                         this interval streamed to watchers (e.g. 1ms)
+    watch:
+      --to ADDR          the service to connect to
+      --jsonl FILE       write streamed records as a JSON-lines report
+                         (byte-identical to the same campaign's
+                         `sweep --jsonl` output)
+      --obs-dir DIR      write streamed stats/epoch artifacts per unit
+    status:
+      --to ADDR          the service to query
 ";
 
 fn main() -> ExitCode {
@@ -138,6 +182,14 @@ fn main() -> ExitCode {
         "record" | "trace-record" => record(argv),
         "replay" => replay(argv),
         "sweep" => sweep(argv),
+        "serve" => serve(argv),
+        "submit" => submit(argv),
+        "watch" => watch(argv),
+        "status" => status(argv),
+        "version" | "--version" | "-V" => {
+            print_version();
+            Ok(())
+        }
         "help" | "--help" | "-h" => {
             print!("{USAGE}");
             Ok(())
@@ -613,6 +665,9 @@ const SWEEP_OPTS: &[&str] = &[
     "journal",
     "resume",
     "checkpoint-every",
+    "shard",
+    "merge",
+    "group-commit-ms",
 ];
 
 /// Resolves `--journal`/`--resume` PATH: a directory (existing, or a
@@ -626,15 +681,12 @@ fn journal_path(p: &str) -> PathBuf {
     }
 }
 
-fn sweep(argv: Vec<String>) -> Result<(), ArgError> {
-    use dramctrl_bench::{run_job, run_job_resumable};
-    use dramctrl_campaign::{
-        run_campaign, run_campaign_journaled, Campaign, CampaignJournal, ExecutorConfig,
-        JobMetrics, JobSpec, Model, Progress, TrafficPattern,
-    };
+/// Builds the campaign the sweep/submit axis flags describe. The name is
+/// fixed (`sweep`) so a campaign submitted to a service produces records
+/// byte-comparable with a local `sweep` run of the same flags.
+fn campaign_from_args(a: &Args) -> Result<dramctrl_campaign::Campaign, ArgError> {
+    use dramctrl_campaign::{Campaign, Model, TrafficPattern};
 
-    let a = Args::parse(argv, &["csv", "quiet"])?;
-    a.ensure_known(SWEEP_OPTS)?;
     let list = |name: &str, default: &str| -> Result<Vec<String>, ArgError> {
         let items: Vec<String> = a
             .get(name)
@@ -713,7 +765,7 @@ fn sweep(argv: Vec<String>) -> Result<(), ArgError> {
         .collect::<Result<Vec<_>, _>>()?;
 
     let seed: u64 = a.parse_or("seed", 1u64)?;
-    let campaign = Campaign::new("sweep", seed)
+    Ok(Campaign::new("sweep", seed)
         .devices(devices)
         .models(models)
         .policies(policies)
@@ -723,7 +775,48 @@ fn sweep(argv: Vec<String>) -> Result<(), ArgError> {
         .traffic(traffic)
         .read_pcts(reads)
         .requests(requests)
-        .error_rates(error_rates);
+        .error_rates(error_rates))
+}
+
+/// Parses `--shard I/N` into `(index, count)`.
+fn parse_shard(s: &str) -> Result<(u32, u32), ArgError> {
+    let bad = || ArgError(format!("--shard: expected I/N with I < N, got {s:?}"));
+    let (i, n) = s.split_once('/').ok_or_else(bad)?;
+    let i: u32 = i.trim().parse().map_err(|_| bad())?;
+    let n: u32 = n.trim().parse().map_err(|_| bad())?;
+    if n == 0 || i >= n {
+        return Err(bad());
+    }
+    Ok((i, n))
+}
+
+fn sweep(argv: Vec<String>) -> Result<(), ArgError> {
+    use dramctrl_bench::{run_job, run_job_resumable};
+    use dramctrl_campaign::{
+        merge_journals, run_campaign, run_campaign_journaled, run_campaign_shard, CampaignJournal,
+        ExecutorConfig, JobMetrics, JobSpec, Progress,
+    };
+
+    let a = Args::parse(argv, &["csv", "quiet"])?;
+    a.ensure_known(SWEEP_OPTS)?;
+    let campaign = campaign_from_args(&a)?;
+    let seed = campaign.seed;
+
+    // --merge: recombine shard journals into the full report. Pure file
+    // work — no simulation, no executor.
+    if let Some(m) = a.get("merge") {
+        for conflict in ["journal", "resume", "shard", "obs-dir", "checkpoint-every"] {
+            if a.get(conflict).is_some() {
+                return Err(ArgError(format!(
+                    "--merge only reads journals; drop --{conflict}"
+                )));
+            }
+        }
+        let paths: Vec<PathBuf> = m.split(',').map(|p| journal_path(p.trim())).collect();
+        let report = merge_journals(&campaign, &paths)
+            .map_err(|e| ArgError(format!("merging journals: {e}")))?;
+        return finish_report(&a, &report);
+    }
 
     let cfg = ExecutorConfig {
         workers: a.parse_or("workers", 0usize)?,
@@ -776,6 +869,27 @@ fn sweep(argv: Vec<String>) -> Result<(), ArgError> {
         (None, None) => None,
     };
 
+    let shard = a.get("shard").map(parse_shard).transpose()?;
+    if shard.is_some() && journal.is_none() {
+        return Err(ArgError(
+            "--shard needs --journal or --resume: shards meet again only \
+             through their journals"
+                .into(),
+        ));
+    }
+    // Opt-in group commit: batch journal fsyncs in a window. Crash-safe
+    // because a lost unsynced tail re-runs deterministically on resume
+    // and keep-first dedup keeps the first committed record canonical.
+    let group_ms: u64 = a.parse_or("group-commit-ms", 0u64)?;
+    if group_ms > 0 {
+        let Some(j) = journal.as_mut() else {
+            return Err(ArgError(
+                "--group-commit-ms tunes the journal; add --journal or --resume".into(),
+            ));
+        };
+        j.set_group_commit(Some(std::time::Duration::from_millis(group_ms)));
+    }
+
     let every: u64 = a.parse_or("checkpoint-every", 0u64)?;
     if every > 0 {
         if journal.is_none() {
@@ -800,7 +914,14 @@ fn sweep(argv: Vec<String>) -> Result<(), ArgError> {
     let job_ckpt =
         move |dir: &Path, job: &JobSpec| dir.join(format!("ckpt-job-{:04}.snap", job.index));
 
-    eprintln!("sweep: {} jobs, seed {}", campaign.len(), seed);
+    match shard {
+        Some((i, n)) => eprintln!(
+            "sweep: shard {i}/{n} of {} jobs, seed {}",
+            campaign.len(),
+            seed
+        ),
+        None => eprintln!("sweep: {} jobs, seed {}", campaign.len(), seed),
+    }
     let runner: Box<dyn Fn(&JobSpec) -> JobMetrics + Sync> = match a.get("obs-dir") {
         Some(dir) => {
             use dramctrl_bench::run_job_observed;
@@ -833,17 +954,38 @@ fn sweep(argv: Vec<String>) -> Result<(), ArgError> {
             None => Box::new(run_job),
         },
     };
-    let report = match &mut journal {
-        Some(j) => run_campaign_journaled(&campaign, &cfg, j, runner),
-        None => run_campaign(&campaign, &cfg, runner),
+    let report = match (&mut journal, shard) {
+        (Some(j), Some(s)) => run_campaign_shard(&campaign, &cfg, j, s, runner),
+        (Some(j), None) => run_campaign_journaled(&campaign, &cfg, j, runner),
+        (None, _) => run_campaign(&campaign, &cfg, runner),
     };
-    // A finished sweep no longer needs its per-job snapshots.
+    if let Some(j) = journal.as_mut() {
+        // With group commit on, the last batch may still be unsynced.
+        j.sync()
+            .map_err(|e| ArgError(format!("syncing the journal: {e}")))?;
+    }
+    // A finished sweep no longer needs its per-job snapshots. (Shards
+    // only tried to remove their own jobs' snapshots plus already-absent
+    // paths, so cross-shard cleanup is a harmless no-op.)
     if let Some(dir) = &ckpt_dir {
         for job in campaign.expand() {
             let _ = std::fs::remove_file(job_ckpt(dir, &job));
         }
     }
+    if shard.is_some() {
+        eprintln!(
+            "shard report covers {} of {} jobs; merge the shard journals \
+             with --merge for the full report",
+            report.records.len(),
+            campaign.len()
+        );
+    }
+    finish_report(&a, &report)
+}
 
+/// Writes the report outputs (`--jsonl`, `--md`, the printed table and
+/// summary) and turns failed jobs into a non-zero exit.
+fn finish_report(a: &Args, report: &dramctrl_campaign::CampaignReport) -> Result<(), ArgError> {
     if let Some(path) = a.get("jsonl") {
         write_atomic(path, report.to_jsonl())
             .map_err(|e| ArgError(format!("writing {path:?}: {e}")))?;
@@ -865,6 +1007,190 @@ fn sweep(argv: Vec<String>) -> Result<(), ArgError> {
     if report.failed() > 0 {
         return Err(ArgError(format!("{} job(s) failed", report.failed())));
     }
+    Ok(())
+}
+
+/// Prints the version tuple a service handshake exchanges: crate,
+/// protocol, snapshot format, journal format. Scripts parse this to
+/// check that a client and a daemon binary will interoperate.
+fn print_version() {
+    println!(
+        "dramctrl {} (proto {}, snap {}, journal {})",
+        env!("CARGO_PKG_VERSION"),
+        dramctrl_serve::PROTO_VERSION,
+        dramctrl_kernel::snap::SNAP_VERSION,
+        dramctrl_campaign::JOURNAL_VERSION,
+    );
+}
+
+const SERVE_OPTS: &[&str] = &["listen", "store", "max-jobs", "quantum"];
+
+fn serve(argv: Vec<String>) -> Result<(), ArgError> {
+    use dramctrl_serve::{Listener, ServeConfig, Server};
+    let a = Args::parse(argv, &[])?;
+    a.ensure_known(SERVE_OPTS)?;
+    let listen = a
+        .get("listen")
+        .ok_or_else(|| ArgError("serve needs --listen ADDR (a path or host:port)".into()))?;
+    let store = a
+        .get("store")
+        .ok_or_else(|| ArgError("serve needs --store DIR (the durable job store)".into()))?;
+    let mut cfg = ServeConfig::new(store);
+    cfg.max_jobs = a.parse_or("max-jobs", cfg.max_jobs)?;
+    cfg.quantum = a.parse_or("quantum", cfg.quantum)?;
+    if cfg.quantum == 0 {
+        return Err(ArgError("--quantum must be at least 1".into()));
+    }
+    let server =
+        Server::open(cfg).map_err(|e| ArgError(format!("opening store {store:?}: {e}")))?;
+    server.start_scheduler();
+    let listener =
+        Listener::bind(listen).map_err(|e| ArgError(format!("binding {listen:?}: {e}")))?;
+    // The resolved address matters when --listen used port 0.
+    eprintln!(
+        "dramctrl serve: listening on {} (store {store})",
+        listener.local_addr()
+    );
+    server
+        .serve(&listener)
+        .map_err(|e| ArgError(format!("accept loop failed: {e}")))
+}
+
+/// Axis flags shared with sweep, plus the service-client flags.
+const SUBMIT_OPTS: &[&str] = &[
+    "devices", "models", "policies", "scheds", "mappings", "channels", "gens", "reads", "requests",
+    "range", "block", "stride", "banks", "ras", "seed", "to", "tenant", "epochs",
+];
+
+fn submit(argv: Vec<String>) -> Result<(), ArgError> {
+    let a = Args::parse(argv, &[])?;
+    a.ensure_known(SUBMIT_OPTS)?;
+    let to = a
+        .get("to")
+        .ok_or_else(|| ArgError("submit needs --to ADDR (a running `dramctrl serve`)".into()))?;
+    let campaign = campaign_from_args(&a)?;
+    let epochs = match a.get("epochs") {
+        Some(d) => {
+            let ticks = parse_duration(d)?;
+            if ticks == 0 {
+                return Err(ArgError("--epochs interval must be non-zero".into()));
+            }
+            ticks
+        }
+        None => 0,
+    };
+    let tenant = a.get("tenant").unwrap_or("cli");
+    let mut client = connect(to)?;
+    let (id, total) = client
+        .submit(tenant, epochs, &campaign)
+        .map_err(|e| ArgError(e.to_string()))?;
+    println!("accepted {id} ({total} units)");
+    eprintln!("stream results with: dramctrl watch {id} --to {to}");
+    Ok(())
+}
+
+/// Connects to a service, refusing version-mismatched daemons.
+fn connect(addr: &str) -> Result<dramctrl_serve::Client, ArgError> {
+    dramctrl_serve::Client::connect(addr)
+        .map_err(|e| ArgError(format!("connecting to {addr:?}: {e}")))
+}
+
+const WATCH_OPTS: &[&str] = &["to", "jsonl", "obs-dir"];
+
+fn watch(argv: Vec<String>) -> Result<(), ArgError> {
+    use dramctrl_serve::wire::Value;
+    let a = Args::parse(argv, &[])?;
+    a.ensure_known(WATCH_OPTS)?;
+    let [id] = a.positional() else {
+        return Err(ArgError("watch needs exactly one job id".into()));
+    };
+    let to = a
+        .get("to")
+        .ok_or_else(|| ArgError("watch needs --to ADDR (a running `dramctrl serve`)".into()))?;
+    let obs_dir = a.get("obs-dir").map(PathBuf::from);
+    if let Some(dir) = &obs_dir {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| ArgError(format!("creating {}: {e}", dir.display())))?;
+    }
+
+    let mut records: std::collections::BTreeMap<usize, String> = Default::default();
+    let mut client = connect(to)?;
+    let summary = client
+        .watch(id, |v, line| {
+            let index = || v.get("index").and_then(Value::as_u64).unwrap_or(0) as usize;
+            match v.get("event").and_then(Value::as_str) {
+                Some("record") => {
+                    if let Some(data) = dramctrl_serve::record_data(line) {
+                        records.insert(index(), data.to_owned());
+                    }
+                }
+                Some("progress") => {
+                    let done = v.get("done").and_then(Value::as_u64).unwrap_or(0);
+                    let total = v.get("total").and_then(Value::as_u64).unwrap_or(0);
+                    eprint!("\r[{id}] {done}/{total} units committed  ");
+                }
+                Some(event @ ("stats" | "epochs")) => {
+                    if let (Some(dir), Some(text)) =
+                        (&obs_dir, v.get("text").and_then(Value::as_str))
+                    {
+                        let ext = if event == "stats" {
+                            "stats.json"
+                        } else {
+                            "epochs.jsonl"
+                        };
+                        let path = dir.join(format!("unit-{:06}.{ext}", index()));
+                        write_atomic(&path, text)
+                            .unwrap_or_else(|e| panic!("writing artifact {}: {e}", path.display()));
+                    }
+                }
+                _ => {}
+            }
+        })
+        .map_err(|e| ArgError(e.to_string()))?;
+    eprintln!();
+
+    if let Some(path) = a.get("jsonl") {
+        // Records keyed by index render in campaign order — the same
+        // bytes `sweep --jsonl` writes for this campaign.
+        let jsonl: String = records.into_values().map(|l| l + "\n").collect();
+        write_atomic(path, jsonl).map_err(|e| ArgError(format!("writing {path:?}: {e}")))?;
+        eprintln!("wrote JSONL report to {path}");
+    }
+    println!("{id}: {} ok, {} failed", summary.ok, summary.failed);
+    if summary.failed > 0 {
+        return Err(ArgError(format!("{} unit(s) failed", summary.failed)));
+    }
+    Ok(())
+}
+
+fn status(argv: Vec<String>) -> Result<(), ArgError> {
+    use dramctrl_serve::wire::Value;
+    let a = Args::parse(argv, &[])?;
+    a.ensure_known(&["to"])?;
+    let to = a
+        .get("to")
+        .ok_or_else(|| ArgError("status needs --to ADDR".into()))?;
+    let mut client = connect(to)?;
+    let table = client.status().map_err(|e| ArgError(e.to_string()))?;
+    let jobs = table.get("jobs").and_then(Value::as_arr).unwrap_or(&[]);
+    println!(
+        "{:<10} {:<12} {:>6} {:>7} {:>6}  state",
+        "job", "tenant", "done", "failed", "total"
+    );
+    for j in jobs {
+        let s = |k: &str| j.get(k).and_then(Value::as_str).unwrap_or("?").to_owned();
+        let n = |k: &str| j.get(k).and_then(Value::as_u64).unwrap_or(0);
+        println!(
+            "{:<10} {:<12} {:>6} {:>7} {:>6}  {}",
+            s("id"),
+            s("tenant"),
+            n("done"),
+            n("failed"),
+            n("total"),
+            s("state")
+        );
+    }
+    eprintln!("{} job(s) on {to}", jobs.len());
     Ok(())
 }
 

@@ -1,0 +1,235 @@
+//! Service end-to-end tests driving the real `dramctrl` binary: a
+//! daemon process on a Unix socket, CLI clients submitting and watching
+//! sweeps, byte-comparison against the standalone `sweep` command, and a
+//! SIGKILL'd daemon restarted on the same store resuming every job.
+
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+fn dramctrl() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_dramctrl"))
+}
+
+fn tmp_dir(name: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("dramctrl-e2e-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+fn ok(out: &std::process::Output) -> &std::process::Output {
+    assert!(
+        out.status.success(),
+        "command failed ({:?}):\n{}",
+        out.status.code(),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    out
+}
+
+/// A daemon child that is killed even when the test panics.
+struct Daemon(Child);
+
+impl Daemon {
+    fn spawn(sock: &str, store: &str, quantum: &str) -> Self {
+        let child = dramctrl()
+            .args([
+                "serve",
+                "--listen",
+                sock,
+                "--store",
+                store,
+                "--quantum",
+                quantum,
+            ])
+            .stdout(Stdio::null())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("spawn daemon");
+        Self(child)
+    }
+
+    /// SIGKILL — no cleanup handlers run, exactly the crash we promise
+    /// to survive.
+    fn kill(&mut self) {
+        let _ = self.0.kill();
+        let _ = self.0.wait();
+    }
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        self.kill();
+    }
+}
+
+/// Polls `dramctrl status` until the daemon answers on its socket.
+fn wait_ready(sock: &str) {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let out = dramctrl().args(["status", "--to", sock]).output().unwrap();
+        if out.status.success() {
+            return;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "daemon never became ready:\n{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        std::thread::sleep(Duration::from_millis(25));
+    }
+}
+
+/// Submits the axes to the daemon; returns the accepted job id.
+fn submit(sock: &str, tenant: &str, axes: &[&str]) -> String {
+    let out = dramctrl()
+        .args(["submit", "--to", sock, "--tenant", tenant])
+        .args(axes)
+        .output()
+        .unwrap();
+    let stdout = String::from_utf8(ok(&out).stdout.clone()).unwrap();
+    // "accepted job-0000 (3 units)"
+    stdout
+        .split_whitespace()
+        .nth(1)
+        .unwrap_or_else(|| panic!("no job id in {stdout:?}"))
+        .to_owned()
+}
+
+/// Axes small enough to finish fast, large enough that a 500-request
+/// quantum forces several preemption cycles per unit.
+const AXES: &[&str] = &["--seed", "7", "--reads", "0,50,100", "--requests", "3000"];
+
+#[test]
+fn two_concurrent_clients_each_get_results_byte_identical_to_cli_sweep() {
+    let dir = tmp_dir("two-clients");
+    let p = |n: &str| dir.join(n).to_str().unwrap().to_owned();
+    let sock = p("daemon.sock");
+
+    // The reference: a plain standalone sweep of the same axes.
+    ok(&dramctrl()
+        .args(["sweep", "--quiet", "--jsonl", &p("base.jsonl")])
+        .args(AXES)
+        .output()
+        .unwrap());
+
+    let _daemon = Daemon::spawn(&sock, &p("store"), "500");
+    wait_ready(&sock);
+
+    let id_a = submit(&sock, "alice", AXES);
+    let id_b = submit(&sock, "bob", AXES);
+    assert_ne!(id_a, id_b);
+
+    // Both tenants watch concurrently while the scheduler interleaves
+    // their jobs at quantum boundaries.
+    let watchers: Vec<Child> = [(&id_a, "a.jsonl"), (&id_b, "b.jsonl")]
+        .iter()
+        .map(|(id, out)| {
+            dramctrl()
+                .args(["watch", id, "--to", &sock, "--jsonl", &p(out)])
+                .stdout(Stdio::piped())
+                .stderr(Stdio::null())
+                .spawn()
+                .unwrap()
+        })
+        .collect();
+    for w in watchers {
+        ok(&w.wait_with_output().unwrap());
+    }
+    let base = std::fs::read(p("base.jsonl")).unwrap();
+    let a = std::fs::read(p("a.jsonl")).unwrap();
+    let b = std::fs::read(p("b.jsonl")).unwrap();
+    assert_eq!(a, base, "tenant A's streamed report != standalone sweep");
+    assert_eq!(b, base, "tenant B's streamed report != standalone sweep");
+
+    // The job table knows both jobs by id, both finished.
+    let status = ok(&dramctrl().args(["status", "--to", &sock]).output().unwrap()).clone();
+    let table = String::from_utf8(status.stdout).unwrap();
+    assert!(table.contains(&id_a) && table.contains(&id_b), "{table}");
+    assert!(table.contains("done"), "{table}");
+}
+
+#[test]
+fn sigkilled_daemon_restarted_on_same_store_resumes_every_job() {
+    let dir = tmp_dir("sigkill");
+    let p = |n: &str| dir.join(n).to_str().unwrap().to_owned();
+    let sock = p("daemon.sock");
+    let store = p("store");
+    let axes: &[&str] = &[
+        "--seed",
+        "11",
+        "--reads",
+        "0,20,40,60,80,100",
+        "--requests",
+        "4000",
+    ];
+
+    ok(&dramctrl()
+        .args(["sweep", "--quiet", "--jsonl", &p("base.jsonl")])
+        .args(axes)
+        .output()
+        .unwrap());
+
+    // Daemon #1: accept the job, commit at least one unit, then die by
+    // SIGKILL mid-sweep.
+    let mut daemon1 = Daemon::spawn(&sock, &store, "400");
+    wait_ready(&sock);
+    let id = submit(&sock, "alice", axes);
+    let journal = dir.join("store").join(&id).join("journal.jsonl");
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let committed = std::fs::read_to_string(&journal)
+            .map(|t| t.lines().count())
+            .unwrap_or(0);
+        if committed >= 2 {
+            break; // header + at least one record is on disk
+        }
+        assert!(Instant::now() < deadline, "no unit ever committed");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    daemon1.kill();
+    let before = std::fs::read_to_string(&journal).unwrap();
+
+    // Daemon #2 on the same store: recovery re-queues the job; a watch
+    // replays the committed records and streams the rest as they finish.
+    let _daemon2 = Daemon::spawn(&sock, &store, "400");
+    wait_ready(&sock);
+    let out = ok(&dramctrl()
+        .args(["watch", &id, "--to", &sock, "--jsonl", &p("resumed.jsonl")])
+        .output()
+        .unwrap())
+    .clone();
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("6 ok, 0 failed"), "{stdout}");
+
+    assert_eq!(
+        std::fs::read(p("resumed.jsonl")).unwrap(),
+        std::fs::read(p("base.jsonl")).unwrap(),
+        "resumed service results != uninterrupted standalone sweep"
+    );
+    let after = std::fs::read_to_string(&journal).unwrap();
+    assert!(
+        after.starts_with(&before),
+        "restart rewrote committed journal lines"
+    );
+    assert_eq!(
+        after.lines().count(),
+        1 + 6,
+        "each unit committed exactly once after the restart"
+    );
+}
+
+#[test]
+fn version_prints_all_format_versions() {
+    let out = ok(&dramctrl().arg("version").output().unwrap()).clone();
+    let text = String::from_utf8(out.stdout.clone()).unwrap();
+    for needle in ["dramctrl", "proto", "snap", "journal"] {
+        assert!(text.contains(needle), "{text}");
+    }
+    // --version and -V say the same thing.
+    for flag in ["--version", "-V"] {
+        let alias = ok(&dramctrl().arg(flag).output().unwrap()).clone();
+        assert_eq!(alias.stdout, out.stdout);
+    }
+}

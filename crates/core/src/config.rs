@@ -41,6 +41,24 @@ impl fmt::Display for PagePolicy {
     }
 }
 
+impl std::str::FromStr for PagePolicy {
+    type Err = String;
+
+    /// Parses a policy name; round-trips [`Display`](fmt::Display) and
+    /// also accepts the CLI's dashed spellings.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "open" => Ok(PagePolicy::Open),
+            "open_adaptive" | "open-adaptive" => Ok(PagePolicy::OpenAdaptive),
+            "closed" => Ok(PagePolicy::Closed),
+            "closed_adaptive" | "closed-adaptive" => Ok(PagePolicy::ClosedAdaptive),
+            other => Err(format!(
+                "unknown page policy '{other}' (open, open-adaptive, closed, closed-adaptive)"
+            )),
+        }
+    }
+}
+
 /// Request scheduling policy (paper Section II-C).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum SchedPolicy {
@@ -58,6 +76,19 @@ impl fmt::Display for SchedPolicy {
             SchedPolicy::Fcfs => "fcfs",
             SchedPolicy::FrFcfs => "frfcfs",
         })
+    }
+}
+
+impl std::str::FromStr for SchedPolicy {
+    type Err = String;
+
+    /// Parses a scheduler name; round-trips [`Display`](fmt::Display).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "fcfs" => Ok(SchedPolicy::Fcfs),
+            "frfcfs" | "fr-fcfs" => Ok(SchedPolicy::FrFcfs),
+            other => Err(format!("unknown scheduler '{other}' (fcfs, frfcfs)")),
+        }
     }
 }
 

@@ -13,6 +13,7 @@
 use std::fs::{File, OpenOptions};
 use std::io::{self, Write};
 use std::path::Path;
+use std::time::{Duration, Instant};
 
 /// Writes `contents` to `path` atomically: the data lands in a temporary
 /// file in the same directory (same filesystem, so the rename is atomic),
@@ -68,9 +69,26 @@ fn sync_dir(dir: &Path) -> io::Result<()> {
 
 /// An append-only file whose every appended record is durable before the
 /// append returns: written, flushed and fsync'd.
+///
+/// # Group commit
+///
+/// [`set_group_commit`](Self::set_group_commit) trades the
+/// every-append fsync for one fsync per time window: appends landing
+/// within the window after the last sync only `write(2)` their bytes and
+/// mark the appender dirty; the first append past the window (or an
+/// explicit [`sync`](Self::sync), or drop) flushes the whole batch with
+/// a single fsync. A crash can then lose up to one window of *tail*
+/// records — never reorder or tear earlier ones — which is exactly the
+/// failure the campaign journal's resume already handles: lost tail jobs
+/// simply re-run. Default is off (sync every append).
 #[derive(Debug)]
 pub struct DurableAppender {
     file: File,
+    /// `None`: fsync on every append. `Some(w)`: fsync at most once per
+    /// `w`, batching intervening appends.
+    group_window: Option<Duration>,
+    /// When the batch being accumulated started (first unsynced append).
+    batch_start: Option<Instant>,
 }
 
 impl DurableAppender {
@@ -85,7 +103,11 @@ impl DurableAppender {
         if let Some(dir) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
             sync_dir(dir)?;
         }
-        Ok(Self { file })
+        Ok(Self {
+            file,
+            group_window: None,
+            batch_start: None,
+        })
     }
 
     /// Opens an existing file for appending.
@@ -94,18 +116,63 @@ impl DurableAppender {
     /// Any I/O error from opening.
     pub fn append_to(path: impl AsRef<Path>) -> io::Result<Self> {
         let file = OpenOptions::new().append(true).open(path)?;
-        Ok(Self { file })
+        Ok(Self {
+            file,
+            group_window: None,
+            batch_start: None,
+        })
     }
 
-    /// Appends `line` plus a newline, then fsyncs. When this returns `Ok`,
-    /// the record is on disk.
+    /// Enables (`Some(window)`) or disables (`None`) group commit.
+    /// Disabling flushes nothing by itself — call [`sync`](Self::sync)
+    /// first if a batch may be pending and you need it durable *now*;
+    /// otherwise the next append syncs it.
+    pub fn set_group_commit(&mut self, window: Option<Duration>) {
+        self.group_window = window;
+    }
+
+    /// Appends `line` plus a newline. Without group commit (the default)
+    /// the record is fsync'd before this returns; with it, the record is
+    /// on disk no later than the first append after the current window
+    /// closes, or the next explicit [`sync`](Self::sync).
     ///
     /// # Errors
     /// Any I/O error from writing or syncing.
     pub fn append_line(&mut self, line: &str) -> io::Result<()> {
         self.file.write_all(line.as_bytes())?;
         self.file.write_all(b"\n")?;
+        match self.group_window {
+            None => self.sync(),
+            Some(window) => {
+                let start = *self.batch_start.get_or_insert_with(Instant::now);
+                if start.elapsed() >= window {
+                    self.sync()
+                } else {
+                    Ok(())
+                }
+            }
+        }
+    }
+
+    /// Fsyncs now, closing any open group-commit batch. A no-op when
+    /// nothing is pending is still just one cheap fsync.
+    ///
+    /// # Errors
+    /// Any I/O error from syncing.
+    pub fn sync(&mut self) -> io::Result<()> {
+        self.batch_start = None;
         self.file.sync_data()
+    }
+}
+
+impl Drop for DurableAppender {
+    fn drop(&mut self) {
+        // Best effort: don't let an open batch die with the handle. Errors
+        // are unreportable here; the crash contract already tolerates a
+        // lost tail.
+        if self.batch_start.is_some() {
+            let _ = self.file.sync_data();
+        }
     }
 }
 
@@ -145,6 +212,33 @@ mod tests {
         std::fs::create_dir_all(p.parent().unwrap()).unwrap();
         write_atomic(&p, b"data".as_slice()).unwrap();
         assert_eq!(std::fs::read(&p).unwrap(), b"data");
+        std::fs::remove_dir_all(&d).unwrap();
+    }
+
+    #[test]
+    fn group_commit_batches_then_syncs_on_demand() {
+        let d = tmp_dir("group");
+        let p = d.join("g.jsonl");
+        let mut a = DurableAppender::create(&p).unwrap();
+        // A generous window: none of these appends should sync themselves.
+        a.set_group_commit(Some(Duration::from_secs(3600)));
+        a.append_line("one").unwrap();
+        a.append_line("two").unwrap();
+        // The bytes are written (visible) even before the batch syncs...
+        assert_eq!(std::fs::read_to_string(&p).unwrap(), "one\ntwo\n");
+        // ...and an explicit sync closes the batch.
+        a.sync().unwrap();
+        // A zero window degenerates to sync-every-append.
+        a.set_group_commit(Some(Duration::ZERO));
+        a.append_line("three").unwrap();
+        // Turning it off restores the default contract.
+        a.set_group_commit(None);
+        a.append_line("four").unwrap();
+        drop(a);
+        assert_eq!(
+            std::fs::read_to_string(&p).unwrap(),
+            "one\ntwo\nthree\nfour\n"
+        );
         std::fs::remove_dir_all(&d).unwrap();
     }
 

@@ -44,6 +44,23 @@ impl std::fmt::Display for AddrMapping {
     }
 }
 
+impl std::str::FromStr for AddrMapping {
+    type Err = String;
+
+    /// Parses a mapping name case-insensitively; round-trips
+    /// [`Display`](std::fmt::Display).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "rorabacoch" => Ok(AddrMapping::RoRaBaCoCh),
+            "rorabachco" => Ok(AddrMapping::RoRaBaChCo),
+            "rocorabach" => Ok(AddrMapping::RoCoRaBaCh),
+            other => Err(format!(
+                "unknown mapping '{other}' (RoRaBaCoCh, RoRaBaChCo, RoCoRaBaCh)"
+            )),
+        }
+    }
+}
+
 /// A decoded DRAM address (channel handled separately by the crossbar).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct DramAddr {

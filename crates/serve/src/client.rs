@@ -1,0 +1,189 @@
+//! The service client: connect, refuse mismatched daemons, submit jobs,
+//! stream results.
+
+use crate::net::Stream;
+use crate::proto::{campaign_to_wire, VersionInfo};
+use crate::wire::Value;
+use dramctrl_campaign::Campaign;
+use std::io::{self, BufRead, BufReader, Write};
+
+/// A connected, version-checked client.
+#[derive(Debug)]
+pub struct Client {
+    reader: BufReader<Stream>,
+    writer: Stream,
+    daemon: VersionInfo,
+}
+
+/// Final tallies of a watched job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WatchSummary {
+    /// Units that completed.
+    pub ok: usize,
+    /// Units that failed every attempt.
+    pub failed: usize,
+}
+
+impl Client {
+    /// Connects to `addr` (a socket path or `host:port`), reads the
+    /// daemon's `hello`, and refuses any daemon whose protocol or
+    /// snapshot format differs from this build's.
+    ///
+    /// # Errors
+    /// Connection errors, a malformed hello, or a version mismatch.
+    pub fn connect(addr: &str) -> io::Result<Self> {
+        let conn = Stream::connect(addr)?;
+        let writer = conn.try_clone()?;
+        let mut reader = BufReader::new(conn);
+        let mut hello = String::new();
+        reader.read_line(&mut hello)?;
+        let daemon = VersionInfo::from_hello(hello.trim())
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        VersionInfo::current()
+            .check_compatible(&daemon)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        Ok(Self {
+            reader,
+            writer,
+            daemon,
+        })
+    }
+
+    /// The daemon's announced versions.
+    #[must_use]
+    pub fn daemon(&self) -> &VersionInfo {
+        &self.daemon
+    }
+
+    fn send(&mut self, line: &str) -> io::Result<()> {
+        writeln!(self.writer, "{line}")?;
+        self.writer.flush()
+    }
+
+    fn recv(&mut self) -> io::Result<String> {
+        let mut line = String::new();
+        if self.reader.read_line(&mut line)? == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "daemon closed the connection",
+            ));
+        }
+        Ok(line.trim_end_matches(['\r', '\n']).to_owned())
+    }
+
+    /// Submits a campaign; returns `(job id, total units)` on
+    /// acceptance. `epochs > 0` asks for observed units binning epoch
+    /// series at that tick interval.
+    ///
+    /// # Errors
+    /// I/O errors, or rejection (admission control / bad campaign) as
+    /// [`io::ErrorKind::Other`] carrying the daemon's reason.
+    pub fn submit(
+        &mut self,
+        tenant: &str,
+        epochs: u64,
+        campaign: &Campaign,
+    ) -> io::Result<(String, usize)> {
+        let cmd = Value::Obj(vec![
+            ("cmd".to_owned(), Value::Str("submit".to_owned())),
+            ("tenant".to_owned(), Value::Str(tenant.to_owned())),
+            ("epochs".to_owned(), Value::num(epochs)),
+            ("campaign".to_owned(), campaign_to_wire(campaign)),
+        ]);
+        self.send(&cmd.encode())?;
+        let reply = self.recv()?;
+        let v = Value::parse(&reply)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("bad reply: {e}")))?;
+        match v.get("event").and_then(Value::as_str) {
+            Some("accepted") => {
+                let id = v
+                    .get("id")
+                    .and_then(Value::as_str)
+                    .ok_or_else(|| {
+                        io::Error::new(io::ErrorKind::InvalidData, "accepted without an id")
+                    })?
+                    .to_owned();
+                let total = v.get("total").and_then(Value::as_u64).unwrap_or(0) as usize;
+                Ok((id, total))
+            }
+            Some("rejected") => {
+                let reason = v
+                    .get("reason")
+                    .and_then(Value::as_str)
+                    .unwrap_or("unspecified");
+                Err(io::Error::other(format!("submit rejected: {reason}")))
+            }
+            _ => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unexpected reply: {reply}"),
+            )),
+        }
+    }
+
+    /// Watches a job to completion. Every event line — committed history
+    /// first, then live events, in commit order with no gap or duplicate
+    /// — is handed to `on_event` as `(parsed, raw line)`; returns the
+    /// final tallies from the `done` event.
+    ///
+    /// # Errors
+    /// I/O errors, a daemon-side `error` event, or a stream ending
+    /// before `done`.
+    pub fn watch(
+        &mut self,
+        id: &str,
+        mut on_event: impl FnMut(&Value, &str),
+    ) -> io::Result<WatchSummary> {
+        let cmd = Value::Obj(vec![
+            ("cmd".to_owned(), Value::Str("watch".to_owned())),
+            ("id".to_owned(), Value::Str(id.to_owned())),
+        ]);
+        self.send(&cmd.encode())?;
+        loop {
+            let line = self.recv()?;
+            let v = Value::parse(&line).map_err(|e| {
+                io::Error::new(io::ErrorKind::InvalidData, format!("bad event: {e}"))
+            })?;
+            match v.get("event").and_then(Value::as_str) {
+                Some("done") => {
+                    let summary = WatchSummary {
+                        ok: v.get("ok").and_then(Value::as_u64).unwrap_or(0) as usize,
+                        failed: v.get("failed").and_then(Value::as_u64).unwrap_or(0) as usize,
+                    };
+                    on_event(&v, &line);
+                    return Ok(summary);
+                }
+                Some("error") => {
+                    let reason = v
+                        .get("reason")
+                        .and_then(Value::as_str)
+                        .unwrap_or("unspecified");
+                    return Err(io::Error::other(format!("watch failed: {reason}")));
+                }
+                _ => on_event(&v, &line),
+            }
+        }
+    }
+
+    /// Fetches the daemon's job table.
+    ///
+    /// # Errors
+    /// I/O errors or a malformed reply.
+    pub fn status(&mut self) -> io::Result<Value> {
+        self.send("{\"cmd\":\"status\"}")?;
+        let reply = self.recv()?;
+        Value::parse(&reply)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("bad status: {e}")))
+    }
+
+    /// Asks the daemon to exit (everything committed is already
+    /// durable). Best-effort: a daemon that exits before replying is
+    /// success, not an error.
+    ///
+    /// # Errors
+    /// Only send-side I/O errors.
+    pub fn shutdown(&mut self) -> io::Result<()> {
+        self.send("{\"cmd\":\"shutdown\"}")?;
+        let _ = self.recv();
+        Ok(())
+    }
+}

@@ -1,0 +1,44 @@
+//! `dramctrl-serve`: an always-up, multi-tenant simulation service.
+//!
+//! The rest of the workspace is batch-shaped: a CLI invocation expands a
+//! campaign, runs it, writes a report, exits. This crate keeps the
+//! simulator *resident* — a daemon that accepts run/sweep jobs over a
+//! Unix or TCP socket, schedules them fairly across tenants with
+//! preemption at request boundaries, and records every accepted job and
+//! every finished work unit in a durable store, so a SIGKILL'd daemon
+//! restarted on the same store resumes all in-flight work with results
+//! byte-identical to a cold CLI run.
+//!
+//! The pieces, bottom up:
+//!
+//! - [`wire`]: a minimal line-JSON codec whose numbers stay raw tokens
+//!   end to end (a `u64` campaign seed never rounds through a float).
+//! - [`proto`]: the protocol — version handshake ([`VersionInfo`],
+//!   [`PROTO_VERSION`]), the campaign wire codec, and every event line.
+//! - [`store`]: the durable job store ([`JobStore`]) — an fsync-before-
+//!   ack accept log plus one `CampaignJournal` per job.
+//! - [`sched`]: the two-level round-robin [`FairQueue`] (fair across
+//!   tenants, then across one tenant's jobs).
+//! - [`server`]: the daemon itself ([`Server`]) — admission control,
+//!   the scheduler thread, crash recovery, event streaming.
+//! - [`client`]: the version-checked [`Client`] the CLI subcommands
+//!   (`submit`, `watch`, `status`) are built on.
+//!
+//! Like every other crate in the workspace: no external dependencies.
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod net;
+pub mod proto;
+pub mod sched;
+pub mod server;
+pub mod store;
+pub mod wire;
+
+pub use client::{Client, WatchSummary};
+pub use net::{Listener, Stream};
+pub use proto::{record_data, VersionInfo, PROTO_VERSION};
+pub use sched::FairQueue;
+pub use server::{ServeConfig, Server};
+pub use store::{JobStore, StoredJob};

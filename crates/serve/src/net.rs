@@ -1,0 +1,133 @@
+//! Transport: one listener/stream pair that is a Unix-domain socket when
+//! the address looks like a path (contains `/`) and TCP otherwise.
+//!
+//! The protocol on top is pure line-delimited JSON, so nothing above
+//! this module cares which transport carried the bytes.
+
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream};
+#[cfg(unix)]
+use std::os::unix::net::{UnixListener, UnixStream};
+
+/// A connected byte stream (client or accepted server side).
+#[derive(Debug)]
+pub enum Stream {
+    /// TCP connection.
+    Tcp(TcpStream),
+    /// Unix-domain connection.
+    #[cfg(unix)]
+    Unix(UnixStream),
+}
+
+impl Stream {
+    /// Connects to `addr`: a filesystem path (any `/`) dials a Unix
+    /// socket, anything else dials TCP (`host:port`).
+    pub fn connect(addr: &str) -> io::Result<Self> {
+        if addr.contains('/') {
+            #[cfg(unix)]
+            return Ok(Self::Unix(UnixStream::connect(addr)?));
+            #[cfg(not(unix))]
+            return Err(io::Error::new(
+                io::ErrorKind::Unsupported,
+                "unix socket paths need a unix platform; use host:port",
+            ));
+        }
+        Ok(Self::Tcp(TcpStream::connect(addr)?))
+    }
+
+    /// An independently readable/writable handle to the same connection.
+    pub fn try_clone(&self) -> io::Result<Self> {
+        Ok(match self {
+            Self::Tcp(s) => Self::Tcp(s.try_clone()?),
+            #[cfg(unix)]
+            Self::Unix(s) => Self::Unix(s.try_clone()?),
+        })
+    }
+}
+
+impl Read for Stream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            Self::Tcp(s) => s.read(buf),
+            #[cfg(unix)]
+            Self::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Stream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            Self::Tcp(s) => s.write(buf),
+            #[cfg(unix)]
+            Self::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            Self::Tcp(s) => s.flush(),
+            #[cfg(unix)]
+            Self::Unix(s) => s.flush(),
+        }
+    }
+}
+
+/// A bound listener on either transport.
+#[derive(Debug)]
+pub enum Listener {
+    /// TCP listener.
+    Tcp(TcpListener),
+    /// Unix-domain listener.
+    #[cfg(unix)]
+    Unix(UnixListener),
+}
+
+impl Listener {
+    /// Binds `addr` with the same path-vs-`host:port` rule as
+    /// [`Stream::connect`]. A stale Unix socket file (a SIGKILL'd
+    /// daemon's leftover) is removed before binding.
+    pub fn bind(addr: &str) -> io::Result<Self> {
+        if addr.contains('/') {
+            #[cfg(unix)]
+            {
+                // A previous daemon killed without cleanup leaves the
+                // inode behind; binding over it is the recovery path.
+                let _ = std::fs::remove_file(addr);
+                return Ok(Self::Unix(UnixListener::bind(addr)?));
+            }
+            #[cfg(not(unix))]
+            return Err(io::Error::new(
+                io::ErrorKind::Unsupported,
+                "unix socket paths need a unix platform; use host:port",
+            ));
+        }
+        Ok(Self::Tcp(TcpListener::bind(addr)?))
+    }
+
+    /// Accepts one connection.
+    pub fn accept(&self) -> io::Result<Stream> {
+        Ok(match self {
+            Self::Tcp(l) => Stream::Tcp(l.accept()?.0),
+            #[cfg(unix)]
+            Self::Unix(l) => Stream::Unix(l.accept()?.0),
+        })
+    }
+
+    /// The bound address, printable (for "listening on ..." and for
+    /// tests that bind port 0).
+    pub fn local_addr(&self) -> String {
+        match self {
+            Self::Tcp(l) => l
+                .local_addr()
+                .map(|a| a.to_string())
+                .unwrap_or_else(|_| "?".into()),
+            #[cfg(unix)]
+            Self::Unix(l) => l
+                .local_addr()
+                .ok()
+                .and_then(|a| a.as_pathname().map(|p| p.display().to_string()))
+                .unwrap_or_else(|| "?".into()),
+        }
+    }
+}

@@ -1,0 +1,151 @@
+//! Fair multi-tenant scheduling.
+//!
+//! The daemon runs one work unit (or one preemption quantum of one) at a
+//! time, so fairness is entirely a question of *which job goes next*.
+//! [`FairQueue`] answers it with two-level round-robin:
+//!
+//! - **Across tenants**: tenants take turns. A tenant that just ran
+//!   rotates to the back, so one tenant's 10,000-job sweep cannot starve
+//!   another's single run — the single run waits behind at most one
+//!   quantum per competing tenant.
+//! - **Within a tenant**: that tenant's jobs also take turns, so two
+//!   sweeps from the same tenant interleave instead of running serially.
+//!
+//! The queue holds job ids only; all job state lives with the server.
+//! Re-pushing the id a slice just paused is how a preempted job gets
+//! back in line.
+
+use std::collections::VecDeque;
+
+/// Two-level round-robin queue of job ids, fair across tenants.
+#[derive(Debug, Default)]
+pub struct FairQueue {
+    /// Tenant rotation order; front goes next.
+    tenants: VecDeque<String>,
+    /// Per-tenant job rotation, parallel to `tenants`.
+    jobs: Vec<VecDeque<String>>,
+}
+
+impl FairQueue {
+    /// An empty queue.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total queued job entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.jobs.iter().map(VecDeque::len).sum()
+    }
+
+    /// True when nothing is queued.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.jobs.iter().all(VecDeque::is_empty)
+    }
+
+    /// Queues `job` for `tenant`. A tenant not currently in rotation
+    /// joins at the back; an existing tenant keeps its turn position
+    /// (late arrivals don't jump the line).
+    pub fn push(&mut self, tenant: &str, job: impl Into<String>) {
+        match self.tenants.iter().position(|t| t == tenant) {
+            Some(i) => self.jobs[i].push_back(job.into()),
+            None => {
+                self.tenants.push_back(tenant.to_owned());
+                self.jobs.push(VecDeque::from([job.into()]));
+            }
+        }
+    }
+
+    /// Pops the next job id to run: the front tenant's front job. That
+    /// tenant rotates to the back of the tenant ring (and the job, if
+    /// re-pushed after a pause, to the back of the tenant's ring), so
+    /// both levels advance one turn per call.
+    pub fn pop(&mut self) -> Option<String> {
+        // Skip tenants whose rings have drained; drop them from rotation.
+        while let Some(tenant) = self.tenants.pop_front() {
+            let mut ring = self.jobs.remove(0);
+            if let Some(job) = ring.pop_front() {
+                // Back of the rotation, even with an emptied ring: a
+                // re-push (paused slice) then lands in the tenant's
+                // existing turn slot instead of resetting its position.
+                // A ring still empty on the next pass is pruned here.
+                self.tenants.push_back(tenant);
+                self.jobs.push(ring);
+                return Some(job);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain(q: &mut FairQueue) -> Vec<String> {
+        std::iter::from_fn(|| q.pop()).collect()
+    }
+
+    #[test]
+    fn single_tenant_is_fifo_rotation() {
+        let mut q = FairQueue::new();
+        q.push("a", "j1");
+        q.push("a", "j2");
+        q.push("a", "j3");
+        assert_eq!(drain(&mut q), ["j1", "j2", "j3"]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn tenants_interleave() {
+        let mut q = FairQueue::new();
+        q.push("a", "a1");
+        q.push("a", "a2");
+        q.push("b", "b1");
+        q.push("b", "b2");
+        assert_eq!(drain(&mut q), ["a1", "b1", "a2", "b2"]);
+    }
+
+    #[test]
+    fn big_sweep_cannot_starve_late_arrival() {
+        let mut q = FairQueue::new();
+        for i in 0..100 {
+            q.push("hog", format!("h{i}"));
+        }
+        assert_eq!(q.pop().unwrap(), "h0");
+        // A second tenant shows up mid-sweep: it waits at most one more
+        // hog turn, then the rotation alternates.
+        q.push("guest", "g1");
+        assert_eq!(q.pop().unwrap(), "h1");
+        assert_eq!(q.pop().unwrap(), "g1");
+        assert_eq!(q.pop().unwrap(), "h2");
+        assert_eq!(q.len(), 97);
+    }
+
+    #[test]
+    fn repush_after_pause_keeps_rotating() {
+        let mut q = FairQueue::new();
+        q.push("a", "a1");
+        q.push("b", "b1");
+        // a1 runs a quantum, pauses, re-queues; b1 must go next.
+        let j = q.pop().unwrap();
+        assert_eq!(j, "a1");
+        q.push("a", j);
+        assert_eq!(q.pop().unwrap(), "b1");
+        assert_eq!(q.pop().unwrap(), "a1");
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn same_tenant_jobs_interleave() {
+        let mut q = FairQueue::new();
+        q.push("a", "sweep1-u0");
+        q.push("a", "sweep2-u0");
+        let first = q.pop().unwrap();
+        q.push("a", first.clone());
+        let second = q.pop().unwrap();
+        assert_ne!(first, second, "two jobs of one tenant take turns");
+    }
+}

@@ -1,0 +1,570 @@
+//! The always-up simulation daemon: admission control, a fair preemptive
+//! scheduler, and crash-safe execution on top of the durable job store.
+//!
+//! ## Anatomy
+//!
+//! One **scheduler thread** runs all simulation work, one quantum at a
+//! time: it pops the next job from the [`FairQueue`], picks the job's
+//! first uncommitted work unit, and runs one slice of it *outside* the
+//! state lock (via [`run_job_slice`], which checkpoints and pauses at the
+//! first request boundary past the quantum target). **Connection
+//! threads** (one per client) only touch state briefly — submit, watch,
+//! status — so a 10-million-request unit in flight never blocks a
+//! submit, and a competing tenant waits at most one quantum.
+//!
+//! ## Durability
+//!
+//! Every state transition commits before it is acknowledged or
+//! broadcast:
+//!
+//! - submit: accept-log fsync → journal created → `accepted` sent;
+//! - unit done: artifacts written atomically → journal commit (fsync) →
+//!   events broadcast;
+//! - preemption: checkpoint written atomically; the journal is untouched.
+//!
+//! Kill the daemon at any instant and [`Server::open`] rebuilds
+//! everything from the store: accepted jobs re-queue, committed units
+//! are never re-run, the unit in flight resumes from its checkpoint (or
+//! restarts from the last one — re-execution is deterministic, and the
+//! journal's keep-first dedup makes the first commit canonical either
+//! way). Results are byte-identical to a never-killed run, which is
+//! byte-identical to a standalone `dramctrl sweep` of the same campaign.
+
+use crate::net::{Listener, Stream};
+use crate::proto::{
+    accepted_event, campaign_from_wire, done_event, error_event, progress_event, record_event,
+    rejected_event, text_event, VersionInfo,
+};
+use crate::sched::FairQueue;
+use crate::store::{JobStore, StoredJob};
+use crate::wire::{escape, Value};
+use dramctrl_bench::{run_job_observed, run_job_slice, JobArtifacts, SliceOutcome};
+use dramctrl_campaign::{CampaignJournal, JobMetrics, JobOutcome, JobRecord, JobSpec};
+use dramctrl_kernel::fsio::write_atomic;
+use std::collections::BTreeMap;
+use std::io::{self, BufRead, BufReader, Write};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+/// Daemon tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Root of the durable job store.
+    pub store: PathBuf,
+    /// Admission bound: submits are rejected while this many jobs are
+    /// still unfinished.
+    pub max_jobs: usize,
+    /// Preemption quantum in injected requests: a work unit is paused at
+    /// the first request boundary at or past this many injections since
+    /// its last pause.
+    pub quantum: u64,
+}
+
+impl ServeConfig {
+    /// Defaults: 8 active jobs, 1 000-request quantum.
+    #[must_use]
+    pub fn new(store: impl Into<PathBuf>) -> Self {
+        Self {
+            store: store.into(),
+            max_jobs: 8,
+            quantum: 1_000,
+        }
+    }
+}
+
+/// Everything the daemon knows about one job.
+struct JobState {
+    stored: StoredJob,
+    /// The campaign's expanded work units.
+    units: Vec<JobSpec>,
+    /// The job's durable commit log.
+    journal: CampaignJournal,
+    /// Panicked attempts of the unit currently in flight.
+    failures: u32,
+    /// Absolute injection target for the current unit's next slice.
+    pause_target: u64,
+    /// Live `watch` subscribers (event lines).
+    subscribers: Vec<mpsc::Sender<String>>,
+}
+
+impl JobState {
+    fn total(&self) -> usize {
+        self.units.len()
+    }
+
+    fn done(&self) -> usize {
+        self.journal.completed().len()
+    }
+
+    fn finished(&self) -> bool {
+        self.done() == self.total()
+    }
+
+    fn failed(&self) -> usize {
+        self.journal
+            .completed()
+            .values()
+            .filter(|o| o.is_failed())
+            .count()
+    }
+
+    /// The first uncommitted unit — the one to run next.
+    fn next_unit(&self) -> Option<usize> {
+        (0..self.total()).find(|i| !self.journal.completed().contains_key(i))
+    }
+
+    fn broadcast(&mut self, line: &str) {
+        self.subscribers.retain(|s| s.send(line.to_owned()).is_ok());
+    }
+}
+
+/// Shared daemon state.
+struct State {
+    store: JobStore,
+    jobs: BTreeMap<String, JobState>,
+    queue: FairQueue,
+}
+
+struct Inner {
+    cfg: ServeConfig,
+    state: Mutex<State>,
+    work: Condvar,
+}
+
+/// The daemon. Cloneable handle; all state lives behind one mutex.
+#[derive(Clone)]
+pub struct Server {
+    inner: Arc<Inner>,
+}
+
+/// How many attempts a panicking work unit gets before it is recorded as
+/// failed — matches the campaign executor's default, so failure records
+/// carry identical `attempts` counts either way.
+const MAX_ATTEMPTS: u32 = 2;
+
+impl Server {
+    /// Opens the store at `cfg.store`, recovers every journaled job, and
+    /// re-queues all unfinished work. Committed units never re-run;
+    /// their leftover checkpoints are deleted.
+    ///
+    /// # Errors
+    /// Store or journal I/O and corruption errors.
+    pub fn open(cfg: ServeConfig) -> io::Result<Self> {
+        let (store, accepted) = JobStore::open(&cfg.store)?;
+        let mut jobs = BTreeMap::new();
+        let mut queue = FairQueue::new();
+        for stored in accepted {
+            let dir = store.job_dir(&stored.id);
+            std::fs::create_dir_all(&dir)?;
+            let jpath = dir.join("journal.jsonl");
+            let journal = if jpath.exists() {
+                CampaignJournal::resume(&jpath, &stored.campaign)
+            } else {
+                // Killed between accept fsync and journal creation: the
+                // job is still fully described by the accept line.
+                CampaignJournal::create(&jpath, &stored.campaign)
+            }
+            .map_err(|e| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("recovering journal for {}: {e}", stored.id),
+                )
+            })?;
+            for &i in journal.completed().keys() {
+                let _ = std::fs::remove_file(JobStore::unit_snap(&dir, i));
+            }
+            let js = JobState {
+                units: stored.campaign.expand(),
+                journal,
+                failures: 0,
+                pause_target: cfg.quantum,
+                subscribers: Vec::new(),
+                stored,
+            };
+            if !js.finished() {
+                queue.push(&js.stored.tenant, js.stored.id.clone());
+            }
+            jobs.insert(js.stored.id.clone(), js);
+        }
+        Ok(Self {
+            inner: Arc::new(Inner {
+                cfg,
+                state: Mutex::new(State { store, jobs, queue }),
+                work: Condvar::new(),
+            }),
+        })
+    }
+
+    fn lock(&self) -> MutexGuard<'_, State> {
+        self.inner
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Spawns the scheduler thread (runs for the life of the process).
+    pub fn start_scheduler(&self) -> std::thread::JoinHandle<()> {
+        let this = self.clone();
+        std::thread::Builder::new()
+            .name("dramctrl-sched".into())
+            .spawn(move || this.scheduler_loop())
+            .expect("spawning the scheduler thread")
+    }
+
+    /// Accept loop: one thread per connection, forever.
+    ///
+    /// # Errors
+    /// Only a broken listener ends the loop.
+    pub fn serve(&self, listener: &Listener) -> io::Result<()> {
+        loop {
+            let conn = listener.accept()?;
+            let this = self.clone();
+            std::thread::spawn(move || {
+                let _ = this.handle_conn(conn);
+            });
+        }
+    }
+
+    // ----- scheduler ---------------------------------------------------
+
+    fn scheduler_loop(&self) {
+        loop {
+            // Pick the next (job, unit, quantum target) under the lock.
+            let (id, unit, spec, epochs, snap, target) = {
+                let mut st = self.lock();
+                loop {
+                    let picked = loop {
+                        let Some(id) = st.queue.pop() else {
+                            break None;
+                        };
+                        let Some(js) = st.jobs.get(&id) else { continue };
+                        if let Some(unit) = js.next_unit() {
+                            break Some((id, unit));
+                        }
+                    };
+                    if let Some((id, unit)) = picked {
+                        let js = &st.jobs[&id];
+                        let dir = st.store.job_dir(&id);
+                        break (
+                            id.clone(),
+                            unit,
+                            js.units[unit].clone(),
+                            js.stored.epochs,
+                            JobStore::unit_snap(&dir, unit),
+                            js.pause_target,
+                        );
+                    }
+                    st = self
+                        .inner
+                        .work
+                        .wait(st)
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                }
+            };
+
+            // Run the slice outside the lock: submits, watches and other
+            // tenants' turns are never blocked by simulation work.
+            let sliced = catch_unwind(AssertUnwindSafe(|| {
+                if epochs > 0 {
+                    // Observed units carry probes (not snapshot state), so
+                    // they run whole; artifacts ride along.
+                    let (m, artifacts) = run_job_observed(&spec, epochs);
+                    Unit::Done(m, Some(artifacts))
+                } else {
+                    match run_job_slice(&spec, &snap, Some(target)) {
+                        SliceOutcome::Done(m) => Unit::Done(m, None),
+                        SliceOutcome::Paused { injected } => Unit::Paused { injected },
+                    }
+                }
+            }));
+
+            let mut st = self.lock();
+            let st = &mut *st; // split-borrow jobs and queue below
+            let quantum = self.inner.cfg.quantum;
+            let dir = st.store.job_dir(&id);
+            let Some(js) = st.jobs.get_mut(&id) else {
+                continue;
+            };
+            match sliced {
+                Ok(Unit::Paused { injected }) => {
+                    js.pause_target = injected + quantum;
+                }
+                Ok(Unit::Done(metrics, artifacts)) => {
+                    let attempts = js.failures + 1;
+                    // Artifacts land (atomically) before the commit: a
+                    // crash in between re-runs the unit and rewrites them
+                    // bit-identically.
+                    if let Some(a) = &artifacts {
+                        write_unit_artifacts(&dir, unit, a);
+                    }
+                    let outcome = JobOutcome::Completed { metrics, attempts };
+                    commit_unit(js, unit, outcome, artifacts.as_ref());
+                    let _ = std::fs::remove_file(&snap);
+                    js.failures = 0;
+                    js.pause_target = quantum;
+                }
+                Err(payload) => {
+                    // A panicked slice restarts its unit from scratch:
+                    // the checkpoint may be mid-flight state of the very
+                    // attempt that died.
+                    let _ = std::fs::remove_file(&snap);
+                    js.failures += 1;
+                    js.pause_target = quantum;
+                    if js.failures >= MAX_ATTEMPTS {
+                        let outcome = JobOutcome::Failed {
+                            panic_msg: panic_message(payload.as_ref()),
+                            attempts: js.failures,
+                        };
+                        commit_unit(js, unit, outcome, None);
+                        js.failures = 0;
+                    }
+                }
+            }
+            if !js.finished() {
+                let tenant = js.stored.tenant.clone();
+                st.queue.push(&tenant, id);
+            }
+        }
+    }
+
+    // ----- connections -------------------------------------------------
+
+    fn handle_conn(&self, conn: Stream) -> io::Result<()> {
+        let mut writer = conn.try_clone()?;
+        let mut reader = BufReader::new(conn);
+        writeln!(writer, "{}", VersionInfo::current().hello_line())?;
+        let mut line = String::new();
+        loop {
+            line.clear();
+            if reader.read_line(&mut line)? == 0 {
+                return Ok(()); // client hung up
+            }
+            let trimmed = line.trim();
+            if trimmed.is_empty() {
+                continue;
+            }
+            let cmd = match Value::parse(trimmed) {
+                Ok(v) => v,
+                Err(e) => {
+                    writeln!(writer, "{}", error_event(&format!("bad command: {e}")))?;
+                    continue;
+                }
+            };
+            match cmd.get("cmd").and_then(Value::as_str) {
+                Some("submit") => {
+                    let reply = self.submit(&cmd);
+                    writeln!(writer, "{reply}")?;
+                }
+                Some("watch") => {
+                    let id = cmd.get("id").and_then(Value::as_str).unwrap_or("");
+                    self.watch(id, &mut writer)?;
+                }
+                Some("status") => {
+                    writeln!(writer, "{}", self.status_line())?;
+                }
+                Some("shutdown") => {
+                    // Every accepted job and committed unit is already
+                    // durable; there is nothing to flush.
+                    writeln!(writer, "{{\"event\":\"bye\"}}")?;
+                    let _ = writer.flush();
+                    std::process::exit(0);
+                }
+                other => {
+                    let what = other.unwrap_or("<none>");
+                    writeln!(writer, "{}", error_event(&format!("unknown cmd '{what}'")))?;
+                }
+            }
+        }
+    }
+
+    /// Admission + durable accept. Returns the event line to send.
+    fn submit(&self, cmd: &Value) -> String {
+        let tenant = cmd.get("tenant").and_then(Value::as_str).unwrap_or("anon");
+        let epochs = cmd.get("epochs").and_then(Value::as_u64).unwrap_or(0);
+        let campaign = match cmd
+            .get("campaign")
+            .ok_or_else(|| "submit is missing 'campaign'".to_owned())
+            .and_then(campaign_from_wire)
+        {
+            Ok(c) => c,
+            Err(e) => return rejected_event(&e),
+        };
+
+        let mut st = self.lock();
+        let active = st.jobs.values().filter(|j| !j.finished()).count();
+        if active >= self.inner.cfg.max_jobs {
+            return rejected_event(&format!(
+                "queue full: {active} active jobs (limit {})",
+                self.inner.cfg.max_jobs
+            ));
+        }
+        // The accept-log append inside is the commit point: once it
+        // returns, a kill at any later instant still runs this job.
+        let stored = match st.store.accept(tenant, epochs, &campaign) {
+            Ok(s) => s,
+            Err(e) => return rejected_event(&format!("store error: {e}")),
+        };
+        let dir = st.store.job_dir(&stored.id);
+        let journal = match CampaignJournal::create(dir.join("journal.jsonl"), &campaign) {
+            Ok(j) => j,
+            Err(e) => return rejected_event(&format!("journal error: {e}")),
+        };
+        let js = JobState {
+            units: campaign.expand(),
+            journal,
+            failures: 0,
+            pause_target: self.inner.cfg.quantum,
+            subscribers: Vec::new(),
+            stored,
+        };
+        let (id, total) = (js.stored.id.clone(), js.total());
+        st.queue.push(&js.stored.tenant, id.clone());
+        st.jobs.insert(id.clone(), js);
+        drop(st);
+        self.inner.work.notify_all();
+        accepted_event(&id, total)
+    }
+
+    /// Replays a job's committed history, then streams live events until
+    /// the job finishes.
+    fn watch(&self, id: &str, writer: &mut Stream) -> io::Result<()> {
+        let (replay, live) = {
+            let mut st = self.lock();
+            let dir = st.store.job_dir(id);
+            let Some(js) = st.jobs.get_mut(id) else {
+                writeln!(writer, "{}", error_event(&format!("no such job '{id}'")))?;
+                return Ok(());
+            };
+            let mut replay = Vec::new();
+            let name = js.stored.campaign.name.clone();
+            for (&i, outcome) in js.journal.completed() {
+                let rec = JobRecord {
+                    job: js.units[i].clone(),
+                    outcome: outcome.clone(),
+                };
+                replay.push(record_event(id, i, &rec.render(&name)));
+                if js.stored.epochs > 0 {
+                    for (event, ext) in [("stats", "stats.json"), ("epochs", "epochs.jsonl")] {
+                        if let Ok(text) =
+                            std::fs::read_to_string(JobStore::unit_artifact(&dir, i, ext))
+                        {
+                            replay.push(text_event(event, id, i, &text));
+                        }
+                    }
+                }
+            }
+            replay.push(progress_event(id, js.done(), js.total()));
+            if js.finished() {
+                replay.push(done_event(id, js.done() - js.failed(), js.failed()));
+                (replay, None)
+            } else {
+                // Subscribe under the same lock that replayed: commits
+                // broadcast under this lock too, so the stream has no
+                // gap and no duplicate.
+                let (tx, rx) = mpsc::channel();
+                js.subscribers.push(tx);
+                (replay, Some(rx))
+            }
+        };
+        for line in replay {
+            writeln!(writer, "{line}")?;
+        }
+        if let Some(rx) = live {
+            for line in rx {
+                let is_done = line.starts_with("{\"event\":\"done\"");
+                writeln!(writer, "{line}")?;
+                if is_done {
+                    break;
+                }
+            }
+            // Dropping `rx` unsubscribes: the server's next send fails
+            // and the sender is pruned.
+        }
+        writer.flush()
+    }
+
+    fn status_line(&self) -> String {
+        let st = self.lock();
+        let mut jobs = String::new();
+        for (id, js) in &st.jobs {
+            if !jobs.is_empty() {
+                jobs.push(',');
+            }
+            jobs.push_str(&format!(
+                "{{\"id\":{},\"tenant\":{},\"done\":{},\"failed\":{},\"total\":{},\"state\":{}}}",
+                escape(id),
+                escape(&js.stored.tenant),
+                js.done(),
+                js.failed(),
+                js.total(),
+                escape(if js.finished() { "done" } else { "active" }),
+            ));
+        }
+        format!("{{\"event\":\"status\",\"jobs\":[{jobs}]}}")
+    }
+}
+
+/// Result of one scheduler slice.
+enum Unit {
+    Done(JobMetrics, Option<JobArtifacts>),
+    Paused { injected: u64 },
+}
+
+/// Writes an observed unit's artifacts atomically next to the journal.
+fn write_unit_artifacts(dir: &std::path::Path, unit: usize, a: &JobArtifacts) {
+    for (ext, text) in [
+        ("stats.json", &a.stats_json),
+        ("epochs.jsonl", &a.epochs_jsonl),
+        ("epochs.csv", &a.epochs_csv),
+        ("trace.json", &a.perfetto_json),
+    ] {
+        let path = JobStore::unit_artifact(dir, unit, ext);
+        write_atomic(&path, text.as_bytes())
+            .unwrap_or_else(|e| panic!("writing artifact {}: {e}", path.display()));
+    }
+}
+
+/// Commits one unit's outcome (the durable commit point) and broadcasts
+/// the resulting events to subscribers.
+fn commit_unit(
+    js: &mut JobState,
+    unit: usize,
+    outcome: JobOutcome,
+    artifacts: Option<&JobArtifacts>,
+) {
+    let rec = JobRecord {
+        job: js.units[unit].clone(),
+        outcome,
+    };
+    js.journal.commit(&rec).unwrap_or_else(|e| {
+        panic!(
+            "cannot commit unit {unit} of {} to its journal: {e}",
+            js.stored.id
+        )
+    });
+    let id = js.stored.id.clone();
+    let line = rec.render(&js.stored.campaign.name);
+    js.broadcast(&record_event(&id, unit, &line));
+    if let Some(a) = artifacts {
+        js.broadcast(&text_event("stats", &id, unit, &a.stats_json));
+        js.broadcast(&text_event("epochs", &id, unit, &a.epochs_jsonl));
+    }
+    js.broadcast(&progress_event(&id, js.done(), js.total()));
+    if js.finished() {
+        js.broadcast(&done_event(&id, js.done() - js.failed(), js.failed()));
+        js.subscribers.clear();
+    }
+}
+
+/// Extracts a human-readable message from a panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}

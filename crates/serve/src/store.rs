@@ -1,0 +1,295 @@
+//! The durable job store: an append-only accept log plus one campaign
+//! journal per job.
+//!
+//! Layout under the store root:
+//!
+//! ```text
+//! store/
+//!   accept.jsonl            every accepted job, fsync'd before the ack
+//!   job-0001/
+//!     journal.jsonl         the job's CampaignJournal (unit commit log)
+//!     unit-000003.snap      preemption checkpoint of the unit in flight
+//!     unit-000002.stats.json   observed-job artifacts (epochs > 0)
+//!     unit-000002.epochs.jsonl
+//!     unit-000002.trace.json
+//! accept.jsonl line: {"id":"job-0001","tenant":"alice","epochs":0,
+//!                     "campaign":{...}}
+//! ```
+//!
+//! Commit-point ordering is the whole durability story:
+//!
+//! 1. **Accept**: the accept line is appended and fsync'd *before* the
+//!    job's directory and journal are created and *before* the client
+//!    sees `accepted`. A torn accept tail therefore belongs to a job
+//!    that was never acknowledged — recovery drops it.
+//! 2. **Unit done**: artifacts (if any) are written atomically, then the
+//!    unit's record is committed to the job journal (append + fsync),
+//!    then subscribers are notified. A crash between artifacts and
+//!    commit re-runs the unit; artifacts are overwritten bit-identically.
+//!
+//! Recovery replays the accept log, resumes every job journal (torn
+//! tails truncated, keep-first dedup), deletes checkpoints of already
+//! committed units, and re-queues every job with uncommitted units. No
+//! accepted job is lost; no committed unit re-runs.
+
+use crate::proto::{campaign_from_wire, campaign_to_wire};
+use crate::wire::{escape, Value};
+use dramctrl_campaign::Campaign;
+use dramctrl_kernel::fsio::DurableAppender;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// One accepted job, as recorded in the accept log.
+#[derive(Debug, Clone)]
+pub struct StoredJob {
+    /// Stable job id (`job-0001`); also the job's directory name.
+    pub id: String,
+    /// Submitting tenant (fair scheduling is across tenants).
+    pub tenant: String,
+    /// Epoch-series interval in ticks; `0` runs unobserved.
+    pub epochs: u64,
+    /// The work itself.
+    pub campaign: Campaign,
+}
+
+/// The durable job store.
+#[derive(Debug)]
+pub struct JobStore {
+    root: PathBuf,
+    accept: DurableAppender,
+    next_id: u64,
+}
+
+impl JobStore {
+    /// Opens (or creates) the store at `root`, returning the store and
+    /// every job the accept log records, in acceptance order.
+    ///
+    /// A torn final line — a crash mid-accept, before any client was
+    /// acked — is dropped and truncated away. A corrupt line anywhere
+    /// else is a loud error: the store was edited or the disk lied.
+    ///
+    /// # Errors
+    /// I/O errors, or a corrupt accept log.
+    pub fn open(root: impl Into<PathBuf>) -> io::Result<(Self, Vec<StoredJob>)> {
+        let root = root.into();
+        std::fs::create_dir_all(&root)?;
+        let log = root.join("accept.jsonl");
+        if !log.exists() {
+            let accept = DurableAppender::create(&log)?;
+            return Ok((
+                Self {
+                    root,
+                    accept,
+                    next_id: 1,
+                },
+                Vec::new(),
+            ));
+        }
+
+        let text = std::fs::read_to_string(&log)?;
+        let mut jobs = Vec::new();
+        let mut valid_len = 0usize;
+        for (i, line) in text.split_inclusive('\n').enumerate() {
+            if !line.ends_with('\n') {
+                break; // Torn tail: never acked, safe to drop.
+            }
+            let job = parse_accept_line(line.trim_end_matches('\n')).map_err(|why| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("accept log line {} is corrupt: {why}", i + 1),
+                )
+            })?;
+            jobs.push(job);
+            valid_len += line.len();
+        }
+        if valid_len < text.len() {
+            let f = std::fs::OpenOptions::new().write(true).open(&log)?;
+            f.set_len(valid_len as u64)?;
+            f.sync_data()?;
+        }
+        let next_id = jobs
+            .iter()
+            .filter_map(|j| j.id.strip_prefix("job-")?.parse::<u64>().ok())
+            .max()
+            .unwrap_or(0)
+            + 1;
+        let accept = DurableAppender::append_to(&log)?;
+        Ok((
+            Self {
+                root,
+                accept,
+                next_id,
+            },
+            jobs,
+        ))
+    }
+
+    /// The store's root directory.
+    #[must_use]
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// A job's directory (journal, checkpoints, artifacts).
+    #[must_use]
+    pub fn job_dir(&self, id: &str) -> PathBuf {
+        self.root.join(id)
+    }
+
+    /// Durably accepts a job: assigns the next id, appends the accept
+    /// line (fsync'd), and creates the job's directory. Only after this
+    /// returns may the client be acked — the ordering that makes a
+    /// daemon kill between ack and first unit harmless.
+    ///
+    /// # Errors
+    /// Any I/O error; the job is then *not* accepted.
+    pub fn accept(
+        &mut self,
+        tenant: &str,
+        epochs: u64,
+        campaign: &Campaign,
+    ) -> io::Result<StoredJob> {
+        let id = format!("job-{:04}", self.next_id);
+        let line = format!(
+            "{{\"id\":{},\"tenant\":{},\"epochs\":{},\"campaign\":{}}}",
+            escape(&id),
+            escape(tenant),
+            epochs,
+            campaign_to_wire(campaign).encode()
+        );
+        self.accept.append_line(&line)?;
+        self.next_id += 1;
+        std::fs::create_dir_all(self.job_dir(&id))?;
+        Ok(StoredJob {
+            id,
+            tenant: tenant.to_owned(),
+            epochs,
+            campaign: campaign.clone(),
+        })
+    }
+
+    /// Path of a unit's preemption checkpoint inside a job dir.
+    #[must_use]
+    pub fn unit_snap(job_dir: &Path, index: usize) -> PathBuf {
+        job_dir.join(format!("unit-{index:06}.snap"))
+    }
+
+    /// Path of a unit's artifact with the given extension
+    /// (`stats.json`, `epochs.jsonl`, `trace.json`).
+    #[must_use]
+    pub fn unit_artifact(job_dir: &Path, index: usize, ext: &str) -> PathBuf {
+        job_dir.join(format!("unit-{index:06}.{ext}"))
+    }
+}
+
+fn parse_accept_line(line: &str) -> Result<StoredJob, String> {
+    let v = Value::parse(line)?;
+    let id = v
+        .get("id")
+        .and_then(Value::as_str)
+        .ok_or_else(|| "missing 'id'".to_owned())?
+        .to_owned();
+    let tenant = v
+        .get("tenant")
+        .and_then(Value::as_str)
+        .ok_or_else(|| "missing 'tenant'".to_owned())?
+        .to_owned();
+    let epochs = v
+        .get("epochs")
+        .and_then(Value::as_u64)
+        .ok_or_else(|| "missing 'epochs'".to_owned())?;
+    let campaign = campaign_from_wire(
+        v.get("campaign")
+            .ok_or_else(|| "missing 'campaign'".to_owned())?,
+    )?;
+    Ok(StoredJob {
+        id,
+        tenant,
+        epochs,
+        campaign,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("dramctrl-store-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    fn campaign(name: &str) -> Campaign {
+        Campaign::new(name, 7).read_pcts([0, 100]).requests([200])
+    }
+
+    #[test]
+    fn accept_assigns_ids_and_survives_reopen() {
+        let root = tmp("reopen");
+        let (mut store, jobs) = JobStore::open(&root).unwrap();
+        assert!(jobs.is_empty());
+        let a = store.accept("alice", 0, &campaign("a")).unwrap();
+        let b = store.accept("bob", 1_000_000, &campaign("b")).unwrap();
+        assert_eq!(a.id, "job-0001");
+        assert_eq!(b.id, "job-0002");
+        assert!(store.job_dir(&a.id).is_dir());
+        drop(store);
+
+        let (mut store, jobs) = JobStore::open(&root).unwrap();
+        assert_eq!(jobs.len(), 2);
+        assert_eq!(jobs[0].tenant, "alice");
+        assert_eq!(jobs[1].epochs, 1_000_000);
+        assert_eq!(jobs[1].campaign.expand(), campaign("b").expand());
+        // Ids keep counting, never reuse.
+        let c = store.accept("carol", 0, &campaign("c")).unwrap();
+        assert_eq!(c.id, "job-0003");
+    }
+
+    #[test]
+    fn torn_accept_tail_is_dropped_and_truncated() {
+        let root = tmp("torn");
+        let (mut store, _) = JobStore::open(&root).unwrap();
+        store.accept("alice", 0, &campaign("a")).unwrap();
+        drop(store);
+        let log = root.join("accept.jsonl");
+        let good = std::fs::read_to_string(&log).unwrap();
+        std::fs::write(&log, format!("{good}{{\"id\":\"job-00")).unwrap();
+
+        let (mut store, jobs) = JobStore::open(&root).unwrap();
+        assert_eq!(jobs.len(), 1, "torn line dropped");
+        assert_eq!(std::fs::read_to_string(&log).unwrap(), good, "truncated");
+        // The next accept gets the id the torn job never durably claimed.
+        assert_eq!(
+            store.accept("bob", 0, &campaign("b")).unwrap().id,
+            "job-0002"
+        );
+    }
+
+    #[test]
+    fn corrupt_interior_line_is_loud() {
+        let root = tmp("corrupt");
+        let (mut store, _) = JobStore::open(&root).unwrap();
+        store.accept("alice", 0, &campaign("a")).unwrap();
+        drop(store);
+        let log = root.join("accept.jsonl");
+        let mut text = std::fs::read_to_string(&log).unwrap();
+        text.insert_str(0, "{\"id\":\"mangled\"}\n");
+        std::fs::write(&log, text).unwrap();
+        let err = JobStore::open(&root).unwrap_err();
+        assert!(err.to_string().contains("line 1"), "{err}");
+    }
+
+    #[test]
+    fn unit_paths_are_stable() {
+        let dir = Path::new("/store/job-0001");
+        assert_eq!(
+            JobStore::unit_snap(dir, 3),
+            Path::new("/store/job-0001/unit-000003.snap")
+        );
+        assert_eq!(
+            JobStore::unit_artifact(dir, 12, "stats.json"),
+            Path::new("/store/job-0001/unit-000012.stats.json")
+        );
+    }
+}

@@ -1,0 +1,300 @@
+//! End-to-end service tests: a real daemon on a real socket, asserting
+//! the two acceptance properties — streamed results byte-identical to a
+//! standalone campaign run, and restart-on-the-same-store resuming
+//! without re-running or losing committed work.
+
+use dramctrl_bench::run_job;
+use dramctrl_campaign::{
+    run_campaign_journaled, Campaign, CampaignJournal, ExecutorConfig, JobRecord,
+};
+use dramctrl_serve::proto;
+use dramctrl_serve::wire::Value;
+use dramctrl_serve::{Client, Listener, ServeConfig, Server};
+use std::io::{BufRead, BufReader, Write};
+use std::path::PathBuf;
+
+fn tmp(name: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("dramctrl-serve-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+/// A campaign small enough to finish quickly but with enough requests
+/// that the 1 000-request default quantum actually preempts.
+fn campaign(name: &str) -> Campaign {
+    Campaign::new(name, 42)
+        .read_pcts([0, 50, 100])
+        .requests([5_000])
+}
+
+/// Starts a daemon on an ephemeral TCP port; returns its address.
+fn spawn_daemon(store: PathBuf, quantum: u64) -> String {
+    let mut cfg = ServeConfig::new(store);
+    cfg.quantum = quantum;
+    let server = Server::open(cfg).expect("open store");
+    server.start_scheduler();
+    let listener = Listener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr();
+    std::thread::spawn(move || {
+        let _ = server.serve(&listener);
+    });
+    addr
+}
+
+/// The reference: what a standalone journaled CLI sweep of `c` produces.
+fn reference_jsonl(c: &Campaign, dir: &PathBuf) -> String {
+    std::fs::create_dir_all(dir).unwrap();
+    let mut j = CampaignJournal::create(dir.join("ref.jsonl"), c).unwrap();
+    run_campaign_journaled(c, &ExecutorConfig::serial(), &mut j, run_job).to_jsonl()
+}
+
+#[test]
+fn served_records_are_byte_identical_to_standalone_run() {
+    let root = tmp("bytes");
+    let addr = spawn_daemon(root.join("store"), 1_000);
+    let c = campaign("sweep");
+    let want = reference_jsonl(&c, &root.join("ref"));
+
+    let mut client = Client::connect(&addr).unwrap();
+    let (id, total) = client.submit("alice", 0, &c).unwrap();
+    assert_eq!(total, 3);
+
+    // Collect streamed record lines in index order.
+    let mut records = vec![None; total];
+    let summary = client
+        .watch(&id, |v, line| {
+            if v.get("event").and_then(Value::as_str) == Some("record") {
+                let i = v.get("index").and_then(Value::as_u64).unwrap() as usize;
+                let data = proto::record_data(line).expect("record payload").to_owned();
+                records[i] = Some(data);
+            }
+        })
+        .unwrap();
+    assert_eq!(summary.ok, 3);
+    assert_eq!(summary.failed, 0);
+
+    let got: String = records
+        .into_iter()
+        .map(|r| r.expect("every unit streamed") + "\n")
+        .collect();
+    assert_eq!(
+        got, want,
+        "streamed records == standalone sweep, byte for byte"
+    );
+}
+
+#[test]
+fn two_tenants_interleave_and_both_match_standalone() {
+    let root = tmp("tenants");
+    let addr = spawn_daemon(root.join("store"), 500);
+    let ca = campaign("alice-sweep");
+    let cb = campaign("bob-sweep");
+    let want_a = reference_jsonl(&ca, &root.join("ref-a"));
+    let want_b = reference_jsonl(&cb, &root.join("ref-b"));
+
+    let mut ka = Client::connect(&addr).unwrap();
+    let mut kb = Client::connect(&addr).unwrap();
+    let (ia, _) = ka.submit("alice", 0, &ca).unwrap();
+    let (ib, _) = kb.submit("bob", 0, &cb).unwrap();
+
+    let collect = |client: &mut Client, id: &str| {
+        let mut out = std::collections::BTreeMap::new();
+        client
+            .watch(id, |v, line| {
+                if v.get("event").and_then(Value::as_str) == Some("record") {
+                    let i = v.get("index").and_then(Value::as_u64).unwrap() as usize;
+                    out.insert(i, proto::record_data(line).unwrap().to_owned());
+                }
+            })
+            .unwrap();
+        out.into_values().map(|l| l + "\n").collect::<String>()
+    };
+    // Watch concurrently: both jobs are in flight at once.
+    let got_b = std::thread::scope(|s| {
+        let h = s.spawn(|| collect(&mut kb, &ib));
+        let got_a = collect(&mut ka, &ia);
+        assert_eq!(got_a, want_a, "tenant A sees a byte-exact sweep");
+        h.join().unwrap()
+    });
+    assert_eq!(got_b, want_b, "tenant B sees a byte-exact sweep");
+}
+
+#[test]
+fn restart_resumes_committed_work_without_rerunning() {
+    let root = tmp("restart");
+    let store = root.join("store");
+    let c = campaign("sweep");
+    let want = reference_jsonl(&c, &root.join("ref"));
+
+    // Phase 1: hand-craft the store a daemon would leave behind if
+    // SIGKILL'd after committing exactly one unit — an accepted job, a
+    // journal with one record, and a stale checkpoint for the unit that
+    // was in flight. (The process-level kill of a live daemon is
+    // exercised in the CLI e2e test.)
+    let id = {
+        let (mut js, _) = dramctrl_serve::JobStore::open(&store).unwrap();
+        let stored = js.accept("alice", 0, &c).unwrap();
+        let dir = js.job_dir(&stored.id);
+        let mut journal = CampaignJournal::create(dir.join("journal.jsonl"), &c).unwrap();
+        let unit0 = &c.expand()[0];
+        journal
+            .commit(&JobRecord {
+                job: unit0.clone(),
+                outcome: dramctrl_campaign::JobOutcome::Completed {
+                    metrics: run_job(unit0),
+                    attempts: 1,
+                },
+            })
+            .unwrap();
+        // A checkpoint left behind for the already-committed unit: the
+        // kind of junk a SIGKILL strands. Recovery must delete it.
+        std::fs::write(dir.join("unit-000000.snap"), b"stale").unwrap();
+        stored.id
+    };
+    let journal = store.join(&id).join("journal.jsonl");
+    let committed_before = std::fs::read_to_string(&journal).unwrap();
+
+    // Phase 2: a daemon opened on that store recovers, re-queues the
+    // job, and finishes the remaining units — committed lines untouched,
+    // nothing duplicated, nothing lost.
+    let addr2 = spawn_daemon(store.clone(), 1_000);
+    let mut client2 = Client::connect(&addr2).unwrap();
+    let mut records = std::collections::BTreeMap::new();
+    let summary = client2
+        .watch(&id, |v, line| {
+            if v.get("event").and_then(Value::as_str) == Some("record") {
+                let i = v.get("index").and_then(Value::as_u64).unwrap() as usize;
+                records.insert(i, proto::record_data(line).unwrap().to_owned());
+            }
+        })
+        .unwrap();
+    assert_eq!(summary.ok + summary.failed, 3);
+
+    let after = std::fs::read_to_string(&journal).unwrap();
+    assert!(
+        after.starts_with(&committed_before),
+        "restart never rewrites committed journal lines"
+    );
+    let got: String = records.into_values().map(|l| l + "\n").collect();
+    assert_eq!(got, want, "resumed results == uninterrupted standalone run");
+    assert!(
+        !store.join(&id).join("unit-000000.snap").exists(),
+        "recovery deletes checkpoints of committed units"
+    );
+}
+
+#[test]
+fn admission_control_rejects_with_reason_and_version_gate_refuses() {
+    let root = tmp("admission");
+    let store = root.join("store");
+    let mut cfg = ServeConfig::new(store);
+    cfg.max_jobs = 1;
+    let server = Server::open(cfg).unwrap();
+    // No scheduler: jobs stay active, so the second submit must bounce.
+    let listener = Listener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr();
+    {
+        let server = server.clone();
+        std::thread::spawn(move || {
+            let _ = server.serve(&listener);
+        });
+    }
+
+    let mut client = Client::connect(&addr).unwrap();
+    client.submit("alice", 0, &campaign("first")).unwrap();
+    let err = client.submit("alice", 0, &campaign("second")).unwrap_err();
+    assert!(err.to_string().contains("queue full"), "{err}");
+
+    // A daemon speaking a different protocol is refused at connect.
+    let fake = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let fake_addr = fake.local_addr().unwrap().to_string();
+    std::thread::spawn(move || {
+        let (mut s, _) = fake.accept().unwrap();
+        let line = dramctrl_serve::VersionInfo::current().hello_line();
+        writeln!(s, "{}", line.replace("\"proto\":1", "\"proto\":999")).unwrap();
+    });
+    let err = Client::connect(&fake_addr).unwrap_err();
+    assert!(err.to_string().contains("protocol"), "{err}");
+}
+
+#[test]
+fn status_reports_the_job_table() {
+    let root = tmp("status");
+    let addr = spawn_daemon(root.join("store"), 1_000);
+    let mut client = Client::connect(&addr).unwrap();
+    let (id, _) = client.submit("alice", 0, &campaign("sweep")).unwrap();
+    client.watch(&id, |_, _| {}).unwrap();
+    let status = client.status().unwrap();
+    let jobs = status.get("jobs").and_then(Value::as_arr).unwrap();
+    assert_eq!(jobs.len(), 1);
+    assert_eq!(jobs[0].get("id").and_then(Value::as_str), Some(id.as_str()));
+    assert_eq!(jobs[0].get("state").and_then(Value::as_str), Some("done"));
+    assert_eq!(jobs[0].get("done").and_then(Value::as_u64), Some(3));
+}
+
+#[test]
+fn observed_jobs_stream_stats_and_epochs() {
+    let root = tmp("observed");
+    let addr = spawn_daemon(root.join("store"), 1_000);
+    let c = Campaign::new("obs", 9).read_pcts([50]).requests([2_000]);
+    let want = reference_jsonl(&c, &root.join("ref"));
+
+    let mut client = Client::connect(&addr).unwrap();
+    let (id, _) = client.submit("alice", 1_000_000, &c).unwrap();
+    let mut stats = None;
+    let mut epochs = None;
+    let mut record = None;
+    client
+        .watch(&id, |v, line| {
+            match v.get("event").and_then(Value::as_str) {
+                Some("stats") => stats = v.get("text").and_then(Value::as_str).map(str::to_owned),
+                Some("epochs") => epochs = v.get("text").and_then(Value::as_str).map(str::to_owned),
+                Some("record") => record = proto::record_data(line).map(str::to_owned),
+                _ => {}
+            }
+        })
+        .unwrap();
+    let stats = stats.expect("stats streamed");
+    assert!(
+        stats.contains("\"prefix\""),
+        "stats is the stable report JSON"
+    );
+    let epochs = epochs.expect("epoch series streamed");
+    assert!(epochs.lines().count() >= 1, "at least one epoch line");
+    // Zero perturbation: the observed unit's record matches the
+    // unobserved standalone run byte for byte.
+    assert_eq!(record.unwrap() + "\n", want);
+
+    // Artifacts also landed server-side, next to the journal.
+    let dir = root.join("store").join(&id);
+    for ext in ["stats.json", "epochs.jsonl", "epochs.csv", "trace.json"] {
+        assert!(
+            dir.join(format!("unit-000000.{ext}")).exists(),
+            "missing {ext}"
+        );
+    }
+
+    // A watch after completion replays the same artifacts from disk.
+    let mut late = Client::connect(&addr).unwrap();
+    let mut replayed_stats = None;
+    late.watch(&id, |v, _| {
+        if v.get("event").and_then(Value::as_str) == Some("stats") {
+            replayed_stats = v.get("text").and_then(Value::as_str).map(str::to_owned);
+        }
+    })
+    .unwrap();
+    assert_eq!(replayed_stats.as_deref(), Some(stats.as_str()));
+}
+
+#[test]
+fn hello_is_first_line_on_every_connection() {
+    let root = tmp("hello");
+    let addr = spawn_daemon(root.join("store"), 1_000);
+    let stream = std::net::TcpStream::connect(&addr).unwrap();
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    let v = Value::parse(line.trim()).unwrap();
+    assert_eq!(v.get("event").and_then(Value::as_str), Some("hello"));
+    assert_eq!(v.get("proto").and_then(Value::as_u64), Some(1));
+}
