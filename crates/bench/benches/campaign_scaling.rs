@@ -1,0 +1,270 @@
+//! campaign_scaling — executor throughput on a large campaign of short
+//! jobs: worker-count scaling with the journal off and on, plus the cost
+//! of the journal's commit strategies.
+//!
+//! This is the workload the batched commit pipeline exists for: at ten
+//! thousand sub-millisecond jobs, a per-record `fdatasync` (~1 ms on
+//! ordinary disks) caps the whole campaign at ~1 000 jobs/s regardless of
+//! worker count. Batched commits amortise one fsync over everything the
+//! workers finished since the last drain, so journaling costs a few
+//! percent instead of dominating.
+//!
+//! Results land in `BENCH_campaign_scaling.json` at the repository root
+//! (the tracked perf-trajectory file; override with `--json <path>`). The
+//! file records `available_parallelism` because worker scaling is bounded
+//! by physical cores: on a 1-core host the 8-worker/1-worker ratio is ~1x
+//! no matter how good the executor is, so the regression gate scales its
+//! expectation with the host (see `scaling_floor`).
+//!
+//! Flags:
+//! * `--short` — CI-sized run (fewer jobs);
+//! * `--check` — assert journaled reports are byte-identical at 1/2/8
+//!   workers before timing anything;
+//! * `--json <path>` — write the JSON somewhere else.
+//!
+//! Exits non-zero on either regression gate:
+//! * journaling overhead: journaled 1-worker throughput must stay within
+//!   30% of unjournaled (fails under per-record fsync on any ordinary
+//!   disk — this is the batched-commit gate, meaningful even on 1 core);
+//! * worker scaling: the 8-worker/1-worker journaled ratio must reach the
+//!   host-aware floor.
+
+use std::io::Write as _;
+use std::time::Instant;
+
+use dramctrl_bench::{f1, run_job, Table};
+use dramctrl_campaign::{
+    run_campaign, run_campaign_journaled, Campaign, CampaignJournal, ExecutorConfig, JobOutcome,
+    JobRecord, TrafficPattern,
+};
+
+/// The short-job campaign: `read_pcts × requests` axes expand to `jobs`
+/// sub-millisecond event-model simulations.
+fn campaign(jobs: usize) -> Campaign {
+    let pcts = 100usize;
+    assert_eq!(jobs % pcts, 0, "job count must be a multiple of 100");
+    let per = (jobs / pcts) as u64;
+    let c = Campaign::new("campaign-scaling", 7)
+        .traffic([TrafficPattern::Random {
+            range: 64 << 20,
+            block: 64,
+        }])
+        .read_pcts((0..pcts as u8).map(|p| p.saturating_add(1)))
+        .requests((0..per).map(|i| 100 + i * 4));
+    assert_eq!(c.len(), jobs);
+    c
+}
+
+/// Jobs/second of one full campaign run at `workers`, journal optional.
+fn measure(c: &Campaign, workers: usize, journal_dir: Option<&std::path::Path>) -> f64 {
+    let cfg = ExecutorConfig::default().with_workers(workers);
+    let start = Instant::now();
+    let r = match journal_dir {
+        None => run_campaign(c, &cfg, run_job),
+        Some(dir) => {
+            let path = dir.join(format!("journal-{workers}w.jsonl"));
+            let _ = std::fs::remove_file(&path);
+            let mut j = CampaignJournal::create(&path, c).expect("create journal");
+            run_campaign_journaled(c, &cfg, &mut j, run_job)
+        }
+    };
+    assert_eq!(r.failed(), 0, "campaign jobs must not fail");
+    c.len() as f64 / start.elapsed().as_secs_f64()
+}
+
+/// Records/second of the journal's two commit strategies, isolated from
+/// simulation: `per_record` fsyncs every [`CampaignJournal::commit`],
+/// `batched` commits the same records through
+/// [`CampaignJournal::commit_batch`] in drain-sized groups.
+fn measure_commit_strategies(dir: &std::path::Path, n: usize) -> (f64, f64) {
+    let c = campaign(10_000);
+    let jobs = c.expand();
+    let outcome = |i: usize| JobOutcome::Completed {
+        metrics: dramctrl_campaign::JobMetrics::new().with("bus_util", i as f64 / 1e4),
+        attempts: 1,
+    };
+
+    let per_path = dir.join("commit-per-record.jsonl");
+    let mut j = CampaignJournal::create(&per_path, &c).expect("create journal");
+    let start = Instant::now();
+    for i in 0..n {
+        let rec = JobRecord {
+            job: jobs[i].clone(),
+            outcome: outcome(i),
+        };
+        j.commit(&rec).expect("commit");
+    }
+    let per_record_rps = n as f64 / start.elapsed().as_secs_f64();
+    drop(j);
+
+    let batch_path = dir.join("commit-batched.jsonl");
+    let mut j = CampaignJournal::create(&batch_path, &c).expect("create journal");
+    let outcomes: Vec<JobOutcome> = (0..n).map(outcome).collect();
+    const BATCH: usize = 32; // a typical collector drain under load
+    let start = Instant::now();
+    for chunk in (0..n).collect::<Vec<_>>().chunks(BATCH) {
+        j.commit_batch(chunk.iter().map(|&i| (&jobs[i], &outcomes[i])))
+            .expect("commit batch");
+    }
+    let batched_rps = n as f64 / start.elapsed().as_secs_f64();
+    (per_record_rps, batched_rps)
+}
+
+fn main() {
+    let mut short = false;
+    let mut check = false;
+    let mut json_path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../BENCH_campaign_scaling.json"
+    )
+    .to_owned();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--short" => short = true,
+            "--check" => check = true,
+            "--json" => json_path = args.next().expect("--json needs a path"),
+            // `cargo bench` passes --bench through to the binary.
+            "--bench" => {}
+            other => panic!("unknown argument {other:?}"),
+        }
+    }
+
+    let jobs = if short { 2_000 } else { 10_000 };
+    let ncpu = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let c = campaign(jobs);
+    let dir = std::env::temp_dir().join(format!("dramctrl-campaign-scaling-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+
+    if check {
+        // Byte-identity first: a fast executor that reorders or loses
+        // records is not an optimisation. Journaled reports must be
+        // byte-identical at every worker count.
+        let cc = campaign(2_000);
+        let mut base = None;
+        for workers in [1usize, 2, 8] {
+            let path = dir.join(format!("check-{workers}w.jsonl"));
+            let mut j = CampaignJournal::create(&path, &cc).expect("create journal");
+            let r = run_campaign_journaled(
+                &cc,
+                &ExecutorConfig::default().with_workers(workers),
+                &mut j,
+                run_job,
+            );
+            let jsonl = r.to_jsonl();
+            match &base {
+                None => base = Some(jsonl),
+                Some(b) => assert_eq!(b, &jsonl, "report bytes differ at {workers} workers"),
+            }
+        }
+        println!("check: journaled reports byte-identical at 1/2/8 workers\n");
+    }
+
+    println!(
+        "campaign_scaling: {jobs} event-model jobs (100-{} random requests each), \
+         host has {ncpu} core(s)\n",
+        100 + (jobs / 100 - 1) * 4
+    );
+
+    let worker_counts = [1usize, 2, 4, 8];
+    let mut plain = Vec::new();
+    let mut journaled = Vec::new();
+    let mut table = Table::new(["workers", "plain jobs/s", "journaled jobs/s", "overhead"]);
+    for &w in &worker_counts {
+        let p = measure(&c, w, None);
+        let j = measure(&c, w, Some(&dir));
+        table.row([
+            w.to_string(),
+            f1(p),
+            f1(j),
+            format!("{:.1}%", (1.0 - j / p) * 100.0),
+        ]);
+        plain.push(p);
+        journaled.push(j);
+    }
+    table.print();
+
+    let commit_n = if short { 2_000 } else { 10_000 };
+    let (per_record_rps, batched_rps) = measure_commit_strategies(&dir, commit_n);
+    println!(
+        "\ncommit strategies ({commit_n} records, no simulation): \
+         per-record fsync {:.0} rec/s, batched {:.0} rec/s ({:.1}x)",
+        per_record_rps,
+        batched_rps,
+        batched_rps / per_record_rps
+    );
+
+    let scaling = journaled[3] / journaled[0];
+    let overhead_1w = journaled[0] / plain[0];
+    // The scaling floor a host can honestly be held to: near-linear up to
+    // its core count (the acceptance target of 4x at 8 workers needs >= 8
+    // cores), and never below 0.75x — even a 1-core host must not *lose*
+    // throughput to worker-count overhead.
+    let scaling_floor = f64::max(0.75, 0.5 * ncpu.min(8) as f64);
+    println!(
+        "\nscaling: 8-worker/1-worker journaled = {scaling:.2}x \
+         (floor for {ncpu} core(s): {scaling_floor:.2}x); \
+         journal overhead at 1 worker: {:.1}%",
+        (1.0 - overhead_1w) * 100.0
+    );
+
+    // The tracked perf-trajectory file (hand-rolled JSON; no deps).
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"campaign_scaling\",\n  \"schema\": 1,\n");
+    json.push_str(&format!(
+        "  \"config\": {{\"jobs\": {jobs}, \"model\": \"event\", \"traffic\": \"random\", \
+         \"requests_min\": 100, \"available_parallelism\": {ncpu}, \"short\": {short}}},\n"
+    ));
+    json.push_str("  \"results\": [\n");
+    for (i, &w) in worker_counts.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"workers\": {w}, \"plain_jobs_per_sec\": {:.1}, \
+             \"journaled_jobs_per_sec\": {:.1}}}{}\n",
+            plain[i],
+            journaled[i],
+            if i + 1 == worker_counts.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"commit\": {{\"records\": {commit_n}, \"per_record_fsync_rps\": {:.0}, \
+         \"batched_rps\": {:.0}, \"speedup\": {:.1}}},\n",
+        per_record_rps,
+        batched_rps,
+        batched_rps / per_record_rps
+    ));
+    json.push_str(&format!(
+        "  \"scaling\": {{\"journaled_8w_over_1w\": {scaling:.2}, \
+         \"floor\": {scaling_floor:.2}, \"journal_overhead_1w\": {:.3}}}\n",
+        1.0 - overhead_1w
+    ));
+    json.push_str("}\n");
+    let mut f = std::fs::File::create(&json_path)
+        .unwrap_or_else(|e| panic!("cannot write {json_path}: {e}"));
+    f.write_all(json.as_bytes()).expect("write json");
+    println!("\nwrote {json_path}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Regression gates.
+    let mut failed = false;
+    if overhead_1w < 0.70 {
+        eprintln!(
+            "REGRESSION: journaled 1-worker throughput is {:.0}% of unjournaled \
+             (floor 70%) — the commit path is serialising on fsync again",
+            overhead_1w * 100.0
+        );
+        failed = true;
+    }
+    if scaling < scaling_floor {
+        eprintln!(
+            "REGRESSION: journaled 8-worker/1-worker scaling {scaling:.2}x is below \
+             the {scaling_floor:.2}x floor for a {ncpu}-core host"
+        );
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

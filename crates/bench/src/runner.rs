@@ -21,7 +21,35 @@ use dramctrl_system::MultiChannel;
 use dramctrl_traffic::{
     DramAwareGen, LinearGen, RandomGen, SnapGen, TestRun, TestSummary, Tester, TrafficGen,
 };
+use std::cell::RefCell;
 use std::path::Path;
+
+thread_local! {
+    /// One retired event-model controller per worker thread, reused via
+    /// [`DramCtrl::reset`] when the next job wants an identical
+    /// configuration — the common case in a campaign sweeping traffic
+    /// axes over a fixed device. Keyed by config equality, so any config
+    /// change falls back to a fresh build.
+    static EV_CTRL_CACHE: RefCell<Option<DramCtrl>> = const { RefCell::new(None) };
+}
+
+/// A controller for `cfg`: the worker's cached one, reset, when its
+/// configuration matches; a freshly built one otherwise.
+fn cached_ev_ctrl(cfg: CtrlConfig) -> DramCtrl {
+    match EV_CTRL_CACHE.with(|c| c.borrow_mut().take()) {
+        Some(mut ctrl) if *ctrl.config() == cfg => {
+            ctrl.reset();
+            ctrl
+        }
+        _ => DramCtrl::new(cfg).expect("valid config"),
+    }
+}
+
+/// Retires a finished controller into the worker's cache for the next
+/// job. Its queues, event heap and group arena keep their allocations.
+fn retire_ev_ctrl(ctrl: DramCtrl) {
+    EV_CTRL_CACHE.with(|c| *c.borrow_mut() = Some(ctrl));
+}
 
 /// The event-model configuration for a (policy, scheduler, mapping,
 /// channels) tuple.
@@ -289,22 +317,32 @@ fn run_job_slice_inner(
     let mut gen = gen_for_job(job, &spec);
     let ras = ras_for_job(job);
     let ck = Ckpt {
-        fp: job_fingerprint(job),
+        // The fingerprint guards checkpoint compatibility; without a
+        // checkpoint path nothing ever reads it, so the plain fast path
+        // skips the Debug-format hash.
+        fp: checkpoint.map_or(0, |_| job_fingerprint(job)),
         path: checkpoint,
         every,
         pause_after,
     };
     match job.model {
         Model::Event => {
-            let mk = |ch_total| {
+            let mk_cfg = |ch_total| {
                 let mut cfg = ev_cfg(spec.clone(), job.policy, job.sched, job.mapping, ch_total);
                 cfg.ras = ras.clone();
-                let mut ctrl = DramCtrl::new(cfg).expect("valid config");
+                cfg
+            };
+            let mk = |ch_total| {
+                let mut ctrl = DramCtrl::new(mk_cfg(ch_total)).expect("valid config");
                 ctrl.set_tick_budget(Some(JOB_TICK_BUDGET));
                 ctrl
             };
             if job.channels <= 1 {
-                let mut ctrl = mk(1);
+                // The single-channel short job is the campaign hot path:
+                // take the worker's cached controller instead of
+                // rebuilding queues and arenas per job.
+                let mut ctrl = cached_ev_ctrl(mk_cfg(1));
+                ctrl.set_tick_budget(Some(JOB_TICK_BUDGET));
                 let s = match ck.drive(&mut gen, &mut ctrl) {
                     Driven::Done(s) => *s,
                     Driven::Paused { injected } => return SliceOutcome::Paused { injected },
@@ -312,6 +350,7 @@ fn run_job_slice_inner(
                 assert_no_stall(std::iter::once(&ctrl));
                 let mut m = job_metrics(&s);
                 add_ras_metrics(&mut m, ctrl.fault_model().into_iter());
+                retire_ev_ctrl(ctrl);
                 SliceOutcome::Done(m)
             } else {
                 let ctrls = (0..job.channels).map(|_| mk(job.channels)).collect();
@@ -666,6 +705,22 @@ mod tests {
         let mut clean = jobs[0].clone();
         clean.error_rate = 0.0;
         assert_eq!(run_job(&clean).get("ras_corrected"), None);
+    }
+
+    #[test]
+    fn controller_reuse_is_invisible_in_metrics() {
+        // Alternating specs on one thread exercises both cache paths —
+        // config-match reset and config-change rebuild — and every run
+        // must match a cache-cold run of the same job on a fresh thread.
+        let jobs = Campaign::new("reuse", 5)
+            .read_pcts([30, 80])
+            .requests([200, 500])
+            .expand();
+        let warm: Vec<JobMetrics> = jobs.iter().chain(jobs.iter()).map(run_job).collect();
+        for (job, m) in jobs.iter().chain(jobs.iter()).zip(&warm) {
+            let cold = std::thread::scope(|s| s.spawn(|| run_job(job)).join().unwrap());
+            assert_eq!(m, &cold, "{}", job.label());
+        }
     }
 
     #[test]

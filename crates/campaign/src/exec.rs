@@ -18,6 +18,10 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::time::{Duration, Instant};
 
+/// Minimum interval between progress-line rewrites: at tens of thousands
+/// of jobs per second, unthrottled `\r` rewrites cost more than the jobs.
+const PROGRESS_INTERVAL: Duration = Duration::from_millis(100);
+
 /// What happened to one job.
 #[derive(Debug, Clone, PartialEq)]
 pub enum JobOutcome {
@@ -283,34 +287,63 @@ where
             let mut outcomes = prefilled;
             let mut done = 0usize;
             let mut failed = 0usize;
-            while let Ok((i, outcome)) = rx.recv() {
-                // The commit point: the record hits the durable journal
-                // before the outcome is accepted into the report.
+            let mut batch: Vec<(usize, JobOutcome)> = Vec::new();
+            let mut last_progress: Option<Instant> = None;
+            while let Ok(first) = rx.recv() {
+                // Greedy drain: everything the workers have finished since
+                // the last iteration commits as one batch — one journal
+                // fsync amortised over the whole batch instead of one per
+                // record. Under load the batch grows to match the workers'
+                // rate, so the fsync never becomes the bottleneck again.
+                batch.push(first);
+                while let Ok(more) = rx.try_recv() {
+                    batch.push(more);
+                }
+                // The commit point: the records hit the durable journal
+                // before their outcomes are accepted into the report.
+                // Lines render from borrows of the job table and the
+                // batch — no per-record JobSpec/JobOutcome clones.
                 if let Some(j) = journal.as_deref_mut() {
-                    let rec = JobRecord {
-                        job: jobs[i].clone(),
-                        outcome: outcome.clone(),
-                    };
-                    j.commit(&rec).unwrap_or_else(|e| {
-                        panic!(
-                            "cannot commit job {i} to the campaign journal at {}: {e}",
-                            j.path().display()
-                        )
-                    });
+                    j.commit_batch(batch.iter().map(|&(i, ref o)| (&jobs[i], o)))
+                        .unwrap_or_else(|e| {
+                            panic!(
+                                "cannot commit {} job(s) to the campaign journal at {}: {e}",
+                                batch.len(),
+                                j.path().display()
+                            )
+                        });
                 }
-                done += 1;
-                if outcome.is_failed() {
-                    failed += 1;
+                for (i, outcome) in batch.drain(..) {
+                    done += 1;
+                    if outcome.is_failed() {
+                        failed += 1;
+                    }
+                    outcomes[i] = Some(outcome);
                 }
-                outcomes[i] = Some(outcome);
-                if progress == Progress::Stderr {
+                // Progress is throttled: at high job rates rewriting the
+                // terminal per record costs more than the jobs themselves.
+                if progress == Progress::Stderr
+                    && last_progress.map_or(true, |t| t.elapsed() >= PROGRESS_INTERVAL)
+                {
+                    last_progress = Some(Instant::now());
                     let elapsed = start.elapsed().as_secs_f64();
                     let eta = elapsed / done as f64 * (to_run - done) as f64;
                     eprint!("\r[{name}] {done}/{to_run} done, {failed} failed, ETA {eta:.0}s  ");
                 }
             }
+            // The channel is closed: force any batch the group-commit
+            // window is still holding open onto disk before the report is
+            // built from these outcomes.
+            if let Some(j) = journal.as_deref_mut() {
+                j.sync().unwrap_or_else(|e| {
+                    panic!(
+                        "cannot sync the campaign journal at {}: {e}",
+                        j.path().display()
+                    )
+                });
+            }
             if progress == Progress::Stderr && to_run > 0 {
-                eprintln!();
+                eprintln!("\r[{name}] {done}/{to_run} done, {failed} failed            ");
             }
             outcomes
         });

@@ -18,8 +18,8 @@
 //! specification is rejected loudly via the header hash.
 
 use crate::exec::JobOutcome;
-use crate::report::{render_record, JobMetrics, JobRecord};
-use crate::spec::Campaign;
+use crate::report::{render_parts, render_record, JobMetrics, JobRecord};
+use crate::spec::{Campaign, JobSpec};
 use dramctrl_kernel::fsio::DurableAppender;
 use dramctrl_kernel::snap::fingerprint;
 use std::collections::BTreeMap;
@@ -253,6 +253,51 @@ impl CampaignJournal {
             .insert(record.job.index, record.outcome.clone());
         test_kill_hook();
         Ok(true)
+    }
+
+    /// Commits a batch of finished jobs with one fsync: every record's
+    /// line is rendered from borrows (no [`JobRecord`] construction) and
+    /// appended, then a single sync is the whole batch's commit point.
+    /// Already-journaled indices are skipped (keep-first, as
+    /// [`commit`](Self::commit)); the journal's bytes are exactly what the
+    /// same records committed one-by-one would have written.
+    ///
+    /// With group commit enabled ([`set_group_commit`](Self::set_group_commit))
+    /// the *window* supersedes per-batch syncing: the batch's lines are
+    /// written immediately but only fsync'd when the window closes (or on
+    /// [`sync`](Self::sync)). Both paths share the appender's single dirty
+    /// flag, so there is no double buffering — one fsync always covers
+    /// everything written since the last one.
+    ///
+    /// A process killed mid-batch (after some appends, before the sync)
+    /// leaves complete record lines plus at most one torn tail —
+    /// [`resume`](Self::resume) replays the prefix and re-runs the rest.
+    ///
+    /// Returns how many records were newly appended.
+    ///
+    /// # Errors
+    /// Any I/O error from appending or syncing; the batch is then *not*
+    /// committed (some lines may be on disk, which resume handles as
+    /// above) and its jobs must be treated as not done.
+    pub fn commit_batch<'a, I>(&mut self, records: I) -> io::Result<usize>
+    where
+        I: IntoIterator<Item = (&'a JobSpec, &'a JobOutcome)>,
+    {
+        let mut appended = 0;
+        for (job, outcome) in records {
+            if self.completed.contains_key(&job.index) {
+                continue;
+            }
+            let line = render_parts(&self.campaign_name, job, outcome);
+            self.appender.append_line_deferred(&line)?;
+            self.completed.insert(job.index, outcome.clone());
+            test_kill_hook();
+            appended += 1;
+        }
+        if appended > 0 {
+            self.appender.commit_batch()?;
+        }
+        Ok(appended)
     }
 
     /// Switches the journal to group commit: appends within `window` of

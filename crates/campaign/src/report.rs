@@ -216,8 +216,14 @@ impl CampaignReport {
 /// produces — resuming a crashed sweep can merge journaled and freshly
 /// computed records into one byte-identical report.
 pub(crate) fn render_record(campaign_name: &str, r: &JobRecord) -> String {
+    render_parts(campaign_name, &r.job, &r.outcome)
+}
+
+/// [`render_record`] over borrowed parts: the journal's batched commit
+/// path renders straight from the executor's job table and outcome
+/// channel without cloning either into a [`JobRecord`].
+pub(crate) fn render_parts(campaign_name: &str, j: &JobSpec, outcome: &JobOutcome) -> String {
     let mut out = String::new();
-    let j = &r.job;
     write!(
         out,
         "{{\"campaign\":{},\"job\":{},\"seed\":{},\"device\":{},\"model\":{},\
@@ -238,7 +244,7 @@ pub(crate) fn render_record(campaign_name: &str, r: &JobRecord) -> String {
         json_f64(j.error_rate),
     )
     .expect("writing to String cannot fail");
-    match &r.outcome {
+    match outcome {
         JobOutcome::Completed { metrics, attempts } => {
             write!(
                 out,

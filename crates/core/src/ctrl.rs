@@ -179,6 +179,24 @@ pub struct DramCtrl<P: Probe = NoProbe> {
     fault: Option<FaultModel>,
 }
 
+/// The fault model a configuration's RAS section implies (`None` without
+/// RAS). Shared by construction and [`DramCtrl::reset`], which must seed
+/// identically.
+fn fault_for(cfg: &CtrlConfig) -> Option<FaultModel> {
+    let org = &cfg.spec.org;
+    cfg.ras.clone().map(|ras| {
+        FaultModel::new(
+            ras,
+            RasGeometry {
+                ranks: org.ranks,
+                banks: org.banks,
+                row_bytes: org.row_buffer_bytes(),
+                rank_bytes: org.capacity_bytes() / u64::from(org.ranks),
+            },
+        )
+    })
+}
+
 impl DramCtrl {
     /// Creates an uninstrumented controller for the given configuration.
     ///
@@ -187,6 +205,45 @@ impl DramCtrl {
     /// [`CtrlConfig::validate`]).
     pub fn new(cfg: CtrlConfig) -> Result<Self, ConfigError> {
         Self::with_probe(cfg, NoProbe)
+    }
+
+    /// Returns the controller to its just-constructed state while keeping
+    /// its allocations (event heap, queue arenas, group arena) — the
+    /// per-worker reuse path for campaigns of short jobs, where rebuilding
+    /// these structures would otherwise dominate sub-millisecond runs.
+    ///
+    /// Behaviour after `reset` is byte-identical to a fresh
+    /// [`new`](Self::new) with the same configuration: every piece of
+    /// mutable state is returned to its constructed value, the refresh
+    /// events are re-scheduled, and the fault model (if any) is re-seeded
+    /// from the configuration. The watchdog is disarmed — re-arm it with
+    /// [`set_tick_budget`](Self::set_tick_budget) if needed. Only offered
+    /// on uninstrumented controllers; a probe's recordings are not
+    /// rewindable.
+    pub fn reset(&mut self) {
+        for r in &mut self.ranks {
+            *r = Rank::new(self.cfg.spec.org.banks, self.cfg.spec.timing.t_refi);
+        }
+        self.events.reset();
+        for (i, r) in self.ranks.iter().enumerate() {
+            if r.refresh_due != Tick::MAX {
+                self.events.schedule(r.refresh_due, Ev::Refresh(i as u32));
+            }
+        }
+        self.read_q.reset();
+        self.write_q.reset();
+        self.groups.clear();
+        self.bus_state = BusState::Read;
+        self.last_burst_read = None;
+        self.bus_busy_until = 0;
+        self.writes_this_switch = 0;
+        self.next_req_scheduled = false;
+        self.draining = false;
+        self.pd_drain = false;
+        self.pd_check_scheduled = false;
+        self.last_activity = 0;
+        self.stats = CtrlStats::default();
+        self.fault = fault_for(&self.cfg);
     }
 
     /// Creates a controller that schedules with the original linear queue
@@ -235,17 +292,7 @@ impl<P: Probe> DramCtrl<P> {
         let read_q = SchedQueue::new(org.ranks, org.banks, cfg.read_buffer_size);
         let write_q = SchedQueue::new(org.ranks, org.banks, cfg.write_buffer_size);
         let groups = GroupArena::with_capacity(cfg.read_buffer_size);
-        let fault = cfg.ras.clone().map(|ras| {
-            FaultModel::new(
-                ras,
-                RasGeometry {
-                    ranks: org.ranks,
-                    banks: org.banks,
-                    row_bytes: org.row_buffer_bytes(),
-                    rank_bytes: org.capacity_bytes() / u64::from(org.ranks),
-                },
-            )
-        });
+        let fault = fault_for(&cfg);
         Ok(Self {
             cfg,
             probe,
@@ -907,6 +954,9 @@ impl<P: Probe> DramCtrl<P> {
                         self.probe
                             .dram_cmd(CmdEvent::pre(ri as u32, bi as u32, pre_at, t.t_rp));
                     }
+                    let fb = self.read_q.flat_bank(ri as u32, bi as u32);
+                    self.read_q.set_open_row(fb, None);
+                    self.write_q.set_open_row(fb, None);
                 }
             }
             let rank = &mut self.ranks[ri];
@@ -987,18 +1037,21 @@ impl<P: Probe> DramCtrl<P> {
     ///
     /// Answered from the queue indices instead of scanning packets:
     ///
-    /// * the QoS top class and the FCFS pick come straight from the order
-    ///   index (O(log n));
-    /// * FR-FCFS row hits can only live in banks with an open row, so pass
-    ///   one probes those banks' per-row candidate lists — the oldest
-    ///   candidate over open banks is exactly the first hit a FIFO scan
-    ///   would find;
+    /// * the QoS top class and the FCFS pick come from the per-class
+    ///   intrusive lists (O(1));
+    /// * the FR-FCFS first pass reads the oldest entry of the top class
+    ///   from the queue's open-row hit index — maintained incrementally on
+    ///   enqueue/dequeue and on every activate/precharge the controller
+    ///   announces via `set_open_row` — which is exactly the first hit a
+    ///   FIFO scan would find, in O(log hits) with no bank iteration;
     /// * with no eligible hit, `estimate_col_at` is row-independent for
     ///   every remaining packet of a bank (they all miss), so pass two
-    ///   evaluates one per-bank candidate and minimises by
-    ///   (estimate, age) — reproducing the scan's first-wins minimum.
+    ///   evaluates one candidate per *non-empty* bank (bitmask-guided) and
+    ///   minimises by (estimate, age) — reproducing the scan's first-wins
+    ///   minimum.
     ///
-    /// Both passes are O(banks · log n) instead of O(queue depth).
+    /// Selection cost is O(log hits + occupied banks), independent of
+    /// queue depth and of the device's total bank count.
     fn choose_next(&self, is_read: bool, now: Tick) -> u32 {
         #[cfg(any(test, feature = "ref-model"))]
         if self.use_reference {
@@ -1012,33 +1065,22 @@ impl<P: Probe> DramCtrl<P> {
         match self.cfg.scheduling {
             SchedPolicy::Fcfs => queue.first_in_order().expect("non-empty"),
             SchedPolicy::FrFcfs => {
-                // First ready: prefer the oldest row hit in the class.
-                let mut hit_seq = u64::MAX;
-                let mut hit_slot = 0;
-                for (ri, rank) in self.ranks.iter().enumerate() {
-                    for (bi, bank) in rank.banks.iter().enumerate() {
-                        let Some(row) = bank.open_row else { continue };
-                        let b = queue.flat_bank(ri as u32, bi as u32);
-                        if let Some((seq, slot)) = queue.row_candidate(b, row, top) {
-                            if seq < hit_seq {
-                                hit_seq = seq;
-                                hit_slot = slot;
-                            }
-                        }
-                    }
-                }
-                if hit_seq != u64::MAX {
-                    return hit_slot;
+                // First ready: the oldest row hit in the class, answered by
+                // the queue's incrementally maintained hit index — no bank
+                // iteration, independent of depth and geometry.
+                if let Some((_, slot)) = queue.best_row_hit(top) {
+                    return slot;
                 }
                 // No row hits: the packet whose bank can deliver data
-                // soonest (first available bank), FCFS on ties.
+                // soonest (first available bank), FCFS on ties. Only banks
+                // with queued packets are probed, in ascending flat-bank
+                // order (the order the full scan visited them).
                 let mut best = None;
                 let mut best_at = Tick::MAX;
                 let mut best_seq = u64::MAX;
-                let flat_banks = self.ranks.len() as u32 * self.cfg.spec.org.banks;
-                for b in 0..flat_banks {
+                queue.for_each_nonempty_bank(|b| {
                     let Some((seq, slot)) = queue.bank_candidate(b, top) else {
-                        continue;
+                        return;
                     };
                     let at = self.estimate_col_at(queue.get(slot), now);
                     if at < best_at || (at == best_at && seq < best_seq) {
@@ -1046,7 +1088,7 @@ impl<P: Probe> DramCtrl<P> {
                         best_seq = seq;
                         best = Some(slot);
                     }
-                }
+                });
                 best.expect("some candidate in a non-empty queue")
             }
         }
@@ -1208,6 +1250,11 @@ impl<P: Probe> DramCtrl<P> {
                     t.t_rcd,
                 ));
             }
+            // One transition covers the conflict precharge + activate:
+            // the queues' hit indices track the row now open.
+            let fb = self.read_q.flat_bank(pkt.da.rank, pkt.da.bank);
+            self.read_q.set_open_row(fb, Some(pkt.da.row));
+            self.write_q.set_open_row(fb, Some(pkt.da.row));
         } else if pkt.is_read {
             self.stats.rd_row_hits += 1;
         } else {
@@ -1297,6 +1344,9 @@ impl<P: Probe> DramCtrl<P> {
                 self.probe
                     .dram_cmd(CmdEvent::pre(pkt.da.rank, pkt.da.bank, pre_at, t.t_rp));
             }
+            let fb = self.read_q.flat_bank(pkt.da.rank, pkt.da.bank);
+            self.read_q.set_open_row(fb, None);
+            self.write_q.set_open_row(fb, None);
         }
 
         // Fold bank open/close deltas that are now in the past.
@@ -1342,6 +1392,9 @@ impl<P: Probe> DramCtrl<P> {
                     self.probe
                         .dram_cmd(CmdEvent::pre(rank_idx as u32, bi as u32, pre_at, t.t_rp));
                 }
+                let fb = self.read_q.flat_bank(rank_idx as u32, bi as u32);
+                self.read_q.set_open_row(fb, None);
+                self.write_q.set_open_row(fb, None);
             } else {
                 start = start.max(bank.act_allowed_at);
             }
@@ -1473,6 +1526,16 @@ impl<P: Probe> SnapState for DramCtrl<P> {
         }
         for rank in &mut self.ranks {
             rank.restore_state(r)?;
+        }
+        // The queues restore with an all-closed open-row mirror; re-announce
+        // the restored banks' open rows so the FR-FCFS hit index is exact.
+        for ri in 0..self.ranks.len() {
+            for bi in 0..self.ranks[ri].banks.len() {
+                let row = self.ranks[ri].banks[bi].open_row;
+                let fb = self.read_q.flat_bank(ri as u32, bi as u32);
+                self.read_q.set_open_row(fb, row);
+                self.write_q.set_open_row(fb, row);
+            }
         }
         self.bus_state = match r.u8()? {
             0 => BusState::Read,

@@ -122,6 +122,12 @@ impl GroupArena {
         g
     }
 
+    /// Drops every group and the free list, keeping both allocations.
+    pub fn clear(&mut self) {
+        self.slots.clear();
+        self.free.clear();
+    }
+
     #[cfg(test)]
     pub fn live(&self) -> usize {
         self.slots.iter().filter(|s| s.is_some()).count()

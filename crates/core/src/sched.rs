@@ -19,25 +19,35 @@
 //!   O(1) slot recycling instead of `VecDeque::remove`'s memmove);
 //! * a monotonically increasing per-queue *sequence number* stamped on
 //!   every packet, so FCFS age survives arbitrary removal order;
-//! * `by_order` — a `BTreeMap` keyed `(255 - priority, seq)`, whose first
-//!   entry is the oldest packet of the highest QoS class (the FCFS pick and
-//!   the QoS first level, O(log n));
-//! * `by_bank` — per-(rank, bank) sorted candidate lists, so FR-FCFS
-//!   probes only banks instead of packets (O(banks · log n) per decision);
-//! * `by_row` — per-(rank, bank, row) sorted candidate lists, so row-hit
-//!   detection and the adaptive page policies' `queued_to_row` are point
-//!   lookups;
+//! * per-priority-class intrusive FIFO lists threaded through the slot
+//!   arena — sequence numbers are stamped monotonically, so enqueue is a
+//!   tail append and dequeue an O(1) unlink, making the FCFS pick and the
+//!   QoS top class O(1) with no allocation (this replaced an earlier
+//!   `BTreeMap` order index whose node churn dominated deep queues);
+//! * `by_bank` — per-(rank, bank) sorted candidate lists plus a bank
+//!   occupancy bitmask, so FR-FCFS probes only *non-empty* banks instead
+//!   of packets (O(occupied banks) per decision);
+//! * `by_row` — per-(rank, bank, row) sorted candidate lists (backed by a
+//!   recycled-`Vec` pool so row churn never hits the allocator), so
+//!   row-hit detection and the adaptive page policies' `queued_to_row`
+//!   are point lookups;
+//! * `hits` — an incrementally maintained set of the queued packets whose
+//!   target row is *currently open* in their bank, updated on
+//!   enqueue/dequeue and on every activate/precharge the controller
+//!   reports via [`set_open_row`](SchedQueue::set_open_row). The oldest
+//!   row hit of the top QoS class — the FR-FCFS first pass — is one
+//!   ordered-set lookup, independent of queue depth and bank count;
 //! * a [`WriteCoverage`] multiset for O(1) write snooping.
 //!
-//! Determinism: `BTreeMap` orders by key; the hash maps use the fixed-seed
-//! hasher from [`dramctrl_kernel::hash`] and are only probed point-wise.
-//! No iteration order can differ between runs or leak into scheduling.
-//! The scan implementations survive behind
-//! `#[cfg(any(test, feature = "ref-model"))]` in `ctrl.rs`, and the
-//! differential harness (`diff.rs`) proves both produce byte-identical
-//! results.
+//! Determinism: the intrusive lists and sorted vectors order by
+//! `(priority, seq)`; the hash maps use the fixed-seed hasher from
+//! [`dramctrl_kernel::hash`] and are only probed point-wise. No iteration
+//! order can differ between runs or leak into scheduling. The scan
+//! implementations survive behind `#[cfg(any(test, feature =
+//! "ref-model"))]` in `ctrl.rs`, and the differential harness (`diff.rs`)
+//! proves both produce byte-identical results.
 
-use std::collections::BTreeMap;
+use std::collections::BTreeSet;
 
 use dramctrl_kernel::hash::DetMap;
 use dramctrl_kernel::snap::{SnapError, SnapReader, SnapWriter};
@@ -47,11 +57,21 @@ use crate::queue::{read_packet, save_packet, DramPacket};
 
 /// Sort key of a queued packet: QoS-descending, then age-ascending.
 ///
-/// `255 - priority` makes the natural ascending order of `BTreeMap` and
-/// sorted vectors yield the highest-priority, oldest packet first.
+/// `255 - priority` makes the natural ascending order of sorted vectors
+/// and ordered sets yield the highest-priority, oldest packet first.
 #[inline]
 fn order_key(pkt: &DramPacket) -> (u8, u64) {
     (255 - pkt.priority, pkt.seq)
+}
+
+/// Sentinel for "no slot" in the intrusive per-class lists.
+const NIL: u32 = u32::MAX;
+
+/// Intrusive FIFO links of one queued packet within its priority class.
+#[derive(Debug, Clone, Copy)]
+struct Link {
+    prev: u32,
+    next: u32,
 }
 
 /// A sorted candidate list for one bank (or one row of one bank):
@@ -98,15 +118,33 @@ impl Bucket {
 #[derive(Debug)]
 pub(crate) struct SchedQueue {
     slots: Vec<Option<DramPacket>>,
+    /// Intrusive per-class FIFO links, parallel to `slots`.
+    links: Vec<Link>,
     free: Vec<u32>,
     next_seq: u64,
+    len: usize,
     banks_per_rank: u32,
-    /// (255 - priority, seq) → slot, over all queued packets.
-    by_order: BTreeMap<(u8, u64), u32>,
+    /// Head/tail slot of each priority class's FIFO list (`NIL` if empty).
+    class_head: Box<[u32; 256]>,
+    class_tail: Box<[u32; 256]>,
+    /// Bit `p` set iff priority class `p` has queued packets.
+    class_mask: [u64; 4],
     /// Flat bank id → candidates in that bank.
     by_bank: Vec<Bucket>,
+    /// Bit `b` set iff flat bank `b` has queued packets.
+    bank_mask: Vec<u64>,
     /// (flat bank id, row) → candidates for that row.
     by_row: DetMap<(u32, u64), Bucket>,
+    /// Emptied row buckets kept for reuse, so steady-state row churn does
+    /// not allocate.
+    spare_buckets: Vec<Bucket>,
+    /// Mirror of each flat bank's open row, driven by
+    /// [`set_open_row`](Self::set_open_row).
+    open_rows: Vec<Option<u64>>,
+    /// `(255 - priority, seq, slot)` of every queued packet whose target
+    /// row is currently open in its bank — the FR-FCFS first-pass
+    /// candidates, kept consistent on enqueue/dequeue/activate/precharge.
+    hits: BTreeSet<(u8, u64, u32)>,
     /// Byte-span coverage of queued writes (empty for the read queue).
     coverage: WriteCoverage,
 }
@@ -115,16 +153,58 @@ impl SchedQueue {
     /// Creates a queue for a device with `ranks` × `banks_per_rank` banks,
     /// pre-sized for `capacity` packets.
     pub fn new(ranks: u32, banks_per_rank: u32, capacity: usize) -> Self {
+        let flat = (ranks * banks_per_rank) as usize;
         Self {
             slots: Vec::with_capacity(capacity),
+            links: Vec::with_capacity(capacity),
             free: Vec::with_capacity(capacity),
             next_seq: 0,
+            len: 0,
             banks_per_rank,
-            by_order: BTreeMap::new(),
-            by_bank: vec![Bucket::default(); (ranks * banks_per_rank) as usize],
+            class_head: Box::new([NIL; 256]),
+            class_tail: Box::new([NIL; 256]),
+            class_mask: [0; 4],
+            by_bank: vec![Bucket::default(); flat],
+            bank_mask: vec![0; flat.div_ceil(64)],
             by_row: DetMap::default(),
+            spare_buckets: Vec::new(),
+            open_rows: vec![None; flat],
+            hits: BTreeSet::new(),
             coverage: WriteCoverage::default(),
         }
+    }
+
+    /// Clears every slot and derived index while keeping the allocations
+    /// (slot arena, links, bank buckets, masks). Shared by
+    /// [`reset`](Self::reset) and [`restore_state`](Self::restore_state),
+    /// which must agree on what "empty" means.
+    fn clear_to_empty(&mut self) {
+        self.slots.clear();
+        self.links.clear();
+        self.free.clear();
+        self.len = 0;
+        *self.class_head = [NIL; 256];
+        *self.class_tail = [NIL; 256];
+        self.class_mask = [0; 4];
+        for bucket in &mut self.by_bank {
+            bucket.entries.clear();
+        }
+        for word in &mut self.bank_mask {
+            *word = 0;
+        }
+        self.by_row.clear();
+        self.open_rows.fill(None);
+        self.hits.clear();
+        self.coverage = WriteCoverage::default();
+    }
+
+    /// Returns the queue to its just-constructed state — byte-identical
+    /// behaviour to a fresh [`new`](Self::new) with the same geometry —
+    /// while keeping its allocations, so a worker thread can run many
+    /// short jobs without rebuilding the arena each time.
+    pub fn reset(&mut self) {
+        self.clear_to_empty();
+        self.next_seq = 0;
     }
 
     /// Flat bank id of a packet's (rank, bank).
@@ -135,12 +215,52 @@ impl SchedQueue {
 
     /// Number of queued packets (the queue depth in bursts).
     pub fn len(&self) -> usize {
-        self.by_order.len()
+        self.len
     }
 
     /// Whether the queue is empty.
     pub fn is_empty(&self) -> bool {
-        self.by_order.is_empty()
+        self.len == 0
+    }
+
+    /// Appends `slot` to its priority class's FIFO list. Sequence numbers
+    /// are stamped monotonically, so a tail append keeps the list
+    /// age-sorted.
+    #[inline]
+    fn list_push_back(&mut self, prio: u8, slot: u32) {
+        let p = prio as usize;
+        let tail = self.class_tail[p];
+        self.links[slot as usize] = Link {
+            prev: tail,
+            next: NIL,
+        };
+        if tail == NIL {
+            self.class_head[p] = slot;
+            self.class_mask[p >> 6] |= 1 << (p & 63);
+        } else {
+            self.links[tail as usize].next = slot;
+        }
+        self.class_tail[p] = slot;
+    }
+
+    /// Unlinks `slot` from its priority class's FIFO list in O(1).
+    #[inline]
+    fn list_unlink(&mut self, prio: u8, slot: u32) {
+        let p = prio as usize;
+        let Link { prev, next } = self.links[slot as usize];
+        if prev == NIL {
+            self.class_head[p] = next;
+        } else {
+            self.links[prev as usize].next = next;
+        }
+        if next == NIL {
+            self.class_tail[p] = prev;
+        } else {
+            self.links[next as usize].prev = prev;
+        }
+        if self.class_head[p] == NIL {
+            self.class_mask[p >> 6] &= !(1 << (p & 63));
+        }
     }
 
     /// Enqueues `pkt`, stamping its sequence number; returns its slot.
@@ -150,6 +270,7 @@ impl SchedQueue {
         let key = order_key(&pkt);
         let b = self.flat_bank(pkt.da.rank, pkt.da.bank);
         let row = pkt.da.row;
+        let prio = pkt.priority;
         if !pkt.is_read {
             self.coverage.insert(pkt.burst_addr, pkt.lo, pkt.hi);
         }
@@ -160,12 +281,30 @@ impl SchedQueue {
             }
             None => {
                 self.slots.push(Some(pkt));
+                self.links.push(Link {
+                    prev: NIL,
+                    next: NIL,
+                });
                 (self.slots.len() - 1) as u32
             }
         };
-        self.by_order.insert(key, slot);
-        self.by_bank[b as usize].insert(key, slot);
-        self.by_row.entry((b, row)).or_default().insert(key, slot);
+        self.list_push_back(prio, slot);
+        let bank_bucket = &mut self.by_bank[b as usize];
+        if bank_bucket.entries.is_empty() {
+            self.bank_mask[(b >> 6) as usize] |= 1 << (b & 63);
+        }
+        bank_bucket.insert(key, slot);
+        match self.by_row.entry((b, row)) {
+            std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+            std::collections::hash_map::Entry::Vacant(v) => {
+                v.insert(self.spare_buckets.pop().unwrap_or_default())
+            }
+        }
+        .insert(key, slot);
+        if self.open_rows[b as usize] == Some(row) {
+            self.hits.insert((key.0, key.1, slot));
+        }
+        self.len += 1;
         slot
     }
 
@@ -183,35 +322,107 @@ impl SchedQueue {
         self.free.push(slot);
         let key = order_key(&pkt);
         let b = self.flat_bank(pkt.da.rank, pkt.da.bank);
-        self.by_order.remove(&key);
-        self.by_bank[b as usize].remove(key, slot);
+        self.list_unlink(pkt.priority, slot);
+        let bank_bucket = &mut self.by_bank[b as usize];
+        bank_bucket.remove(key, slot);
+        if bank_bucket.entries.is_empty() {
+            self.bank_mask[(b >> 6) as usize] &= !(1 << (b & 63));
+        }
         let bucket = self
             .by_row
             .get_mut(&(b, pkt.da.row))
             .expect("row bucket for queued packet");
         bucket.remove(key, slot);
         if bucket.len() == 0 {
-            self.by_row.remove(&(b, pkt.da.row));
+            let bucket = self
+                .by_row
+                .remove(&(b, pkt.da.row))
+                .expect("bucket looked up above");
+            self.spare_buckets.push(bucket);
+        }
+        if self.open_rows[b as usize] == Some(pkt.da.row) {
+            self.hits.remove(&(key.0, key.1, slot));
         }
         if !pkt.is_read {
             self.coverage.remove(pkt.burst_addr, pkt.lo, pkt.hi);
         }
+        self.len -= 1;
         pkt
     }
 
     /// Highest QoS priority present in the queue.
     pub fn top_priority(&self) -> Option<u8> {
-        self.by_order.first_key_value().map(|((ip, _), _)| 255 - ip)
+        for (w, &word) in self.class_mask.iter().enumerate().rev() {
+            if word != 0 {
+                return Some((w as u8) * 64 + (63 - word.leading_zeros() as u8));
+            }
+        }
+        None
     }
 
     /// Slot of the oldest packet of the highest priority class (the FCFS
     /// pick).
     pub fn first_in_order(&self) -> Option<u32> {
-        self.by_order.first_key_value().map(|(_, &slot)| slot)
+        self.top_priority()
+            .map(|p| self.class_head[p as usize])
+            .filter(|&s| s != NIL)
+    }
+
+    /// Records that flat bank `b`'s open row changed (activate, precharge
+    /// or refresh/power-down closure): packets queued to the previously
+    /// open row leave the hit set, packets queued to the newly open row
+    /// join it. The controller calls this on every row transition, which
+    /// is what keeps [`best_row_hit`](Self::best_row_hit) depth- and
+    /// bank-count-independent.
+    pub fn set_open_row(&mut self, b: u32, row: Option<u64>) {
+        let old = self.open_rows[b as usize];
+        if old == row {
+            return;
+        }
+        if let Some(r) = old {
+            if let Some(bucket) = self.by_row.get(&(b, r)) {
+                for e in &bucket.entries {
+                    self.hits.remove(e);
+                }
+            }
+        }
+        self.open_rows[b as usize] = row;
+        if let Some(r) = row {
+            if let Some(bucket) = self.by_row.get(&(b, r)) {
+                for e in &bucket.entries {
+                    self.hits.insert(*e);
+                }
+            }
+        }
+    }
+
+    /// Oldest `(seq, slot)` of priority `prio` whose target row is open in
+    /// its bank — the FR-FCFS first pass, answered in O(log hits) without
+    /// touching the banks.
+    pub fn best_row_hit(&self, prio: u8) -> Option<(u64, u32)> {
+        let ip = 255 - prio;
+        match self.hits.range((ip, 0, 0)..).next() {
+            Some(&(p, seq, slot)) if p == ip => Some((seq, slot)),
+            _ => None,
+        }
+    }
+
+    /// Calls `f` for every flat bank with queued packets, in ascending
+    /// bank order (the order the miss-pass scan used).
+    pub fn for_each_nonempty_bank(&self, mut f: impl FnMut(u32)) {
+        for (w, &word) in self.bank_mask.iter().enumerate() {
+            let mut bits = word;
+            while bits != 0 {
+                f((w as u32) * 64 + bits.trailing_zeros());
+                bits &= bits - 1;
+            }
+        }
     }
 
     /// Oldest `(seq, slot)` of priority `prio` queued to `row` of the flat
-    /// bank `b`, if any — the FR-FCFS row-hit probe.
+    /// bank `b`, if any. Superseded in the scheduler by the incremental
+    /// hit index ([`best_row_hit`](Self::best_row_hit)); kept for tests.
+    #[cfg(test)]
     pub fn row_candidate(&self, b: u32, row: u64, prio: u8) -> Option<(u64, u32)> {
         self.by_row.get(&(b, row))?.first_of(255 - prio)
     }
@@ -239,9 +450,10 @@ impl SchedQueue {
     }
 
     /// Writes the queue: slot contents, the free list and the sequence
-    /// counter. The derived indices (`by_order`, `by_bank`, `by_row`,
-    /// `coverage`) are pure functions of the live packets and are rebuilt
-    /// on restore rather than serialised.
+    /// counter. The derived indices (class lists, `by_bank`, `by_row`,
+    /// `hits`, `coverage`) are pure functions of the live packets and the
+    /// controller's bank state and are rebuilt on restore rather than
+    /// serialised.
     pub fn save_state(&self, w: &mut SnapWriter) {
         w.u64(self.next_seq);
         w.usize(self.slots.len());
@@ -262,20 +474,21 @@ impl SchedQueue {
 
     /// Restores a queue written by [`save_state`](Self::save_state),
     /// rebuilding every index. The bank geometry is configuration and must
-    /// match the snapshot's packets.
+    /// match the snapshot's packets. The open-row mirror resets to
+    /// all-closed; the controller re-announces open rows via
+    /// [`set_open_row`](Self::set_open_row) after restoring its banks.
     pub fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
         self.next_seq = r.u64()?;
         let n_slots = r.usize()?;
-        self.slots.clear();
-        self.by_order.clear();
-        for bucket in &mut self.by_bank {
-            bucket.entries.clear();
-        }
-        self.by_row.clear();
-        self.coverage = WriteCoverage::default();
+        self.clear_to_empty();
+        let mut order: Vec<(u64, u8, u32)> = Vec::new();
         for slot in 0..n_slots {
             if !r.bool()? {
                 self.slots.push(None);
+                self.links.push(Link {
+                    prev: NIL,
+                    next: NIL,
+                });
                 continue;
             }
             let pkt = read_packet(r)?;
@@ -292,12 +505,12 @@ impl SchedQueue {
                     "packet bank {b} outside device geometry"
                 )));
             }
-            if self.by_order.insert(key, slot as u32).is_some() {
-                return Err(SnapError::Corrupt(format!(
-                    "duplicate (priority, seq) key {key:?}"
-                )));
+            order.push((pkt.seq, pkt.priority, slot as u32));
+            let bank_bucket = &mut self.by_bank[b as usize];
+            if bank_bucket.entries.is_empty() {
+                self.bank_mask[(b >> 6) as usize] |= 1 << (b & 63);
             }
-            self.by_bank[b as usize].insert(key, slot as u32);
+            bank_bucket.insert(key, slot as u32);
             self.by_row
                 .entry((b, pkt.da.row))
                 .or_default()
@@ -306,9 +519,27 @@ impl SchedQueue {
                 self.coverage.insert(pkt.burst_addr, pkt.lo, pkt.hi);
             }
             self.slots.push(Some(pkt));
+            self.links.push(Link {
+                prev: NIL,
+                next: NIL,
+            });
+            self.len += 1;
+        }
+        // Rebuild the per-class FIFO lists in age order; duplicate
+        // sequence numbers cannot come from a saved queue.
+        order.sort_unstable();
+        for pair in order.windows(2) {
+            if pair[0].0 == pair[1].0 {
+                return Err(SnapError::Corrupt(format!(
+                    "duplicate packet seq {}",
+                    pair[0].0
+                )));
+            }
+        }
+        for &(_, prio, slot) in &order {
+            self.list_push_back(prio, slot);
         }
         let n_free = r.usize()?;
-        self.free.clear();
         for _ in 0..n_free {
             let f = r.u32()?;
             if self.slots.get(f as usize).map_or(true, Option::is_some) {
@@ -415,6 +646,71 @@ mod tests {
         assert_eq!(q.bank_len(b), 3);
         assert!(q.row_candidate(b, 8, 0).is_none());
         assert!(q.bank_candidate(b, 1).is_none(), "no priority-1 packets");
+    }
+
+    #[test]
+    fn hit_index_tracks_enqueue_dequeue_and_row_transitions() {
+        let mut q = q();
+        let b = q.flat_bank(0, 3);
+        // No open rows: nothing hits.
+        let a = q.push(pkt(true, 0, 3, 7, 0));
+        assert_eq!(q.best_row_hit(0), None);
+        // Activate row 7: the queued packet becomes the hit.
+        q.set_open_row(b, Some(7));
+        let (seq_a, slot_a) = q.best_row_hit(0).expect("hit after activate");
+        assert_eq!(slot_a, a);
+        // A younger packet to the same open row does not displace it.
+        let _a2 = q.push(pkt(true, 0, 3, 7, 0));
+        assert_eq!(q.best_row_hit(0).unwrap(), (seq_a, slot_a));
+        // Enqueue to a different (closed) row: not a hit.
+        q.push(pkt(true, 0, 3, 9, 0));
+        assert_eq!(q.best_row_hit(0).unwrap(), (seq_a, slot_a));
+        // Precharge removes both row-7 packets from the hit set.
+        q.set_open_row(b, None);
+        assert_eq!(q.best_row_hit(0), None);
+        // Re-activate row 9: the row-9 packet hits now.
+        q.set_open_row(b, Some(9));
+        let (_, slot9) = q.best_row_hit(0).expect("row 9 open");
+        assert_eq!(q.get(slot9).da.row, 9);
+        // Taking the hit empties the set again.
+        q.take(slot9);
+        assert_eq!(q.best_row_hit(0), None);
+        // Redundant transitions are no-ops.
+        q.set_open_row(b, Some(9));
+        assert_eq!(q.best_row_hit(0), None);
+    }
+
+    #[test]
+    fn hit_index_respects_priority_classes() {
+        let mut q = q();
+        let b = q.flat_bank(0, 0);
+        q.set_open_row(b, Some(5));
+        let lo = q.push(pkt(true, 0, 0, 5, 0));
+        let hi = q.push(pkt(true, 0, 0, 5, 3));
+        // Per class: the class-3 hit is the younger packet, the class-0
+        // hit the older one; a class with no hits reports none.
+        assert_eq!(q.best_row_hit(3).unwrap().1, hi);
+        assert_eq!(q.best_row_hit(0).unwrap().1, lo);
+        assert_eq!(q.best_row_hit(1), None);
+    }
+
+    #[test]
+    fn nonempty_bank_iteration_matches_occupancy() {
+        let mut q = q();
+        let collect = |q: &SchedQueue| {
+            let mut v = Vec::new();
+            q.for_each_nonempty_bank(|b| v.push(b));
+            v
+        };
+        assert!(collect(&q).is_empty());
+        let a = q.push(pkt(true, 0, 2, 1, 0));
+        q.push(pkt(true, 1, 7, 2, 0));
+        q.push(pkt(false, 1, 7, 3, 0));
+        let b07 = q.flat_bank(0, 2);
+        let b17 = q.flat_bank(1, 7);
+        assert_eq!(collect(&q), vec![b07, b17], "ascending flat bank order");
+        q.take(a);
+        assert_eq!(collect(&q), vec![b17], "emptied bank drops out");
     }
 
     #[test]

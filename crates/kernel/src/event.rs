@@ -213,6 +213,16 @@ impl<E> EventQueue<E> {
         self.heap.clear();
     }
 
+    /// Returns the queue to its just-constructed state — no pending
+    /// events, `now() == 0`, sequence counter rewound, watchdog disarmed
+    /// — while keeping the heap's allocation.
+    pub fn reset(&mut self) {
+        self.heap.clear();
+        self.seq = 0;
+        self.now = 0;
+        self.budget = None;
+    }
+
     /// Appends the queue's full state — current time, the sequence
     /// counter, the watchdog budget and every pending entry — to a
     /// snapshot. Entries are written in pop order, i.e. sorted by

@@ -154,6 +154,47 @@ impl DurableAppender {
         }
     }
 
+    /// Appends `line` plus a newline *without* forcing a sync: the bytes
+    /// hit the file (a complete line, so a reader never sees a torn
+    /// record from a live process) and the appender is marked dirty. The
+    /// caller batches several of these and then calls
+    /// [`commit_batch`](Self::commit_batch) — one fsync covers them all.
+    ///
+    /// # Errors
+    /// Any I/O error from writing.
+    pub fn append_line_deferred(&mut self, line: &str) -> io::Result<()> {
+        self.file.write_all(line.as_bytes())?;
+        self.file.write_all(b"\n")?;
+        self.batch_start.get_or_insert_with(Instant::now);
+        Ok(())
+    }
+
+    /// Closes a batch of [`append_line_deferred`](Self::append_line_deferred)
+    /// calls: fsyncs now if the appender is dirty — *unless* a group-commit
+    /// window is set and still open, in which case the batch stays pending
+    /// and rides the window's sync. Batching and group commit share the one
+    /// dirty flag (`batch_start`), so they compose without double
+    /// buffering: the wider interval wins, and a single fsync covers
+    /// everything written since the last one.
+    ///
+    /// # Errors
+    /// Any I/O error from syncing.
+    pub fn commit_batch(&mut self) -> io::Result<()> {
+        match (self.batch_start, self.group_window) {
+            (None, _) => Ok(()),
+            (Some(start), Some(window)) if start.elapsed() < window => Ok(()),
+            _ => self.sync(),
+        }
+    }
+
+    /// Whether appended bytes are still awaiting their fsync — a batch
+    /// opened by [`append_line_deferred`](Self::append_line_deferred) or
+    /// an open group-commit window. On-disk lines are complete either
+    /// way; pending only means a crash could lose the tail.
+    pub fn has_pending_batch(&self) -> bool {
+        self.batch_start.is_some()
+    }
+
     /// Fsyncs now, closing any open group-commit batch. A no-op when
     /// nothing is pending is still just one cheap fsync.
     ///
@@ -235,6 +276,50 @@ mod tests {
         a.set_group_commit(None);
         a.append_line("four").unwrap();
         drop(a);
+        assert_eq!(
+            std::fs::read_to_string(&p).unwrap(),
+            "one\ntwo\nthree\nfour\n"
+        );
+        std::fs::remove_dir_all(&d).unwrap();
+    }
+
+    #[test]
+    fn batched_commit_composes_with_group_commit_wider_interval_wins() {
+        let d = tmp_dir("batch-group");
+        let p = d.join("b.jsonl");
+        let mut a = DurableAppender::create(&p).unwrap();
+
+        // No group window: commit_batch is the batch's commit point.
+        a.append_line_deferred("one").unwrap();
+        a.append_line_deferred("two").unwrap();
+        assert!(a.has_pending_batch());
+        a.commit_batch().unwrap();
+        assert!(!a.has_pending_batch());
+
+        // A window wider than the batch cadence supersedes the per-batch
+        // sync: the batch stays pending and rides the window — one shared
+        // dirty flag, no double buffering.
+        a.set_group_commit(Some(Duration::from_secs(3600)));
+        a.append_line_deferred("three").unwrap();
+        a.commit_batch().unwrap();
+        assert!(
+            a.has_pending_batch(),
+            "an open group window must defer the batch sync"
+        );
+        // The lines are complete and visible even while pending.
+        assert_eq!(
+            std::fs::read_to_string(&p).unwrap(),
+            "one\ntwo\nthree\n"
+        );
+        // An explicit sync closes the window's batch.
+        a.sync().unwrap();
+        assert!(!a.has_pending_batch());
+
+        // An already-elapsed window: the batch sync wins again.
+        a.set_group_commit(Some(Duration::ZERO));
+        a.append_line_deferred("four").unwrap();
+        a.commit_batch().unwrap();
+        assert!(!a.has_pending_batch(), "a closed window syncs with the batch");
         assert_eq!(
             std::fs::read_to_string(&p).unwrap(),
             "one\ntwo\nthree\nfour\n"
