@@ -87,9 +87,9 @@ fn measure_commit_strategies(dir: &std::path::Path, n: usize) -> (f64, f64) {
     let per_path = dir.join("commit-per-record.jsonl");
     let mut j = CampaignJournal::create(&per_path, &c).expect("create journal");
     let start = Instant::now();
-    for i in 0..n {
+    for (i, job) in jobs.iter().take(n).enumerate() {
         let rec = JobRecord {
-            job: jobs[i].clone(),
+            job: job.clone(),
             outcome: outcome(i),
         };
         j.commit(&rec).expect("commit");
@@ -133,7 +133,8 @@ fn main() {
     let jobs = if short { 2_000 } else { 10_000 };
     let ncpu = std::thread::available_parallelism().map_or(1, |n| n.get());
     let c = campaign(jobs);
-    let dir = std::env::temp_dir().join(format!("dramctrl-campaign-scaling-{}", std::process::id()));
+    let dir =
+        std::env::temp_dir().join(format!("dramctrl-campaign-scaling-{}", std::process::id()));
     std::fs::create_dir_all(&dir).expect("create scratch dir");
 
     if check {
@@ -223,7 +224,11 @@ fn main() {
              \"journaled_jobs_per_sec\": {:.1}}}{}\n",
             plain[i],
             journaled[i],
-            if i + 1 == worker_counts.len() { "" } else { "," }
+            if i + 1 == worker_counts.len() {
+                ""
+            } else {
+                ","
+            }
         ));
     }
     json.push_str("  ],\n");

@@ -13,6 +13,9 @@ use crate::journal::CampaignJournal;
 use crate::report::{CampaignReport, JobMetrics, JobRecord};
 use crate::spec::{Campaign, JobSpec};
 use dramctrl_kernel::rng::splitmix64;
+use dramctrl_obs::metrics::{
+    Counter, FloatCounter, Gauge, Histogram, Registry, LATENCY_BUCKETS, SIZE_BUCKETS,
+};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
@@ -67,6 +70,85 @@ pub enum Progress {
     Stderr,
 }
 
+/// Operational metrics for one executor run, pre-registered in a
+/// [`Registry`] so a service embedding the executor exposes them over
+/// its `/metrics` endpoint. All handles are cheap atomic clones; when
+/// [`ExecutorConfig::metrics`] is `None` the executor records nothing
+/// and costs one branch per job — report bytes are identical either
+/// way (metrics watch the executor, never steer it).
+#[derive(Debug, Clone)]
+pub struct ExecMetrics {
+    /// Jobs completed (possibly after retries).
+    pub units_completed: Counter,
+    /// Jobs recorded as failed after the retry budget.
+    pub units_failed: Counter,
+    /// Extra attempts spent on panicked jobs (attempts beyond the first).
+    pub retries: Counter,
+    /// Records per journal commit batch.
+    pub batch_records: Histogram,
+    /// Journal batch-commit latency (append + fsync), seconds.
+    pub commit_seconds: Histogram,
+    /// Total seconds workers spent running jobs.
+    pub busy_seconds: FloatCounter,
+    /// Total seconds workers existed but were not running jobs.
+    pub idle_seconds: FloatCounter,
+    /// Finished jobs per second of campaign wall time so far.
+    pub units_per_second: Gauge,
+}
+
+impl ExecMetrics {
+    /// Registers the executor families in `registry` and returns the
+    /// handles. Call once per process; repeated calls return handles to
+    /// the same atomics.
+    #[must_use]
+    pub fn register(registry: &Registry) -> Self {
+        Self {
+            units_completed: registry.counter(
+                "dramctrl_executor_units_total",
+                "Executor jobs finished, by outcome.",
+                &[("outcome", "completed")],
+            ),
+            units_failed: registry.counter(
+                "dramctrl_executor_units_total",
+                "Executor jobs finished, by outcome.",
+                &[("outcome", "failed")],
+            ),
+            retries: registry.counter(
+                "dramctrl_executor_retries_total",
+                "Extra attempts spent re-running panicked jobs.",
+                &[],
+            ),
+            batch_records: registry.histogram(
+                "dramctrl_executor_batch_records",
+                "Records per journal commit batch.",
+                &[],
+                SIZE_BUCKETS,
+            ),
+            commit_seconds: registry.histogram(
+                "dramctrl_executor_commit_seconds",
+                "Journal batch-commit latency (append + fsync).",
+                &[],
+                LATENCY_BUCKETS,
+            ),
+            busy_seconds: registry.fcounter(
+                "dramctrl_executor_worker_busy_seconds_total",
+                "Seconds workers spent running jobs.",
+                &[],
+            ),
+            idle_seconds: registry.fcounter(
+                "dramctrl_executor_worker_idle_seconds_total",
+                "Seconds workers existed but ran no job.",
+                &[],
+            ),
+            units_per_second: registry.gauge(
+                "dramctrl_executor_units_per_second",
+                "Finished jobs per second of campaign wall time.",
+                &[],
+            ),
+        }
+    }
+}
+
 /// Executor tuning knobs.
 #[derive(Debug, Clone)]
 pub struct ExecutorConfig {
@@ -81,6 +163,8 @@ pub struct ExecutorConfig {
     pub retry_backoff_ms: u64,
     /// Progress reporting sink.
     pub progress: Progress,
+    /// Operational metric handles; `None` (the default) records nothing.
+    pub metrics: Option<ExecMetrics>,
 }
 
 impl Default for ExecutorConfig {
@@ -90,6 +174,7 @@ impl Default for ExecutorConfig {
             max_attempts: 2,
             retry_backoff_ms: 10,
             progress: Progress::Silent,
+            metrics: None,
         }
     }
 }
@@ -124,6 +209,12 @@ impl ExecutorConfig {
     /// Sets the progress sink.
     pub fn with_progress(mut self, progress: Progress) -> Self {
         self.progress = progress;
+        self
+    }
+
+    /// Attaches operational metric handles (see [`ExecMetrics`]).
+    pub fn with_metrics(mut self, metrics: ExecMetrics) -> Self {
+        self.metrics = Some(metrics);
         self
     }
 
@@ -268,12 +359,32 @@ where
         let pending = &pending;
         for _ in 0..workers {
             let tx = tx.clone();
-            s.spawn(move || loop {
-                let slot = next.fetch_add(1, Ordering::Relaxed);
-                let Some(&i) = pending.get(slot) else { break };
-                let outcome = run_one(&jobs[i], cfg, runner);
-                if tx.send((i, outcome)).is_err() {
-                    break;
+            s.spawn(move || {
+                let spawned = Instant::now();
+                let mut busy = 0.0f64;
+                loop {
+                    let slot = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(&i) = pending.get(slot) else { break };
+                    let job_started = Instant::now();
+                    let outcome = run_one(&jobs[i], cfg, runner);
+                    busy += job_started.elapsed().as_secs_f64();
+                    if let Some(m) = &cfg.metrics {
+                        m.retries
+                            .add(u64::from(outcome.attempts().saturating_sub(1)));
+                        if outcome.is_failed() {
+                            m.units_failed.inc();
+                        } else {
+                            m.units_completed.inc();
+                        }
+                    }
+                    if tx.send((i, outcome)).is_err() {
+                        break;
+                    }
+                }
+                if let Some(m) = &cfg.metrics {
+                    m.busy_seconds.add(busy);
+                    m.idle_seconds
+                        .add((spawned.elapsed().as_secs_f64() - busy).max(0.0));
                 }
             });
         }
@@ -281,6 +392,7 @@ where
 
         let name = campaign.name.clone();
         let progress = cfg.progress;
+        let exec_metrics = cfg.metrics.clone();
         let to_run = pending.len();
         let collector = s.spawn(move || {
             let mut journal = journal;
@@ -289,6 +401,7 @@ where
             let mut failed = 0usize;
             let mut batch: Vec<(usize, JobOutcome)> = Vec::new();
             let mut last_progress: Option<Instant> = None;
+            let mut line_width = 0usize;
             while let Ok(first) = rx.recv() {
                 // Greedy drain: everything the workers have finished since
                 // the last iteration commits as one batch — one journal
@@ -304,6 +417,7 @@ where
                 // Lines render from borrows of the job table and the
                 // batch — no per-record JobSpec/JobOutcome clones.
                 if let Some(j) = journal.as_deref_mut() {
+                    let commit_started = Instant::now();
                     j.commit_batch(batch.iter().map(|&(i, ref o)| (&jobs[i], o)))
                         .unwrap_or_else(|e| {
                             panic!(
@@ -312,6 +426,11 @@ where
                                 j.path().display()
                             )
                         });
+                    if let Some(m) = &exec_metrics {
+                        m.commit_seconds
+                            .observe(commit_started.elapsed().as_secs_f64());
+                        m.batch_records.observe(batch.len() as f64);
+                    }
                 }
                 for (i, outcome) in batch.drain(..) {
                     done += 1;
@@ -320,21 +439,28 @@ where
                     }
                     outcomes[i] = Some(outcome);
                 }
+                let elapsed = start.elapsed().as_secs_f64();
+                if let Some(m) = &exec_metrics {
+                    if elapsed > 0.0 {
+                        m.units_per_second.set(done as f64 / elapsed);
+                    }
+                }
                 // Progress is throttled: at high job rates rewriting the
                 // terminal per record costs more than the jobs themselves.
                 if progress == Progress::Stderr
                     && last_progress.map_or(true, |t| t.elapsed() >= PROGRESS_INTERVAL)
                 {
                     last_progress = Some(Instant::now());
-                    let elapsed = start.elapsed().as_secs_f64();
                     let eta = elapsed / done as f64 * (to_run - done) as f64;
-                    eprint!("\r[{name}] {done}/{to_run} done, {failed} failed, ETA {eta:.0}s  ");
+                    let line =
+                        format!("[{name}] {done}/{to_run} done, {failed} failed, ETA {eta:.0}s");
+                    eprint!("\r{}", pad_progress(&mut line_width, &line));
                 }
             }
             // The channel is closed: force any batch the group-commit
             // window is still holding open onto disk before the report is
             // built from these outcomes.
-            if let Some(j) = journal.as_deref_mut() {
+            if let Some(j) = journal {
                 j.sync().unwrap_or_else(|e| {
                     panic!(
                         "cannot sync the campaign journal at {}: {e}",
@@ -342,8 +468,13 @@ where
                     )
                 });
             }
+            // The terminal line is unconditional — never throttled — so a
+            // campaign that finishes inside the 100ms window still prints
+            // its final count; padding covers any longer ETA line that a
+            // throttled rewrite left on the terminal.
             if progress == Progress::Stderr && to_run > 0 {
-                eprintln!("\r[{name}] {done}/{to_run} done, {failed} failed            ");
+                let line = format!("[{name}] {done}/{to_run} done, {failed} failed");
+                eprintln!("\r{}", pad_progress(&mut line_width, &line));
             }
             outcomes
         });
@@ -368,6 +499,19 @@ where
         wall_secs: start.elapsed().as_secs_f64(),
         records,
     }
+}
+
+/// Pads `line` with spaces to cover the widest progress line printed so
+/// far, so a `\r` rewrite by a shorter line (the terminal line drops the
+/// ETA; ETAs shrink as the campaign drains) never leaves stale trailing
+/// characters. Tracks the running maximum in `width`.
+fn pad_progress(width: &mut usize, line: &str) -> String {
+    let mut s = line.to_owned();
+    if s.len() < *width {
+        s.push_str(&" ".repeat(*width - s.len()));
+    }
+    *width = (*width).max(line.len());
+    s
 }
 
 fn run_one<F>(job: &JobSpec, cfg: &ExecutorConfig, runner: &F) -> JobOutcome
@@ -564,5 +708,88 @@ mod tests {
     fn zero_attempts_rejected() {
         let cfg = ExecutorConfig::serial().with_max_attempts(0);
         let _ = run_campaign(&campaign(1), &cfg, toy_runner);
+    }
+
+    #[test]
+    fn pad_progress_covers_prior_longer_line() {
+        let mut width = 0;
+        let long = pad_progress(&mut width, "[c] 1/10 done, 0 failed, ETA 123s");
+        assert_eq!(long.len(), 33);
+        // The shorter final line is padded to overwrite the ETA tail.
+        let short = pad_progress(&mut width, "[c] 10/10 done, 0 failed");
+        assert_eq!(short.len(), long.len());
+        assert!(short.ends_with("         "));
+        // A longer line later needs no padding and raises the bar.
+        let longer = pad_progress(&mut width, &"x".repeat(40));
+        assert_eq!(longer.len(), 40);
+        assert_eq!(width, 40);
+    }
+
+    #[test]
+    fn metrics_never_change_report_bytes() {
+        let c = campaign(8);
+        let bare = run_campaign(&c, &ExecutorConfig::serial(), toy_runner);
+        let registry = Registry::new();
+        let m = ExecMetrics::register(&registry);
+        let cfg = ExecutorConfig::serial().with_metrics(m.clone());
+        let metered = run_campaign(&c, &cfg, toy_runner);
+        // Metrics watch, never steer: report bytes are unchanged.
+        assert_eq!(bare.to_jsonl(), metered.to_jsonl());
+        assert_eq!(m.units_completed.get(), 8);
+        assert_eq!(m.units_failed.get(), 0);
+        assert!(m.busy_seconds.get() > 0.0);
+        assert!(m.units_per_second.get() > 0.0);
+        dramctrl_obs::metrics::validate_exposition(&registry.render_prometheus()).unwrap();
+    }
+
+    #[test]
+    fn metrics_count_retries_and_failures() {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let registry = Registry::new();
+        let m = ExecMetrics::register(&registry);
+        let cfg = ExecutorConfig::serial()
+            .with_max_attempts(2)
+            .with_retry_backoff_ms(0)
+            .with_metrics(m.clone());
+        let first = AtomicU32::new(0);
+        let r = run_campaign(&campaign(8), &cfg, |job| {
+            match job.index {
+                // One transient panic: costs a retry, then completes.
+                3 if first.fetch_add(1, Ordering::Relaxed) == 0 => panic!("transient"),
+                // One hard failure: burns the whole attempt budget.
+                5 => panic!("always"),
+                _ => {}
+            }
+            toy_runner(job)
+        });
+        std::panic::set_hook(prev);
+
+        assert_eq!(r.failed(), 1);
+        assert_eq!(m.units_completed.get(), 7);
+        assert_eq!(m.units_failed.get(), 1);
+        // Job 3 used one extra attempt, job 5 used one beyond its first.
+        assert_eq!(m.retries.get(), 2);
+    }
+
+    #[test]
+    fn journaled_run_observes_batches_and_commit_latency() {
+        let dir = std::env::temp_dir().join(format!("dramctrl-execm-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let c = campaign(12);
+        let registry = Registry::new();
+        let m = ExecMetrics::register(&registry);
+        let cfg = ExecutorConfig::serial().with_metrics(m.clone());
+        let mut journal = CampaignJournal::create(dir.join("j.jsonl"), &c).unwrap();
+        let r = run_campaign_journaled(&c, &cfg, &mut journal, toy_runner);
+        assert_eq!(r.records.len(), 12);
+        assert_eq!(m.batch_records.count(), m.commit_seconds.count());
+        assert!(m.batch_records.count() >= 1);
+        assert!(
+            (m.batch_records.sum() - 12.0).abs() < 1e-9,
+            "every record batched once"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

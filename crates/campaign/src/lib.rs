@@ -61,7 +61,8 @@ mod report;
 mod spec;
 
 pub use exec::{
-    run_campaign, run_campaign_journaled, run_campaign_shard, ExecutorConfig, JobOutcome, Progress,
+    run_campaign, run_campaign_journaled, run_campaign_shard, ExecMetrics, ExecutorConfig,
+    JobOutcome, Progress,
 };
 pub use journal::{campaign_hash, merge_journals, CampaignJournal, JournalError, JOURNAL_VERSION};
 pub use report::{CampaignReport, JobMetrics, JobRecord};

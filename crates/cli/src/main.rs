@@ -141,6 +141,9 @@ Cartesian product runs in parallel with per-job deterministic seeds):
                          crash-safety: a lost batch tail re-runs
                          deterministically on resume; default 0 = every
                          record)
+    --metrics-json FILE  write executor operational metrics (units/s,
+                         worker busy/idle, journal batch sizes, retries)
+                         as JSON when the sweep finishes
 
 SERVICE OPTIONS:
     serve:
@@ -154,6 +157,12 @@ SERVICE OPTIONS:
       --quantum N        preemption quantum in injected requests: long
                          jobs checkpoint-pause at request boundaries so
                          tenants share the simulator fairly (default 1000)
+      --http ADDR        also serve read-only HTTP observability
+                         endpoints on ADDR (path or host:port):
+                         /metrics (Prometheus), /metrics.json, /healthz
+                         (503 when the store is unwritable), /jobs
+      --log-level LEVEL  stderr log threshold: error|warn|info|debug|trace
+                         (default info; lines are structured key=\"value\")
     submit (takes the same axis flags as sweep, plus):
       --to ADDR          the service to submit to
       --tenant NAME      tenant for fair scheduling (default cli)
@@ -167,6 +176,8 @@ SERVICE OPTIONS:
       --obs-dir DIR      write streamed stats/epoch artifacts per unit
     status:
       --to ADDR          the service to query
+      --json             print the raw status event (one JSON line with
+                         per-job and per-tenant detail) instead of tables
 ";
 
 fn main() -> ExitCode {
@@ -201,7 +212,16 @@ fn main() -> ExitCode {
         Err(e) => {
             // One line, actionable, and the conventional usage-error code
             // (2) so scripts can tell bad invocations from failed runs.
-            eprintln!("error: {e} (run `dramctrl help` for usage)");
+            // Service commands emit the line through the structured logger
+            // so daemon/client stderr stays machine-parseable end to end.
+            if matches!(cmd.as_str(), "serve" | "submit" | "watch" | "status") {
+                dramctrl_obs::log_error!(
+                    cmd.as_str(), e;
+                    "hint" => "run `dramctrl help` for usage"
+                );
+            } else {
+                eprintln!("error: {e} (run `dramctrl help` for usage)");
+            }
             ExitCode::from(2)
         }
     }
@@ -668,6 +688,7 @@ const SWEEP_OPTS: &[&str] = &[
     "shard",
     "merge",
     "group-commit-ms",
+    "metrics-json",
 ];
 
 /// Resolves `--journal`/`--resume` PATH: a directory (existing, or a
@@ -818,6 +839,14 @@ fn sweep(argv: Vec<String>) -> Result<(), ArgError> {
         return finish_report(&a, &report);
     }
 
+    // Opt-in operational metrics: the registry outlives the run so the
+    // final JSON export sees every sample. Metrics never touch report or
+    // journal bytes (the executor guarantees it).
+    let metrics_out = a.get("metrics-json").map(|p| {
+        let registry = dramctrl_obs::Registry::new();
+        let m = dramctrl_campaign::ExecMetrics::register(&registry);
+        (p.to_owned(), registry, m)
+    });
     let cfg = ExecutorConfig {
         workers: a.parse_or("workers", 0usize)?,
         max_attempts: {
@@ -832,6 +861,7 @@ fn sweep(argv: Vec<String>) -> Result<(), ArgError> {
         } else {
             Progress::Stderr
         },
+        metrics: metrics_out.as_ref().map(|(_, _, m)| m.clone()),
         ..ExecutorConfig::default()
     };
     // Durable journal: --journal starts one, --resume picks an existing
@@ -980,6 +1010,11 @@ fn sweep(argv: Vec<String>) -> Result<(), ArgError> {
             campaign.len()
         );
     }
+    if let Some((path, registry, _)) = &metrics_out {
+        write_atomic(path, registry.render_json())
+            .map_err(|e| ArgError(format!("writing {path:?}: {e}")))?;
+        eprintln!("wrote executor metrics to {path}");
+    }
     finish_report(&a, &report)
 }
 
@@ -1023,12 +1058,22 @@ fn print_version() {
     );
 }
 
-const SERVE_OPTS: &[&str] = &["listen", "store", "max-jobs", "quantum"];
+const SERVE_OPTS: &[&str] = &[
+    "listen",
+    "store",
+    "max-jobs",
+    "quantum",
+    "http",
+    "log-level",
+];
 
 fn serve(argv: Vec<String>) -> Result<(), ArgError> {
-    use dramctrl_serve::{Listener, ServeConfig, Server};
+    use dramctrl_serve::{serve_http, Listener, ServeConfig, Server};
     let a = Args::parse(argv, &[])?;
     a.ensure_known(SERVE_OPTS)?;
+    if let Some(level) = a.get("log-level") {
+        dramctrl_obs::log::set_level(dramctrl_obs::log::parse_level(level).map_err(ArgError)?);
+    }
     let listen = a
         .get("listen")
         .ok_or_else(|| ArgError("serve needs --listen ADDR (a path or host:port)".into()))?;
@@ -1041,15 +1086,38 @@ fn serve(argv: Vec<String>) -> Result<(), ArgError> {
     if cfg.quantum == 0 {
         return Err(ArgError("--quantum must be at least 1".into()));
     }
+    let (quantum, max_jobs) = (cfg.quantum, cfg.max_jobs);
     let server =
         Server::open(cfg).map_err(|e| ArgError(format!("opening store {store:?}: {e}")))?;
     server.start_scheduler();
     let listener =
         Listener::bind(listen).map_err(|e| ArgError(format!("binding {listen:?}: {e}")))?;
+    // Read-only observability endpoints on a second listener, served from
+    // a background thread so a slow scrape never blocks job clients.
+    if let Some(http) = a.get("http") {
+        let http_listener =
+            Listener::bind(http).map_err(|e| ArgError(format!("binding {http:?}: {e}")))?;
+        dramctrl_obs::log_info!(
+            "serve", "http listening";
+            "addr" => http_listener.local_addr()
+        );
+        let http_server = server.clone();
+        std::thread::Builder::new()
+            .name("dramctrl-http".into())
+            .spawn(move || {
+                if let Err(e) = serve_http(&http_server, &http_listener) {
+                    dramctrl_obs::log_error!("serve", "http accept loop failed"; "error" => e);
+                }
+            })
+            .expect("spawning the http thread");
+    }
     // The resolved address matters when --listen used port 0.
-    eprintln!(
-        "dramctrl serve: listening on {} (store {store})",
-        listener.local_addr()
+    dramctrl_obs::log_info!(
+        "serve", "listening";
+        "addr" => listener.local_addr(),
+        "store" => store,
+        "quantum" => quantum,
+        "max_jobs" => max_jobs
     );
     server
         .serve(&listener)
@@ -1085,7 +1153,10 @@ fn submit(argv: Vec<String>) -> Result<(), ArgError> {
         .submit(tenant, epochs, &campaign)
         .map_err(|e| ArgError(e.to_string()))?;
     println!("accepted {id} ({total} units)");
-    eprintln!("stream results with: dramctrl watch {id} --to {to}");
+    dramctrl_obs::log_info!(
+        "submit", "accepted";
+        "job" => id, "units" => total, "watch" => format!("dramctrl watch {id} --to {to}")
+    );
     Ok(())
 }
 
@@ -1154,7 +1225,7 @@ fn watch(argv: Vec<String>) -> Result<(), ArgError> {
         // bytes `sweep --jsonl` writes for this campaign.
         let jsonl: String = records.into_values().map(|l| l + "\n").collect();
         write_atomic(path, jsonl).map_err(|e| ArgError(format!("writing {path:?}: {e}")))?;
-        eprintln!("wrote JSONL report to {path}");
+        dramctrl_obs::log_info!("watch", "wrote JSONL report"; "path" => path);
     }
     println!("{id}: {} ok, {} failed", summary.ok, summary.failed);
     if summary.failed > 0 {
@@ -1165,13 +1236,19 @@ fn watch(argv: Vec<String>) -> Result<(), ArgError> {
 
 fn status(argv: Vec<String>) -> Result<(), ArgError> {
     use dramctrl_serve::wire::Value;
-    let a = Args::parse(argv, &[])?;
-    a.ensure_known(&["to"])?;
+    let a = Args::parse(argv, &["json"])?;
+    a.ensure_known(&["to", "json"])?;
     let to = a
         .get("to")
         .ok_or_else(|| ArgError("status needs --to ADDR".into()))?;
     let mut client = connect(to)?;
     let table = client.status().map_err(|e| ArgError(e.to_string()))?;
+    if a.switch("json") {
+        // The raw status event: one JSON line with the full per-job and
+        // per-tenant detail, for scripts.
+        println!("{}", table.encode());
+        return Ok(());
+    }
     let jobs = table.get("jobs").and_then(Value::as_arr).unwrap_or(&[]);
     println!(
         "{:<10} {:<12} {:>6} {:>7} {:>6}  state",
@@ -1190,7 +1267,37 @@ fn status(argv: Vec<String>) -> Result<(), ArgError> {
             s("state")
         );
     }
-    eprintln!("{} job(s) on {to}", jobs.len());
+    let tenants = table.get("tenants").and_then(Value::as_arr).unwrap_or(&[]);
+    if !tenants.is_empty() {
+        println!();
+        println!(
+            "{:<12} {:>6} {:>6} {:>7} {:>7} {:>8}  running",
+            "tenant", "queued", "jobs", "served", "failed", "rejected"
+        );
+        for t in tenants {
+            let s = |k: &str| t.get(k).and_then(Value::as_str).unwrap_or("?").to_owned();
+            let n = |k: &str| t.get(k).and_then(Value::as_u64).unwrap_or(0);
+            let running = t
+                .get("running")
+                .and_then(|r| {
+                    let job = r.get("job").and_then(Value::as_str)?;
+                    let unit = r.get("unit").and_then(Value::as_u64)?;
+                    Some(format!("{job}#{unit}"))
+                })
+                .unwrap_or_else(|| "-".into());
+            println!(
+                "{:<12} {:>6} {:>6} {:>7} {:>7} {:>8}  {}",
+                s("tenant"),
+                n("queued"),
+                n("active_jobs"),
+                n("served"),
+                n("failed"),
+                n("rejected"),
+                running
+            );
+        }
+    }
+    dramctrl_obs::log_info!("status", "queried"; "to" => to, "jobs" => jobs.len());
     Ok(())
 }
 

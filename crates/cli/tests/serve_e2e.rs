@@ -33,6 +33,10 @@ struct Daemon(Child);
 
 impl Daemon {
     fn spawn(sock: &str, store: &str, quantum: &str) -> Self {
+        Self::spawn_with(sock, store, quantum, &[])
+    }
+
+    fn spawn_with(sock: &str, store: &str, quantum: &str, extra: &[&str]) -> Self {
         let child = dramctrl()
             .args([
                 "serve",
@@ -43,6 +47,7 @@ impl Daemon {
                 "--quantum",
                 quantum,
             ])
+            .args(extra)
             .stdout(Stdio::null())
             .stderr(Stdio::null())
             .spawn()
@@ -217,6 +222,76 @@ fn sigkilled_daemon_restarted_on_same_store_resumes_every_job() {
         after.lines().count(),
         1 + 6,
         "each unit committed exactly once after the restart"
+    );
+}
+
+/// One raw HTTP/1.1 GET; returns (status, body).
+fn http_get(addr: &str, path: &str) -> (u16, String) {
+    use std::io::{Read, Write};
+    let mut s = std::net::TcpStream::connect(addr).unwrap();
+    write!(
+        s,
+        "GET {path} HTTP/1.1\r\nHost: e2e\r\nConnection: close\r\n\r\n"
+    )
+    .unwrap();
+    let mut text = String::new();
+    s.read_to_string(&mut text).unwrap();
+    let (head, body) = text.split_once("\r\n\r\n").expect("header/body split");
+    let status = head.split_whitespace().nth(1).unwrap().parse().unwrap();
+    (status, body.to_owned())
+}
+
+#[test]
+fn http_observability_endpoints_respond_on_a_live_daemon() {
+    let dir = tmp_dir("http");
+    let p = |n: &str| dir.join(n).to_str().unwrap().to_owned();
+    let sock = p("daemon.sock");
+    // Daemon stderr is nulled, so the resolved addr of port 0 would be
+    // lost — derive a per-process port instead.
+    let http = format!("127.0.0.1:{}", 21000 + std::process::id() % 20000);
+    let _daemon = Daemon::spawn_with(
+        &sock,
+        &p("store"),
+        "500",
+        &["--http", &http, "--log-level", "debug"],
+    );
+    wait_ready(&sock);
+
+    let id = submit(&sock, "alice", AXES);
+    ok(&dramctrl()
+        .args(["watch", &id, "--to", &sock])
+        .output()
+        .unwrap());
+
+    let (code, metrics) = http_get(&http, "/metrics");
+    assert_eq!(code, 200);
+    for needle in [
+        "# TYPE dramctrl_admission_total counter",
+        "dramctrl_admission_total{result=\"accepted\"} 1",
+        "dramctrl_tenant_served_units_total{tenant=\"alice\"} 3",
+        "dramctrl_store_fsync_seconds_count{op=\"commit\"} 3",
+        "dramctrl_executor_units_per_second",
+    ] {
+        assert!(metrics.contains(needle), "missing {needle} in:\n{metrics}");
+    }
+    let (code, health) = http_get(&http, "/healthz");
+    assert_eq!(code, 200);
+    assert!(health.contains("\"status\":\"ok\""), "{health}");
+    let (code, jobs) = http_get(&http, "/jobs");
+    assert_eq!(code, 200);
+    assert!(jobs.contains(&format!("\"id\":\"{id}\"")), "{jobs}");
+
+    // `status --json` emits the same machine-readable shape on one line.
+    let out = ok(&dramctrl()
+        .args(["status", "--to", &sock, "--json"])
+        .output()
+        .unwrap())
+    .clone();
+    let line = String::from_utf8(out.stdout).unwrap();
+    assert_eq!(line.lines().count(), 1);
+    assert!(
+        line.starts_with("{\"event\":\"status\"") && line.contains("\"tenants\":"),
+        "{line}"
     );
 }
 

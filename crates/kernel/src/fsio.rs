@@ -307,10 +307,7 @@ mod tests {
             "an open group window must defer the batch sync"
         );
         // The lines are complete and visible even while pending.
-        assert_eq!(
-            std::fs::read_to_string(&p).unwrap(),
-            "one\ntwo\nthree\n"
-        );
+        assert_eq!(std::fs::read_to_string(&p).unwrap(), "one\ntwo\nthree\n");
         // An explicit sync closes the window's batch.
         a.sync().unwrap();
         assert!(!a.has_pending_batch());
@@ -319,7 +316,10 @@ mod tests {
         a.set_group_commit(Some(Duration::ZERO));
         a.append_line_deferred("four").unwrap();
         a.commit_batch().unwrap();
-        assert!(!a.has_pending_batch(), "a closed window syncs with the batch");
+        assert!(
+            !a.has_pending_batch(),
+            "a closed window syncs with the batch"
+        );
         assert_eq!(
             std::fs::read_to_string(&p).unwrap(),
             "one\ntwo\nthree\nfour\n"

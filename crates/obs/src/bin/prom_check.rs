@@ -1,0 +1,109 @@
+//! `prom_check`: validates a Prometheus text-exposition scrape.
+//!
+//! Used by the CI `metrics-smoke` job to assert that the daemon's
+//! `/metrics` output is well-formed (TYPE lines, no duplicate families,
+//! parseable samples, complete histograms) and that named counters are
+//! present — optionally with a minimum value, which is how the smoke
+//! test proves a counter actually advanced during the run.
+//!
+//! ```text
+//! prom_check SCRAPE_FILE [--require NAME[>=MIN]]...
+//! ```
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut file = None;
+    let mut requires: Vec<(String, f64)> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--require" => {
+                let Some(spec) = it.next() else {
+                    eprintln!("error: --require needs NAME[>=MIN]");
+                    return ExitCode::from(2);
+                };
+                let (name, min) = match spec.split_once(">=") {
+                    Some((n, m)) => match m.parse::<f64>() {
+                        Ok(v) => (n.to_string(), v),
+                        Err(_) => {
+                            eprintln!("error: bad minimum in {spec:?}");
+                            return ExitCode::from(2);
+                        }
+                    },
+                    None => (spec.clone(), 0.0),
+                };
+                requires.push((name, min));
+            }
+            "--help" | "-h" => {
+                eprintln!("usage: prom_check SCRAPE_FILE [--require NAME[>=MIN]]...");
+                return ExitCode::SUCCESS;
+            }
+            _ if file.is_none() => file = Some(a.clone()),
+            _ => {
+                eprintln!("error: unexpected argument {a:?}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let Some(file) = file else {
+        eprintln!("usage: prom_check SCRAPE_FILE [--require NAME[>=MIN]]...");
+        return ExitCode::from(2);
+    };
+    let text = match std::fs::read_to_string(&file) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: reading {file}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(e) = dramctrl_obs::metrics::validate_exposition(&text) {
+        eprintln!("error: invalid exposition: {e}");
+        return ExitCode::FAILURE;
+    }
+    let mut families = 0usize;
+    for line in text.lines() {
+        if line.starts_with("# TYPE ") {
+            families += 1;
+        }
+    }
+    for (name, min) in &requires {
+        // Sum the samples of the family (counters may be split by label).
+        // Histograms expose no bare-name sample, so `--require h>=N`
+        // falls back to the observation count `h_count`.
+        let sum_samples = |name: &str| {
+            let mut total = 0.0f64;
+            let mut seen = false;
+            for line in text.lines() {
+                if line.starts_with('#') {
+                    continue;
+                }
+                let sample_name = line.split(['{', ' ']).next().unwrap_or("");
+                if sample_name != name {
+                    continue;
+                }
+                seen = true;
+                if let Some(v) = line.rsplit(' ').next().and_then(|t| t.parse::<f64>().ok()) {
+                    total += v;
+                }
+            }
+            (seen, total)
+        };
+        let (mut seen, mut total) = sum_samples(name);
+        if !seen {
+            (seen, total) = sum_samples(&format!("{name}_count"));
+        }
+        if !seen {
+            eprintln!("error: required metric {name} not present");
+            return ExitCode::FAILURE;
+        }
+        if total < *min {
+            eprintln!("error: metric {name} = {total}, wanted >= {min}");
+            return ExitCode::FAILURE;
+        }
+        println!("ok: {name} = {total} (>= {min})");
+    }
+    println!("ok: {families} families, exposition valid");
+    ExitCode::SUCCESS
+}

@@ -23,6 +23,13 @@
 //! construction — a property the `dramctrl` differential harness asserts
 //! end to end.
 //!
+//! A third half (the operational one) serves the *service* layer rather
+//! than the simulator: [`metrics`] is a dependency-free registry of
+//! atomic counters/gauges/histograms with Prometheus text exposition and
+//! stable JSON export, and [`log`] is a leveled `key="value"` structured
+//! logger for daemon stderr. Both follow the same discipline — recording
+//! a metric or a log line never changes a simulation result.
+//!
 //! # Example
 //!
 //! ```
@@ -45,8 +52,12 @@
 mod chrome;
 mod epoch;
 pub mod json;
+pub mod log;
+pub mod metrics;
 mod probe;
 
 pub use chrome::ChromeTracer;
 pub use epoch::{EpochRecorder, EpochRow};
+pub use log::Level;
+pub use metrics::{Counter, FloatCounter, Gauge, Histogram, Registry};
 pub use probe::{CmdEvent, DramCmd, NoProbe, PowerState, Probe, RasMark};

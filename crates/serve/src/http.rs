@@ -1,0 +1,153 @@
+//! A minimal HTTP/1.1 front-end for observability endpoints.
+//!
+//! The daemon's primary protocol is line-JSON over [`Stream`]; this
+//! module adds a *read-only* HTTP listener (`dramctrl serve --http ADDR`)
+//! so dashboards, `curl` and a Prometheus scraper can inspect a live
+//! daemon without speaking the protocol:
+//!
+//! | path       | content                                            |
+//! |------------|----------------------------------------------------|
+//! | `/metrics` | Prometheus text exposition of the daemon registry  |
+//! | `/metrics.json` | the same registry as stable JSON              |
+//! | `/healthz` | liveness + store writability (503 when unwritable) |
+//! | `/jobs`    | JSON job + tenant status (the dashboard's feed)    |
+//!
+//! Hand-rolled on purpose: the workspace is dependency-free, and the
+//! subset needed — parse a request line, drain headers, answer with
+//! `Content-Length` and `Connection: close` — is a page of code. The
+//! listener reuses [`Listener`], so `--http` accepts the same
+//! path-vs-`host:port` addresses as `--listen`.
+
+use crate::net::{Listener, Stream};
+use crate::server::Server;
+use std::io::{self, BufRead, BufReader, Read, Write};
+
+/// Accept loop for the HTTP listener: one thread per connection,
+/// forever. Mirrors [`Server::serve`].
+///
+/// # Errors
+/// Only a broken listener ends the loop.
+pub fn serve_http(server: &Server, listener: &Listener) -> io::Result<()> {
+    loop {
+        let conn = listener.accept()?;
+        let this = server.clone();
+        std::thread::spawn(move || {
+            let _ = handle_http(&this, conn);
+        });
+    }
+}
+
+/// One parsed request: method and path (query strings are ignored).
+#[derive(Debug)]
+struct Request {
+    method: String,
+    path: String,
+}
+
+/// Reads the request line and drains headers (plus any body announced
+/// by `Content-Length`, so a keep-alive client that sent one is not
+/// left mid-stream when we close).
+fn read_request(reader: &mut BufReader<Stream>) -> io::Result<Option<Request>> {
+    let mut line = String::new();
+    if reader.read_line(&mut line)? == 0 {
+        return Ok(None);
+    }
+    let mut parts = line.split_whitespace();
+    let method = parts.next().unwrap_or("").to_owned();
+    let target = parts.next().unwrap_or("").to_owned();
+    let path = target.split('?').next().unwrap_or("").to_owned();
+    let mut content_len = 0usize;
+    loop {
+        let mut header = String::new();
+        if reader.read_line(&mut header)? == 0 {
+            break;
+        }
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_len = value.trim().parse().unwrap_or(0);
+            }
+        }
+    }
+    if content_len > 0 {
+        let mut sink = vec![0u8; content_len.min(1 << 20)];
+        reader.read_exact(&mut sink)?;
+    }
+    Ok(Some(Request { method, path }))
+}
+
+fn respond(
+    writer: &mut Stream,
+    status: u16,
+    reason: &str,
+    content_type: &str,
+    body: &str,
+) -> io::Result<()> {
+    write!(
+        writer,
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )?;
+    writer.flush()
+}
+
+/// Serves exactly one request on `conn` and closes it.
+fn handle_http(server: &Server, conn: Stream) -> io::Result<()> {
+    let _guard = server.connection_guard();
+    let mut writer = conn.try_clone()?;
+    let mut reader = BufReader::new(conn);
+    let Some(req) = read_request(&mut reader)? else {
+        return Ok(());
+    };
+    if req.method != "GET" {
+        return respond(
+            &mut writer,
+            405,
+            "Method Not Allowed",
+            "text/plain; charset=utf-8",
+            "only GET is supported\n",
+        );
+    }
+    server.metrics().http_requests(&req.path).inc();
+    match req.path.as_str() {
+        "/metrics" => {
+            let body = server.metrics_exposition();
+            respond(
+                &mut writer,
+                200,
+                "OK",
+                "text/plain; version=0.0.4; charset=utf-8",
+                &body,
+            )
+        }
+        "/metrics.json" => {
+            let body = server.metrics_json();
+            respond(&mut writer, 200, "OK", "application/json", &body)
+        }
+        "/healthz" => match server.health() {
+            Ok(body) => respond(&mut writer, 200, "OK", "application/json", &body),
+            Err(body) => respond(
+                &mut writer,
+                503,
+                "Service Unavailable",
+                "application/json",
+                &body,
+            ),
+        },
+        "/jobs" => {
+            let body = server.jobs_json();
+            respond(&mut writer, 200, "OK", "application/json", &body)
+        }
+        _ => respond(
+            &mut writer,
+            404,
+            "Not Found",
+            "text/plain; charset=utf-8",
+            "no such endpoint (try /metrics, /healthz, /jobs)\n",
+        ),
+    }
+}

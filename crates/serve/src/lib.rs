@@ -23,12 +23,18 @@
 //!   the scheduler thread, crash recovery, event streaming.
 //! - [`client`]: the version-checked [`Client`] the CLI subcommands
 //!   (`submit`, `watch`, `status`) are built on.
+//! - [`metrics`]: the daemon's operational metric handles
+//!   ([`ServeMetrics`]) over the `dramctrl-obs` registry.
+//! - [`http`]: the read-only HTTP/1.1 front-end (`--http`) serving
+//!   `/metrics`, `/healthz` and `/jobs`.
 //!
 //! Like every other crate in the workspace: no external dependencies.
 
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod http;
+pub mod metrics;
 pub mod net;
 pub mod proto;
 pub mod sched;
@@ -37,6 +43,8 @@ pub mod store;
 pub mod wire;
 
 pub use client::{Client, WatchSummary};
+pub use http::serve_http;
+pub use metrics::ServeMetrics;
 pub use net::{Listener, Stream};
 pub use proto::{record_data, VersionInfo, PROTO_VERSION};
 pub use sched::FairQueue;

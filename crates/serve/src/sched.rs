@@ -45,6 +45,18 @@ impl FairQueue {
         self.jobs.iter().all(VecDeque::is_empty)
     }
 
+    /// Per-tenant queue depths, in current rotation order (drained
+    /// tenants awaiting pruning report 0). Feeds the status surface and
+    /// the per-tenant queue-depth gauges.
+    #[must_use]
+    pub fn tenant_depths(&self) -> Vec<(String, usize)> {
+        self.tenants
+            .iter()
+            .zip(&self.jobs)
+            .map(|(t, ring)| (t.clone(), ring.len()))
+            .collect()
+    }
+
     /// Queues `job` for `tenant`. A tenant not currently in rotation
     /// joins at the back; an existing tenant keeps its turn position
     /// (late arrivals don't jump the line).
@@ -136,6 +148,85 @@ mod tests {
         assert_eq!(q.pop().unwrap(), "b1");
         assert_eq!(q.pop().unwrap(), "a1");
         assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn tenant_depths_track_rings() {
+        let mut q = FairQueue::new();
+        q.push("a", "a1");
+        q.push("a", "a2");
+        q.push("b", "b1");
+        assert_eq!(
+            q.tenant_depths(),
+            [("a".to_string(), 2), ("b".to_string(), 1)]
+        );
+        q.pop();
+        let depths: std::collections::BTreeMap<_, _> = q.tenant_depths().into_iter().collect();
+        assert_eq!(depths["a"], 1);
+        assert_eq!(depths["b"], 1);
+    }
+
+    /// splitmix64: deterministic pseudo-randomness for the churn test.
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// The fairness bound under churn: when a tenant *not currently in
+    /// rotation* pushes a job, at most one job from every other tenant
+    /// in rotation runs before that job — the newcomer waits at most one
+    /// full turn of the ring, no matter how deep the other rings are.
+    #[test]
+    fn churn_newcomer_waits_at_most_one_turn() {
+        let mut seed = 0xD5A1_C0DE;
+        for round in 0..50u32 {
+            let mut q = FairQueue::new();
+            // Random standing population: tenants t0..t5, random depths.
+            let tenants = 2 + (splitmix64(&mut seed) % 4) as usize;
+            for t in 0..tenants {
+                let depth = 1 + (splitmix64(&mut seed) % 5) as usize;
+                for j in 0..depth {
+                    q.push(&format!("t{t}"), format!("t{t}-j{j}"));
+                }
+            }
+            // Random churn: pops (tenants leave as rings drain) and
+            // re-pushes (paused slices re-queue).
+            for _ in 0..(splitmix64(&mut seed) % 20) {
+                if splitmix64(&mut seed) % 3 == 0 {
+                    if let Some(j) = q.pop() {
+                        let tenant = j.split('-').next().unwrap().to_owned();
+                        q.push(&tenant, j);
+                    }
+                } else {
+                    q.pop();
+                }
+            }
+            // A new tenant arrives mid-stream.
+            let in_rotation: usize = q
+                .tenant_depths()
+                .iter()
+                .filter(|(_, depth)| *depth > 0)
+                .count();
+            q.push("newcomer", "n-j0");
+            let mut other_jobs_before = 0usize;
+            loop {
+                let Some(j) = q.pop() else {
+                    panic!("round {round}: newcomer's job never surfaced");
+                };
+                if j == "n-j0" {
+                    break;
+                }
+                other_jobs_before += 1;
+            }
+            assert!(
+                other_jobs_before <= in_rotation,
+                "round {round}: newcomer waited behind {other_jobs_before} jobs \
+                 with only {in_rotation} tenants in rotation"
+            );
+        }
     }
 
     #[test]

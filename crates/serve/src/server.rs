@@ -30,6 +30,7 @@
 //! way). Results are byte-identical to a never-killed run, which is
 //! byte-identical to a standalone `dramctrl sweep` of the same campaign.
 
+use crate::metrics::ServeMetrics;
 use crate::net::{Listener, Stream};
 use crate::proto::{
     accepted_event, campaign_from_wire, done_event, error_event, progress_event, record_event,
@@ -41,12 +42,14 @@ use crate::wire::{escape, Value};
 use dramctrl_bench::{run_job_observed, run_job_slice, JobArtifacts, SliceOutcome};
 use dramctrl_campaign::{CampaignJournal, JobMetrics, JobOutcome, JobRecord, JobSpec};
 use dramctrl_kernel::fsio::write_atomic;
+use dramctrl_obs::metrics::Gauge;
 use std::collections::BTreeMap;
 use std::io::{self, BufRead, BufReader, Write};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::Instant;
 
 /// Daemon tuning knobs.
 #[derive(Debug, Clone)]
@@ -125,12 +128,21 @@ struct State {
     store: JobStore,
     jobs: BTreeMap<String, JobState>,
     queue: FairQueue,
+    /// When each queued job entered the queue — feeds the scheduler
+    /// fairness-lag histogram on its next pick.
+    queued_at: BTreeMap<String, Instant>,
+    /// Rejected submits per tenant (process lifetime, for status).
+    rejects: BTreeMap<String, u64>,
+    /// The (job, unit) the scheduler is running right now, if any.
+    running: Option<(String, usize)>,
 }
 
 struct Inner {
     cfg: ServeConfig,
     state: Mutex<State>,
     work: Condvar,
+    metrics: ServeMetrics,
+    started: Instant,
 }
 
 /// The daemon. Cloneable handle; all state lives behind one mutex.
@@ -188,13 +200,34 @@ impl Server {
             }
             jobs.insert(js.stored.id.clone(), js);
         }
+        let now = Instant::now();
+        let queued_at = jobs
+            .values()
+            .filter(|js| !js.finished())
+            .map(|js| (js.stored.id.clone(), now))
+            .collect();
         Ok(Self {
             inner: Arc::new(Inner {
                 cfg,
-                state: Mutex::new(State { store, jobs, queue }),
+                state: Mutex::new(State {
+                    store,
+                    jobs,
+                    queue,
+                    queued_at,
+                    rejects: BTreeMap::new(),
+                    running: None,
+                }),
                 work: Condvar::new(),
+                metrics: ServeMetrics::new(),
+                started: now,
             }),
         })
+    }
+
+    /// The daemon's metric handles (shared registry behind `/metrics`).
+    #[must_use]
+    pub fn metrics(&self) -> &ServeMetrics {
+        &self.inner.metrics
     }
 
     fn lock(&self) -> MutexGuard<'_, State> {
@@ -245,6 +278,14 @@ impl Server {
                         }
                     };
                     if let Some((id, unit)) = picked {
+                        if let Some(since) = st.queued_at.remove(&id) {
+                            self.inner
+                                .metrics
+                                .sched_wait
+                                .observe(since.elapsed().as_secs_f64());
+                        }
+                        st.running = Some((id.clone(), unit));
+                        sync_queue_gauges(&self.inner.metrics, &st);
                         let js = &st.jobs[&id];
                         let dir = st.store.job_dir(&id);
                         break (
@@ -282,13 +323,16 @@ impl Server {
 
             let mut st = self.lock();
             let st = &mut *st; // split-borrow jobs and queue below
+            let m = &self.inner.metrics;
             let quantum = self.inner.cfg.quantum;
             let dir = st.store.job_dir(&id);
+            st.running = None;
             let Some(js) = st.jobs.get_mut(&id) else {
                 continue;
             };
             match sliced {
                 Ok(Unit::Paused { injected }) => {
+                    m.preemptions.inc();
                     js.pause_target = injected + quantum;
                 }
                 Ok(Unit::Done(metrics, artifacts)) => {
@@ -300,10 +344,17 @@ impl Server {
                         write_unit_artifacts(&dir, unit, a);
                     }
                     let outcome = JobOutcome::Completed { metrics, attempts };
-                    commit_unit(js, unit, outcome, artifacts.as_ref());
+                    commit_unit(js, unit, outcome, artifacts.as_ref(), m);
                     let _ = std::fs::remove_file(&snap);
                     js.failures = 0;
                     js.pause_target = quantum;
+                    m.units_completed.inc();
+                    m.tenant_served(&js.stored.tenant).inc();
+                    let elapsed = self.inner.started.elapsed().as_secs_f64();
+                    if elapsed > 0.0 {
+                        let done = m.units_completed.get() + m.units_failed.get();
+                        m.units_per_second.set(done as f64 / elapsed);
+                    }
                 }
                 Err(payload) => {
                     // A panicked slice restarts its unit from scratch:
@@ -317,21 +368,26 @@ impl Server {
                             panic_msg: panic_message(payload.as_ref()),
                             attempts: js.failures,
                         };
-                        commit_unit(js, unit, outcome, None);
+                        commit_unit(js, unit, outcome, None, m);
                         js.failures = 0;
+                        m.units_failed.inc();
+                        m.tenant_served(&js.stored.tenant).inc();
                     }
                 }
             }
             if !js.finished() {
                 let tenant = js.stored.tenant.clone();
-                st.queue.push(&tenant, id);
+                st.queue.push(&tenant, id.clone());
+                st.queued_at.entry(id).or_insert_with(Instant::now);
             }
+            sync_queue_gauges(m, st);
         }
     }
 
     // ----- connections -------------------------------------------------
 
     fn handle_conn(&self, conn: Stream) -> io::Result<()> {
+        let _guard = self.connection_guard();
         let mut writer = conn.try_clone()?;
         let mut reader = BufReader::new(conn);
         writeln!(writer, "{}", VersionInfo::current().hello_line())?;
@@ -379,6 +435,15 @@ impl Server {
         }
     }
 
+    /// Records one rejected submit (counters + per-tenant status tally)
+    /// and renders the rejection event.
+    fn reject(&self, st: &mut State, tenant: &str, reason: &str, msg: &str) -> String {
+        self.inner.metrics.rejected(reason).inc();
+        self.inner.metrics.tenant_rejected(tenant).inc();
+        *st.rejects.entry(tenant.to_owned()).or_insert(0) += 1;
+        rejected_event(msg)
+    }
+
     /// Admission + durable accept. Returns the event line to send.
     fn submit(&self, cmd: &Value) -> String {
         let tenant = cmd.get("tenant").and_then(Value::as_str).unwrap_or("anon");
@@ -389,27 +454,39 @@ impl Server {
             .and_then(campaign_from_wire)
         {
             Ok(c) => c,
-            Err(e) => return rejected_event(&e),
+            Err(e) => return self.reject(&mut self.lock(), tenant, "bad_campaign", &e),
         };
 
         let mut st = self.lock();
         let active = st.jobs.values().filter(|j| !j.finished()).count();
         if active >= self.inner.cfg.max_jobs {
-            return rejected_event(&format!(
+            let msg = format!(
                 "queue full: {active} active jobs (limit {})",
                 self.inner.cfg.max_jobs
-            ));
+            );
+            return self.reject(&mut st, tenant, "queue_full", &msg);
         }
         // The accept-log append inside is the commit point: once it
         // returns, a kill at any later instant still runs this job.
+        let fsync_started = Instant::now();
         let stored = match st.store.accept(tenant, epochs, &campaign) {
             Ok(s) => s,
-            Err(e) => return rejected_event(&format!("store error: {e}")),
+            Err(e) => {
+                let msg = format!("store error: {e}");
+                return self.reject(&mut st, tenant, "store_error", &msg);
+            }
         };
+        self.inner
+            .metrics
+            .store_fsync("accept")
+            .observe(fsync_started.elapsed().as_secs_f64());
         let dir = st.store.job_dir(&stored.id);
         let journal = match CampaignJournal::create(dir.join("journal.jsonl"), &campaign) {
             Ok(j) => j,
-            Err(e) => return rejected_event(&format!("journal error: {e}")),
+            Err(e) => {
+                let msg = format!("journal error: {e}");
+                return self.reject(&mut st, tenant, "journal_error", &msg);
+            }
         };
         let js = JobState {
             units: campaign.expand(),
@@ -421,7 +498,10 @@ impl Server {
         };
         let (id, total) = (js.stored.id.clone(), js.total());
         st.queue.push(&js.stored.tenant, id.clone());
+        st.queued_at.insert(id.clone(), Instant::now());
         st.jobs.insert(id.clone(), js);
+        self.inner.metrics.admission_accepted.inc();
+        sync_queue_gauges(&self.inner.metrics, &st);
         drop(st);
         self.inner.work.notify_all();
         accepted_event(&id, total)
@@ -468,13 +548,16 @@ impl Server {
                 (replay, Some(rx))
             }
         };
+        let streamed = &self.inner.metrics.streamed_bytes;
         for line in replay {
             writeln!(writer, "{line}")?;
+            streamed.add(line.len() as u64 + 1);
         }
         if let Some(rx) = live {
             for line in rx {
                 let is_done = line.starts_with("{\"event\":\"done\"");
                 writeln!(writer, "{line}")?;
+                streamed.add(line.len() as u64 + 1);
                 if is_done {
                     break;
                 }
@@ -487,22 +570,178 @@ impl Server {
 
     fn status_line(&self) -> String {
         let st = self.lock();
-        let mut jobs = String::new();
-        for (id, js) in &st.jobs {
-            if !jobs.is_empty() {
-                jobs.push(',');
-            }
-            jobs.push_str(&format!(
-                "{{\"id\":{},\"tenant\":{},\"done\":{},\"failed\":{},\"total\":{},\"state\":{}}}",
-                escape(id),
-                escape(&js.stored.tenant),
-                js.done(),
-                js.failed(),
-                js.total(),
-                escape(if js.finished() { "done" } else { "active" }),
-            ));
+        format!("{{\"event\":\"status\",{}}}", jobs_tenants_json(&st))
+    }
+
+    // ----- observability surfaces (HTTP + status) ----------------------
+
+    /// The `/jobs` body: job table plus per-tenant rollup.
+    #[must_use]
+    pub fn jobs_json(&self) -> String {
+        let st = self.lock();
+        format!("{{{}}}", jobs_tenants_json(&st))
+    }
+
+    /// The `/metrics` body: scrape-time gauges refreshed, then the
+    /// registry rendered as Prometheus text exposition.
+    #[must_use]
+    pub fn metrics_exposition(&self) -> String {
+        self.refresh_scrape_gauges();
+        self.inner.metrics.registry.render_prometheus()
+    }
+
+    /// The `/metrics.json` body: the same registry as stable JSON.
+    #[must_use]
+    pub fn metrics_json(&self) -> String {
+        self.refresh_scrape_gauges();
+        self.inner.metrics.registry.render_json()
+    }
+
+    fn refresh_scrape_gauges(&self) {
+        let m = &self.inner.metrics;
+        m.uptime.set(self.inner.started.elapsed().as_secs_f64());
+        let st = self.lock();
+        let active = st.jobs.values().filter(|j| !j.finished()).count();
+        m.jobs_active.set(active as f64);
+    }
+
+    /// The `/healthz` probe: checks that the durable store is writable
+    /// by writing and removing a probe file in the store root. `Ok` is
+    /// the 200 body, `Err` the 503 body.
+    ///
+    /// # Errors
+    /// A JSON body naming the failure when the store root is unwritable.
+    pub fn health(&self) -> Result<String, String> {
+        let (root, active) = {
+            let st = self.lock();
+            let active = st.jobs.values().filter(|j| !j.finished()).count();
+            (st.store.root().to_path_buf(), active)
+        };
+        let probe = root.join(".healthz.probe");
+        let outcome = std::fs::write(&probe, b"ok").and_then(|()| std::fs::remove_file(&probe));
+        match outcome {
+            Ok(()) => Ok(format!(
+                "{{\"status\":\"ok\",\"store\":{},\"active_jobs\":{},\"uptime_seconds\":{:.3}}}",
+                escape(&root.display().to_string()),
+                active,
+                self.inner.started.elapsed().as_secs_f64(),
+            )),
+            Err(e) => Err(format!(
+                "{{\"status\":\"unwritable\",\"store\":{},\"error\":{}}}",
+                escape(&root.display().to_string()),
+                escape(&e.to_string()),
+            )),
         }
-        format!("{{\"event\":\"status\",\"jobs\":[{jobs}]}}")
+    }
+
+    /// Bumps the active-connection gauge until the guard drops.
+    #[must_use]
+    pub(crate) fn connection_guard(&self) -> ConnGuard {
+        let gauge = self.inner.metrics.active_connections.clone();
+        gauge.inc();
+        ConnGuard(gauge)
+    }
+}
+
+/// Decrements the active-connection gauge on drop.
+pub(crate) struct ConnGuard(Gauge);
+
+impl Drop for ConnGuard {
+    fn drop(&mut self) {
+        self.0.dec();
+    }
+}
+
+/// Renders `"jobs":[...],"tenants":[...]` — shared by the `status`
+/// protocol event and the HTTP `/jobs` body. Jobs come straight from
+/// the journals (so the view survives restarts); the tenant rollup adds
+/// queue depth, the unit in flight, and this process's rejection tally.
+fn jobs_tenants_json(st: &State) -> String {
+    let depth_vec = st.queue.tenant_depths();
+    let depths: BTreeMap<&str, usize> = depth_vec.iter().map(|(t, d)| (t.as_str(), *d)).collect();
+    let mut jobs = String::new();
+    struct Roll {
+        queued: usize,
+        active: usize,
+        served: usize,
+        failed: usize,
+        running: Option<(String, usize)>,
+    }
+    let mut tenants: BTreeMap<&str, Roll> = BTreeMap::new();
+    for (id, js) in &st.jobs {
+        if !jobs.is_empty() {
+            jobs.push(',');
+        }
+        let running_unit = match &st.running {
+            Some((rid, unit)) if rid == id => Some(*unit),
+            _ => None,
+        };
+        jobs.push_str(&format!(
+            "{{\"id\":{},\"tenant\":{},\"done\":{},\"failed\":{},\"total\":{},\"state\":{}{}}}",
+            escape(id),
+            escape(&js.stored.tenant),
+            js.done(),
+            js.failed(),
+            js.total(),
+            escape(if js.finished() { "done" } else { "active" }),
+            match running_unit {
+                Some(u) => format!(",\"unit\":{u}"),
+                None => String::new(),
+            },
+        ));
+        let roll = tenants.entry(&js.stored.tenant).or_insert(Roll {
+            queued: 0,
+            active: 0,
+            served: 0,
+            failed: 0,
+            running: None,
+        });
+        roll.active += usize::from(!js.finished());
+        roll.served += js.done();
+        roll.failed += js.failed();
+        if let Some(u) = running_unit {
+            roll.running = Some((id.clone(), u));
+        }
+    }
+    for (tenant, depth) in &depths {
+        if let Some(roll) = tenants.get_mut(tenant) {
+            roll.queued = *depth;
+        }
+    }
+    let mut out = String::new();
+    for (tenant, roll) in &tenants {
+        if !out.is_empty() {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"tenant\":{},\"queued\":{},\"active_jobs\":{},\"served\":{},\"failed\":{},\
+             \"rejected\":{},\"running\":{}}}",
+            escape(tenant),
+            roll.queued,
+            roll.active,
+            roll.served,
+            roll.failed,
+            st.rejects.get(*tenant).copied().unwrap_or(0),
+            match &roll.running {
+                Some((id, u)) => format!("{{\"job\":{},\"unit\":{u}}}", escape(id)),
+                None => "null".to_owned(),
+            },
+        ));
+    }
+    format!("\"jobs\":[{jobs}],\"tenants\":[{out}]")
+}
+
+/// Sets every known tenant's queue-depth gauge (0 when not in
+/// rotation), so gauges never go stale when a tenant drains.
+fn sync_queue_gauges(m: &ServeMetrics, st: &State) {
+    let depths: BTreeMap<String, usize> = st.queue.tenant_depths().into_iter().collect();
+    let mut seen = std::collections::BTreeSet::new();
+    for js in st.jobs.values() {
+        let tenant = js.stored.tenant.as_str();
+        if seen.insert(tenant) {
+            let depth = depths.get(tenant).copied().unwrap_or(0);
+            m.tenant_queue_depth(tenant).set(depth as f64);
+        }
     }
 }
 
@@ -527,23 +766,29 @@ fn write_unit_artifacts(dir: &std::path::Path, unit: usize, a: &JobArtifacts) {
 }
 
 /// Commits one unit's outcome (the durable commit point) and broadcasts
-/// the resulting events to subscribers.
+/// the resulting events to subscribers. The commit fsync is timed into
+/// the store-fsync histogram; the journal bytes themselves are rendered
+/// exactly as before — metrics only watch the clock.
 fn commit_unit(
     js: &mut JobState,
     unit: usize,
     outcome: JobOutcome,
     artifacts: Option<&JobArtifacts>,
+    m: &ServeMetrics,
 ) {
     let rec = JobRecord {
         job: js.units[unit].clone(),
         outcome,
     };
+    let fsync_started = Instant::now();
     js.journal.commit(&rec).unwrap_or_else(|e| {
         panic!(
             "cannot commit unit {unit} of {} to its journal: {e}",
             js.stored.id
         )
     });
+    m.store_fsync("commit")
+        .observe(fsync_started.elapsed().as_secs_f64());
     let id = js.stored.id.clone();
     let line = rec.render(&js.stored.campaign.name);
     js.broadcast(&record_event(&id, unit, &line));

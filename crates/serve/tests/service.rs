@@ -286,6 +286,204 @@ fn observed_jobs_stream_stats_and_epochs() {
     assert_eq!(replayed_stats.as_deref(), Some(stats.as_str()));
 }
 
+/// Like [`spawn_daemon`], but also starts the read-only HTTP
+/// observability listener and returns the [`Server`] handle.
+fn spawn_daemon_http(store: PathBuf, quantum: u64) -> (String, String, Server) {
+    let mut cfg = ServeConfig::new(store);
+    cfg.quantum = quantum;
+    let server = Server::open(cfg).expect("open store");
+    server.start_scheduler();
+    let listener = Listener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr();
+    {
+        let server = server.clone();
+        std::thread::spawn(move || {
+            let _ = server.serve(&listener);
+        });
+    }
+    let http = Listener::bind("127.0.0.1:0").expect("bind http");
+    let http_addr = http.local_addr();
+    {
+        let server = server.clone();
+        std::thread::spawn(move || {
+            let _ = dramctrl_serve::serve_http(&server, &http);
+        });
+    }
+    (addr, http_addr, server)
+}
+
+/// One raw HTTP/1.1 exchange; returns (status, head, body).
+fn http_request(addr: &str, verb: &str, path: &str) -> (u16, String, String) {
+    use std::io::Read;
+    let mut s = std::net::TcpStream::connect(addr).unwrap();
+    write!(
+        s,
+        "{verb} {path} HTTP/1.1\r\nHost: test\r\nConnection: close\r\n\r\n"
+    )
+    .unwrap();
+    let mut text = String::new();
+    s.read_to_string(&mut text).unwrap();
+    let (head, body) = text.split_once("\r\n\r\n").expect("header/body split");
+    let status = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|c| c.parse().ok())
+        .unwrap_or_else(|| panic!("no status in {head:?}"));
+    (status, head.to_owned(), body.to_owned())
+}
+
+#[test]
+fn http_endpoints_expose_metrics_health_and_jobs() {
+    let root = tmp("http");
+    let (addr, http, _server) = spawn_daemon_http(root.join("store"), 500);
+    let mut client = Client::connect(&addr).unwrap();
+    let (id, total) = client.submit("alice", 0, &campaign("sweep")).unwrap();
+    client.watch(&id, |_, _| {}).unwrap();
+
+    let (code, head, body) = http_request(&http, "GET", "/metrics");
+    assert_eq!(code, 200);
+    assert!(head.contains("text/plain"), "{head}");
+    dramctrl_obs::metrics::validate_exposition(&body).expect("well-formed exposition");
+    for needle in [
+        "dramctrl_admission_total{result=\"accepted\"} 1",
+        &format!("dramctrl_tenant_served_units_total{{tenant=\"alice\"}} {total}"),
+        "dramctrl_store_fsync_seconds_count{op=\"commit\"}",
+        "dramctrl_store_fsync_seconds_count{op=\"accept\"}",
+        "dramctrl_executor_units_per_second",
+        "dramctrl_sched_preemptions_total",
+        "dramctrl_sched_wait_seconds_count",
+    ] {
+        assert!(body.contains(needle), "missing {needle} in:\n{body}");
+    }
+
+    let (code, head, body) = http_request(&http, "GET", "/metrics.json");
+    assert_eq!(code, 200);
+    assert!(head.contains("application/json"), "{head}");
+    assert!(body.starts_with("{\"families\":["), "{body}");
+
+    let (code, _, body) = http_request(&http, "GET", "/jobs");
+    assert_eq!(code, 200);
+    assert!(
+        body.contains(&format!("\"id\":\"{id}\"")) && body.contains("\"tenants\":"),
+        "{body}"
+    );
+
+    let (code, _, body) = http_request(&http, "GET", "/healthz");
+    assert_eq!(code, 200);
+    assert!(body.contains("\"status\":\"ok\""), "{body}");
+
+    let (code, _, _) = http_request(&http, "GET", "/nope");
+    assert_eq!(code, 404);
+    let (code, _, _) = http_request(&http, "POST", "/metrics");
+    assert_eq!(code, 405);
+}
+
+#[test]
+fn healthz_reports_unwritable_store_as_503() {
+    let root = tmp("health");
+    let store = root.join("store");
+    let (_addr, http, _server) = spawn_daemon_http(store.clone(), 1_000);
+    let (code, _, _) = http_request(&http, "GET", "/healthz");
+    assert_eq!(code, 200);
+
+    // Yank the store out from under the daemon: the probe write fails,
+    // so the endpoint must flip to 503 (and recover when the directory
+    // comes back).
+    std::fs::remove_dir_all(&store).unwrap();
+    let (code, _, body) = http_request(&http, "GET", "/healthz");
+    assert_eq!(code, 503, "{body}");
+    assert!(body.contains("\"status\":\"unwritable\""), "{body}");
+    std::fs::create_dir_all(&store).unwrap();
+    let (code, _, _) = http_request(&http, "GET", "/healthz");
+    assert_eq!(code, 200);
+}
+
+#[test]
+fn concurrent_scrapes_never_perturb_streamed_records() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    let root = tmp("zero-perturb");
+    let (addr, http, _server) = spawn_daemon_http(root.join("store"), 500);
+    let c = campaign("sweep");
+    let want = reference_jsonl(&c, &root.join("ref"));
+
+    let mut client = Client::connect(&addr).unwrap();
+    let (id, total) = client.submit("alice", 0, &c).unwrap();
+
+    // Hammer /metrics from another thread for the whole run.
+    let stop = std::sync::Arc::new(AtomicBool::new(false));
+    let scraper = {
+        let (stop, http) = (stop.clone(), http.clone());
+        std::thread::spawn(move || {
+            let mut n = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                let (code, _, _) = http_request(&http, "GET", "/metrics");
+                assert_eq!(code, 200);
+                n += 1;
+            }
+            n
+        })
+    };
+
+    let mut records = vec![None; total];
+    client
+        .watch(&id, |v, line| {
+            if v.get("event").and_then(Value::as_str) == Some("record") {
+                let i = v.get("index").and_then(Value::as_u64).unwrap() as usize;
+                records[i] = Some(proto::record_data(line).unwrap().to_owned());
+            }
+        })
+        .unwrap();
+    stop.store(true, Ordering::Relaxed);
+    assert!(scraper.join().unwrap() >= 1, "scraper never ran");
+
+    let got: String = records
+        .into_iter()
+        .map(|r| r.expect("every unit streamed") + "\n")
+        .collect();
+    assert_eq!(got, want, "scraped run == unscraped standalone run");
+}
+
+#[test]
+fn preemption_counter_matches_independent_slice_replay() {
+    use dramctrl_bench::{run_job_slice, SliceOutcome};
+    let root = tmp("preempt");
+    let quantum = 700;
+    let (addr, _http, server) = spawn_daemon_http(root.join("store"), quantum);
+    let c = campaign("sweep");
+    let mut client = Client::connect(&addr).unwrap();
+    let (id, _) = client.submit("alice", 0, &c).unwrap();
+    client.watch(&id, |_, _| {}).unwrap();
+
+    let text = server.metrics_exposition();
+    let got: u64 = text
+        .lines()
+        .find(|l| l.starts_with("dramctrl_sched_preemptions_total "))
+        .and_then(|l| l.rsplit(' ').next()?.parse().ok())
+        .expect("preemption counter present");
+
+    // Replay each unit through the same slicing rule the scheduler uses
+    // (first target = quantum, then injected + quantum) and count pauses.
+    // Slicing is simulation-deterministic, so the counts must agree.
+    let replay = root.join("replay");
+    std::fs::create_dir_all(&replay).unwrap();
+    let mut want = 0u64;
+    for (i, unit) in c.expand().iter().enumerate() {
+        let ckpt = replay.join(format!("u{i}.snap"));
+        let mut target = quantum;
+        loop {
+            match run_job_slice(unit, &ckpt, Some(target)) {
+                SliceOutcome::Done(_) => break,
+                SliceOutcome::Paused { injected } => {
+                    want += 1;
+                    target = injected + quantum;
+                }
+            }
+        }
+    }
+    assert!(want >= 1, "quantum too large to preempt at all");
+    assert_eq!(got, want, "daemon preemptions == slice-replay preemptions");
+}
+
 #[test]
 fn hello_is_first_line_on_every_connection() {
     let root = tmp("hello");
