@@ -20,7 +20,7 @@
 use crate::exec::JobOutcome;
 use crate::report::{render_parts, render_record, JobMetrics, JobRecord};
 use crate::spec::{Campaign, JobSpec};
-use dramctrl_kernel::fsio::DurableAppender;
+use dramctrl_kernel::fsio::{self, DurableAppender};
 use dramctrl_kernel::snap::fingerprint;
 use std::collections::BTreeMap;
 use std::fmt;
@@ -188,6 +188,31 @@ impl CampaignJournal {
             total: scan.total,
             dropped_torn_tail: scan.dropped_torn_tail,
         })
+    }
+
+    /// Opens `path` in whatever state a crash left it: a missing file —
+    /// or one whose header line never landed whole (the crash window
+    /// between file creation and the header append) — is created fresh;
+    /// anything with a durable header resumes normally.
+    ///
+    /// A header-less file can hold no records, so recreating it loses
+    /// nothing. A file whose *complete* first line is not our header is
+    /// still refused: that is someone else's data, not a crash artifact.
+    ///
+    /// # Errors
+    /// The same errors as [`create`](Self::create) and
+    /// [`resume`](Self::resume), minus the torn-header `NotAJournal`.
+    pub fn recover(path: impl Into<PathBuf>, campaign: &Campaign) -> Result<Self, JournalError> {
+        let path = path.into();
+        if !path.exists() {
+            return Self::create(path, campaign);
+        }
+        match Self::resume(&path, campaign) {
+            Err(JournalError::NotAJournal) if !std::fs::read_to_string(&path)?.contains('\n') => {
+                Self::create(path, campaign)
+            }
+            other => other,
+        }
     }
 
     /// Reads a journal without opening it for appends and without
@@ -453,9 +478,13 @@ pub fn merge_journals(
 
 /// Crash-injection hook for the recovery tests: when the environment
 /// variable `DRAMCTRL_TEST_KILL_AFTER_APPENDS` is set to `N`, the process
-/// exits with code 86 immediately after the `N`-th durable journal
-/// append — after the commit point, before anything else — simulating a
-/// kill at the worst possible moment.
+/// dies immediately after the `N`-th durable journal append — after the
+/// commit point, before anything else — simulating a kill at the worst
+/// possible moment. The append-counting trigger predates the general
+/// fault layer and is kept for its after-the-commit-point semantics; the
+/// crash itself (exit code [`fsio::fault::CRASH_EXIT_CODE`]) is shared
+/// with `DRAMCTRL_FAULT_PLAN`'s `crash` action, which covers the
+/// before-the-op half of the space.
 fn test_kill_hook() {
     use std::sync::atomic::{AtomicU64, Ordering};
     use std::sync::OnceLock;
@@ -470,7 +499,7 @@ fn test_kill_hook() {
     };
     if APPENDS.fetch_add(1, Ordering::SeqCst) + 1 == limit {
         eprintln!("test kill hook: exiting after {limit} journal append(s)");
-        std::process::exit(86);
+        fsio::fault::crash_now();
     }
 }
 

@@ -163,6 +163,13 @@ SERVICE OPTIONS:
                          (503 when the store is unwritable), /jobs
       --log-level LEVEL  stderr log threshold: error|warn|info|debug|trace
                          (default info; lines are structured key=\"value\")
+      --client-timeout D per-connection read/write deadline; idle or
+                         non-reading clients are evicted after D
+                         (e.g. 30s, 250ms; 0 disables; default 30s)
+      --subscriber-buffer N
+                         outbound event-buffer depth per watcher; a
+                         watcher that stops reading is evicted once its
+                         buffer fills (default 1024)
     submit (takes the same axis flags as sweep, plus):
       --to ADDR          the service to submit to
       --tenant NAME      tenant for fair scheduling (default cli)
@@ -174,6 +181,9 @@ SERVICE OPTIONS:
                          (byte-identical to the same campaign's
                          `sweep --jsonl` output)
       --obs-dir DIR      write streamed stats/epoch artifacts per unit
+      --reconnect        survive daemon restarts: retry with exponential
+                         backoff and resume the stream gap- and dup-free
+                         from the last-seen record
     status:
       --to ADDR          the service to query
       --json             print the raw status event (one JSON line with
@@ -1065,6 +1075,8 @@ const SERVE_OPTS: &[&str] = &[
     "quantum",
     "http",
     "log-level",
+    "client-timeout",
+    "subscriber-buffer",
 ];
 
 fn serve(argv: Vec<String>) -> Result<(), ArgError> {
@@ -1085,6 +1097,19 @@ fn serve(argv: Vec<String>) -> Result<(), ArgError> {
     cfg.quantum = a.parse_or("quantum", cfg.quantum)?;
     if cfg.quantum == 0 {
         return Err(ArgError("--quantum must be at least 1".into()));
+    }
+    if let Some(t) = a.get("client-timeout") {
+        // `parse_duration` yields picoseconds; the deadline is wall
+        // clock, so convert. `0` disables the deadline entirely.
+        let ps = parse_duration(t)?;
+        if ps > 0 && ps < 1_000_000_000 {
+            return Err(ArgError("--client-timeout below 1ms is not usable".into()));
+        }
+        cfg.client_timeout = (ps > 0).then(|| std::time::Duration::from_nanos(ps / 1_000));
+    }
+    cfg.subscriber_buffer = a.parse_or("subscriber-buffer", cfg.subscriber_buffer)?;
+    if cfg.subscriber_buffer == 0 {
+        return Err(ArgError("--subscriber-buffer must be at least 1".into()));
     }
     let (quantum, max_jobs) = (cfg.quantum, cfg.max_jobs);
     let server =
@@ -1166,11 +1191,11 @@ fn connect(addr: &str) -> Result<dramctrl_serve::Client, ArgError> {
         .map_err(|e| ArgError(format!("connecting to {addr:?}: {e}")))
 }
 
-const WATCH_OPTS: &[&str] = &["to", "jsonl", "obs-dir"];
+const WATCH_OPTS: &[&str] = &["to", "jsonl", "obs-dir", "reconnect"];
 
 fn watch(argv: Vec<String>) -> Result<(), ArgError> {
     use dramctrl_serve::wire::Value;
-    let a = Args::parse(argv, &[])?;
+    let a = Args::parse(argv, &["reconnect"])?;
     a.ensure_known(WATCH_OPTS)?;
     let [id] = a.positional() else {
         return Err(ArgError("watch needs exactly one job id".into()));
@@ -1185,39 +1210,43 @@ fn watch(argv: Vec<String>) -> Result<(), ArgError> {
     }
 
     let mut records: std::collections::BTreeMap<usize, String> = Default::default();
-    let mut client = connect(to)?;
-    let summary = client
-        .watch(id, |v, line| {
-            let index = || v.get("index").and_then(Value::as_u64).unwrap_or(0) as usize;
-            match v.get("event").and_then(Value::as_str) {
-                Some("record") => {
-                    if let Some(data) = dramctrl_serve::record_data(line) {
-                        records.insert(index(), data.to_owned());
-                    }
+    let mut on_event = |v: &Value, line: &str| {
+        let index = || v.get("index").and_then(Value::as_u64).unwrap_or(0) as usize;
+        match v.get("event").and_then(Value::as_str) {
+            Some("record") => {
+                if let Some(data) = dramctrl_serve::record_data(line) {
+                    records.insert(index(), data.to_owned());
                 }
-                Some("progress") => {
-                    let done = v.get("done").and_then(Value::as_u64).unwrap_or(0);
-                    let total = v.get("total").and_then(Value::as_u64).unwrap_or(0);
-                    eprint!("\r[{id}] {done}/{total} units committed  ");
-                }
-                Some(event @ ("stats" | "epochs")) => {
-                    if let (Some(dir), Some(text)) =
-                        (&obs_dir, v.get("text").and_then(Value::as_str))
-                    {
-                        let ext = if event == "stats" {
-                            "stats.json"
-                        } else {
-                            "epochs.jsonl"
-                        };
-                        let path = dir.join(format!("unit-{:06}.{ext}", index()));
-                        write_atomic(&path, text)
-                            .unwrap_or_else(|e| panic!("writing artifact {}: {e}", path.display()));
-                    }
-                }
-                _ => {}
             }
-        })
-        .map_err(|e| ArgError(e.to_string()))?;
+            Some("progress") => {
+                let done = v.get("done").and_then(Value::as_u64).unwrap_or(0);
+                let total = v.get("total").and_then(Value::as_u64).unwrap_or(0);
+                eprint!("\r[{id}] {done}/{total} units committed  ");
+            }
+            Some(event @ ("stats" | "epochs")) => {
+                if let (Some(dir), Some(text)) = (&obs_dir, v.get("text").and_then(Value::as_str)) {
+                    let ext = if event == "stats" {
+                        "stats.json"
+                    } else {
+                        "epochs.jsonl"
+                    };
+                    let path = dir.join(format!("unit-{:06}.{ext}", index()));
+                    write_atomic(&path, text)
+                        .unwrap_or_else(|e| panic!("writing artifact {}: {e}", path.display()));
+                }
+            }
+            _ => {}
+        }
+    };
+    let summary = if a.switch("reconnect") {
+        // Rides through daemon restarts: retryable transport errors
+        // reconnect with backoff, and the replayed history is deduped by
+        // unit index, so the collected records stay gap- and dup-free.
+        dramctrl_serve::Client::watch_with_reconnect(to, id, &mut on_event)
+    } else {
+        connect(to)?.watch(id, &mut on_event)
+    }
+    .map_err(|e| ArgError(e.to_string()))?;
     eprintln!();
 
     if let Some(path) = a.get("jsonl") {

@@ -225,6 +225,82 @@ fn sigkilled_daemon_restarted_on_same_store_resumes_every_job() {
     );
 }
 
+#[test]
+fn watch_reconnect_rides_through_a_daemon_kill_and_restart() {
+    let dir = tmp_dir("reconnect");
+    let p = |n: &str| dir.join(n).to_str().unwrap().to_owned();
+    let sock = p("daemon.sock");
+    let store = p("store");
+    let axes: &[&str] = &[
+        "--seed",
+        "13",
+        "--reads",
+        "0,20,40,60,80,100",
+        "--requests",
+        "4000",
+    ];
+
+    ok(&dramctrl()
+        .args(["sweep", "--quiet", "--jsonl", &p("base.jsonl")])
+        .args(axes)
+        .output()
+        .unwrap());
+
+    // Daemon #1 accepts the job; a `--reconnect` watcher starts
+    // streaming while the daemon is still alive.
+    let mut daemon1 = Daemon::spawn(&sock, &store, "400");
+    wait_ready(&sock);
+    let id = submit(&sock, "alice", axes);
+    let watcher = dramctrl()
+        .args([
+            "watch",
+            &id,
+            "--to",
+            &sock,
+            "--reconnect",
+            "--jsonl",
+            &p("resumed.jsonl"),
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .unwrap();
+
+    // Let at least one unit commit, then SIGKILL the daemon out from
+    // under the live watch.
+    let journal = dir.join("store").join(&id).join("journal.jsonl");
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let committed = std::fs::read_to_string(&journal)
+            .map(|t| t.lines().count())
+            .unwrap_or(0);
+        if committed >= 2 {
+            break;
+        }
+        assert!(Instant::now() < deadline, "no unit ever committed");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    daemon1.kill();
+    // Leave the watcher retrying against a dead socket for a moment —
+    // it must back off, not exit.
+    std::thread::sleep(Duration::from_millis(300));
+
+    // Daemon #2 on the same store resumes the job; the watcher should
+    // reconnect by itself and run the stream to completion.
+    let _daemon2 = Daemon::spawn(&sock, &store, "400");
+    let out = ok(&watcher.wait_with_output().unwrap()).clone();
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("6 ok, 0 failed"), "{stdout}");
+
+    // Replay dedup on resume: the reassembled report is byte-identical
+    // to an uninterrupted standalone sweep — no gap, no duplicate.
+    assert_eq!(
+        std::fs::read(p("resumed.jsonl")).unwrap(),
+        std::fs::read(p("base.jsonl")).unwrap(),
+        "reconnected watch report != uninterrupted standalone sweep"
+    );
+}
+
 /// One raw HTTP/1.1 GET; returns (status, body).
 fn http_get(addr: &str, path: &str) -> (u16, String) {
     use std::io::{Read, Write};

@@ -5,7 +5,37 @@ use crate::net::Stream;
 use crate::proto::{campaign_to_wire, VersionInfo};
 use crate::wire::Value;
 use dramctrl_campaign::Campaign;
+use std::collections::HashSet;
 use std::io::{self, BufRead, BufReader, Write};
+use std::time::Duration;
+
+/// First retry delay of [`Client::watch_with_reconnect`].
+pub const RECONNECT_BACKOFF_START: Duration = Duration::from_millis(100);
+/// Retry-delay ceiling of [`Client::watch_with_reconnect`].
+pub const RECONNECT_BACKOFF_MAX: Duration = Duration::from_secs(2);
+/// Consecutive event-free attempts before `watch_with_reconnect` gives
+/// up (roughly 13 s of backoff at the defaults). The counter resets
+/// whenever a connection delivers an event, so a daemon that keeps
+/// crashing mid-stream still gets a fresh budget each time it comes
+/// back.
+pub const RECONNECT_MAX_SILENT_RETRIES: u32 = 10;
+
+/// Transport failures worth retrying: the daemon is down, restarting,
+/// or closed the stream mid-flight. `NotFound` covers a unix socket
+/// path removed by a daemon that has not rebound yet. Protocol errors
+/// (`InvalidData`) and daemon-side rejections (`Other`, e.g. "no such
+/// job") are final.
+fn reconnectable(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::ConnectionRefused
+            | io::ErrorKind::ConnectionReset
+            | io::ErrorKind::ConnectionAborted
+            | io::ErrorKind::BrokenPipe
+            | io::ErrorKind::UnexpectedEof
+            | io::ErrorKind::NotFound
+    )
+}
 
 /// A connected, version-checked client.
 #[derive(Debug)]
@@ -160,6 +190,76 @@ impl Client {
                     return Err(io::Error::other(format!("watch failed: {reason}")));
                 }
                 _ => on_event(&v, &line),
+            }
+        }
+    }
+
+    /// Like [`Client::watch`], but owns the connection and survives
+    /// daemon restarts: on a retryable transport error (connection
+    /// refused/reset/aborted, broken pipe, a vanished socket file, or
+    /// the daemon closing mid-stream) it reconnects with exponential
+    /// backoff — [`RECONNECT_BACKOFF_START`] doubling to
+    /// [`RECONNECT_BACKOFF_MAX`] — and re-issues the watch.
+    ///
+    /// The daemon replays a job's committed history on every watch, so
+    /// the wrapper remembers which `record`/`stats`/`epochs` indices it
+    /// already delivered and drops them on resume: `on_event` sees each
+    /// committed unit exactly once, with no gap and no duplicate, even
+    /// across a daemon kill-and-restart. (`progress` lines pass through
+    /// unfiltered — they are transient, not part of the record stream.)
+    ///
+    /// # Errors
+    /// Non-retryable errors (version mismatch, a daemon-side `error`
+    /// event, malformed events), or the last transport error after
+    /// [`RECONNECT_MAX_SILENT_RETRIES`] consecutive attempts that
+    /// delivered nothing.
+    pub fn watch_with_reconnect(
+        addr: &str,
+        id: &str,
+        mut on_event: impl FnMut(&Value, &str),
+    ) -> io::Result<WatchSummary> {
+        // (event kind, unit index) pairs already handed to `on_event`.
+        let mut seen: HashSet<(u8, u64)> = HashSet::new();
+        let mut backoff = RECONNECT_BACKOFF_START;
+        let mut silent_failures = 0u32;
+        loop {
+            let mut delivered = false;
+            let attempt = Self::connect(addr).and_then(|mut c| {
+                c.watch(id, |v, line| {
+                    let index = || v.get("index").and_then(Value::as_u64).unwrap_or(0);
+                    let kind = match v.get("event").and_then(Value::as_str) {
+                        Some("record") => Some(0),
+                        Some("stats") => Some(1),
+                        Some("epochs") => Some(2),
+                        _ => None,
+                    };
+                    if let Some(kind) = kind {
+                        if !seen.insert((kind, index())) {
+                            return; // replayed on reconnect: already delivered
+                        }
+                    }
+                    delivered = true;
+                    on_event(v, line);
+                })
+            });
+            match attempt {
+                Ok(summary) => return Ok(summary),
+                Err(e) if reconnectable(&e) => {
+                    if delivered {
+                        // The daemon was alive this attempt; start the
+                        // retry budget and backoff over.
+                        silent_failures = 0;
+                        backoff = RECONNECT_BACKOFF_START;
+                    } else {
+                        silent_failures += 1;
+                        if silent_failures > RECONNECT_MAX_SILENT_RETRIES {
+                            return Err(e);
+                        }
+                    }
+                    std::thread::sleep(backoff);
+                    backoff = (backoff * 2).min(RECONNECT_BACKOFF_MAX);
+                }
+                Err(e) => return Err(e),
             }
         }
     }

@@ -18,9 +18,13 @@
 //! listener reuses [`Listener`], so `--http` accepts the same
 //! path-vs-`host:port` addresses as `--listen`.
 
-use crate::net::{Listener, Stream};
+use crate::net::{read_line_bounded, Listener, Stream};
 use crate::server::Server;
-use std::io::{self, BufRead, BufReader, Read, Write};
+use std::io::{self, BufReader, Read, Write};
+
+/// Longest accepted request or header line (bytes). Generous for any
+/// real scraper; a bound against a client streaming an endless "line".
+const MAX_HTTP_LINE: usize = 16 * 1024;
 
 /// Accept loop for the HTTP listener: one thread per connection,
 /// forever. Mirrors [`Server::serve`].
@@ -49,7 +53,7 @@ struct Request {
 /// left mid-stream when we close).
 fn read_request(reader: &mut BufReader<Stream>) -> io::Result<Option<Request>> {
     let mut line = String::new();
-    if reader.read_line(&mut line)? == 0 {
+    if read_line_bounded(reader, &mut line, MAX_HTTP_LINE)? == 0 {
         return Ok(None);
     }
     let mut parts = line.split_whitespace();
@@ -59,7 +63,7 @@ fn read_request(reader: &mut BufReader<Stream>) -> io::Result<Option<Request>> {
     let mut content_len = 0usize;
     loop {
         let mut header = String::new();
-        if reader.read_line(&mut header)? == 0 {
+        if read_line_bounded(reader, &mut header, MAX_HTTP_LINE)? == 0 {
             break;
         }
         let header = header.trim_end();
@@ -98,6 +102,8 @@ fn respond(
 /// Serves exactly one request on `conn` and closes it.
 fn handle_http(server: &Server, conn: Stream) -> io::Result<()> {
     let _guard = server.connection_guard();
+    conn.set_read_timeout(server.client_timeout())?;
+    conn.set_write_timeout(server.client_timeout())?;
     let mut writer = conn.try_clone()?;
     let mut reader = BufReader::new(conn);
     let Some(req) = read_request(&mut reader)? else {

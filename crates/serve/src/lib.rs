@@ -48,5 +48,5 @@ pub use metrics::ServeMetrics;
 pub use net::{Listener, Stream};
 pub use proto::{record_data, VersionInfo, PROTO_VERSION};
 pub use sched::FairQueue;
-pub use server::{ServeConfig, Server};
+pub use server::{ServeConfig, Server, STORE_BACKOFF_MAX, STORE_BACKOFF_START};
 pub use store::{JobStore, StoredJob};

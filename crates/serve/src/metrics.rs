@@ -40,6 +40,14 @@ pub struct ServeMetrics {
     pub uptime: Gauge,
     /// Unfinished jobs (set at scrape time).
     pub jobs_active: Gauge,
+    /// 1 while the durable store is failing writes and the daemon is in
+    /// degraded mode (admissions shed, scheduler paused), else 0.
+    pub store_degraded: Gauge,
+    /// Store recovery attempts made while degraded.
+    pub store_retries: Counter,
+    /// Client connections evicted for hostility: idle past the read
+    /// deadline, or a watch subscriber whose outbound buffer overflowed.
+    pub clients_evicted: Counter,
 }
 
 impl ServeMetrics {
@@ -94,6 +102,21 @@ impl ServeMetrics {
             &[],
         );
         let jobs_active = registry.gauge("dramctrl_jobs_active", "Jobs not yet finished.", &[]);
+        let store_degraded = registry.gauge(
+            "dramctrl_store_degraded",
+            "1 while store writes are failing and admissions are shed, else 0.",
+            &[],
+        );
+        let store_retries = registry.counter(
+            "dramctrl_store_retries_total",
+            "Store recovery attempts made while degraded.",
+            &[],
+        );
+        let clients_evicted = registry.counter(
+            "dramctrl_clients_evicted_total",
+            "Connections evicted: idle past the deadline or overflowing their outbound buffer.",
+            &[],
+        );
         Self {
             registry,
             admission_accepted,
@@ -106,11 +129,15 @@ impl ServeMetrics {
             units_per_second,
             uptime,
             jobs_active,
+            store_degraded,
+            store_retries,
+            clients_evicted,
         }
     }
 
-    /// The rejection counter for one normalised reason
-    /// (`queue_full`, `bad_campaign`, `store_error`, `journal_error`).
+    /// The rejection counter for one normalised reason (`queue_full`,
+    /// `bad_campaign`, `store_error`, `journal_error`,
+    /// `store_unavailable` — the degraded-mode shed).
     #[must_use]
     pub fn rejected(&self, reason: &str) -> Counter {
         self.registry.counter(

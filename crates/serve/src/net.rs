@@ -4,10 +4,11 @@
 //! The protocol on top is pure line-delimited JSON, so nothing above
 //! this module cares which transport carried the bytes.
 
-use std::io::{self, Read, Write};
+use std::io::{self, BufRead, Read, Write};
 use std::net::{TcpListener, TcpStream};
 #[cfg(unix)]
 use std::os::unix::net::{UnixListener, UnixStream};
+use std::time::Duration;
 
 /// A connected byte stream (client or accepted server side).
 #[derive(Debug)]
@@ -43,6 +44,55 @@ impl Stream {
             Self::Unix(s) => Self::Unix(s.try_clone()?),
         })
     }
+
+    /// Sets the read deadline (`None` blocks forever). A blocked read
+    /// past the deadline fails with `WouldBlock`/`TimedOut` — the
+    /// hostile-client eviction path. Socket options are per connection,
+    /// so the deadline also covers handles from
+    /// [`try_clone`](Self::try_clone).
+    pub fn set_read_timeout(&self, dur: Option<Duration>) -> io::Result<()> {
+        match self {
+            Self::Tcp(s) => s.set_read_timeout(dur),
+            #[cfg(unix)]
+            Self::Unix(s) => s.set_read_timeout(dur),
+        }
+    }
+
+    /// Sets the write deadline (`None` blocks forever). A client that
+    /// stops reading eventually fills the socket buffer; the next write
+    /// then fails at the deadline instead of wedging the sender.
+    pub fn set_write_timeout(&self, dur: Option<Duration>) -> io::Result<()> {
+        match self {
+            Self::Tcp(s) => s.set_write_timeout(dur),
+            #[cfg(unix)]
+            Self::Unix(s) => s.set_write_timeout(dur),
+        }
+    }
+}
+
+/// Reads one `\n`-terminated line into `buf`, refusing lines longer
+/// than `max` bytes (newline included) with `InvalidData` — the bound
+/// that keeps a hostile client from growing a line buffer without
+/// limit. Returns the bytes read, `0` at EOF, like `read_line`.
+///
+/// On overflow the connection is no longer line-synchronized (the rest
+/// of the oversized line is unread), so the caller must drop it.
+///
+/// # Errors
+/// `InvalidData` on an oversized line, or any underlying read error.
+pub(crate) fn read_line_bounded(
+    reader: &mut impl BufRead,
+    buf: &mut String,
+    max: usize,
+) -> io::Result<usize> {
+    let n = (&mut *reader).take(max as u64 + 1).read_line(buf)?;
+    if n > max {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("line exceeds {max} bytes"),
+        ));
+    }
+    Ok(n)
 }
 
 impl Read for Stream {

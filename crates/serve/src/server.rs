@@ -29,9 +29,36 @@
 //! journal's keep-first dedup makes the first commit canonical either
 //! way). Results are byte-identical to a never-killed run, which is
 //! byte-identical to a standalone `dramctrl sweep` of the same campaign.
+//!
+//! ## Degraded mode
+//!
+//! A store that stops taking writes (disk full, failing fsyncs) must not
+//! kill the daemon. On any store I/O error the daemon enters **degraded
+//! mode**: the computed-but-uncommitted unit outcome is parked in
+//! memory, the scheduler stops starting new slices, new submits are shed
+//! with `rejected reason=store_unavailable`, `/healthz` answers 503 and
+//! the `dramctrl_store_degraded` gauge reads 1 — while status, metrics
+//! and in-flight `watch` streams keep serving from memory. The
+//! scheduler retries the store with bounded exponential backoff
+//! ([`STORE_BACKOFF_START`]..[`STORE_BACKOFF_MAX`]): each attempt
+//! repairs the accept log (truncating torn bytes), re-resumes the
+//! damaged journal (truncating its torn tail), re-commits the parked
+//! outcome and probes the store root. The first fully successful
+//! attempt exits degraded mode — no restart, no lost unit, and the
+//! journal bytes are exactly what an unfaulted run would have written.
+//!
+//! ## Hostile clients
+//!
+//! Connections carry read/write deadlines
+//! ([`ServeConfig::client_timeout`]): a client that connects and sends
+//! nothing, or stops reading its stream, is evicted at the deadline.
+//! Command lines are length-bounded, and each watch subscriber rides a
+//! bounded outbound buffer ([`ServeConfig::subscriber_buffer`]) — a
+//! consumer that falls behind a full buffer is dropped from the
+//! broadcast list rather than wedging the scheduler.
 
 use crate::metrics::ServeMetrics;
-use crate::net::{Listener, Stream};
+use crate::net::{read_line_bounded, Listener, Stream};
 use crate::proto::{
     accepted_event, campaign_from_wire, done_event, error_event, progress_event, record_event,
     rejected_event, text_event, VersionInfo,
@@ -44,12 +71,12 @@ use dramctrl_campaign::{CampaignJournal, JobMetrics, JobOutcome, JobRecord, JobS
 use dramctrl_kernel::fsio::write_atomic;
 use dramctrl_obs::metrics::Gauge;
 use std::collections::BTreeMap;
-use std::io::{self, BufRead, BufReader, Write};
+use std::io::{self, BufReader, Write};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Daemon tuning knobs.
 #[derive(Debug, Clone)]
@@ -63,16 +90,26 @@ pub struct ServeConfig {
     /// the first request boundary at or past this many injections since
     /// its last pause.
     pub quantum: u64,
+    /// Per-connection read/write deadline. A client that sends nothing
+    /// (or reads nothing) for this long is evicted; `None` disables the
+    /// deadline (trusted-network mode).
+    pub client_timeout: Option<Duration>,
+    /// Outbound event-buffer depth per watch subscriber. A subscriber
+    /// whose buffer is full when a broadcast arrives is evicted.
+    pub subscriber_buffer: usize,
 }
 
 impl ServeConfig {
-    /// Defaults: 8 active jobs, 1 000-request quantum.
+    /// Defaults: 8 active jobs, 1 000-request quantum, 30 s client
+    /// deadline, 1 024-event subscriber buffers.
     #[must_use]
     pub fn new(store: impl Into<PathBuf>) -> Self {
         Self {
             store: store.into(),
             max_jobs: 8,
             quantum: 1_000,
+            client_timeout: Some(Duration::from_secs(30)),
+            subscriber_buffer: 1024,
         }
     }
 }
@@ -88,8 +125,9 @@ struct JobState {
     failures: u32,
     /// Absolute injection target for the current unit's next slice.
     pause_target: u64,
-    /// Live `watch` subscribers (event lines).
-    subscribers: Vec<mpsc::Sender<String>>,
+    /// Live `watch` subscribers (event lines), each behind a bounded
+    /// buffer.
+    subscribers: Vec<mpsc::SyncSender<String>>,
 }
 
 impl JobState {
@@ -118,8 +156,20 @@ impl JobState {
         (0..self.total()).find(|i| !self.journal.completed().contains_key(i))
     }
 
-    fn broadcast(&mut self, line: &str) {
-        self.subscribers.retain(|s| s.send(line.to_owned()).is_ok());
+    /// Sends `line` to every subscriber, evicting any whose bounded
+    /// buffer is full: a watcher that stopped draining must not wedge
+    /// the scheduler or grow memory without limit. Disconnected
+    /// subscribers are pruned silently (normal hang-up).
+    fn broadcast(&mut self, line: &str, m: &ServeMetrics) {
+        self.subscribers
+            .retain(|s| match s.try_send(line.to_owned()) {
+                Ok(()) => true,
+                Err(mpsc::TrySendError::Full(_)) => {
+                    m.clients_evicted.inc();
+                    false
+                }
+                Err(mpsc::TrySendError::Disconnected(_)) => false,
+            });
     }
 }
 
@@ -135,7 +185,38 @@ struct State {
     rejects: BTreeMap<String, u64>,
     /// The (job, unit) the scheduler is running right now, if any.
     running: Option<(String, usize)>,
+    /// `Some` while the store is failing writes (degraded mode).
+    degraded: Option<Degraded>,
 }
+
+/// A unit outcome that is computed but not yet durably committed — the
+/// work the scheduler parks when the store starts failing, so recovery
+/// never re-runs the simulation.
+struct PendingCommit {
+    id: String,
+    unit: usize,
+    outcome: JobOutcome,
+    artifacts: Option<JobArtifacts>,
+}
+
+/// Degraded-mode bookkeeping: why, since when, the retry schedule, and
+/// the parked commit (if the failure struck mid-commit rather than
+/// mid-accept).
+struct Degraded {
+    reason: String,
+    since: Instant,
+    backoff: Duration,
+    next_retry: Instant,
+    pending: Option<PendingCommit>,
+}
+
+/// First retry delay after entering degraded mode.
+pub const STORE_BACKOFF_START: Duration = Duration::from_millis(50);
+/// Retry delays double up to this cap while the store stays broken.
+pub const STORE_BACKOFF_MAX: Duration = Duration::from_secs(2);
+
+/// Longest accepted protocol command line (bytes, newline included).
+const MAX_CMD_LINE: usize = 1 << 20;
 
 struct Inner {
     cfg: ServeConfig,
@@ -170,15 +251,11 @@ impl Server {
         for stored in accepted {
             let dir = store.job_dir(&stored.id);
             std::fs::create_dir_all(&dir)?;
+            // Killed between accept fsync and journal creation (or mid
+            // header write): the job is still fully described by the
+            // accept line, so `recover` starts it from scratch.
             let jpath = dir.join("journal.jsonl");
-            let journal = if jpath.exists() {
-                CampaignJournal::resume(&jpath, &stored.campaign)
-            } else {
-                // Killed between accept fsync and journal creation: the
-                // job is still fully described by the accept line.
-                CampaignJournal::create(&jpath, &stored.campaign)
-            }
-            .map_err(|e| {
+            let journal = CampaignJournal::recover(&jpath, &stored.campaign).map_err(|e| {
                 io::Error::new(
                     io::ErrorKind::InvalidData,
                     format!("recovering journal for {}: {e}", stored.id),
@@ -216,6 +293,7 @@ impl Server {
                     queued_at,
                     rejects: BTreeMap::new(),
                     running: None,
+                    degraded: None,
                 }),
                 work: Condvar::new(),
                 metrics: ServeMetrics::new(),
@@ -268,6 +346,24 @@ impl Server {
             let (id, unit, spec, epochs, snap, target) = {
                 let mut st = self.lock();
                 loop {
+                    // Degraded: the store owes us a commit (or at least a
+                    // successful probe) before any new simulation work is
+                    // worth starting. Retry on the backoff schedule; the
+                    // condvar wait keeps the thread cold in between.
+                    if let Some(next_retry) = st.degraded.as_ref().map(|d| d.next_retry) {
+                        let now = Instant::now();
+                        if now < next_retry {
+                            let (guard, _) = self
+                                .inner
+                                .work
+                                .wait_timeout(st, next_retry - now)
+                                .unwrap_or_else(std::sync::PoisonError::into_inner);
+                            st = guard;
+                        } else {
+                            self.try_store_recovery(&mut st);
+                        }
+                        continue;
+                    }
                     let picked = loop {
                         let Some(id) = st.queue.pop() else {
                             break None;
@@ -325,42 +421,33 @@ impl Server {
             let st = &mut *st; // split-borrow jobs and queue below
             let m = &self.inner.metrics;
             let quantum = self.inner.cfg.quantum;
-            let dir = st.store.job_dir(&id);
             st.running = None;
-            let Some(js) = st.jobs.get_mut(&id) else {
+            if !st.jobs.contains_key(&id) {
                 continue;
-            };
+            }
             match sliced {
                 Ok(Unit::Paused { injected }) => {
                     m.preemptions.inc();
+                    let js = st.jobs.get_mut(&id).expect("checked above");
                     js.pause_target = injected + quantum;
+                    requeue(st, &id);
                 }
                 Ok(Unit::Done(metrics, artifacts)) => {
-                    let attempts = js.failures + 1;
-                    // Artifacts land (atomically) before the commit: a
-                    // crash in between re-runs the unit and rewrites them
-                    // bit-identically.
-                    if let Some(a) = &artifacts {
-                        write_unit_artifacts(&dir, unit, a);
-                    }
-                    let outcome = JobOutcome::Completed { metrics, attempts };
-                    commit_unit(js, unit, outcome, artifacts.as_ref(), m);
-                    let _ = std::fs::remove_file(&snap);
-                    js.failures = 0;
-                    js.pause_target = quantum;
-                    m.units_completed.inc();
-                    m.tenant_served(&js.stored.tenant).inc();
-                    let elapsed = self.inner.started.elapsed().as_secs_f64();
-                    if elapsed > 0.0 {
-                        let done = m.units_completed.get() + m.units_failed.get();
-                        m.units_per_second.set(done as f64 / elapsed);
-                    }
+                    let attempts = st.jobs[&id].failures + 1;
+                    let pending = PendingCommit {
+                        id: id.clone(),
+                        unit,
+                        outcome: JobOutcome::Completed { metrics, attempts },
+                        artifacts,
+                    };
+                    self.finish_or_degrade(st, pending);
                 }
                 Err(payload) => {
                     // A panicked slice restarts its unit from scratch:
                     // the checkpoint may be mid-flight state of the very
                     // attempt that died.
                     let _ = std::fs::remove_file(&snap);
+                    let js = st.jobs.get_mut(&id).expect("checked above");
                     js.failures += 1;
                     js.pause_target = quantum;
                     if js.failures >= MAX_ATTEMPTS {
@@ -368,19 +455,163 @@ impl Server {
                             panic_msg: panic_message(payload.as_ref()),
                             attempts: js.failures,
                         };
-                        commit_unit(js, unit, outcome, None, m);
-                        js.failures = 0;
-                        m.units_failed.inc();
-                        m.tenant_served(&js.stored.tenant).inc();
+                        let pending = PendingCommit {
+                            id: id.clone(),
+                            unit,
+                            outcome,
+                            artifacts: None,
+                        };
+                        self.finish_or_degrade(st, pending);
+                    } else {
+                        requeue(st, &id);
                     }
                 }
             }
-            if !js.finished() {
-                let tenant = js.stored.tenant.clone();
-                st.queue.push(&tenant, id.clone());
-                st.queued_at.entry(id).or_insert_with(Instant::now);
-            }
             sync_queue_gauges(m, st);
+        }
+    }
+
+    /// Durably finishes a unit, or parks it and enters degraded mode if
+    /// the store refuses — either way the computed outcome is never
+    /// lost and the simulation never re-runs.
+    fn finish_or_degrade(&self, st: &mut State, pending: PendingCommit) {
+        if let Err(e) = self.complete_unit(st, &pending, false) {
+            self.enter_degraded(st, &e.to_string(), Some(pending));
+        }
+    }
+
+    /// The durable half of finishing a unit: artifacts → journal commit
+    /// → broadcast, then the bookkeeping (checkpoint cleanup, failure
+    /// reset, metrics, re-queue). With `repair_journal` the job's
+    /// journal is first re-resumed from disk, truncating any torn bytes
+    /// the failed append left behind; keep-first dedup then makes the
+    /// re-commit idempotent if the record actually survived.
+    fn complete_unit(
+        &self,
+        st: &mut State,
+        p: &PendingCommit,
+        repair_journal: bool,
+    ) -> io::Result<()> {
+        let m = &self.inner.metrics;
+        let dir = st.store.job_dir(&p.id);
+        let Some(js) = st.jobs.get_mut(&p.id) else {
+            return Ok(());
+        };
+        if repair_journal {
+            js.journal = CampaignJournal::resume(dir.join("journal.jsonl"), &js.stored.campaign)
+                .map_err(|e| {
+                    io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("re-resuming journal for {}: {e}", p.id),
+                    )
+                })?;
+        }
+        // Artifacts land (atomically) before the commit: a crash in
+        // between re-runs the unit and rewrites them bit-identically.
+        if let Some(a) = &p.artifacts {
+            write_unit_artifacts(&dir, p.unit, a)?;
+        }
+        commit_unit(js, p.unit, p.outcome.clone(), p.artifacts.as_ref(), m)?;
+        let _ = std::fs::remove_file(JobStore::unit_snap(&dir, p.unit));
+        js.failures = 0;
+        js.pause_target = self.inner.cfg.quantum;
+        m.tenant_served(&js.stored.tenant).inc();
+        if p.outcome.is_failed() {
+            m.units_failed.inc();
+        } else {
+            m.units_completed.inc();
+            let elapsed = self.inner.started.elapsed().as_secs_f64();
+            if elapsed > 0.0 {
+                let done = m.units_completed.get() + m.units_failed.get();
+                m.units_per_second.set(done as f64 / elapsed);
+            }
+        }
+        requeue(st, &p.id);
+        Ok(())
+    }
+
+    /// Flips the daemon into degraded mode (idempotent): records why,
+    /// parks the pending commit if one is not already parked, raises the
+    /// gauge and wakes the scheduler so it switches to the retry loop.
+    fn enter_degraded(&self, st: &mut State, reason: &str, pending: Option<PendingCommit>) {
+        self.inner.metrics.store_degraded.set(1.0);
+        match st.degraded.as_mut() {
+            Some(d) => {
+                // Already degraded (e.g. a submit hit the broken store
+                // while a commit is parked): never displace the parked
+                // commit — the scheduler blocks until it lands, so there
+                // is at most one.
+                if d.pending.is_none() {
+                    d.pending = pending;
+                }
+            }
+            None => {
+                dramctrl_obs::log_warn!(
+                    "serve", "store degraded; shedding new admissions";
+                    "reason" => reason
+                );
+                let now = Instant::now();
+                st.degraded = Some(Degraded {
+                    reason: reason.to_owned(),
+                    since: now,
+                    backoff: STORE_BACKOFF_START,
+                    next_retry: now + STORE_BACKOFF_START,
+                    pending,
+                });
+                self.inner.work.notify_all();
+            }
+        }
+    }
+
+    /// One recovery attempt: repair the accept log, land the parked
+    /// commit (through a re-resumed journal), probe the store root.
+    /// Full success exits degraded mode; any failure doubles the
+    /// backoff (capped) and leaves the parked commit parked.
+    fn try_store_recovery(&self, st: &mut State) {
+        let m = &self.inner.metrics;
+        m.store_retries.inc();
+        let result: io::Result<()> = (|| {
+            st.store.repair()?;
+            let pending = st.degraded.as_mut().and_then(|d| d.pending.take());
+            if let Some(p) = pending {
+                if let Err(e) = self.complete_unit(st, &p, true) {
+                    if let Some(d) = st.degraded.as_mut() {
+                        d.pending = Some(p);
+                    }
+                    return Err(e);
+                }
+            }
+            // An end-to-end writability probe through the same fsio
+            // layer real writes use, so injected faults and genuinely
+            // full disks agree on when the store is healthy.
+            let probe = st.store.root().join(".recovery.probe");
+            write_atomic(&probe, b"ok")?;
+            std::fs::remove_file(&probe)?;
+            Ok(())
+        })();
+        match result {
+            Ok(()) => {
+                let was = st.degraded.take();
+                m.store_degraded.set(0.0);
+                dramctrl_obs::log_info!(
+                    "serve", "store recovered; accepting submissions again";
+                    "degraded_seconds" => format!(
+                        "{:.3}",
+                        was.map_or(0.0, |d| d.since.elapsed().as_secs_f64())
+                    )
+                );
+                self.inner.work.notify_all();
+            }
+            Err(e) => {
+                if let Some(d) = st.degraded.as_mut() {
+                    d.backoff = (d.backoff * 2).min(STORE_BACKOFF_MAX);
+                    d.next_retry = Instant::now() + d.backoff;
+                    dramctrl_obs::log_warn!(
+                        "serve", "store still failing; backing off";
+                        "error" => e, "retry_in_ms" => d.backoff.as_millis()
+                    );
+                }
+            }
         }
     }
 
@@ -388,14 +619,37 @@ impl Server {
 
     fn handle_conn(&self, conn: Stream) -> io::Result<()> {
         let _guard = self.connection_guard();
+        // Deadlines are socket options, so they cover the cloned writer
+        // too: a client that stops reading its stream blocks the writer
+        // only until the write deadline, then the connection dies.
+        conn.set_read_timeout(self.inner.cfg.client_timeout)?;
+        conn.set_write_timeout(self.inner.cfg.client_timeout)?;
         let mut writer = conn.try_clone()?;
         let mut reader = BufReader::new(conn);
         writeln!(writer, "{}", VersionInfo::current().hello_line())?;
         let mut line = String::new();
         loop {
             line.clear();
-            if reader.read_line(&mut line)? == 0 {
-                return Ok(()); // client hung up
+            let read = read_line_bounded(&mut reader, &mut line, MAX_CMD_LINE);
+            match read {
+                Ok(0) => return Ok(()), // client hung up
+                Ok(_) => {}
+                Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+                    // Oversized line: the connection is no longer
+                    // line-synchronized, so answer and drop it.
+                    self.inner.metrics.clients_evicted.inc();
+                    let _ = writeln!(writer, "{}", error_event(&format!("bad command: {e}")));
+                    return Err(e);
+                }
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut =>
+                {
+                    // Idle past the read deadline: evict.
+                    self.inner.metrics.clients_evicted.inc();
+                    return Err(e);
+                }
+                Err(e) => return Err(e),
             }
             let trimmed = line.trim();
             if trimmed.is_empty() {
@@ -458,6 +712,12 @@ impl Server {
         };
 
         let mut st = self.lock();
+        // Degraded store: shed before touching it. The parked commit and
+        // the retry loop own the store until it recovers.
+        if let Some(d) = &st.degraded {
+            let msg = format!("store unavailable: {}", d.reason);
+            return self.reject(&mut st, tenant, "store_unavailable", &msg);
+        }
         let active = st.jobs.values().filter(|j| !j.finished()).count();
         if active >= self.inner.cfg.max_jobs {
             let msg = format!(
@@ -472,8 +732,11 @@ impl Server {
         let stored = match st.store.accept(tenant, epochs, &campaign) {
             Ok(s) => s,
             Err(e) => {
-                let msg = format!("store error: {e}");
-                return self.reject(&mut st, tenant, "store_error", &msg);
+                // A failed accept is an unhealthy store, not a one-off:
+                // degrade so later submits shed instead of re-poking it.
+                let msg = format!("store unavailable: {e}");
+                self.enter_degraded(&mut st, &e.to_string(), None);
+                return self.reject(&mut st, tenant, "store_unavailable", &msg);
             }
         };
         self.inner
@@ -484,8 +747,11 @@ impl Server {
         let journal = match CampaignJournal::create(dir.join("journal.jsonl"), &campaign) {
             Ok(j) => j,
             Err(e) => {
-                let msg = format!("journal error: {e}");
-                return self.reject(&mut st, tenant, "journal_error", &msg);
+                // The accept line is durable, so recovery (in-process or
+                // on restart) re-creates the journal and runs the job.
+                let msg = format!("store unavailable: {e}");
+                self.enter_degraded(&mut st, &e.to_string(), None);
+                return self.reject(&mut st, tenant, "store_unavailable", &msg);
             }
         };
         let js = JobState {
@@ -542,8 +808,9 @@ impl Server {
             } else {
                 // Subscribe under the same lock that replayed: commits
                 // broadcast under this lock too, so the stream has no
-                // gap and no duplicate.
-                let (tx, rx) = mpsc::channel();
+                // gap and no duplicate. The buffer is bounded — fall
+                // this far behind and the broadcaster evicts you.
+                let (tx, rx) = mpsc::sync_channel(self.inner.cfg.subscriber_buffer);
                 js.subscribers.push(tx);
                 (replay, Some(rx))
             }
@@ -605,15 +872,27 @@ impl Server {
         m.jobs_active.set(active as f64);
     }
 
-    /// The `/healthz` probe: checks that the durable store is writable
-    /// by writing and removing a probe file in the store root. `Ok` is
-    /// the 200 body, `Err` the 503 body.
+    /// The `/healthz` probe: reports degraded mode (503) while the store
+    /// is failing writes, otherwise checks that the durable store is
+    /// writable by writing and removing a probe file in the store root.
+    /// `Ok` is the 200 body, `Err` the 503 body.
     ///
     /// # Errors
-    /// A JSON body naming the failure when the store root is unwritable.
+    /// A JSON body naming the failure when the store is degraded or its
+    /// root is unwritable.
     pub fn health(&self) -> Result<String, String> {
         let (root, active) = {
             let st = self.lock();
+            if let Some(d) = &st.degraded {
+                return Err(format!(
+                    "{{\"status\":\"degraded\",\"store\":{},\"reason\":{},\
+                     \"degraded_seconds\":{:.3},\"retries\":{}}}",
+                    escape(&st.store.root().display().to_string()),
+                    escape(&d.reason),
+                    d.since.elapsed().as_secs_f64(),
+                    self.inner.metrics.store_retries.get(),
+                ));
+            }
             let active = st.jobs.values().filter(|j| !j.finished()).count();
             (st.store.root().to_path_buf(), active)
         };
@@ -632,6 +911,12 @@ impl Server {
                 escape(&e.to_string()),
             )),
         }
+    }
+
+    /// The configured per-connection deadline (shared with the HTTP
+    /// front-end).
+    pub(crate) fn client_timeout(&self) -> Option<Duration> {
+        self.inner.cfg.client_timeout
     }
 
     /// Bumps the active-connection gauge until the guard drops.
@@ -752,7 +1037,10 @@ enum Unit {
 }
 
 /// Writes an observed unit's artifacts atomically next to the journal.
-fn write_unit_artifacts(dir: &std::path::Path, unit: usize, a: &JobArtifacts) {
+///
+/// # Errors
+/// Store I/O — the caller routes it into degraded mode.
+fn write_unit_artifacts(dir: &std::path::Path, unit: usize, a: &JobArtifacts) -> io::Result<()> {
     for (ext, text) in [
         ("stats.json", &a.stats_json),
         ("epochs.jsonl", &a.epochs_jsonl),
@@ -761,45 +1049,59 @@ fn write_unit_artifacts(dir: &std::path::Path, unit: usize, a: &JobArtifacts) {
     ] {
         let path = JobStore::unit_artifact(dir, unit, ext);
         write_atomic(&path, text.as_bytes())
-            .unwrap_or_else(|e| panic!("writing artifact {}: {e}", path.display()));
+            .map_err(|e| io::Error::new(e.kind(), format!("artifact {}: {e}", path.display())))?;
     }
+    Ok(())
 }
 
 /// Commits one unit's outcome (the durable commit point) and broadcasts
 /// the resulting events to subscribers. The commit fsync is timed into
 /// the store-fsync histogram; the journal bytes themselves are rendered
-/// exactly as before — metrics only watch the clock.
+/// exactly as before — metrics only watch the clock. Broadcast happens
+/// only after the commit lands, so nothing a watcher sees can be lost
+/// to a store failure.
+///
+/// # Errors
+/// Journal I/O — the caller parks the outcome and enters degraded mode.
 fn commit_unit(
     js: &mut JobState,
     unit: usize,
     outcome: JobOutcome,
     artifacts: Option<&JobArtifacts>,
     m: &ServeMetrics,
-) {
+) -> io::Result<()> {
     let rec = JobRecord {
         job: js.units[unit].clone(),
         outcome,
     };
     let fsync_started = Instant::now();
-    js.journal.commit(&rec).unwrap_or_else(|e| {
-        panic!(
-            "cannot commit unit {unit} of {} to its journal: {e}",
-            js.stored.id
-        )
-    });
+    js.journal.commit(&rec)?;
     m.store_fsync("commit")
         .observe(fsync_started.elapsed().as_secs_f64());
     let id = js.stored.id.clone();
     let line = rec.render(&js.stored.campaign.name);
-    js.broadcast(&record_event(&id, unit, &line));
+    js.broadcast(&record_event(&id, unit, &line), m);
     if let Some(a) = artifacts {
-        js.broadcast(&text_event("stats", &id, unit, &a.stats_json));
-        js.broadcast(&text_event("epochs", &id, unit, &a.epochs_jsonl));
+        js.broadcast(&text_event("stats", &id, unit, &a.stats_json), m);
+        js.broadcast(&text_event("epochs", &id, unit, &a.epochs_jsonl), m);
     }
-    js.broadcast(&progress_event(&id, js.done(), js.total()));
+    js.broadcast(&progress_event(&id, js.done(), js.total()), m);
     if js.finished() {
-        js.broadcast(&done_event(&id, js.done() - js.failed(), js.failed()));
+        js.broadcast(&done_event(&id, js.done() - js.failed(), js.failed()), m);
         js.subscribers.clear();
+    }
+    Ok(())
+}
+
+/// Puts an unfinished job back in rotation after its turn.
+fn requeue(st: &mut State, id: &str) {
+    let Some(js) = st.jobs.get(id) else { return };
+    if !js.finished() {
+        let tenant = js.stored.tenant.clone();
+        st.queue.push(&tenant, id.to_owned());
+        st.queued_at
+            .entry(id.to_owned())
+            .or_insert_with(Instant::now);
     }
 }
 
@@ -811,5 +1113,53 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
         s.clone()
     } else {
         "non-string panic payload".to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dramctrl_campaign::Campaign;
+
+    #[test]
+    fn broadcast_evicts_full_subscribers_and_prunes_hangups() {
+        let dir = std::env::temp_dir().join(format!("dramctrl-serve-bcast-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let c = Campaign::new("b", 1).read_pcts([50]).requests([10]);
+        let journal = CampaignJournal::create(dir.join("j.jsonl"), &c).unwrap();
+        let mut js = JobState {
+            stored: StoredJob {
+                id: "job-0001".into(),
+                tenant: "t".into(),
+                epochs: 0,
+                campaign: c.clone(),
+            },
+            units: c.expand(),
+            journal,
+            failures: 0,
+            pause_target: 0,
+            subscribers: Vec::new(),
+        };
+        let m = ServeMetrics::new();
+        let (tx_full, _rx_never_drained) = mpsc::sync_channel(1);
+        let (tx_gone, rx_gone) = mpsc::sync_channel(1);
+        drop(rx_gone);
+        let (tx_ok, rx_ok) = mpsc::sync_channel(8);
+        js.subscribers = vec![tx_full, tx_gone, tx_ok];
+
+        // First broadcast: fills the never-drained buffer, prunes the
+        // hang-up (not an eviction), delivers to the healthy one.
+        js.broadcast("one", &m);
+        assert_eq!(js.subscribers.len(), 2);
+        assert_eq!(m.clients_evicted.get(), 0);
+
+        // Second broadcast: the full buffer now evicts its subscriber.
+        js.broadcast("two", &m);
+        assert_eq!(js.subscribers.len(), 1);
+        assert_eq!(m.clients_evicted.get(), 1);
+        assert_eq!(rx_ok.try_recv().unwrap(), "one");
+        assert_eq!(rx_ok.try_recv().unwrap(), "two");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

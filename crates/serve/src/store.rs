@@ -168,6 +168,39 @@ impl JobStore {
         })
     }
 
+    /// Repairs the accept log after a failed append: a write that died
+    /// partway (`ENOSPC`, a torn short write) can leave unterminated or
+    /// garbage bytes at the tail, and the old appender's file position
+    /// is now poisoned. Every line that still parses is kept; the file
+    /// is truncated to that prefix (fsync'd) and a fresh appender is
+    /// opened at the clean end.
+    ///
+    /// Only the tail can be damaged by a live failure — earlier lines
+    /// were validated at [`open`](Self::open) — so stopping at the first
+    /// unparsable line never drops an acknowledged job.
+    ///
+    /// # Errors
+    /// Any I/O error from reading, truncating or reopening — the store
+    /// is then still unusable and the caller should retry later.
+    pub fn repair(&mut self) -> io::Result<()> {
+        let log = self.root.join("accept.jsonl");
+        let text = std::fs::read_to_string(&log)?;
+        let mut valid_len = 0usize;
+        for line in text.split_inclusive('\n') {
+            if !line.ends_with('\n') || parse_accept_line(line.trim_end_matches('\n')).is_err() {
+                break;
+            }
+            valid_len += line.len();
+        }
+        if valid_len < text.len() {
+            let f = std::fs::OpenOptions::new().write(true).open(&log)?;
+            f.set_len(valid_len as u64)?;
+            f.sync_data()?;
+        }
+        self.accept = DurableAppender::append_to(&log)?;
+        Ok(())
+    }
+
     /// Path of a unit's preemption checkpoint inside a job dir.
     #[must_use]
     pub fn unit_snap(job_dir: &Path, index: usize) -> PathBuf {
@@ -278,6 +311,49 @@ mod tests {
         std::fs::write(&log, text).unwrap();
         let err = JobStore::open(&root).unwrap_err();
         assert!(err.to_string().contains("line 1"), "{err}");
+    }
+
+    #[test]
+    fn repair_truncates_a_torn_append_and_reopens_cleanly() {
+        let root = tmp("repair");
+        let (mut store, _) = JobStore::open(&root).unwrap();
+        store.accept("alice", 0, &campaign("a")).unwrap();
+        let log = root.join("accept.jsonl");
+        let good = std::fs::read_to_string(&log).unwrap();
+        // A live ENOSPC mid-append leaves a half-written line with no
+        // newline after the good prefix.
+        let mut torn = good.clone();
+        torn.push_str("{\"id\":\"job-00");
+        std::fs::write(&log, &torn).unwrap();
+
+        store.repair().unwrap();
+        assert_eq!(std::fs::read_to_string(&log).unwrap(), good);
+        // The reopened appender continues the id sequence: the torn id
+        // was never durably claimed.
+        let b = store.accept("bob", 0, &campaign("b")).unwrap();
+        assert_eq!(b.id, "job-0002");
+        let (_, jobs) = JobStore::open(&root).unwrap();
+        assert_eq!(jobs.len(), 2);
+    }
+
+    #[test]
+    fn injected_fault_fails_accept_then_repair_recovers() {
+        let root = tmp("fault-accept");
+        let (mut store, _) = JobStore::open(&root).unwrap();
+        let g = dramctrl_kernel::fsio::fault::arm_str(&format!(
+            "short,op=write,path={}",
+            root.join("accept.jsonl").to_str().unwrap()
+        ))
+        .unwrap();
+        let err = store.accept("alice", 0, &campaign("a")).unwrap_err();
+        assert!(err.to_string().contains("short write"), "{err}");
+        drop(g);
+        store.repair().unwrap();
+        // The torn bytes are gone and the store works again.
+        let a = store.accept("alice", 0, &campaign("a")).unwrap();
+        assert_eq!(a.id, "job-0001");
+        let (_, jobs) = JobStore::open(&root).unwrap();
+        assert_eq!(jobs.len(), 1);
     }
 
     #[test]

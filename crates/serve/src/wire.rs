@@ -32,10 +32,14 @@ pub enum Value {
 
 impl Value {
     /// Parses one JSON document; trailing non-whitespace is an error.
+    /// Nesting deeper than [`MAX_DEPTH`] is refused — the parser is
+    /// recursive descent, and a hostile line of a million `[`s must get
+    /// an error, not a stack overflow.
     pub fn parse(s: &str) -> Result<Value, String> {
         let mut p = Parser {
             bytes: s.as_bytes(),
             pos: 0,
+            depth: 0,
         };
         p.skip_ws();
         let v = p.value()?;
@@ -166,9 +170,14 @@ pub fn escape(s: &str) -> String {
     out
 }
 
+/// Deepest container nesting [`Value::parse`] accepts. Far beyond any
+/// value the protocol emits, far below any stack limit.
+pub const MAX_DEPTH: usize = 128;
+
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl Parser<'_> {
@@ -201,7 +210,14 @@ impl Parser<'_> {
     }
 
     fn value(&mut self) -> Result<Value, String> {
-        match self.peek() {
+        if self.depth >= MAX_DEPTH {
+            return Err(format!(
+                "nesting deeper than {MAX_DEPTH} levels at offset {}",
+                self.pos
+            ));
+        }
+        self.depth += 1;
+        let v = match self.peek() {
             Some(b'n') => self.lit("null", Value::Null),
             Some(b't') => self.lit("true", Value::Bool(true)),
             Some(b'f') => self.lit("false", Value::Bool(false)),
@@ -214,7 +230,9 @@ impl Parser<'_> {
                 other as char, self.pos
             )),
             None => Err("unexpected end of input".to_owned()),
-        }
+        };
+        self.depth -= 1;
+        v
     }
 
     fn number(&mut self) -> Result<Value, String> {
@@ -330,12 +348,21 @@ impl Parser<'_> {
                     }
                 }
                 Some(_) => {
-                    // Consume one UTF-8 character (multi-byte safe).
-                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
-                        .map_err(|_| "invalid UTF-8".to_owned())?;
-                    let ch = rest.chars().next().expect("peek saw a byte");
-                    out.push(ch);
-                    self.pos += ch.len_utf8();
+                    // Consume the whole run up to the next quote or
+                    // escape in one go. `"` and `\` are ASCII, never
+                    // UTF-8 continuation bytes, so a byte-wise scan
+                    // stops only on char boundaries — and the input was
+                    // a `&str`, so the run is valid UTF-8. (Per-char
+                    // consumption here would be O(n²) on long strings —
+                    // a hostile megabyte string must cost one pass.)
+                    let start = self.pos;
+                    while !matches!(self.peek(), None | Some(b'"' | b'\\')) {
+                        self.pos += 1;
+                    }
+                    out.push_str(
+                        std::str::from_utf8(&self.bytes[start..self.pos])
+                            .expect("input was a str and the run ends on ASCII"),
+                    );
                 }
             }
         }
@@ -405,6 +432,19 @@ mod tests {
         assert!(Value::parse("1 2").is_err());
         assert!(Value::parse("nul").is_err());
         assert!(Value::parse("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn hostile_nesting_is_an_error_not_a_stack_overflow() {
+        // Under MAX_DEPTH parses fine...
+        let deep = "[".repeat(100) + "1" + &"]".repeat(100);
+        assert!(Value::parse(&deep).is_ok());
+        // ...a megabyte of brackets is refused with a plain error.
+        let hostile = "[".repeat(1 << 20);
+        let err = Value::parse(&hostile).unwrap_err();
+        assert!(err.contains("nesting"), "{err}");
+        let mixed = "{\"a\":".repeat(10_000);
+        assert!(Value::parse(&mixed).unwrap_err().contains("nesting"));
     }
 
     #[test]
