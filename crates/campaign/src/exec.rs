@@ -12,7 +12,7 @@
 use crate::journal::CampaignJournal;
 use crate::report::{CampaignReport, JobMetrics, JobRecord};
 use crate::spec::{Campaign, JobSpec};
-use dramctrl_kernel::rng::splitmix64;
+use dramctrl_kernel::backoff::deterministic_ms;
 use dramctrl_obs::metrics::{
     Counter, FloatCounter, Gauge, Histogram, Registry, LATENCY_BUCKETS, SIZE_BUCKETS,
 };
@@ -540,18 +540,11 @@ where
 }
 
 /// Backoff before re-running a job that has already panicked `attempt`
-/// times: exponential in the attempt count with a deterministic jitter
-/// derived from `(job_seed, attempt)` — never from the wall clock or the
-/// worker id — so reruns pace their retries identically at any worker
-/// count.
+/// times: the kernel's deterministic exponential-with-jitter schedule,
+/// keyed by `(job_seed, attempt)` — never the wall clock or the worker
+/// id — so reruns pace their retries identically at any worker count.
 fn retry_backoff_ms(base_ms: u64, job_seed: u64, attempt: u32) -> u64 {
-    if base_ms == 0 {
-        return 0;
-    }
-    let expo = base_ms.saturating_mul(1 << (attempt - 1).min(6));
-    let mut state = job_seed ^ u64::from(attempt).wrapping_mul(0x9E37_79B9_7F4A_7C15);
-    let jitter = splitmix64(&mut state) % (expo / 2 + 1);
-    expo + jitter
+    deterministic_ms(base_ms, job_seed, attempt)
 }
 
 /// Extracts a human-readable message from a panic payload.

@@ -521,6 +521,21 @@ fn parse_header(line: &str) -> Option<(u32, u64, usize)> {
     Some((version, spec_hash, total))
 }
 
+/// Parses one record line back into `(job index, outcome)` with no
+/// journal context.
+///
+/// This is the validation primitive for consumers of *untrusted* record
+/// lines — the dispatch coordinator runs every record a peer streams
+/// through it, then re-renders the outcome against its own campaign and
+/// compares bytes, so a lying peer (wrong spec, foreign campaign,
+/// out-of-range index) is caught before anything reaches a journal.
+///
+/// # Errors
+/// A description of the first grammar violation.
+pub fn parse_record_line(line: &str) -> Result<(usize, JobOutcome), String> {
+    parse_record(line)
+}
+
 /// Parses one record line back into `(job index, outcome)`.
 ///
 /// The parser walks the fixed field order [`render_record`] emits, so it
@@ -898,6 +913,128 @@ mod tests {
             CampaignJournal::resume(&p, &reseeded),
             Err(JournalError::SpecMismatch { .. })
         ));
+    }
+
+    #[test]
+    fn merge_overlapping_partial_shards_keeps_first_byte_identically() {
+        let c = campaign(); // 3 jobs
+                            // A full single journal is the byte-identity reference.
+        let full = tmp("merge-full.jsonl");
+        let mut j = CampaignJournal::create(&full, &c).unwrap();
+        for i in 0..3 {
+            j.commit(&record(&c, i)).unwrap();
+        }
+        drop(j);
+        let reference = merge_journals(&c, &[&full]).unwrap();
+
+        // Shard A covers {0, 1}; shard B overlaps on 1 (with a
+        // *different* outcome — a re-dispatched shard re-ran the job
+        // with more attempts) and adds 2.
+        let a = tmp("merge-a.jsonl");
+        let mut j = CampaignJournal::create(&a, &c).unwrap();
+        j.commit(&record(&c, 0)).unwrap();
+        j.commit(&record(&c, 1)).unwrap();
+        drop(j);
+        let b = tmp("merge-b.jsonl");
+        let mut j = CampaignJournal::create(&b, &c).unwrap();
+        let mut dup = record(&c, 1);
+        dup.outcome = JobOutcome::Completed {
+            metrics: JobMetrics::new().with("bus_util", 0.999),
+            attempts: 2,
+        };
+        j.commit(&dup).unwrap();
+        j.commit(&record(&c, 2)).unwrap();
+        drop(j);
+
+        let merged = merge_journals(&c, &[&a, &b]).unwrap();
+        assert_eq!(
+            merged.to_jsonl(),
+            reference.to_jsonl(),
+            "keep-first must pick shard A's record for the overlap"
+        );
+        // Path order decides the winner: B first surfaces B's duplicate.
+        let swapped = merge_journals(&c, &[&b, &a]).unwrap();
+        assert_ne!(swapped.to_jsonl(), reference.to_jsonl());
+    }
+
+    #[test]
+    fn merge_refuses_a_foreign_spec_hash() {
+        let c = campaign();
+        let mine = tmp("merge-mine.jsonl");
+        let mut j = CampaignJournal::create(&mine, &c).unwrap();
+        for i in 0..3 {
+            j.commit(&record(&c, i)).unwrap();
+        }
+        drop(j);
+        // Same name and job count, different seed: the spec hash (and
+        // every per-job seed) differs, so merging would fabricate
+        // results. The refusal must be loud, not a silent skip.
+        let foreign_campaign = Campaign::new("journal-test", 12).read_pcts([0, 50, 100]);
+        let foreign = tmp("merge-foreign.jsonl");
+        let mut j = CampaignJournal::create(&foreign, &foreign_campaign).unwrap();
+        j.commit(&JobRecord {
+            job: foreign_campaign.expand()[0].clone(),
+            outcome: JobOutcome::Completed {
+                metrics: JobMetrics::new(),
+                attempts: 1,
+            },
+        })
+        .unwrap();
+        drop(j);
+        assert!(matches!(
+            merge_journals(&c, &[&mine, &foreign]),
+            Err(JournalError::SpecMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn merge_accepts_an_empty_but_headered_shard() {
+        let c = campaign();
+        let full = tmp("merge-full2.jsonl");
+        let mut j = CampaignJournal::create(&full, &c).unwrap();
+        for i in 0..3 {
+            j.commit(&record(&c, i)).unwrap();
+        }
+        drop(j);
+        // A shard whose peer never committed anything before dying:
+        // valid journal, zero contribution.
+        let empty = tmp("merge-empty.jsonl");
+        drop(CampaignJournal::create(&empty, &c).unwrap());
+
+        let reference = merge_journals(&c, &[&full]).unwrap();
+        let merged = merge_journals(&c, &[&empty, &full]).unwrap();
+        assert_eq!(merged.to_jsonl(), reference.to_jsonl());
+
+        // And alone, it is Incomplete — every job missing — never a
+        // truncated report.
+        match merge_journals(&c, &[&empty]) {
+            Err(JournalError::Incomplete {
+                missing,
+                first_missing,
+                total,
+            }) => {
+                assert_eq!((missing, first_missing, total), (3, 0, 3));
+            }
+            other => panic!("expected Incomplete, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_record_line_round_trips_and_rejects_garbage() {
+        let c = campaign();
+        let rec = record(&c, 1);
+        let line = rec.render(&c.name);
+        let (index, outcome) = parse_record_line(&line).unwrap();
+        assert_eq!(index, 1);
+        // Re-rendering the parsed outcome against the local spec is the
+        // coordinator's byte-level validation of streamed records.
+        let rebuilt = JobRecord {
+            job: c.expand()[index].clone(),
+            outcome,
+        };
+        assert_eq!(rebuilt.render(&c.name), line);
+        assert!(parse_record_line("{\"event\":\"record\"}").is_err());
+        assert!(parse_record_line("").is_err());
     }
 
     #[test]

@@ -64,6 +64,9 @@ pub use exec::{
     run_campaign, run_campaign_journaled, run_campaign_shard, ExecMetrics, ExecutorConfig,
     JobOutcome, Progress,
 };
-pub use journal::{campaign_hash, merge_journals, CampaignJournal, JournalError, JOURNAL_VERSION};
+pub use journal::{
+    campaign_hash, merge_journals, parse_record_line, CampaignJournal, JournalError,
+    JOURNAL_VERSION,
+};
 pub use report::{CampaignReport, JobMetrics, JobRecord};
 pub use spec::{job_seed, Campaign, JobSpec, Model, TrafficPattern};

@@ -9,6 +9,7 @@ use std::collections::BTreeMap;
 #[derive(Debug, Default)]
 pub struct Args {
     flags: BTreeMap<String, String>,
+    multi: BTreeMap<String, Vec<String>>,
     positional: Vec<String>,
     switches: Vec<String>,
 }
@@ -36,6 +37,17 @@ impl Args {
         argv: impl IntoIterator<Item = String>,
         switches: &[&str],
     ) -> Result<Args, ArgError> {
+        Self::parse_with_repeats(argv, switches, &[])
+    }
+
+    /// Like [`Args::parse`], but flags listed in `repeatable` may appear
+    /// any number of times and accumulate into [`Args::get_all`] instead
+    /// of the duplicate-flag error (e.g. `--peer A --peer B`).
+    pub fn parse_with_repeats(
+        argv: impl IntoIterator<Item = String>,
+        switches: &[&str],
+        repeatable: &[&str],
+    ) -> Result<Args, ArgError> {
         let mut args = Args::default();
         let mut it = argv.into_iter().peekable();
         while let Some(a) = it.next() {
@@ -53,7 +65,9 @@ impl Args {
                     let value = it
                         .next()
                         .ok_or_else(|| ArgError(format!("--{name} needs a value")))?;
-                    if args.flags.insert(name.to_owned(), value).is_some() {
+                    if repeatable.contains(&name) {
+                        args.multi.entry(name.to_owned()).or_default().push(value);
+                    } else if args.flags.insert(name.to_owned(), value).is_some() {
                         return err(format!("--{name} given twice"));
                     }
                 }
@@ -67,6 +81,11 @@ impl Args {
     /// A flag's raw value.
     pub fn get(&self, name: &str) -> Option<&str> {
         self.flags.get(name).map(String::as_str)
+    }
+
+    /// Every occurrence of a repeatable flag, in command-line order.
+    pub fn get_all(&self, name: &str) -> &[String] {
+        self.multi.get(name).map_or(&[], Vec::as_slice)
     }
 
     /// Whether a switch was present.
@@ -91,7 +110,12 @@ impl Args {
 
     /// Rejects unknown flags (everything consumed must be in `known`).
     pub fn ensure_known(&self, known: &[&str]) -> Result<(), ArgError> {
-        for name in self.flags.keys().chain(self.switches.iter()) {
+        for name in self
+            .flags
+            .keys()
+            .chain(self.multi.keys())
+            .chain(self.switches.iter())
+        {
             if !known.contains(&name.as_str()) {
                 return err(format!("unknown option --{name}"));
             }
@@ -263,6 +287,22 @@ mod tests {
     fn rejects_missing_value_and_duplicates() {
         assert!(Args::parse(["--x"].map(String::from), &[]).is_err());
         assert!(Args::parse(["--x", "1", "--x", "2"].map(String::from), &[]).is_err());
+    }
+
+    #[test]
+    fn repeatable_flags_accumulate_in_order() {
+        let argv = ["--peer", "a", "--seed", "7", "--peer", "b"].map(String::from);
+        let a = Args::parse_with_repeats(argv, &[], &["peer"]).unwrap();
+        assert_eq!(a.get_all("peer"), ["a", "b"]);
+        assert_eq!(a.get("seed"), Some("7"));
+        assert_eq!(a.get_all("seed"), [] as [&str; 0]);
+        // Repeatable names still count as known flags.
+        assert!(a.ensure_known(&["peer", "seed"]).is_ok());
+        assert!(a.ensure_known(&["seed"]).is_err());
+        // Non-repeatable duplicates stay an error even when another flag
+        // is repeatable.
+        let argv = ["--seed", "1", "--seed", "2"].map(String::from);
+        assert!(Args::parse_with_repeats(argv, &[], &["peer"]).is_err());
     }
 
     #[test]

@@ -44,6 +44,8 @@ USAGE:
     dramctrl submit --to ADDR [AXES]          submit a sweep to a running service
     dramctrl watch ID --to ADDR [OPTIONS]     stream a submitted job's results
     dramctrl status --to ADDR                 show a service's job table
+    dramctrl dispatch --peer ADDR... [AXES]   fan a sweep out to a daemon fleet,
+                                              surviving dead/slow/lying peers
     dramctrl version                          print crate/protocol/format versions
 
 RUN / RECORD OPTIONS:
@@ -170,6 +172,10 @@ SERVICE OPTIONS:
                          outbound event-buffer depth per watcher; a
                          watcher that stops reading is evicted once its
                          buffer fills (default 1024)
+      --retain N         garbage-collect the store: keep at most N
+                         finished jobs (oldest evicted first, at startup
+                         and on every completion; running and queued jobs
+                         are never touched; default: keep everything)
     submit (takes the same axis flags as sweep, plus):
       --to ADDR          the service to submit to
       --tenant NAME      tenant for fair scheduling (default cli)
@@ -186,8 +192,31 @@ SERVICE OPTIONS:
                          from the last-seen record
     status:
       --to ADDR          the service to query
+      --peer ADDR        (repeatable) query a whole fleet instead: one
+                         row per peer with a reachability column and
+                         aggregated job counts
       --json             print the raw status event (one JSON line with
-                         per-job and per-tenant detail) instead of tables
+                         per-job and per-tenant detail) instead of tables;
+                         with --peer, one JSON line per peer
+    dispatch (takes the same axis flags as sweep, plus):
+      --peer ADDR        (repeatable) a daemon to dispatch shards to
+      --peers-file FILE  additional peers, one address per line
+                         (# comments and blank lines ignored)
+      --workdir DIR      where shard journals accumulate (default: a
+                         fresh directory under the system temp dir)
+      --tenant NAME      tenant submitted to every peer (default dispatch)
+      --timeout D        per-read streaming deadline; a connected peer
+                         silent for this long fails its shard and the
+                         shard is re-dispatched (e.g. 30s; 0 disables;
+                         default 60s)
+      --rounds N         assignment rounds before giving up with an
+                         `incomplete` error (default 10)
+      --no-hedge         don't re-issue slow shards to idle peers
+      --json             emit progress events (shard assigned /
+                         re-dispatched / hedged / merged) as JSON lines
+                         on stderr instead of logfmt
+      --jsonl/--md/--csv as sweep; the merged report is byte-identical
+                         to a local `dramctrl sweep` of the same flags
 ";
 
 fn main() -> ExitCode {
@@ -207,6 +236,7 @@ fn main() -> ExitCode {
         "submit" => submit(argv),
         "watch" => watch(argv),
         "status" => status(argv),
+        "dispatch" => dispatch(argv),
         "version" | "--version" | "-V" => {
             print_version();
             Ok(())
@@ -224,7 +254,10 @@ fn main() -> ExitCode {
             // (2) so scripts can tell bad invocations from failed runs.
             // Service commands emit the line through the structured logger
             // so daemon/client stderr stays machine-parseable end to end.
-            if matches!(cmd.as_str(), "serve" | "submit" | "watch" | "status") {
+            if matches!(
+                cmd.as_str(),
+                "serve" | "submit" | "watch" | "status" | "dispatch"
+            ) {
                 dramctrl_obs::log_error!(
                     cmd.as_str(), e;
                     "hint" => "run `dramctrl help` for usage"
@@ -1077,6 +1110,7 @@ const SERVE_OPTS: &[&str] = &[
     "log-level",
     "client-timeout",
     "subscriber-buffer",
+    "retain",
 ];
 
 fn serve(argv: Vec<String>) -> Result<(), ArgError> {
@@ -1111,6 +1145,13 @@ fn serve(argv: Vec<String>) -> Result<(), ArgError> {
     if cfg.subscriber_buffer == 0 {
         return Err(ArgError("--subscriber-buffer must be at least 1".into()));
     }
+    cfg.retain = a
+        .get("retain")
+        .map(|v| {
+            v.parse::<usize>()
+                .map_err(|_| ArgError(format!("--retain: cannot parse {v:?}")))
+        })
+        .transpose()?;
     let (quantum, max_jobs) = (cfg.quantum, cfg.max_jobs);
     let server =
         Server::open(cfg).map_err(|e| ArgError(format!("opening store {store:?}: {e}")))?;
@@ -1263,13 +1304,116 @@ fn watch(argv: Vec<String>) -> Result<(), ArgError> {
     Ok(())
 }
 
+/// Axis flags shared with sweep, plus the fleet-coordinator flags.
+const DISPATCH_OPTS: &[&str] = &[
+    "devices",
+    "models",
+    "policies",
+    "scheds",
+    "mappings",
+    "channels",
+    "gens",
+    "reads",
+    "requests",
+    "range",
+    "block",
+    "stride",
+    "banks",
+    "ras",
+    "seed",
+    "peer",
+    "peers-file",
+    "workdir",
+    "tenant",
+    "timeout",
+    "rounds",
+    "no-hedge",
+    "json",
+    "log-level",
+    "jsonl",
+    "md",
+    "csv",
+];
+
+fn dispatch(argv: Vec<String>) -> Result<(), ArgError> {
+    use dramctrl_serve::dispatch::DispatchConfig;
+    let a = Args::parse_with_repeats(argv, &["csv", "json", "no-hedge"], &["peer"])?;
+    a.ensure_known(DISPATCH_OPTS)?;
+    if a.switch("json") {
+        dramctrl_obs::log::set_format(dramctrl_obs::log::Format::Json);
+    }
+    if let Some(level) = a.get("log-level") {
+        dramctrl_obs::log::set_level(dramctrl_obs::log::parse_level(level).map_err(ArgError)?);
+    }
+    let mut peers: Vec<String> = a.get_all("peer").to_vec();
+    if let Some(file) = a.get("peers-file") {
+        let text = std::fs::read_to_string(file)
+            .map_err(|e| ArgError(format!("reading {file:?}: {e}")))?;
+        peers.extend(
+            text.lines()
+                .map(str::trim)
+                .filter(|l| !l.is_empty() && !l.starts_with('#'))
+                .map(str::to_owned),
+        );
+    }
+    if peers.is_empty() {
+        return Err(ArgError(
+            "dispatch needs at least one --peer ADDR (or --peers-file)".into(),
+        ));
+    }
+    let campaign = campaign_from_args(&a)?;
+    let workdir = a.get("workdir").map_or_else(
+        || {
+            std::env::temp_dir().join(format!(
+                "dramctrl-dispatch-{}-{}",
+                std::process::id(),
+                campaign.seed
+            ))
+        },
+        PathBuf::from,
+    );
+    let mut cfg = DispatchConfig::new(&workdir);
+    if let Some(tenant) = a.get("tenant") {
+        cfg.tenant = tenant.to_owned();
+    }
+    if let Some(t) = a.get("timeout") {
+        let ps = parse_duration(t)?;
+        if ps > 0 && ps < 1_000_000_000 {
+            return Err(ArgError("--timeout below 1ms is not usable".into()));
+        }
+        cfg.io_timeout = (ps > 0).then(|| std::time::Duration::from_nanos(ps / 1_000));
+    }
+    cfg.hedge = !a.switch("no-hedge");
+    cfg.max_rounds = a.parse_or("rounds", cfg.max_rounds)?;
+    if cfg.max_rounds == 0 {
+        return Err(ArgError("--rounds must be at least 1".into()));
+    }
+    let (report, stats) =
+        dramctrl_serve::dispatch(&campaign, &peers, &cfg).map_err(|e| ArgError(e.to_string()))?;
+    dramctrl_obs::log_info!(
+        "dispatch", "campaign complete";
+        "jobs" => report.records.len(), "shards" => stats.shards,
+        "rounds" => stats.rounds, "redispatches" => stats.redispatches,
+        "hedges" => stats.hedges, "peers_lost" => stats.peers_lost
+    );
+    finish_report(&a, &report)
+}
+
 fn status(argv: Vec<String>) -> Result<(), ArgError> {
     use dramctrl_serve::wire::Value;
-    let a = Args::parse(argv, &["json"])?;
-    a.ensure_known(&["to", "json"])?;
+    let a = Args::parse_with_repeats(argv, &["json"], &["peer"])?;
+    a.ensure_known(&["to", "json", "peer"])?;
+    if !a.get_all("peer").is_empty() {
+        if a.get("to").is_some() {
+            return Err(ArgError(
+                "status takes either --to ADDR or --peer ADDR..., not both".into(),
+            ));
+        }
+        return fleet_status(&a);
+    }
     let to = a
         .get("to")
-        .ok_or_else(|| ArgError("status needs --to ADDR".into()))?;
+        .ok_or_else(|| ArgError("status needs --to ADDR (or --peer ADDR...)".into()))?;
     let mut client = connect(to)?;
     let table = client.status().map_err(|e| ArgError(e.to_string()))?;
     if a.switch("json") {
@@ -1327,6 +1471,83 @@ fn status(argv: Vec<String>) -> Result<(), ArgError> {
         }
     }
     dramctrl_obs::log_info!("status", "queried"; "to" => to, "jobs" => jobs.len());
+    Ok(())
+}
+
+/// `status --peer A --peer B ...`: one row per peer with a reachability
+/// column and job tallies, plus a fleet summary line. Unreachable peers
+/// are reported, not fatal — unless *no* peer answers.
+fn fleet_status(a: &Args) -> Result<(), ArgError> {
+    use dramctrl_serve::wire::Value;
+    let peers = a.get_all("peer");
+    let json = a.switch("json");
+    if !json {
+        println!(
+            "{:<32} {:<9} {:>5} {:>6} {:>7}",
+            "peer", "reachable", "jobs", "done", "failed"
+        );
+    }
+    let (mut reachable, mut jobs_total, mut done_total, mut failed_total) = (0usize, 0, 0, 0);
+    for peer in peers {
+        let reply = dramctrl_serve::Client::connect(peer).and_then(|mut c| c.status());
+        match reply {
+            Ok(table) => {
+                reachable += 1;
+                let jobs = table.get("jobs").and_then(Value::as_arr).unwrap_or(&[]);
+                let sum = |k: &str| {
+                    jobs.iter()
+                        .map(|j| j.get(k).and_then(Value::as_u64).unwrap_or(0))
+                        .sum::<u64>()
+                };
+                let (done, failed) = (sum("done"), sum("failed"));
+                jobs_total += jobs.len();
+                done_total += done;
+                failed_total += failed;
+                if json {
+                    println!(
+                        "{{\"peer\":{},\"reachable\":true,\"status\":{}}}",
+                        Value::Str(peer.clone()).encode(),
+                        table.encode()
+                    );
+                } else {
+                    println!(
+                        "{:<32} {:<9} {:>5} {:>6} {:>7}",
+                        peer,
+                        "yes",
+                        jobs.len(),
+                        done,
+                        failed
+                    );
+                }
+            }
+            Err(e) => {
+                if json {
+                    println!(
+                        "{{\"peer\":{},\"reachable\":false,\"error\":{}}}",
+                        Value::Str(peer.clone()).encode(),
+                        Value::Str(e.to_string()).encode()
+                    );
+                } else {
+                    println!("{:<32} {:<9} {e}", peer, "no");
+                }
+            }
+        }
+    }
+    dramctrl_obs::log_info!(
+        "status", "fleet queried";
+        "peers" => peers.len(), "reachable" => reachable,
+        "jobs" => jobs_total, "done" => done_total, "failed" => failed_total
+    );
+    if !json {
+        println!(
+            "fleet: {reachable}/{} peers reachable, {jobs_total} jobs \
+             ({done_total} units done, {failed_total} failed)",
+            peers.len()
+        );
+    }
+    if reachable == 0 {
+        return Err(ArgError("no reachable peers".into()));
+    }
     Ok(())
 }
 

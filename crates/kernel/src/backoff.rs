@@ -1,0 +1,160 @@
+//! Shared retry pacing: capped exponential backoff, in two flavours.
+//!
+//! Every retry loop in the workspace used to hand-roll the same three
+//! lines (`delay = (delay * 2).min(cap)`), each with its own constants
+//! and its own off-by-one about when the doubling happens. This module
+//! is the single implementation:
+//!
+//! * [`Backoff`] — a stateful schedule for loops that retry against an
+//!   external resource (a failing store, a dead daemon). The caller
+//!   sleeps for [`Backoff::next_delay`], and calls [`Backoff::reset`]
+//!   when the resource shows signs of life so the next outage starts
+//!   from the short end again.
+//! * [`deterministic_ms`] — a stateless exponential-with-jitter delay
+//!   derived from `(seed, attempt)` and never from the wall clock, for
+//!   the executor's job-retry path where reproducibility matters more
+//!   than desynchronisation.
+//!
+//! ```
+//! use std::time::Duration;
+//! use dramctrl_kernel::backoff::Backoff;
+//!
+//! let mut b = Backoff::new(Duration::from_millis(50), Duration::from_secs(2));
+//! assert_eq!(b.next_delay(), Duration::from_millis(50));
+//! assert_eq!(b.next_delay(), Duration::from_millis(100));
+//! b.reset();
+//! assert_eq!(b.next_delay(), Duration::from_millis(50));
+//! ```
+
+use std::time::Duration;
+
+use crate::rng::splitmix64;
+
+/// A capped exponential backoff schedule: `start, 2·start, 4·start, …`
+/// saturating at `max`.
+#[derive(Debug, Clone)]
+pub struct Backoff {
+    start: Duration,
+    max: Duration,
+    next: Duration,
+}
+
+impl Backoff {
+    /// A schedule beginning at `start` and doubling up to `max`.
+    #[must_use]
+    pub fn new(start: Duration, max: Duration) -> Self {
+        Self {
+            start,
+            max,
+            next: start,
+        }
+    }
+
+    /// The delay to sleep before the next attempt. Advances the
+    /// schedule: the following call returns double this, capped.
+    pub fn next_delay(&mut self) -> Duration {
+        let d = self.next;
+        self.next = (self.next * 2).min(self.max);
+        d
+    }
+
+    /// The delay [`Backoff::next_delay`] would return, without
+    /// advancing the schedule. Useful for logging `retry_in_ms`.
+    #[must_use]
+    pub fn current(&self) -> Duration {
+        self.next
+    }
+
+    /// Restarts the schedule from `start`. Call on progress — a
+    /// successful write, a delivered event — so an outage that ends
+    /// and recurs is probed promptly rather than at the old cap.
+    pub fn reset(&mut self) {
+        self.next = self.start;
+    }
+}
+
+/// Deterministic exponential backoff with jitter, in milliseconds:
+/// `base · 2^min(attempt-1, 6)` plus a jitter of up to half that,
+/// derived purely from `(seed, attempt)` — never from the wall clock or
+/// a thread id — so retries pace identically across runs and worker
+/// counts. `attempt` counts from 1 (the first failure). A `base_ms` of
+/// zero disables the delay entirely.
+#[must_use]
+pub fn deterministic_ms(base_ms: u64, seed: u64, attempt: u32) -> u64 {
+    if base_ms == 0 {
+        return 0;
+    }
+    let expo = base_ms.saturating_mul(1 << (attempt.saturating_sub(1)).min(6));
+    let mut state = seed ^ u64::from(attempt).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    let jitter = splitmix64(&mut state) % (expo / 2 + 1);
+    expo + jitter
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn doubles_and_caps() {
+        let mut b = Backoff::new(Duration::from_millis(50), Duration::from_secs(2));
+        let mut seen = Vec::new();
+        for _ in 0..8 {
+            seen.push(b.next_delay().as_millis() as u64);
+        }
+        assert_eq!(seen, [50, 100, 200, 400, 800, 1600, 2000, 2000]);
+    }
+
+    #[test]
+    fn reset_on_progress_restarts_schedule() {
+        let mut b = Backoff::new(Duration::from_millis(100), Duration::from_secs(2));
+        for _ in 0..6 {
+            b.next_delay();
+        }
+        assert_eq!(b.current(), Duration::from_secs(2));
+        b.reset();
+        assert_eq!(b.current(), Duration::from_millis(100));
+        assert_eq!(b.next_delay(), Duration::from_millis(100));
+        assert_eq!(b.next_delay(), Duration::from_millis(200));
+    }
+
+    #[test]
+    fn current_does_not_advance() {
+        let mut b = Backoff::new(Duration::from_millis(50), Duration::from_secs(2));
+        assert_eq!(b.current(), Duration::from_millis(50));
+        assert_eq!(b.current(), Duration::from_millis(50));
+        assert_eq!(b.next_delay(), Duration::from_millis(50));
+        assert_eq!(b.current(), Duration::from_millis(100));
+    }
+
+    #[test]
+    fn start_above_max_saturates_immediately() {
+        let mut b = Backoff::new(Duration::from_secs(5), Duration::from_secs(2));
+        assert_eq!(b.next_delay(), Duration::from_secs(5));
+        assert_eq!(b.next_delay(), Duration::from_secs(2));
+    }
+
+    #[test]
+    fn deterministic_is_repeatable_and_exponential() {
+        let a1 = deterministic_ms(100, 42, 1);
+        let a2 = deterministic_ms(100, 42, 1);
+        assert_eq!(a1, a2, "same (seed, attempt) must give the same delay");
+        // Base grows 2x per attempt; jitter is bounded by half the base,
+        // so each attempt's delay lies in [expo, 1.5*expo].
+        for attempt in 1..=8u32 {
+            let expo = 100u64 * (1 << (attempt - 1).min(6));
+            let d = deterministic_ms(100, 42, attempt);
+            assert!(d >= expo && d <= expo + expo / 2, "attempt {attempt}: {d}");
+        }
+        // Different seeds de-correlate the jitter.
+        let spread: std::collections::HashSet<u64> =
+            (0..32).map(|s| deterministic_ms(100, s, 3)).collect();
+        assert!(spread.len() > 1, "jitter must depend on the seed");
+    }
+
+    #[test]
+    fn deterministic_zero_base_disables_delay() {
+        for attempt in 1..=4 {
+            assert_eq!(deterministic_ms(0, 7, attempt), 0);
+        }
+    }
+}

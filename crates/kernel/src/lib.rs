@@ -30,6 +30,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod backoff;
 mod clock;
 mod event;
 pub mod fsio;

@@ -69,6 +69,38 @@ pub fn set_level(level: Level) {
     LEVEL.store(level as u8, Ordering::Relaxed);
 }
 
+/// Output encoding for emitted records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Format {
+    /// `ts=... level=... target=... msg="..." k="v"` (default).
+    Logfmt,
+    /// One JSON object per line, same fields — for consumers that
+    /// machine-parse the event stream (e.g. `dispatch --json`).
+    Json,
+}
+
+static FORMAT: AtomicU8 = AtomicU8::new(0);
+
+/// Sets the global output encoding.
+pub fn set_format(format: Format) {
+    FORMAT.store(
+        match format {
+            Format::Logfmt => 0,
+            Format::Json => 1,
+        },
+        Ordering::Relaxed,
+    );
+}
+
+/// The current global output encoding.
+pub fn format() -> Format {
+    if FORMAT.load(Ordering::Relaxed) == 1 {
+        Format::Json
+    } else {
+        Format::Logfmt
+    }
+}
+
 /// Whether a record at `level` would currently be emitted.
 pub fn enabled(level: Level) -> bool {
     (level as u8) <= LEVEL.load(Ordering::Relaxed)
@@ -113,6 +145,37 @@ pub fn format_record(level: Level, target: &str, msg: &str, fields: &[(&str, Str
     line
 }
 
+/// Formats one record as a single-line JSON object:
+/// `{"ts":<epoch.millis>,"level":"...","target":"...","msg":"...","k":"v",...}`.
+/// Field keys collide with the fixed keys at their own risk; values are
+/// always strings, mirroring the logfmt encoding.
+pub fn format_record_json(
+    level: Level,
+    target: &str,
+    msg: &str,
+    fields: &[(&str, String)],
+) -> String {
+    use crate::json::json_str;
+    let now = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .unwrap_or_default();
+    let mut line = String::with_capacity(96 + msg.len());
+    let _ = write!(
+        line,
+        "{{\"ts\":{}.{:03},\"level\":\"{}\",\"target\":{},\"msg\":{}",
+        now.as_secs(),
+        now.subsec_millis(),
+        level.as_str(),
+        json_str(target),
+        json_str(msg)
+    );
+    for (k, v) in fields {
+        let _ = write!(line, ",{}:{}", json_str(k), json_str(v));
+    }
+    line.push('}');
+    line
+}
+
 /// Emits one record to stderr if `level` passes the global threshold.
 /// Prefer the [`log_error!`](crate::log_error)/[`log_warn!`](crate::log_warn)/
 /// [`log_info!`](crate::log_info)/[`log_debug!`](crate::log_debug) macros,
@@ -121,7 +184,11 @@ pub fn log(level: Level, target: &str, msg: &str, fields: &[(&str, String)]) {
     if !enabled(level) {
         return;
     }
-    eprintln!("{}", format_record(level, target, msg, fields));
+    let line = match format() {
+        Format::Logfmt => format_record(level, target, msg, fields),
+        Format::Json => format_record_json(level, target, msg, fields),
+    };
+    eprintln!("{line}");
 }
 
 /// Logs at a given level with `"key" => value` fields (values go through
@@ -193,6 +260,24 @@ mod tests {
         assert!(line.ends_with("tenant=\"a\\nb\" n=\"3\""), "{line}");
         // Exactly one line: field newlines were escaped.
         assert!(!line.contains('\n') && !line.contains('\r'));
+    }
+
+    #[test]
+    fn json_format_is_valid_json_with_string_fields() {
+        let line = format_record_json(
+            Level::Info,
+            "dispatch",
+            "shard assigned",
+            &[
+                ("shard", "1/3".to_string()),
+                ("peer", "/tmp/a.sock".to_string()),
+            ],
+        );
+        crate::json::validate(&line).unwrap();
+        assert!(line.contains("\"level\":\"info\""), "{line}");
+        assert!(line.contains("\"target\":\"dispatch\""), "{line}");
+        assert!(line.contains("\"shard\":\"1/3\""), "{line}");
+        assert!(!line.contains('\n'));
     }
 
     #[test]

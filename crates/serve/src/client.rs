@@ -5,6 +5,7 @@ use crate::net::Stream;
 use crate::proto::{campaign_to_wire, VersionInfo};
 use crate::wire::Value;
 use dramctrl_campaign::Campaign;
+use dramctrl_kernel::backoff::Backoff;
 use std::collections::HashSet;
 use std::io::{self, BufRead, BufReader, Write};
 use std::time::Duration;
@@ -24,8 +25,11 @@ pub const RECONNECT_MAX_SILENT_RETRIES: u32 = 10;
 /// or closed the stream mid-flight. `NotFound` covers a unix socket
 /// path removed by a daemon that has not rebound yet. Protocol errors
 /// (`InvalidData`) and daemon-side rejections (`Other`, e.g. "no such
-/// job") are final.
-fn reconnectable(e: &io::Error) -> bool {
+/// job") are final, and so are I/O deadline expiries
+/// (`WouldBlock`/`TimedOut`): a peer that accepts connections but
+/// never makes progress should surface to the caller, not be retried
+/// forever.
+pub fn reconnectable(e: &io::Error) -> bool {
     matches!(
         e.kind(),
         io::ErrorKind::ConnectionRefused
@@ -85,6 +89,19 @@ impl Client {
         &self.daemon
     }
 
+    /// Arms (or clears) a read/write deadline on the underlying socket.
+    /// Deadlines are socket options, so they cover both the reader and
+    /// the cloned writer: a peer that accepts the connection but then
+    /// hangs surfaces as `WouldBlock`/`TimedOut` — deliberately *not* a
+    /// reconnectable error — instead of blocking forever.
+    ///
+    /// # Errors
+    /// Socket-option errors from the OS.
+    pub fn set_io_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
+        self.writer.set_read_timeout(timeout)?;
+        self.writer.set_write_timeout(timeout)
+    }
+
     fn send(&mut self, line: &str) -> io::Result<()> {
         writeln!(self.writer, "{line}")?;
         self.writer.flush()
@@ -114,12 +131,34 @@ impl Client {
         epochs: u64,
         campaign: &Campaign,
     ) -> io::Result<(String, usize)> {
-        let cmd = Value::Obj(vec![
+        self.submit_sharded(tenant, epochs, campaign, None)
+    }
+
+    /// Like [`Client::submit`], but restricts the job to the
+    /// residue-class shard `(index, count)`: the daemon runs only job
+    /// indices `i` with `i % count == index`, and the returned total is
+    /// the shard size. `None` submits the full campaign.
+    ///
+    /// # Errors
+    /// As [`Client::submit`].
+    pub fn submit_sharded(
+        &mut self,
+        tenant: &str,
+        epochs: u64,
+        campaign: &Campaign,
+        shard: Option<(u32, u32)>,
+    ) -> io::Result<(String, usize)> {
+        let mut fields = vec![
             ("cmd".to_owned(), Value::Str("submit".to_owned())),
             ("tenant".to_owned(), Value::Str(tenant.to_owned())),
             ("epochs".to_owned(), Value::num(epochs)),
             ("campaign".to_owned(), campaign_to_wire(campaign)),
-        ]);
+        ];
+        if let Some((idx, n)) = shard {
+            fields.push(("shard_index".to_owned(), Value::num(u64::from(idx))));
+            fields.push(("shard_count".to_owned(), Value::num(u64::from(n))));
+        }
+        let cmd = Value::Obj(fields);
         self.send(&cmd.encode())?;
         let reply = self.recv()?;
         let v = Value::parse(&reply)
@@ -216,15 +255,33 @@ impl Client {
     pub fn watch_with_reconnect(
         addr: &str,
         id: &str,
+        on_event: impl FnMut(&Value, &str),
+    ) -> io::Result<WatchSummary> {
+        Self::watch_with_reconnect_deadline(addr, id, None, on_event)
+    }
+
+    /// [`Client::watch_with_reconnect`] with a per-read I/O deadline.
+    /// With `io_timeout` set, a peer that stays connected but stops
+    /// streaming for that long fails the watch with
+    /// `WouldBlock`/`TimedOut` (not retried — see [`reconnectable`]),
+    /// which is how the dispatch coordinator detects hung peers.
+    ///
+    /// # Errors
+    /// As [`Client::watch_with_reconnect`], plus deadline expiry.
+    pub fn watch_with_reconnect_deadline(
+        addr: &str,
+        id: &str,
+        io_timeout: Option<Duration>,
         mut on_event: impl FnMut(&Value, &str),
     ) -> io::Result<WatchSummary> {
         // (event kind, unit index) pairs already handed to `on_event`.
         let mut seen: HashSet<(u8, u64)> = HashSet::new();
-        let mut backoff = RECONNECT_BACKOFF_START;
+        let mut backoff = Backoff::new(RECONNECT_BACKOFF_START, RECONNECT_BACKOFF_MAX);
         let mut silent_failures = 0u32;
         loop {
             let mut delivered = false;
             let attempt = Self::connect(addr).and_then(|mut c| {
+                c.set_io_timeout(io_timeout)?;
                 c.watch(id, |v, line| {
                     let index = || v.get("index").and_then(Value::as_u64).unwrap_or(0);
                     let kind = match v.get("event").and_then(Value::as_str) {
@@ -249,15 +306,14 @@ impl Client {
                         // The daemon was alive this attempt; start the
                         // retry budget and backoff over.
                         silent_failures = 0;
-                        backoff = RECONNECT_BACKOFF_START;
+                        backoff.reset();
                     } else {
                         silent_failures += 1;
                         if silent_failures > RECONNECT_MAX_SILENT_RETRIES {
                             return Err(e);
                         }
                     }
-                    std::thread::sleep(backoff);
-                    backoff = (backoff * 2).min(RECONNECT_BACKOFF_MAX);
+                    std::thread::sleep(backoff.next_delay());
                 }
                 Err(e) => return Err(e),
             }

@@ -23,6 +23,9 @@
 //!   the scheduler thread, crash recovery, event streaming.
 //! - [`client`]: the version-checked [`Client`] the CLI subcommands
 //!   (`submit`, `watch`, `status`) are built on.
+//! - [`dispatch`]: the fleet coordinator (`dramctrl dispatch`) — shards
+//!   a campaign across daemons, survives dead/slow/lying peers, and
+//!   merges a report byte-identical to a local sweep.
 //! - [`metrics`]: the daemon's operational metric handles
 //!   ([`ServeMetrics`]) over the `dramctrl-obs` registry.
 //! - [`http`]: the read-only HTTP/1.1 front-end (`--http`) serving
@@ -33,6 +36,7 @@
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod dispatch;
 pub mod http;
 pub mod metrics;
 pub mod net;
@@ -43,6 +47,7 @@ pub mod store;
 pub mod wire;
 
 pub use client::{Client, WatchSummary};
+pub use dispatch::{dispatch, DispatchConfig, DispatchError, DispatchStats};
 pub use http::serve_http;
 pub use metrics::ServeMetrics;
 pub use net::{Listener, Stream};

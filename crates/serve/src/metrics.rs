@@ -48,6 +48,8 @@ pub struct ServeMetrics {
     /// Client connections evicted for hostility: idle past the read
     /// deadline, or a watch subscriber whose outbound buffer overflowed.
     pub clients_evicted: Counter,
+    /// Finished jobs garbage-collected from the store (`serve --retain`).
+    pub store_gc: Counter,
 }
 
 impl ServeMetrics {
@@ -117,6 +119,11 @@ impl ServeMetrics {
             "Connections evicted: idle past the deadline or overflowing their outbound buffer.",
             &[],
         );
+        let store_gc = registry.counter(
+            "dramctrl_store_gc_total",
+            "Finished jobs garbage-collected from the durable store.",
+            &[],
+        );
         Self {
             registry,
             admission_accepted,
@@ -132,6 +139,7 @@ impl ServeMetrics {
             store_degraded,
             store_retries,
             clients_evicted,
+            store_gc,
         }
     }
 

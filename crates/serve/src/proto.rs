@@ -23,7 +23,10 @@ use std::fmt::Write as _;
 
 /// Wire protocol version; bumped on any incompatible command or event
 /// change. A client refuses a daemon speaking a different version.
-pub const PROTO_VERSION: u32 = 1;
+/// v2 added the shard-aware submit (`shard_index`/`shard_count`) that
+/// distributed dispatch depends on, so the dispatch coordinator's
+/// hello check automatically refuses pre-shard daemons.
+pub const PROTO_VERSION: u32 = 2;
 
 /// The version tuple a daemon announces in its `hello` event.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -68,6 +68,7 @@ use crate::store::{JobStore, StoredJob};
 use crate::wire::{escape, Value};
 use dramctrl_bench::{run_job_observed, run_job_slice, JobArtifacts, SliceOutcome};
 use dramctrl_campaign::{CampaignJournal, JobMetrics, JobOutcome, JobRecord, JobSpec};
+use dramctrl_kernel::backoff::Backoff;
 use dramctrl_kernel::fsio::write_atomic;
 use dramctrl_obs::metrics::Gauge;
 use std::collections::BTreeMap;
@@ -97,11 +98,16 @@ pub struct ServeConfig {
     /// Outbound event-buffer depth per watch subscriber. A subscriber
     /// whose buffer is full when a broadcast arrives is evicted.
     pub subscriber_buffer: usize,
+    /// Store garbage collection: keep at most this many finished jobs
+    /// on disk, evicting the oldest (by acceptance order) beyond it at
+    /// startup and on every job completion. Running and queued jobs are
+    /// never touched. `None` retains everything.
+    pub retain: Option<usize>,
 }
 
 impl ServeConfig {
     /// Defaults: 8 active jobs, 1 000-request quantum, 30 s client
-    /// deadline, 1 024-event subscriber buffers.
+    /// deadline, 1 024-event subscriber buffers, no GC.
     #[must_use]
     pub fn new(store: impl Into<PathBuf>) -> Self {
         Self {
@@ -110,6 +116,7 @@ impl ServeConfig {
             quantum: 1_000,
             client_timeout: Some(Duration::from_secs(30)),
             subscriber_buffer: 1024,
+            retain: None,
         }
     }
 }
@@ -131,12 +138,31 @@ struct JobState {
 }
 
 impl JobState {
+    /// Whether unit `i` belongs to this job's residue-class shard.
+    /// Unsharded jobs own every unit.
+    fn in_shard(&self, i: usize) -> bool {
+        match self.stored.shard {
+            Some((idx, n)) => i % n as usize == idx as usize,
+            None => true,
+        }
+    }
+
+    /// Units this job will actually run: the shard size for sharded
+    /// jobs, the full campaign otherwise. This is the `total` clients
+    /// see in `accepted`/`progress` events.
     fn total(&self) -> usize {
-        self.units.len()
+        match self.stored.shard {
+            Some(_) => (0..self.units.len()).filter(|&i| self.in_shard(i)).count(),
+            None => self.units.len(),
+        }
     }
 
     fn done(&self) -> usize {
-        self.journal.completed().len()
+        self.journal
+            .completed()
+            .keys()
+            .filter(|&&i| self.in_shard(i))
+            .count()
     }
 
     fn finished(&self) -> bool {
@@ -146,14 +172,15 @@ impl JobState {
     fn failed(&self) -> usize {
         self.journal
             .completed()
-            .values()
-            .filter(|o| o.is_failed())
+            .iter()
+            .filter(|(i, o)| self.in_shard(**i) && o.is_failed())
             .count()
     }
 
-    /// The first uncommitted unit — the one to run next.
+    /// The first uncommitted in-shard unit — the one to run next.
     fn next_unit(&self) -> Option<usize> {
-        (0..self.total()).find(|i| !self.journal.completed().contains_key(i))
+        (0..self.units.len())
+            .find(|&i| self.in_shard(i) && !self.journal.completed().contains_key(&i))
     }
 
     /// Sends `line` to every subscriber, evicting any whose bounded
@@ -183,6 +210,9 @@ struct State {
     queued_at: BTreeMap<String, Instant>,
     /// Rejected submits per tenant (process lifetime, for status).
     rejects: BTreeMap<String, u64>,
+    /// Finished jobs garbage-collected this process lifetime (the
+    /// store's tombstone log holds the all-time count).
+    gc_evicted: u64,
     /// The (job, unit) the scheduler is running right now, if any.
     running: Option<(String, usize)>,
     /// `Some` while the store is failing writes (degraded mode).
@@ -205,7 +235,7 @@ struct PendingCommit {
 struct Degraded {
     reason: String,
     since: Instant,
-    backoff: Duration,
+    backoff: Backoff,
     next_retry: Instant,
     pending: Option<PendingCommit>,
 }
@@ -245,7 +275,8 @@ impl Server {
     /// # Errors
     /// Store or journal I/O and corruption errors.
     pub fn open(cfg: ServeConfig) -> io::Result<Self> {
-        let (store, accepted) = JobStore::open(&cfg.store)?;
+        let metrics = ServeMetrics::new();
+        let (mut store, accepted) = JobStore::open(&cfg.store)?;
         let mut jobs = BTreeMap::new();
         let mut queue = FairQueue::new();
         for stored in accepted {
@@ -277,6 +308,13 @@ impl Server {
             }
             jobs.insert(js.stored.id.clone(), js);
         }
+        // Startup GC: a store that accumulated finished jobs while the
+        // retention limit was lower (or unset) is trimmed before the
+        // daemon takes traffic.
+        let mut gc_evicted = 0;
+        if let Some(retain) = cfg.retain {
+            gc_evicted = gc_finished(&mut store, &mut jobs, retain, &metrics);
+        }
         let now = Instant::now();
         let queued_at = jobs
             .values()
@@ -294,9 +332,10 @@ impl Server {
                     rejects: BTreeMap::new(),
                     running: None,
                     degraded: None,
+                    gc_evicted,
                 }),
                 work: Condvar::new(),
-                metrics: ServeMetrics::new(),
+                metrics,
                 started: now,
             }),
         })
@@ -527,6 +566,14 @@ impl Server {
             }
         }
         requeue(st, &p.id);
+        // A completion may push the finished-job count past the
+        // retention limit; trim eagerly so disk use stays bounded
+        // without a periodic sweep.
+        if let Some(retain) = self.inner.cfg.retain {
+            if st.jobs.get(&p.id).map_or(true, JobState::finished) {
+                st.gc_evicted += gc_finished(&mut st.store, &mut st.jobs, retain, m);
+            }
+        }
         Ok(())
     }
 
@@ -551,11 +598,13 @@ impl Server {
                     "reason" => reason
                 );
                 let now = Instant::now();
+                let mut backoff = Backoff::new(STORE_BACKOFF_START, STORE_BACKOFF_MAX);
+                let first = backoff.next_delay();
                 st.degraded = Some(Degraded {
                     reason: reason.to_owned(),
                     since: now,
-                    backoff: STORE_BACKOFF_START,
-                    next_retry: now + STORE_BACKOFF_START,
+                    backoff,
+                    next_retry: now + first,
                     pending,
                 });
                 self.inner.work.notify_all();
@@ -604,11 +653,11 @@ impl Server {
             }
             Err(e) => {
                 if let Some(d) = st.degraded.as_mut() {
-                    d.backoff = (d.backoff * 2).min(STORE_BACKOFF_MAX);
-                    d.next_retry = Instant::now() + d.backoff;
+                    let delay = d.backoff.next_delay();
+                    d.next_retry = Instant::now() + delay;
                     dramctrl_obs::log_warn!(
                         "serve", "store still failing; backing off";
-                        "error" => e, "retry_in_ms" => d.backoff.as_millis()
+                        "error" => e, "retry_in_ms" => delay.as_millis()
                     );
                 }
             }
@@ -710,6 +759,10 @@ impl Server {
             Ok(c) => c,
             Err(e) => return self.reject(&mut self.lock(), tenant, "bad_campaign", &e),
         };
+        let shard = match parse_shard_fields(cmd) {
+            Ok(s) => s,
+            Err(e) => return self.reject(&mut self.lock(), tenant, "bad_shard", &e),
+        };
 
         let mut st = self.lock();
         // Degraded store: shed before touching it. The parked commit and
@@ -729,7 +782,7 @@ impl Server {
         // The accept-log append inside is the commit point: once it
         // returns, a kill at any later instant still runs this job.
         let fsync_started = Instant::now();
-        let stored = match st.store.accept(tenant, epochs, &campaign) {
+        let stored = match st.store.accept_sharded(tenant, epochs, &campaign, shard) {
             Ok(s) => s,
             Err(e) => {
                 // A failed accept is an unhealthy store, not a one-off:
@@ -962,13 +1015,17 @@ fn jobs_tenants_json(st: &State) -> String {
             _ => None,
         };
         jobs.push_str(&format!(
-            "{{\"id\":{},\"tenant\":{},\"done\":{},\"failed\":{},\"total\":{},\"state\":{}{}}}",
+            "{{\"id\":{},\"tenant\":{},\"done\":{},\"failed\":{},\"total\":{},\"state\":{}{}{}}}",
             escape(id),
             escape(&js.stored.tenant),
             js.done(),
             js.failed(),
             js.total(),
             escape(if js.finished() { "done" } else { "active" }),
+            match js.stored.shard {
+                Some((i, n)) => format!(",\"shard\":\"{i}/{n}\""),
+                None => String::new(),
+            },
             match running_unit {
                 Some(u) => format!(",\"unit\":{u}"),
                 None => String::new(),
@@ -1013,7 +1070,72 @@ fn jobs_tenants_json(st: &State) -> String {
             },
         ));
     }
-    format!("\"jobs\":[{jobs}],\"tenants\":[{out}]")
+    format!(
+        "\"jobs\":[{jobs}],\"tenants\":[{out}],\"gc_evicted\":{}",
+        st.gc_evicted
+    )
+}
+
+/// Extracts the optional `shard_index`/`shard_count` pair from a submit
+/// command. Both must be present together, `count` must be positive and
+/// `index < count` — residue classes outside that range select nothing
+/// a client could have meant.
+fn parse_shard_fields(cmd: &Value) -> Result<Option<(u32, u32)>, String> {
+    let field = |key: &str| -> Result<Option<u32>, String> {
+        match cmd.get(key) {
+            None => Ok(None),
+            Some(v) => v
+                .as_u64()
+                .and_then(|n| u32::try_from(n).ok())
+                .map(Some)
+                .ok_or_else(|| format!("'{key}' must be a u32")),
+        }
+    };
+    match (field("shard_index")?, field("shard_count")?) {
+        (None, None) => Ok(None),
+        (Some(idx), Some(n)) if n > 0 && idx < n => Ok(Some((idx, n))),
+        (Some(idx), Some(n)) => Err(format!("shard {idx}/{n} is out of range")),
+        _ => Err("shard_index and shard_count must be given together".to_owned()),
+    }
+}
+
+/// Evicts the oldest finished jobs beyond `retain`, in acceptance order
+/// (job ids sort that way). Running and queued jobs are structurally
+/// exempt: only `finished()` jobs are candidates. A failed eviction
+/// stops the sweep — the next completion retries it.
+fn gc_finished(
+    store: &mut JobStore,
+    jobs: &mut BTreeMap<String, JobState>,
+    retain: usize,
+    m: &ServeMetrics,
+) -> u64 {
+    let finished: Vec<String> = jobs
+        .values()
+        .filter(|j| j.finished())
+        .map(|j| j.stored.id.clone())
+        .collect();
+    let Some(excess) = finished.len().checked_sub(retain).filter(|&e| e > 0) else {
+        return 0;
+    };
+    let mut evicted = 0;
+    for id in finished.iter().take(excess) {
+        match store.evict(id) {
+            Ok(()) => {
+                jobs.remove(id);
+                m.store_gc.inc();
+                evicted += 1;
+                dramctrl_obs::log_info!("serve", "gc evicted finished job"; "id" => id);
+            }
+            Err(e) => {
+                dramctrl_obs::log_warn!(
+                    "serve", "gc eviction failed; will retry on next completion";
+                    "id" => id, "error" => e
+                );
+                break;
+            }
+        }
+    }
+    evicted
 }
 
 /// Sets every known tenant's queue-depth gauge (0 when not in
@@ -1134,6 +1256,7 @@ mod tests {
                 tenant: "t".into(),
                 epochs: 0,
                 campaign: c.clone(),
+                shard: None,
             },
             units: c.expand(),
             journal,

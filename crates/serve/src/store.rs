@@ -6,6 +6,7 @@
 //! ```text
 //! store/
 //!   accept.jsonl            every accepted job, fsync'd before the ack
+//!   evicted.jsonl           GC tombstones: jobs whose dirs are deleted
 //!   job-0001/
 //!     journal.jsonl         the job's CampaignJournal (unit commit log)
 //!     unit-000003.snap      preemption checkpoint of the unit in flight
@@ -13,7 +14,8 @@
 //!     unit-000002.epochs.jsonl
 //!     unit-000002.trace.json
 //! accept.jsonl line: {"id":"job-0001","tenant":"alice","epochs":0,
-//!                     "campaign":{...}}
+//!                     "campaign":{...}}           (optionally "shard":[i,n])
+//! evicted.jsonl line: {"id":"job-0001"}
 //! ```
 //!
 //! Commit-point ordering is the whole durability story:
@@ -31,11 +33,18 @@
 //! tails truncated, keep-first dedup), deletes checkpoints of already
 //! committed units, and re-queues every job with uncommitted units. No
 //! accepted job is lost; no committed unit re-runs.
+//!
+//! Garbage collection never rewrites the accept log. Evicting a job
+//! appends a tombstone to `evicted.jsonl` (fsync'd) *before* deleting
+//! the job directory, so a crash between the two leaves a tombstone
+//! whose directory [`open`](JobStore::open) lazily removes — an evicted
+//! job can never be resurrected and re-run on restart.
 
 use crate::proto::{campaign_from_wire, campaign_to_wire};
 use crate::wire::{escape, Value};
 use dramctrl_campaign::Campaign;
 use dramctrl_kernel::fsio::DurableAppender;
+use std::collections::BTreeSet;
 use std::io;
 use std::path::{Path, PathBuf};
 
@@ -50,6 +59,9 @@ pub struct StoredJob {
     pub epochs: u64,
     /// The work itself.
     pub campaign: Campaign,
+    /// Residue-class restriction: run only indices `i` with
+    /// `i % shard.1 == shard.0`. `None` runs the full campaign.
+    pub shard: Option<(u32, u32)>,
 }
 
 /// The durable job store.
@@ -58,6 +70,7 @@ pub struct JobStore {
     root: PathBuf,
     accept: DurableAppender,
     next_id: u64,
+    evicted: BTreeSet<String>,
 }
 
 impl JobStore {
@@ -73,6 +86,7 @@ impl JobStore {
     pub fn open(root: impl Into<PathBuf>) -> io::Result<(Self, Vec<StoredJob>)> {
         let root = root.into();
         std::fs::create_dir_all(&root)?;
+        let evicted = read_evicted(&root)?;
         let log = root.join("accept.jsonl");
         if !log.exists() {
             let accept = DurableAppender::create(&log)?;
@@ -81,6 +95,7 @@ impl JobStore {
                     root,
                     accept,
                     next_id: 1,
+                    evicted,
                 },
                 Vec::new(),
             ));
@@ -113,12 +128,24 @@ impl JobStore {
             .max()
             .unwrap_or(0)
             + 1;
+        // Tombstoned jobs stay in the accept log (it is append-only) but
+        // must not be replayed; a crash between tombstone and directory
+        // removal is finished here.
+        jobs.retain(|j| {
+            if evicted.contains(&j.id) {
+                let _ = std::fs::remove_dir_all(root.join(&j.id));
+                false
+            } else {
+                true
+            }
+        });
         let accept = DurableAppender::append_to(&log)?;
         Ok((
             Self {
                 root,
                 accept,
                 next_id,
+                evicted,
             },
             jobs,
         ))
@@ -149,12 +176,30 @@ impl JobStore {
         epochs: u64,
         campaign: &Campaign,
     ) -> io::Result<StoredJob> {
+        self.accept_sharded(tenant, epochs, campaign, None)
+    }
+
+    /// [`accept`](Self::accept) with an optional residue-class shard
+    /// restriction, recorded in the accept line so a restarted daemon
+    /// resumes the shard (not the full campaign).
+    ///
+    /// # Errors
+    /// Any I/O error; the job is then *not* accepted.
+    pub fn accept_sharded(
+        &mut self,
+        tenant: &str,
+        epochs: u64,
+        campaign: &Campaign,
+        shard: Option<(u32, u32)>,
+    ) -> io::Result<StoredJob> {
         let id = format!("job-{:04}", self.next_id);
+        let shard_field = shard.map_or(String::new(), |(i, n)| format!("\"shard\":[{i},{n}],"));
         let line = format!(
-            "{{\"id\":{},\"tenant\":{},\"epochs\":{},\"campaign\":{}}}",
+            "{{\"id\":{},\"tenant\":{},\"epochs\":{},{}\"campaign\":{}}}",
             escape(&id),
             escape(tenant),
             epochs,
+            shard_field,
             campaign_to_wire(campaign).encode()
         );
         self.accept.append_line(&line)?;
@@ -165,7 +210,40 @@ impl JobStore {
             tenant: tenant.to_owned(),
             epochs,
             campaign: campaign.clone(),
+            shard,
         })
+    }
+
+    /// Durably evicts a finished job: appends a tombstone to
+    /// `evicted.jsonl` (fsync'd) and then deletes the job directory —
+    /// journal, checkpoints, artifacts. Tombstone-first ordering means
+    /// a crash in between is repaired at the next [`open`](Self::open),
+    /// never resurrected. Idempotent for already evicted ids.
+    ///
+    /// # Errors
+    /// Any I/O error writing the tombstone or removing the directory.
+    pub fn evict(&mut self, id: &str) -> io::Result<()> {
+        if !self.evicted.contains(id) {
+            let log = self.root.join("evicted.jsonl");
+            let mut appender = if log.exists() {
+                DurableAppender::append_to(&log)?
+            } else {
+                DurableAppender::create(&log)?
+            };
+            appender.append_line(&format!("{{\"id\":{}}}", escape(id)))?;
+            self.evicted.insert(id.to_owned());
+        }
+        let dir = self.job_dir(id);
+        if dir.exists() {
+            std::fs::remove_dir_all(&dir)?;
+        }
+        Ok(())
+    }
+
+    /// How many jobs have been evicted over the store's lifetime.
+    #[must_use]
+    pub fn evicted_count(&self) -> usize {
+        self.evicted.len()
     }
 
     /// Repairs the accept log after a failed append: a write that died
@@ -231,6 +309,27 @@ fn parse_accept_line(line: &str) -> Result<StoredJob, String> {
         .get("epochs")
         .and_then(Value::as_u64)
         .ok_or_else(|| "missing 'epochs'".to_owned())?;
+    // Optional, so pre-shard accept logs keep parsing.
+    let shard = match v.get("shard") {
+        None => None,
+        Some(s) => {
+            let pair = s
+                .as_arr()
+                .filter(|a| a.len() == 2)
+                .ok_or_else(|| "'shard' must be a [index, count] pair".to_owned())?;
+            let num = |i: usize| {
+                pair[i]
+                    .as_u64()
+                    .and_then(|n| u32::try_from(n).ok())
+                    .ok_or_else(|| "'shard' members must be u32".to_owned())
+            };
+            let (idx, n) = (num(0)?, num(1)?);
+            if n == 0 || idx >= n {
+                return Err(format!("'shard' [{idx},{n}] is out of range"));
+            }
+            Some((idx, n))
+        }
+    };
     let campaign = campaign_from_wire(
         v.get("campaign")
             .ok_or_else(|| "missing 'campaign'".to_owned())?,
@@ -240,7 +339,31 @@ fn parse_accept_line(line: &str) -> Result<StoredJob, String> {
         tenant,
         epochs,
         campaign,
+        shard,
     })
+}
+
+/// Reads the eviction tombstone log (if any). Torn tails are ignored:
+/// an unterminated tombstone was never fsync-acknowledged, so its job
+/// directory is still intact and the job simply survives.
+fn read_evicted(root: &Path) -> io::Result<BTreeSet<String>> {
+    let log = root.join("evicted.jsonl");
+    if !log.exists() {
+        return Ok(BTreeSet::new());
+    }
+    let text = std::fs::read_to_string(&log)?;
+    let mut out = BTreeSet::new();
+    for line in text.split_inclusive('\n') {
+        if !line.ends_with('\n') {
+            break;
+        }
+        if let Ok(v) = Value::parse(line.trim_end_matches('\n')) {
+            if let Some(id) = v.get("id").and_then(Value::as_str) {
+                out.insert(id.to_owned());
+            }
+        }
+    }
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -354,6 +477,80 @@ mod tests {
         assert_eq!(a.id, "job-0001");
         let (_, jobs) = JobStore::open(&root).unwrap();
         assert_eq!(jobs.len(), 1);
+    }
+
+    #[test]
+    fn shard_round_trips_through_accept_log() {
+        let root = tmp("shard");
+        let (mut store, _) = JobStore::open(&root).unwrap();
+        store.accept("alice", 0, &campaign("a")).unwrap();
+        let b = store
+            .accept_sharded("bob", 0, &campaign("b"), Some((2, 3)))
+            .unwrap();
+        assert_eq!(b.shard, Some((2, 3)));
+        drop(store);
+        let (_, jobs) = JobStore::open(&root).unwrap();
+        assert_eq!(jobs[0].shard, None);
+        assert_eq!(jobs[1].shard, Some((2, 3)));
+    }
+
+    #[test]
+    fn out_of_range_shard_is_corrupt() {
+        let root = tmp("shard-bad");
+        let (mut store, _) = JobStore::open(&root).unwrap();
+        store
+            .accept_sharded("alice", 0, &campaign("a"), Some((1, 2)))
+            .unwrap();
+        drop(store);
+        let log = root.join("accept.jsonl");
+        let text = std::fs::read_to_string(&log)
+            .unwrap()
+            .replace("\"shard\":[1,2]", "\"shard\":[5,2]");
+        std::fs::write(&log, text).unwrap();
+        let err = JobStore::open(&root).unwrap_err();
+        assert!(err.to_string().contains("out of range"), "{err}");
+    }
+
+    #[test]
+    fn evicted_jobs_stay_dead_across_reopen() {
+        let root = tmp("evict");
+        let (mut store, _) = JobStore::open(&root).unwrap();
+        let a = store.accept("alice", 0, &campaign("a")).unwrap();
+        let b = store.accept("bob", 0, &campaign("b")).unwrap();
+        store.evict(&a.id).unwrap();
+        assert!(!store.job_dir(&a.id).exists(), "dir deleted");
+        assert!(store.job_dir(&b.id).exists(), "other jobs untouched");
+        assert_eq!(store.evicted_count(), 1);
+        store.evict(&a.id).unwrap(); // idempotent
+        assert_eq!(store.evicted_count(), 1);
+        drop(store);
+
+        let (mut store, jobs) = JobStore::open(&root).unwrap();
+        assert_eq!(jobs.len(), 1, "tombstoned job not replayed");
+        assert_eq!(jobs[0].id, b.id);
+        assert_eq!(store.evicted_count(), 1);
+        // Ids never reuse: the accept log still remembers job-0001/2.
+        let c = store.accept("carol", 0, &campaign("c")).unwrap();
+        assert_eq!(c.id, "job-0003");
+    }
+
+    #[test]
+    fn crash_between_tombstone_and_removal_is_repaired_at_open() {
+        let root = tmp("evict-crash");
+        let (mut store, _) = JobStore::open(&root).unwrap();
+        let a = store.accept("alice", 0, &campaign("a")).unwrap();
+        drop(store);
+        // Simulate the crash window: tombstone durably written, dir
+        // still on disk.
+        std::fs::write(
+            root.join("evicted.jsonl"),
+            format!("{{\"id\":\"{}\"}}\n", a.id),
+        )
+        .unwrap();
+        assert!(root.join(&a.id).exists());
+        let (_, jobs) = JobStore::open(&root).unwrap();
+        assert!(jobs.is_empty(), "tombstone wins");
+        assert!(!root.join(&a.id).exists(), "leftover dir removed");
     }
 
     #[test]

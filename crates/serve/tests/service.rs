@@ -211,7 +211,15 @@ fn admission_control_rejects_with_reason_and_version_gate_refuses() {
     std::thread::spawn(move || {
         let (mut s, _) = fake.accept().unwrap();
         let line = dramctrl_serve::VersionInfo::current().hello_line();
-        writeln!(s, "{}", line.replace("\"proto\":1", "\"proto\":999")).unwrap();
+        writeln!(
+            s,
+            "{}",
+            line.replace(
+                &format!("\"proto\":{}", dramctrl_serve::PROTO_VERSION),
+                "\"proto\":999"
+            )
+        )
+        .unwrap();
     });
     let err = Client::connect(&fake_addr).unwrap_err();
     assert!(err.to_string().contains("protocol"), "{err}");
@@ -494,5 +502,123 @@ fn hello_is_first_line_on_every_connection() {
     reader.read_line(&mut line).unwrap();
     let v = Value::parse(line.trim()).unwrap();
     assert_eq!(v.get("event").and_then(Value::as_str), Some("hello"));
-    assert_eq!(v.get("proto").and_then(Value::as_u64), Some(1));
+    assert_eq!(
+        v.get("proto").and_then(Value::as_u64),
+        Some(u64::from(dramctrl_serve::PROTO_VERSION))
+    );
+}
+
+#[test]
+fn sharded_submit_runs_only_the_residue_class_byte_identically() {
+    let root = tmp("shard");
+    let addr = spawn_daemon(root.join("store"), 1_000);
+    let c = campaign("sweep");
+    let want = reference_jsonl(&c, &root.join("ref"));
+
+    let mut client = Client::connect(&addr).unwrap();
+    let (id, total) = client.submit_sharded("alice", 0, &c, Some((1, 3))).unwrap();
+    assert_eq!(total, 1, "accepted total is the shard size");
+    let mut streamed = Vec::new();
+    let summary = client
+        .watch(&id, |v, line| {
+            if v.get("event").and_then(Value::as_str) == Some("record") {
+                let i = v.get("index").and_then(Value::as_u64).unwrap() as usize;
+                streamed.push((i, proto::record_data(line).unwrap().to_owned()));
+            }
+        })
+        .unwrap();
+    assert_eq!((summary.ok, summary.failed), (1, 0));
+    let [(index, data)] = streamed.as_slice() else {
+        panic!("expected exactly one record, got {streamed:?}");
+    };
+    assert_eq!(*index, 1, "only the shard's residue class runs");
+    assert_eq!(
+        data,
+        want.lines().nth(1).unwrap(),
+        "shard record bytes == the full run's bytes for that index"
+    );
+    // Malformed shard fields are rejected at submission, not run.
+    let err = client
+        .submit_sharded("alice", 0, &c, Some((3, 3)))
+        .unwrap_err();
+    assert!(err.to_string().contains("out of range"), "{err}");
+}
+
+#[test]
+fn retain_gc_evicts_oldest_finished_jobs_and_spares_the_rest() {
+    use dramctrl_campaign::JobOutcome;
+    let root = tmp("retain");
+    let store = root.join("store");
+    let c = Campaign::new("gc-sweep", 42).read_pcts([0]).requests([500]);
+
+    // Hand-craft a store with two finished jobs and one incomplete job.
+    let ids: Vec<String> = {
+        let (mut js, _) = dramctrl_serve::JobStore::open(&store).unwrap();
+        (0..3)
+            .map(|k| {
+                let stored = js.accept("alice", 0, &c).unwrap();
+                let dir = js.job_dir(&stored.id);
+                let mut journal = CampaignJournal::create(dir.join("journal.jsonl"), &c).unwrap();
+                if k < 2 {
+                    let unit = &c.expand()[0];
+                    journal
+                        .commit(&JobRecord {
+                            job: unit.clone(),
+                            outcome: JobOutcome::Completed {
+                                metrics: run_job(unit),
+                                attempts: 1,
+                            },
+                        })
+                        .unwrap();
+                }
+                stored.id
+            })
+            .collect()
+    };
+
+    // Startup GC with --retain 1: the OLDEST finished job goes; the
+    // newest finished job and the incomplete one stay.
+    let mut cfg = ServeConfig::new(store.clone());
+    cfg.retain = Some(1);
+    let server = Server::open(cfg).unwrap();
+    server.start_scheduler();
+    let listener = Listener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr();
+    std::thread::spawn(move || {
+        let _ = server.serve(&listener);
+    });
+    assert!(
+        !store.join(&ids[0]).exists(),
+        "oldest finished job evicted at startup"
+    );
+    assert!(store.join(&ids[1]).exists());
+    assert!(
+        store.join(&ids[2]).exists(),
+        "running/queued jobs are never GC'd"
+    );
+
+    // The recovered incomplete job finishes; its completion triggers
+    // another GC pass which now evicts ids[1]. The pass runs just after
+    // the done event broadcasts, so poll status for the counter.
+    let mut client = Client::connect(&addr).unwrap();
+    client.watch(&ids[2], |_, _| {}).unwrap();
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    loop {
+        let status = client.status().unwrap();
+        let evicted = status
+            .get("gc_evicted")
+            .and_then(Value::as_u64)
+            .unwrap_or(0);
+        if evicted >= 2 {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "gc_evicted never reached 2: {}",
+            status.encode()
+        );
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+    assert!(!store.join(&ids[1]).exists());
+    assert!(store.join(&ids[2]).exists(), "newest finished job retained");
 }
